@@ -1,0 +1,109 @@
+// E6 -- recognition / rejection behaviour on the paper's Fig. 4 pair and
+// the rewrite of Section VII, plus classification throughput on random
+// topology families. Counters record accept rates, reproducing the
+// qualitative "who is CS4" table of Section V.
+#include <benchmark/benchmark.h>
+
+#include "src/core/compile.h"
+#include "src/cs4/decompose.h"
+#include "src/cs4/k4_witness.h"
+#include "src/support/contracts.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace {
+
+using namespace sdaf;
+
+void BM_Fig4Left_Accepted(benchmark::State& state) {
+  const StreamGraph g = workloads::fig4_left();
+  for (auto _ : state) {
+    auto a = analyze_cs4(g);
+    SDAF_ASSERT(a.is_cs4 && !a.pure_sp);
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["is_cs4"] = 1;
+}
+BENCHMARK(BM_Fig4Left_Accepted);
+
+void BM_Fig4Butterfly_Rejected(benchmark::State& state) {
+  const StreamGraph g = workloads::fig4_butterfly();
+  for (auto _ : state) {
+    auto a = analyze_cs4(g);
+    SDAF_ASSERT(!a.is_cs4);
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["is_cs4"] = 0;
+  state.counters["has_k4"] = find_k4_subdivision(g).has_value() ? 1 : 0;
+}
+BENCHMARK(BM_Fig4Butterfly_Rejected);
+
+void BM_ButterflyRewrite_Accepted(benchmark::State& state) {
+  const StreamGraph g = workloads::butterfly_rewrite();
+  for (auto _ : state) {
+    auto a = analyze_cs4(g);
+    SDAF_ASSERT(a.is_cs4);
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["is_cs4"] = 1;
+}
+BENCHMARK(BM_ButterflyRewrite_Accepted);
+
+// Acceptance rate of random two-terminal DAGs by interior-node count: CS4
+// membership gets rarer as density grows -- the expressivity price the
+// paper's Section V discusses.
+void BM_RandomDag_Cs4Rate(benchmark::State& state) {
+  Prng rng(1234);
+  workloads::RandomDagOptions opt;
+  opt.interior_nodes = static_cast<std::size_t>(state.range(0));
+  opt.edge_density = 0.35;
+  std::size_t accepted = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const auto g = workloads::random_two_terminal_dag(rng, opt);
+    const auto a = analyze_cs4(g);
+    accepted += a.is_cs4 ? 1 : 0;
+    ++total;
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["cs4_rate"] = total == 0
+                                   ? 0.0
+                                   : static_cast<double>(accepted) /
+                                         static_cast<double>(total);
+}
+BENCHMARK(BM_RandomDag_Cs4Rate)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+// Full compile (classification + intervals) on the three families a user
+// would feed the compiler.
+void BM_Compile_RandomSp(benchmark::State& state) {
+  Prng rng(7);
+  workloads::RandomSpOptions opt;
+  opt.target_edges = static_cast<std::size_t>(state.range(0));
+  const auto built = workloads::random_sp(rng, opt);
+  for (auto _ : state) {
+    auto r = core::compile(built.graph);
+    SDAF_ASSERT(r.ok);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Compile_RandomSp)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Compile_RandomCs4Chain(benchmark::State& state) {
+  Prng rng(11);
+  workloads::RandomCs4Options opt;
+  opt.components = static_cast<std::size_t>(state.range(0));
+  opt.ladder.rungs = 3;
+  opt.ladder.component_edges = 2;
+  const auto g = workloads::random_cs4_chain(rng, opt);
+  for (auto _ : state) {
+    auto r = core::compile(g);
+    SDAF_ASSERT(r.ok);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["edges"] = static_cast<double>(g.edge_count());
+}
+BENCHMARK(BM_Compile_RandomCs4Chain)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// E1 -- Fig. 1's split/join under filtering: dummy-message overhead as a
+// function of the filter pass-rate and of buffer size, under both
+// avoidance algorithms. The series show the paper's qualitative trade:
+// larger buffers -> larger intervals -> fewer dummies; Propagation
+// concentrates dummy traffic on the split's channels, Non-Propagation
+// spreads a (lazier) schedule over every cycle edge.
+#include <benchmark/benchmark.h>
+
+#include "src/core/compile.h"
+#include "src/sim/simulation.h"
+#include "src/support/contracts.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/topologies.h"
+
+namespace {
+
+using namespace sdaf;
+
+void run_case(benchmark::State& state, core::Algorithm algorithm,
+              runtime::DummyMode mode, double pass_rate,
+              std::int64_t buffer) {
+  const StreamGraph g = workloads::fig1_splitjoin(buffer);
+  core::CompileOptions copt;
+  copt.algorithm = algorithm;
+  const auto compiled = core::compile(g, copt);
+  SDAF_ASSERT(compiled.ok);
+
+  std::uint64_t dummies = 0;
+  std::uint64_t data = 0;
+  std::uint64_t seed = 42;
+  for (auto _ : state) {
+    auto kernels = workloads::passthrough_kernels(g);
+    kernels[0] = std::make_shared<runtime::RelayKernel>(
+        workloads::bernoulli_filter(pass_rate, seed++));
+    sim::Simulation s(g, kernels);
+    sim::SimOptions opt;
+    opt.mode = mode;
+    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+    opt.forward_on_filter = compiled.forward_on_filter();
+    opt.num_inputs = 5000;
+    const auto r = s.run(opt);
+    SDAF_ASSERT(r.completed);
+    dummies = r.total_dummies();
+    data = r.total_data();
+  }
+  state.counters["dummies"] = static_cast<double>(dummies);
+  state.counters["data"] = static_cast<double>(data);
+  state.counters["overhead_pct"] =
+      100.0 * static_cast<double>(dummies) /
+      static_cast<double>(data == 0 ? 1 : data);
+}
+
+void BM_SplitJoin_Propagation_ByPassRate(benchmark::State& state) {
+  run_case(state, core::Algorithm::Propagation,
+           runtime::DummyMode::Propagation,
+           static_cast<double>(state.range(0)) / 100.0, /*buffer=*/4);
+}
+BENCHMARK(BM_SplitJoin_Propagation_ByPassRate)
+    ->Arg(10)->Arg(30)->Arg(50)->Arg(70)->Arg(90)->Iterations(3);
+
+void BM_SplitJoin_NonPropagation_ByPassRate(benchmark::State& state) {
+  run_case(state, core::Algorithm::NonPropagation,
+           runtime::DummyMode::NonPropagation,
+           static_cast<double>(state.range(0)) / 100.0, /*buffer=*/4);
+}
+BENCHMARK(BM_SplitJoin_NonPropagation_ByPassRate)
+    ->Arg(10)->Arg(30)->Arg(50)->Arg(70)->Arg(90)->Iterations(3);
+
+void BM_SplitJoin_Propagation_ByBuffer(benchmark::State& state) {
+  run_case(state, core::Algorithm::Propagation,
+           runtime::DummyMode::Propagation, /*pass_rate=*/0.5,
+           state.range(0));
+}
+BENCHMARK(BM_SplitJoin_Propagation_ByBuffer)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Iterations(3);
+
+void BM_SplitJoin_NonPropagation_ByBuffer(benchmark::State& state) {
+  run_case(state, core::Algorithm::NonPropagation,
+           runtime::DummyMode::NonPropagation, /*pass_rate=*/0.5,
+           state.range(0));
+}
+BENCHMARK(BM_SplitJoin_NonPropagation_ByBuffer)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Iterations(3);
+
+}  // namespace

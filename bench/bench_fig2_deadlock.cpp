@@ -1,0 +1,91 @@
+// E2 -- the Fig. 2 deadlock, quantified. Series 1 measures how quickly the
+// unprotected triangle wedges as buffers shrink (sweeps-to-deadlock);
+// series 2 measures deadlock *frequency* under Bernoulli filtering without
+// avoidance; series 3 verifies zero deadlocks with compiled intervals over
+// the same sweep (counter deadlock_rate must be 0).
+#include <benchmark/benchmark.h>
+
+#include "src/core/compile.h"
+#include "src/sim/simulation.h"
+#include "src/support/contracts.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/topologies.h"
+
+namespace {
+
+using namespace sdaf;
+
+std::vector<std::shared_ptr<runtime::Kernel>> adversarial_kernels() {
+  std::vector<std::shared_ptr<runtime::Kernel>> kernels;
+  kernels.push_back(std::make_shared<runtime::RelayKernel>(
+      workloads::adversarial_prefix_filter(1, 1u << 20)));
+  kernels.push_back(runtime::pass_through_kernel());
+  kernels.push_back(runtime::pass_through_kernel());
+  return kernels;
+}
+
+void BM_TimeToDeadlock_Unprotected(benchmark::State& state) {
+  const auto buffer = state.range(0);
+  const StreamGraph g = workloads::fig2_triangle(buffer, buffer, buffer);
+  std::uint64_t sweeps = 0;
+  for (auto _ : state) {
+    sim::Simulation s(g, adversarial_kernels());
+    sim::SimOptions opt;
+    opt.mode = runtime::DummyMode::None;
+    opt.num_inputs = 1u << 20;
+    const auto r = s.run(opt);
+    SDAF_ASSERT(r.deadlocked);
+    sweeps = r.sweeps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["sweeps_to_deadlock"] = static_cast<double>(sweeps);
+}
+BENCHMARK(BM_TimeToDeadlock_Unprotected)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Arg(16)->Arg(32);
+
+void BM_BernoulliDeadlockRate_Unprotected(benchmark::State& state) {
+  const auto buffer = state.range(0);
+  const StreamGraph g = workloads::fig2_triangle(buffer, buffer, buffer);
+  std::size_t deadlocks = 0;
+  std::size_t runs = 0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sim::Simulation s(g, workloads::relay_kernels(g, 0.5, seed++));
+    sim::SimOptions opt;
+    opt.mode = runtime::DummyMode::None;
+    opt.num_inputs = 2000;
+    deadlocks += s.run(opt).deadlocked ? 1 : 0;
+    ++runs;
+  }
+  state.counters["deadlock_rate"] =
+      runs == 0 ? 0.0
+                : static_cast<double>(deadlocks) / static_cast<double>(runs);
+}
+BENCHMARK(BM_BernoulliDeadlockRate_Unprotected)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(50);
+
+void BM_BernoulliDeadlockRate_Protected(benchmark::State& state) {
+  const auto buffer = state.range(0);
+  const StreamGraph g = workloads::fig2_triangle(buffer, buffer, buffer);
+  const auto compiled = core::compile(g);
+  SDAF_ASSERT(compiled.ok);
+  const auto intervals = compiled.integer_intervals(core::Rounding::Floor);
+  std::size_t deadlocks = 0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sim::Simulation s(g, workloads::relay_kernels(g, 0.5, seed++));
+    sim::SimOptions opt;
+    opt.mode = runtime::DummyMode::Propagation;
+    opt.intervals = intervals;
+    opt.forward_on_filter = compiled.forward_on_filter();
+    opt.num_inputs = 2000;
+    const auto r = s.run(opt);
+    deadlocks += r.deadlocked ? 1 : 0;
+    SDAF_ASSERT(r.completed);
+  }
+  state.counters["deadlock_rate"] = static_cast<double>(deadlocks);
+}
+BENCHMARK(BM_BernoulliDeadlockRate_Protected)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(50);
+
+}  // namespace

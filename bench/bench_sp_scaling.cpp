@@ -1,0 +1,157 @@
+// E4/E5 -- compilation-overhead scaling on SP-DAGs (the paper's central
+// efficiency claim, Section IV):
+//   * Propagation SETIVALS: O(|G|)      (series 1)
+//   * Propagation naive:    O(|G|^2)    (series 2, the ablation)
+//   * Non-Propagation:      O(|G|^2)    (series 3)
+//   * Exponential baseline: exponential (series 4, small sizes only)
+// Run with --benchmark_counters_tabular=true for the table; the growth
+// exponents are visible from the ns-vs-edges columns.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "src/intervals/baseline.h"
+#include "src/intervals/nonprop_sp.h"
+#include "src/intervals/propagation_sp.h"
+#include "src/spdag/recognizer.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_sp.h"
+
+namespace {
+
+using namespace sdaf;
+
+const BuiltSp& graph_of_size(std::size_t edges) {
+  static std::map<std::size_t, BuiltSp> cache;
+  auto it = cache.find(edges);
+  if (it == cache.end()) {
+    Prng rng(0xC0FFEE + edges);
+    workloads::RandomSpOptions opt;
+    opt.target_edges = edges;
+    opt.max_buffer = 16;
+    it = cache.emplace(edges, workloads::random_sp(rng, opt)).first;
+  }
+  return it->second;
+}
+
+void BM_SpPropagation_Setivals(benchmark::State& state) {
+  const auto& built = graph_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto iv = propagation_intervals_sp(built.graph, built.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.counters["edges"] = static_cast<double>(built.graph.edge_count());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpPropagation_Setivals)
+    ->RangeMultiplier(4)
+    ->Range(16, 16 << 10)
+    ->Complexity(benchmark::oN);
+
+void BM_SpPropagation_Naive(benchmark::State& state) {
+  const auto& built = graph_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto iv = propagation_intervals_sp_naive(built.graph, built.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpPropagation_Naive)
+    ->RangeMultiplier(4)
+    ->Range(16, 16 << 10)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SpNonPropagation(benchmark::State& state) {
+  const auto& built = graph_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto iv = nonprop_intervals_sp(built.graph, built.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpNonPropagation)
+    ->RangeMultiplier(4)
+    ->Range(16, 16 << 10)
+    ->Complexity(benchmark::oNSquared);
+
+// Exponential baseline: only feasible on small graphs; the point of the
+// series is the blow-up relative to the polynomial algorithms above.
+void BM_SpPropagation_ExponentialBaseline(benchmark::State& state) {
+  const auto& built = graph_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto iv = propagation_intervals_exact(built.graph);
+    benchmark::DoNotOptimize(iv);
+  }
+}
+BENCHMARK(BM_SpPropagation_ExponentialBaseline)
+    ->RangeMultiplier(2)
+    ->Range(16, 64);
+
+// Worst-case shape for the naive variant: a deep series chain of parallel
+// pairs. Every pair is a Pc component whose source-out scan in the naive
+// algorithm touches O(1) edges, but SETIVALS' advantage shows on the
+// *skewed* variant below: parallel(edge, series(pair, pair, ...)) nests
+// every pair under a long spine, so the naive Pc re-scans walk O(N) leaves
+// O(N) times while SETIVALS stays linear.
+const BuiltSp& skewed_graph(std::size_t pairs) {
+  static std::map<std::size_t, BuiltSp> cache;
+  auto it = cache.find(pairs);
+  if (it == cache.end()) {
+    // series(pair_1, ..., pair_k) nested under parallel with a bypass edge,
+    // repeated: parallel(bypass, series(parallel(bypass, series(...)), pair)).
+    SpSpec spec = SpSpec::parallel({SpSpec::edge(3), SpSpec::edge(5)});
+    for (std::size_t i = 1; i < pairs; ++i) {
+      spec = SpSpec::parallel(
+          {SpSpec::edge(static_cast<std::int64_t>(3 + i % 7)),
+           SpSpec::series(
+               {std::move(spec),
+                SpSpec::parallel({SpSpec::edge(2), SpSpec::edge(4)})})});
+    }
+    it = cache.emplace(pairs, build_sp(spec)).first;
+  }
+  return it->second;
+}
+
+void BM_SpPropagation_Setivals_Skewed(benchmark::State& state) {
+  const auto& built = skewed_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto iv = propagation_intervals_sp(built.graph, built.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.counters["edges"] = static_cast<double>(built.graph.edge_count());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpPropagation_Setivals_Skewed)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_SpPropagation_Naive_Skewed(benchmark::State& state) {
+  const auto& built = skewed_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto iv = propagation_intervals_sp_naive(built.graph, built.tree);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpPropagation_Naive_Skewed)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+// Recognition (decomposition-tree construction) scaling: the step the
+// interval algorithms presuppose.
+void BM_SpRecognition(benchmark::State& state) {
+  const auto& built = graph_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto rec = recognize_sp(built.graph);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpRecognition)
+    ->RangeMultiplier(4)
+    ->Range(16, 16 << 10)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// E9 -- Propagation vs Non-Propagation dummy traffic across topology
+// shapes (Section II.B's design trade). For each graph family the two
+// algorithms run identical workloads; counters report absolute dummy
+// counts and the winner flips with shape: interior-heavy cycles favour
+// Non-Propagation's lazy per-edge schedules, split-heavy shapes favour
+// Propagation's concentrated origination.
+#include <benchmark/benchmark.h>
+
+#include "src/core/compile.h"
+#include "src/sim/simulation.h"
+#include "src/support/contracts.h"
+#include "src/support/prng.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/topologies.h"
+
+namespace {
+
+using namespace sdaf;
+
+void run_traffic(benchmark::State& state, const StreamGraph& g,
+                 core::Algorithm algorithm, runtime::DummyMode mode) {
+  core::CompileOptions copt;
+  copt.algorithm = algorithm;
+  const auto compiled = core::compile(g, copt);
+  SDAF_ASSERT(compiled.ok);
+  std::uint64_t dummies = 0;
+  std::uint64_t data = 0;
+  std::uint64_t seed = 9;
+  for (auto _ : state) {
+    sim::Simulation s(g, workloads::relay_kernels(g, 0.6, seed++));
+    sim::SimOptions opt;
+    opt.mode = mode;
+    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+    opt.forward_on_filter = compiled.forward_on_filter();
+    opt.num_inputs = 4000;
+    const auto r = s.run(opt);
+    SDAF_ASSERT(r.completed);
+    dummies = r.total_dummies();
+    data = r.total_data();
+  }
+  state.counters["dummies"] = static_cast<double>(dummies);
+  state.counters["data"] = static_cast<double>(data);
+}
+
+StreamGraph ladder_workload() {
+  Prng rng(5150);
+  workloads::RandomLadderOptions opt;
+  opt.rungs = 4;
+  opt.left_interior = 4;
+  opt.right_interior = 4;
+  opt.component_edges = 2;
+  opt.max_buffer = 8;
+  return workloads::random_ladder(rng, opt);
+}
+
+void BM_Traffic_Fig3_Prop(benchmark::State& state) {
+  run_traffic(state, workloads::fig3_cycle(), core::Algorithm::Propagation,
+              runtime::DummyMode::Propagation);
+}
+BENCHMARK(BM_Traffic_Fig3_Prop)->Iterations(3);
+
+void BM_Traffic_Fig3_NonProp(benchmark::State& state) {
+  run_traffic(state, workloads::fig3_cycle(),
+              core::Algorithm::NonPropagation,
+              runtime::DummyMode::NonPropagation);
+}
+BENCHMARK(BM_Traffic_Fig3_NonProp)->Iterations(3);
+
+void BM_Traffic_Fig4Left_Prop(benchmark::State& state) {
+  run_traffic(state, workloads::fig4_left(4), core::Algorithm::Propagation,
+              runtime::DummyMode::Propagation);
+}
+BENCHMARK(BM_Traffic_Fig4Left_Prop)->Iterations(3);
+
+void BM_Traffic_Fig4Left_NonProp(benchmark::State& state) {
+  run_traffic(state, workloads::fig4_left(4),
+              core::Algorithm::NonPropagation,
+              runtime::DummyMode::NonPropagation);
+}
+BENCHMARK(BM_Traffic_Fig4Left_NonProp)->Iterations(3);
+
+void BM_Traffic_Ladder_Prop(benchmark::State& state) {
+  run_traffic(state, ladder_workload(), core::Algorithm::Propagation,
+              runtime::DummyMode::Propagation);
+}
+BENCHMARK(BM_Traffic_Ladder_Prop)->Iterations(3);
+
+void BM_Traffic_Ladder_NonProp(benchmark::State& state) {
+  run_traffic(state, ladder_workload(), core::Algorithm::NonPropagation,
+              runtime::DummyMode::NonPropagation);
+}
+BENCHMARK(BM_Traffic_Ladder_NonProp)->Iterations(3);
+
+void BM_Traffic_WideSplitJoin_Prop(benchmark::State& state) {
+  run_traffic(state, workloads::splitjoin(6, 1, 8),
+              core::Algorithm::Propagation, runtime::DummyMode::Propagation);
+}
+BENCHMARK(BM_Traffic_WideSplitJoin_Prop)->Iterations(3);
+
+void BM_Traffic_WideSplitJoin_NonProp(benchmark::State& state) {
+  run_traffic(state, workloads::splitjoin(6, 1, 8),
+              core::Algorithm::NonPropagation,
+              runtime::DummyMode::NonPropagation);
+}
+BENCHMARK(BM_Traffic_WideSplitJoin_NonProp)->Iterations(3);
+
+}  // namespace

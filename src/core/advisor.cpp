@@ -1,0 +1,46 @@
+#include "src/core/advisor.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::core {
+
+BufferAdvice recommend_buffer_scale(const StreamGraph& g, Algorithm algorithm,
+                                    const Rational& min_interval,
+                                    const CompileOptions& base_options) {
+  SDAF_EXPECTS(min_interval.is_finite());
+  BufferAdvice advice;
+  CompileOptions options = base_options;
+  options.algorithm = algorithm;
+  const CompileResult unit = compile(g, options);
+  if (!unit.ok) {
+    advice.diagnostics = unit.diagnostics;
+    return advice;
+  }
+
+  Rational tightest = Rational::infinity();
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    tightest = min(tightest, unit.intervals[e]);
+
+  advice.ok = true;
+  if (tightest.is_infinite()) {
+    advice.scale = 1;
+    advice.resulting_min_interval = Rational::infinity();
+    advice.diagnostics = "no edge needs dummy messages; buffers unchanged";
+  } else {
+    // Intervals scale linearly with a uniform buffer multiplier k:
+    // need k * tightest >= min_interval.
+    advice.scale = std::max<std::int64_t>(
+        1, (min_interval / tightest).ceil());
+    advice.resulting_min_interval = tightest + Rational(0);  // copy
+    advice.resulting_min_interval =
+        Rational(tightest.num() * advice.scale, tightest.den());
+    advice.diagnostics = "scaled every buffer by " +
+                         std::to_string(advice.scale);
+  }
+  advice.buffers.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    advice.buffers.push_back(g.edge(e).buffer * advice.scale);
+  return advice;
+}
+
+}  // namespace sdaf::core

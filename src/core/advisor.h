@@ -1,0 +1,37 @@
+// Buffer-sizing advisor: the inverse of interval computation. Dummy
+// intervals scale linearly with buffer capacities under both algorithms
+// (Propagation: [e] = min over cycles of a buffer-length sum; Non-
+// Propagation: the same sum divided by a scale-invariant hop count), so
+// "make the busiest dummy channel at least this lazy" has a closed-form
+// answer: one compile at unit scale, then a single multiplier.
+//
+// This addresses the traffic-reduction direction the paper's Section VII
+// raises: with channel memory to spare, dummy overhead can be driven
+// arbitrarily low at compile time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/compile.h"
+#include "src/graph/stream_graph.h"
+#include "src/support/rational.h"
+
+namespace sdaf::core {
+
+struct BufferAdvice {
+  bool ok = false;
+  std::string diagnostics;
+  std::int64_t scale = 1;  // uniform multiplier applied to every buffer
+  std::vector<std::int64_t> buffers;  // recommended per-edge capacities
+  Rational resulting_min_interval;    // tightest finite interval after scaling
+};
+
+// Smallest uniform buffer multiplier making every finite dummy interval
+// >= min_interval under `algorithm`. Graphs whose intervals are all
+// infinite need no scaling (scale = 1).
+[[nodiscard]] BufferAdvice recommend_buffer_scale(
+    const StreamGraph& g, Algorithm algorithm, const Rational& min_interval,
+    const CompileOptions& base_options = {});
+
+}  // namespace sdaf::core

@@ -1,0 +1,171 @@
+#include "src/core/compile.h"
+
+#include <algorithm>
+
+#include "src/graph/cycles.h"
+#include "src/graph/undirected.h"
+#include "src/intervals/baseline.h"
+#include "src/support/contracts.h"
+
+namespace sdaf::core {
+
+namespace {
+
+// Marks the continuation edges of one contracted SP component: an edge is
+// schedule-capable w.r.t. the component's internal cycles iff every Pc
+// ancestor's cycles start at the edge's own tail.
+void mark_component_internal(const Skeleton& skel,
+                             const std::vector<SpTree::Index>& parents,
+                             SpTree::Index root,
+                             std::vector<std::uint8_t>& forward) {
+  for (const SpTree::Index leaf : skel.tree.leaves_under(root)) {
+    const SpNode& ln = skel.tree.node(leaf);
+    for (SpTree::Index cur = leaf; cur != root; cur = parents[cur]) {
+      const SpNode& pn = skel.tree.node(parents[cur]);
+      if (pn.kind == SpKind::Parallel && pn.source != ln.source) {
+        forward[ln.edge] = 1;
+        break;
+      }
+    }
+  }
+}
+
+// Marks every edge of a contracted component as continuation.
+void mark_whole_component(const Skeleton& skel, SpTree::Index root,
+                          std::vector<std::uint8_t>& forward) {
+  for (const SpTree::Index leaf : skel.tree.leaves_under(root))
+    forward[skel.tree.node(leaf).edge] = 1;
+}
+
+// Marks the non-source-out edges of a component that is the first hop of a
+// ladder-cycle run.
+void mark_component_as_first(const Skeleton& skel, SpTree::Index root,
+                             std::vector<std::uint8_t>& forward) {
+  const NodeId source = skel.tree.node(root).source;
+  for (const SpTree::Index leaf : skel.tree.leaves_under(root)) {
+    const SpNode& ln = skel.tree.node(leaf);
+    if (ln.source != source) forward[ln.edge] = 1;
+  }
+}
+
+std::vector<std::uint8_t> forward_edges_cs4(const StreamGraph& g,
+                                            const Cs4Analysis& analysis) {
+  std::vector<std::uint8_t> forward(g.edge_count(), 0);
+  const Skeleton& skel = analysis.skeleton;
+  const auto parents = skel.tree.parents();
+  for (const auto& se : skel.edges)
+    mark_component_internal(skel, parents, se.tree, forward);
+  for (const Ladder& ladder : analysis.ladders) {
+    for (const UCycle& cycle : ladder.cycles) {
+      for (const auto& run : directed_runs(skel.graph, cycle)) {
+        mark_component_as_first(skel, skel.edges[run.edges.front()].tree,
+                                forward);
+        for (std::size_t k = 1; k < run.edges.size(); ++k)
+          mark_whole_component(skel, skel.edges[run.edges[k]].tree, forward);
+      }
+    }
+  }
+  return forward;
+}
+
+std::vector<std::uint8_t> forward_edges_general(const StreamGraph& g,
+                                                std::size_t cycle_limit) {
+  std::vector<std::uint8_t> forward(g.edge_count(), 0);
+  const auto enumeration = enumerate_undirected_cycles(g, cycle_limit);
+  SDAF_EXPECTS(!enumeration.truncated);
+  for (const auto& cycle : enumeration.cycles)
+    for (const auto& run : directed_runs(g, cycle))
+      for (std::size_t k = 1; k < run.edges.size(); ++k)
+        forward[run.edges[k]] = 1;
+  return forward;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> CompileResult::integer_intervals(
+    Rounding rounding) const {
+  std::vector<std::int64_t> out(intervals.size(), kNoDummyInterval);
+  for (EdgeId e = 0; e < intervals.size(); ++e) {
+    const Rational& r = intervals[e];
+    if (r.is_infinite()) continue;
+    const std::int64_t v = rounding == Rounding::PaperCeil ? r.ceil()
+                                                           : r.floor();
+    out[e] = std::max<std::int64_t>(1, v);
+  }
+  return out;
+}
+
+CompileResult compile(const StreamGraph& g, const CompileOptions& options) {
+  CompileResult result;
+  result.algorithm = options.algorithm;
+  result.on_cycle.assign(g.edge_count(), 0);
+  for (const auto& block : biconnected_components(g))
+    if (block.size() >= 2)
+      for (const EdgeId e : block) result.on_cycle[e] = 1;
+
+  Cs4Analysis analysis = analyze_cs4(g);
+  if (!analysis.two_terminal) {
+    result.diagnostics = analysis.reason;
+    return result;
+  }
+
+  if (analysis.is_cs4) {
+    result.classification = analysis.pure_sp ? Classification::SpDag
+                                             : Classification::Cs4Chain;
+    result.intervals =
+        options.algorithm == Algorithm::Propagation
+            ? cs4_propagation_intervals(g, analysis, options.ladder_method)
+            : cs4_nonprop_intervals(g, analysis);
+    result.forward_edges = forward_edges_cs4(g, analysis);
+    result.ok = true;
+    result.diagnostics = std::string("classified as ") +
+                         to_string(result.classification) + "; " +
+                         std::to_string(result.intervals.finite_count()) +
+                         " of " + std::to_string(g.edge_count()) +
+                         " edges need dummy messages";
+    return result;
+  }
+
+  result.classification = Classification::GeneralDag;
+  if (options.general_policy == GeneralPolicy::Reject) {
+    result.diagnostics =
+        "topology is not CS4 (" + analysis.reason +
+        "); rejected per policy -- restructure the graph (Section VII) or "
+        "allow the exponential fallback";
+    return result;
+  }
+  result.intervals =
+      options.algorithm == Algorithm::Propagation
+          ? propagation_intervals_exact(g, options.cycle_limit)
+          : nonprop_intervals_exact(g, options.cycle_limit);
+  result.forward_edges = forward_edges_general(g, options.cycle_limit);
+  result.ok = true;
+  result.diagnostics =
+      "topology is not CS4 (" + analysis.reason +
+      "); intervals computed by exponential cycle enumeration";
+  return result;
+}
+
+const char* to_string(Classification c) {
+  switch (c) {
+    case Classification::SpDag:
+      return "SP-DAG";
+    case Classification::Cs4Chain:
+      return "CS4 chain";
+    case Classification::GeneralDag:
+      return "general DAG";
+  }
+  return "?";
+}
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::Propagation:
+      return "Propagation";
+    case Algorithm::NonPropagation:
+      return "Non-Propagation";
+  }
+  return "?";
+}
+
+}  // namespace sdaf::core

@@ -1,0 +1,31 @@
+#include "src/core/report.h"
+
+#include <set>
+#include <sstream>
+
+namespace sdaf::core {
+
+std::string describe(const StreamGraph& g, const CompileResult& result) {
+  std::ostringstream os;
+  os << "deadlock-avoidance compile report\n"
+     << "  algorithm:      " << to_string(result.algorithm) << "\n"
+     << "  classification: " << to_string(result.classification) << "\n"
+     << "  status:         " << (result.ok ? "ok" : "rejected") << "\n"
+     << "  notes:          " << result.diagnostics << "\n";
+  if (!result.ok) return os.str();
+
+  std::set<NodeId> senders;
+  os << "  per-edge dummy intervals:\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << "    " << g.node_name(ed.from) << " -> " << g.node_name(ed.to)
+       << "  buffer=" << ed.buffer << "  [e]=" << result.intervals[e] << "\n";
+    if (result.intervals[e].is_finite()) senders.insert(ed.from);
+  }
+  os << "  dummy-sending nodes (" << senders.size() << "):";
+  for (const NodeId n : senders) os << " " << g.node_name(n);
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace sdaf::core

@@ -1,0 +1,16 @@
+// Human-readable compile reports: what a compiler would print under a
+// -fdump-deadlock-avoidance flag.
+#pragma once
+
+#include <string>
+
+#include "src/core/compile.h"
+#include "src/graph/stream_graph.h"
+
+namespace sdaf::core {
+
+// Multi-line report: classification, per-edge intervals, dummy-sender set.
+[[nodiscard]] std::string describe(const StreamGraph& g,
+                                   const CompileResult& result);
+
+}  // namespace sdaf::core

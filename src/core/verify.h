@@ -1,0 +1,36 @@
+// Interval auditing: independently re-derives the per-edge requirements
+// from the cycle definitions (Section II.B) and checks a provided interval
+// assignment against them. Lets users validate hand-tuned or externally
+// produced configurations, and gives the test-suite a single notion of
+// "safe by construction".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/compile.h"
+#include "src/graph/stream_graph.h"
+#include "src/intervals/interval_map.h"
+
+namespace sdaf::core {
+
+struct IntervalViolation {
+  EdgeId edge = kNoEdge;
+  Rational required;  // tightest bound any cycle imposes
+  Rational provided;  // the audited value (> required = unsafe)
+};
+
+struct VerifyResult {
+  bool ok = false;
+  std::vector<IntervalViolation> violations;
+};
+
+// Audits `intervals` for `algorithm` by exact cycle enumeration
+// (exponential; intended for test rigs and small production topologies).
+// An interval is admissible iff it is <= the exact requirement on every
+// edge; smaller-than-required values are safe (just chattier).
+[[nodiscard]] VerifyResult verify_intervals(
+    const StreamGraph& g, const IntervalMap& intervals, Algorithm algorithm,
+    std::size_t cycle_limit = 1u << 22);
+
+}  // namespace sdaf::core

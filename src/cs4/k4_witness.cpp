@@ -1,0 +1,88 @@
+#include "src/cs4/k4_witness.h"
+
+#include <set>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+std::optional<K4Witness> find_k4_subdivision(const StreamGraph& g) {
+  // Undirected adjacency as multisets: cheap parallel-edge detection and
+  // removal. Graphs here are skeletons or test graphs, so simplicity beats
+  // asymptotics.
+  std::vector<std::multiset<NodeId>> adj(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    adj[ed.from].insert(ed.to);
+    adj[ed.to].insert(ed.from);
+  }
+
+  const auto erase_one = [&](NodeId a, NodeId b) {
+    const auto it = adj[a].find(b);
+    SDAF_ASSERT(it != adj[a].end());
+    adj[a].erase(it);
+  };
+
+  std::vector<NodeId> worklist;
+  for (NodeId v = 0; v < g.node_count(); ++v) worklist.push_back(v);
+  std::vector<bool> removed(g.node_count(), false);
+
+  while (!worklist.empty()) {
+    const NodeId v = worklist.back();
+    worklist.pop_back();
+    if (removed[v]) continue;
+
+    // Parallel merge: duplicate neighbours collapse to one edge.
+    for (auto it = adj[v].begin(); it != adj[v].end();) {
+      auto next = std::next(it);
+      if (next != adj[v].end() && *next == *it) {
+        const NodeId w = *it;
+        adj[v].erase(it);
+        erase_one(w, v);
+        worklist.push_back(v);
+        worklist.push_back(w);
+        it = adj[v].find(w);  // re-scan from the surviving copy
+      } else {
+        it = next;
+      }
+    }
+
+    const std::size_t deg = adj[v].size();
+    if (deg >= 3) continue;
+    if (deg <= 1) {
+      // Isolated or pendant vertices lie on no cycle: delete.
+      if (deg == 1) {
+        const NodeId w = *adj[v].begin();
+        erase_one(w, v);
+        worklist.push_back(w);
+      }
+      adj[v].clear();
+      removed[v] = true;
+      continue;
+    }
+    // Degree 2: suppress the vertex.
+    const NodeId a = *adj[v].begin();
+    const NodeId b = *std::next(adj[v].begin());
+    erase_one(a, v);
+    erase_one(b, v);
+    adj[v].clear();
+    removed[v] = true;
+    if (a != b) {
+      adj[a].insert(b);
+      adj[b].insert(a);
+    }
+    // a == b: the two-cycle through v vanishes.
+    worklist.push_back(a);
+    worklist.push_back(b);
+  }
+
+  K4Witness witness;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (!removed[v] && !adj[v].empty()) witness.remainder_nodes.push_back(v);
+  if (witness.remainder_nodes.empty()) return std::nullopt;
+  // Stuck remainder: every surviving vertex has degree >= 3 and no parallel
+  // edges, which guarantees a K4 subdivision.
+  return witness;
+}
+
+}  // namespace sdaf

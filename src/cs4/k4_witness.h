@@ -1,0 +1,28 @@
+// K4-subdivision detection (Lemma V.1: a CS4 graph contains no subgraph
+// homeomorphic to K4). The underlying undirected multigraph is K4-
+// subdivision-free iff every biconnected component rewrites to a single
+// edge under undirected series-parallel reductions (suppress degree-2
+// vertices, merge parallel edges) -- the classical Duffin characterization.
+// When the rewriting sticks, the stuck remainder has minimum degree >= 3
+// and certifies a K4 subdivision; its vertices are returned as a witness
+// for diagnostics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+struct K4Witness {
+  // Original node ids of the stuck remainder; a K4 subdivision uses a
+  // subset of these as its four corner vertices.
+  std::vector<NodeId> remainder_nodes;
+};
+
+// Empty optional iff the graph is K4-subdivision-free (undirected sense).
+[[nodiscard]] std::optional<K4Witness> find_k4_subdivision(
+    const StreamGraph& g);
+
+}  // namespace sdaf

@@ -1,0 +1,31 @@
+#include "src/cs4/skeleton.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+Skeleton extract_skeleton(const StreamGraph& g, NodeId source, NodeId sink) {
+  SpReduction red = reduce_sp(g, source, sink);
+  Skeleton skel;
+  skel.tree = std::move(red.tree);
+  skel.metrics = compute_sp_metrics(skel.tree, g);
+  skel.edges = std::move(red.remainder);
+
+  skel.to_skel.assign(g.node_count(), kNoNode);
+  auto map_node = [&](NodeId orig) {
+    if (skel.to_skel[orig] == kNoNode) {
+      skel.to_skel[orig] = skel.graph.add_node(g.node_name(orig));
+      skel.orig_node.push_back(orig);
+    }
+    return skel.to_skel[orig];
+  };
+  for (const auto& se : skel.edges) {
+    const NodeId f = map_node(se.from);
+    const NodeId t = map_node(se.to);
+    skel.graph.add_edge(f, t, skel.metrics.shortest_buffer[se.tree]);
+  }
+  SDAF_ENSURES(skel.graph.edge_count() == skel.edges.size());
+  return skel;
+}
+
+}  // namespace sdaf

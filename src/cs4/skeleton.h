@@ -1,0 +1,45 @@
+// Skeleton extraction: the bridge between Section IV (SP-DAGs) and
+// Sections V-VI (CS4 / SP-ladders). Running the SP rewriting of
+// spdag/recognizer to fixpoint contracts every maximal SP component into a
+// single super-edge; what remains -- the *skeleton* -- is a small
+// irreducible multigraph. For a CS4 graph the skeleton is a serial chain of
+// SP-ladder skeletons (Theorem V.7): side segments, rungs and bridges, each
+// carrying the decomposition tree of the SP component it contracted.
+//
+// The skeleton is materialized as a StreamGraph whose edge "buffers" are the
+// contracted components' shortest buffer-weighted path lengths L(H), so
+// buffer-weighted path arithmetic on the skeleton equals the paper's L
+// arithmetic on the full graph.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/spdag/metrics.h"
+#include "src/spdag/recognizer.h"
+#include "src/spdag/sp_tree.h"
+
+namespace sdaf {
+
+struct Skeleton {
+  // Arena of all component trees created during reduction; the trees of the
+  // surviving super-edges are the roots referenced by `edges[i].tree`.
+  SpTree tree;
+  SpMetrics metrics;  // L/h per tree node (indexed like `tree`)
+  std::vector<SuperEdge> edges;  // endpoints in *original* node ids
+
+  // The skeleton as a graph in its own right. Edge i of `graph`
+  // corresponds to `edges[i]`; its buffer is L(component).
+  StreamGraph graph;
+  std::vector<NodeId> orig_node;  // skeleton node -> original node
+  std::vector<NodeId> to_skel;    // original node -> skeleton node (kNoNode)
+
+  [[nodiscard]] bool is_single_sp() const { return edges.size() == 1; }
+};
+
+// Reduce g (two-terminal, acyclic) and package the remainder. Also valid
+// when g is SP: the skeleton is then a single super-edge.
+[[nodiscard]] Skeleton extract_skeleton(const StreamGraph& g, NodeId source,
+                                        NodeId sink);
+
+}  // namespace sdaf

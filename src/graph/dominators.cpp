@@ -1,0 +1,75 @@
+#include "src/graph/dominators.h"
+
+#include <algorithm>
+
+#include "src/graph/topo.h"
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+namespace {
+
+// Cooper–Harvey–Kennedy. On a DAG a single pass in topological order
+// converges (every predecessor is finalized before its successors).
+std::vector<NodeId> dominators_impl(const StreamGraph& g, NodeId root,
+                                    bool reversed) {
+  const auto order_opt = topo_order(g);
+  SDAF_EXPECTS(order_opt.has_value());
+  std::vector<NodeId> order = *order_opt;
+  if (reversed) std::reverse(order.begin(), order.end());
+
+  std::vector<std::uint32_t> pos(g.node_count(), 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+
+  std::vector<NodeId> idom(g.node_count(), kNoNode);
+  idom[root] = root;
+
+  auto intersect = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      while (pos[a] > pos[b]) a = idom[a];
+      while (pos[b] > pos[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  for (const NodeId v : order) {
+    if (v == root) continue;
+    NodeId new_idom = kNoNode;
+    const auto preds = reversed ? g.out_edges(v) : g.in_edges(v);
+    for (const EdgeId e : preds) {
+      const NodeId p = reversed ? g.edge(e).to : g.edge(e).from;
+      if (idom[p] == kNoNode) continue;  // unreachable predecessor
+      new_idom = (new_idom == kNoNode) ? p : intersect(new_idom, p);
+    }
+    idom[v] = new_idom;
+  }
+  return idom;
+}
+
+}  // namespace
+
+std::vector<NodeId> immediate_dominators(const StreamGraph& g, NodeId root) {
+  SDAF_EXPECTS(root < g.node_count());
+  return dominators_impl(g, root, /*reversed=*/false);
+}
+
+std::vector<NodeId> immediate_postdominators(const StreamGraph& g,
+                                             NodeId exit) {
+  SDAF_EXPECTS(exit < g.node_count());
+  return dominators_impl(g, exit, /*reversed=*/true);
+}
+
+bool dominates(const std::vector<NodeId>& idom, NodeId root, NodeId a,
+               NodeId b) {
+  SDAF_EXPECTS(b < idom.size());
+  if (idom[b] == kNoNode) return false;  // b unreachable
+  NodeId cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    if (cur == root) return false;
+    cur = idom[cur];
+    SDAF_ASSERT(cur != kNoNode);
+  }
+}
+
+}  // namespace sdaf

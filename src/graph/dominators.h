@@ -1,0 +1,28 @@
+// Dominator and postdominator trees on the streaming DAG. The paper's
+// structural lemmas (III.1, III.2) argue through immediate postdominators of
+// split nodes; we expose them both for tests of those lemmas and for
+// diagnostics in the CS4 rejection path.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+// idom[v] = immediate dominator of v w.r.t. paths from `root`; idom[root] ==
+// root; unreachable nodes get kNoNode.
+[[nodiscard]] std::vector<NodeId> immediate_dominators(const StreamGraph& g,
+                                                       NodeId root);
+
+// Immediate postdominators w.r.t. paths to `exit` (dominators of the edge-
+// reversed graph).
+[[nodiscard]] std::vector<NodeId> immediate_postdominators(
+    const StreamGraph& g, NodeId exit);
+
+// True iff a dominates b (a on every root-to-b path), given an idom array
+// from immediate_dominators(root).
+[[nodiscard]] bool dominates(const std::vector<NodeId>& idom, NodeId root,
+                             NodeId a, NodeId b);
+
+}  // namespace sdaf

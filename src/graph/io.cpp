@@ -1,0 +1,68 @@
+#include "src/graph/io.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/intervals/interval_map.h"
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+std::string to_text(const StreamGraph& g) {
+  std::ostringstream os;
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    os << "node " << g.node_name(n) << "\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << "edge " << g.node_name(ed.from) << " " << g.node_name(ed.to) << " "
+       << ed.buffer << "\n";
+  }
+  return os.str();
+}
+
+StreamGraph from_text(const std::string& text) {
+  StreamGraph g;
+  std::map<std::string, NodeId> by_name;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (kw == "node") {
+      std::string name;
+      SDAF_EXPECTS(static_cast<bool>(ls >> name));
+      SDAF_EXPECTS(!by_name.contains(name));
+      by_name[name] = g.add_node(name);
+    } else if (kw == "edge") {
+      std::string from, to;
+      std::int64_t buffer = 0;
+      SDAF_EXPECTS(static_cast<bool>(ls >> from >> to >> buffer));
+      SDAF_EXPECTS(by_name.contains(from));
+      SDAF_EXPECTS(by_name.contains(to));
+      g.add_edge(by_name[from], by_name[to], buffer);
+    } else {
+      SDAF_EXPECTS(false && "unknown keyword in graph text");
+    }
+  }
+  return g;
+}
+
+std::string to_dot(const StreamGraph& g, const IntervalMap* intervals) {
+  std::ostringstream os;
+  os << "digraph sdaf {\n  rankdir=TB;\n";
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    os << "  n" << n << " [label=\"" << g.node_name(n) << "\"];\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << "  n" << ed.from << " -> n" << ed.to << " [label=\"" << ed.buffer;
+    if (intervals != nullptr) os << " / " << (*intervals)[e].to_string();
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sdaf

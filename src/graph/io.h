@@ -1,0 +1,28 @@
+// Text serialization of topologies (a tiny line-oriented format used by the
+// test corpus and the CLI examples) and Graphviz DOT export for inspecting
+// graphs and computed dummy intervals.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+class IntervalMap;  // defined in src/intervals/interval_map.h
+
+// Format:
+//   # comment
+//   node <name>
+//   edge <from-name> <to-name> <buffer>
+// Node order = declaration order; edge order = declaration order.
+[[nodiscard]] std::string to_text(const StreamGraph& g);
+[[nodiscard]] StreamGraph from_text(const std::string& text);
+
+// DOT export; when `intervals` is non-null each edge is annotated
+// "buffer / interval".
+[[nodiscard]] std::string to_dot(const StreamGraph& g,
+                                 const IntervalMap* intervals = nullptr);
+
+}  // namespace sdaf

@@ -1,0 +1,41 @@
+#include "src/graph/normalize.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+Normalization normalize_two_terminal(const StreamGraph& g,
+                                     std::int64_t virtual_buffer) {
+  SDAF_EXPECTS(virtual_buffer >= 1);
+  Normalization out;
+  // Copy nodes and edges verbatim (ids preserved).
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    (void)out.graph.add_node(g.node_name(n));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    (void)out.graph.add_edge(ed.from, ed.to, ed.buffer);
+    out.orig_edge.push_back(e);
+  }
+
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  if (sources.size() > 1) {
+    out.virtual_source = out.graph.add_node("<src>");
+    for (const NodeId s : sources) {
+      (void)out.graph.add_edge(out.virtual_source, s, virtual_buffer);
+      out.orig_edge.push_back(kNoEdge);
+    }
+    out.changed = true;
+  }
+  if (sinks.size() > 1) {
+    out.virtual_sink = out.graph.add_node("<snk>");
+    for (const NodeId t : sinks) {
+      (void)out.graph.add_edge(t, out.virtual_sink, virtual_buffer);
+      out.orig_edge.push_back(kNoEdge);
+    }
+    out.changed = true;
+  }
+  return out;
+}
+
+}  // namespace sdaf

@@ -1,0 +1,41 @@
+// Terminal normalization: the SP / CS4 analyses require a unique source
+// and sink, but real applications often have several independent input
+// feeds and output drains. Wrapping them with a virtual super-source /
+// super-sink makes the analysis applicable and -- importantly -- also
+// *sound*: cycles through the virtual source encode the real coordination
+// constraint between sibling sources (a join downstream of two sources
+// starves when one of them filters), and the continuation-forwarding rule
+// derived from those cycles makes each source propagate sequence-number
+// knowledge even while filtering.
+//
+// The virtual channels carry a configurable capacity. Free-running sources
+// can drift arbitrarily far apart, so by default it is effectively
+// unbounded (intervals derived through virtual cycles become astronomically
+// lazy and knowledge transport is carried by the forwarding rule alone);
+// applications whose sources are externally synchronized within B items
+// can pass B to obtain tighter schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+inline constexpr std::int64_t kUnboundedVirtualBuffer = 1ll << 40;
+
+struct Normalization {
+  StreamGraph graph;  // the wrapped graph
+  bool changed = false;
+  NodeId virtual_source = kNoNode;  // kNoNode when not added
+  NodeId virtual_sink = kNoNode;
+  // wrapped edge id -> original edge id; kNoEdge for virtual edges.
+  std::vector<EdgeId> orig_edge;
+};
+
+[[nodiscard]] Normalization normalize_two_terminal(
+    const StreamGraph& g,
+    std::int64_t virtual_buffer = kUnboundedVirtualBuffer);
+
+}  // namespace sdaf

@@ -1,0 +1,71 @@
+// The streaming-application topology: a directed acyclic *multigraph* whose
+// nodes are compute kernels and whose edges are unidirectional FIFO channels
+// with finite buffer capacities (the paper's "edge lengths").
+//
+// Multi-edges (parallel channels between the same node pair) are first-class:
+// they are the base case of the series-parallel construction in the paper
+// (Section III) and induce 2-edge undirected cycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdaf {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  // Channel buffer capacity in messages; the "length" used by the paper's
+  // shortest-path interval computations. Always >= 1.
+  std::int64_t buffer = 1;
+};
+
+class StreamGraph {
+ public:
+  StreamGraph() = default;
+
+  NodeId add_node(std::string name = {});
+  EdgeId add_edge(NodeId from, NodeId to, std::int64_t buffer);
+
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const;
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+  void set_node_name(NodeId n, std::string name);
+  void set_buffer(EdgeId e, std::int64_t buffer);
+
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId n) const;
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId n) const;
+  [[nodiscard]] std::size_t out_degree(NodeId n) const;
+  [[nodiscard]] std::size_t in_degree(NodeId n) const;
+
+  // Nodes with no incoming / no outgoing edges.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  // Convenience for the (common) single-source / single-sink case; contract
+  // violation if not unique.
+  [[nodiscard]] NodeId unique_source() const;
+  [[nodiscard]] NodeId unique_sink() const;
+
+  // Total size measure |G| = nodes + edges, as in the paper's bounds.
+  [[nodiscard]] std::size_t size() const { return node_count() + edge_count(); }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace sdaf

@@ -1,0 +1,26 @@
+#include "src/graph/subgraph.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+Subgraph extract_subgraph(const StreamGraph& g,
+                          const std::vector<EdgeId>& edges) {
+  Subgraph out;
+  out.to_sub.assign(g.node_count(), kNoNode);
+  for (const EdgeId e : edges) {
+    const auto& ed = g.edge(e);
+    for (const NodeId n : {ed.from, ed.to}) {
+      if (out.to_sub[n] == kNoNode) {
+        out.to_sub[n] = out.graph.add_node(g.node_name(n));
+        out.orig_node.push_back(n);
+      }
+    }
+    out.graph.add_edge(out.to_sub[ed.from], out.to_sub[ed.to], ed.buffer);
+    out.orig_edge.push_back(e);
+  }
+  SDAF_ENSURES(out.graph.edge_count() == edges.size());
+  return out;
+}
+
+}  // namespace sdaf

@@ -1,0 +1,21 @@
+// Edge-induced subgraph extraction with id mappings back to the parent
+// graph, used to analyze biconnected blocks in isolation.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+struct Subgraph {
+  StreamGraph graph;
+  std::vector<EdgeId> orig_edge;  // subgraph edge id -> parent edge id
+  std::vector<NodeId> orig_node;  // subgraph node id -> parent node id
+  std::vector<NodeId> to_sub;     // parent node id -> subgraph node id (kNoNode if absent)
+};
+
+[[nodiscard]] Subgraph extract_subgraph(const StreamGraph& g,
+                                        const std::vector<EdgeId>& edges);
+
+}  // namespace sdaf

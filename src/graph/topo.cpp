@@ -1,0 +1,83 @@
+#include "src/graph/topo.h"
+
+#include <algorithm>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+std::optional<std::vector<NodeId>> topo_order(const StreamGraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> indeg(n);
+  for (NodeId v = 0; v < n; ++v) indeg[v] = g.in_degree(v);
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v)
+    if (indeg[v] == 0) frontier.push_back(v);
+
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).to;
+      if (--indeg[w] == 0) frontier.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // directed cycle
+  return order;
+}
+
+std::vector<std::int64_t> shortest_buffer_dist(const StreamGraph& g,
+                                               NodeId from) {
+  const auto order = topo_order(g);
+  SDAF_EXPECTS(order.has_value());
+  std::vector<std::int64_t> dist(g.node_count(), -1);
+  dist[from] = 0;
+  for (const NodeId v : *order) {
+    if (dist[v] < 0) continue;
+    for (const EdgeId e : g.out_edges(v)) {
+      const auto& ed = g.edge(e);
+      const std::int64_t cand = dist[v] + ed.buffer;
+      if (dist[ed.to] < 0 || cand < dist[ed.to]) dist[ed.to] = cand;
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int64_t> longest_hop_dist(const StreamGraph& g, NodeId from) {
+  const auto order = topo_order(g);
+  SDAF_EXPECTS(order.has_value());
+  std::vector<std::int64_t> dist(g.node_count(), -1);
+  dist[from] = 0;
+  for (const NodeId v : *order) {
+    if (dist[v] < 0) continue;
+    for (const EdgeId e : g.out_edges(v)) {
+      const auto& ed = g.edge(e);
+      dist[ed.to] = std::max(dist[ed.to], dist[v] + 1);
+    }
+  }
+  return dist;
+}
+
+std::vector<bool> reachable_from(const StreamGraph& g, NodeId from) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).to;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace sdaf

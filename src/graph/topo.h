@@ -1,0 +1,30 @@
+// Topological ordering and DAG path DP (shortest/longest source-to-node
+// distances), used throughout the interval algorithms and validation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+// Kahn topological sort. Empty optional iff the graph has a directed cycle.
+[[nodiscard]] std::optional<std::vector<NodeId>> topo_order(
+    const StreamGraph& g);
+
+// Shortest directed-path distance from `from` to every node, with edge
+// weights = buffer sizes. Unreachable nodes get -1. Requires acyclic graph.
+[[nodiscard]] std::vector<std::int64_t> shortest_buffer_dist(
+    const StreamGraph& g, NodeId from);
+
+// Longest directed path from `from` to every node counted in hops
+// (edge count). Unreachable nodes get -1. Requires acyclic graph.
+[[nodiscard]] std::vector<std::int64_t> longest_hop_dist(const StreamGraph& g,
+                                                         NodeId from);
+
+// Nodes reachable from `from` by directed paths (including `from`).
+[[nodiscard]] std::vector<bool> reachable_from(const StreamGraph& g,
+                                               NodeId from);
+
+}  // namespace sdaf

@@ -1,0 +1,40 @@
+// Undirected view of the streaming multigraph, plus biconnectivity
+// machinery. Deadlock analysis is driven by *undirected* simple cycles
+// (Section II), and the CS4 decomposition splits the graph into serial
+// components at articulation points (Lemma V.6).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+// One undirected incidence of an edge on a node.
+struct HalfEdge {
+  EdgeId edge = kNoEdge;
+  NodeId other = kNoNode;  // the endpoint across this edge
+  bool forward = true;     // true iff this node is the edge's tail (from)
+};
+
+class UndirectedView {
+ public:
+  explicit UndirectedView(const StreamGraph& g);
+
+  [[nodiscard]] const std::vector<HalfEdge>& incident(NodeId n) const;
+  [[nodiscard]] std::size_t degree(NodeId n) const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> incident_;
+};
+
+// Articulation points of the underlying undirected multigraph.
+[[nodiscard]] std::vector<NodeId> articulation_points(const StreamGraph& g);
+
+// Biconnected components, each given as a set of edge ids. Bridges appear as
+// single-edge components. Parallel edges between the same node pair always
+// share a component.
+[[nodiscard]] std::vector<std::vector<EdgeId>> biconnected_components(
+    const StreamGraph& g);
+
+}  // namespace sdaf

@@ -1,0 +1,56 @@
+#include "src/graph/validate.h"
+
+#include "src/graph/topo.h"
+#include "src/graph/undirected.h"
+
+namespace sdaf {
+
+bool is_acyclic(const StreamGraph& g) { return topo_order(g).has_value(); }
+
+bool is_weakly_connected(const StreamGraph& g) {
+  if (g.node_count() == 0) return false;
+  const UndirectedView u(g);
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const auto& half : u.incident(v)) {
+      if (!seen[half.other]) {
+        seen[half.other] = true;
+        ++visited;
+        stack.push_back(half.other);
+      }
+    }
+  }
+  return visited == g.node_count();
+}
+
+ValidationReport validate(const StreamGraph& g) {
+  ValidationReport r;
+  if (g.node_count() == 0) {
+    r.problems.emplace_back("graph has no nodes");
+    return r;
+  }
+  r.acyclic = is_acyclic(g);
+  if (!r.acyclic) r.problems.emplace_back("graph contains a directed cycle");
+  r.weakly_connected = is_weakly_connected(g);
+  if (!r.weakly_connected)
+    r.problems.emplace_back("graph is not weakly connected");
+
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  r.single_source = sources.size() == 1;
+  r.single_sink = sinks.size() == 1;
+  if (!r.single_source)
+    r.problems.push_back("graph has " + std::to_string(sources.size()) +
+                         " sources (analysis requires exactly 1)");
+  if (!r.single_sink)
+    r.problems.push_back("graph has " + std::to_string(sinks.size()) +
+                         " sinks (analysis requires exactly 1)");
+  return r;
+}
+
+}  // namespace sdaf

@@ -1,0 +1,31 @@
+// Structural validation of streaming topologies: the model requires a
+// weakly-connected DAG; the SP / CS4 analyses additionally require a unique
+// source and a unique sink.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+struct ValidationReport {
+  bool acyclic = false;
+  bool weakly_connected = false;
+  bool single_source = false;
+  bool single_sink = false;
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool valid_dag() const { return acyclic && weakly_connected; }
+  [[nodiscard]] bool two_terminal() const {
+    return valid_dag() && single_source && single_sink;
+  }
+};
+
+[[nodiscard]] ValidationReport validate(const StreamGraph& g);
+
+[[nodiscard]] bool is_acyclic(const StreamGraph& g);
+[[nodiscard]] bool is_weakly_connected(const StreamGraph& g);
+
+}  // namespace sdaf

@@ -1,0 +1,44 @@
+#include "src/intervals/interval_map.h"
+
+#include <sstream>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+const Rational& IntervalMap::operator[](EdgeId e) const {
+  SDAF_EXPECTS(e < intervals_.size());
+  return intervals_[e];
+}
+
+void IntervalMap::set(EdgeId e, Rational value) {
+  SDAF_EXPECTS(e < intervals_.size());
+  intervals_[e] = value;
+}
+
+void IntervalMap::update_min(EdgeId e, const Rational& value) {
+  SDAF_EXPECTS(e < intervals_.size());
+  intervals_[e] = min(intervals_[e], value);
+}
+
+bool IntervalMap::all_infinite() const { return finite_count() == 0; }
+
+std::size_t IntervalMap::finite_count() const {
+  std::size_t n = 0;
+  for (const auto& r : intervals_)
+    if (r.is_finite()) ++n;
+  return n;
+}
+
+std::string IntervalMap::to_string(const StreamGraph& g) const {
+  SDAF_EXPECTS(g.edge_count() == intervals_.size());
+  std::ostringstream os;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    os << g.node_name(ed.from) << " -> " << g.node_name(ed.to)
+       << "  buffer=" << ed.buffer << "  interval=" << intervals_[e] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdaf

@@ -1,0 +1,43 @@
+// Per-edge dummy intervals. The interval [e] of edge e is the largest number
+// of consecutive sequence numbers its producer may filter on e before a
+// dummy message must be sent (Section II.B). Infinity means e lies on no
+// undirected cycle constraint and never needs dummies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/support/rational.h"
+
+namespace sdaf {
+
+class IntervalMap {
+ public:
+  IntervalMap() = default;
+  explicit IntervalMap(std::size_t edge_count)
+      : intervals_(edge_count, Rational::infinity()) {}
+
+  [[nodiscard]] std::size_t size() const { return intervals_.size(); }
+
+  [[nodiscard]] const Rational& operator[](EdgeId e) const;
+
+  void set(EdgeId e, Rational value);
+  // [e] <- min([e], value): the only mutation the algorithms need.
+  void update_min(EdgeId e, const Rational& value);
+
+  [[nodiscard]] bool all_infinite() const;
+  [[nodiscard]] std::size_t finite_count() const;
+
+  // Human-readable edge-by-edge dump, for reports and test diagnostics.
+  [[nodiscard]] std::string to_string(const StreamGraph& g) const;
+
+  friend bool operator==(const IntervalMap& a, const IntervalMap& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+ private:
+  std::vector<Rational> intervals_;
+};
+
+}  // namespace sdaf

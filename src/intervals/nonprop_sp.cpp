@@ -1,0 +1,42 @@
+#include "src/intervals/nonprop_sp.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+void nonprop_internal(const SpTree& tree, const SpMetrics& metrics,
+                      const std::vector<SpTree::Index>& parents,
+                      SpTree::Index root, IntervalMap& out) {
+  for (const SpTree::Index leaf : tree.leaves_under(root)) {
+    const EdgeId e = tree.node(leaf).edge;
+    // Walk leaf -> root maintaining h(C, e) for the component C just left
+    // behind: series siblings extend the through-path, parallel ancestors
+    // contribute one cycle constraint each (paper Case 3).
+    std::int64_t hops_through = 1;
+    SpTree::Index cur = leaf;
+    while (cur != root) {
+      const SpTree::Index p = parents[cur];
+      SDAF_ASSERT(p >= 0);
+      const SpNode& pn = tree.node(p);
+      const SpTree::Index sibling = (pn.left == cur) ? pn.right : pn.left;
+      if (pn.kind == SpKind::Series) {
+        hops_through += metrics.longest_hops[sibling];
+      } else {
+        SDAF_ASSERT(pn.kind == SpKind::Parallel);
+        out.update_min(e, Rational(metrics.shortest_buffer[sibling]) /
+                              Rational(hops_through));
+      }
+      cur = p;
+    }
+  }
+}
+
+IntervalMap nonprop_intervals_sp(const StreamGraph& g, const SpTree& tree) {
+  const SpMetrics m = compute_sp_metrics(tree, g);
+  const auto parents = tree.parents();
+  IntervalMap ivals(g.edge_count());
+  nonprop_internal(tree, m, parents, tree.root(), ivals);
+  return ivals;
+}
+
+}  // namespace sdaf

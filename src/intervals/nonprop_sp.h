@@ -1,0 +1,35 @@
+// Dummy-interval computation for the *Non-Propagation Algorithm* on SP-DAGs
+// (Section IV.B). Every node emits dummies on its own schedule and received
+// dummies are never forwarded, so the interval divides a cycle's slack
+// among the hops of the path carrying it:
+//   [e] = min over cycles C containing e of L(C, e) / h(C, e),
+// where h(C, e) is the hop count of the longest directed path on C through
+// e. On an SP-DAG the minimum is realized at parallel compositions by
+// pairing the longest through-path on e's side with the sibling's shortest
+// buffer path, giving [e] = min over Pc ancestors P of
+//   L(sibling(P)) / h(child-of-P containing e, e).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/intervals/interval_map.h"
+#include "src/spdag/metrics.h"
+#include "src/spdag/sp_tree.h"
+
+namespace sdaf {
+
+// Paper Section IV.B; O(|G|^2) worst case (leaf-to-root walk per edge),
+// O(|G| log |G|) on balanced decompositions.
+[[nodiscard]] IntervalMap nonprop_intervals_sp(const StreamGraph& g,
+                                               const SpTree& tree);
+
+// Folds the Non-Propagation constraints of cycles *internal* to the
+// component rooted at `root` into `out`. Used per contracted skeleton
+// component by the CS4 driver; external (ladder-level) cycles are handled
+// by cs4/nonprop_ladder.
+void nonprop_internal(const SpTree& tree, const SpMetrics& metrics,
+                      const std::vector<SpTree::Index>& parents,
+                      SpTree::Index root, IntervalMap& out);
+
+}  // namespace sdaf

@@ -1,0 +1,85 @@
+#include "src/intervals/propagation_sp.h"
+
+#include <vector>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+void propagation_setivals(const SpTree& tree, const SpMetrics& metrics,
+                          SpTree::Index root, const Rational& v,
+                          IntervalMap& out) {
+  // Iterative SETIVALS. V is the tightest interval any cycle *external* to
+  // the component imposes on edges leaving the component's source
+  // (Claim IV.1).
+  struct Item {
+    SpTree::Index node;
+    Rational v;
+  };
+  std::vector<Item> stack{{root, v}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const SpNode& n = tree.node(item.node);
+    switch (n.kind) {
+      case SpKind::Leaf:
+        // Base case: with binary trees a multi-edge is a Pc chain, so the
+        // sibling-buffer minimum of the paper's base case has already been
+        // folded into V by the Parallel branch below.
+        out.set(n.edge, item.v);
+        break;
+      case SpKind::Parallel:
+        // New cycles pair an X->Y path in one child with one in the other;
+        // the tightest such constraint on a child's source-out edges is the
+        // sibling's shortest buffer-weighted path.
+        stack.push_back({n.left, min(item.v, Rational(metrics.shortest_buffer
+                                                          [n.right]))});
+        stack.push_back({n.right, min(item.v, Rational(metrics.shortest_buffer
+                                                           [n.left]))});
+        break;
+      case SpKind::Series:
+        // The junction is an articulation point: no cycle crosses it, so the
+        // left child keeps V (shares the parent's source) and the right
+        // child starts unconstrained.
+        stack.push_back({n.left, item.v});
+        stack.push_back({n.right, Rational::infinity()});
+        break;
+    }
+  }
+}
+
+IntervalMap propagation_intervals_sp(const StreamGraph& g,
+                                     const SpTree& tree) {
+  const SpMetrics m = compute_sp_metrics(tree, g);
+  IntervalMap ivals(g.edge_count());
+  propagation_setivals(tree, m, tree.root(), Rational::infinity(), ivals);
+  return ivals;
+}
+
+IntervalMap propagation_intervals_sp_naive(const StreamGraph& g,
+                                           const SpTree& tree) {
+  const SpMetrics m = compute_sp_metrics(tree, g);
+  IntervalMap ivals(g.edge_count());
+
+  // Post-order = ascending index order. Case 1 (multi-edge) and Case 2
+  // (series: no new cycles) need no work with single-edge leaves; Case 3
+  // re-scans each parallel component's edges out of its source.
+  for (SpTree::Index i = 0; i < static_cast<SpTree::Index>(tree.size());
+       ++i) {
+    const SpNode& n = tree.node(i);
+    if (n.kind != SpKind::Parallel) continue;
+    const NodeId x = n.source;
+    const auto update_side = [&](SpTree::Index side, std::int64_t sibling_l) {
+      for (const SpTree::Index li : tree.leaves_under(side)) {
+        const SpNode& leaf = tree.node(li);
+        if (g.edge(leaf.edge).from == x)
+          ivals.update_min(leaf.edge, Rational(sibling_l));
+      }
+    };
+    update_side(n.left, m.shortest_buffer[n.right]);
+    update_side(n.right, m.shortest_buffer[n.left]);
+  }
+  return ivals;
+}
+
+}  // namespace sdaf

@@ -1,0 +1,41 @@
+// Dummy-interval computation for the *Propagation Algorithm* on SP-DAGs
+// (Section IV.A). Under this algorithm only nodes with two outgoing edges on
+// some undirected cycle emit dummies, and dummies are forwarded by every
+// node that receives them. The interval of edge e out of node u is
+//   [e] = min over cycles C through e and a second out-edge of u
+//         of L(C, e),
+// the shortest buffer-weighted directed path on C leaving u on the other
+// side. In an SP-DAG the relevant cycles pair source-to-sink paths of
+// parallel compositions, giving the two algorithms below.
+#pragma once
+
+#include "src/graph/stream_graph.h"
+#include "src/intervals/interval_map.h"
+#include "src/spdag/metrics.h"
+#include "src/spdag/sp_tree.h"
+#include "src/support/rational.h"
+
+namespace sdaf {
+
+// Core of Algorithm 1: runs SETIVALS(root, v) over one component subtree,
+// folding `v` -- the tightest bound imposed by cycles *external* to the
+// component on edges leaving its source -- into every interval it sets.
+// Exposed separately because the CS4 driver calls it once per contracted
+// skeleton component with the ladder-level bound as `v`.
+void propagation_setivals(const SpTree& tree, const SpMetrics& metrics,
+                          SpTree::Index root, const Rational& v,
+                          IntervalMap& out);
+
+// Algorithm 1 of the paper (SETIVALS): single top-down pass threading the
+// external-cycle bound V through the decomposition tree. O(|G|).
+[[nodiscard]] IntervalMap propagation_intervals_sp(const StreamGraph& g,
+                                                   const SpTree& tree);
+
+// The paper's "naive" post-order variant (Cases 1-3 of Section IV.A): at
+// every parallel composition, re-scan the component's source-out edges and
+// fold in the sibling's shortest path. O(|G|^2) worst case; kept as the
+// ablation comparator for bench_sp_scaling.
+[[nodiscard]] IntervalMap propagation_intervals_sp_naive(const StreamGraph& g,
+                                                         const SpTree& tree);
+
+}  // namespace sdaf

@@ -1,0 +1,92 @@
+#include "src/runtime/channel.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::runtime {
+
+BoundedChannel::BoundedChannel(std::size_t capacity, RuntimeMonitor* monitor)
+    : capacity_(capacity), monitor_(monitor) {
+  SDAF_EXPECTS(capacity >= 1);
+}
+
+void BoundedChannel::set_producer_signal(ProducerSignal* signal) {
+  producer_signal_ = signal;
+}
+
+void BoundedChannel::record_push(const Message& m) {
+  if (m.kind == MessageKind::Data) ++stats_.data_pushed;
+  if (m.kind == MessageKind::Dummy) ++stats_.dummies_pushed;
+}
+
+bool BoundedChannel::push(Message m) {
+  std::unique_lock lock(mu_);
+  if (queue_.size() >= capacity_ && !aborted_) {
+    BlockedScope blocked(monitor_);
+    not_full_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || aborted_; });
+  }
+  if (aborted_) return false;
+  record_push(m);
+  queue_.push_back(std::move(m));
+  stats_.max_occupancy =
+      std::max(stats_.max_occupancy, static_cast<std::int64_t>(queue_.size()));
+  if (monitor_ != nullptr) monitor_->note_progress();
+  not_empty_.notify_one();
+  return true;
+}
+
+PushResult BoundedChannel::try_push(const Message& m) {
+  std::unique_lock lock(mu_);
+  if (aborted_) return PushResult::Aborted;
+  if (queue_.size() >= capacity_) return PushResult::Full;
+  record_push(m);
+  queue_.push_back(m);
+  stats_.max_occupancy =
+      std::max(stats_.max_occupancy, static_cast<std::int64_t>(queue_.size()));
+  if (monitor_ != nullptr) monitor_->note_progress();
+  not_empty_.notify_one();
+  return PushResult::Ok;
+}
+
+std::optional<Message> BoundedChannel::peek_wait() {
+  std::unique_lock lock(mu_);
+  if (queue_.empty() && !aborted_) {
+    BlockedScope blocked(monitor_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || aborted_; });
+  }
+  if (queue_.empty()) return std::nullopt;  // only possible when aborted
+  return queue_.front();
+}
+
+void BoundedChannel::pop() {
+  {
+    std::unique_lock lock(mu_);
+    SDAF_EXPECTS(!queue_.empty());
+    queue_.pop_front();
+    if (monitor_ != nullptr) monitor_->note_progress();
+    not_full_.notify_one();
+  }
+  if (producer_signal_ != nullptr) producer_signal_->bump();
+}
+
+void BoundedChannel::abort() {
+  {
+    std::unique_lock lock(mu_);
+    aborted_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+  if (producer_signal_ != nullptr) producer_signal_->bump(/*abort_flag=*/true);
+}
+
+bool BoundedChannel::aborted() const {
+  std::unique_lock lock(mu_);
+  return aborted_;
+}
+
+ChannelStats BoundedChannel::stats() const {
+  std::unique_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,90 @@
+// Bounded FIFO channel: the finite buffer of the paper's model. Exactly one
+// producer and one consumer thread per channel (the edge's endpoints).
+// Blocking operations report to the RuntimeMonitor so the watchdog can
+// certify deadlock; abort() releases all waiters, which then unwind.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/runtime/deadlock_detector.h"
+#include "src/runtime/message.h"
+
+namespace sdaf::runtime {
+
+struct ChannelStats {
+  std::uint64_t data_pushed = 0;
+  std::uint64_t dummies_pushed = 0;
+  std::int64_t max_occupancy = 0;
+};
+
+// Wakeup channel from a node's output channels back to the node: a firing's
+// outputs are delivered per-channel asynchronously (whatever fits goes out;
+// the rest is retried), so a producer blocked on one full channel must wake
+// when *any* of its channels frees space. The version counter closes the
+// check-then-wait race.
+struct ProducerSignal {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t version = 0;
+  bool aborted = false;
+
+  void bump(bool abort_flag = false) {
+    {
+      std::lock_guard lock(mu);
+      ++version;
+      if (abort_flag) aborted = true;
+    }
+    cv.notify_all();
+  }
+};
+
+enum class PushResult : std::uint8_t { Ok, Full, Aborted };
+
+class BoundedChannel {
+ public:
+  BoundedChannel(std::size_t capacity, RuntimeMonitor* monitor);
+
+  // Blocks while full. Returns false iff the channel was aborted.
+  [[nodiscard]] bool push(Message m);
+
+  // Non-blocking push used by the per-channel-asynchronous emission path;
+  // copies only on success.
+  [[nodiscard]] PushResult try_push(const Message& m);
+
+  // Registers the producing node's wakeup signal; bumped on every pop and
+  // on abort.
+  void set_producer_signal(ProducerSignal* signal);
+
+  // Blocks while empty; returns a copy of the head without removing it.
+  // Empty optional iff aborted.
+  [[nodiscard]] std::optional<Message> peek_wait();
+
+  // Removes the head. Precondition: a preceding peek_wait() by the (single)
+  // consumer observed a head, so the queue is non-empty.
+  void pop();
+
+  void abort();
+  [[nodiscard]] bool aborted() const;
+
+  [[nodiscard]] ChannelStats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  void record_push(const Message& m);
+
+  const std::size_t capacity_;
+  RuntimeMonitor* monitor_;
+  ProducerSignal* producer_signal_ = nullptr;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+  ChannelStats stats_;
+};
+
+}  // namespace sdaf::runtime

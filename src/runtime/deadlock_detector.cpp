@@ -1,0 +1,30 @@
+#include "src/runtime/deadlock_detector.h"
+
+#include <thread>
+
+namespace sdaf::runtime {
+
+bool run_watchdog(RuntimeMonitor& monitor, const std::atomic<bool>& stop,
+                  const WatchdogOptions& options,
+                  const std::function<void()>& on_deadlock) {
+  int suspicious_ticks = 0;
+  std::uint64_t last_progress = monitor.progress();
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(options.tick);
+    const int live = monitor.live();
+    const int blocked = monitor.blocked();
+    const std::uint64_t progress = monitor.progress();
+    if (live > 0 && blocked == live && progress == last_progress) {
+      if (++suspicious_ticks >= options.confirm_ticks) {
+        on_deadlock();
+        return true;
+      }
+    } else {
+      suspicious_ticks = 0;
+    }
+    last_progress = progress;
+  }
+  return false;
+}
+
+}  // namespace sdaf::runtime

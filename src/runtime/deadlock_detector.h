@@ -1,0 +1,71 @@
+// Precise deadlock detection for the threaded executor. Every channel
+// operation reports blocking and progress to a shared monitor; the watchdog
+// declares deadlock only when *every* live node thread is blocked and the
+// global progress counter has not moved across several confirmation samples.
+// Because a blocked thread can only be woken by another thread completing a
+// push or pop (which bumps the counter), this condition is stable: once all
+// live threads block with no progress, no future progress is possible.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace sdaf::runtime {
+
+class RuntimeMonitor {
+ public:
+  void thread_started() { live_.fetch_add(1, std::memory_order_relaxed); }
+  void thread_finished() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  void enter_blocked() { blocked_.fetch_add(1, std::memory_order_relaxed); }
+  void exit_blocked() { blocked_.fetch_sub(1, std::memory_order_relaxed); }
+
+  void note_progress() { progress_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int live() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int blocked() const {
+    return blocked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<int> blocked_{0};
+  std::atomic<int> live_{0};
+};
+
+struct WatchdogOptions {
+  std::chrono::milliseconds tick{2};
+  // Consecutive all-blocked/no-progress samples before declaring deadlock.
+  int confirm_ticks = 30;
+};
+
+// Runs until `stop` becomes true or deadlock is confirmed; on deadlock
+// invokes `on_deadlock` (which should abort all channels) and returns true.
+bool run_watchdog(RuntimeMonitor& monitor, const std::atomic<bool>& stop,
+                  const WatchdogOptions& options,
+                  const std::function<void()>& on_deadlock);
+
+// RAII guard for blocked sections.
+class BlockedScope {
+ public:
+  explicit BlockedScope(RuntimeMonitor* m) : m_(m) {
+    if (m_ != nullptr) m_->enter_blocked();
+  }
+  ~BlockedScope() {
+    if (m_ != nullptr) m_->exit_blocked();
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  RuntimeMonitor* m_;
+};
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,289 @@
+#include "src/runtime/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/support/contracts.h"
+#include "src/support/timer.h"
+
+namespace sdaf::runtime {
+
+std::uint64_t RunResult::total_dummies() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges) total += e.dummies;
+  return total;
+}
+
+std::uint64_t RunResult::total_data() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges) total += e.data;
+  return total;
+}
+
+Executor::Executor(const StreamGraph& g,
+                   std::vector<std::shared_ptr<Kernel>> kernels)
+    : graph_(g), kernels_(std::move(kernels)) {
+  SDAF_EXPECTS(kernels_.size() == g.node_count());
+  for (const auto& k : kernels_) SDAF_EXPECTS(k != nullptr);
+}
+
+namespace {
+
+// Per-node driver running on its own thread. A firing's outputs are
+// delivered per-channel asynchronously: everything that fits is pushed
+// immediately and the remainder retried whenever any output channel frees
+// space. Without this, a message for a starved channel could queue behind a
+// blocked push to a full one, creating a wait the paper's model does not
+// have (and that its intervals do not guard against).
+class NodeRunner {
+ public:
+  NodeRunner(const StreamGraph& g, NodeId node, Kernel& kernel,
+             std::vector<BoundedChannel*> ins,
+             std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
+             std::uint64_t num_inputs, RuntimeMonitor* monitor)
+      : kernel_(kernel),
+        ins_(std::move(ins)),
+        outs_(std::move(outs)),
+        wrapper_(std::move(wrapper)),
+        num_inputs_(num_inputs),
+        monitor_(monitor),
+        emitter_(outs_.size()) {
+    (void)g;
+    (void)node;
+  }
+
+  std::uint64_t fires = 0;
+  std::uint64_t sink_data = 0;
+
+  ProducerSignal& signal() { return signal_; }
+
+  void operator()() {
+    if (ins_.empty())
+      run_source();
+    else
+      run_interior();
+  }
+
+ private:
+  struct Pending {
+    BoundedChannel* channel;
+    Message message;
+  };
+
+  // Queues this firing's outputs: kernel data plus wrapper-mandated
+  // dummies. The wrapper is consulted exactly once per slot per seq.
+  void queue_outputs(std::uint64_t seq, bool any_input_dummy) {
+    for (std::size_t slot = 0; slot < outs_.size(); ++slot) {
+      const auto& v = emitter_.value(slot);
+      if (v.has_value()) {
+        (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
+        pending_.push_back({outs_[slot], Message::data(seq, *v)});
+      } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
+                                            any_input_dummy)) {
+        pending_.push_back({outs_[slot], Message::dummy(seq)});
+      }
+    }
+  }
+
+  void queue_eos() {
+    for (auto* out : outs_) pending_.push_back({out, Message::eos()});
+  }
+
+  // Delivers all pending messages; false iff aborted.
+  bool deliver_pending() {
+    while (!pending_.empty()) {
+      std::uint64_t version;
+      {
+        std::lock_guard lock(signal_.mu);
+        if (signal_.aborted) return false;
+        version = signal_.version;
+      }
+      bool progress = false;
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        switch (it->channel->try_push(it->message)) {
+          case PushResult::Ok:
+            it = pending_.erase(it);
+            progress = true;
+            break;
+          case PushResult::Aborted:
+            return false;
+          case PushResult::Full:
+            ++it;
+            break;
+        }
+      }
+      if (pending_.empty()) break;
+      if (!progress) {
+        std::unique_lock lock(signal_.mu);
+        if (signal_.aborted) return false;
+        if (signal_.version == version) {
+          BlockedScope blocked(monitor_);
+          signal_.cv.wait(lock, [&] {
+            return signal_.version != version || signal_.aborted;
+          });
+        }
+        if (signal_.aborted) return false;
+      }
+    }
+    return true;
+  }
+
+  void run_source() {
+    const std::vector<std::optional<Value>> no_inputs;
+    for (std::uint64_t seq = 0; seq < num_inputs_; ++seq) {
+      emitter_.reset();
+      kernel_.fire(seq, no_inputs, emitter_);
+      ++fires;
+      queue_outputs(seq, /*any_input_dummy=*/false);
+      if (!deliver_pending()) return;
+    }
+    queue_eos();
+    (void)deliver_pending();
+  }
+
+  void run_interior() {
+    std::vector<std::optional<Value>> inputs(ins_.size());
+    for (;;) {
+      // Alignment: wait for a message at the head of every input channel;
+      // the next accepted sequence number is the minimum head.
+      std::uint64_t min_seq = kEosSeq;
+      heads_.resize(ins_.size());
+      for (std::size_t j = 0; j < ins_.size(); ++j) {
+        auto head = ins_[j]->peek_wait();
+        if (!head.has_value()) return;  // aborted
+        heads_[j] = *head;
+        min_seq = std::min(min_seq, heads_[j].seq);
+      }
+      if (min_seq == kEosSeq) {
+        queue_eos();
+        (void)deliver_pending();
+        return;
+      }
+      bool any_dummy = false;
+      bool any_data = false;
+      for (std::size_t j = 0; j < ins_.size(); ++j) {
+        inputs[j].reset();
+        if (heads_[j].seq != min_seq) continue;  // upstream filtered min_seq
+        if (heads_[j].kind == MessageKind::Data) {
+          inputs[j] = heads_[j].payload;
+          any_data = true;
+          ++sink_data;
+        } else {
+          any_dummy = true;
+        }
+        ins_[j]->pop();
+      }
+      emitter_.reset();
+      if (any_data) {
+        kernel_.fire(min_seq, inputs, emitter_);
+        ++fires;
+      }
+      queue_outputs(min_seq, any_dummy);
+      if (!deliver_pending()) return;
+    }
+  }
+
+  Kernel& kernel_;
+  std::vector<BoundedChannel*> ins_;
+  std::vector<BoundedChannel*> outs_;
+  NodeWrapper wrapper_;
+  std::uint64_t num_inputs_;
+  RuntimeMonitor* monitor_;
+  Emitter emitter_;
+  std::vector<Message> heads_;
+  std::vector<Pending> pending_;
+  ProducerSignal signal_;
+};
+
+}  // namespace
+
+RunResult Executor::run(const ExecutorOptions& options) {
+  const std::size_t edges = graph_.edge_count();
+  const std::size_t nodes = graph_.node_count();
+  std::vector<std::int64_t> intervals = options.intervals;
+  if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
+  SDAF_EXPECTS(intervals.size() == edges);
+
+  std::vector<std::uint8_t> forward = options.forward_on_filter;
+  if (forward.empty()) forward.assign(edges, 0);
+  SDAF_EXPECTS(forward.size() == edges);
+
+  RuntimeMonitor monitor;
+  std::vector<std::unique_ptr<BoundedChannel>> channels;
+  channels.reserve(edges);
+  for (EdgeId e = 0; e < edges; ++e)
+    channels.push_back(std::make_unique<BoundedChannel>(
+        static_cast<std::size_t>(graph_.edge(e).buffer), &monitor));
+
+  std::vector<std::unique_ptr<NodeRunner>> runners;
+  runners.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    std::vector<BoundedChannel*> ins;
+    for (const EdgeId e : graph_.in_edges(n)) ins.push_back(channels[e].get());
+    std::vector<BoundedChannel*> outs;
+    std::vector<std::int64_t> out_intervals;
+    std::vector<std::uint8_t> out_forward;
+    for (const EdgeId e : graph_.out_edges(n)) {
+      outs.push_back(channels[e].get());
+      out_intervals.push_back(intervals[e]);
+      out_forward.push_back(forward[e]);
+    }
+    runners.push_back(std::make_unique<NodeRunner>(
+        graph_, n, *kernels_[n], std::move(ins), std::move(outs),
+        NodeWrapper(options.mode, std::move(out_intervals),
+                    std::move(out_forward)),
+        options.num_inputs, &monitor));
+    for (const EdgeId e : graph_.out_edges(n))
+      channels[e]->set_producer_signal(&runners.back()->signal());
+  }
+
+  Stopwatch clock;
+  std::atomic<bool> stop_watchdog{false};
+  std::vector<std::thread> threads;
+  threads.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    monitor.thread_started();
+    threads.emplace_back([&, n] {
+      (*runners[n])();
+      monitor.thread_finished();
+      // A finishing thread is progress: without this, the watchdog could
+      // see a stale all-blocked snapshot while a peer exits.
+      monitor.note_progress();
+    });
+  }
+
+  bool deadlocked = false;
+  std::thread watchdog([&] {
+    deadlocked = run_watchdog(
+        monitor, stop_watchdog,
+        WatchdogOptions{options.watchdog_tick, options.deadlock_confirm_ticks},
+        [&] {
+          for (auto& ch : channels) ch->abort();
+        });
+  });
+
+  for (auto& t : threads) t.join();
+  stop_watchdog.store(true);
+  watchdog.join();
+
+  RunResult result;
+  result.deadlocked = deadlocked;
+  result.completed = !deadlocked;
+  result.wall_seconds = clock.elapsed_seconds();
+  result.edges.resize(edges);
+  for (EdgeId e = 0; e < edges; ++e) {
+    const auto s = channels[e]->stats();
+    result.edges[e] = EdgeTraffic{s.data_pushed, s.dummies_pushed,
+                                  s.max_occupancy};
+  }
+  result.fires.resize(nodes);
+  result.sink_data.resize(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    result.fires[n] = runners[n]->fires;
+    result.sink_data[n] = runners[n]->sink_data;
+  }
+  return result;
+}
+
+}  // namespace sdaf::runtime

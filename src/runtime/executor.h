@@ -1,0 +1,69 @@
+// Threaded streaming executor: one thread per node, one bounded channel per
+// edge, sequence-number alignment at joins, dummy wrappers around every
+// kernel, and a watchdog that certifies deadlock. This is the "runtime
+// system" of the paper's compiler/runtime pair.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/kernel.h"
+#include "src/runtime/wrapper.h"
+
+namespace sdaf::runtime {
+
+struct ExecutorOptions {
+  DummyMode mode = DummyMode::Propagation;
+  // Per-edge dummy thresholds (kInfiniteInterval = none). Empty = all
+  // infinite.
+  std::vector<std::int64_t> intervals;
+  // Propagation mode: per-edge flags marking interior cycle edges whose
+  // filtered data must be forwarded as dummies (core::CompileResult::
+  // forward_on_filter). Empty = none.
+  std::vector<std::uint8_t> forward_on_filter;
+  // Number of sequence numbers each source generates (0 .. num_inputs-1).
+  std::uint64_t num_inputs = 0;
+  std::chrono::milliseconds watchdog_tick{2};
+  int deadlock_confirm_ticks = 30;
+};
+
+struct EdgeTraffic {
+  std::uint64_t data = 0;
+  std::uint64_t dummies = 0;
+  std::int64_t max_occupancy = 0;
+};
+
+struct RunResult {
+  bool completed = false;
+  bool deadlocked = false;
+  double wall_seconds = 0.0;
+  std::vector<EdgeTraffic> edges;       // per edge id
+  std::vector<std::uint64_t> fires;     // kernel invocations per node
+  std::vector<std::uint64_t> sink_data; // data messages consumed per node
+
+  [[nodiscard]] std::uint64_t total_dummies() const;
+  [[nodiscard]] std::uint64_t total_data() const;
+};
+
+class Executor {
+ public:
+  // kernels[n] drives node n. Kernels are invoked from the node's own
+  // thread only; a kernel instance must not be shared between nodes unless
+  // it is thread-safe.
+  Executor(const StreamGraph& g,
+           std::vector<std::shared_ptr<Kernel>> kernels);
+
+  // Runs one execution to completion or deadlock. May be called repeatedly;
+  // kernels should be stateless across runs (wrapper state is per-run).
+  [[nodiscard]] RunResult run(const ExecutorOptions& options);
+
+ private:
+  const StreamGraph& graph_;
+  std::vector<std::shared_ptr<Kernel>> kernels_;
+};
+
+}  // namespace sdaf::runtime

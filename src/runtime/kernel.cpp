@@ -1,0 +1,58 @@
+#include "src/runtime/kernel.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::runtime {
+
+void Emitter::emit(std::size_t slot, Value v) {
+  SDAF_EXPECTS(slot < values_.size());
+  SDAF_EXPECTS(!values_[slot].has_value());  // one message per seq per edge
+  values_[slot] = std::move(v);
+}
+
+const std::optional<Value>& Emitter::value(std::size_t slot) const {
+  SDAF_EXPECTS(slot < values_.size());
+  return values_[slot];
+}
+
+void Emitter::reset() {
+  for (auto& v : values_) v.reset();
+}
+
+namespace {
+
+Value first_present_or_seq(std::uint64_t seq,
+                           const std::vector<std::optional<Value>>& inputs) {
+  for (const auto& in : inputs)
+    if (in.has_value()) return *in;
+  return Value(static_cast<std::int64_t>(seq));
+}
+
+}  // namespace
+
+void RelayKernel::fire(std::uint64_t seq,
+                       const std::vector<std::optional<Value>>& inputs,
+                       Emitter& out) {
+  const Value v = first_present_or_seq(seq, inputs);
+  for (std::size_t slot = 0; slot < out.slots(); ++slot)
+    if (pass_(seq, slot)) out.emit(slot, v);
+}
+
+void WorkKernel::fire(std::uint64_t seq,
+                      const std::vector<std::optional<Value>>& inputs,
+                      Emitter& out) {
+  // Volatile sink defeats the optimizer; the loop models per-item compute.
+  volatile std::uint64_t acc = seq;
+  for (std::uint64_t i = 0; i < spin_; ++i) acc = acc * 2862933555777941757ULL + 3037000493ULL;
+  (void)acc;
+  const Value v = first_present_or_seq(seq, inputs);
+  for (std::size_t slot = 0; slot < out.slots(); ++slot)
+    if (pass_(seq, slot)) out.emit(slot, v);
+}
+
+std::shared_ptr<Kernel> pass_through_kernel() {
+  return std::make_shared<RelayKernel>(
+      [](std::uint64_t, std::size_t) { return true; });
+}
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,96 @@
+// Kernel: the user-supplied computation at a node. The wrapper machinery
+// (sequence-number alignment, dummy emission and propagation) is entirely
+// outside the kernel, exactly as the paper prescribes: "either algorithm
+// can be implemented as a wrapper around each computational node ... with
+// no participation by the application programmer".
+//
+// Firing contract: fire(seq, inputs, emitter) is called once per accepted
+// sequence number. inputs[j] corresponds to in-edge slot j; an empty
+// optional means the producer filtered this sequence number with respect to
+// that channel (or a dummy stood in for it). Source nodes are fired with an
+// empty input vector for each generated sequence number. Emitting on a
+// subset of output slots *is* filtering.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/runtime/message.h"
+
+namespace sdaf::runtime {
+
+class Emitter {
+ public:
+  explicit Emitter(std::size_t out_slots) : values_(out_slots) {}
+
+  void emit(std::size_t slot, Value v);
+
+  [[nodiscard]] std::size_t slots() const { return values_.size(); }
+  [[nodiscard]] const std::optional<Value>& value(std::size_t slot) const;
+  void reset();
+
+ private:
+  std::vector<std::optional<Value>> values_;
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual void fire(std::uint64_t seq,
+                    const std::vector<std::optional<Value>>& inputs,
+                    Emitter& out) = 0;
+};
+
+// Kernel from a lambda.
+class LambdaKernel final : public Kernel {
+ public:
+  using Fn = std::function<void(std::uint64_t,
+                                const std::vector<std::optional<Value>>&,
+                                Emitter&)>;
+  explicit LambdaKernel(Fn fn) : fn_(std::move(fn)) {}
+  void fire(std::uint64_t seq,
+            const std::vector<std::optional<Value>>& inputs,
+            Emitter& out) override {
+    fn_(seq, inputs, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+// Forwards the first present input (or, for sources, a fresh value carrying
+// the sequence number) to every output slot the predicate admits. The
+// predicate *is* the filtering behaviour: pass(seq, slot) == false filters
+// the item with respect to that channel.
+class RelayKernel final : public Kernel {
+ public:
+  using FilterFn = std::function<bool(std::uint64_t seq, std::size_t slot)>;
+  explicit RelayKernel(FilterFn pass) : pass_(std::move(pass)) {}
+  void fire(std::uint64_t seq,
+            const std::vector<std::optional<Value>>& inputs,
+            Emitter& out) override;
+
+ private:
+  FilterFn pass_;
+};
+
+// A relay that additionally burns `spin_iterations` of arithmetic per
+// firing; used by the throughput benchmarks to model real per-item work.
+class WorkKernel final : public Kernel {
+ public:
+  WorkKernel(std::uint64_t spin_iterations, RelayKernel::FilterFn pass)
+      : spin_(spin_iterations), pass_(std::move(pass)) {}
+  void fire(std::uint64_t seq,
+            const std::vector<std::optional<Value>>& inputs,
+            Emitter& out) override;
+
+ private:
+  std::uint64_t spin_;
+  RelayKernel::FilterFn pass_;
+};
+
+[[nodiscard]] std::shared_ptr<Kernel> pass_through_kernel();
+
+}  // namespace sdaf::runtime

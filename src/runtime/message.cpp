@@ -1,0 +1,17 @@
+#include "src/runtime/message.h"
+
+namespace sdaf::runtime {
+
+std::string to_string(const Message& m) {
+  switch (m.kind) {
+    case MessageKind::Data:
+      return "data(" + std::to_string(m.seq) + ")";
+    case MessageKind::Dummy:
+      return "dummy(" + std::to_string(m.seq) + ")";
+    case MessageKind::Eos:
+      return "eos";
+  }
+  return "?";
+}
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,56 @@
+// Messages of the streaming model (Section II.A): every message carries a
+// monotonically increasing sequence number; dummy messages are content-free
+// and exist only to advance sequence-number knowledge downstream; EOS is an
+// implementation-level flood that lets executions terminate cleanly (it
+// behaves like a message with infinite sequence number and so never blocks
+// alignment).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace sdaf::runtime {
+
+// Cheap type-erased payload.
+class Value {
+ public:
+  Value() = default;
+  template <typename T>
+  explicit Value(T v) : v_(std::move(v)) {}
+
+  [[nodiscard]] bool has_value() const { return v_.has_value(); }
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::any_cast<const T&>(v_);
+  }
+
+ private:
+  std::any v_;
+};
+
+inline constexpr std::uint64_t kEosSeq =
+    std::numeric_limits<std::uint64_t>::max();
+
+enum class MessageKind : std::uint8_t { Data, Dummy, Eos };
+
+struct Message {
+  std::uint64_t seq = 0;
+  MessageKind kind = MessageKind::Data;
+  Value payload;
+
+  static Message data(std::uint64_t seq, Value v) {
+    return Message{seq, MessageKind::Data, std::move(v)};
+  }
+  static Message dummy(std::uint64_t seq) {
+    return Message{seq, MessageKind::Dummy, {}};
+  }
+  static Message eos() { return Message{kEosSeq, MessageKind::Eos, {}}; }
+};
+
+[[nodiscard]] std::string to_string(const Message& m);
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,75 @@
+#include "src/runtime/trace.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::runtime {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Fire:
+      return "fire";
+    case TraceKind::DataSent:
+      return "data_sent";
+    case TraceKind::DummySent:
+      return "dummy_sent";
+    case TraceKind::EosSent:
+      return "eos_sent";
+    case TraceKind::DataConsumed:
+      return "data_consumed";
+    case TraceKind::DummyConsumed:
+      return "dummy_consumed";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  return "t=" + std::to_string(tick) + " node=" + std::to_string(node) +
+         " " + runtime::to_string(kind) + " slot=" + std::to_string(slot) +
+         " seq=" + std::to_string(seq);
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  SDAF_EXPECTS(capacity >= 1);
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard lock(mu_);
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::filter(TraceKind kind) const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::for_node(NodeId node) const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.node == node) out.push_back(e);
+  return out;
+}
+
+}  // namespace sdaf::runtime

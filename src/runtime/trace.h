@@ -1,0 +1,62 @@
+// Bounded execution tracing: a ring buffer of per-message events
+// (firings, data/dummy emissions, consumptions) that the deterministic
+// simulator records into on request. Traces make protocol behaviour --
+// who originated a dummy, where it was forwarded, what a node consumed at
+// a given sequence number -- directly inspectable in tests and while
+// debugging wedged topologies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf::runtime {
+
+enum class TraceKind : std::uint8_t {
+  Fire,           // kernel invocation (seq accepted with data)
+  DataSent,       // data emitted on an out-slot
+  DummySent,      // dummy emitted (originated or forwarded)
+  EosSent,        // end-of-stream flooded on an out-slot
+  DataConsumed,   // data popped from an in-slot
+  DummyConsumed,  // dummy popped from an in-slot
+};
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::Fire;
+  NodeId node = kNoNode;
+  std::size_t slot = 0;  // out-slot for *Sent, in-slot for *Consumed
+  std::uint64_t seq = 0;
+  std::uint64_t tick = 0;  // simulator sweep number
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Thread-safe bounded recorder; oldest events are dropped when full.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity);
+
+  void record(TraceEvent event);
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t size() const;
+
+  // Events matching a predicate, convenience for tests.
+  [[nodiscard]] std::vector<TraceEvent> filter(TraceKind kind) const;
+  [[nodiscard]] std::vector<TraceEvent> for_node(NodeId node) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,45 @@
+#include "src/runtime/wrapper.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::runtime {
+
+NodeWrapper::NodeWrapper(DummyMode mode,
+                         std::vector<std::int64_t> out_intervals,
+                         std::vector<std::uint8_t> forward_on_filter)
+    : mode_(mode),
+      intervals_(std::move(out_intervals)),
+      forward_on_filter_(std::move(forward_on_filter)),
+      last_sent_(intervals_.size(), -1) {
+  for (const auto iv : intervals_) SDAF_EXPECTS(iv >= 1);
+  if (forward_on_filter_.empty())
+    forward_on_filter_.assign(intervals_.size(), 0);
+  SDAF_EXPECTS(forward_on_filter_.size() == intervals_.size());
+}
+
+bool NodeWrapper::should_send_dummy(std::size_t slot, std::uint64_t seq,
+                                    bool sent_data, bool any_input_dummy) {
+  SDAF_EXPECTS(slot < last_sent_.size());
+  const auto iseq = static_cast<std::int64_t>(seq);
+  if (sent_data) {
+    last_sent_[slot] = iseq;
+    return false;
+  }
+  if (mode_ == DummyMode::None) return false;
+  if (mode_ == DummyMode::Propagation &&
+      (any_input_dummy || forward_on_filter_[slot] != 0)) {
+    // Forced propagation: received dummies may not be filtered, and on
+    // interior cycle edges neither may the *absence* created by filtering
+    // data -- the sequence number must travel on at zero added gap.
+    last_sent_[slot] = iseq;
+    return true;
+  }
+  if (intervals_[slot] != kInfiniteInterval &&
+      iseq - last_sent_[slot] >= intervals_[slot]) {
+    last_sent_[slot] = iseq;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,62 @@
+// The dummy-message wrappers of Section II.B, as pure decision logic shared
+// verbatim by the threaded executor and the deterministic simulator.
+//
+// The silence gap is measured in *sequence numbers*, not firings: a node
+// only fires when messages arrive, and arrivals are sparse exactly when
+// upstream filters, so counting firings would let the effective gap
+// multiply hop over hop (and messages die out along a path). Measured in
+// sequence numbers the gap grows only *additively*: each hop adds at most
+// its own interval, which is precisely why the Non-Propagation intervals
+// divide the cycle budget L by the hop count h (Section II.B), and why the
+// Propagation Algorithm needs no division -- forwarding happens at the
+// same sequence number, adding zero gap per hop.
+//
+// Propagation Algorithm: only edges with finite intervals *originate*
+// dummies (after [e] silent sequence numbers), but any node that consumed a
+// dummy -- or filtered data on an interior cycle edge -- must forward one
+// on every output channel it did not send data on.
+//
+// Non-Propagation Algorithm: every edge with a finite interval originates
+// dummies on its own schedule; received dummies only serve alignment and
+// are never forwarded.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sdaf::runtime {
+
+enum class DummyMode : std::uint8_t { None, Propagation, NonPropagation };
+
+// Matches core::kNoDummyInterval numerically; edges with this threshold
+// never originate dummies.
+inline constexpr std::int64_t kInfiniteInterval =
+    std::numeric_limits<std::int64_t>::max();
+
+class NodeWrapper {
+ public:
+  // `forward_on_filter[slot]`: Propagation mode only -- the slot's edge
+  // lies on a cycle but has no scheduled interval (an interior cycle edge),
+  // so sequence-number knowledge must be forwarded whenever the node
+  // filters data on it; otherwise interior filtering re-creates the
+  // deadlock the branch-node schedules cannot see.
+  NodeWrapper(DummyMode mode, std::vector<std::int64_t> out_intervals,
+              std::vector<std::uint8_t> forward_on_filter = {});
+
+  // Called once per accepted sequence number per output slot, after the
+  // kernel fired (or the node aligned a pure-dummy firing). Returns true
+  // iff a dummy must be emitted on this slot for sequence number `seq`.
+  [[nodiscard]] bool should_send_dummy(std::size_t slot, std::uint64_t seq,
+                                       bool sent_data, bool any_input_dummy);
+
+  [[nodiscard]] DummyMode mode() const { return mode_; }
+
+ private:
+  DummyMode mode_;
+  std::vector<std::int64_t> intervals_;
+  std::vector<std::uint8_t> forward_on_filter_;
+  std::vector<std::int64_t> last_sent_;  // last seq emitted per slot; -1 none
+};
+
+}  // namespace sdaf::runtime

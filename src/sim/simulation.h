@@ -1,0 +1,60 @@
+// Deterministic single-threaded simulator of the identical streaming
+// semantics as runtime::Executor: same alignment rule, same wrappers, same
+// blocking structure (nodes stall mid-emission on a full channel, holding
+// already-consumed inputs). Deadlock is detected exactly -- a full
+// round-robin sweep with no progress while work remains -- with no timers,
+// making the traffic and deadlock benchmarks reproducible on any machine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/kernel.h"
+#include "src/runtime/trace.h"
+#include "src/runtime/wrapper.h"
+
+namespace sdaf::sim {
+
+struct SimOptions {
+  runtime::DummyMode mode = runtime::DummyMode::Propagation;
+  std::vector<std::int64_t> intervals;  // per edge; empty = all infinite
+  std::vector<std::uint8_t> forward_on_filter;  // per edge; empty = none
+  std::uint64_t num_inputs = 0;
+  // Safety valve against harness bugs; a legitimate run finishes far below.
+  std::uint64_t max_sweeps = 1u << 30;
+  // Optional event recorder (not owned); see runtime/trace.h.
+  runtime::Tracer* tracer = nullptr;
+};
+
+struct SimResult {
+  bool completed = false;
+  bool deadlocked = false;
+  std::uint64_t sweeps = 0;
+  std::vector<runtime::EdgeTraffic> edges;
+  std::vector<std::uint64_t> fires;
+  std::vector<std::uint64_t> sink_data;
+  // On deadlock: human-readable channel/node state for diagnosis.
+  std::string state_dump;
+
+  [[nodiscard]] std::uint64_t total_dummies() const;
+  [[nodiscard]] std::uint64_t total_data() const;
+};
+
+class Simulation {
+ public:
+  Simulation(const StreamGraph& g,
+             std::vector<std::shared_ptr<runtime::Kernel>> kernels);
+
+  [[nodiscard]] SimResult run(const SimOptions& options);
+
+ private:
+  const StreamGraph& graph_;
+  std::vector<std::shared_ptr<runtime::Kernel>> kernels_;
+};
+
+}  // namespace sdaf::sim

@@ -1,0 +1,59 @@
+#include "src/spdag/metrics.h"
+
+#include <algorithm>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+SpMetrics compute_sp_metrics(const SpTree& tree, const StreamGraph& g) {
+  SpMetrics m;
+  m.shortest_buffer.resize(tree.size());
+  m.longest_hops.resize(tree.size());
+  // Ascending index order is a post-order (children-first construction).
+  for (SpTree::Index i = 0; i < static_cast<SpTree::Index>(tree.size()); ++i) {
+    const SpNode& n = tree.node(i);
+    switch (n.kind) {
+      case SpKind::Leaf:
+        m.shortest_buffer[i] = g.edge(n.edge).buffer;
+        m.longest_hops[i] = 1;
+        break;
+      case SpKind::Series:
+        m.shortest_buffer[i] =
+            m.shortest_buffer[n.left] + m.shortest_buffer[n.right];
+        m.longest_hops[i] = m.longest_hops[n.left] + m.longest_hops[n.right];
+        break;
+      case SpKind::Parallel:
+        m.shortest_buffer[i] =
+            std::min(m.shortest_buffer[n.left], m.shortest_buffer[n.right]);
+        m.longest_hops[i] =
+            std::max(m.longest_hops[n.left], m.longest_hops[n.right]);
+        break;
+    }
+  }
+  return m;
+}
+
+std::int64_t longest_hops_through(const SpTree& tree, const SpMetrics& metrics,
+                                  const std::vector<SpTree::Index>& parents,
+                                  SpTree::Index leaf, SpTree::Index subtree) {
+  SDAF_EXPECTS(tree.node(leaf).kind == SpKind::Leaf);
+  std::int64_t hops = 1;
+  SpTree::Index cur = leaf;
+  while (cur != subtree) {
+    const SpTree::Index p = parents[cur];
+    SDAF_EXPECTS(p >= 0);  // `leaf` must lie under `subtree`
+    const SpNode& pn = tree.node(p);
+    if (pn.kind == SpKind::Series) {
+      const SpTree::Index sibling = (pn.left == cur) ? pn.right : pn.left;
+      // Any path through the leaf must cross the sibling component too;
+      // extend with the sibling's own longest path.
+      hops += metrics.longest_hops[sibling];
+    }
+    // Parallel parents leave the path through the leaf untouched.
+    cur = p;
+  }
+  return hops;
+}
+
+}  // namespace sdaf

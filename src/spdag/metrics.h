@@ -1,0 +1,36 @@
+// Per-component metrics over SP decomposition trees (Section IV):
+//   L(H): length of a shortest source-to-sink directed path, with buffer
+//         sizes as edge weights -- the quantity dummy intervals minimize;
+//   h(H): hop count of a longest source-to-sink directed path -- the
+//         divisor in Non-Propagation intervals.
+// Both follow the paper's recurrences: L(Sc)=L1+L2, L(Pc)=min(L1,L2);
+// h(Sc)=h1+h2, h(Pc)=max(h1,h2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/spdag/sp_tree.h"
+
+namespace sdaf {
+
+struct SpMetrics {
+  // Indexed by SpTree node index; valid for every node in the tree (the
+  // tree may hold a forest, e.g. the component trees of a ladder skeleton).
+  std::vector<std::int64_t> shortest_buffer;  // L
+  std::vector<std::int64_t> longest_hops;     // h
+};
+
+[[nodiscard]] SpMetrics compute_sp_metrics(const SpTree& tree,
+                                           const StreamGraph& g);
+
+// h(H, e): hop count of a longest source-to-sink path of component `subtree`
+// passing through leaf `leaf` (paper step 4 of the Non-Propagation
+// procedure). O(depth) via a leaf-to-root walk.
+[[nodiscard]] std::int64_t longest_hops_through(
+    const SpTree& tree, const SpMetrics& metrics,
+    const std::vector<SpTree::Index>& parents, SpTree::Index leaf,
+    SpTree::Index subtree);
+
+}  // namespace sdaf

@@ -1,0 +1,164 @@
+#include "src/spdag/recognizer.h"
+
+#include <unordered_map>
+
+#include "src/graph/validate.h"
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+namespace {
+
+// Dynamic multigraph of super-edges with lazy deletion; each live super-edge
+// carries its SP decomposition tree.
+class Reducer {
+ public:
+  Reducer(const StreamGraph& g, NodeId source, NodeId sink)
+      : g_(g),
+        source_(source),
+        sink_(sink),
+        in_list_(g.node_count()),
+        out_list_(g.node_count()),
+        live_in_(g.node_count(), 0),
+        live_out_(g.node_count(), 0) {}
+
+  SpReduction run() {
+    for (EdgeId e = 0; e < g_.edge_count(); ++e) {
+      const auto& ed = g_.edge(e);
+      insert(ed.from, ed.to, out_.tree.add_leaf(e, ed.from, ed.to));
+    }
+    for (NodeId v = 0; v < g_.node_count(); ++v) worklist_.push_back(v);
+
+    while (!worklist_.empty()) {
+      const NodeId v = worklist_.back();
+      worklist_.pop_back();
+      try_series(v);
+    }
+
+    for (const auto& se : edges_)
+      if (se.alive)
+        out_.remainder.push_back(SuperEdge{se.from, se.to, se.tree});
+    return std::move(out_);
+  }
+
+ private:
+  struct SE {
+    NodeId from;
+    NodeId to;
+    SpTree::Index tree;
+    bool alive;
+  };
+
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  void insert(NodeId from, NodeId to, SpTree::Index tree) {
+    const auto key = pair_key(from, to);
+    if (const auto it = by_pair_.find(key); it != by_pair_.end()) {
+      SE& existing = edges_[it->second];
+      SDAF_ASSERT(existing.alive);
+      existing.tree = out_.tree.add_parallel(existing.tree, tree);
+      // Degrees unchanged; a parallel merge can still enable series
+      // reductions at the endpoints (their live degree dropped when the
+      // series reduction that produced `tree` retired its edges).
+    } else {
+      const auto idx = static_cast<std::uint32_t>(edges_.size());
+      edges_.push_back(SE{from, to, tree, true});
+      by_pair_.emplace(key, idx);
+      out_list_[from].push_back(idx);
+      in_list_[to].push_back(idx);
+      ++live_out_[from];
+      ++live_in_[to];
+    }
+    worklist_.push_back(from);
+    worklist_.push_back(to);
+  }
+
+  void retire(std::uint32_t idx) {
+    SE& se = edges_[idx];
+    SDAF_ASSERT(se.alive);
+    se.alive = false;
+    --live_out_[se.from];
+    --live_in_[se.to];
+    const auto it = by_pair_.find(pair_key(se.from, se.to));
+    if (it != by_pair_.end() && it->second == idx) by_pair_.erase(it);
+  }
+
+  // Returns the unique live edge in `list`, pruning dead entries.
+  std::uint32_t sole_live(std::vector<std::uint32_t>& list) {
+    std::uint32_t found = static_cast<std::uint32_t>(-1);
+    std::size_t w = 0;
+    for (const std::uint32_t idx : list) {
+      if (!edges_[idx].alive) continue;
+      list[w++] = idx;
+      found = idx;
+    }
+    list.resize(w);
+    SDAF_ASSERT(w == 1);
+    return found;
+  }
+
+  void try_series(NodeId v) {
+    if (v == source_ || v == sink_) return;
+    if (live_in_[v] != 1 || live_out_[v] != 1) return;
+    const std::uint32_t a = sole_live(in_list_[v]);
+    const std::uint32_t b = sole_live(out_list_[v]);
+    const NodeId u = edges_[a].from;
+    const NodeId w = edges_[b].to;
+    SDAF_ASSERT(u != w);  // u -> v -> u would be a directed cycle
+    const SpTree::Index merged =
+        out_.tree.add_series(edges_[a].tree, edges_[b].tree);
+    retire(a);
+    retire(b);
+    insert(u, w, merged);
+  }
+
+  const StreamGraph& g_;
+  NodeId source_;
+  NodeId sink_;
+  std::vector<SE> edges_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_pair_;
+  std::vector<std::vector<std::uint32_t>> in_list_;
+  std::vector<std::vector<std::uint32_t>> out_list_;
+  std::vector<std::size_t> live_in_;
+  std::vector<std::size_t> live_out_;
+  std::vector<NodeId> worklist_;
+  SpReduction out_;
+};
+
+}  // namespace
+
+SpReduction reduce_sp(const StreamGraph& g, NodeId source, NodeId sink) {
+  SDAF_EXPECTS(source < g.node_count());
+  SDAF_EXPECTS(sink < g.node_count());
+  SDAF_EXPECTS(source != sink);
+  SDAF_EXPECTS(g.edge_count() > 0);
+  return Reducer(g, source, sink).run();
+}
+
+SpRecognition recognize_sp(const StreamGraph& g) {
+  SpRecognition out;
+  const auto report = validate(g);
+  if (!report.two_terminal()) {
+    out.reason = "not a two-terminal DAG:";
+    for (const auto& p : report.problems) out.reason += " " + p + ";";
+    return out;
+  }
+  SpReduction red = reduce_sp(g, g.unique_source(), g.unique_sink());
+  if (red.remainder.size() == 1) {
+    const auto& se = red.remainder.front();
+    SDAF_ASSERT(se.from == g.unique_source() && se.to == g.unique_sink());
+    out.is_sp = true;
+    out.tree = std::move(red.tree);
+    out.tree.set_root(se.tree);
+    out.tree.check_consistency(g);
+  } else {
+    out.reason = "irreducible remainder with " +
+                 std::to_string(red.remainder.size()) +
+                 " super-edges (graph is not series-parallel)";
+  }
+  return out;
+}
+
+}  // namespace sdaf

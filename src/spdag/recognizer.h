@@ -1,0 +1,47 @@
+// Reduction-based recognition of two-terminal series-parallel DAGs, after
+// Valdes, Tarjan and Lawler [16]: repeatedly (a) series-contract interior
+// nodes with in-degree 1 and out-degree 1 and (b) merge parallel edges. A
+// two-terminal multidigraph is SP iff this confluent rewriting terminates at
+// a single edge.
+//
+// The engine is exposed in full (not just the yes/no answer) because the
+// irreducible remainder is exactly the *skeleton* that the CS4/SP-ladder
+// analysis of Sections V-VI operates on: every remainder super-edge carries
+// the decomposition tree of the maximal SP component it contracted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/spdag/sp_tree.h"
+
+namespace sdaf {
+
+struct SuperEdge {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  SpTree::Index tree = -1;  // decomposition tree of the contracted component
+};
+
+struct SpReduction {
+  SpTree tree;  // owns all component trees built during reduction
+  std::vector<SuperEdge> remainder;  // irreducible super-edges, if > 1
+};
+
+// Runs the rewriting to fixpoint. `source`/`sink` are the protected
+// terminals (never series-contracted).
+[[nodiscard]] SpReduction reduce_sp(const StreamGraph& g, NodeId source,
+                                    NodeId sink);
+
+struct SpRecognition {
+  bool is_sp = false;
+  SpTree tree;          // root set iff is_sp
+  std::string reason;   // human-readable rejection note
+};
+
+// Recognizes a two-terminal SP-DAG (terminals = unique source/sink of g).
+// Precondition: g is a weakly-connected DAG with one source and one sink.
+[[nodiscard]] SpRecognition recognize_sp(const StreamGraph& g);
+
+}  // namespace sdaf

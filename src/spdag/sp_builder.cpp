@@ -1,0 +1,89 @@
+#include "src/spdag/sp_builder.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+SpSpec SpSpec::edge(std::int64_t buffer) {
+  SDAF_EXPECTS(buffer >= 1);
+  SpSpec s;
+  s.kind_ = Kind::Edge;
+  s.buffer_ = buffer;
+  return s;
+}
+
+SpSpec SpSpec::series(std::vector<SpSpec> children) {
+  SDAF_EXPECTS(!children.empty());
+  if (children.size() == 1) return std::move(children.front());
+  SpSpec s;
+  s.kind_ = Kind::Series;
+  s.children_ = std::move(children);
+  return s;
+}
+
+SpSpec SpSpec::parallel(std::vector<SpSpec> children) {
+  SDAF_EXPECTS(!children.empty());
+  if (children.size() == 1) return std::move(children.front());
+  SpSpec s;
+  s.kind_ = Kind::Parallel;
+  s.children_ = std::move(children);
+  return s;
+}
+
+std::size_t SpSpec::edge_count() const {
+  if (kind_ == Kind::Edge) return 1;
+  std::size_t total = 0;
+  for (const auto& c : children_) total += c.edge_count();
+  return total;
+}
+
+SpTree::Index build_sp_between(const SpSpec& spec, StreamGraph& g,
+                               SpTree& tree, NodeId source, NodeId sink) {
+  switch (spec.kind()) {
+    case SpSpec::Kind::Edge: {
+      const EdgeId e = g.add_edge(source, sink, spec.buffer());
+      return tree.add_leaf(e, source, sink);
+    }
+    case SpSpec::Kind::Series: {
+      const auto& kids = spec.children();
+      // Interior junction nodes between consecutive children.
+      std::vector<NodeId> cuts{source};
+      for (std::size_t i = 0; i + 1 < kids.size(); ++i)
+        cuts.push_back(g.add_node());
+      cuts.push_back(sink);
+      SpTree::Index acc =
+          build_sp_between(kids[0], g, tree, cuts[0], cuts[1]);
+      for (std::size_t i = 1; i < kids.size(); ++i) {
+        const SpTree::Index next =
+            build_sp_between(kids[i], g, tree, cuts[i], cuts[i + 1]);
+        acc = tree.add_series(acc, next);
+      }
+      return acc;
+    }
+    case SpSpec::Kind::Parallel: {
+      const auto& kids = spec.children();
+      SpTree::Index acc = build_sp_between(kids[0], g, tree, source, sink);
+      for (std::size_t i = 1; i < kids.size(); ++i) {
+        const SpTree::Index next =
+            build_sp_between(kids[i], g, tree, source, sink);
+        acc = tree.add_parallel(acc, next);
+      }
+      return acc;
+    }
+  }
+  SDAF_ASSERT(false);
+  return -1;
+}
+
+BuiltSp build_sp(const SpSpec& spec) {
+  BuiltSp out;
+  const NodeId source = out.graph.add_node("src");
+  const NodeId sink = out.graph.add_node("snk");
+  const SpTree::Index root =
+      build_sp_between(spec, out.graph, out.tree, source, sink);
+  out.tree.set_root(root);
+  out.tree.check_consistency(out.graph);
+  return out;
+}
+
+}  // namespace sdaf

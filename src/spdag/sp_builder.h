@@ -1,0 +1,54 @@
+// Programmatic construction of SP-DAGs from recursive specifications,
+// producing the graph and its (known-correct) decomposition tree together.
+// Used by the workload generators and by tests that need a trusted tree to
+// compare the recognizer against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/spdag/sp_tree.h"
+
+namespace sdaf {
+
+// A value-semantic recipe for an SP-DAG: a single edge, a series chain, or a
+// parallel bundle (each with >= 1 children; chains/bundles of one child
+// collapse to the child).
+class SpSpec {
+ public:
+  static SpSpec edge(std::int64_t buffer);
+  static SpSpec series(std::vector<SpSpec> children);
+  static SpSpec parallel(std::vector<SpSpec> children);
+
+  enum class Kind : std::uint8_t { Edge, Series, Parallel };
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::int64_t buffer() const { return buffer_; }
+  [[nodiscard]] const std::vector<SpSpec>& children() const { return children_; }
+
+  // Number of graph edges this spec will materialize.
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  SpSpec() = default;
+  Kind kind_ = Kind::Edge;
+  std::int64_t buffer_ = 1;
+  std::vector<SpSpec> children_;
+};
+
+struct BuiltSp {
+  StreamGraph graph;
+  SpTree tree;
+};
+
+// Materializes the spec into a fresh two-terminal graph + tree.
+[[nodiscard]] BuiltSp build_sp(const SpSpec& spec);
+
+// Materializes the spec *into* an existing graph between the given terminals
+// (used to embed SP chord graphs into ladders). Returns the subtree index of
+// the spec's root within `tree`.
+SpTree::Index build_sp_between(const SpSpec& spec, StreamGraph& g,
+                               SpTree& tree, NodeId source, NodeId sink);
+
+}  // namespace sdaf

@@ -1,0 +1,105 @@
+#include "src/spdag/sp_tree.h"
+
+#include <algorithm>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+SpTree::Index SpTree::add_leaf(EdgeId edge, NodeId from, NodeId to) {
+  nodes_.push_back(SpNode{SpKind::Leaf, edge, -1, -1, from, to});
+  return static_cast<Index>(nodes_.size() - 1);
+}
+
+SpTree::Index SpTree::add_series(Index left, Index right) {
+  const SpNode& l = node(left);
+  const SpNode& r = node(right);
+  SDAF_EXPECTS(l.sink == r.source);
+  SDAF_EXPECTS(l.source != r.sink);  // would form a directed cycle
+  nodes_.push_back(
+      SpNode{SpKind::Series, kNoEdge, left, right, l.source, r.sink});
+  return static_cast<Index>(nodes_.size() - 1);
+}
+
+SpTree::Index SpTree::add_parallel(Index left, Index right) {
+  const SpNode& l = node(left);
+  const SpNode& r = node(right);
+  SDAF_EXPECTS(l.source == r.source && l.sink == r.sink);
+  nodes_.push_back(
+      SpNode{SpKind::Parallel, kNoEdge, left, right, l.source, l.sink});
+  return static_cast<Index>(nodes_.size() - 1);
+}
+
+void SpTree::set_root(Index r) {
+  SDAF_EXPECTS(r >= 0 && static_cast<std::size_t>(r) < nodes_.size());
+  root_ = r;
+}
+
+SpTree::Index SpTree::root() const {
+  SDAF_EXPECTS(root_ >= 0);
+  return root_;
+}
+
+const SpNode& SpTree::node(Index i) const {
+  SDAF_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < nodes_.size());
+  return nodes_[i];
+}
+
+std::vector<SpTree::Index> SpTree::parents() const {
+  std::vector<Index> parent(nodes_.size(), -1);
+  for (Index i = 0; i < static_cast<Index>(nodes_.size()); ++i) {
+    const SpNode& n = nodes_[i];
+    if (n.kind == SpKind::Leaf) continue;
+    SDAF_ASSERT(n.left < i && n.right < i);  // children-first construction
+    parent[n.left] = i;
+    parent[n.right] = i;
+  }
+  return parent;
+}
+
+std::vector<SpTree::Index> SpTree::leaves_under(Index subtree) const {
+  std::vector<Index> result;
+  std::vector<Index> stack{subtree};
+  while (!stack.empty()) {
+    const Index i = stack.back();
+    stack.pop_back();
+    const SpNode& n = node(i);
+    if (n.kind == SpKind::Leaf) {
+      result.push_back(i);
+    } else {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    }
+  }
+  return result;
+}
+
+void SpTree::check_consistency(const StreamGraph& g) const {
+  SDAF_EXPECTS(has_root());
+  std::vector<bool> edge_seen(g.edge_count(), false);
+  for (const Index li : leaves_under(root())) {
+    const SpNode& n = node(li);
+    SDAF_ASSERT(n.edge < g.edge_count());
+    SDAF_ASSERT(!edge_seen[n.edge]);
+    edge_seen[n.edge] = true;
+    SDAF_ASSERT(g.edge(n.edge).from == n.source);
+    SDAF_ASSERT(g.edge(n.edge).to == n.sink);
+  }
+  SDAF_ASSERT(std::all_of(edge_seen.begin(), edge_seen.end(),
+                          [](bool b) { return b; }));
+  // Terminal composition rules re-checked bottom-up.
+  for (Index i = 0; i < static_cast<Index>(nodes_.size()); ++i) {
+    const SpNode& n = nodes_[i];
+    if (n.kind == SpKind::Series) {
+      SDAF_ASSERT(node(n.left).sink == node(n.right).source);
+      SDAF_ASSERT(node(n.left).source == n.source);
+      SDAF_ASSERT(node(n.right).sink == n.sink);
+    } else if (n.kind == SpKind::Parallel) {
+      SDAF_ASSERT(node(n.left).source == n.source &&
+                  node(n.right).source == n.source);
+      SDAF_ASSERT(node(n.left).sink == n.sink && node(n.right).sink == n.sink);
+    }
+  }
+}
+
+}  // namespace sdaf

@@ -1,0 +1,61 @@
+// Binary series-parallel decomposition trees (Section III). Leaves are
+// single graph edges; internal nodes are the paper's composition operators
+// Sc (series: sink of left merged with source of right) and Pc (parallel:
+// terminals merged). The paper's "multi-edge" base case appears here as a
+// Pc chain of single-edge leaves, which yields identical intervals.
+//
+// Tree nodes are created children-first, so ascending index order is a valid
+// post-order; the interval algorithms rely on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+
+enum class SpKind : std::uint8_t { Leaf, Series, Parallel };
+
+struct SpNode {
+  SpKind kind = SpKind::Leaf;
+  EdgeId edge = kNoEdge;   // Leaf only
+  std::int32_t left = -1;   // internal only
+  std::int32_t right = -1;  // internal only
+  NodeId source = kNoNode;  // component terminals in the underlying graph
+  NodeId sink = kNoNode;
+};
+
+class SpTree {
+ public:
+  using Index = std::int32_t;
+
+  [[nodiscard]] Index add_leaf(EdgeId edge, NodeId from, NodeId to);
+  // Requires node(left).sink == node(right).source.
+  [[nodiscard]] Index add_series(Index left, Index right);
+  // Requires identical terminals on both children.
+  [[nodiscard]] Index add_parallel(Index left, Index right);
+
+  void set_root(Index r);
+  [[nodiscard]] Index root() const;
+  [[nodiscard]] bool has_root() const { return root_ >= 0; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const SpNode& node(Index i) const;
+
+  // parent[i] = index of i's parent, -1 for the root (and for nodes outside
+  // the root's subtree).
+  [[nodiscard]] std::vector<Index> parents() const;
+
+  // Leaf indices (not edge ids) under `subtree`, in traversal order.
+  [[nodiscard]] std::vector<Index> leaves_under(Index subtree) const;
+
+  // Checks structural invariants against the graph: every edge is exactly
+  // one leaf, terminals compose correctly. Contract-violates on failure.
+  void check_consistency(const StreamGraph& g) const;
+
+ private:
+  std::vector<SpNode> nodes_;
+  Index root_ = -1;
+};
+
+}  // namespace sdaf

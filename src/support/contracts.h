@@ -1,0 +1,36 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures. Violations are programming errors, not recoverable
+// conditions, so they abort with a location message in all build types.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdaf {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "sdaf: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace sdaf
+
+#define SDAF_EXPECTS(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::sdaf::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define SDAF_ENSURES(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::sdaf::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define SDAF_ASSERT(cond)                                             \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::sdaf::contract_failure("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)

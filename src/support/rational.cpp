@@ -1,0 +1,87 @@
+#include "src/support/rational.h"
+
+#include <numeric>
+#include <ostream>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+namespace {
+
+// Checked multiply; interval computations multiply buffer sums by hop counts,
+// both bounded by graph size, so overflow indicates a caller bug.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  SDAF_EXPECTS(!__builtin_mul_overflow(a, b, &out));
+  return out;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  SDAF_EXPECTS(!__builtin_add_overflow(a, b, &out));
+  return out;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) {
+  SDAF_EXPECTS(n >= 0);
+  SDAF_EXPECTS(d > 0);
+  const std::int64_t g = std::gcd(n, d);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+std::int64_t Rational::floor() const {
+  SDAF_EXPECTS(is_finite());
+  return num_ / den_;  // non-negative operands: truncation == floor
+}
+
+std::int64_t Rational::ceil() const {
+  SDAF_EXPECTS(is_finite());
+  return (num_ + den_ - 1) / den_;
+}
+
+bool Rational::is_integer() const { return is_finite() && den_ == 1; }
+
+std::string Rational::to_string() const {
+  if (is_infinite()) return "inf";
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  if (a.is_infinite() || b.is_infinite()) return Rational::infinity();
+  return {checked_add(checked_mul(a.num_, b.den_), checked_mul(b.num_, a.den_)),
+          checked_mul(a.den_, b.den_)};
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  SDAF_EXPECTS(b.is_finite() && b.num_ != 0);
+  if (a.is_infinite()) return Rational::infinity();
+  return {checked_mul(a.num_, b.den_), checked_mul(a.den_, b.num_)};
+}
+
+bool operator==(const Rational& a, const Rational& b) {
+  if (a.is_infinite() || b.is_infinite())
+    return a.is_infinite() == b.is_infinite();
+  // Both stored in lowest terms.
+  return a.num_ == b.num_ && a.den_ == b.den_;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  if (a.is_infinite()) return false;
+  if (b.is_infinite()) return true;
+  return checked_mul(a.num_, b.den_) < checked_mul(b.num_, a.den_);
+}
+
+Rational min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace sdaf

@@ -1,0 +1,59 @@
+// Exact non-negative rational arithmetic with a distinguished +infinity,
+// used to represent dummy intervals. Intervals are minima of path-length
+// ratios, so the operations needed are: construction from integers,
+// min, comparison, addition of finite values, division, floor/ceil, and
+// printing. Overflow is checked; interval arithmetic in this library stays
+// far below 2^63 for any graph that fits in memory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sdaf {
+
+class Rational {
+ public:
+  // Constructs +infinity.
+  constexpr Rational() : num_(1), den_(0) {}
+  // Constructs the integer value n (n >= 0).
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  // Constructs n/d in lowest terms (n >= 0, d > 0).
+  Rational(std::int64_t n, std::int64_t d);
+
+  static constexpr Rational infinity() { return Rational(); }
+
+  [[nodiscard]] constexpr bool is_infinite() const { return den_ == 0; }
+  [[nodiscard]] constexpr bool is_finite() const { return den_ != 0; }
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  // Largest integer <= value. Precondition: finite.
+  [[nodiscard]] std::int64_t floor() const;
+  // Smallest integer >= value. Precondition: finite. This is the rounding
+  // the paper applies to Non-Propagation ratios (Fig. 3: "8/3 = 3, roundup").
+  [[nodiscard]] std::int64_t ceil() const;
+  [[nodiscard]] bool is_integer() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+  friend bool operator==(const Rational& a, const Rational& b);
+  friend bool operator<(const Rational& a, const Rational& b);
+
+ private:
+  std::int64_t num_;  // numerator; 1 when infinite
+  std::int64_t den_;  // denominator; 0 encodes infinity
+};
+
+inline bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+inline bool operator>(const Rational& a, const Rational& b) { return b < a; }
+inline bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }
+inline bool operator>=(const Rational& a, const Rational& b) { return !(a < b); }
+
+[[nodiscard]] Rational min(const Rational& a, const Rational& b);
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace sdaf

@@ -1,0 +1,76 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/contracts.h"
+
+namespace sdaf {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  SDAF_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  SDAF_EXPECTS(n_ > 0);
+  if (n_ == 1) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  SDAF_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  SDAF_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  SDAF_EXPECTS(!sample.empty());
+  SDAF_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  SDAF_EXPECTS(x.size() == y.size());
+  SDAF_EXPECTS(x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    SDAF_EXPECTS(x[i] > 0 && y[i] > 0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  SDAF_EXPECTS(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace sdaf

@@ -1,0 +1,37 @@
+// Small descriptive-statistics helpers for benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sdaf {
+
+// Online mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of a sample by linear interpolation; q in [0, 1].
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+// Least-squares slope of log(y) against log(x): the empirical scaling
+// exponent used to check the paper's O(|G|^k) claims.
+[[nodiscard]] double loglog_slope(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace sdaf

@@ -1,0 +1,4 @@
+#include "src/support/timer.h"
+
+// Header-only today; the translation unit anchors the target and keeps the
+// build layout uniform (every module has a .cpp).

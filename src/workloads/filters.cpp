@@ -1,0 +1,64 @@
+#include "src/workloads/filters.h"
+
+#include "src/support/prng.h"
+
+namespace sdaf::workloads {
+
+namespace {
+
+double hash_to_unit(std::uint64_t seed, std::uint64_t seq, std::uint64_t slot) {
+  std::uint64_t state = seed ^ (seq * 0x9e3779b97f4a7c15ULL) ^
+                        (slot * 0xc2b2ae3d27d4eb4fULL);
+  const std::uint64_t h = splitmix64(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FilterFn bernoulli_filter(double p, std::uint64_t seed) {
+  return [p, seed](std::uint64_t seq, std::size_t slot) {
+    return hash_to_unit(seed, seq, slot) < p;
+  };
+}
+
+FilterFn periodic_filter(std::uint64_t period, std::uint64_t phase) {
+  return [period, phase](std::uint64_t seq, std::size_t) {
+    return seq % period == phase;
+  };
+}
+
+FilterFn pass_all() {
+  return [](std::uint64_t, std::size_t) { return true; };
+}
+
+FilterFn adversarial_prefix_filter(std::size_t blocked_slot,
+                                   std::uint64_t filtered_prefix) {
+  return [blocked_slot, filtered_prefix](std::uint64_t seq, std::size_t slot) {
+    return slot != blocked_slot || seq >= filtered_prefix;
+  };
+}
+
+std::vector<std::shared_ptr<runtime::Kernel>> relay_kernels(
+    const StreamGraph& g, double pass_probability, std::uint64_t seed) {
+  std::vector<std::shared_ptr<runtime::Kernel>> kernels;
+  kernels.reserve(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    // Per-node decorrelation; the per-(seq, slot) hash keeps runs
+    // reproducible across the executor and the simulator.
+    const std::uint64_t node_seed = seed ^ (0xabcdef12345ULL * (n + 1));
+    kernels.push_back(std::make_shared<runtime::RelayKernel>(
+        bernoulli_filter(pass_probability, node_seed)));
+  }
+  return kernels;
+}
+
+std::vector<std::shared_ptr<runtime::Kernel>> passthrough_kernels(
+    const StreamGraph& g) {
+  std::vector<std::shared_ptr<runtime::Kernel>> kernels;
+  kernels.reserve(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    kernels.push_back(runtime::pass_through_kernel());
+  return kernels;
+}
+
+}  // namespace sdaf::workloads

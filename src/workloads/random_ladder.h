@@ -1,0 +1,50 @@
+// Random SP-ladder and CS4-chain generation (Section V shapes): an outer
+// 2-path cycle whose segments and non-crossing rungs are random SP
+// components, optionally serially chained with random SP-DAGs.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/stream_graph.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_sp.h"
+
+namespace sdaf::workloads {
+
+struct RandomLadderOptions {
+  std::size_t rungs = 3;               // >= 1
+  std::size_t left_interior = 3;       // interior vertices per side;
+  std::size_t right_interior = 3;      //   clamped up to cover all rungs
+  std::size_t component_edges = 1;     // SP size of each segment/rung (1 =
+                                       //   plain channels)
+  std::int64_t max_buffer = 8;
+  bool allow_shared_endpoints = true;  // rungs may share side vertices
+};
+
+// The returned graph is always a valid SP-ladder (plus the source/sink).
+[[nodiscard]] StreamGraph random_ladder(Prng& rng,
+                                        const RandomLadderOptions& options);
+
+struct RandomCs4Options {
+  std::size_t components = 3;        // serial-chain length
+  double ladder_probability = 0.5;   // else an SP-DAG component
+  RandomSpOptions sp;
+  RandomLadderOptions ladder;
+};
+
+// Serial composition of random SP-DAGs and SP-ladders: a random CS4 graph
+// by Theorem V.7.
+[[nodiscard]] StreamGraph random_cs4_chain(Prng& rng,
+                                           const RandomCs4Options& options);
+
+// Random two-terminal DAG with no structural guarantee (often not CS4):
+// the negative-space generator for recognition tests.
+struct RandomDagOptions {
+  std::size_t interior_nodes = 6;
+  double edge_density = 0.4;  // probability per forward node pair
+  std::int64_t max_buffer = 8;
+};
+[[nodiscard]] StreamGraph random_two_terminal_dag(
+    Prng& rng, const RandomDagOptions& options);
+
+}  // namespace sdaf::workloads

@@ -1,0 +1,42 @@
+#include "src/workloads/random_sp.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::workloads {
+
+namespace {
+
+SpSpec random_spec_rec(Prng& rng, std::size_t budget,
+                       const RandomSpOptions& options) {
+  if (budget <= 1)
+    return SpSpec::edge(rng.next_in(1, options.max_buffer));
+  const std::size_t fanout = static_cast<std::size_t>(
+      rng.next_in(2, static_cast<std::int64_t>(
+                         std::min(options.max_fanout, budget))));
+  // Split the edge budget into `fanout` non-empty parts.
+  std::vector<std::size_t> parts(fanout, 1);
+  for (std::size_t extra = budget - fanout; extra > 0; --extra)
+    ++parts[rng.next_below(fanout)];
+  std::vector<SpSpec> children;
+  children.reserve(fanout);
+  for (const std::size_t part : parts)
+    children.push_back(random_spec_rec(rng, part, options));
+  return rng.next_bool(options.parallel_bias)
+             ? SpSpec::parallel(std::move(children))
+             : SpSpec::series(std::move(children));
+}
+
+}  // namespace
+
+SpSpec random_sp_spec(Prng& rng, const RandomSpOptions& options) {
+  SDAF_EXPECTS(options.target_edges >= 1);
+  SDAF_EXPECTS(options.max_buffer >= 1);
+  SDAF_EXPECTS(options.max_fanout >= 2);
+  return random_spec_rec(rng, options.target_edges, options);
+}
+
+BuiltSp random_sp(Prng& rng, const RandomSpOptions& options) {
+  return build_sp(random_sp_spec(rng, options));
+}
+
+}  // namespace sdaf::workloads

@@ -1,0 +1,25 @@
+// Random SP-DAG generation for property tests and scaling benchmarks:
+// draws a random composition recipe (SpSpec), so the generated graph comes
+// with a trusted ground-truth decomposition tree.
+#pragma once
+
+#include <cstdint>
+
+#include "src/spdag/sp_builder.h"
+#include "src/support/prng.h"
+
+namespace sdaf::workloads {
+
+struct RandomSpOptions {
+  std::size_t target_edges = 16;  // >= 1
+  std::int64_t max_buffer = 8;    // buffers drawn uniformly from [1, max]
+  double parallel_bias = 0.5;     // probability an internal split is Pc
+  std::size_t max_fanout = 4;     // children per composition node
+};
+
+[[nodiscard]] SpSpec random_sp_spec(Prng& rng, const RandomSpOptions& options);
+
+// Convenience: spec + materialization in one call.
+[[nodiscard]] BuiltSp random_sp(Prng& rng, const RandomSpOptions& options);
+
+}  // namespace sdaf::workloads

@@ -1,0 +1,49 @@
+// The paper's named topologies (Figures 1-6) plus standard shapes used by
+// examples, tests and benchmarks. Node naming follows the figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf::workloads {
+
+// Fig. 1: split/join A -> {B, C} -> D. All four channels share `buffer`.
+[[nodiscard]] StreamGraph fig1_splitjoin(std::int64_t buffer = 4);
+
+// Fig. 2: the deadlock triangle. A -> B -> C plus the direct edge A -> C.
+// Defaults follow the figure's narrative: small buffers everywhere.
+[[nodiscard]] StreamGraph fig2_triangle(std::int64_t ab = 2, std::int64_t bc = 2,
+                                        std::int64_t ac = 2);
+
+// Fig. 3: the worked dummy-interval example. Six nodes a..f; buffers
+// ab=2, be=5, ef=1, ac=3, cd=1, df=2. Expected intervals (paper):
+//   Propagation:      [ab]=6, [ac]=8, others infinite.
+//   Non-Propagation:  [ab]=[be]=[ef]=2, [ac]=[cd]=[df]=8/3.
+[[nodiscard]] StreamGraph fig3_cycle();
+
+// Fig. 4 left: the simplest non-SP DAG -- a split/join X -> {a, b} -> Y
+// augmented with cross-channel a -> b. CS4 (an SP-ladder).
+[[nodiscard]] StreamGraph fig4_left(std::int64_t buffer = 2);
+
+// Fig. 4 right: the butterfly X -> {a, b}, {a, b} -> {A, B} -> Y pattern
+// containing cycle a-A-b-B with two sources and two sinks. Not CS4.
+[[nodiscard]] StreamGraph fig4_butterfly(std::int64_t buffer = 2);
+
+// Section VII's restructuring of the butterfly into an SP-ladder: the
+// b -> c traffic is routed through d via an extra hop.
+[[nodiscard]] StreamGraph butterfly_rewrite(std::int64_t buffer = 2);
+
+// Simple pipeline of `stages` nodes (stages-1 edges).
+[[nodiscard]] StreamGraph pipeline(std::size_t stages, std::int64_t buffer = 4);
+
+// Split/join with `width` parallel branches of `depth` stages each.
+[[nodiscard]] StreamGraph splitjoin(std::size_t width, std::size_t depth,
+                                    std::int64_t buffer = 4);
+
+// The ladder of Fig. 5 (left): outer cycle a-b-f-m-j-a with cross-link
+// b -> j (after SP contraction of the decorated components).
+[[nodiscard]] StreamGraph fig5_ladder(std::int64_t buffer = 2);
+
+}  // namespace sdaf::workloads

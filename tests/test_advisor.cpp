@@ -1,0 +1,107 @@
+#include "src/core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+using core::Algorithm;
+
+StreamGraph with_buffers(const StreamGraph& g,
+                         const std::vector<std::int64_t>& buffers) {
+  StreamGraph out;
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    (void)out.add_node(g.node_name(n));
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    (void)out.add_edge(g.edge(e).from, g.edge(e).to, buffers[e]);
+  return out;
+}
+
+TEST(Advisor, PipelineNeedsNothing) {
+  const StreamGraph g = workloads::pipeline(5, 2);
+  const auto advice = core::recommend_buffer_scale(
+      g, Algorithm::Propagation, Rational(100));
+  ASSERT_TRUE(advice.ok);
+  EXPECT_EQ(advice.scale, 1);
+  EXPECT_TRUE(advice.resulting_min_interval.is_infinite());
+}
+
+TEST(Advisor, TriangleScalesLinearly) {
+  // Tightest propagation interval on the (2,2,2) triangle is 2 (edge AB);
+  // asking for >= 10 requires scale 5.
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  const auto advice = core::recommend_buffer_scale(
+      g, Algorithm::Propagation, Rational(10));
+  ASSERT_TRUE(advice.ok);
+  EXPECT_EQ(advice.scale, 5);
+  EXPECT_EQ(advice.buffers, (std::vector<std::int64_t>{10, 10, 10}));
+  EXPECT_EQ(advice.resulting_min_interval, Rational(10));
+}
+
+TEST(Advisor, ResultActuallyAchievesTarget) {
+  Prng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    workloads::RandomLadderOptions opt;
+    opt.rungs = 1 + static_cast<std::size_t>(trial % 3);
+    const StreamGraph g = workloads::random_ladder(rng, opt);
+    for (const auto algo :
+         {Algorithm::Propagation, Algorithm::NonPropagation}) {
+      const Rational target(25);
+      const auto advice = core::recommend_buffer_scale(g, algo, target);
+      ASSERT_TRUE(advice.ok);
+      const StreamGraph scaled = with_buffers(g, advice.buffers);
+      core::CompileOptions copt;
+      copt.algorithm = algo;
+      const auto recompiled = core::compile(scaled, copt);
+      ASSERT_TRUE(recompiled.ok);
+      for (EdgeId e = 0; e < scaled.edge_count(); ++e)
+        EXPECT_GE(recompiled.intervals[e], target) << "edge " << e;
+    }
+  }
+}
+
+TEST(Advisor, ScaleIsMinimal) {
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  const auto advice = core::recommend_buffer_scale(
+      g, Algorithm::Propagation, Rational(10));
+  ASSERT_TRUE(advice.ok);
+  // One notch below the advised scale must miss the target.
+  std::vector<std::int64_t> smaller;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    smaller.push_back(g.edge(e).buffer * (advice.scale - 1));
+  const auto recompiled = core::compile(with_buffers(g, smaller));
+  Rational tightest = Rational::infinity();
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    tightest = min(tightest, recompiled.intervals[e]);
+  EXPECT_LT(tightest, Rational(10));
+}
+
+TEST(Advisor, NonPropagationUsesHopAwareIntervals) {
+  // Non-prop tightest on the (2,2,2) triangle is (2)/2 = 1; target 3 needs
+  // scale 3.
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  const auto advice = core::recommend_buffer_scale(
+      g, Algorithm::NonPropagation, Rational(3));
+  ASSERT_TRUE(advice.ok);
+  EXPECT_EQ(advice.scale, 3);
+}
+
+TEST(Advisor, PropagatesCompileFailure) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);  // two sinks: compile fails
+  const auto advice = core::recommend_buffer_scale(
+      g, Algorithm::Propagation, Rational(5));
+  EXPECT_FALSE(advice.ok);
+  EXPECT_FALSE(advice.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace sdaf

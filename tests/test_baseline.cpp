@@ -1,0 +1,102 @@
+#include "src/intervals/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+// Triangle: edge ids 0 = A->B, 1 = B->C, 2 = A->C.
+TEST(PropagationExact, Triangle) {
+  const StreamGraph g = workloads::fig2_triangle(2, 3, 5);
+  const auto iv = propagation_intervals_exact(g);
+  EXPECT_EQ(iv[0], Rational(5));  // other side = AC buffer
+  EXPECT_EQ(iv[2], Rational(5));  // other side = AB+BC = 2+3
+  EXPECT_TRUE(iv[1].is_infinite());  // B is not a cycle source
+}
+
+TEST(PropagationExact, Fig3MatchesPaper) {
+  const auto iv = propagation_intervals_exact(workloads::fig3_cycle());
+  // Edge order: ab, ac, be, cd, ef, df.
+  EXPECT_EQ(iv[0], Rational(6));  // [ab] = 3+1+2
+  EXPECT_EQ(iv[1], Rational(8));  // [ac] = 2+5+1
+  EXPECT_TRUE(iv[2].is_infinite());
+  EXPECT_TRUE(iv[3].is_infinite());
+  EXPECT_TRUE(iv[4].is_infinite());
+  EXPECT_TRUE(iv[5].is_infinite());
+}
+
+TEST(NonPropExact, Fig3MatchesPaper) {
+  const auto iv = nonprop_intervals_exact(workloads::fig3_cycle());
+  EXPECT_EQ(iv[0], Rational(2));     // [ab] = 6/3
+  EXPECT_EQ(iv[2], Rational(2));     // [be]
+  EXPECT_EQ(iv[4], Rational(2));     // [ef]
+  EXPECT_EQ(iv[1], Rational(8, 3));  // [ac] = 8/3
+  EXPECT_EQ(iv[3], Rational(8, 3));  // [cd]
+  EXPECT_EQ(iv[5], Rational(8, 3));  // [df]
+}
+
+TEST(NonPropExact, Triangle) {
+  const StreamGraph g = workloads::fig2_triangle(2, 3, 5);
+  const auto iv = nonprop_intervals_exact(g);
+  EXPECT_EQ(iv[0], Rational(5, 2));  // A->B on the 2-hop side
+  EXPECT_EQ(iv[1], Rational(5, 2));  // B->C
+  EXPECT_EQ(iv[2], Rational(5));     // A->C on the 1-hop side
+}
+
+TEST(Exact, PipelineNeedsNoDummies) {
+  const auto g = workloads::pipeline(6);
+  EXPECT_TRUE(propagation_intervals_exact(g).all_infinite());
+  EXPECT_TRUE(nonprop_intervals_exact(g).all_infinite());
+}
+
+TEST(Exact, Fig4LeftHandComputed) {
+  // Edges: 0=X->a, 1=X->b, 2=a->b, 3=a->Y, 4=b->Y, all buffer 2.
+  const StreamGraph g = workloads::fig4_left(2);
+  const auto prop = propagation_intervals_exact(g);
+  EXPECT_EQ(prop[0], Rational(2));  // cycle X-a-b vs X-b
+  EXPECT_EQ(prop[1], Rational(4));
+  EXPECT_EQ(prop[2], Rational(2));  // cycle a-b-Y vs a-Y
+  EXPECT_EQ(prop[3], Rational(4));
+  EXPECT_TRUE(prop[4].is_infinite());
+
+  const auto np = nonprop_intervals_exact(g);
+  EXPECT_EQ(np[0], Rational(1));  // min(2/2 [C1], 4/2 [C3])
+  EXPECT_EQ(np[1], Rational(2));  // min(4/1 [C1], 4/2 [C3])
+  EXPECT_EQ(np[2], Rational(1));
+  EXPECT_EQ(np[3], Rational(2));
+  EXPECT_EQ(np[4], Rational(1));  // min(4/2 [C2], 4/2 [C3])
+}
+
+TEST(Exact, ParallelEdgesUseSiblingBuffer) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 3);
+  g.add_edge(a, b, 5);
+  const auto prop = propagation_intervals_exact(g);
+  EXPECT_EQ(prop[0], Rational(5));
+  EXPECT_EQ(prop[1], Rational(3));
+  const auto np = nonprop_intervals_exact(g);
+  EXPECT_EQ(np[0], Rational(5));
+  EXPECT_EQ(np[1], Rational(3));
+}
+
+TEST(Exact, ButterflyStillComputable) {
+  // The baseline works on non-CS4 DAGs too (it is just exponential).
+  const auto iv = propagation_intervals_exact(workloads::fig4_butterfly(2));
+  // X and the two mid-layer splits (a, b) source cycles; their out-edges
+  // must all be constrained.
+  const StreamGraph g = workloads::fig4_butterfly(2);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const NodeId from = g.edge(e).from;
+    if (g.out_degree(from) == 2)
+      EXPECT_TRUE(iv[e].is_finite()) << "edge " << e;
+    else
+      EXPECT_TRUE(iv[e].is_infinite()) << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace sdaf

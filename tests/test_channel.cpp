@@ -1,0 +1,157 @@
+#include "src/runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sdaf::runtime {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  BoundedChannel ch(4, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(0, Value(1))));
+  ASSERT_TRUE(ch.push(Message::dummy(1)));
+  ASSERT_TRUE(ch.push(Message::data(2, Value(3))));
+  auto m = ch.peek_wait();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->seq, 0u);
+  ch.pop();
+  m = ch.peek_wait();
+  EXPECT_EQ(m->kind, MessageKind::Dummy);
+  ch.pop();
+  m = ch.peek_wait();
+  EXPECT_EQ(m->seq, 2u);
+}
+
+TEST(Channel, PeekDoesNotConsume) {
+  BoundedChannel ch(2, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(7, Value(0))));
+  EXPECT_EQ(ch.peek_wait()->seq, 7u);
+  EXPECT_EQ(ch.peek_wait()->seq, 7u);
+}
+
+TEST(Channel, StatsCountKinds) {
+  BoundedChannel ch(8, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(0, Value(0))));
+  ASSERT_TRUE(ch.push(Message::data(1, Value(0))));
+  ASSERT_TRUE(ch.push(Message::dummy(2)));
+  ASSERT_TRUE(ch.push(Message::eos()));
+  const auto s = ch.stats();
+  EXPECT_EQ(s.data_pushed, 2u);
+  EXPECT_EQ(s.dummies_pushed, 1u);
+  EXPECT_EQ(s.max_occupancy, 4);
+}
+
+TEST(Channel, BlocksWhenFullUntilPop) {
+  BoundedChannel ch(1, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(0, Value(0))));
+  std::thread producer([&] {
+    // Blocks until the consumer pops.
+    EXPECT_TRUE(ch.push(Message::data(1, Value(0))));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.pop();
+  producer.join();
+  EXPECT_EQ(ch.peek_wait()->seq, 1u);
+}
+
+TEST(Channel, BlocksWhenEmptyUntilPush) {
+  BoundedChannel ch(1, nullptr);
+  std::uint64_t got = 99;
+  std::thread consumer([&] {
+    const auto m = ch.peek_wait();
+    ASSERT_TRUE(m.has_value());
+    got = m->seq;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(ch.push(Message::data(5, Value(0))));
+  consumer.join();
+  EXPECT_EQ(got, 5u);
+}
+
+TEST(Channel, AbortReleasesBlockedProducer) {
+  BoundedChannel ch(1, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(0, Value(0))));
+  std::thread producer([&] {
+    EXPECT_FALSE(ch.push(Message::data(1, Value(0))));  // aborted
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.abort();
+  producer.join();
+  EXPECT_TRUE(ch.aborted());
+}
+
+TEST(Channel, AbortReleasesBlockedConsumer) {
+  BoundedChannel ch(1, nullptr);
+  std::thread consumer([&] {
+    EXPECT_FALSE(ch.peek_wait().has_value());  // aborted while empty
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.abort();
+  consumer.join();
+}
+
+TEST(Channel, MonitorSeesBlockedStates) {
+  RuntimeMonitor monitor;
+  BoundedChannel ch(1, &monitor);
+  monitor.thread_started();
+  ASSERT_TRUE(ch.push(Message::data(0, Value(0))));
+  std::thread producer([&] { (void)ch.push(Message::data(1, Value(0))); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(monitor.blocked(), 1);
+  const auto progress_before = monitor.progress();
+  ch.pop();
+  producer.join();
+  EXPECT_EQ(monitor.blocked(), 0);
+  EXPECT_GT(monitor.progress(), progress_before);
+}
+
+TEST(Watchdog, FiresOnAllBlocked) {
+  RuntimeMonitor monitor;
+  monitor.thread_started();
+  monitor.enter_blocked();  // simulate a single permanently-blocked thread
+  std::atomic<bool> stop{false};
+  bool aborted = false;
+  const bool deadlocked = run_watchdog(
+      monitor, stop, WatchdogOptions{std::chrono::milliseconds(1), 5},
+      [&] { aborted = true; });
+  EXPECT_TRUE(deadlocked);
+  EXPECT_TRUE(aborted);
+}
+
+TEST(Watchdog, StopsCleanlyWithoutDeadlock) {
+  RuntimeMonitor monitor;
+  std::atomic<bool> stop{false};
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop = true;
+  });
+  const bool deadlocked = run_watchdog(
+      monitor, stop, WatchdogOptions{std::chrono::milliseconds(1), 5},
+      [] { FAIL() << "no deadlock expected"; });
+  stopper.join();
+  EXPECT_FALSE(deadlocked);
+}
+
+TEST(Watchdog, ProgressSuppressesFalsePositive) {
+  RuntimeMonitor monitor;
+  monitor.thread_started();
+  monitor.enter_blocked();
+  std::atomic<bool> stop{false};
+  // A background thread keeps making progress; the watchdog must not fire.
+  std::thread worker([&] {
+    for (int i = 0; i < 50; ++i) {
+      monitor.note_progress();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop = true;
+  });
+  const bool deadlocked = run_watchdog(
+      monitor, stop, WatchdogOptions{std::chrono::milliseconds(2), 8},
+      [] { FAIL() << "progress should prevent deadlock"; });
+  worker.join();
+  EXPECT_FALSE(deadlocked);
+}
+
+}  // namespace
+}  // namespace sdaf::runtime

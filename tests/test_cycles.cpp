@@ -1,0 +1,155 @@
+#include "src/graph/cycles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+std::set<std::set<EdgeId>> canonical(const std::vector<UCycle>& cycles) {
+  std::set<std::set<EdgeId>> out;
+  for (const auto& c : cycles) {
+    std::set<EdgeId> ids;
+    for (const auto& s : c) ids.insert(s.edge);
+    EXPECT_TRUE(out.insert(ids).second) << "duplicate cycle enumerated";
+  }
+  return out;
+}
+
+TEST(Cycles, TriangleHasOne) {
+  const auto e = enumerate_undirected_cycles(workloads::fig2_triangle());
+  EXPECT_FALSE(e.truncated);
+  ASSERT_EQ(e.cycles.size(), 1u);
+  EXPECT_EQ(e.cycles[0].size(), 3u);
+}
+
+TEST(Cycles, Fig3HasOne) {
+  const auto e = enumerate_undirected_cycles(workloads::fig3_cycle());
+  ASSERT_EQ(e.cycles.size(), 1u);
+  EXPECT_EQ(e.cycles[0].size(), 6u);
+}
+
+TEST(Cycles, Fig4LeftHasThree) {
+  const auto e = enumerate_undirected_cycles(workloads::fig4_left());
+  EXPECT_EQ(canonical(e.cycles).size(), 3u);
+}
+
+TEST(Cycles, ParallelEdgesFormTwoCycles) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(a, b, 2);
+  g.add_edge(a, b, 3);
+  const auto e = enumerate_undirected_cycles(g);
+  // 3 parallel edges: C(3,2) = 3 two-edge cycles.
+  EXPECT_EQ(canonical(e.cycles).size(), 3u);
+  for (const auto& c : e.cycles) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Cycles, PipelineHasNone) {
+  const auto e = enumerate_undirected_cycles(workloads::pipeline(5));
+  EXPECT_TRUE(e.cycles.empty());
+}
+
+TEST(Cycles, TruncationReported) {
+  const auto e = enumerate_undirected_cycles(workloads::fig4_butterfly(), 2);
+  EXPECT_TRUE(e.truncated);
+  EXPECT_EQ(e.cycles.size(), 2u);
+}
+
+TEST(Cycles, NodeChainClosesProperly) {
+  const auto e = enumerate_undirected_cycles(workloads::fig2_triangle());
+  const auto nodes = cycle_nodes(workloads::fig2_triangle(), e.cycles[0]);
+  EXPECT_EQ(nodes.size(), 3u);
+  const std::set<NodeId> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(DirectedRuns, TriangleSplitsIntoTwoRuns) {
+  const StreamGraph g = workloads::fig2_triangle(2, 3, 5);
+  const auto e = enumerate_undirected_cycles(g);
+  const auto runs = directed_runs(g, e.cycles[0]);
+  ASSERT_EQ(runs.size(), 2u);
+  // Both runs sourced at A (node 0), sunk at C (node 2).
+  for (const auto& r : runs) {
+    EXPECT_EQ(r.source, 0u);
+    EXPECT_EQ(r.sink, 2u);
+  }
+  std::set<std::int64_t> lengths{runs[0].buffer_length,
+                                 runs[1].buffer_length};
+  EXPECT_EQ(lengths, (std::set<std::int64_t>{5, 5}));  // 2+3 and 5
+  std::set<std::int64_t> hops{runs[0].hops(), runs[1].hops()};
+  EXPECT_EQ(hops, (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(DirectedRuns, RunEdgesAreDirectedPaths) {
+  Prng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = workloads::random_two_terminal_dag(rng, {});
+    const auto e = enumerate_undirected_cycles(g, 1u << 14);
+    if (e.truncated) continue;
+    for (const auto& cycle : e.cycles) {
+      for (const auto& run : directed_runs(g, cycle)) {
+        NodeId cur = run.source;
+        std::int64_t len = 0;
+        for (const EdgeId id : run.edges) {
+          EXPECT_EQ(g.edge(id).from, cur);
+          cur = g.edge(id).to;
+          len += g.edge(id).buffer;
+        }
+        EXPECT_EQ(cur, run.sink);
+        EXPECT_EQ(len, run.buffer_length);
+      }
+    }
+  }
+}
+
+TEST(CycleSourcesSinks, ButterflyHasDoubleSourceCycle) {
+  const StreamGraph g = workloads::fig4_butterfly();
+  const auto e = enumerate_undirected_cycles(g);
+  bool found_multi = false;
+  for (const auto& c : e.cycles)
+    if (cycle_sources(g, c).size() == 2) found_multi = true;
+  EXPECT_TRUE(found_multi);  // the a-A-b-B cycle
+}
+
+TEST(Cs4Oracle, KnownGraphs) {
+  EXPECT_TRUE(is_cs4_by_enumeration(workloads::fig2_triangle()));
+  EXPECT_TRUE(is_cs4_by_enumeration(workloads::fig3_cycle()));
+  EXPECT_TRUE(is_cs4_by_enumeration(workloads::fig4_left()));
+  EXPECT_FALSE(is_cs4_by_enumeration(workloads::fig4_butterfly()));
+  EXPECT_TRUE(is_cs4_by_enumeration(workloads::butterfly_rewrite()));
+  EXPECT_TRUE(is_cs4_by_enumeration(workloads::fig5_ladder()));
+}
+
+TEST(Cs4Oracle, SpDagsAreCs4) {
+  // Lemma III.4: every SP-DAG is CS4.
+  Prng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 12;
+    const auto built = workloads::random_sp(rng, opt);
+    EXPECT_TRUE(is_cs4_by_enumeration(built.graph));
+  }
+}
+
+TEST(Cs4Oracle, RandomLaddersAreCs4) {
+  // Corollary V.5: every SP-ladder is CS4.
+  Prng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    workloads::RandomLadderOptions opt;
+    opt.rungs = 1 + static_cast<std::size_t>(trial % 4);
+    const auto g = workloads::random_ladder(rng, opt);
+    EXPECT_TRUE(is_cs4_by_enumeration(g));
+  }
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,111 @@
+#include "src/graph/dominators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/prng.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(Dominators, Pipeline) {
+  const StreamGraph g = workloads::pipeline(4);
+  const auto idom = immediate_dominators(g, 0);
+  EXPECT_EQ(idom[0], 0u);
+  EXPECT_EQ(idom[1], 0u);
+  EXPECT_EQ(idom[2], 1u);
+  EXPECT_EQ(idom[3], 2u);
+}
+
+TEST(Dominators, SplitJoinMergesAtSplit) {
+  const StreamGraph g = workloads::fig1_splitjoin();
+  const auto idom = immediate_dominators(g, 0);
+  EXPECT_EQ(idom[1], 0u);  // B dominated by A only
+  EXPECT_EQ(idom[2], 0u);  // C
+  EXPECT_EQ(idom[3], 0u);  // D's branches merge: idom = A
+}
+
+TEST(Postdominators, SplitJoin) {
+  const StreamGraph g = workloads::fig1_splitjoin();
+  const auto ipdom = immediate_postdominators(g, 3);
+  EXPECT_EQ(ipdom[0], 3u);  // A's branches remerge at D
+  EXPECT_EQ(ipdom[1], 3u);
+  EXPECT_EQ(ipdom[2], 3u);
+}
+
+TEST(Postdominators, Fig3) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto ipdom = immediate_postdominators(g, 5);
+  EXPECT_EQ(ipdom[0], 5u);  // a's postdominator is f
+  EXPECT_EQ(ipdom[1], 4u);  // b -> e
+  EXPECT_EQ(ipdom[4], 5u);  // e -> f
+}
+
+TEST(Dominates, TransitiveQueries) {
+  const StreamGraph g = workloads::pipeline(5);
+  const auto idom = immediate_dominators(g, 0);
+  EXPECT_TRUE(dominates(idom, 0, 0, 4));
+  EXPECT_TRUE(dominates(idom, 0, 2, 4));
+  EXPECT_FALSE(dominates(idom, 0, 4, 2));
+  EXPECT_TRUE(dominates(idom, 0, 3, 3));
+}
+
+// The observation in Section III: in an SP-DAG every node has an immediate
+// postdominator (single-sink property), and dually a dominator.
+TEST(Dominators, SpDagsAlwaysHaveBothTrees) {
+  Prng rng(123);
+  for (int trial = 0; trial < 25; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 20;
+    const auto built = workloads::random_sp(rng, opt);
+    const auto& g = built.graph;
+    const auto idom = immediate_dominators(g, g.unique_source());
+    const auto ipdom = immediate_postdominators(g, g.unique_sink());
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      EXPECT_NE(idom[n], kNoNode);
+      EXPECT_NE(ipdom[n], kNoNode);
+    }
+  }
+}
+
+// Lemma III.1 (spot check on random SP-DAGs): a node Z with >= 2 out-edges
+// dominates every node on any directed path from Z to its immediate
+// postdominator W, other than W itself.
+TEST(Dominators, LemmaIII1OnRandomSpDags) {
+  Prng rng(321);
+  for (int trial = 0; trial < 15; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 16;
+    const auto built = workloads::random_sp(rng, opt);
+    const auto& g = built.graph;
+    const auto idom = immediate_dominators(g, g.unique_source());
+    const auto ipdom = immediate_postdominators(g, g.unique_sink());
+    for (NodeId z = 0; z < g.node_count(); ++z) {
+      if (g.out_degree(z) < 2) continue;
+      const NodeId w = ipdom[z];
+      // BFS over nodes on paths z -> w: nodes reachable from z that reach w.
+      // Every such node other than w must be dominated by z.
+      std::vector<NodeId> stack{z};
+      std::vector<bool> seen(g.node_count(), false);
+      seen[z] = true;
+      while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        if (v == w) continue;
+        EXPECT_TRUE(dominates(idom, g.unique_source(), z, v))
+            << "Z=" << z << " does not dominate " << v;
+        for (const EdgeId e : g.out_edges(v)) {
+          const NodeId nxt = g.edge(e).to;
+          if (!seen[nxt]) {
+            seen[nxt] = true;
+            stack.push_back(nxt);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,240 @@
+#include "src/runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/compile.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf::runtime {
+namespace {
+
+// Kernels for the Fig. 2 triangle: A passes everything to B (slot 0) and
+// filters the direct A->C channel (slot 1) for `prefix` sequence numbers.
+std::vector<std::shared_ptr<Kernel>> triangle_kernels(std::uint64_t prefix) {
+  std::vector<std::shared_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_shared<RelayKernel>(
+      workloads::adversarial_prefix_filter(1, prefix)));
+  kernels.push_back(pass_through_kernel());  // B
+  kernels.push_back(pass_through_kernel());  // C (sink)
+  return kernels;
+}
+
+TEST(Executor, PipelineDeliversEverything) {
+  const StreamGraph g = workloads::pipeline(4, 2);
+  Executor ex(g, workloads::passthrough_kernels(g));
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 100;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlocked);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(r.edges[e].data, 100u);
+    EXPECT_EQ(r.edges[e].dummies, 0u);
+  }
+  EXPECT_EQ(r.sink_data.back(), 100u);
+}
+
+TEST(Executor, SplitJoinAligned) {
+  const StreamGraph g = workloads::fig1_splitjoin(4);
+  Executor ex(g, workloads::passthrough_kernels(g));
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 50;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed);
+  // D consumed both branches at every seq.
+  EXPECT_EQ(r.sink_data[3], 100u);
+  EXPECT_EQ(r.fires[3], 50u);
+}
+
+TEST(Executor, Fig2DeadlocksWithoutDummies) {
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  Executor ex(g, triangle_kernels(/*prefix=*/100));
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 100;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Executor, Fig2SafeWithPropagationIntervals) {
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  const auto compiled = core::compile(g);
+  ASSERT_TRUE(compiled.ok);
+  Executor ex(g, triangle_kernels(/*prefix=*/100));
+  ExecutorOptions opt;
+  opt.mode = DummyMode::Propagation;
+  opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+  opt.forward_on_filter = compiled.forward_on_filter();
+  opt.num_inputs = 100;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed) << "deadlocked despite computed intervals";
+  EXPECT_GT(r.edges[2].dummies, 0u);  // A->C carried dummies
+  EXPECT_EQ(r.sink_data[2], 100u);    // C got all of B's relayed data
+}
+
+TEST(Executor, Fig2SafeWithNonPropagationIntervals) {
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  core::CompileOptions copt;
+  copt.algorithm = core::Algorithm::NonPropagation;
+  const auto compiled = core::compile(g, copt);
+  ASSERT_TRUE(compiled.ok);
+  Executor ex(g, triangle_kernels(/*prefix=*/100));
+  ExecutorOptions opt;
+  opt.mode = DummyMode::NonPropagation;
+  opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+  opt.num_inputs = 100;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Executor, FilteringWithoutCyclesNeedsNoDummies) {
+  // A pure pipeline cannot deadlock no matter how aggressively it filters.
+  const StreamGraph g = workloads::pipeline(5, 1);
+  std::vector<std::shared_ptr<Kernel>> kernels;
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    kernels.push_back(std::make_shared<RelayKernel>(
+        workloads::bernoulli_filter(0.5, 1234 + n)));
+  Executor ex(g, kernels);
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 200;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.total_dummies(), 0u);
+}
+
+TEST(Executor, DummiesArePropagatedDownstream) {
+  // Pipeline after a filtering split: dummies injected on the split's edge
+  // must be forwarded by interior nodes in Propagation mode.
+  const StreamGraph g = [&] {
+    StreamGraph gg;
+    const NodeId a = gg.add_node("A");
+    const NodeId b = gg.add_node("B");
+    const NodeId m = gg.add_node("M");
+    const NodeId c = gg.add_node("C");
+    gg.add_edge(a, b, 2);   // 0
+    gg.add_edge(b, c, 2);   // 1
+    gg.add_edge(a, m, 2);   // 2: filtered side, with interior hop M
+    gg.add_edge(m, c, 2);   // 3
+    return gg;
+  }();
+  const auto compiled = core::compile(g);
+  ASSERT_TRUE(compiled.ok);
+  std::vector<std::shared_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_shared<RelayKernel>(
+      workloads::adversarial_prefix_filter(1, 1000)));
+  kernels.push_back(pass_through_kernel());
+  kernels.push_back(pass_through_kernel());
+  kernels.push_back(pass_through_kernel());
+  Executor ex(g, kernels);
+  ExecutorOptions opt;
+  opt.mode = DummyMode::Propagation;
+  opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+  opt.forward_on_filter = compiled.forward_on_filter();
+  opt.num_inputs = 64;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.edges[2].dummies, 0u);  // originated at A
+  EXPECT_GT(r.edges[3].dummies, 0u);  // propagated through M
+}
+
+// The minimal counterexample behind the continuation-edge rule (see
+// EXPERIMENTS.md finding 2): u feeds a (buffer 5) and b directly
+// (buffer 1); a feeds b (buffer 5). The only branch node is u and the
+// paper's intervals are [u->a] = 1, [u->b] = 10, [a->b] = infinite. When
+// `a` filters everything toward b, u's data traffic on u->a satisfies
+// [u->a] without ever producing knowledge for b, u->b fills (capacity 1),
+// u blocks, and the system wedges -- unless a converts its filtered data
+// to dummies on the continuation edge a->b.
+TEST(Executor, InteriorFilteringCounterexample) {
+  StreamGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(u, a, 5);  // 0
+  g.add_edge(a, b, 5);  // 1: the continuation edge
+  g.add_edge(u, b, 1);  // 2
+  const auto compiled = core::compile(g);
+  ASSERT_TRUE(compiled.ok);
+  EXPECT_EQ(compiled.intervals[0], Rational(1));
+  EXPECT_EQ(compiled.intervals[2], Rational(10));
+  EXPECT_TRUE(compiled.intervals[1].is_infinite());
+  ASSERT_EQ(compiled.forward_on_filter(),
+            (std::vector<std::uint8_t>{0, 1, 0}));
+
+  const auto make_kernels = [] {
+    std::vector<std::shared_ptr<Kernel>> kernels;
+    kernels.push_back(pass_through_kernel());  // u passes on both channels
+    kernels.push_back(std::make_shared<RelayKernel>(
+        [](std::uint64_t, std::size_t) { return false; }));  // a drops all
+    kernels.push_back(pass_through_kernel());  // b (sink)
+    return kernels;
+  };
+
+  // Without the continuation rule: deadlock.
+  {
+    Executor ex(g, make_kernels());
+    ExecutorOptions opt;
+    opt.mode = DummyMode::Propagation;
+    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+    opt.num_inputs = 100;  // forward_on_filter deliberately left empty
+    EXPECT_TRUE(ex.run(opt).deadlocked);
+  }
+  // With it: completes.
+  {
+    Executor ex(g, make_kernels());
+    ExecutorOptions opt;
+    opt.mode = DummyMode::Propagation;
+    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
+    opt.forward_on_filter = compiled.forward_on_filter();
+    opt.num_inputs = 100;
+    const auto r = ex.run(opt);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.edges[1].dummies, 0u);  // a converted filtered data
+  }
+}
+
+TEST(Executor, ValuesFlowThroughPayloads) {
+  // Source tags values; sink checks them via a lambda kernel.
+  StreamGraph g;
+  const NodeId src = g.add_node();
+  const NodeId dst = g.add_node();
+  g.add_edge(src, dst, 4);
+  std::vector<std::shared_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_shared<LambdaKernel>(
+      [](std::uint64_t seq, const auto&, Emitter& out) {
+        out.emit(0, Value(static_cast<std::int64_t>(seq * 3)));
+      }));
+  std::atomic<std::int64_t> sum{0};
+  kernels.push_back(std::make_shared<LambdaKernel>(
+      [&sum](std::uint64_t, const auto& inputs, Emitter&) {
+        sum += inputs[0]->template as<std::int64_t>();
+      }));
+  Executor ex(g, kernels);
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 10;
+  const auto r = ex.run(opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(sum.load(), 3 * 45);
+}
+
+TEST(Executor, RepeatedRunsAreIndependent) {
+  const StreamGraph g = workloads::fig1_splitjoin(2);
+  Executor ex(g, workloads::passthrough_kernels(g));
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 20;
+  const auto r1 = ex.run(opt);
+  const auto r2 = ex.run(opt);
+  EXPECT_TRUE(r1.completed);
+  EXPECT_TRUE(r2.completed);
+  EXPECT_EQ(r1.total_data(), r2.total_data());
+}
+
+}  // namespace
+}  // namespace sdaf::runtime

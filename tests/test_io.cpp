@@ -1,0 +1,63 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/intervals/baseline.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(TextIo, RoundTrip) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const StreamGraph back = from_text(to_text(g));
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e).from, g.edge(e).from);
+    EXPECT_EQ(back.edge(e).to, g.edge(e).to);
+    EXPECT_EQ(back.edge(e).buffer, g.edge(e).buffer);
+  }
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    EXPECT_EQ(back.node_name(n), g.node_name(n));
+}
+
+TEST(TextIo, ParsesCommentsAndBlankLines) {
+  const StreamGraph g = from_text(
+      "# a tiny graph\n"
+      "node A\n"
+      "\n"
+      "node B\n"
+      "edge A B 7\n");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(0).buffer, 7);
+}
+
+TEST(TextIoDeathTest, RejectsUnknownNodeInEdge) {
+  EXPECT_DEATH((void)from_text("node A\nedge A Z 3\n"), "precondition");
+}
+
+TEST(TextIoDeathTest, RejectsDuplicateNode) {
+  EXPECT_DEATH((void)from_text("node A\nnode A\n"), "precondition");
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const StreamGraph g = workloads::fig2_triangle();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+}
+
+TEST(Dot, AnnotatesIntervals) {
+  const StreamGraph g = workloads::fig2_triangle();
+  const IntervalMap ivals = propagation_intervals_exact(g);
+  const std::string dot = to_dot(g, &ivals);
+  EXPECT_NE(dot.find("/ 2"), std::string::npos);  // [AB] = 2
+  EXPECT_NE(dot.find("/ inf"), std::string::npos);  // [BC] unconstrained
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,116 @@
+#include "src/cs4/k4_witness.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(K4, ButterflyContainsK4) {
+  const auto w = find_k4_subdivision(workloads::fig4_butterfly());
+  ASSERT_TRUE(w.has_value());
+  EXPECT_GE(w->remainder_nodes.size(), 4u);
+}
+
+TEST(K4, ExplicitK4Directed) {
+  // K4 on {a,b,c,d} oriented acyclically.
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);
+  g.add_edge(a, d, 1);
+  g.add_edge(b, c, 1);
+  g.add_edge(b, d, 1);
+  g.add_edge(c, d, 1);
+  const auto w = find_k4_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->remainder_nodes.size(), 4u);
+}
+
+TEST(K4, SubdividedK4StillDetected) {
+  // Replace each K4 edge with a 2-hop path: a subdivision, not a K4 itself.
+  StreamGraph g;
+  std::vector<NodeId> corner;
+  for (int i = 0; i < 4; ++i) corner.push_back(g.add_node());
+  auto path = [&](NodeId u, NodeId v) {
+    const NodeId mid = g.add_node();
+    g.add_edge(u, mid, 1);
+    g.add_edge(mid, v, 1);
+  };
+  path(corner[0], corner[1]);
+  path(corner[0], corner[2]);
+  path(corner[0], corner[3]);
+  path(corner[1], corner[2]);
+  path(corner[1], corner[3]);
+  path(corner[2], corner[3]);
+  const auto w = find_k4_subdivision(g);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->remainder_nodes.size(), 4u);  // subdividers contracted away
+}
+
+TEST(K4, SpDagsAreK4Free) {
+  // Lemma V.1 + Lemma III.4: SP-DAGs are CS4, hence K4-free.
+  Prng rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 20;
+    const auto built = workloads::random_sp(rng, opt);
+    EXPECT_FALSE(find_k4_subdivision(built.graph).has_value());
+  }
+}
+
+TEST(K4, LaddersAreK4Free) {
+  Prng rng(43);
+  for (int trial = 0; trial < 25; ++trial) {
+    workloads::RandomLadderOptions opt;
+    opt.rungs = 1 + static_cast<std::size_t>(trial % 5);
+    const auto g = workloads::random_ladder(rng, opt);
+    EXPECT_FALSE(find_k4_subdivision(g).has_value());
+  }
+}
+
+TEST(K4, CrossingRungsCreateK4) {
+  // Lemma V.6: crossing chord graphs force a K4 subdivision.
+  StreamGraph g;
+  const NodeId x = g.add_node();
+  const NodeId u1 = g.add_node();
+  const NodeId u2 = g.add_node();
+  const NodeId v1 = g.add_node();
+  const NodeId v2 = g.add_node();
+  const NodeId y = g.add_node();
+  g.add_edge(x, u1, 1);
+  g.add_edge(u1, u2, 1);
+  g.add_edge(u2, y, 1);
+  g.add_edge(x, v1, 1);
+  g.add_edge(v1, v2, 1);
+  g.add_edge(v2, y, 1);
+  g.add_edge(u1, v2, 1);
+  g.add_edge(u2, v1, 1);
+  EXPECT_TRUE(find_k4_subdivision(g).has_value());
+}
+
+TEST(K4, TreesAndPipelinesAreK4Free) {
+  EXPECT_FALSE(find_k4_subdivision(workloads::pipeline(10)).has_value());
+  EXPECT_FALSE(
+      find_k4_subdivision(workloads::splitjoin(5, 3)).has_value());
+}
+
+// Lemma V.1 is one-directional: K4-freeness is necessary for CS4, so every
+// CS4 chain must be K4-free.
+TEST(K4, Cs4ChainsAreK4Free) {
+  Prng rng(44);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = workloads::random_cs4_chain(rng, {});
+    EXPECT_FALSE(find_k4_subdivision(g).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace sdaf

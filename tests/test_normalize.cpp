@@ -1,0 +1,130 @@
+#include "src/graph/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/compile.h"
+#include "src/graph/validate.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(Normalize, NoopOnTwoTerminalGraph) {
+  const StreamGraph g = workloads::fig1_splitjoin();
+  const auto n = normalize_two_terminal(g);
+  EXPECT_FALSE(n.changed);
+  EXPECT_EQ(n.virtual_source, kNoNode);
+  EXPECT_EQ(n.virtual_sink, kNoNode);
+  EXPECT_EQ(n.graph.node_count(), g.node_count());
+  EXPECT_EQ(n.graph.edge_count(), g.edge_count());
+}
+
+TEST(Normalize, WrapsTwoSources) {
+  // s1 -> j <- s2, j -> t: two sources, one sink.
+  StreamGraph g;
+  const NodeId s1 = g.add_node("s1");
+  const NodeId s2 = g.add_node("s2");
+  const NodeId j = g.add_node("j");
+  const NodeId t = g.add_node("t");
+  g.add_edge(s1, j, 4);
+  g.add_edge(s2, j, 4);
+  g.add_edge(j, t, 4);
+
+  const auto n = normalize_two_terminal(g);
+  EXPECT_TRUE(n.changed);
+  ASSERT_NE(n.virtual_source, kNoNode);
+  EXPECT_EQ(n.virtual_sink, kNoNode);
+  EXPECT_TRUE(validate(n.graph).two_terminal());
+  EXPECT_EQ(n.graph.edge_count(), g.edge_count() + 2);
+  // Mapping: original edges first, then virtual ones.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) EXPECT_EQ(n.orig_edge[e], e);
+  EXPECT_EQ(n.orig_edge[3], kNoEdge);
+  EXPECT_EQ(n.orig_edge[4], kNoEdge);
+}
+
+TEST(Normalize, WrapsSinksToo) {
+  StreamGraph g;
+  const NodeId s = g.add_node();
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(s, a, 2);
+  g.add_edge(s, b, 2);
+  const auto n = normalize_two_terminal(g);
+  EXPECT_TRUE(n.changed);
+  EXPECT_EQ(n.virtual_source, kNoNode);
+  ASSERT_NE(n.virtual_sink, kNoNode);
+  EXPECT_TRUE(validate(n.graph).two_terminal());
+}
+
+TEST(Normalize, SourceCoordinationBecomesForwarding) {
+  // Two sources feeding a join: after wrapping, the cycle through the
+  // virtual source makes each source's out-edge a continuation edge, so a
+  // filtering source must forward sequence knowledge to the join.
+  StreamGraph g;
+  const NodeId s1 = g.add_node("s1");
+  const NodeId s2 = g.add_node("s2");
+  const NodeId j = g.add_node("j");
+  const NodeId t = g.add_node("t");
+  const EdgeId e1 = g.add_edge(s1, j, 4);
+  const EdgeId e2 = g.add_edge(s2, j, 4);
+  g.add_edge(j, t, 4);
+
+  const auto n = normalize_two_terminal(g);
+  const auto compiled = core::compile(n.graph);
+  ASSERT_TRUE(compiled.ok);
+  const auto& fwd = compiled.forward_on_filter();
+  EXPECT_EQ(fwd[e1], 1);
+  EXPECT_EQ(fwd[e2], 1);
+  // With the default (effectively unbounded) virtual buffers the schedules
+  // through virtual cycles are astronomically lazy.
+  EXPECT_TRUE(compiled.intervals[e1].is_infinite() ||
+              compiled.intervals[e1] > Rational(1'000'000));
+}
+
+TEST(Normalize, TightVirtualBufferTightensSchedules) {
+  StreamGraph g;
+  const NodeId s1 = g.add_node();
+  const NodeId s2 = g.add_node();
+  const NodeId j = g.add_node();
+  const NodeId t = g.add_node();
+  g.add_edge(s1, j, 4);
+  g.add_edge(s2, j, 4);
+  g.add_edge(j, t, 4);
+  const auto n = normalize_two_terminal(g, /*virtual_buffer=*/2);
+  const auto compiled = core::compile(n.graph);
+  ASSERT_TRUE(compiled.ok);
+  // Cycle <src>-s1-j-s2-<src>: the virtual out-edges get finite intervals
+  // bounded by the opposite side's (2 + 4) budget.
+  bool saw_finite_virtual = false;
+  for (EdgeId e = 0; e < n.graph.edge_count(); ++e)
+    if (n.orig_edge[e] == kNoEdge && compiled.intervals[e].is_finite())
+      saw_finite_virtual = true;
+  EXPECT_TRUE(saw_finite_virtual);
+}
+
+TEST(Normalize, ClassificationSurvivesWrapping) {
+  // Wrapping two parallel pipelines yields an SP-DAG.
+  StreamGraph g;
+  const NodeId s1 = g.add_node();
+  const NodeId m1 = g.add_node();
+  const NodeId s2 = g.add_node();
+  const NodeId m2 = g.add_node();
+  const NodeId t1 = g.add_node();
+  const NodeId t2 = g.add_node();
+  g.add_edge(s1, m1, 2);
+  g.add_edge(m1, t1, 2);
+  g.add_edge(s2, m2, 2);
+  g.add_edge(m2, t2, 2);
+  const auto n = normalize_two_terminal(g);
+  const auto compiled = core::compile(n.graph);
+  EXPECT_TRUE(compiled.ok);
+  EXPECT_EQ(compiled.classification, core::Classification::SpDag);
+}
+
+TEST(NormalizeDeathTest, RejectsNonPositiveVirtualBuffer) {
+  const StreamGraph g = workloads::fig1_splitjoin();
+  EXPECT_DEATH((void)normalize_two_terminal(g, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,100 @@
+#include "src/support/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sdaf {
+namespace {
+
+TEST(Rational, DefaultIsInfinity) {
+  const Rational r;
+  EXPECT_TRUE(r.is_infinite());
+  EXPECT_FALSE(r.is_finite());
+  EXPECT_EQ(r, Rational::infinity());
+}
+
+TEST(Rational, IntegerConstruction) {
+  const Rational r(7);
+  EXPECT_TRUE(r.is_finite());
+  EXPECT_EQ(r.num(), 7);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, NormalizesToLowestTerms) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumerator) {
+  const Rational r(0, 5);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r, Rational(0));
+}
+
+TEST(Rational, EqualityAcrossRepresentations) {
+  EXPECT_EQ(Rational(2, 3), Rational(4, 6));
+  EXPECT_NE(Rational(2, 3), Rational(3, 4));
+  EXPECT_NE(Rational(1), Rational::infinity());
+  EXPECT_EQ(Rational::infinity(), Rational::infinity());
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 2), Rational(2, 3));
+  EXPECT_LT(Rational(5), Rational::infinity());
+  EXPECT_FALSE(Rational::infinity() < Rational(5));
+  EXPECT_FALSE(Rational::infinity() < Rational::infinity());
+  EXPECT_LE(Rational(3), Rational(3));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  EXPECT_GE(Rational::infinity(), Rational(1000000));
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(2) + Rational(3), Rational(5));
+  EXPECT_TRUE((Rational(1) + Rational::infinity()).is_infinite());
+  EXPECT_TRUE((Rational::infinity() + Rational::infinity()).is_infinite());
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(8) / Rational(3), Rational(8, 3));
+  EXPECT_EQ(Rational(6) / Rational(3), Rational(2));
+  EXPECT_TRUE((Rational::infinity() / Rational(4)).is_infinite());
+  EXPECT_EQ(Rational(3, 4) / Rational(3, 2), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(8, 3).floor(), 2);
+  EXPECT_EQ(Rational(8, 3).ceil(), 3);  // the paper's Fig. 3 roundup
+  EXPECT_EQ(Rational(6, 3).floor(), 2);
+  EXPECT_EQ(Rational(6, 3).ceil(), 2);
+  EXPECT_EQ(Rational(2, 3).floor(), 0);
+  EXPECT_EQ(Rational(2, 3).ceil(), 1);
+  EXPECT_EQ(Rational(0).ceil(), 0);
+}
+
+TEST(Rational, MinHelper) {
+  EXPECT_EQ(min(Rational(3), Rational(5)), Rational(3));
+  EXPECT_EQ(min(Rational::infinity(), Rational(5)), Rational(5));
+  EXPECT_TRUE(min(Rational::infinity(), Rational::infinity()).is_infinite());
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(8, 3).to_string(), "8/3");
+  EXPECT_EQ(Rational::infinity().to_string(), "inf");
+  std::ostringstream os;
+  os << Rational(7, 2);
+  EXPECT_EQ(os.str(), "7/2");
+}
+
+TEST(Rational, LargeValuesStayExact) {
+  const Rational big(1'000'000'007, 3);
+  EXPECT_EQ(big.num(), 1'000'000'007);
+  EXPECT_EQ((big + big).num(), 2'000'000'014);
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,110 @@
+#include "src/spdag/recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/intervals/nonprop_sp.h"
+#include "src/intervals/propagation_sp.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(Recognizer, AcceptsSingleEdge) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 3);
+  const auto rec = recognize_sp(g);
+  EXPECT_TRUE(rec.is_sp);
+  EXPECT_EQ(rec.tree.node(rec.tree.root()).kind, SpKind::Leaf);
+}
+
+TEST(Recognizer, AcceptsMultiEdge) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(a, b, 2);
+  g.add_edge(a, b, 3);
+  const auto rec = recognize_sp(g);
+  ASSERT_TRUE(rec.is_sp);
+  EXPECT_EQ(rec.tree.leaves_under(rec.tree.root()).size(), 3u);
+}
+
+TEST(Recognizer, AcceptsPipeline) {
+  EXPECT_TRUE(recognize_sp(workloads::pipeline(8)).is_sp);
+}
+
+TEST(Recognizer, AcceptsSplitJoin) {
+  EXPECT_TRUE(recognize_sp(workloads::fig1_splitjoin()).is_sp);
+  EXPECT_TRUE(recognize_sp(workloads::splitjoin(4, 2)).is_sp);
+}
+
+TEST(Recognizer, AcceptsFig2AndFig3) {
+  // The triangle is Pc(Sc(ab, bc), ac); Fig 3 is a 2-path parallel bundle.
+  EXPECT_TRUE(recognize_sp(workloads::fig2_triangle()).is_sp);
+  EXPECT_TRUE(recognize_sp(workloads::fig3_cycle()).is_sp);
+}
+
+TEST(Recognizer, RejectsFig4Left) {
+  const auto rec = recognize_sp(workloads::fig4_left());
+  EXPECT_FALSE(rec.is_sp);
+  EXPECT_NE(rec.reason.find("irreducible"), std::string::npos);
+}
+
+TEST(Recognizer, RejectsButterfly) {
+  EXPECT_FALSE(recognize_sp(workloads::fig4_butterfly()).is_sp);
+}
+
+TEST(Recognizer, RejectsNonTwoTerminal) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, c, 1);
+  g.add_edge(b, c, 1);
+  const auto rec = recognize_sp(g);
+  EXPECT_FALSE(rec.is_sp);
+  EXPECT_NE(rec.reason.find("two-terminal"), std::string::npos);
+}
+
+TEST(Recognizer, ReductionExposesSkeletonOfFig4Left) {
+  const StreamGraph g = workloads::fig4_left();
+  const auto red = reduce_sp(g, g.unique_source(), g.unique_sink());
+  // Fig 4 left is already irreducible: all 5 edges survive.
+  EXPECT_EQ(red.remainder.size(), 5u);
+}
+
+class RecognizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The recognizer must accept every generated SP-DAG, and the tree it builds
+// -- though possibly shaped differently from the generator's -- must induce
+// identical dummy intervals under both algorithms.
+TEST_P(RecognizerProperty, RoundTripsRandomSpDags) {
+  Prng rng(GetParam());
+  for (std::size_t edges : {1u, 2u, 3u, 5u, 9u, 17u, 33u}) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = edges;
+    const auto built = workloads::random_sp(rng, opt);
+    const auto rec = recognize_sp(built.graph);
+    ASSERT_TRUE(rec.is_sp) << "rejected SP-DAG with " << edges << " edges";
+
+    const auto prop_trusted =
+        propagation_intervals_sp(built.graph, built.tree);
+    const auto prop_recognized =
+        propagation_intervals_sp(built.graph, rec.tree);
+    EXPECT_EQ(prop_trusted, prop_recognized);
+
+    const auto np_trusted = nonprop_intervals_sp(built.graph, built.tree);
+    const auto np_recognized = nonprop_intervals_sp(built.graph, rec.tree);
+    EXPECT_EQ(np_trusted, np_recognized);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecognizerProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,123 @@
+#include "src/cs4/skeleton.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/topo.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+Skeleton skel_of(const StreamGraph& g) {
+  return extract_skeleton(g, g.unique_source(), g.unique_sink());
+}
+
+TEST(Skeleton, SpGraphContractsToOneEdge) {
+  const auto s = skel_of(workloads::fig3_cycle());
+  EXPECT_TRUE(s.is_single_sp());
+  EXPECT_EQ(s.graph.edge_count(), 1u);
+  // Skeleton buffer = L of the whole graph = 6.
+  EXPECT_EQ(s.graph.edge(0).buffer, 6);
+}
+
+TEST(Skeleton, Fig4LeftIsIrreducible) {
+  const auto s = skel_of(workloads::fig4_left(2));
+  EXPECT_EQ(s.edges.size(), 5u);
+  EXPECT_EQ(s.graph.node_count(), 4u);
+  for (EdgeId e = 0; e < s.graph.edge_count(); ++e)
+    EXPECT_EQ(s.graph.edge(e).buffer, 2);
+}
+
+TEST(Skeleton, DecoratedLadderContractsDecorations) {
+  // Fig 5 intuition: decorate a ladder's segments with SP fuzz; the
+  // skeleton must still be the bare 8-super-edge ladder of fig5.
+  StreamGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId f = g.add_node("f");
+  const NodeId j = g.add_node("j");
+  const NodeId k = g.add_node("k");
+  const NodeId m = g.add_node("m");
+  auto decorated = [&](NodeId from, NodeId to) {
+    // from -> mid -> to with a parallel shortcut mid pair: an SP component.
+    const NodeId mid = g.add_node();
+    g.add_edge(from, mid, 2);
+    g.add_edge(mid, to, 3);
+    g.add_edge(mid, to, 4);
+  };
+  decorated(a, b);
+  decorated(b, f);
+  decorated(f, m);
+  decorated(a, j);
+  decorated(j, k);
+  decorated(k, m);
+  decorated(b, j);
+  decorated(f, k);
+  const auto s = skel_of(g);
+  EXPECT_EQ(s.edges.size(), 8u);
+  // Each contracted component: L = 2 + min(3,4) = 5.
+  for (EdgeId e = 0; e < s.graph.edge_count(); ++e)
+    EXPECT_EQ(s.graph.edge(e).buffer, 5);
+}
+
+TEST(Skeleton, ChainKeepsBridges) {
+  // ladder -> bridge -> ladder: skeleton has 5 + 1 + 5 super-edges.
+  Prng rng(5);
+  workloads::RandomCs4Options opt;
+  opt.components = 3;
+  opt.ladder_probability = 1.0;
+  opt.ladder.rungs = 1;
+  opt.ladder.left_interior = 1;
+  opt.ladder.right_interior = 1;
+  const auto g = workloads::random_cs4_chain(rng, opt);
+  const auto s = skel_of(g);
+  EXPECT_FALSE(s.is_single_sp());
+  // All skeleton endpoints map back to original nodes.
+  for (const auto& se : s.edges) {
+    EXPECT_LT(se.from, g.node_count());
+    EXPECT_LT(se.to, g.node_count());
+    EXPECT_GE(se.tree, 0);
+  }
+}
+
+TEST(Skeleton, MetricsMatchComponents) {
+  Prng rng(17);
+  workloads::RandomLadderOptions opt;
+  opt.rungs = 2;
+  opt.component_edges = 3;
+  const auto g = workloads::random_ladder(rng, opt);
+  const auto s = skel_of(g);
+  // Every super-edge's skeleton buffer equals the component tree's L and
+  // the component terminals match.
+  for (std::size_t i = 0; i < s.edges.size(); ++i) {
+    const auto& se = s.edges[i];
+    EXPECT_EQ(s.graph.edge(static_cast<EdgeId>(i)).buffer,
+              s.metrics.shortest_buffer[se.tree]);
+    EXPECT_EQ(s.tree.node(se.tree).source, se.from);
+    EXPECT_EQ(s.tree.node(se.tree).sink, se.to);
+  }
+  // Component trees partition the graph's edges.
+  std::vector<bool> covered(g.edge_count(), false);
+  for (const auto& se : s.edges)
+    for (const auto li : s.tree.leaves_under(se.tree)) {
+      const EdgeId e = s.tree.node(li).edge;
+      EXPECT_FALSE(covered[e]);
+      covered[e] = true;
+    }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) EXPECT_TRUE(covered[e]);
+}
+
+TEST(Skeleton, SkeletonIsAcyclicDag) {
+  Prng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = workloads::random_two_terminal_dag(rng, {});
+    const auto s = skel_of(g);
+    EXPECT_TRUE(topo_order(s.graph).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace sdaf

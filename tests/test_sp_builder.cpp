@@ -1,0 +1,86 @@
+#include "src/spdag/sp_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/validate.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_sp.h"
+
+namespace sdaf {
+namespace {
+
+TEST(SpSpec, EdgeCountsCompose) {
+  const auto spec = SpSpec::series(
+      {SpSpec::edge(1),
+       SpSpec::parallel({SpSpec::edge(2), SpSpec::edge(3), SpSpec::edge(4)}),
+       SpSpec::edge(5)});
+  EXPECT_EQ(spec.edge_count(), 5u);
+}
+
+TEST(SpSpec, SingletonCollapses) {
+  const auto spec = SpSpec::series({SpSpec::edge(7)});
+  EXPECT_EQ(spec.kind(), SpSpec::Kind::Edge);
+  EXPECT_EQ(spec.buffer(), 7);
+}
+
+TEST(BuildSp, SingleEdge) {
+  const auto built = build_sp(SpSpec::edge(9));
+  EXPECT_EQ(built.graph.node_count(), 2u);
+  EXPECT_EQ(built.graph.edge_count(), 1u);
+  EXPECT_EQ(built.graph.edge(0).buffer, 9);
+  EXPECT_EQ(built.tree.node(built.tree.root()).kind, SpKind::Leaf);
+}
+
+TEST(BuildSp, PipelineShape) {
+  const auto built = build_sp(
+      SpSpec::series({SpSpec::edge(1), SpSpec::edge(2), SpSpec::edge(3)}));
+  EXPECT_EQ(built.graph.node_count(), 4u);
+  EXPECT_EQ(built.graph.edge_count(), 3u);
+  EXPECT_TRUE(validate(built.graph).two_terminal());
+}
+
+TEST(BuildSp, ParallelBundleIsMultiEdge) {
+  const auto built = build_sp(
+      SpSpec::parallel({SpSpec::edge(1), SpSpec::edge(2), SpSpec::edge(3)}));
+  EXPECT_EQ(built.graph.node_count(), 2u);
+  EXPECT_EQ(built.graph.edge_count(), 3u);
+}
+
+TEST(BuildSp, SplitJoinShape) {
+  // series(edge, parallel(edge, edge), edge): classic split/join with
+  // dedicated split and join nodes.
+  const auto built = build_sp(SpSpec::series(
+      {SpSpec::edge(1), SpSpec::parallel({SpSpec::edge(1), SpSpec::edge(1)}),
+       SpSpec::edge(1)}));
+  EXPECT_EQ(built.graph.edge_count(), 4u);
+  EXPECT_TRUE(validate(built.graph).two_terminal());
+}
+
+TEST(BuildSp, TreeMatchesGraph) {
+  Prng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 1 + static_cast<std::size_t>(trial);
+    const auto built = workloads::random_sp(rng, opt);
+    EXPECT_EQ(built.graph.edge_count(), opt.target_edges);
+    EXPECT_TRUE(validate(built.graph).two_terminal());
+    built.tree.check_consistency(built.graph);  // aborts on violation
+  }
+}
+
+TEST(BuildSpBetween, EmbedsIntoExistingGraph) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b, 1);
+  SpTree tree;
+  const auto idx = build_sp_between(
+      SpSpec::parallel({SpSpec::edge(2), SpSpec::edge(3)}), g, tree, b, c);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(tree.node(idx).source, b);
+  EXPECT_EQ(tree.node(idx).sink, c);
+}
+
+}  // namespace
+}  // namespace sdaf

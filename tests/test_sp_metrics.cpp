@@ -1,0 +1,121 @@
+#include "src/spdag/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/topo.h"
+#include "src/spdag/sp_builder.h"
+#include "src/spdag/recognizer.h"
+#include "src/support/prng.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(SpMetrics, SingleEdge) {
+  const auto built = build_sp(SpSpec::edge(7));
+  const auto m = compute_sp_metrics(built.tree, built.graph);
+  EXPECT_EQ(m.shortest_buffer[built.tree.root()], 7);
+  EXPECT_EQ(m.longest_hops[built.tree.root()], 1);
+}
+
+TEST(SpMetrics, SeriesAdds) {
+  const auto built =
+      build_sp(SpSpec::series({SpSpec::edge(2), SpSpec::edge(5)}));
+  const auto m = compute_sp_metrics(built.tree, built.graph);
+  EXPECT_EQ(m.shortest_buffer[built.tree.root()], 7);
+  EXPECT_EQ(m.longest_hops[built.tree.root()], 2);
+}
+
+TEST(SpMetrics, ParallelMinsBuffersMaxesHops) {
+  const auto built = build_sp(SpSpec::parallel(
+      {SpSpec::series({SpSpec::edge(2), SpSpec::edge(2)}), SpSpec::edge(9)}));
+  const auto m = compute_sp_metrics(built.tree, built.graph);
+  EXPECT_EQ(m.shortest_buffer[built.tree.root()], 4);  // min(4, 9)
+  EXPECT_EQ(m.longest_hops[built.tree.root()], 2);     // max(2, 1)
+}
+
+TEST(SpMetrics, Fig3) {
+  const auto rec = recognize_sp(workloads::fig3_cycle());
+  ASSERT_TRUE(rec.is_sp);
+  const auto m = compute_sp_metrics(rec.tree, workloads::fig3_cycle());
+  EXPECT_EQ(m.shortest_buffer[rec.tree.root()], 6);  // a-c-d-f
+  EXPECT_EQ(m.longest_hops[rec.tree.root()], 3);
+}
+
+// L and h computed over the tree must agree with direct DAG shortest/longest
+// path computations on the underlying graph.
+TEST(SpMetrics, AgreesWithGraphDp) {
+  Prng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 2 + static_cast<std::size_t>(trial);
+    const auto built = workloads::random_sp(rng, opt);
+    const auto m = compute_sp_metrics(built.tree, built.graph);
+    const NodeId src = built.graph.unique_source();
+    const NodeId snk = built.graph.unique_sink();
+    EXPECT_EQ(m.shortest_buffer[built.tree.root()],
+              shortest_buffer_dist(built.graph, src)[snk]);
+    EXPECT_EQ(m.longest_hops[built.tree.root()],
+              longest_hop_dist(built.graph, src)[snk]);
+  }
+}
+
+TEST(HopsThrough, SingleLeafIsOne) {
+  const auto built = build_sp(SpSpec::edge(4));
+  const auto m = compute_sp_metrics(built.tree, built.graph);
+  const auto parents = built.tree.parents();
+  EXPECT_EQ(longest_hops_through(built.tree, m, parents, built.tree.root(),
+                                 built.tree.root()),
+            1);
+}
+
+TEST(HopsThrough, SeriesExtends) {
+  // series(e, parallel(e, series(e, e))): through the lone left edge the
+  // longest path is 1 + max(1, 2) = 3.
+  const auto built = build_sp(SpSpec::series(
+      {SpSpec::edge(1),
+       SpSpec::parallel({SpSpec::edge(1),
+                         SpSpec::series({SpSpec::edge(1), SpSpec::edge(1)})})}));
+  const auto m = compute_sp_metrics(built.tree, built.graph);
+  const auto parents = built.tree.parents();
+  // Find the leaf whose edge leaves the graph source.
+  const NodeId src = built.graph.unique_source();
+  SpTree::Index first_leaf = -1;
+  for (const auto li : built.tree.leaves_under(built.tree.root()))
+    if (built.graph.edge(built.tree.node(li).edge).from == src)
+      first_leaf = li;
+  ASSERT_GE(first_leaf, 0);
+  EXPECT_EQ(longest_hops_through(built.tree, m, parents, first_leaf,
+                                 built.tree.root()),
+            3);
+}
+
+// h(G, e) from the walk must match a direct computation: longest path
+// source->tail(e) plus 1 plus longest path head(e)->sink.
+TEST(HopsThrough, AgreesWithGraphDp) {
+  Prng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = 3 + static_cast<std::size_t>(trial);
+    const auto built = workloads::random_sp(rng, opt);
+    const auto m = compute_sp_metrics(built.tree, built.graph);
+    const auto parents = built.tree.parents();
+    const NodeId src = built.graph.unique_source();
+    const auto from_src = longest_hop_dist(built.graph, src);
+    for (const auto li : built.tree.leaves_under(built.tree.root())) {
+      const EdgeId e = built.tree.node(li).edge;
+      // Longest path head(e) -> sink via reverse DP: recompute per edge by
+      // running forward DP from head(e).
+      const auto from_head = longest_hop_dist(built.graph, built.graph.edge(e).to);
+      const std::int64_t direct = from_src[built.graph.edge(e).from] + 1 +
+                                  from_head[built.graph.unique_sink()];
+      EXPECT_EQ(longest_hops_through(built.tree, m, parents, li,
+                                     built.tree.root()),
+                direct);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,92 @@
+#include "src/spdag/sp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/stream_graph.h"
+
+namespace sdaf {
+namespace {
+
+struct Fixture {
+  StreamGraph g;
+  SpTree tree;
+  NodeId x, m, y;
+  SpTree::Index leaf_xm, leaf_my, leaf_xy, series, root;
+
+  Fixture() {
+    x = g.add_node("x");
+    m = g.add_node("m");
+    y = g.add_node("y");
+    const EdgeId e_xm = g.add_edge(x, m, 2);
+    const EdgeId e_my = g.add_edge(m, y, 3);
+    const EdgeId e_xy = g.add_edge(x, y, 4);
+    leaf_xm = tree.add_leaf(e_xm, x, m);
+    leaf_my = tree.add_leaf(e_my, m, y);
+    leaf_xy = tree.add_leaf(e_xy, x, y);
+    series = tree.add_series(leaf_xm, leaf_my);
+    root = tree.add_parallel(series, leaf_xy);
+    tree.set_root(root);
+  }
+};
+
+TEST(SpTree, TerminalsCompose) {
+  Fixture f;
+  EXPECT_EQ(f.tree.node(f.series).source, f.x);
+  EXPECT_EQ(f.tree.node(f.series).sink, f.y);
+  EXPECT_EQ(f.tree.node(f.root).source, f.x);
+  EXPECT_EQ(f.tree.node(f.root).sink, f.y);
+  EXPECT_EQ(f.tree.size(), 5u);
+}
+
+TEST(SpTree, ParentsArray) {
+  Fixture f;
+  const auto parents = f.tree.parents();
+  EXPECT_EQ(parents[f.leaf_xm], f.series);
+  EXPECT_EQ(parents[f.leaf_my], f.series);
+  EXPECT_EQ(parents[f.series], f.root);
+  EXPECT_EQ(parents[f.leaf_xy], f.root);
+  EXPECT_EQ(parents[f.root], -1);
+}
+
+TEST(SpTree, LeavesUnder) {
+  Fixture f;
+  const auto all = f.tree.leaves_under(f.root);
+  EXPECT_EQ(all.size(), 3u);
+  const auto left = f.tree.leaves_under(f.series);
+  EXPECT_EQ(left.size(), 2u);
+  const auto single = f.tree.leaves_under(f.leaf_xy);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], f.leaf_xy);
+}
+
+TEST(SpTree, ConsistencyCheckPasses) {
+  Fixture f;
+  f.tree.check_consistency(f.g);  // must not abort
+}
+
+TEST(SpTreeDeathTest, SeriesRequiresSharedJunction) {
+  Fixture f;
+  EXPECT_DEATH((void)f.tree.add_series(f.leaf_xy, f.leaf_xm), "precondition");
+}
+
+TEST(SpTreeDeathTest, ParallelRequiresSharedTerminals) {
+  Fixture f;
+  EXPECT_DEATH((void)f.tree.add_parallel(f.leaf_xm, f.leaf_xy),
+               "precondition");
+}
+
+TEST(SpTreeDeathTest, RootRequiredForAccess) {
+  SpTree t;
+  EXPECT_DEATH((void)t.root(), "precondition");
+}
+
+TEST(SpTreeDeathTest, ConsistencyCatchesMissingEdge) {
+  Fixture f;
+  StreamGraph bigger = f.g;
+  const NodeId z = bigger.add_node();
+  (void)bigger.add_edge(f.y, z, 1);  // edge not covered by the tree
+  EXPECT_DEATH(f.tree.check_consistency(bigger), "invariant");
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,61 @@
+#include "src/support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdaf {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  std::vector<double> x, y2, y1;
+  for (double n = 8; n <= 4096; n *= 2) {
+    x.push_back(n);
+    y2.push_back(3.0 * n * n);   // quadratic
+    y1.push_back(0.5 * n);       // linear
+  }
+  EXPECT_NEAR(loglog_slope(x, y2), 2.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(x, y1), 1.0, 1e-9);
+}
+
+TEST(LogLogSlope, NoisyDataStaysClose) {
+  std::vector<double> x, y;
+  for (double n = 16; n <= 16384; n *= 2) {
+    x.push_back(n);
+    y.push_back(n * n * n * (1.0 + 0.05 * std::sin(n)));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sdaf

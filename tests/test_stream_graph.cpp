@@ -1,0 +1,111 @@
+#include "src/graph/stream_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(StreamGraph, Empty) {
+  const StreamGraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(StreamGraph, AddNodesAndEdges) {
+  StreamGraph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const EdgeId e = g.add_edge(a, b, 5);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.edge(e).buffer, 5);
+  EXPECT_EQ(g.node_name(a), "A");
+}
+
+TEST(StreamGraph, AutoNames) {
+  StreamGraph g;
+  const NodeId n = g.add_node();
+  EXPECT_EQ(g.node_name(n), "n0");
+  g.set_node_name(n, "renamed");
+  EXPECT_EQ(g.node_name(n), "renamed");
+}
+
+TEST(StreamGraph, MultiEdgesAreDistinct) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e1 = g.add_edge(a, b, 1);
+  const EdgeId e2 = g.add_edge(a, b, 2);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.out_degree(a), 2u);
+  EXPECT_EQ(g.in_degree(b), 2u);
+}
+
+TEST(StreamGraph, AdjacencySpans) {
+  const StreamGraph g = workloads::fig1_splitjoin();
+  // A = node 0: out-edges to B and C in insertion order.
+  const auto outs = g.out_edges(0);
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_EQ(g.edge(outs[0]).to, 1u);
+  EXPECT_EQ(g.edge(outs[1]).to, 2u);
+  const auto ins = g.in_edges(3);
+  EXPECT_EQ(ins.size(), 2u);
+}
+
+TEST(StreamGraph, SourcesAndSinks) {
+  const StreamGraph g = workloads::fig2_triangle();
+  EXPECT_EQ(g.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<NodeId>{2});
+  EXPECT_EQ(g.unique_source(), 0u);
+  EXPECT_EQ(g.unique_sink(), 2u);
+}
+
+TEST(StreamGraph, MultipleSourcesListed) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, c, 1);
+  g.add_edge(b, c, 1);
+  EXPECT_EQ(g.sources().size(), 2u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(StreamGraph, SetBuffer) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b, 1);
+  g.set_buffer(e, 9);
+  EXPECT_EQ(g.edge(e).buffer, 9);
+}
+
+using StreamGraphDeath = StreamGraph;
+
+TEST(StreamGraphDeathTest, RejectsSelfLoop) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  EXPECT_DEATH((void)g.add_edge(a, a, 1), "precondition");
+}
+
+TEST(StreamGraphDeathTest, RejectsZeroBuffer) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_DEATH((void)g.add_edge(a, b, 0), "precondition");
+}
+
+TEST(StreamGraphDeathTest, RejectsUnknownNode) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  EXPECT_DEATH((void)g.add_edge(a, 42, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace sdaf

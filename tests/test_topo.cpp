@@ -1,0 +1,92 @@
+#include "src/graph/topo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+bool respects_edges(const StreamGraph& g, const std::vector<NodeId>& order) {
+  std::vector<std::size_t> pos(g.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    if (pos[g.edge(e).from] >= pos[g.edge(e).to]) return false;
+  return true;
+}
+
+TEST(Topo, OrdersPipeline) {
+  const StreamGraph g = workloads::pipeline(6);
+  const auto order = topo_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 6u);
+  EXPECT_TRUE(respects_edges(g, *order));
+}
+
+TEST(Topo, OrdersRandomDags) {
+  Prng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = workloads::random_two_terminal_dag(rng, {});
+    const auto order = topo_order(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_TRUE(respects_edges(g, *order));
+  }
+}
+
+TEST(Topo, DetectsDirectedCycle) {
+  // Bypass add_edge's protections by building a cycle of length 3.
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 1);
+  g.add_edge(c, a, 1);
+  EXPECT_FALSE(topo_order(g).has_value());
+}
+
+TEST(ShortestBufferDist, Fig3) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto dist = shortest_buffer_dist(g, 0);  // from a
+  // a->b=2, a->c=3, b->e=5, c->d=1, e->f / d->f.
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 2);   // b
+  EXPECT_EQ(dist[2], 3);   // c
+  EXPECT_EQ(dist[3], 4);   // d via c
+  EXPECT_EQ(dist[4], 7);   // e via b
+  EXPECT_EQ(dist[5], 6);   // f: min(a-c-d-f=6, a-b-e-f=8)
+}
+
+TEST(ShortestBufferDist, UnreachableIsMinusOne) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto dist = shortest_buffer_dist(g, 1);  // from b
+  EXPECT_EQ(dist[0], -1);  // a unreachable from b
+  EXPECT_EQ(dist[2], -1);  // c unreachable from b
+  EXPECT_EQ(dist[4], 5);   // e
+}
+
+TEST(LongestHopDist, Fig3) {
+  const StreamGraph g = workloads::fig3_cycle();
+  const auto hops = longest_hop_dist(g, 0);
+  EXPECT_EQ(hops[5], 3);  // both sides have 3 hops
+  EXPECT_EQ(hops[1], 1);
+}
+
+TEST(LongestHopDist, PicksLongerBranch) {
+  const StreamGraph g = workloads::splitjoin(/*width=*/2, /*depth=*/3);
+  const auto hops = longest_hop_dist(g, g.unique_source());
+  EXPECT_EQ(hops[g.unique_sink()], 4);  // 3 stages + join edge
+}
+
+TEST(Reachability, ForwardOnly) {
+  const StreamGraph g = workloads::fig2_triangle();
+  const auto reach = reachable_from(g, 1);  // from B
+  EXPECT_FALSE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+}
+
+}  // namespace
+}  // namespace sdaf

@@ -1,0 +1,134 @@
+#include "src/graph/undirected.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/prng.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(UndirectedView, DegreesCountBothDirections) {
+  const StreamGraph g = workloads::fig2_triangle();
+  const UndirectedView u(g);
+  EXPECT_EQ(u.degree(0), 2u);  // A: two out
+  EXPECT_EQ(u.degree(1), 2u);  // B: one in one out
+  EXPECT_EQ(u.degree(2), 2u);  // C: two in
+}
+
+TEST(UndirectedView, HalfEdgeOrientation) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b, 1);
+  const UndirectedView u(g);
+  ASSERT_EQ(u.incident(a).size(), 1u);
+  EXPECT_EQ(u.incident(a)[0].edge, e);
+  EXPECT_TRUE(u.incident(a)[0].forward);
+  EXPECT_EQ(u.incident(a)[0].other, b);
+  EXPECT_FALSE(u.incident(b)[0].forward);
+}
+
+TEST(Articulation, PipelineInteriorNodesAreCuts) {
+  const StreamGraph g = workloads::pipeline(5);
+  const auto arts = articulation_points(g);
+  EXPECT_EQ(arts, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Articulation, TriangleHasNone) {
+  const auto arts = articulation_points(workloads::fig2_triangle());
+  EXPECT_TRUE(arts.empty());
+}
+
+TEST(Articulation, ChainOfTriangles) {
+  // Two triangles sharing a vertex: the shared vertex is the cut.
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  const NodeId e = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 1);
+  g.add_edge(a, c, 1);
+  g.add_edge(c, d, 1);
+  g.add_edge(d, e, 1);
+  g.add_edge(c, e, 1);
+  const auto arts = articulation_points(g);
+  EXPECT_EQ(arts, std::vector<NodeId>{c});
+}
+
+TEST(Biconnected, PartitionsAllEdges) {
+  Prng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = workloads::random_two_terminal_dag(rng, {});
+    const auto comps = biconnected_components(g);
+    std::size_t total = 0;
+    std::vector<bool> seen(g.edge_count(), false);
+    for (const auto& comp : comps) {
+      total += comp.size();
+      for (const EdgeId e : comp) {
+        EXPECT_FALSE(seen[e]) << "edge in two components";
+        seen[e] = true;
+      }
+    }
+    EXPECT_EQ(total, g.edge_count());
+  }
+}
+
+TEST(Biconnected, BridgesAreSingletons) {
+  const StreamGraph g = workloads::pipeline(4);
+  const auto comps = biconnected_components(g);
+  EXPECT_EQ(comps.size(), 3u);
+  for (const auto& comp : comps) EXPECT_EQ(comp.size(), 1u);
+}
+
+TEST(Biconnected, TriangleIsOneComponent) {
+  const auto comps = biconnected_components(workloads::fig2_triangle());
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 3u);
+}
+
+TEST(Biconnected, ParallelEdgesShareComponent) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(a, b, 1);
+  const auto comps = biconnected_components(g);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 2u);
+}
+
+TEST(Biconnected, SerialChainOfLadders) {
+  // Ladder, bridge, ladder: expect two 5-edge blocks and one singleton.
+  StreamGraph g;
+  auto add_ladder = [&](NodeId from) {
+    const NodeId a = g.add_node();
+    const NodeId b = g.add_node();
+    const NodeId y = g.add_node();
+    g.add_edge(from, a, 1);
+    g.add_edge(from, b, 1);
+    g.add_edge(a, b, 1);
+    g.add_edge(a, y, 1);
+    g.add_edge(b, y, 1);
+    return y;
+  };
+  const NodeId x = g.add_node();
+  const NodeId mid = add_ladder(x);
+  const NodeId mid2 = g.add_node();
+  g.add_edge(mid, mid2, 1);
+  (void)add_ladder(mid2);
+  const auto comps = biconnected_components(g);
+  std::vector<std::size_t> sizes;
+  for (const auto& c : comps) sizes.push_back(c.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 5, 5}));
+}
+
+}  // namespace
+}  // namespace sdaf

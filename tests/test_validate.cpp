@@ -1,0 +1,82 @@
+#include "src/graph/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(Validate, AcceptsTwoTerminalDag) {
+  const auto r = validate(workloads::fig1_splitjoin());
+  EXPECT_TRUE(r.acyclic);
+  EXPECT_TRUE(r.weakly_connected);
+  EXPECT_TRUE(r.single_source);
+  EXPECT_TRUE(r.single_sink);
+  EXPECT_TRUE(r.two_terminal());
+  EXPECT_TRUE(r.problems.empty());
+}
+
+TEST(Validate, FlagsMultipleSources) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, c, 1);
+  g.add_edge(b, c, 1);
+  const auto r = validate(g);
+  EXPECT_TRUE(r.valid_dag());
+  EXPECT_FALSE(r.single_source);
+  EXPECT_FALSE(r.two_terminal());
+  EXPECT_FALSE(r.problems.empty());
+}
+
+TEST(Validate, FlagsDisconnected) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 1);
+  (void)g.add_node();  // isolated
+  const auto r = validate(g);
+  EXPECT_FALSE(r.weakly_connected);
+  EXPECT_FALSE(r.valid_dag());
+}
+
+TEST(Validate, FlagsDirectedCycle) {
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 1);
+  g.add_edge(b, a, 1);
+  const auto r = validate(g);
+  EXPECT_FALSE(r.acyclic);
+}
+
+TEST(Validate, EmptyGraphRejected) {
+  const auto r = validate(StreamGraph{});
+  EXPECT_FALSE(r.valid_dag());
+  EXPECT_FALSE(r.problems.empty());
+}
+
+TEST(Validate, WeakConnectivityIgnoresDirection) {
+  // a -> c <- b is weakly connected.
+  StreamGraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, c, 1);
+  g.add_edge(b, c, 1);
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(Validate, PaperTopologiesAreTwoTerminal) {
+  EXPECT_TRUE(validate(workloads::fig2_triangle()).two_terminal());
+  EXPECT_TRUE(validate(workloads::fig3_cycle()).two_terminal());
+  EXPECT_TRUE(validate(workloads::fig4_left()).two_terminal());
+  EXPECT_TRUE(validate(workloads::fig4_butterfly()).two_terminal());
+  EXPECT_TRUE(validate(workloads::butterfly_rewrite()).two_terminal());
+  EXPECT_TRUE(validate(workloads::fig5_ladder()).two_terminal());
+}
+
+}  // namespace
+}  // namespace sdaf

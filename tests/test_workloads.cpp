@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/cycles.h"
+#include "src/graph/validate.h"
+#include "src/support/prng.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf {
+namespace {
+
+TEST(Topologies, ShapesAndSizes) {
+  EXPECT_EQ(workloads::fig1_splitjoin().edge_count(), 4u);
+  EXPECT_EQ(workloads::fig2_triangle().edge_count(), 3u);
+  EXPECT_EQ(workloads::fig3_cycle().edge_count(), 6u);
+  EXPECT_EQ(workloads::fig4_left().edge_count(), 5u);
+  EXPECT_EQ(workloads::fig4_butterfly().edge_count(), 8u);
+  EXPECT_EQ(workloads::butterfly_rewrite().edge_count(), 8u);
+  EXPECT_EQ(workloads::pipeline(7).edge_count(), 6u);
+  EXPECT_EQ(workloads::splitjoin(3, 2).edge_count(), 9u);
+  EXPECT_EQ(workloads::fig5_ladder().edge_count(), 8u);
+}
+
+TEST(Topologies, Fig3BuffersMatchPaper) {
+  const StreamGraph g = workloads::fig3_cycle();
+  EXPECT_EQ(g.edge(0).buffer, 2);  // ab
+  EXPECT_EQ(g.edge(1).buffer, 3);  // ac
+  EXPECT_EQ(g.edge(2).buffer, 5);  // be
+  EXPECT_EQ(g.edge(3).buffer, 1);  // cd
+  EXPECT_EQ(g.edge(4).buffer, 1);  // ef
+  EXPECT_EQ(g.edge(5).buffer, 2);  // df
+}
+
+TEST(RandomSp, HitsTargetEdgeCount) {
+  Prng rng(1);
+  for (const std::size_t target : {1u, 2u, 7u, 20u, 64u}) {
+    workloads::RandomSpOptions opt;
+    opt.target_edges = target;
+    const auto built = workloads::random_sp(rng, opt);
+    EXPECT_EQ(built.graph.edge_count(), target);
+    EXPECT_TRUE(validate(built.graph).two_terminal());
+  }
+}
+
+TEST(RandomSp, RespectsBufferBound) {
+  Prng rng(2);
+  workloads::RandomSpOptions opt;
+  opt.target_edges = 40;
+  opt.max_buffer = 5;
+  const auto built = workloads::random_sp(rng, opt);
+  for (EdgeId e = 0; e < built.graph.edge_count(); ++e) {
+    EXPECT_GE(built.graph.edge(e).buffer, 1);
+    EXPECT_LE(built.graph.edge(e).buffer, 5);
+  }
+}
+
+TEST(RandomLadder, AlwaysValidCs4) {
+  Prng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    workloads::RandomLadderOptions opt;
+    opt.rungs = 1 + static_cast<std::size_t>(trial % 5);
+    opt.component_edges = 1 + static_cast<std::size_t>(trial % 3);
+    const auto g = workloads::random_ladder(rng, opt);
+    EXPECT_TRUE(validate(g).two_terminal());
+    EXPECT_TRUE(is_cs4_by_enumeration(g)) << "trial " << trial;
+  }
+}
+
+TEST(RandomLadder, NoSharedEndpointsWhenDisallowed) {
+  Prng rng(4);
+  workloads::RandomLadderOptions opt;
+  opt.rungs = 4;
+  opt.allow_shared_endpoints = false;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = workloads::random_ladder(rng, opt);
+    EXPECT_TRUE(is_cs4_by_enumeration(g));
+  }
+}
+
+TEST(RandomCs4Chain, ValidAndConnected) {
+  Prng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    workloads::RandomCs4Options opt;
+    opt.components = 1 + static_cast<std::size_t>(trial % 5);
+    const auto g = workloads::random_cs4_chain(rng, opt);
+    EXPECT_TRUE(validate(g).two_terminal());
+  }
+}
+
+TEST(RandomDag, TwoTerminalByConstruction) {
+  Prng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = workloads::random_two_terminal_dag(rng, {});
+    const auto v = validate(g);
+    EXPECT_TRUE(v.acyclic);
+    EXPECT_TRUE(v.single_source);
+    EXPECT_TRUE(v.single_sink);
+  }
+}
+
+TEST(Filters, BernoulliDeterministicAndCalibrated) {
+  const auto f = workloads::bernoulli_filter(0.25, 99);
+  const auto g = workloads::bernoulli_filter(0.25, 99);
+  int pass = 0;
+  for (std::uint64_t s = 0; s < 8000; ++s) {
+    EXPECT_EQ(f(s, 0), g(s, 0));
+    pass += f(s, 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(pass / 8000.0, 0.25, 0.03);
+}
+
+TEST(Filters, BernoulliDecorrelatedAcrossSlots) {
+  const auto f = workloads::bernoulli_filter(0.5, 7);
+  int both = 0;
+  for (std::uint64_t s = 0; s < 4000; ++s)
+    if (f(s, 0) && f(s, 1)) ++both;
+  EXPECT_NEAR(both / 4000.0, 0.25, 0.05);
+}
+
+TEST(Filters, PeriodicExactPattern) {
+  const auto f = workloads::periodic_filter(3, 1);
+  EXPECT_FALSE(f(0, 0));
+  EXPECT_TRUE(f(1, 0));
+  EXPECT_FALSE(f(2, 0));
+  EXPECT_FALSE(f(3, 0));
+  EXPECT_TRUE(f(4, 0));
+}
+
+TEST(Filters, AdversarialPrefix) {
+  const auto f = workloads::adversarial_prefix_filter(1, 5);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    EXPECT_TRUE(f(s, 0));   // other slots unaffected
+    EXPECT_FALSE(f(s, 1));  // blocked slot filtered
+  }
+  EXPECT_TRUE(f(5, 1));  // passes after the prefix
+}
+
+TEST(Filters, KernelBundlesSized) {
+  const StreamGraph g = workloads::fig1_splitjoin();
+  EXPECT_EQ(workloads::relay_kernels(g, 0.5, 1).size(), g.node_count());
+  EXPECT_EQ(workloads::passthrough_kernels(g).size(), g.node_count());
+}
+
+}  // namespace
+}  // namespace sdaf

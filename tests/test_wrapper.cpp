@@ -1,0 +1,124 @@
+#include "src/runtime/wrapper.h"
+
+#include <gtest/gtest.h>
+
+namespace sdaf::runtime {
+namespace {
+
+TEST(Wrapper, NoneModeNeverSends) {
+  NodeWrapper w(DummyMode::None, {1, 1});
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    EXPECT_FALSE(w.should_send_dummy(0, s, false, false));
+    EXPECT_FALSE(w.should_send_dummy(1, s, false, true));
+  }
+}
+
+TEST(Wrapper, SequenceGapFiresAtInterval) {
+  NodeWrapper w(DummyMode::NonPropagation, {3});
+  // last_sent starts at -1: seq 2 is the first with gap >= 3.
+  EXPECT_FALSE(w.should_send_dummy(0, 0, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 1, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 2, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 3, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 4, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 5, false, false));
+}
+
+TEST(Wrapper, GapCountsSequenceNumbersNotFirings) {
+  // The node fires sparsely (arrivals every 4 seqs); with interval 3 the
+  // very first sparse firing is already overdue. Counting firings instead
+  // would wait three arrivals (12 seqs) -- the decay bug.
+  NodeWrapper w(DummyMode::NonPropagation, {3});
+  EXPECT_FALSE(w.should_send_dummy(0, 0, true, false));  // data at 0
+  EXPECT_TRUE(w.should_send_dummy(0, 4, false, false));  // 4 - 0 >= 3
+  EXPECT_TRUE(w.should_send_dummy(0, 8, false, false));  // 8 - 4 >= 3
+}
+
+TEST(Wrapper, DataResetsGap) {
+  NodeWrapper w(DummyMode::NonPropagation, {3});
+  EXPECT_FALSE(w.should_send_dummy(0, 0, true, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 1, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 2, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 3, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 4, true, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 6, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 7, false, false));
+}
+
+TEST(Wrapper, SlotsIndependent) {
+  NodeWrapper w(DummyMode::NonPropagation, {2, 4});
+  EXPECT_FALSE(w.should_send_dummy(0, 0, false, false));
+  EXPECT_FALSE(w.should_send_dummy(1, 0, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 1, false, false));   // gap 2 on slot 0
+  EXPECT_FALSE(w.should_send_dummy(1, 1, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 2, false, false));
+  EXPECT_FALSE(w.should_send_dummy(1, 2, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 3, false, false));
+  EXPECT_TRUE(w.should_send_dummy(1, 3, false, false));   // gap 4 on slot 1
+}
+
+TEST(Wrapper, PropagationForwardsReceivedDummies) {
+  NodeWrapper w(DummyMode::Propagation, {kInfiniteInterval});
+  // Even with an infinite origination interval, an incoming dummy must be
+  // forwarded when no data was sent.
+  EXPECT_TRUE(w.should_send_dummy(0, 0, false, true));
+  // Data suppresses the forwarded dummy on that edge.
+  EXPECT_FALSE(w.should_send_dummy(0, 1, true, true));
+}
+
+TEST(Wrapper, PropagationForwardResetsGap) {
+  NodeWrapper w(DummyMode::Propagation, {3});
+  EXPECT_FALSE(w.should_send_dummy(0, 0, true, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 1, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 2, false, true));  // forced forward
+  // The forward counts as traffic on the edge: gap restarts at seq 2.
+  EXPECT_FALSE(w.should_send_dummy(0, 3, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 4, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 5, false, false));
+}
+
+TEST(Wrapper, ForwardOnFilterFlag) {
+  // Interior cycle edge: filtered data is converted to a dummy at the same
+  // sequence number, regardless of schedule.
+  NodeWrapper w(DummyMode::Propagation, {kInfiniteInterval}, {1});
+  EXPECT_TRUE(w.should_send_dummy(0, 0, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 1, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 2, true, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 3, false, false));
+}
+
+TEST(Wrapper, ForwardOnFilterIgnoredInNonProp) {
+  NodeWrapper w(DummyMode::NonPropagation, {3}, {1});
+  EXPECT_FALSE(w.should_send_dummy(0, 0, true, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 1, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 2, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 3, false, false));  // schedule only
+}
+
+TEST(Wrapper, NonPropagationIgnoresReceivedDummies) {
+  NodeWrapper w(DummyMode::NonPropagation, {3});
+  EXPECT_FALSE(w.should_send_dummy(0, 0, false, true));
+  EXPECT_FALSE(w.should_send_dummy(0, 1, false, true));
+  EXPECT_TRUE(w.should_send_dummy(0, 2, false, true));  // own schedule
+}
+
+TEST(Wrapper, InfiniteIntervalNeverOriginates) {
+  NodeWrapper w(DummyMode::NonPropagation, {kInfiniteInterval});
+  for (std::uint64_t s = 0; s < 1000; ++s)
+    EXPECT_FALSE(w.should_send_dummy(0, s, false, false));
+}
+
+TEST(Wrapper, IntervalOneSendsEveryFilteredSeq) {
+  NodeWrapper w(DummyMode::Propagation, {1});
+  EXPECT_TRUE(w.should_send_dummy(0, 0, false, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 1, false, false));
+  EXPECT_FALSE(w.should_send_dummy(0, 2, true, false));
+  EXPECT_TRUE(w.should_send_dummy(0, 3, false, false));
+}
+
+TEST(WrapperDeathTest, RejectsNonPositiveInterval) {
+  EXPECT_DEATH(NodeWrapper(DummyMode::Propagation, {0}), "precondition");
+}
+
+}  // namespace
+}  // namespace sdaf::runtime

@@ -1,0 +1,83 @@
+// Ad-hoc reproduction harness for safety-sweep failures: rebuilds a failing
+// configuration, runs the simulator, and prints the wedged state.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/compile.h"
+#include "src/core/report.h"
+#include "src/graph/io.h"
+#include "src/sim/simulation.h"
+#include "src/support/prng.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/topologies.h"
+
+using namespace sdaf;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2;
+  const char* which = argc > 2 ? argv[2] : "rounding";
+
+  StreamGraph g;
+  runtime::DummyMode mode = runtime::DummyMode::NonPropagation;
+  core::CompileOptions copt;
+  core::Rounding rounding = core::Rounding::PaperCeil;
+  double p = 0.3;
+  std::uint64_t kernel_seed = seed;
+
+  if (std::string(which) == "rounding") {
+    Prng rng(seed * 5099 + 7);
+    workloads::RandomLadderOptions gopt;
+    gopt.rungs = 1 + seed % 3;
+    gopt.max_buffer = 5;
+    g = workloads::random_ladder(rng, gopt);
+    copt.algorithm = core::Algorithm::NonPropagation;
+  } else if (std::string(which) == "nonprop") {
+    Prng rng(seed * 911 + 5);
+    workloads::RandomCs4Options gopt;
+    gopt.components = 1 + seed % 2;
+    gopt.ladder.rungs = 1 + seed % 3;
+    g = workloads::random_cs4_chain(rng, gopt);
+    copt.algorithm = core::Algorithm::NonPropagation;
+    rounding = core::Rounding::Floor;
+    p = 0.2;
+    kernel_seed = seed * 17 + 9;
+  } else {
+    Prng rng(seed * 7211 + 3);
+    workloads::RandomCs4Options gopt;
+    gopt.components = 1 + seed % 3;
+    gopt.ladder.rungs = 1 + seed % 3;
+    gopt.sp.target_edges = 5;
+    gopt.sp.max_buffer = 4;
+    gopt.ladder.max_buffer = 4;
+    g = workloads::random_cs4_chain(rng, gopt);
+    mode = runtime::DummyMode::Propagation;
+    rounding = core::Rounding::Floor;
+    p = 0.15;
+    kernel_seed = seed * 31 + 1;
+  }
+
+  std::cout << to_text(g) << "\n";
+  const auto compiled = core::compile(g, copt);
+  std::cout << core::describe(g, compiled);
+
+  const auto intervals = compiled.integer_intervals(rounding);
+  for (const double prob : {p, 0.5, 0.85}) {
+    sim::Simulation s(g, workloads::relay_kernels(g, prob, kernel_seed));
+    sim::SimOptions opt;
+    opt.mode = mode;
+    opt.intervals = intervals;
+    if (mode == runtime::DummyMode::Propagation)
+      opt.forward_on_filter = compiled.forward_on_filter();
+    opt.num_inputs = 400;
+    const auto r = s.run(opt);
+    std::cout << "p=" << prob << " completed=" << r.completed
+              << " deadlocked=" << r.deadlocked << " sweeps=" << r.sweeps
+              << " dummies=" << r.total_dummies() << "\n";
+    if (r.deadlocked) {
+      std::cout << r.state_dump << "\n";
+      break;
+    }
+  }
+  return 0;
+}

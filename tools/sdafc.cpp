@@ -1,0 +1,96 @@
+// sdafc -- the deadlock-avoidance "compiler driver": reads a topology in
+// the text format of src/graph/io.h, classifies it, computes dummy
+// intervals, and prints the report (optionally DOT with annotations).
+//
+//   sdafc [--nonprop] [--reject-general] [--dot] [--ceil] FILE
+//   sdafc --help
+//
+// Exit status: 0 ok, 1 rejected/invalid, 2 usage.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/compile.h"
+#include "src/core/report.h"
+#include "src/graph/io.h"
+
+using namespace sdaf;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sdafc [--nonprop] [--reject-general] [--dot] [--ceil] "
+               "FILE\n"
+               "  FILE format:  node <name> | edge <from> <to> <buffer>\n"
+               "  --nonprop         use the Non-Propagation Algorithm\n"
+               "  --reject-general  refuse non-CS4 topologies\n"
+               "  --dot             emit annotated Graphviz instead of the "
+               "report\n"
+               "  --ceil            print integer intervals with the paper's "
+               "roundup\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CompileOptions options;
+  bool dot = false;
+  core::Rounding rounding = core::Rounding::Floor;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--nonprop") {
+      options.algorithm = core::Algorithm::NonPropagation;
+    } else if (arg == "--reject-general") {
+      options.general_policy = core::GeneralPolicy::Reject;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--ceil") {
+      rounding = core::Rounding::PaperCeil;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sdafc: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      file = arg;
+    }
+  }
+  if (file.empty()) return usage();
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "sdafc: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  const StreamGraph g = from_text(text.str());
+  const auto result = core::compile(g, options);
+
+  if (dot) {
+    std::cout << to_dot(g, result.ok ? &result.intervals : nullptr);
+  } else {
+    std::cout << core::describe(g, result);
+    if (result.ok) {
+      const auto ints = result.integer_intervals(rounding);
+      std::cout << "  integer thresholds ("
+                << (rounding == core::Rounding::PaperCeil ? "paper roundup"
+                                                          : "floor")
+                << "):";
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        if (ints[e] == core::kNoDummyInterval)
+          std::cout << " -";
+        else
+          std::cout << " " << ints[e];
+      }
+      std::cout << "\n";
+    }
+  }
+  return result.ok ? 0 : 1;
+}
