@@ -1,0 +1,125 @@
+// Pooled scheduler vs thread-per-node executor on large SP-ladders:
+// the pool runs N-node graphs on a fixed worker count (1-16), while the
+// thread-per-node executor needs N OS threads (so its range stops at 1k --
+// 10k threads is exactly the regime the pool exists to avoid).
+// items_per_second follows bench_throughput's convention: rate against the
+// run's own wall time.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "src/core/compile_cache.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/pool_executor.h"
+#include "src/support/contracts.h"
+#include "src/support/prng.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/random_ladder.h"
+
+namespace {
+
+using namespace sdaf;
+
+constexpr std::uint64_t kItems = 32;
+
+// Ladder with ~`nodes` nodes: source + sink + two interior sides.
+const StreamGraph& ladder_of(std::size_t nodes) {
+  static std::map<std::size_t, StreamGraph> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    Prng rng(0xBEEF ^ nodes);
+    workloads::RandomLadderOptions opt;
+    opt.rungs = nodes / 4;
+    opt.left_interior = nodes / 2;
+    opt.right_interior = nodes / 2;
+    opt.component_edges = 1;
+    opt.max_buffer = 4;
+    it = cache.emplace(nodes, workloads::random_ladder(rng, opt)).first;
+  }
+  return it->second;
+}
+
+void BM_PoolExecutor_Ladder(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const StreamGraph& g = ladder_of(nodes);
+  runtime::PoolExecutor pool(workers);
+  runtime::ExecutorOptions opt;
+  opt.mode = runtime::DummyMode::None;
+  opt.num_inputs = kItems;
+  std::uint64_t processed = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    const auto r = pool.run(g, workloads::passthrough_kernels(g), opt);
+    SDAF_ASSERT(r.completed);
+    processed += kItems;
+    wall += r.wall_seconds;
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["items_per_second"] =
+      wall > 0 ? static_cast<double>(processed) / wall : 0.0;
+}
+BENCHMARK(BM_PoolExecutor_Ladder)
+    ->ArgsProduct({{100, 1000, 10000}, {1, 2, 4, 8, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_ThreadPerNode_Ladder(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const StreamGraph& g = ladder_of(nodes);
+  runtime::ExecutorOptions opt;
+  opt.mode = runtime::DummyMode::None;
+  opt.num_inputs = kItems;
+  std::uint64_t processed = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    runtime::Executor ex(g, workloads::passthrough_kernels(g));
+    const auto r = ex.run(opt);
+    SDAF_ASSERT(r.completed);
+    processed += kItems;
+    wall += r.wall_seconds;
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+  state.counters["workers"] = static_cast<double>(g.node_count());
+  state.counters["items_per_second"] =
+      wall > 0 ? static_cast<double>(processed) / wall : 0.0;
+}
+// 10k OS threads is the pathology the pool removes; cap the contrast at 1k.
+BENCHMARK(BM_ThreadPerNode_Ladder)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// Compile-pass amortization for multi-tenant submission: first submission
+// pays CS4 decomposition + intervals; the next 63 hit core::CompileCache.
+void BM_CompileCache_Resubmission(benchmark::State& state) {
+  const StreamGraph& g = ladder_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::CompileCache cache(16);
+    for (int i = 0; i < 64; ++i) {
+      auto r = cache.get_or_compile(g);
+      benchmark::DoNotOptimize(r);
+    }
+    const auto s = cache.stats();
+    SDAF_ASSERT(s.misses == 1 && s.hits == 63);
+  }
+  state.counters["nodes"] =
+      static_cast<double>(g.node_count());
+}
+BENCHMARK(BM_CompileCache_Resubmission)->Arg(100)->Arg(1000);
+
+void BM_Compile_NoCache(benchmark::State& state) {
+  const StreamGraph& g = ladder_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      auto r = core::compile(g);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+}
+BENCHMARK(BM_Compile_NoCache)->Arg(100)->Arg(1000);
+
+}  // namespace

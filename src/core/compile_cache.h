@@ -1,0 +1,61 @@
+// Memoization of compile() results for multi-tenant runtimes: repeated
+// submissions of the same topology (the common case when many concurrent
+// users run the same application graph) skip CS4 decomposition and interval
+// computation entirely. Keyed by a canonical graph signature -- the exact
+// edge list with buffers plus the compile options; node names are excluded
+// because they never affect classification or intervals.
+//
+// Thread-safe; LRU eviction bounds memory. Results are immutable and
+// shared, so a hit is a pointer copy.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/compile.h"
+
+namespace sdaf::core {
+
+struct CompileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class CompileCache {
+ public:
+  explicit CompileCache(std::size_t capacity = 128);
+
+  // Returns the cached result for (g, options), compiling on a miss. The
+  // compile itself runs outside the cache lock, so concurrent misses on
+  // different graphs do not serialize (racing misses on the *same* graph
+  // may compile twice; the first insert wins).
+  [[nodiscard]] std::shared_ptr<const CompileResult> get_or_compile(
+      const StreamGraph& g, const CompileOptions& options = {});
+
+  [[nodiscard]] CompileCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  // The canonical key: topology + buffers + options, node names excluded.
+  [[nodiscard]] static std::string signature(const StreamGraph& g,
+                                             const CompileOptions& options);
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const CompileResult>>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  CompileCacheStats stats_;
+};
+
+}  // namespace sdaf::core

@@ -35,10 +35,11 @@ bool BoundedChannel::push(Message m) {
   return true;
 }
 
-PushResult BoundedChannel::try_push(const Message& m) {
+PushResult BoundedChannel::try_push(const Message& m, bool* was_empty) {
   std::unique_lock lock(mu_);
   if (aborted_) return PushResult::Aborted;
   if (queue_.size() >= capacity_) return PushResult::Full;
+  if (was_empty != nullptr) *was_empty = queue_.empty();
   record_push(m);
   queue_.push_back(m);
   stats_.max_occupancy =
@@ -58,15 +59,24 @@ std::optional<Message> BoundedChannel::peek_wait() {
   return queue_.front();
 }
 
-void BoundedChannel::pop() {
+std::optional<Message> BoundedChannel::try_peek() const {
+  std::unique_lock lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front();
+}
+
+bool BoundedChannel::pop() {
+  bool was_full;
   {
     std::unique_lock lock(mu_);
     SDAF_EXPECTS(!queue_.empty());
+    was_full = queue_.size() >= capacity_;
     queue_.pop_front();
     if (monitor_ != nullptr) monitor_->note_progress();
     not_full_.notify_one();
   }
   if (producer_signal_ != nullptr) producer_signal_->bump();
+  return was_full;
 }
 
 void BoundedChannel::abort() {
@@ -82,6 +92,16 @@ void BoundedChannel::abort() {
 bool BoundedChannel::aborted() const {
   std::unique_lock lock(mu_);
   return aborted_;
+}
+
+bool BoundedChannel::empty() const {
+  std::unique_lock lock(mu_);
+  return queue_.empty();
+}
+
+bool BoundedChannel::full() const {
+  std::unique_lock lock(mu_);
+  return queue_.size() >= capacity_;
 }
 
 ChannelStats BoundedChannel::stats() const {

@@ -52,8 +52,18 @@ class BoundedChannel {
   [[nodiscard]] bool push(Message m);
 
   // Non-blocking push used by the per-channel-asynchronous emission path;
-  // copies only on success.
-  [[nodiscard]] PushResult try_push(const Message& m);
+  // copies only on success. When `was_empty` is non-null it is set to
+  // whether the push made the channel transition empty -> non-empty (the
+  // edge a pooled scheduler must turn into a consumer wake-up).
+  [[nodiscard]] PushResult try_push(const Message& m,
+                                    bool* was_empty = nullptr);
+
+  // Non-blocking consumer path for cooperatively scheduled nodes: a copy of
+  // the head, or empty when the channel holds no messages. Like peek_wait,
+  // heads remaining after abort() are still observable (the consumer drains
+  // them while unwinding). Never reports to the monitor -- the caller parks
+  // instead of blocking.
+  [[nodiscard]] std::optional<Message> try_peek() const;
 
   // Registers the producing node's wakeup signal; bumped on every pop and
   // on abort.
@@ -63,12 +73,18 @@ class BoundedChannel {
   // Empty optional iff aborted.
   [[nodiscard]] std::optional<Message> peek_wait();
 
-  // Removes the head. Precondition: a preceding peek_wait() by the (single)
-  // consumer observed a head, so the queue is non-empty.
-  void pop();
+  // Removes the head. Precondition: a preceding peek_wait()/try_peek() by
+  // the (single) consumer observed a head, so the queue is non-empty.
+  // Returns whether the channel was full before the pop (the edge a pooled
+  // scheduler must turn into a producer wake-up).
+  bool pop();
 
   void abort();
   [[nodiscard]] bool aborted() const;
+
+  // Instantaneous occupancy tests (non-blocking; for scheduler probes).
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool full() const;
 
   [[nodiscard]] ChannelStats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

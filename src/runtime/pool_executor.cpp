@@ -1,0 +1,417 @@
+#include "src/runtime/pool_executor.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/support/contracts.h"
+#include "src/support/timer.h"
+
+namespace sdaf::runtime {
+
+namespace pool_detail {
+
+// Scheduling state of one node task. A task is in the ready queue iff its
+// state is kQueued; notifications that arrive while it runs are folded into
+// kRunningNotified so the owning worker re-runs it instead of racing a
+// second worker onto the same node.
+enum : std::uint32_t {
+  kIdle = 0,
+  kQueued = 1,
+  kRunning = 2,
+  kRunningNotified = 3,
+};
+
+struct NodeTask {
+  PoolExecutor::Instance* instance = nullptr;
+  NodeState* node = nullptr;
+  std::atomic<std::uint32_t> sched{kIdle};
+  // Why the last owner parked this node (NodeState::park_summary encoding);
+  // written by the owner before the park transition, read by the post-park
+  // probe, which may race a newer owner's write -- benign, see run_task.
+  std::atomic<std::uint64_t> park_summary{0};
+};
+
+MpmcRing::MpmcRing(std::size_t capacity_pow2)
+    : cells_(new Cell[capacity_pow2]), mask_(capacity_pow2 - 1) {
+  SDAF_EXPECTS(capacity_pow2 >= 2 &&
+               (capacity_pow2 & (capacity_pow2 - 1)) == 0);
+  for (std::size_t i = 0; i < capacity_pow2; ++i)
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool MpmcRing::try_push(NodeTask* task) {
+  std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.item = task;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // full
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+NodeTask* MpmcRing::try_pop() {
+  std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        NodeTask* task = cell.item;
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return task;
+      }
+    } else if (dif < 0) {
+      return nullptr;  // empty
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+ReadyQueue::ReadyQueue(std::size_t ring_capacity) : ring_(ring_capacity) {}
+
+void ReadyQueue::push(NodeTask* task) {
+  if (!ring_.try_push(task)) {
+    std::lock_guard lock(mu_);
+    overflow_.push_back(task);
+    overflow_size_.store(overflow_.size(), std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(mu_);
+    cv_.notify_one();
+  }
+}
+
+NodeTask* ReadyQueue::try_pop() {
+  if (NodeTask* task = ring_.try_pop()) return task;
+  if (overflow_size_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(mu_);
+    if (!overflow_.empty()) {
+      NodeTask* task = overflow_.front();
+      overflow_.pop_front();
+      overflow_size_.store(overflow_.size(), std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+NodeTask* ReadyQueue::pop_wait(const std::atomic<bool>& stop) {
+  for (;;) {
+    if (NodeTask* task = try_pop()) return task;
+    if (stop.load(std::memory_order_acquire)) return nullptr;
+    std::unique_lock lock(mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    // Recheck after registering as a sleeper: a pusher that published its
+    // task before reading sleepers_ is either seen here, or saw us and will
+    // notify under mu_. mu_ is already held, so consult the overflow list
+    // directly (try_pop would re-lock it) and the ring lock-free.
+    NodeTask* task = ring_.try_pop();
+    if (task == nullptr && !overflow_.empty()) {
+      task = overflow_.front();
+      overflow_.pop_front();
+      overflow_size_.store(overflow_.size(), std::memory_order_relaxed);
+    }
+    if (task != nullptr || stop.load(std::memory_order_acquire)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      if (task != nullptr) return task;
+      return nullptr;
+    }
+    // The timeout is insurance only (the fence + sleepers_ handshake makes
+    // wakes reliable); keep it long enough that idle pools cost ~nothing.
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ReadyQueue::notify_all() {
+  std::lock_guard lock(mu_);
+  cv_.notify_all();
+}
+
+}  // namespace pool_detail
+
+using pool_detail::kIdle;
+using pool_detail::kQueued;
+using pool_detail::kRunning;
+using pool_detail::kRunningNotified;
+using pool_detail::NodeTask;
+
+// One submitted graph execution: channels, node state machines, tasks, and
+// the exact-quiescence bookkeeping. Lives until wait() collects the result.
+struct PoolExecutor::Instance final : Waker {
+  PoolExecutor* executor = nullptr;
+  const StreamGraph* graph = nullptr;
+  std::vector<std::shared_ptr<Kernel>> kernels;
+  std::vector<std::unique_ptr<BoundedChannel>> channels;
+  std::vector<std::unique_ptr<NodeState>> nodes;
+  std::vector<NodeTask> tasks;
+  Stopwatch clock;
+
+  // Queued + running tasks of this instance. Wake-ups only originate from
+  // tasks of the same instance, so 0 here means quiescence: either all
+  // nodes finished (completed) or some cannot progress (deadlock), exactly.
+  std::atomic<std::int64_t> active{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  bool collected = false;
+  RunResult result;
+
+  void wake(NodeId node) override {
+    executor->schedule(&tasks[node]);
+  }
+};
+
+PoolExecutor::PoolExecutor(const Options& options)
+    : options_(options), queue_(options.ready_queue_ring_capacity) {
+  std::size_t n = options_.workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  options_.workers = n;
+  if (options_.max_steps_per_quantum == 0) options_.max_steps_per_quantum = 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+PoolExecutor::~PoolExecutor() {
+  // Drain: every instance reaches `finished` on its own (deadlocks are
+  // detected exactly, so no instance can hang), then stop the pool.
+  for (;;) {
+    std::shared_ptr<Instance> pending;
+    {
+      std::lock_guard lock(instances_mu_);
+      for (auto& [id, inst] : instances_) {
+        std::lock_guard ilock(inst->mu);
+        if (!inst->finished) {
+          pending = inst;
+          break;
+        }
+      }
+    }
+    if (pending == nullptr) break;
+    std::unique_lock ilock(pending->mu);
+    pending->cv.wait(ilock, [&] { return pending->finished; });
+  }
+  stop_.store(true, std::memory_order_release);
+  queue_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+PoolExecutor::TicketId PoolExecutor::submit(
+    const StreamGraph& g, std::vector<std::shared_ptr<Kernel>> kernels,
+    const ExecutorOptions& options) {
+  const std::size_t edges = g.edge_count();
+  const std::size_t node_count = g.node_count();
+  SDAF_EXPECTS(kernels.size() == node_count);
+  for (const auto& k : kernels) SDAF_EXPECTS(k != nullptr);
+
+  std::vector<std::int64_t> intervals = options.intervals;
+  if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
+  SDAF_EXPECTS(intervals.size() == edges);
+  std::vector<std::uint8_t> forward = options.forward_on_filter;
+  if (forward.empty()) forward.assign(edges, 0);
+  SDAF_EXPECTS(forward.size() == edges);
+
+  auto instance = std::make_shared<Instance>();
+  instance->executor = this;
+  instance->graph = &g;
+  instance->kernels = std::move(kernels);
+  instance->channels.reserve(edges);
+  for (EdgeId e = 0; e < edges; ++e)
+    instance->channels.push_back(std::make_unique<BoundedChannel>(
+        static_cast<std::size_t>(g.edge(e).buffer), /*monitor=*/nullptr));
+
+  instance->tasks = std::vector<NodeTask>(node_count);
+  instance->nodes.reserve(node_count);
+  for (NodeId n = 0; n < node_count; ++n) {
+    std::vector<BoundedChannel*> ins;
+    std::vector<NodeId> in_producers;
+    for (const EdgeId e : g.in_edges(n)) {
+      ins.push_back(instance->channels[e].get());
+      in_producers.push_back(g.edge(e).from);
+    }
+    std::vector<BoundedChannel*> outs;
+    std::vector<NodeId> out_consumers;
+    std::vector<std::int64_t> out_intervals;
+    std::vector<std::uint8_t> out_forward;
+    for (const EdgeId e : g.out_edges(n)) {
+      outs.push_back(instance->channels[e].get());
+      out_consumers.push_back(g.edge(e).to);
+      out_intervals.push_back(intervals[e]);
+      out_forward.push_back(forward[e]);
+    }
+    instance->nodes.push_back(std::make_unique<NodeState>(
+        n, *instance->kernels[n], std::move(ins), std::move(outs),
+        NodeWrapper(options.mode, std::move(out_intervals),
+                    std::move(out_forward)),
+        options.num_inputs, std::move(in_producers), std::move(out_consumers),
+        instance.get()));
+    instance->tasks[n].instance = instance.get();
+    instance->tasks[n].node = instance->nodes.back().get();
+  }
+
+  TicketId ticket;
+  {
+    std::lock_guard lock(instances_mu_);
+    ticket = next_ticket_++;
+    instances_.emplace(ticket, instance);
+  }
+  instance->clock.reset();
+  // Guard against quiescence being declared mid-kick (a fast subgraph could
+  // otherwise drain to zero before every node is scheduled): hold one
+  // synthetic active task for the duration of submission.
+  instance->active.store(1);
+  // Kick every node once; interior nodes immediately park until fed.
+  for (NodeTask& task : instance->tasks) schedule(&task);
+  if (instance->active.fetch_sub(1) == 1) finalize(*instance);
+  return ticket;
+}
+
+void PoolExecutor::schedule(NodeTask* task) {
+  std::uint32_t s = task->sched.load();
+  for (;;) {
+    switch (s) {
+      case kIdle:
+        if (task->sched.compare_exchange_weak(s, kQueued)) {
+          task->instance->active.fetch_add(1);
+          queue_.push(task);
+          return;
+        }
+        break;
+      case kRunning:
+        if (task->sched.compare_exchange_weak(s, kRunningNotified)) return;
+        break;
+      default:  // kQueued, kRunningNotified: already accounted for
+        return;
+    }
+  }
+}
+
+void PoolExecutor::run_task(NodeTask* task) {
+  NodeState& node = *task->node;
+  task->sched.store(kRunning);
+  for (;;) {
+    std::size_t steps = 0;
+    while (node.step()) {
+      if (++steps >= options_.max_steps_per_quantum) {
+        // Yield for fairness; the task stays accounted as active. A
+        // notification folded in while running is subsumed by re-queuing.
+        task->sched.exchange(kQueued);
+        queue_.push(task);
+        return;
+      }
+    }
+    // Publish why we are about to park while still the owner (reading
+    // NodeState private fields is only safe for the owner).
+    task->park_summary.store(node.park_summary(), std::memory_order_release);
+    std::uint32_t expected = kRunning;
+    if (!task->sched.compare_exchange_strong(expected, kIdle)) {
+      // kRunningNotified: a wake arrived while stepping; consume and rerun.
+      task->sched.store(kRunning);
+      continue;
+    }
+    // Parked. Dekker-style recheck against a wake that raced our last
+    // unproductive step: probe only the channels named by the summary (no
+    // NodeState access -- a new owner may already be stepping it). If the
+    // node can progress, try to reclaim it; if the reclaim CAS fails, a
+    // concurrent wake has already queued it and responsibility moved on.
+    // A newer owner overwriting park_summary is benign for the same
+    // reason: its own park runs this protocol again.
+    if (node.probe(task->park_summary.load(std::memory_order_acquire))) {
+      expected = kIdle;
+      if (task->sched.compare_exchange_strong(expected, kRunning)) continue;
+    }
+    break;
+  }
+  // This task is no longer queued or running; if it was the last one, the
+  // instance is quiescent and its verdict is exact.
+  Instance& instance = *task->instance;
+  if (instance.active.fetch_sub(1) == 1) finalize(instance);
+}
+
+void PoolExecutor::finalize(Instance& instance) {
+  const StreamGraph& g = *instance.graph;
+  RunResult result;
+  bool all_done = true;
+  for (const auto& node : instance.nodes) all_done &= node->done();
+  result.completed = all_done;
+  result.deadlocked = !all_done;
+  result.wall_seconds = instance.clock.elapsed_seconds();
+  result.edges.resize(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto s = instance.channels[e]->stats();
+    result.edges[e] =
+        EdgeTraffic{s.data_pushed, s.dummies_pushed, s.max_occupancy};
+  }
+  result.fires.resize(g.node_count());
+  result.sink_data.resize(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    result.fires[n] = instance.nodes[n]->fires;
+    result.sink_data[n] = instance.nodes[n]->sink_data;
+  }
+  {
+    std::lock_guard lock(instance.mu);
+    instance.result = std::move(result);
+    instance.finished = true;
+    // Notify while holding the lock: the waiter in wait() may destroy the
+    // Instance the moment it observes `finished`, so the condition variable
+    // must not be touched after the mutex is released.
+    instance.cv.notify_all();
+  }
+}
+
+void PoolExecutor::worker_loop() {
+  while (NodeTask* task = queue_.pop_wait(stop_)) run_task(task);
+}
+
+RunResult PoolExecutor::wait(TicketId ticket) {
+  std::shared_ptr<Instance> instance;
+  {
+    std::lock_guard lock(instances_mu_);
+    auto it = instances_.find(ticket);
+    SDAF_EXPECTS(it != instances_.end());
+    instance = it->second;
+  }
+  RunResult result;
+  {
+    std::unique_lock lock(instance->mu);
+    instance->cv.wait(lock, [&] { return instance->finished; });
+    SDAF_EXPECTS(!instance->collected);
+    instance->collected = true;
+    result = std::move(instance->result);
+  }
+  {
+    std::lock_guard lock(instances_mu_);
+    instances_.erase(ticket);
+  }
+  return result;
+}
+
+RunResult PoolExecutor::run(const StreamGraph& g,
+                            std::vector<std::shared_ptr<Kernel>> kernels,
+                            const ExecutorOptions& options) {
+  return wait(submit(g, std::move(kernels), options));
+}
+
+}  // namespace sdaf::runtime

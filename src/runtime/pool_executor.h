@@ -1,0 +1,158 @@
+// Pooled scheduler runtime: runs stream graphs as cooperatively scheduled
+// node tasks on a fixed-size worker pool, instead of one OS thread per node.
+//
+// Motivation: the thread-per-node Executor is faithful to the paper's model
+// but cannot scale -- a 10k-node ladder costs 10k threads, and concurrent
+// graph instances multiply that. Here each node is a non-blocking state
+// machine (runtime::NodeState) that a worker steps until it can make no
+// progress, then parks; channel transitions (input filled, full output
+// drained) re-enqueue it onto a shared ready queue. Threads never block
+// inside a kernel or a channel, so a pool of W workers runs any number of
+// graphs of any size with exactly W + 1 OS threads.
+//
+// Deadlock is certified *exactly*, not by watchdog timing: a per-instance
+// counter tracks queued + running tasks; nodes are only woken by channel
+// transitions caused by other tasks of the same instance, so when the
+// counter reaches zero no future progress is possible. If nodes remain
+// unfinished at quiescence the instance deadlocked -- the same verdict
+// sim::simulate computes by sweeping.
+//
+// The pool is multi-tenant: submit() may be called concurrently for many
+// independent graph instances, which interleave on the same workers. Pair
+// with core::CompileCache to also amortize the compile pass (CS4
+// decomposition + interval computation) across submissions of the same
+// topology.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/kernel.h"
+#include "src/runtime/node_state.h"
+
+namespace sdaf::runtime {
+
+namespace pool_detail {
+
+struct NodeTask;
+
+// Bounded lock-free MPMC ring (Vyukov): the fast path of the ready queue.
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity_pow2);
+
+  [[nodiscard]] bool try_push(NodeTask* task);
+  [[nodiscard]] NodeTask* try_pop();
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    NodeTask* item;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+// MPMC ready queue: lock-free ring fast path, mutex-protected overflow list
+// (the ring never loses tasks under burst), and condvar parking for idle
+// workers. Parked workers use a short wait timeout as a belt-and-braces
+// recheck, so a theoretical missed signal costs latency, never liveness.
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(std::size_t ring_capacity = 2048);
+
+  void push(NodeTask* task);
+  // Blocks until a task is available or `stop` becomes true (then nullptr).
+  [[nodiscard]] NodeTask* pop_wait(const std::atomic<bool>& stop);
+  void notify_all();
+
+ private:
+  [[nodiscard]] NodeTask* try_pop();
+
+  MpmcRing ring_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<NodeTask*> overflow_;
+  std::atomic<std::size_t> overflow_size_{0};
+  std::atomic<int> sleepers_{0};
+};
+
+}  // namespace pool_detail
+
+class PoolExecutor {
+ public:
+  struct Options {
+    // 0 = std::thread::hardware_concurrency() (at least 1).
+    std::size_t workers = 0;
+    // Fairness quantum: a task yields back to the ready queue after this
+    // many consecutive productive steps, so one large instance cannot
+    // starve co-tenants.
+    std::size_t max_steps_per_quantum = 256;
+    // Capacity (power of two) of the ready queue's lock-free ring; pushes
+    // beyond it spill to the mutex-protected overflow list. Tests shrink
+    // this to hammer the overflow path.
+    std::size_t ready_queue_ring_capacity = 2048;
+  };
+
+  PoolExecutor() : PoolExecutor(Options{}) {}
+  explicit PoolExecutor(std::size_t workers) : PoolExecutor(Options{workers}) {}
+  explicit PoolExecutor(const Options& options);
+  // Waits for every submitted instance to finish (deadlocked instances
+  // finish too -- quiescence is detected exactly), then joins the pool.
+  ~PoolExecutor();
+
+  PoolExecutor(const PoolExecutor&) = delete;
+  PoolExecutor& operator=(const PoolExecutor&) = delete;
+
+  using TicketId = std::uint64_t;
+
+  // Starts an execution of `g`. The graph and kernels must stay alive until
+  // wait() returns. ExecutorOptions is shared with the thread-per-node
+  // Executor; the watchdog fields are ignored (no watchdog exists here).
+  [[nodiscard]] TicketId submit(const StreamGraph& g,
+                                std::vector<std::shared_ptr<Kernel>> kernels,
+                                const ExecutorOptions& options);
+
+  // Blocks until the instance finishes; each ticket may be waited once.
+  [[nodiscard]] RunResult wait(TicketId ticket);
+
+  // submit + wait.
+  [[nodiscard]] RunResult run(const StreamGraph& g,
+                              std::vector<std::shared_ptr<Kernel>> kernels,
+                              const ExecutorOptions& options);
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct Instance;
+  friend struct pool_detail::NodeTask;
+
+  void worker_loop();
+  void run_task(pool_detail::NodeTask* task);
+  void schedule(pool_detail::NodeTask* task);
+  void finalize(Instance& instance);
+
+  Options options_;
+  pool_detail::ReadyQueue queue_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+
+  std::mutex instances_mu_;
+  std::uint64_t next_ticket_ = 1;
+  std::unordered_map<TicketId, std::shared_ptr<Instance>> instances_;
+};
+
+}  // namespace sdaf::runtime

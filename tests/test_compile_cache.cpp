@@ -1,0 +1,92 @@
+#include "src/core/compile_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/topologies.h"
+
+namespace sdaf::core {
+namespace {
+
+TEST(CompileCache, HitOnResubmissionOfIdenticalTopology) {
+  CompileCache cache(8);
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  const auto first = cache.get_or_compile(g);
+  ASSERT_TRUE(first->ok);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  const auto second = cache.get_or_compile(g);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // A hit is the same immutable object, not a recompile.
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(CompileCache, NodeNamesDoNotAffectTheSignature) {
+  // Same topology built twice with different node names: one compile.
+  StreamGraph a = workloads::fig2_triangle(2, 2, 2);
+  StreamGraph b = workloads::fig2_triangle(2, 2, 2);
+  for (NodeId n = 0; n < b.node_count(); ++n)
+    b.set_node_name(n, "tenant_" + std::to_string(n));
+  EXPECT_EQ(CompileCache::signature(a, {}), CompileCache::signature(b, {}));
+
+  CompileCache cache(8);
+  (void)cache.get_or_compile(a);
+  (void)cache.get_or_compile(b);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CompileCache, DifferentBuffersOrOptionsMiss) {
+  CompileCache cache(8);
+  (void)cache.get_or_compile(workloads::fig2_triangle(2, 2, 2));
+  (void)cache.get_or_compile(workloads::fig2_triangle(2, 2, 3));
+  CompileOptions nonprop;
+  nonprop.algorithm = Algorithm::NonPropagation;
+  (void)cache.get_or_compile(workloads::fig2_triangle(2, 2, 2), nonprop);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(CompileCache, LruEviction) {
+  CompileCache cache(2);
+  const StreamGraph g1 = workloads::pipeline(3, 1);
+  const StreamGraph g2 = workloads::pipeline(4, 1);
+  const StreamGraph g3 = workloads::pipeline(5, 1);
+  (void)cache.get_or_compile(g1);
+  (void)cache.get_or_compile(g2);
+  (void)cache.get_or_compile(g1);  // refresh g1; g2 is now LRU
+  (void)cache.get_or_compile(g3);  // evicts g2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  (void)cache.get_or_compile(g1);  // still cached
+  EXPECT_EQ(cache.stats().hits, 2u);
+  (void)cache.get_or_compile(g2);  // was evicted: recompiles
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(CompileCache, CachedResultMatchesDirectCompile) {
+  CompileCache cache(4);
+  const StreamGraph g = workloads::fig5_ladder(2);
+  const auto cached = cache.get_or_compile(g);
+  const auto direct = compile(g);
+  ASSERT_TRUE(cached->ok);
+  ASSERT_TRUE(direct.ok);
+  EXPECT_EQ(cached->classification, direct.classification);
+  EXPECT_TRUE(cached->intervals == direct.intervals);
+  EXPECT_EQ(cached->forward_on_filter(), direct.forward_on_filter());
+}
+
+TEST(CompileCache, ClearResets) {
+  CompileCache cache(4);
+  (void)cache.get_or_compile(workloads::pipeline(3, 1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  (void)cache.get_or_compile(workloads::pipeline(3, 1));
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace sdaf::core

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: release build + full test suite, then a ThreadSanitizer
+# build + test pass so the pooled scheduler's lock-free ready queue and
+# park/wake protocol are race-checked on every PR.
+#
+#   tools/ci.sh            # release + tsan
+#   tools/ci.sh --fast     # release only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "==> release build + ctest"
+cmake --preset release
+cmake --build --preset release -j "$jobs"
+ctest --preset release -j "$jobs"
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "==> tsan build + ctest"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan -j "$jobs"
+fi
+
+echo "==> ci OK"
