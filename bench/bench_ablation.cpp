@@ -12,7 +12,7 @@
 
 #include "src/core/compile.h"
 #include "src/cs4/propagation_ladder.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/support/contracts.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
@@ -39,13 +39,15 @@ void BM_Ablation_PaperLiteralPropagation_DeadlockRate(
     const auto g = workloads::random_cs4_chain(rng, gopt);
     const auto compiled = core::compile(g);
     SDAF_ASSERT(compiled.ok);
-    sim::Simulation s(g, workloads::relay_kernels(g, 0.5, seed * 31 + 1));
-    sim::SimOptions opt;
-    opt.mode = runtime::DummyMode::Propagation;
-    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-    if (forward) opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 400;
-    deadlocks += s.run(opt).deadlocked ? 1 : 0;
+    exec::Session session(g,
+                          workloads::relay_kernels(g, 0.5, seed * 31 + 1));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = runtime::DummyMode::Propagation;
+    spec.intervals = compiled.integer_intervals(core::Rounding::Floor);
+    if (forward) spec.forward_on_filter = compiled.forward_on_filter();
+    spec.num_inputs = 400;
+    deadlocks += session.run(spec).deadlocked ? 1 : 0;
     ++runs;
     ++seed;
   }
@@ -113,14 +115,14 @@ void BM_Ablation_ForwardingTrafficCost(benchmark::State& state) {
   std::uint64_t dummies = 0;
   std::uint64_t seed = 7;
   for (auto _ : state) {
-    sim::Simulation s(g, workloads::relay_kernels(g, 0.6, seed++));
-    sim::SimOptions opt;
-    opt.mode = nonprop ? runtime::DummyMode::NonPropagation
-                       : runtime::DummyMode::Propagation;
-    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-    if (!nonprop) opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 3000;
-    const auto r = s.run(opt);
+    exec::Session session(g, workloads::relay_kernels(g, 0.6, seed++));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = nonprop ? runtime::DummyMode::NonPropagation
+                        : runtime::DummyMode::Propagation;
+    spec.apply(compiled);
+    spec.num_inputs = 3000;
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.completed);
     dummies = r.total_dummies();
   }

@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/compile.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/support/contracts.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
@@ -32,13 +32,13 @@ void run_case(benchmark::State& state, core::Algorithm algorithm,
     auto kernels = workloads::passthrough_kernels(g);
     kernels[0] = std::make_shared<runtime::RelayKernel>(
         workloads::bernoulli_filter(pass_rate, seed++));
-    sim::Simulation s(g, kernels);
-    sim::SimOptions opt;
-    opt.mode = mode;
-    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-    opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 5000;
-    const auto r = s.run(opt);
+    exec::Session session(g, kernels);
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = mode;
+    spec.apply(compiled);
+    spec.num_inputs = 5000;
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.completed);
     dummies = r.total_dummies();
     data = r.total_data();

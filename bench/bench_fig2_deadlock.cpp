@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/compile.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/support/contracts.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
@@ -29,11 +29,12 @@ void BM_TimeToDeadlock_Unprotected(benchmark::State& state) {
   const StreamGraph g = workloads::fig2_triangle(buffer, buffer, buffer);
   std::uint64_t sweeps = 0;
   for (auto _ : state) {
-    sim::Simulation s(g, adversarial_kernels());
-    sim::SimOptions opt;
-    opt.mode = runtime::DummyMode::None;
-    opt.num_inputs = 1u << 20;
-    const auto r = s.run(opt);
+    exec::Session session(g, adversarial_kernels());
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = runtime::DummyMode::None;
+    spec.num_inputs = 1u << 20;
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.deadlocked);
     sweeps = r.sweeps;
     benchmark::DoNotOptimize(r);
@@ -50,11 +51,12 @@ void BM_BernoulliDeadlockRate_Unprotected(benchmark::State& state) {
   std::size_t runs = 0;
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    sim::Simulation s(g, workloads::relay_kernels(g, 0.5, seed++));
-    sim::SimOptions opt;
-    opt.mode = runtime::DummyMode::None;
-    opt.num_inputs = 2000;
-    deadlocks += s.run(opt).deadlocked ? 1 : 0;
+    exec::Session session(g, workloads::relay_kernels(g, 0.5, seed++));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = runtime::DummyMode::None;
+    spec.num_inputs = 2000;
+    deadlocks += session.run(spec).deadlocked ? 1 : 0;
     ++runs;
   }
   state.counters["deadlock_rate"] =
@@ -69,17 +71,16 @@ void BM_BernoulliDeadlockRate_Protected(benchmark::State& state) {
   const StreamGraph g = workloads::fig2_triangle(buffer, buffer, buffer);
   const auto compiled = core::compile(g);
   SDAF_ASSERT(compiled.ok);
-  const auto intervals = compiled.integer_intervals(core::Rounding::Floor);
   std::size_t deadlocks = 0;
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    sim::Simulation s(g, workloads::relay_kernels(g, 0.5, seed++));
-    sim::SimOptions opt;
-    opt.mode = runtime::DummyMode::Propagation;
-    opt.intervals = intervals;
-    opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 2000;
-    const auto r = s.run(opt);
+    exec::Session session(g, workloads::relay_kernels(g, 0.5, seed++));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = runtime::DummyMode::Propagation;
+    spec.apply(compiled);
+    spec.num_inputs = 2000;
+    const auto r = session.run(spec);
     deadlocks += r.deadlocked ? 1 : 0;
     SDAF_ASSERT(r.completed);
   }

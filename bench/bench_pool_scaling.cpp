@@ -9,7 +9,7 @@
 #include <map>
 
 #include "src/core/compile_cache.h"
-#include "src/runtime/executor.h"
+#include "src/exec/session.h"
 #include "src/runtime/pool_executor.h"
 #include "src/support/contracts.h"
 #include "src/support/prng.h"
@@ -44,13 +44,16 @@ void BM_PoolExecutor_Ladder(benchmark::State& state) {
   const auto workers = static_cast<std::size_t>(state.range(1));
   const StreamGraph& g = ladder_of(nodes);
   runtime::PoolExecutor pool(workers);
-  runtime::ExecutorOptions opt;
-  opt.mode = runtime::DummyMode::None;
-  opt.num_inputs = kItems;
+  exec::Session session(g, workloads::passthrough_kernels(g));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Pooled;
+  spec.pool = &pool;
+  spec.mode = runtime::DummyMode::None;
+  spec.num_inputs = kItems;
   std::uint64_t processed = 0;
   double wall = 0.0;
   for (auto _ : state) {
-    const auto r = pool.run(g, workloads::passthrough_kernels(g), opt);
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.completed);
     processed += kItems;
     wall += r.wall_seconds;
@@ -68,14 +71,15 @@ BENCHMARK(BM_PoolExecutor_Ladder)
 void BM_ThreadPerNode_Ladder(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const StreamGraph& g = ladder_of(nodes);
-  runtime::ExecutorOptions opt;
-  opt.mode = runtime::DummyMode::None;
-  opt.num_inputs = kItems;
+  exec::Session session(g, workloads::passthrough_kernels(g));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Threaded;
+  spec.mode = runtime::DummyMode::None;
+  spec.num_inputs = kItems;
   std::uint64_t processed = 0;
   double wall = 0.0;
   for (auto _ : state) {
-    runtime::Executor ex(g, workloads::passthrough_kernels(g));
-    const auto r = ex.run(opt);
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.completed);
     processed += kItems;
     wall += r.wall_seconds;

@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/compile.h"
-#include "src/runtime/executor.h"
+#include "src/exec/session.h"
 #include "src/support/contracts.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
@@ -40,16 +40,13 @@ void run_throughput(benchmark::State& state, core::Algorithm algorithm,
   std::uint64_t processed = 0;
   double wall = 0.0;
   for (auto _ : state) {
-    runtime::Executor ex(g, work_kernels(g, pass_rate, 17));
-    runtime::ExecutorOptions opt;
-    opt.mode = mode;
-    if (mode != runtime::DummyMode::None) {
-      opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-      if (mode == runtime::DummyMode::Propagation)
-        opt.forward_on_filter = compiled.forward_on_filter();
-    }
-    opt.num_inputs = kItems;
-    const auto r = ex.run(opt);
+    exec::Session session(g, work_kernels(g, pass_rate, 17));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Threaded;
+    spec.mode = mode;
+    if (mode != runtime::DummyMode::None) spec.apply(compiled);
+    spec.num_inputs = kItems;
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.completed);
     processed += kItems;
     wall += r.wall_seconds;

@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/compile.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/support/contracts.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
@@ -28,13 +28,13 @@ void run_traffic(benchmark::State& state, const StreamGraph& g,
   std::uint64_t data = 0;
   std::uint64_t seed = 9;
   for (auto _ : state) {
-    sim::Simulation s(g, workloads::relay_kernels(g, 0.6, seed++));
-    sim::SimOptions opt;
-    opt.mode = mode;
-    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-    opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 4000;
-    const auto r = s.run(opt);
+    exec::Session session(g, workloads::relay_kernels(g, 0.6, seed++));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = mode;
+    spec.apply(compiled);
+    spec.num_inputs = 4000;
+    const auto r = session.run(spec);
     SDAF_ASSERT(r.completed);
     dummies = r.total_dummies();
     data = r.total_data();

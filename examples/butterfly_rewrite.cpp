@@ -10,7 +10,7 @@
 #include "src/core/compile.h"
 #include "src/core/report.h"
 #include "src/cs4/k4_witness.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
 
@@ -33,19 +33,16 @@ int main() {
   }
 
   const StreamGraph rewrite = workloads::butterfly_rewrite(4);
-  const auto compiled = core::compile(rewrite);
+  exec::Session session(rewrite,
+                        workloads::relay_kernels(rewrite, 0.6, /*seed=*/3));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Sim;
+  spec.mode = runtime::DummyMode::Propagation;
+  spec.num_inputs = 25'000;
+  const auto [compiled, run] = session.compile_and_run(spec);
   std::printf("--- rewrite (b->c routed via d) ---\n%s\n",
-              core::describe(rewrite, compiled).c_str());
-  if (!compiled.ok) return 1;
-
-  sim::Simulation simulation(
-      rewrite, workloads::relay_kernels(rewrite, 0.6, /*seed=*/3));
-  sim::SimOptions options;
-  options.mode = runtime::DummyMode::Propagation;
-  options.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  options.forward_on_filter = compiled.forward_on_filter();
-  options.num_inputs = 25'000;
-  const auto run = simulation.run(options);
+              core::describe(rewrite, *compiled).c_str());
+  if (!compiled->ok) return 1;
   std::printf("rewrite run: completed=%d deadlocked=%d dummies=%llu\n",
               run.completed, run.deadlocked,
               static_cast<unsigned long long>(run.total_dummies()));

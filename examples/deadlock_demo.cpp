@@ -1,13 +1,13 @@
 // Fig. 2 live: the same triangle topology and the same adversarial
-// filtering pattern, run twice -- once bare (deadlocks, detected by the
-// watchdog) and once compiled with dummy intervals (completes).
+// filtering pattern, run twice through exec::Session -- once bare
+// (deadlocks, detected by the watchdog, with a post-mortem state dump) and
+// once compiled with dummy intervals (completes).
 //
 //   $ ./deadlock_demo
 #include <cstdio>
 
-#include "src/core/compile.h"
 #include "src/core/report.h"
-#include "src/runtime/executor.h"
+#include "src/exec/session.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
 
@@ -32,30 +32,25 @@ std::vector<std::shared_ptr<runtime::Kernel>> make_kernels() {
 
 int main() {
   const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
-  const auto compiled = core::compile(g);
-  std::printf("%s\n", core::describe(g, compiled).c_str());
-
-  runtime::ExecutorOptions options;
-  options.num_inputs = 500;
+  exec::Session session(g, make_kernels());
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Threaded;
+  spec.num_inputs = 500;
 
   {
     std::printf("--- run 1: no deadlock avoidance ---\n");
-    runtime::Executor executor(g, make_kernels());
-    options.mode = runtime::DummyMode::None;
-    options.intervals.clear();
-    options.forward_on_filter.clear();
-    const auto run = executor.run(options);
-    std::printf("completed=%d deadlocked=%d (C consumed %llu messages)\n\n",
+    spec.mode = runtime::DummyMode::None;
+    const auto run = session.run(spec);
+    std::printf("completed=%d deadlocked=%d (C consumed %llu messages)\n",
                 run.completed, run.deadlocked,
                 static_cast<unsigned long long>(run.sink_data[2]));
+    std::printf("wedged state:\n%s\n", run.state_dump.c_str());
   }
   {
     std::printf("--- run 2: Propagation Algorithm wrappers ---\n");
-    runtime::Executor executor(g, make_kernels());
-    options.mode = runtime::DummyMode::Propagation;
-    options.intervals = compiled.integer_intervals(core::Rounding::Floor);
-    options.forward_on_filter = compiled.forward_on_filter();
-    const auto run = executor.run(options);
+    spec.mode = runtime::DummyMode::Propagation;
+    const auto [compiled, run] = session.compile_and_run(spec);
+    std::printf("%s\n", core::describe(g, *compiled).c_str());
     std::printf("completed=%d deadlocked=%d (C consumed %llu messages, "
                 "%llu dummies on A->C)\n",
                 run.completed, run.deadlocked,

@@ -7,9 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/compile.h"
 #include "src/core/report.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/spdag/recognizer.h"
 #include "src/workloads/filters.h"
 
@@ -37,20 +36,17 @@ int main(int argc, char** argv) {
   std::printf("SP recognizer: %s\n",
               sp.is_sp ? "accepted (unexpected!)" : sp.reason.c_str());
 
-  // ...but the CS4 compiler can.
-  const auto compiled = core::compile(g);
-  std::printf("\n%s\n", core::describe(g, compiled).c_str());
-  if (!compiled.ok) return 1;
-
-  auto kernels = workloads::relay_kernels(g, /*pass_probability=*/0.7,
-                                          /*seed=*/77);
-  sim::Simulation simulation(g, kernels);
-  sim::SimOptions options;
-  options.mode = runtime::DummyMode::Propagation;
-  options.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  options.forward_on_filter = compiled.forward_on_filter();
-  options.num_inputs = items;
-  const auto run = simulation.run(options);
+  // ...but the CS4 compiler can. Compile + run on the deterministic
+  // simulator backend through the facade.
+  exec::Session session(g, workloads::relay_kernels(
+                               g, /*pass_probability=*/0.7, /*seed=*/77));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Sim;
+  spec.mode = runtime::DummyMode::Propagation;
+  spec.num_inputs = items;
+  const auto [compiled, run] = session.compile_and_run(spec);
+  std::printf("\n%s\n", core::describe(g, *compiled).c_str());
+  if (!compiled->ok) return 1;
 
   std::printf("items=%llu completed=%d deadlocked=%d sweeps=%llu\n",
               static_cast<unsigned long long>(items), run.completed,

@@ -10,9 +10,8 @@
 #include <cstdlib>
 #include <string>
 
-#include "src/core/compile.h"
 #include "src/core/report.h"
-#include "src/runtime/executor.h"
+#include "src/exec/session.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
 
@@ -48,9 +47,6 @@ int main(int argc, char** argv) {
     g.add_edge(r, collect, 4);   // success reports only
   }
   g.add_edge(collect, archive, 8);
-
-  const auto compiled = core::compile(g);
-  std::printf("%s\n", core::describe(g, compiled).c_str());
 
   // Kernels. The camera synthesizes frames with pseudo-random features;
   // segment routes on feature bits; recognizers succeed data-dependently.
@@ -91,13 +87,14 @@ int main(int argc, char** argv) {
       });
   kernels[archive] = runtime::pass_through_kernel();
 
-  runtime::Executor executor(g, kernels);
-  runtime::ExecutorOptions options;
-  options.mode = runtime::DummyMode::Propagation;
-  options.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  options.forward_on_filter = compiled.forward_on_filter();
-  options.num_inputs = frames;
-  const auto run = executor.run(options);
+  exec::Session session(g, kernels);
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Threaded;
+  spec.mode = runtime::DummyMode::Propagation;
+  spec.num_inputs = frames;
+  const auto [compiled, run] = session.compile_and_run(spec);
+  std::printf("%s\n", core::describe(g, *compiled).c_str());
+  if (!compiled->ok) return 1;
 
   std::printf("frames=%llu completed=%d deadlocked=%d wall=%.3fs\n",
               static_cast<unsigned long long>(frames), run.completed,

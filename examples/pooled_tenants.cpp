@@ -1,12 +1,14 @@
-// Multi-tenant pooled execution: many concurrent instances of a filtering
-// split/join share one fixed worker pool, and core::CompileCache amortizes
-// the compile pass (CS4 decomposition + dummy intervals) across tenants
-// running the same topology -- only the first submission compiles.
+// Multi-tenant pooled execution through the facade: many concurrent
+// instances of a filtering split/join share one fixed worker pool via
+// exec::Session::submit, and a shared core::CompileCache amortizes the
+// compile pass (CS4 decomposition + dummy intervals) across tenants running
+// the same topology -- only the first submission compiles.
 //
 //   $ ./pooled_tenants
 #include <cstdio>
 
 #include "src/core/compile_cache.h"
+#include "src/exec/session.h"
 #include "src/runtime/pool_executor.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
@@ -19,22 +21,22 @@ int main() {
   runtime::PoolExecutor pool(4);
 
   constexpr int kTenants = 8;
-  std::vector<runtime::PoolExecutor::TicketId> tickets;
+  std::vector<exec::Session::Pending> pending;
   for (int t = 0; t < kTenants; ++t) {
     // Every tenant resubmits the same topology: one miss, then hits.
-    const auto compiled = cache.get_or_compile(g);
-    runtime::ExecutorOptions opt;
-    opt.mode = runtime::DummyMode::Propagation;
-    opt.intervals = compiled->integer_intervals(core::Rounding::Floor);
-    opt.forward_on_filter = compiled->forward_on_filter();
-    opt.num_inputs = 500;
-    tickets.push_back(pool.submit(
-        g, workloads::relay_kernels(g, /*pass_probability=*/0.5, 1000 + t),
-        opt));
+    exec::Session session(
+        g, workloads::relay_kernels(g, /*pass_probability=*/0.5, 1000 + t));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Pooled;
+    spec.pool = &pool;
+    spec.mode = runtime::DummyMode::Propagation;
+    spec.num_inputs = 500;
+    spec.apply(*cache.get_or_compile(g));
+    pending.push_back(session.submit(spec));
   }
 
   for (int t = 0; t < kTenants; ++t) {
-    const auto r = pool.wait(tickets[t]);
+    const auto r = pending[t].get();
     std::printf("tenant %d: %s, sink received %llu data messages, "
                 "%llu dummies on the wire\n",
                 t, r.completed ? "completed" : "DEADLOCKED",

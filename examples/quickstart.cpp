@@ -1,14 +1,14 @@
-// Quickstart: build a filtering split/join, compile dummy intervals, run it
-// on the threaded executor, and confirm it finishes with filtering enabled.
+// Quickstart: build a filtering split/join, compile dummy intervals, and
+// run it through the exec::Session facade -- the one execution API over the
+// simulator, the thread-per-node executor, and the pooled scheduler.
 //
 //   $ ./quickstart
 //
-// Walks through the whole public API surface in ~60 lines of user code.
+// Walks through the whole public API surface in ~50 lines of user code.
 #include <cstdio>
 
-#include "src/core/compile.h"
 #include "src/core/report.h"
-#include "src/runtime/executor.h"
+#include "src/exec/session.h"
 #include "src/workloads/filters.h"
 
 using namespace sdaf;
@@ -25,27 +25,26 @@ int main() {
   g.add_edge(upper, join, /*buffer=*/4);
   g.add_edge(lower, join, /*buffer=*/4);
 
-  // 2. Compile: classify the topology and compute dummy intervals.
-  const core::CompileResult compiled = core::compile(g);
-  std::printf("%s\n", core::describe(g, compiled).c_str());
-  if (!compiled.ok) return 1;
-
-  // 3. Provide kernels. The split forwards each item to a data-dependent
+  // 2. Provide kernels. The split forwards each item to a data-dependent
   //    subset of branches (here: pseudo-random, the essence of filtering);
   //    the branches and join pass everything through.
   auto kernels = workloads::passthrough_kernels(g);
   kernels[split] = std::make_shared<runtime::RelayKernel>(
       workloads::bernoulli_filter(/*p=*/0.5, /*seed=*/2011));
 
-  // 4. Run with the Propagation Algorithm wrapper.
-  runtime::Executor executor(g, kernels);
-  runtime::ExecutorOptions options;
-  options.mode = runtime::DummyMode::Propagation;
-  options.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  options.forward_on_filter = compiled.forward_on_filter();
-  options.num_inputs = 10'000;
-  const runtime::RunResult run = executor.run(options);
+  // 3. Compile + run in one call: exec::Session memoizes the compile pass
+  //    (classification + dummy intervals) and dispatches to the backend
+  //    named in the RunSpec -- here the thread-per-node executor, with the
+  //    Propagation Algorithm wrappers.
+  exec::Session session(g, kernels);
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Threaded;
+  spec.mode = runtime::DummyMode::Propagation;
+  spec.num_inputs = 10'000;
+  const auto [compiled, run] = session.compile_and_run(spec);
 
+  std::printf("%s\n", core::describe(g, *compiled).c_str());
+  if (!compiled->ok) return 1;
   std::printf("completed=%d deadlocked=%d\n", run.completed, run.deadlocked);
   std::printf("join consumed %llu data messages; %llu dummies were sent\n",
               static_cast<unsigned long long>(run.sink_data[join]),

@@ -1,0 +1,225 @@
+#include "src/exec/firing_core.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/contracts.h"
+
+namespace sdaf::exec {
+
+using runtime::kEosSeq;
+using runtime::Message;
+using runtime::MessageKind;
+using runtime::TraceKind;
+
+std::string describe_park_summary(std::uint64_t summary) {
+  switch (summary >> kParkTagShift) {
+    case kParkDone:
+      return "done";
+    case kParkOutputs: {
+      std::string s = "blocked-on-outputs mask=";
+      const std::uint64_t mask = summary & kParkSlotMask;
+      if (mask == kParkSlotMask) return s + "all";
+      for (std::size_t slot = 0; slot < 62; ++slot)
+        if ((mask >> slot) & 1u) s += std::to_string(slot) + ",";
+      if (s.back() == ',') s.pop_back();
+      return s;
+    }
+    default:
+      return "waiting-on-inputs";
+  }
+}
+
+std::string dump_wedged_state(
+    const StreamGraph& g,
+    const std::function<EdgeDumpInfo(EdgeId)>& edge_info,
+    const std::function<std::string(NodeId)>& node_info) {
+  std::ostringstream dump;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const EdgeDumpInfo info = edge_info(e);
+    dump << "edge " << e << " " << g.node_name(g.edge(e).from) << "->"
+         << g.node_name(g.edge(e).to) << " " << info.occupancy << "/"
+         << info.capacity << " pushed=" << info.data_pushed << "+"
+         << info.dummies_pushed << "d";
+    if (info.head.has_value())
+      dump << " head=" << runtime::to_string(*info.head);
+    if (info.tail.has_value())
+      dump << " tail=" << runtime::to_string(*info.tail);
+    dump << "\n";
+  }
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    dump << "node " << g.node_name(n) << " " << node_info(n) << "\n";
+  return dump.str();
+}
+
+FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
+                       std::size_t in_slots, std::size_t out_slots,
+                       runtime::NodeWrapper wrapper, std::uint64_t num_inputs,
+                       DeliverySink& sink, runtime::Tracer* tracer,
+                       const std::uint64_t* tick)
+    : node_(node),
+      kernel_(kernel),
+      in_slots_(in_slots),
+      out_slots_(out_slots),
+      wrapper_(std::move(wrapper)),
+      num_inputs_(num_inputs),
+      sink_(sink),
+      tracer_(tracer),
+      tick_(tick),
+      emitter_(out_slots),
+      inputs_(in_slots) {}
+
+void FiringCore::trace(TraceKind kind, std::size_t slot, std::uint64_t seq) {
+  if (tracer_ != nullptr)
+    tracer_->record(runtime::TraceEvent{kind, node_, slot, seq,
+                                        tick_ != nullptr ? *tick_ : 0});
+}
+
+void FiringCore::queue_outputs(std::uint64_t seq, bool any_input_dummy) {
+  for (std::size_t slot = 0; slot < out_slots_; ++slot) {
+    const auto& v = emitter_.value(slot);
+    if (v.has_value()) {
+      (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
+      pending_.push_back({slot, Message::data(seq, *v)});
+      trace(TraceKind::DataSent, slot, seq);
+    } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
+                                          any_input_dummy)) {
+      pending_.push_back({slot, Message::dummy(seq)});
+      trace(TraceKind::DummySent, slot, seq);
+    }
+  }
+}
+
+void FiringCore::queue_eos() {
+  for (std::size_t slot = 0; slot < out_slots_; ++slot) {
+    pending_.push_back({slot, Message::eos()});
+    trace(TraceKind::EosSent, slot, kEosSeq);
+  }
+  eos_flooded_ = true;
+}
+
+bool FiringCore::drain_pending() {
+  bool progressed = false;
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingMessage& pm = pending_[i];
+    if (aborted_) {
+      pending_[write++] = std::move(pm);
+      continue;
+    }
+    switch (sink_.try_push(pm.out_slot, pm.message)) {
+      case PushOutcome::Delivered:
+        progressed = true;
+        break;
+      case PushOutcome::Blocked:
+        pending_[write++] = std::move(pm);
+        break;
+      case PushOutcome::Aborted:
+        aborted_ = true;
+        pending_[write++] = std::move(pm);
+        break;
+    }
+  }
+  pending_.resize(write);
+  return progressed;
+}
+
+bool FiringCore::fire_once() {
+  if (in_slots_ == 0) {
+    // Source: generates one sequence number per quantum, then EOS.
+    if (source_seq_ >= num_inputs_) {
+      queue_eos();
+      return true;
+    }
+    emitter_.reset();
+    static const std::vector<std::optional<runtime::Value>> no_inputs;
+    kernel_.fire(source_seq_, no_inputs, emitter_);
+    ++fires;
+    trace(TraceKind::Fire, 0, source_seq_);
+    queue_outputs(source_seq_, /*any_input_dummy=*/false);
+    ++source_seq_;
+    return true;
+  }
+  // Interior / sink: alignment needs every input head present; the next
+  // accepted sequence number is the minimum head.
+  std::uint64_t min_seq = kEosSeq;
+  heads_.resize(in_slots_);
+  for (std::size_t j = 0; j < in_slots_; ++j) {
+    auto head = sink_.try_peek(j);
+    if (!head.has_value()) return false;  // input unavailable (or aborted)
+    heads_[j] = std::move(*head);
+    min_seq = std::min(min_seq, heads_[j].seq);
+  }
+  if (min_seq == kEosSeq) {
+    queue_eos();
+    return true;
+  }
+  bool any_dummy = false;
+  bool any_data = false;
+  for (std::size_t j = 0; j < in_slots_; ++j) {
+    inputs_[j].reset();
+    if (heads_[j].seq != min_seq) continue;  // upstream filtered min_seq
+    if (heads_[j].kind == MessageKind::Data) {
+      inputs_[j] = std::move(heads_[j].payload);
+      any_data = true;
+      ++sink_data;
+      trace(TraceKind::DataConsumed, j, min_seq);
+    } else {
+      any_dummy = true;
+      trace(TraceKind::DummyConsumed, j, min_seq);
+    }
+    sink_.pop(j);
+  }
+  emitter_.reset();
+  if (any_data) {
+    kernel_.fire(min_seq, inputs_, emitter_);
+    ++fires;
+    trace(TraceKind::Fire, 0, min_seq);
+  }
+  queue_outputs(min_seq, any_dummy);
+  return true;
+}
+
+bool FiringCore::step() {
+  if (done_ || aborted_) return false;
+  bool progressed = false;
+  // Drain pending emissions first: a firing's outputs must all leave before
+  // the next alignment, but a full channel must not block messages destined
+  // for channels with space.
+  if (!pending_.empty()) {
+    progressed = drain_pending();
+    if (aborted_) return false;
+    if (!pending_.empty()) return progressed;
+  }
+  if (eos_flooded_) {
+    done_ = true;
+    return true;
+  }
+  return fire_once() || progressed;
+}
+
+std::uint64_t FiringCore::park_summary() const {
+  if (done_) return kParkDone << kParkTagShift;
+  if (!pending_.empty()) {
+    std::uint64_t mask = 0;
+    for (const PendingMessage& pm : pending_) {
+      if (pm.out_slot >= 62)
+        return (kParkOutputs << kParkTagShift) | kParkSlotMask;
+      mask |= std::uint64_t{1} << pm.out_slot;
+    }
+    return (kParkOutputs << kParkTagShift) | mask;
+  }
+  return kParkInputs << kParkTagShift;
+}
+
+std::string FiringCore::describe() const {
+  std::string s = done_ ? "done" : "running";
+  s += " src_seq=" + std::to_string(source_seq_);
+  s += " pending=" + std::to_string(pending_.size());
+  for (const auto& pm : pending_)
+    s += " [slot=" + std::to_string(pm.out_slot) + " " +
+         runtime::to_string(pm.message) + "]";
+  return s;
+}
+
+}  // namespace sdaf::exec

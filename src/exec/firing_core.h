@@ -1,0 +1,168 @@
+// The one true firing rule. Every execution backend -- the deterministic
+// simulator, the thread-per-node executor, and the pooled scheduler -- runs
+// each node through this state machine: sequence-number alignment at the
+// minimum input head, kernel invocation only when data arrived, wrapper-
+// driven dummy origination/forwarding, per-channel-asynchronous output
+// delivery, and the EOS flood. Backends differ only in *delivery* -- how a
+// message moves through a channel and what happens when it cannot -- which
+// is exactly the DeliverySink contract below.
+//
+// A FiringCore is single-owner: exactly one thread may call step() at a
+// time (the simulator sweep, the node's own OS thread, or the pool worker
+// that currently owns the task). The sink callbacks are invoked from inside
+// step() on that same thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/runtime/kernel.h"
+#include "src/runtime/message.h"
+#include "src/runtime/trace.h"
+#include "src/runtime/wrapper.h"
+
+namespace sdaf::exec {
+
+// Outcome of a non-blocking delivery attempt.
+enum class PushOutcome : std::uint8_t {
+  Delivered,  // message accepted by the channel
+  Blocked,    // channel full; retry after a transition
+  Aborted,    // run is tearing down; stop delivering
+};
+
+// Backend delivery contract. `try_peek`/`pop` act on in-slots, `try_push`
+// on out-slots (slot indices follow StreamGraph::in_edges/out_edges order).
+//
+//   simulator      try_peek = front of a deque, try_push = capacity check
+//   thread-per-node try_peek *blocks* until a head or abort; try_push is
+//                  non-blocking and the runner waits on its ProducerSignal
+//   pooled         try_peek/try_push are non-blocking and additionally wake
+//                  the peer node on empty->non-empty / full->non-full edges
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+
+  // A copy of the head of in-slot `slot`, or empty when no message is
+  // available (backend-specific: empty channel, or aborted run).
+  [[nodiscard]] virtual std::optional<runtime::Message> try_peek(
+      std::size_t slot) = 0;
+
+  // Removes the head of in-slot `slot`. Precondition: the immediately
+  // preceding try_peek(slot) observed a head.
+  virtual void pop(std::size_t slot) = 0;
+
+  // Attempts to deliver `m` on out-slot `slot` without blocking.
+  [[nodiscard]] virtual PushOutcome try_push(std::size_t slot,
+                                             const runtime::Message& m) = 0;
+};
+
+// Park summary encoding, shared by the pooled scheduler's park/probe
+// protocol and the deadlock state dumps: the top two bits select the park
+// reason, the low 62 bits are a mask of the output slots the node is
+// blocked on (slots >= 62 degrade to "check every slot"). A node only
+// parks done, output-blocked (pending messages for full channels), or
+// input-blocked (some input empty); every other situation lets step()
+// progress.
+inline constexpr std::uint64_t kParkInputs = 0;
+inline constexpr std::uint64_t kParkDone = 1;
+inline constexpr std::uint64_t kParkOutputs = 2;
+inline constexpr int kParkTagShift = 62;
+inline constexpr std::uint64_t kParkSlotMask = (std::uint64_t{1} << 62) - 1;
+
+[[nodiscard]] std::string describe_park_summary(std::uint64_t summary);
+
+// One formatter for the deadlock state dumps every backend emits
+// ("edge i from->to occ/cap pushed=D+Kd head=... [tail=...]" per edge,
+// then "node name <node_info>" per node). Backends supply accessors for
+// their channel representation; `tail` is empty when a backend cannot
+// observe it cheaply.
+struct EdgeDumpInfo {
+  std::size_t occupancy = 0;
+  std::size_t capacity = 0;
+  std::uint64_t data_pushed = 0;
+  std::uint64_t dummies_pushed = 0;
+  std::optional<runtime::Message> head;
+  std::optional<runtime::Message> tail;
+};
+
+[[nodiscard]] std::string dump_wedged_state(
+    const StreamGraph& g,
+    const std::function<EdgeDumpInfo(EdgeId)>& edge_info,
+    const std::function<std::string(NodeId)>& node_info);
+
+class FiringCore {
+ public:
+  // `in_slots`/`out_slots` are the node's degree; the channels themselves
+  // live behind `sink`. `tracer` (optional, not owned) records per-message
+  // events; `tick` (optional, not owned) supplies the tracer timestamp --
+  // the simulator points it at its sweep counter, concurrent backends leave
+  // it null (tick 0; event *order* across threads is not meaningful there).
+  FiringCore(NodeId node, runtime::Kernel& kernel, std::size_t in_slots,
+             std::size_t out_slots, runtime::NodeWrapper wrapper,
+             std::uint64_t num_inputs, DeliverySink& sink,
+             runtime::Tracer* tracer = nullptr,
+             const std::uint64_t* tick = nullptr);
+
+  // One scheduling quantum; returns true iff any progress was made (a
+  // message delivered, consumed, or produced). After false the node cannot
+  // progress until a channel changes (or the run aborted; see aborted()).
+  bool step();
+
+  [[nodiscard]] bool done() const { return done_; }
+  // True once the sink reported PushOutcome::Aborted; the core stops
+  // delivering and step() returns false forever.
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  // Why an unproductive node is stuck, in the encoding above. Owner-only.
+  [[nodiscard]] std::uint64_t park_summary() const;
+
+  // Human-readable state for deadlock dumps. Owner-only (or quiescent).
+  [[nodiscard]] std::string describe() const;
+
+  std::uint64_t fires = 0;      // kernel invocations
+  std::uint64_t sink_data = 0;  // data messages consumed
+
+ private:
+  struct PendingMessage {
+    std::size_t out_slot;
+    runtime::Message message;
+  };
+
+  void trace(runtime::TraceKind kind, std::size_t slot, std::uint64_t seq);
+  // Queues this firing's outputs: kernel data plus wrapper-mandated
+  // dummies. The wrapper is consulted exactly once per slot per seq.
+  void queue_outputs(std::uint64_t seq, bool any_input_dummy);
+  void queue_eos();
+  // Pushes whatever fits from pending_, per-channel asynchronously: a full
+  // channel must not block messages destined for channels with space.
+  // Returns true iff anything was delivered.
+  bool drain_pending();
+  // One alignment + firing attempt; true iff anything was consumed/queued.
+  bool fire_once();
+
+  NodeId node_;
+  runtime::Kernel& kernel_;
+  std::size_t in_slots_;
+  std::size_t out_slots_;
+  runtime::NodeWrapper wrapper_;
+  std::uint64_t num_inputs_;
+  DeliverySink& sink_;
+  runtime::Tracer* tracer_;
+  const std::uint64_t* tick_;
+  runtime::Emitter emitter_;
+  std::vector<std::optional<runtime::Value>> inputs_;
+  std::vector<runtime::Message> heads_;
+  std::vector<PendingMessage> pending_;
+  std::uint64_t source_seq_ = 0;
+  bool eos_flooded_ = false;
+  bool done_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace sdaf::exec

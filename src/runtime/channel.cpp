@@ -104,6 +104,11 @@ bool BoundedChannel::full() const {
   return queue_.size() >= capacity_;
 }
 
+std::size_t BoundedChannel::size() const {
+  std::unique_lock lock(mu_);
+  return queue_.size();
+}
+
 ChannelStats BoundedChannel::stats() const {
   std::unique_lock lock(mu_);
   return stats_;

@@ -85,6 +85,7 @@ class BoundedChannel {
   // Instantaneous occupancy tests (non-blocking; for scheduler probes).
   [[nodiscard]] bool empty() const;
   [[nodiscard]] bool full() const;
+  [[nodiscard]] std::size_t size() const;
 
   [[nodiscard]] ChannelStats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "src/exec/firing_core.h"
 #include "src/support/contracts.h"
 #include "src/support/timer.h"
 
@@ -21,182 +22,103 @@ std::uint64_t RunResult::total_data() const {
   return total;
 }
 
+namespace {
+
+// Per-node driver running on its own thread: an exec::FiringCore whose
+// delivery sink blocks. Input peeks wait inside the channel (reporting to
+// the watchdog); output pushes are non-blocking and the runner waits on its
+// ProducerSignal when every remaining pending message targets a full
+// channel. A firing's outputs are still delivered per-channel
+// asynchronously: everything that fits is pushed immediately and the
+// remainder retried whenever any output channel frees space. Without this,
+// a message for a starved channel could queue behind a blocked push to a
+// full one, creating a wait the paper's model does not have (and that its
+// intervals do not guard against).
+class NodeRunner final : private exec::DeliverySink {
+ public:
+  NodeRunner(NodeId node, Kernel& kernel, std::vector<BoundedChannel*> ins,
+             std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
+             std::uint64_t num_inputs, RuntimeMonitor* monitor,
+             Tracer* tracer)
+      : ins_(std::move(ins)),
+        outs_(std::move(outs)),
+        monitor_(monitor),
+        core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
+              num_inputs, *this, tracer) {}
+
+  [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
+  [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
+  [[nodiscard]] std::string describe() const { return core_.describe(); }
+
+  ProducerSignal& signal() { return signal_; }
+
+  void operator()() {
+    for (;;) {
+      if (core_.step()) continue;
+      if (core_.done() || aborted_ || core_.aborted()) return;
+      // step() made no progress and the run is live, so pending messages
+      // remain for full channels (an empty input would have blocked inside
+      // peek_wait instead). Wait for any output channel to free space; the
+      // version counter closes the race with a pop that lands between the
+      // failed pushes and the wait.
+      std::uint64_t version;
+      {
+        std::lock_guard lock(signal_.mu);
+        if (signal_.aborted) return;
+        version = signal_.version;
+      }
+      if (core_.step()) continue;  // a pop raced ahead of the capture
+      if (core_.done() || aborted_ || core_.aborted()) return;
+      std::unique_lock lock(signal_.mu);
+      if (signal_.aborted) return;
+      if (signal_.version == version) {
+        BlockedScope blocked(monitor_);
+        signal_.cv.wait(lock, [&] {
+          return signal_.version != version || signal_.aborted;
+        });
+      }
+      if (signal_.aborted) return;
+    }
+  }
+
+ private:
+  std::optional<Message> try_peek(std::size_t slot) override {
+    auto head = ins_[slot]->peek_wait();  // blocks; empty iff aborted
+    if (!head.has_value()) aborted_ = true;
+    return head;
+  }
+
+  void pop(std::size_t slot) override { (void)ins_[slot]->pop(); }
+
+  exec::PushOutcome try_push(std::size_t slot, const Message& m) override {
+    switch (outs_[slot]->try_push(m)) {
+      case PushResult::Ok:
+        return exec::PushOutcome::Delivered;
+      case PushResult::Aborted:
+        aborted_ = true;
+        return exec::PushOutcome::Aborted;
+      case PushResult::Full:
+      default:
+        return exec::PushOutcome::Blocked;
+    }
+  }
+
+  std::vector<BoundedChannel*> ins_;
+  std::vector<BoundedChannel*> outs_;
+  RuntimeMonitor* monitor_;
+  ProducerSignal signal_;
+  bool aborted_ = false;
+  exec::FiringCore core_;  // last: its sink is *this
+};
+
+}  // namespace
+
 Executor::Executor(const StreamGraph& g,
                    std::vector<std::shared_ptr<Kernel>> kernels)
     : graph_(g), kernels_(std::move(kernels)) {
   SDAF_EXPECTS(kernels_.size() == g.node_count());
   for (const auto& k : kernels_) SDAF_EXPECTS(k != nullptr);
 }
-
-namespace {
-
-// Per-node driver running on its own thread. A firing's outputs are
-// delivered per-channel asynchronously: everything that fits is pushed
-// immediately and the remainder retried whenever any output channel frees
-// space. Without this, a message for a starved channel could queue behind a
-// blocked push to a full one, creating a wait the paper's model does not
-// have (and that its intervals do not guard against).
-class NodeRunner {
- public:
-  NodeRunner(const StreamGraph& g, NodeId node, Kernel& kernel,
-             std::vector<BoundedChannel*> ins,
-             std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
-             std::uint64_t num_inputs, RuntimeMonitor* monitor)
-      : kernel_(kernel),
-        ins_(std::move(ins)),
-        outs_(std::move(outs)),
-        wrapper_(std::move(wrapper)),
-        num_inputs_(num_inputs),
-        monitor_(monitor),
-        emitter_(outs_.size()) {
-    (void)g;
-    (void)node;
-  }
-
-  std::uint64_t fires = 0;
-  std::uint64_t sink_data = 0;
-
-  ProducerSignal& signal() { return signal_; }
-
-  void operator()() {
-    if (ins_.empty())
-      run_source();
-    else
-      run_interior();
-  }
-
- private:
-  struct Pending {
-    BoundedChannel* channel;
-    Message message;
-  };
-
-  // Queues this firing's outputs: kernel data plus wrapper-mandated
-  // dummies. The wrapper is consulted exactly once per slot per seq.
-  void queue_outputs(std::uint64_t seq, bool any_input_dummy) {
-    for (std::size_t slot = 0; slot < outs_.size(); ++slot) {
-      const auto& v = emitter_.value(slot);
-      if (v.has_value()) {
-        (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
-        pending_.push_back({outs_[slot], Message::data(seq, *v)});
-      } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
-                                            any_input_dummy)) {
-        pending_.push_back({outs_[slot], Message::dummy(seq)});
-      }
-    }
-  }
-
-  void queue_eos() {
-    for (auto* out : outs_) pending_.push_back({out, Message::eos()});
-  }
-
-  // Delivers all pending messages; false iff aborted.
-  bool deliver_pending() {
-    while (!pending_.empty()) {
-      std::uint64_t version;
-      {
-        std::lock_guard lock(signal_.mu);
-        if (signal_.aborted) return false;
-        version = signal_.version;
-      }
-      bool progress = false;
-      for (auto it = pending_.begin(); it != pending_.end();) {
-        switch (it->channel->try_push(it->message)) {
-          case PushResult::Ok:
-            it = pending_.erase(it);
-            progress = true;
-            break;
-          case PushResult::Aborted:
-            return false;
-          case PushResult::Full:
-            ++it;
-            break;
-        }
-      }
-      if (pending_.empty()) break;
-      if (!progress) {
-        std::unique_lock lock(signal_.mu);
-        if (signal_.aborted) return false;
-        if (signal_.version == version) {
-          BlockedScope blocked(monitor_);
-          signal_.cv.wait(lock, [&] {
-            return signal_.version != version || signal_.aborted;
-          });
-        }
-        if (signal_.aborted) return false;
-      }
-    }
-    return true;
-  }
-
-  void run_source() {
-    const std::vector<std::optional<Value>> no_inputs;
-    for (std::uint64_t seq = 0; seq < num_inputs_; ++seq) {
-      emitter_.reset();
-      kernel_.fire(seq, no_inputs, emitter_);
-      ++fires;
-      queue_outputs(seq, /*any_input_dummy=*/false);
-      if (!deliver_pending()) return;
-    }
-    queue_eos();
-    (void)deliver_pending();
-  }
-
-  void run_interior() {
-    std::vector<std::optional<Value>> inputs(ins_.size());
-    for (;;) {
-      // Alignment: wait for a message at the head of every input channel;
-      // the next accepted sequence number is the minimum head.
-      std::uint64_t min_seq = kEosSeq;
-      heads_.resize(ins_.size());
-      for (std::size_t j = 0; j < ins_.size(); ++j) {
-        auto head = ins_[j]->peek_wait();
-        if (!head.has_value()) return;  // aborted
-        heads_[j] = *head;
-        min_seq = std::min(min_seq, heads_[j].seq);
-      }
-      if (min_seq == kEosSeq) {
-        queue_eos();
-        (void)deliver_pending();
-        return;
-      }
-      bool any_dummy = false;
-      bool any_data = false;
-      for (std::size_t j = 0; j < ins_.size(); ++j) {
-        inputs[j].reset();
-        if (heads_[j].seq != min_seq) continue;  // upstream filtered min_seq
-        if (heads_[j].kind == MessageKind::Data) {
-          inputs[j] = heads_[j].payload;
-          any_data = true;
-          ++sink_data;
-        } else {
-          any_dummy = true;
-        }
-        ins_[j]->pop();
-      }
-      emitter_.reset();
-      if (any_data) {
-        kernel_.fire(min_seq, inputs, emitter_);
-        ++fires;
-      }
-      queue_outputs(min_seq, any_dummy);
-      if (!deliver_pending()) return;
-    }
-  }
-
-  Kernel& kernel_;
-  std::vector<BoundedChannel*> ins_;
-  std::vector<BoundedChannel*> outs_;
-  NodeWrapper wrapper_;
-  std::uint64_t num_inputs_;
-  RuntimeMonitor* monitor_;
-  Emitter emitter_;
-  std::vector<Message> heads_;
-  std::vector<Pending> pending_;
-  ProducerSignal signal_;
-};
-
-}  // namespace
 
 RunResult Executor::run(const ExecutorOptions& options) {
   const std::size_t edges = graph_.edge_count();
@@ -230,10 +152,10 @@ RunResult Executor::run(const ExecutorOptions& options) {
       out_forward.push_back(forward[e]);
     }
     runners.push_back(std::make_unique<NodeRunner>(
-        graph_, n, *kernels_[n], std::move(ins), std::move(outs),
+        n, *kernels_[n], std::move(ins), std::move(outs),
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
-        options.num_inputs, &monitor));
+        options.num_inputs, &monitor, options.tracer));
     for (const EdgeId e : graph_.out_edges(n))
       channels[e]->set_producer_signal(&runners.back()->signal());
   }
@@ -280,8 +202,22 @@ RunResult Executor::run(const ExecutorOptions& options) {
   result.fires.resize(nodes);
   result.sink_data.resize(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
-    result.fires[n] = runners[n]->fires;
-    result.sink_data[n] = runners[n]->sink_data;
+    result.fires[n] = runners[n]->fires();
+    result.sink_data[n] = runners[n]->sink_data();
+  }
+  if (deadlocked) {
+    // All threads have unwound, so channel and runner state is stable; the
+    // channels keep their wedged contents after abort().
+    result.state_dump = exec::dump_wedged_state(
+        graph_,
+        [&](EdgeId e) {
+          const auto s = channels[e]->stats();
+          return exec::EdgeDumpInfo{channels[e]->size(),
+                                    channels[e]->capacity(), s.data_pushed,
+                                    s.dummies_pushed, channels[e]->try_peek(),
+                                    std::nullopt};
+        },
+        [&](NodeId n) { return runners[n]->describe(); });
   }
   return result;
 }

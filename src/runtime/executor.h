@@ -1,17 +1,24 @@
 // Threaded streaming executor: one thread per node, one bounded channel per
 // edge, sequence-number alignment at joins, dummy wrappers around every
 // kernel, and a watchdog that certifies deadlock. This is the "runtime
-// system" of the paper's compiler/runtime pair.
+// system" of the paper's compiler/runtime pair; the firing semantics live
+// in src/exec/firing_core.cpp, shared with the simulator and the pooled
+// scheduler.
+//
+// Prefer the exec::Session facade (src/exec/session.h) for new code; this
+// header stays as the backend implementation and its options/result types.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/graph/stream_graph.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/kernel.h"
+#include "src/runtime/trace.h"
 #include "src/runtime/wrapper.h"
 
 namespace sdaf::runtime {
@@ -27,6 +34,9 @@ struct ExecutorOptions {
   std::vector<std::uint8_t> forward_on_filter;
   // Number of sequence numbers each source generates (0 .. num_inputs-1).
   std::uint64_t num_inputs = 0;
+  // Optional event recorder (not owned); see runtime/trace.h. Thread-safe,
+  // so concurrent backends may share it across nodes.
+  Tracer* tracer = nullptr;
   std::chrono::milliseconds watchdog_tick{2};
   int deadlock_confirm_ticks = 30;
 };
@@ -44,6 +54,8 @@ struct RunResult {
   std::vector<EdgeTraffic> edges;       // per edge id
   std::vector<std::uint64_t> fires;     // kernel invocations per node
   std::vector<std::uint64_t> sink_data; // data messages consumed per node
+  // On deadlock: human-readable channel/node state for diagnosis.
+  std::string state_dump;
 
   [[nodiscard]] std::uint64_t total_dummies() const;
   [[nodiscard]] std::uint64_t total_data() const;

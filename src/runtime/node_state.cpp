@@ -1,7 +1,5 @@
 #include "src/runtime/node_state.h"
 
-#include <algorithm>
-
 #include "src/support/contracts.h"
 
 namespace sdaf::runtime {
@@ -11,147 +9,51 @@ NodeState::NodeState(NodeId node, Kernel& kernel,
                      std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
                      std::uint64_t num_inputs,
                      std::vector<NodeId> in_producers,
-                     std::vector<NodeId> out_consumers, Waker* waker)
-    : node_(node),
-      kernel_(kernel),
-      ins_(std::move(ins)),
+                     std::vector<NodeId> out_consumers, Waker* waker,
+                     Tracer* tracer)
+    : ins_(std::move(ins)),
       outs_(std::move(outs)),
-      wrapper_(std::move(wrapper)),
-      num_inputs_(num_inputs),
       in_producers_(std::move(in_producers)),
       out_consumers_(std::move(out_consumers)),
       waker_(waker),
-      emitter_(outs_.size()),
-      inputs_(ins_.size()) {
+      core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
+            num_inputs, *this, tracer) {
   SDAF_EXPECTS(in_producers_.size() == ins_.size());
   SDAF_EXPECTS(out_consumers_.size() == outs_.size());
   SDAF_EXPECTS(waker_ != nullptr);
 }
 
-void NodeState::queue_outputs(std::uint64_t seq, bool any_input_dummy) {
-  for (std::size_t slot = 0; slot < outs_.size(); ++slot) {
-    const auto& v = emitter_.value(slot);
-    if (v.has_value()) {
-      (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
-      pending_.push_back({slot, Message::data(seq, *v)});
-    } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
-                                          any_input_dummy)) {
-      pending_.push_back({slot, Message::dummy(seq)});
-    }
-  }
+std::optional<Message> NodeState::try_peek(std::size_t slot) {
+  return ins_[slot]->try_peek();  // empty = parked until this input fills
 }
 
-void NodeState::queue_eos() {
-  for (std::size_t slot = 0; slot < outs_.size(); ++slot)
-    pending_.push_back({slot, Message::eos()});
-  eos_flooded_ = true;
+void NodeState::pop(std::size_t slot) {
+  if (ins_[slot]->pop()) waker_->wake(in_producers_[slot]);
 }
 
-bool NodeState::drain_pending() {
-  bool progressed = false;
-  std::size_t write = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    PendingMessage& pm = pending_[i];
-    bool was_empty = false;
-    if (outs_[pm.out_slot]->try_push(pm.message, &was_empty) ==
-        PushResult::Ok) {
-      progressed = true;
-      if (was_empty) waker_->wake(out_consumers_[pm.out_slot]);
-    } else {
-      pending_[write++] = std::move(pm);
-    }
+exec::PushOutcome NodeState::try_push(std::size_t slot, const Message& m) {
+  bool was_empty = false;
+  switch (outs_[slot]->try_push(m, &was_empty)) {
+    case PushResult::Ok:
+      if (was_empty) waker_->wake(out_consumers_[slot]);
+      return exec::PushOutcome::Delivered;
+    case PushResult::Aborted:
+      return exec::PushOutcome::Aborted;
+    case PushResult::Full:
+    default:
+      return exec::PushOutcome::Blocked;
   }
-  pending_.resize(write);
-  return progressed;
-}
-
-bool NodeState::fire_once() {
-  if (ins_.empty()) {
-    // Source: generates one sequence number per quantum, then EOS.
-    if (source_seq_ >= num_inputs_) {
-      queue_eos();
-      return true;
-    }
-    emitter_.reset();
-    static const std::vector<std::optional<Value>> no_inputs;
-    kernel_.fire(source_seq_, no_inputs, emitter_);
-    ++fires;
-    queue_outputs(source_seq_, /*any_input_dummy=*/false);
-    ++source_seq_;
-    return true;
-  }
-  // Interior / sink: alignment needs every input head present.
-  std::uint64_t min_seq = kEosSeq;
-  heads_.resize(ins_.size());
-  for (std::size_t j = 0; j < ins_.size(); ++j) {
-    auto head = ins_[j]->try_peek();
-    if (!head.has_value()) return false;  // parked until this input fills
-    heads_[j] = std::move(*head);
-    min_seq = std::min(min_seq, heads_[j].seq);
-  }
-  if (min_seq == kEosSeq) {
-    queue_eos();
-    return true;
-  }
-  bool any_dummy = false;
-  bool any_data = false;
-  for (std::size_t j = 0; j < ins_.size(); ++j) {
-    inputs_[j].reset();
-    if (heads_[j].seq != min_seq) continue;  // upstream filtered min_seq
-    if (heads_[j].kind == MessageKind::Data) {
-      inputs_[j] = std::move(heads_[j].payload);
-      any_data = true;
-      ++sink_data;
-    } else {
-      any_dummy = true;
-    }
-    if (ins_[j]->pop()) waker_->wake(in_producers_[j]);
-  }
-  emitter_.reset();
-  if (any_data) {
-    kernel_.fire(min_seq, inputs_, emitter_);
-    ++fires;
-  }
-  queue_outputs(min_seq, any_dummy);
-  return true;
-}
-
-// Summary encoding: top two bits select the park reason, the low 62 bits
-// are a mask of the output slots the node is blocked on (slots >= 62
-// degrade to "check every slot"). A node only parks done, output-blocked
-// (pending messages for full channels), or input-blocked (some input
-// empty); every other situation lets step() progress.
-namespace {
-constexpr std::uint64_t kParkInputs = 0;
-constexpr std::uint64_t kParkDone = 1;
-constexpr std::uint64_t kParkOutputs = 2;
-constexpr int kSummaryTagShift = 62;
-constexpr std::uint64_t kSummaryMask = (std::uint64_t{1} << 62) - 1;
-}  // namespace
-
-std::uint64_t NodeState::park_summary() const {
-  if (done_) return kParkDone << kSummaryTagShift;
-  if (!pending_.empty()) {
-    std::uint64_t mask = 0;
-    for (const PendingMessage& pm : pending_) {
-      if (pm.out_slot >= 62) return (kParkOutputs << kSummaryTagShift) |
-                                    kSummaryMask;  // degenerate: check all
-      mask |= std::uint64_t{1} << pm.out_slot;
-    }
-    return (kParkOutputs << kSummaryTagShift) | mask;
-  }
-  return kParkInputs << kSummaryTagShift;
 }
 
 bool NodeState::probe(std::uint64_t summary) const {
-  switch (summary >> kSummaryTagShift) {
-    case kParkDone:
+  switch (summary >> exec::kParkTagShift) {
+    case exec::kParkDone:
       return false;
-    case kParkOutputs: {
-      const std::uint64_t mask = summary & kSummaryMask;
+    case exec::kParkOutputs: {
+      const std::uint64_t mask = summary & exec::kParkSlotMask;
       for (std::size_t slot = 0; slot < outs_.size(); ++slot) {
         const bool relevant =
-            slot >= 62 ? mask == kSummaryMask
+            slot >= 62 ? mask == exec::kParkSlotMask
                        : (mask & (std::uint64_t{1} << slot)) != 0;
         if (relevant && !outs_[slot]->full()) return true;
       }
@@ -163,24 +65,6 @@ bool NodeState::probe(std::uint64_t summary) const {
       return true;
     }
   }
-}
-
-bool NodeState::step() {
-  if (done_) return false;
-  // Pending emissions first, per-channel asynchronously: a full channel must
-  // not block messages destined for channels with space (same rule as the
-  // threaded runner's try_push/retry loop and the simulator).
-  if (!pending_.empty()) {
-    const bool progressed = drain_pending();
-    if (!pending_.empty()) return progressed;
-  }
-  if (eos_flooded_) {
-    done_ = true;
-    return true;
-  }
-  const bool fired = fire_once();
-  if (fired && !pending_.empty()) (void)drain_pending();
-  return fired;
 }
 
 }  // namespace sdaf::runtime

@@ -1,24 +1,26 @@
-// Per-node non-blocking state machine for pooled execution: the same
-// streaming semantics as the thread-per-node NodeRunner and the simulator's
-// SimNode (alignment at the minimum head sequence number, wrapper-driven
-// dummy emission, per-channel-asynchronous output delivery, EOS flood), but
-// expressed as a resumable task that *parks* instead of blocking. A worker
-// calls step() until it returns false; any later channel transition that
-// could unblock the node (an input becoming non-empty, a full output
-// draining) is reported through the Waker so a scheduler can re-enqueue it.
+// Per-node task for pooled execution: an exec::FiringCore whose delivery
+// sink *parks* instead of blocking. A worker calls step() until it returns
+// false; any later channel transition that could unblock the node (an input
+// becoming non-empty, a full output draining) is reported through the Waker
+// so a scheduler can re-enqueue it.
 //
-// The state machine never holds a lock across a kernel firing and never
-// waits inside a channel, which is what lets a fixed worker pool run graphs
-// with orders of magnitude more nodes than threads.
+// The task never holds a lock across a kernel firing and never waits inside
+// a channel, which is what lets a fixed worker pool run graphs with orders
+// of magnitude more nodes than threads. The firing semantics themselves
+// (alignment, dummy wrappers, EOS flood) live in src/exec/firing_core.cpp,
+// shared with the simulator and the thread-per-node executor.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "src/exec/firing_core.h"
 #include "src/graph/stream_graph.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/kernel.h"
+#include "src/runtime/trace.h"
 #include "src/runtime/wrapper.h"
 
 namespace sdaf::runtime {
@@ -32,7 +34,7 @@ class Waker {
   virtual void wake(NodeId node) = 0;
 };
 
-class NodeState {
+class NodeState final : private exec::DeliverySink {
  public:
   // `in_producers[j]` / `out_consumers[slot]` name the node at the far end
   // of the corresponding channel; they are the wake targets for the
@@ -40,60 +42,49 @@ class NodeState {
   NodeState(NodeId node, Kernel& kernel, std::vector<BoundedChannel*> ins,
             std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
             std::uint64_t num_inputs, std::vector<NodeId> in_producers,
-            std::vector<NodeId> out_consumers, Waker* waker);
+            std::vector<NodeId> out_consumers, Waker* waker,
+            Tracer* tracer = nullptr);
 
   // One scheduling quantum; returns true iff any progress was made
   // (a message delivered, consumed, or produced). After false the node is
   // quiescent until one of its channels changes.
-  bool step();
+  bool step() { return core_.step(); }
 
   // Park protocol support. After step() returns false the owning worker
-  // calls park_summary() (still owner, so reading private state is safe)
+  // calls park_summary() (still owner, so reading core state is safe)
   // to capture *why* the node is stuck, publishes it, parks, and then calls
   // probe(summary) to close the race with a wake that slipped between the
   // last unproductive step and the park. probe() reads only immutable
   // members and channel occupancy (under the channel locks), so it is safe
   // to call after ownership has been lost; a stale verdict is handled by
   // the caller (it re-acquires the node or defers to whoever queued it).
-  [[nodiscard]] std::uint64_t park_summary() const;
+  [[nodiscard]] std::uint64_t park_summary() const {
+    return core_.park_summary();
+  }
   [[nodiscard]] bool probe(std::uint64_t summary) const;
 
-  [[nodiscard]] bool done() const { return done_; }
-  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] bool done() const { return core_.done(); }
+  [[nodiscard]] NodeId node() const { return core_.node(); }
+  [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
+  [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
 
-  std::uint64_t fires = 0;
-  std::uint64_t sink_data = 0;
+  // Human-readable state for deadlock dumps; only valid at quiescence (or
+  // from the owning worker).
+  [[nodiscard]] std::string describe() const { return core_.describe(); }
 
  private:
-  struct PendingMessage {
-    std::size_t out_slot;
-    Message message;
-  };
+  // DeliverySink: non-blocking channel ops plus peer wake-ups on the
+  // empty->non-empty and full->non-full transitions.
+  std::optional<Message> try_peek(std::size_t slot) override;
+  void pop(std::size_t slot) override;
+  exec::PushOutcome try_push(std::size_t slot, const Message& m) override;
 
-  void queue_outputs(std::uint64_t seq, bool any_input_dummy);
-  void queue_eos();
-  // Pushes whatever fits from pending_, waking consumers on empty ->
-  // non-empty transitions. Returns true iff anything was delivered.
-  bool drain_pending();
-  // One alignment + firing attempt; true iff anything was consumed/queued.
-  bool fire_once();
-
-  NodeId node_;
-  Kernel& kernel_;
   std::vector<BoundedChannel*> ins_;
   std::vector<BoundedChannel*> outs_;
-  NodeWrapper wrapper_;
-  std::uint64_t num_inputs_;
   std::vector<NodeId> in_producers_;
   std::vector<NodeId> out_consumers_;
   Waker* waker_;
-  Emitter emitter_;
-  std::vector<std::optional<Value>> inputs_;
-  std::vector<Message> heads_;
-  std::vector<PendingMessage> pending_;
-  std::uint64_t source_seq_ = 0;
-  bool eos_flooded_ = false;
-  bool done_ = false;
+  exec::FiringCore core_;  // last: its sink is *this
 };
 
 }  // namespace sdaf::runtime

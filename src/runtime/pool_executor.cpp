@@ -266,7 +266,7 @@ PoolExecutor::TicketId PoolExecutor::submit(
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
         options.num_inputs, std::move(in_producers), std::move(out_consumers),
-        instance.get()));
+        instance.get(), options.tracer));
     instance->tasks[n].instance = instance.get();
     instance->tasks[n].node = instance->nodes.back().get();
   }
@@ -367,8 +367,29 @@ void PoolExecutor::finalize(Instance& instance) {
   result.fires.resize(g.node_count());
   result.sink_data.resize(g.node_count());
   for (NodeId n = 0; n < g.node_count(); ++n) {
-    result.fires[n] = instance.nodes[n]->fires;
-    result.sink_data[n] = instance.nodes[n]->sink_data;
+    result.fires[n] = instance.nodes[n]->fires();
+    result.sink_data[n] = instance.nodes[n]->sink_data();
+  }
+  if (result.deadlocked) {
+    // Quiescence means no task of this instance is queued or running, so
+    // node and channel state is stable: dump channel occupancies and each
+    // unfinished node's park summary for diagnosis.
+    result.state_dump = exec::dump_wedged_state(
+        g,
+        [&](EdgeId e) {
+          const auto s = instance.channels[e]->stats();
+          return exec::EdgeDumpInfo{instance.channels[e]->size(),
+                                    instance.channels[e]->capacity(),
+                                    s.data_pushed, s.dummies_pushed,
+                                    instance.channels[e]->try_peek(),
+                                    std::nullopt};
+        },
+        [&](NodeId n) {
+          return instance.nodes[n]->describe() + " park=" +
+                 exec::describe_park_summary(
+                     instance.tasks[n].park_summary.load(
+                         std::memory_order_acquire));
+        });
   }
   {
     std::lock_guard lock(instance.mu);

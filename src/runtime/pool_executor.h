@@ -22,6 +22,12 @@
 // with core::CompileCache to also amortize the compile pass (CS4
 // decomposition + interval computation) across submissions of the same
 // topology.
+//
+// Prefer the exec::Session facade (src/exec/session.h) for new code --
+// point RunSpec::pool at a shared PoolExecutor; this header stays as the
+// backend implementation. The firing semantics live in
+// src/exec/firing_core.cpp, shared with the simulator and the
+// thread-per-node executor.
 #pragma once
 
 #include <atomic>

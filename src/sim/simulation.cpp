@@ -2,20 +2,16 @@
 
 #include <algorithm>
 #include <optional>
-#include <sstream>
 
+#include "src/exec/firing_core.h"
 #include "src/support/contracts.h"
 
 namespace sdaf::sim {
 
-using runtime::DummyMode;
-using runtime::Emitter;
-using runtime::kEosSeq;
 using runtime::kInfiniteInterval;
 using runtime::Message;
 using runtime::MessageKind;
 using runtime::NodeWrapper;
-using runtime::Value;
 
 std::uint64_t SimResult::total_dummies() const {
   std::uint64_t total = 0;
@@ -47,172 +43,46 @@ struct SimChannel {
   }
 };
 
-struct PendingMessage {
-  std::size_t out_slot;
-  Message message;
-};
-
-// Mirror of runtime's NodeRunner as an explicit state machine.
-class SimNode {
+// Sweep-step sink: an exec::FiringCore over plain deques. Nothing ever
+// blocks or wakes; the round-robin sweep in Simulation::run supplies the
+// scheduling and the core's step() return value is the progress signal the
+// exact deadlock verdict rests on.
+class SimNode final : private exec::DeliverySink {
  public:
-  SimNode(const StreamGraph& g, NodeId node, runtime::Kernel& kernel,
-          std::vector<SimChannel*> ins, std::vector<SimChannel*> outs,
-          NodeWrapper wrapper, std::uint64_t num_inputs,
-          runtime::Tracer* tracer, const std::uint64_t* sweep)
-      : node_(node),
-        kernel_(kernel),
-        ins_(std::move(ins)),
+  SimNode(NodeId node, runtime::Kernel& kernel, std::vector<SimChannel*> ins,
+          std::vector<SimChannel*> outs, NodeWrapper wrapper,
+          std::uint64_t num_inputs, runtime::Tracer* tracer,
+          const std::uint64_t* sweep)
+      : ins_(std::move(ins)),
         outs_(std::move(outs)),
-        wrapper_(std::move(wrapper)),
-        num_inputs_(num_inputs),
-        tracer_(tracer),
-        sweep_(sweep),
-        emitter_(outs_.size()),
-        inputs_(ins_.size()) {
-    (void)g;
-  }
-
-  std::uint64_t fires = 0;
-  std::uint64_t sink_data = 0;
-  [[nodiscard]] bool done() const { return done_; }
-
-  [[nodiscard]] std::string describe() const {
-    std::string s = done_ ? "done" : "running";
-    s += " src_seq=" + std::to_string(source_seq_);
-    s += " pending=" + std::to_string(pending_.size());
-    for (const auto& pm : pending_)
-      s += " [slot=" + std::to_string(pm.out_slot) + " " +
-           runtime::to_string(pm.message) + "]";
-    return s;
-  }
+        core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
+              num_inputs, *this, tracer, sweep) {}
 
   // One scheduling quantum; returns true if any progress was made.
-  bool step() {
-    if (done_) return false;
-    bool progressed = false;
-    // Drain pending emissions, per-channel asynchronously: a full channel
-    // must not block messages destined for channels with space (mirrors the
-    // executor's try_push/retry loop).
-    if (!pending_.empty()) {
-      std::size_t write = 0;
-      for (std::size_t i = 0; i < pending_.size(); ++i) {
-        PendingMessage& pm = pending_[i];
-        if (outs_[pm.out_slot]->full()) {
-          pending_[write++] = std::move(pm);
-        } else {
-          outs_[pm.out_slot]->push(std::move(pm.message));
-          progressed = true;
-        }
-      }
-      pending_.resize(write);
-      if (!pending_.empty()) return progressed;
-    }
-    if (eos_flooded_) {
-      done_ = true;
-      return true;
-    }
-    return fire_once() || progressed;
-  }
+  bool step() { return core_.step(); }
+
+  [[nodiscard]] bool done() const { return core_.done(); }
+  [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
+  [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
+  [[nodiscard]] std::string describe() const { return core_.describe(); }
 
  private:
-  void trace(runtime::TraceKind kind, std::size_t slot, std::uint64_t seq) {
-    if (tracer_ != nullptr)
-      tracer_->record(
-          runtime::TraceEvent{kind, node_, slot, seq, *sweep_});
+  std::optional<Message> try_peek(std::size_t slot) override {
+    if (ins_[slot]->queue.empty()) return std::nullopt;
+    return ins_[slot]->queue.front();
   }
 
-  void queue_outputs(std::uint64_t seq, bool any_input_dummy) {
-    for (std::size_t slot = 0; slot < outs_.size(); ++slot) {
-      const auto& v = emitter_.value(slot);
-      if (v.has_value()) {
-        (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
-        pending_.push_back({slot, Message::data(seq, *v)});
-        trace(runtime::TraceKind::DataSent, slot, seq);
-      } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
-                                            any_input_dummy)) {
-        pending_.push_back({slot, Message::dummy(seq)});
-        trace(runtime::TraceKind::DummySent, slot, seq);
-      }
-    }
+  void pop(std::size_t slot) override { ins_[slot]->queue.pop_front(); }
+
+  exec::PushOutcome try_push(std::size_t slot, const Message& m) override {
+    if (outs_[slot]->full()) return exec::PushOutcome::Blocked;
+    outs_[slot]->push(m);
+    return exec::PushOutcome::Delivered;
   }
 
-  void queue_eos() {
-    for (std::size_t slot = 0; slot < outs_.size(); ++slot) {
-      pending_.push_back({slot, Message::eos()});
-      trace(runtime::TraceKind::EosSent, slot, runtime::kEosSeq);
-    }
-    eos_flooded_ = true;
-  }
-
-  // Attempts one firing (alignment + kernel + wrapper). Returns true if the
-  // node consumed or produced anything.
-  bool fire_once() {
-    if (ins_.empty()) {
-      // Source.
-      if (source_seq_ >= num_inputs_) {
-        queue_eos();
-        return true;
-      }
-      emitter_.reset();
-      static const std::vector<std::optional<Value>> no_inputs;
-      kernel_.fire(source_seq_, no_inputs, emitter_);
-      ++fires;
-      trace(runtime::TraceKind::Fire, 0, source_seq_);
-      queue_outputs(source_seq_, false);
-      ++source_seq_;
-      return true;
-    }
-    // Interior / sink: need every head present.
-    std::uint64_t min_seq = kEosSeq;
-    for (const SimChannel* in : ins_) {
-      if (in->queue.empty()) return false;
-      min_seq = std::min(min_seq, in->queue.front().seq);
-    }
-    if (min_seq == kEosSeq) {
-      queue_eos();
-      return true;
-    }
-    bool any_dummy = false;
-    bool any_data = false;
-    for (std::size_t j = 0; j < ins_.size(); ++j) {
-      inputs_[j].reset();
-      Message& head = ins_[j]->queue.front();
-      if (head.seq != min_seq) continue;
-      if (head.kind == MessageKind::Data) {
-        inputs_[j] = head.payload;
-        any_data = true;
-        ++sink_data;
-        trace(runtime::TraceKind::DataConsumed, j, min_seq);
-      } else {
-        any_dummy = true;
-        trace(runtime::TraceKind::DummyConsumed, j, min_seq);
-      }
-      ins_[j]->queue.pop_front();
-    }
-    emitter_.reset();
-    if (any_data) {
-      kernel_.fire(min_seq, inputs_, emitter_);
-      ++fires;
-      trace(runtime::TraceKind::Fire, 0, min_seq);
-    }
-    queue_outputs(min_seq, any_dummy);
-    return true;
-  }
-
-  NodeId node_;
-  runtime::Kernel& kernel_;
   std::vector<SimChannel*> ins_;
   std::vector<SimChannel*> outs_;
-  NodeWrapper wrapper_;
-  std::uint64_t num_inputs_;
-  runtime::Tracer* tracer_;
-  const std::uint64_t* sweep_;
-  Emitter emitter_;
-  std::vector<std::optional<Value>> inputs_;
-  std::vector<PendingMessage> pending_;
-  std::uint64_t source_seq_ = 0;
-  bool eos_flooded_ = false;
-  bool done_ = false;
+  exec::FiringCore core_;  // last: its sink is *this
 };
 
 }  // namespace
@@ -253,7 +123,7 @@ SimResult Simulation::run(const SimOptions& options) {
       out_forward.push_back(forward[e]);
     }
     nodes.push_back(std::make_unique<SimNode>(
-        graph_, n, *kernels_[n], std::move(ins), std::move(outs),
+        n, *kernels_[n], std::move(ins), std::move(outs),
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
         options.num_inputs, options.tracer, &result.sweeps));
@@ -272,22 +142,20 @@ SimResult Simulation::run(const SimOptions& options) {
     }
     if (!progress) {
       result.deadlocked = true;
-      std::ostringstream dump;
-      for (EdgeId e = 0; e < edges; ++e) {
-        const auto& ch = channels[e];
-        dump << "edge " << e << " " << graph_.node_name(graph_.edge(e).from)
-             << "->" << graph_.node_name(graph_.edge(e).to) << " "
-             << ch.queue.size() << "/" << ch.capacity << " pushed="
-             << ch.traffic.data << "+" << ch.traffic.dummies << "d";
-        if (!ch.queue.empty())
-          dump << " head=" << runtime::to_string(ch.queue.front())
-               << " tail=" << runtime::to_string(ch.queue.back());
-        dump << "\n";
-      }
-      for (NodeId n = 0; n < graph_.node_count(); ++n)
-        dump << "node " << graph_.node_name(n) << " "
-             << nodes[n]->describe() << "\n";
-      result.state_dump = dump.str();
+      result.state_dump = exec::dump_wedged_state(
+          graph_,
+          [&](EdgeId e) {
+            const auto& ch = channels[e];
+            exec::EdgeDumpInfo info{ch.queue.size(), ch.capacity,
+                                    ch.traffic.data, ch.traffic.dummies,
+                                    std::nullopt, std::nullopt};
+            if (!ch.queue.empty()) {
+              info.head = ch.queue.front();
+              info.tail = ch.queue.back();
+            }
+            return info;
+          },
+          [&](NodeId n) { return nodes[n]->describe(); });
       break;
     }
   }
@@ -297,8 +165,8 @@ SimResult Simulation::run(const SimOptions& options) {
   result.fires.resize(graph_.node_count());
   result.sink_data.resize(graph_.node_count());
   for (NodeId n = 0; n < graph_.node_count(); ++n) {
-    result.fires[n] = nodes[n]->fires;
-    result.sink_data[n] = nodes[n]->sink_data;
+    result.fires[n] = nodes[n]->fires();
+    result.sink_data[n] = nodes[n]->sink_data();
   }
   return result;
 }

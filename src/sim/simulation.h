@@ -1,9 +1,13 @@
 // Deterministic single-threaded simulator of the identical streaming
-// semantics as runtime::Executor: same alignment rule, same wrappers, same
-// blocking structure (nodes stall mid-emission on a full channel, holding
-// already-consumed inputs). Deadlock is detected exactly -- a full
-// round-robin sweep with no progress while work remains -- with no timers,
-// making the traffic and deadlock benchmarks reproducible on any machine.
+// semantics as runtime::Executor: the same exec::FiringCore drives every
+// node (same alignment rule, same wrappers, same blocking structure --
+// nodes stall mid-emission on a full channel, holding already-consumed
+// inputs). Deadlock is detected exactly -- a full round-robin sweep with no
+// progress while work remains -- with no timers, making the traffic and
+// deadlock benchmarks reproducible on any machine.
+//
+// Prefer the exec::Session facade (src/exec/session.h) for new code; this
+// header stays as the backend implementation and its options/result types.
 #pragma once
 
 #include <cstdint>

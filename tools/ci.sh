@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, then a ThreadSanitizer
-# build + test pass so the pooled scheduler's lock-free ready queue and
-# park/wake protocol are race-checked on every PR.
+# CI entry point: release build + full test suite, then an AddressSanitizer
+# (+UBSan) pass over the whole suite, then a ThreadSanitizer pass so the
+# pooled scheduler's lock-free ready queue and park/wake protocol are
+# race-checked on every PR.
 #
-#   tools/ci.sh            # release + tsan
+#   tools/ci.sh            # release + asan + tsan
 #   tools/ci.sh --fast     # release only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +17,11 @@ cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
 if [[ "${1:-}" != "--fast" ]]; then
+  echo "==> asan build + ctest"
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan -j "$jobs"
+
   echo "==> tsan build + ctest"
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"

@@ -5,8 +5,8 @@
 
 #include "src/core/compile.h"
 #include "src/core/report.h"
+#include "src/exec/session.h"
 #include "src/graph/io.h"
-#include "src/sim/simulation.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/random_ladder.h"
@@ -61,16 +61,14 @@ int main(int argc, char** argv) {
   const auto compiled = core::compile(g, copt);
   std::cout << core::describe(g, compiled);
 
-  const auto intervals = compiled.integer_intervals(rounding);
   for (const double prob : {p, 0.5, 0.85}) {
-    sim::Simulation s(g, workloads::relay_kernels(g, prob, kernel_seed));
-    sim::SimOptions opt;
-    opt.mode = mode;
-    opt.intervals = intervals;
-    if (mode == runtime::DummyMode::Propagation)
-      opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 400;
-    const auto r = s.run(opt);
+    exec::Session session(g, workloads::relay_kernels(g, prob, kernel_seed));
+    exec::RunSpec spec;
+    spec.backend = exec::Backend::Sim;
+    spec.mode = mode;
+    spec.apply(compiled, rounding);
+    spec.num_inputs = 400;
+    const auto r = session.run(spec);
     std::cout << "p=" << prob << " completed=" << r.completed
               << " deadlocked=" << r.deadlocked << " sweeps=" << r.sweeps
               << " dummies=" << r.total_dummies() << "\n";

@@ -1,12 +1,19 @@
 // sdafc -- the deadlock-avoidance "compiler driver": reads a topology in
 // the text format of src/graph/io.h, classifies it, computes dummy
 // intervals, and prints the report (optionally DOT with annotations).
+// With --run it executes the topology end-to-end through the exec::Session
+// facade on any backend, using seeded Bernoulli relay kernels as the
+// filtering workload.
 //
 //   sdafc [--nonprop] [--reject-general] [--dot] [--ceil] FILE
+//   sdafc --run [--backend=sim|threaded|pooled] [--items=N]
+//         [--pass-rate=P] [--seed=S] [--no-avoidance] FILE
 //   sdafc --help
 //
-// Exit status: 0 ok, 1 rejected/invalid, 2 usage.
+// Exit status: 0 ok, 1 rejected/invalid/incomplete, 2 usage,
+// 3 run deadlocked.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -14,24 +21,52 @@
 
 #include "src/core/compile.h"
 #include "src/core/report.h"
+#include "src/exec/session.h"
 #include "src/graph/io.h"
+#include "src/workloads/filters.h"
 
 using namespace sdaf;
 
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: sdafc [--nonprop] [--reject-general] [--dot] [--ceil] "
-               "FILE\n"
-               "  FILE format:  node <name> | edge <from> <to> <buffer>\n"
-               "  --nonprop         use the Non-Propagation Algorithm\n"
-               "  --reject-general  refuse non-CS4 topologies\n"
-               "  --dot             emit annotated Graphviz instead of the "
-               "report\n"
-               "  --ceil            print integer intervals with the paper's "
-               "roundup\n");
+  std::fprintf(
+      stderr,
+      "usage: sdafc [--nonprop] [--reject-general] [--dot] [--ceil]\n"
+      "             [--run] [--backend=sim|threaded|pooled] [--items=N]\n"
+      "             [--pass-rate=P] [--seed=S] [--no-avoidance] FILE\n"
+      "  FILE format:  node <name> | edge <from> <to> <buffer>\n"
+      "  --nonprop         use the Non-Propagation Algorithm\n"
+      "  --reject-general  refuse non-CS4 topologies\n"
+      "  --dot             emit annotated Graphviz instead of the report\n"
+      "  --ceil            integer intervals with the paper's roundup\n"
+      "  --run             execute the topology through exec::Session\n"
+      "  --backend=B       execution backend (default sim)\n"
+      "  --items=N         sequence numbers per source (default 1000)\n"
+      "  --pass-rate=P     Bernoulli pass probability per (seq,slot),\n"
+      "                    default 0.7\n"
+      "  --seed=S          kernel seed (default 1)\n"
+      "  --no-avoidance    run without dummy wrappers (demonstrates the\n"
+      "                    deadlock the intervals prevent)\n"
+      "  exit: 0 ok, 1 rejected/invalid/incomplete, 2 usage,\n"
+      "        3 run deadlocked\n");
   return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const auto value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool parse_probability(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || value < 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -39,7 +74,13 @@ int usage() {
 int main(int argc, char** argv) {
   core::CompileOptions options;
   bool dot = false;
+  bool run = false;
+  bool avoidance = true;
   core::Rounding rounding = core::Rounding::Floor;
+  exec::Backend backend = exec::Backend::Sim;
+  std::uint64_t items = 1000;
+  double pass_rate = 0.7;
+  std::uint64_t seed = 1;
   std::string file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -51,6 +92,35 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (arg == "--ceil") {
       rounding = core::Rounding::PaperCeil;
+    } else if (arg == "--run") {
+      run = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const auto parsed = exec::backend_from_string(arg.substr(10));
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "sdafc: unknown backend %s\n",
+                     arg.substr(10).c_str());
+        return usage();
+      }
+      backend = *parsed;
+    } else if (arg.rfind("--items=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 8, &items)) {
+        std::fprintf(stderr, "sdafc: bad --items value %s\n",
+                     arg.c_str() + 8);
+        return usage();
+      }
+    } else if (arg.rfind("--pass-rate=", 0) == 0) {
+      if (!parse_probability(arg.c_str() + 12, &pass_rate)) {
+        std::fprintf(stderr, "sdafc: bad --pass-rate value %s (want [0,1])\n",
+                     arg.c_str() + 12);
+        return usage();
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 7, &seed)) {
+        std::fprintf(stderr, "sdafc: bad --seed value %s\n", arg.c_str() + 7);
+        return usage();
+      }
+    } else if (arg == "--no-avoidance") {
+      avoidance = false;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -92,5 +162,44 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
   }
-  return result.ok ? 0 : 1;
+  if (!result.ok) return 1;
+  if (!run) return 0;
+
+  exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
+  exec::RunSpec spec;
+  spec.backend = backend;
+  spec.num_inputs = items;
+  if (avoidance) {
+    spec.mode = options.algorithm == core::Algorithm::NonPropagation
+                    ? runtime::DummyMode::NonPropagation
+                    : runtime::DummyMode::Propagation;
+    spec.apply(result, rounding);
+  } else {
+    spec.mode = runtime::DummyMode::None;
+  }
+  const auto report = session.run(spec);
+
+  // Three distinct outcomes: completed, certified deadlock, or a sim run
+  // truncated by the sweep ceiling (neither flag set).
+  const char* verdict = report.completed    ? "COMPLETED"
+                        : report.deadlocked ? "DEADLOCKED"
+                                            : "INCOMPLETE (sweep limit)";
+  std::cout << "run backend=" << exec::to_string(report.backend)
+            << " mode=" << (avoidance ? (spec.mode == runtime::DummyMode::Propagation
+                                             ? "propagation"
+                                             : "nonpropagation")
+                                      : "none")
+            << " items=" << items << " pass_rate=" << pass_rate << "\n"
+            << "  " << verdict << " wall=" << report.wall_seconds << "s";
+  if (report.backend == exec::Backend::Sim)
+    std::cout << " sweeps=" << report.sweeps;
+  std::cout << "\n  data=" << report.total_data()
+            << " dummies=" << report.total_dummies() << " sink_data=";
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    if (g.out_degree(n) == 0) std::cout << report.sink_data[n] << " ";
+  std::cout << "\n";
+  if (report.deadlocked && !report.state_dump.empty())
+    std::cout << "--- wedged state ---\n" << report.state_dump;
+  if (report.completed) return 0;
+  return report.deadlocked ? 3 : 1;
 }
