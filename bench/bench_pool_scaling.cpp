@@ -96,6 +96,48 @@ BENCHMARK(BM_ThreadPerNode_Ladder)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);
 
+// Pooled data plane under filtering: the same ladder with Bernoulli
+// filtering and Propagation avoidance armed, at pass rates 1.0 / 0.5 / 0.1.
+// Low pass rates make the wire traffic dummy-dominated, which is the regime
+// dummy run-length coalescing and batched channel ops are built for.
+void BM_PoolExecutor_Filtering(benchmark::State& state) {
+  constexpr std::uint32_t kFilterBatch = 32;
+  const auto pass_pct = static_cast<double>(state.range(0)) / 100.0;
+  const StreamGraph& g = ladder_of(100);
+  const auto compiled = core::compile(g);
+  SDAF_ASSERT(compiled.ok);
+  runtime::PoolExecutor pool(2);
+  exec::Session session(g, workloads::relay_kernels(g, pass_pct, 1234));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Pooled;
+  spec.pool = &pool;
+  spec.mode = runtime::DummyMode::Propagation;
+  spec.apply(compiled);
+  spec.num_inputs = 512;
+  spec.batch = kFilterBatch;
+  std::uint64_t processed = 0;
+  std::uint64_t dummies = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    const auto r = session.run(spec);
+    SDAF_ASSERT(r.completed);
+    processed += spec.num_inputs;
+    dummies += r.total_dummies();
+    wall += r.wall_seconds;
+  }
+  state.counters["pass_rate"] = pass_pct;
+  state.counters["items_per_second"] =
+      wall > 0 ? static_cast<double>(processed) / wall : 0.0;
+  state.counters["dummies_per_run"] = static_cast<double>(
+      dummies / std::max<std::uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_PoolExecutor_Filtering)
+    ->Arg(100)
+    ->Arg(50)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 // Compile-pass amortization for multi-tenant submission: first submission
 // pays CS4 decomposition + intervals; the next 63 hit core::CompileCache.
 void BM_CompileCache_Resubmission(benchmark::State& state) {

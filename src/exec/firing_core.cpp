@@ -1,6 +1,7 @@
 #include "src/exec/firing_core.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "src/support/contracts.h"
@@ -11,6 +12,10 @@ using runtime::kEosSeq;
 using runtime::Message;
 using runtime::MessageKind;
 using runtime::TraceKind;
+
+namespace {
+constexpr std::size_t kNoTail = std::numeric_limits<std::size_t>::max();
+}  // namespace
 
 std::string describe_park_summary(std::uint64_t summary) {
   switch (summary >> kParkTagShift) {
@@ -55,8 +60,8 @@ std::string dump_wedged_state(
 FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
                        std::size_t in_slots, std::size_t out_slots,
                        runtime::NodeWrapper wrapper, std::uint64_t num_inputs,
-                       DeliverySink& sink, runtime::Tracer* tracer,
-                       const std::uint64_t* tick)
+                       DeliverySink& sink, std::uint32_t batch,
+                       runtime::Tracer* tracer, const std::uint64_t* tick)
     : node_(node),
       kernel_(kernel),
       in_slots_(in_slots),
@@ -64,10 +69,14 @@ FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
       wrapper_(std::move(wrapper)),
       num_inputs_(num_inputs),
       sink_(sink),
+      batch_(std::max<std::uint32_t>(1, batch)),
       tracer_(tracer),
       tick_(tick),
       emitter_(out_slots),
-      inputs_(in_slots) {}
+      inputs_(in_slots),
+      heads_(in_slots),
+      pending_tail_(out_slots, kNoTail),
+      slot_blocked_(out_slots, 0) {}
 
 void FiringCore::trace(TraceKind kind, std::size_t slot, std::uint64_t seq) {
   if (tracer_ != nullptr)
@@ -75,16 +84,32 @@ void FiringCore::trace(TraceKind kind, std::size_t slot, std::uint64_t seq) {
                                         tick_ != nullptr ? *tick_ : 0});
 }
 
+void FiringCore::queue_dummy(std::size_t slot, std::uint64_t seq) {
+  const std::size_t idx = pending_tail_[slot];
+  if (idx != kNoTail) {
+    // The slot's most recent pending entry is a dummy run; extend it when
+    // the sequence number continues it (per-slot FIFO order is preserved
+    // because data/EOS emissions invalidate the tail index).
+    PendingRun& pr = pending_[idx];
+    if (pr.message.seq + pr.run == seq) {
+      ++pr.run;
+      return;
+    }
+  }
+  pending_tail_[slot] = pending_.size();
+  pending_.push_back({slot, Message::dummy(seq), 1});
+}
+
 void FiringCore::queue_outputs(std::uint64_t seq, bool any_input_dummy) {
   for (std::size_t slot = 0; slot < out_slots_; ++slot) {
-    const auto& v = emitter_.value(slot);
-    if (v.has_value()) {
+    if (emitter_.value(slot).has_value()) {
       (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
-      pending_.push_back({slot, Message::data(seq, *v)});
+      pending_.push_back({slot, Message::data(seq, emitter_.take(slot)), 1});
+      pending_tail_[slot] = kNoTail;
       trace(TraceKind::DataSent, slot, seq);
     } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
                                           any_input_dummy)) {
-      pending_.push_back({slot, Message::dummy(seq)});
+      queue_dummy(slot, seq);
       trace(TraceKind::DummySent, slot, seq);
     }
   }
@@ -92,7 +117,8 @@ void FiringCore::queue_outputs(std::uint64_t seq, bool any_input_dummy) {
 
 void FiringCore::queue_eos() {
   for (std::size_t slot = 0; slot < out_slots_; ++slot) {
-    pending_.push_back({slot, Message::eos()});
+    pending_.push_back({slot, Message::eos(), 1});
+    pending_tail_[slot] = kNoTail;
     trace(TraceKind::EosSent, slot, kEosSeq);
   }
   eos_flooded_ = true;
@@ -101,35 +127,64 @@ void FiringCore::queue_eos() {
 bool FiringCore::drain_pending() {
   bool progressed = false;
   std::size_t write = 0;
+  std::fill(slot_blocked_.begin(), slot_blocked_.end(), 0);
   for (std::size_t i = 0; i < pending_.size(); ++i) {
-    PendingMessage& pm = pending_[i];
-    if (aborted_) {
-      pending_[write++] = std::move(pm);
+    PendingRun& pr = pending_[i];
+    // A blocked message parks every later message for the same slot too
+    // (per-slot FIFO); other slots keep draining -- per-channel asynchrony.
+    if (aborted_ || slot_blocked_[pr.out_slot] != 0) {
+      if (write != i) pending_[write] = std::move(pr);
+      ++write;
       continue;
     }
-    switch (sink_.try_push(pm.out_slot, pm.message)) {
-      case PushOutcome::Delivered:
-        progressed = true;
-        break;
-      case PushOutcome::Blocked:
-        pending_[write++] = std::move(pm);
-        break;
-      case PushOutcome::Aborted:
-        aborted_ = true;
-        pending_[write++] = std::move(pm);
-        break;
+    bool keep = false;
+    if (pr.run == 1) {
+      switch (sink_.try_push(pr.out_slot, std::move(pr.message))) {
+        case PushOutcome::Delivered:
+          progressed = true;
+          break;
+        case PushOutcome::Blocked:
+          slot_blocked_[pr.out_slot] = 1;
+          keep = true;
+          break;
+        case PushOutcome::Aborted:
+          aborted_ = true;
+          keep = true;
+          break;
+      }
+    } else {
+      PushOutcome outcome = PushOutcome::Delivered;
+      const std::size_t accepted =
+          sink_.try_push_dummies(pr.out_slot, pr.message.seq, pr.run,
+                                 &outcome);
+      if (accepted > 0) progressed = true;
+      pr.message.seq += accepted;
+      pr.run -= static_cast<std::uint32_t>(accepted);
+      if (pr.run > 0) {
+        if (outcome == PushOutcome::Aborted)
+          aborted_ = true;
+        else
+          slot_blocked_[pr.out_slot] = 1;
+        keep = true;
+      }
+    }
+    if (keep) {
+      if (write != i) pending_[write] = std::move(pr);
+      ++write;
     }
   }
   pending_.resize(write);
+  // Surviving entries changed position; stop coalescing into them.
+  std::fill(pending_tail_.begin(), pending_tail_.end(), kNoTail);
   return progressed;
 }
 
-bool FiringCore::fire_once() {
+std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
   if (in_slots_ == 0) {
-    // Source: generates one sequence number per quantum, then EOS.
+    // Source: generates one sequence number per firing, then EOS.
     if (source_seq_ >= num_inputs_) {
       queue_eos();
-      return true;
+      return 1;
     }
     emitter_.reset();
     static const std::vector<std::optional<runtime::Value>> no_inputs;
@@ -138,37 +193,78 @@ bool FiringCore::fire_once() {
     trace(TraceKind::Fire, 0, source_seq_);
     queue_outputs(source_seq_, /*any_input_dummy=*/false);
     ++source_seq_;
-    return true;
+    return 1;
   }
   // Interior / sink: alignment needs every input head present; the next
-  // accepted sequence number is the minimum head.
+  // accepted sequence number is the minimum head. Peeks are payload-free,
+  // and a blocking sink may only wait when no outputs are pending --
+  // otherwise an input wait could deadlock against our own undelivered
+  // messages.
+  const bool may_wait = pending_.empty();
   std::uint64_t min_seq = kEosSeq;
-  heads_.resize(in_slots_);
+  bool any_data_at_min = false;
   for (std::size_t j = 0; j < in_slots_; ++j) {
-    auto head = sink_.try_peek(j);
-    if (!head.has_value()) return false;  // input unavailable (or aborted)
-    heads_[j] = std::move(*head);
-    min_seq = std::min(min_seq, heads_[j].seq);
+    auto head = sink_.peek_head(j, may_wait);
+    if (!head.has_value()) return 0;  // input unavailable (or aborted)
+    heads_[j] = *head;
+    if (head->seq < min_seq) {
+      min_seq = head->seq;
+      any_data_at_min = head->kind == MessageKind::Data;
+    } else if (head->seq == min_seq && head->kind == MessageKind::Data) {
+      any_data_at_min = true;
+    }
   }
   if (min_seq == kEosSeq) {
     queue_eos();
-    return true;
+    return 1;
   }
+
+  if (!any_data_at_min) {
+    // Every aligned head is a dummy: the aligned set stays fixed for as
+    // long as each aligned run continues *and* stays below every other
+    // head, so the whole stretch collapses into one firing loop with a
+    // single batched pop per slot. Semantically identical to r
+    // message-at-a-time pure-dummy firings (the wrapper is consulted once
+    // per slot per seq, exactly as before); `budget` caps r so batch=1
+    // keeps the exact message-at-a-time pacing of the paper's model.
+    std::uint64_t r = budget;
+    for (std::size_t j = 0; j < in_slots_; ++j) {
+      if (heads_[j].seq == min_seq)
+        r = std::min<std::uint64_t>(r, heads_[j].run);
+      else
+        r = std::min<std::uint64_t>(r, heads_[j].seq - min_seq);
+    }
+    SDAF_ASSERT(r >= 1);
+    emitter_.reset();
+    for (std::uint64_t s = 0; s < r; ++s) {
+      const std::uint64_t seq = min_seq + s;
+      for (std::size_t j = 0; j < in_slots_; ++j)
+        if (heads_[j].seq == min_seq) trace(TraceKind::DummyConsumed, j, seq);
+      queue_outputs(seq, /*any_input_dummy=*/true);
+    }
+    for (std::size_t j = 0; j < in_slots_; ++j)
+      if (heads_[j].seq == min_seq)
+        sink_.pop_dummies(j, static_cast<std::size_t>(r));
+    return r;
+  }
+
   bool any_dummy = false;
   bool any_data = false;
   for (std::size_t j = 0; j < in_slots_; ++j) {
     inputs_[j].reset();
     if (heads_[j].seq != min_seq) continue;  // upstream filtered min_seq
     if (heads_[j].kind == MessageKind::Data) {
-      inputs_[j] = std::move(heads_[j].payload);
+      // One critical section: the head (payload included) moves out.
+      Message m = sink_.pop_head(j);
+      inputs_[j] = std::move(m.payload);
       any_data = true;
       ++sink_data;
       trace(TraceKind::DataConsumed, j, min_seq);
     } else {
       any_dummy = true;
       trace(TraceKind::DummyConsumed, j, min_seq);
+      sink_.pop(j);
     }
-    sink_.pop(j);
   }
   emitter_.reset();
   if (any_data) {
@@ -177,7 +273,7 @@ bool FiringCore::fire_once() {
     trace(TraceKind::Fire, 0, min_seq);
   }
   queue_outputs(min_seq, any_dummy);
-  return true;
+  return 1;
 }
 
 bool FiringCore::step() {
@@ -195,17 +291,30 @@ bool FiringCore::step() {
     done_ = true;
     return true;
   }
-  return fire_once() || progressed;
+  // The batch quantum: fire up to batch_ sequence numbers back to back,
+  // accumulating outputs (dummy runs coalesce in pending_), so the next
+  // drain delivers them with one channel op per slot per run instead of
+  // one per message. A consumed dummy run spends its length of budget, so
+  // batch=1 is exactly message-at-a-time.
+  std::uint64_t budget = batch_;
+  while (budget > 0) {
+    const std::uint64_t used = fire_once(budget);
+    if (used == 0) break;
+    progressed = true;
+    budget -= std::min(used, budget);
+    if (eos_flooded_) break;
+  }
+  return progressed;
 }
 
 std::uint64_t FiringCore::park_summary() const {
   if (done_) return kParkDone << kParkTagShift;
   if (!pending_.empty()) {
     std::uint64_t mask = 0;
-    for (const PendingMessage& pm : pending_) {
-      if (pm.out_slot >= 62)
+    for (const PendingRun& pr : pending_) {
+      if (pr.out_slot >= 62)
         return (kParkOutputs << kParkTagShift) | kParkSlotMask;
-      mask |= std::uint64_t{1} << pm.out_slot;
+      mask |= std::uint64_t{1} << pr.out_slot;
     }
     return (kParkOutputs << kParkTagShift) | mask;
   }
@@ -216,9 +325,12 @@ std::string FiringCore::describe() const {
   std::string s = done_ ? "done" : "running";
   s += " src_seq=" + std::to_string(source_seq_);
   s += " pending=" + std::to_string(pending_.size());
-  for (const auto& pm : pending_)
-    s += " [slot=" + std::to_string(pm.out_slot) + " " +
-         runtime::to_string(pm.message) + "]";
+  for (const auto& pr : pending_) {
+    s += " [slot=" + std::to_string(pr.out_slot) + " " +
+         runtime::to_string(pr.message);
+    if (pr.run > 1) s += "x" + std::to_string(pr.run);
+    s += "]";
+  }
   return s;
 }
 

@@ -7,6 +7,16 @@
 // message moves through a channel and what happens when it cannot -- which
 // is exactly the DeliverySink contract below.
 //
+// The data plane is allocation-free and batched: alignment peeks
+// payload-free HeadViews (never copying a payload), data is moved out of a
+// channel in one critical section (pop_head), and consecutive-sequence
+// dummy runs travel as single coalesced segments in both directions
+// (pop_dummies / try_push_dummies). A `batch` quantum lets step() run
+// several firings before handing outputs to the sink, so one lock and one
+// wake-up amortize over the whole batch. All of this is below the firing
+// semantics: per-edge traffic, firing counts and verdicts are bit-identical
+// at every batch setting, which the differential tests enforce.
+//
 // A FiringCore is single-owner: exactly one thread may call step() at a
 // time (the simulator sweep, the node's own OS thread, or the pool worker
 // that currently owns the task). The sink callbacks are invoked from inside
@@ -34,30 +44,55 @@ enum class PushOutcome : std::uint8_t {
   Aborted,    // run is tearing down; stop delivering
 };
 
-// Backend delivery contract. `try_peek`/`pop` act on in-slots, `try_push`
-// on out-slots (slot indices follow StreamGraph::in_edges/out_edges order).
+// Backend delivery contract. Peeks/pops act on in-slots, pushes on
+// out-slots (slot indices follow StreamGraph::in_edges/out_edges order).
 //
-//   simulator      try_peek = front of a deque, try_push = capacity check
-//   thread-per-node try_peek *blocks* until a head or abort; try_push is
+//   simulator      peek_head = ring head view, try_push = capacity check
+//   thread-per-node peek_head *blocks* until a head or abort; pushes are
 //                  non-blocking and the runner waits on its ProducerSignal
-//   pooled         try_peek/try_push are non-blocking and additionally wake
-//                  the peer node on empty->non-empty / full->non-full edges
+//   pooled         peeks/pushes are non-blocking and additionally wake the
+//                  peer node on empty->non-empty / full->non-full edges
 class DeliverySink {
  public:
   virtual ~DeliverySink() = default;
 
-  // A copy of the head of in-slot `slot`, or empty when no message is
-  // available (backend-specific: empty channel, or aborted run).
-  [[nodiscard]] virtual std::optional<runtime::Message> try_peek(
-      std::size_t slot) = 0;
+  // Payload-free view of the head of in-slot `slot` (seq, kind, and the
+  // length of the consecutive dummy run starting there), or empty when no
+  // message is available (backend-specific: empty channel, or aborted run).
+  // `may_wait` is the blocking-backend contract: the core sets it only when
+  // it holds no undelivered outputs, so a sink that blocks inside peek
+  // (thread-per-node) can never wedge the graph by sitting on pending
+  // messages; with may_wait == false every sink must return immediately.
+  [[nodiscard]] virtual std::optional<runtime::HeadView> peek_head(
+      std::size_t slot, bool may_wait) = 0;
 
-  // Removes the head of in-slot `slot`. Precondition: the immediately
-  // preceding try_peek(slot) observed a head.
+  // Removes the head of in-slot `slot` and returns it (payload moved out,
+  // one critical section). Precondition: the immediately preceding
+  // peek_head(slot) observed a head.
+  [[nodiscard]] virtual runtime::Message pop_head(std::size_t slot) = 0;
+
+  // Removes the head of in-slot `slot`, discarding it (dummy/EOS paths
+  // never need the payload). Precondition: as for pop_head.
   virtual void pop(std::size_t slot) = 0;
 
-  // Attempts to deliver `m` on out-slot `slot` without blocking.
+  // Removes `count` dummies from the head run of in-slot `slot` with one
+  // channel operation and one producer wake-up. Precondition: the
+  // preceding peek_head(slot) observed a dummy head with run >= count.
+  virtual void pop_dummies(std::size_t slot, std::size_t count) = 0;
+
+  // Attempts to deliver `m` on out-slot `slot` without blocking. Consumes
+  // `m` only when returning Delivered.
   [[nodiscard]] virtual PushOutcome try_push(std::size_t slot,
-                                             const runtime::Message& m) = 0;
+                                             runtime::Message&& m) = 0;
+
+  // Attempts to deliver up to `count` dummies first_seq, first_seq+1, ...
+  // on out-slot `slot` as one coalesced run. Returns how many were
+  // accepted; `*outcome` is Delivered when all fit, Blocked/Aborted
+  // otherwise.
+  [[nodiscard]] virtual std::size_t try_push_dummies(std::size_t slot,
+                                                     std::uint64_t first_seq,
+                                                     std::size_t count,
+                                                     PushOutcome* outcome) = 0;
 };
 
 // Park summary encoding, shared by the pooled scheduler's park/probe
@@ -97,14 +132,15 @@ struct EdgeDumpInfo {
 class FiringCore {
  public:
   // `in_slots`/`out_slots` are the node's degree; the channels themselves
-  // live behind `sink`. `tracer` (optional, not owned) records per-message
+  // live behind `sink`. `batch` is the firing quantum (see RunSpec::batch;
+  // clamped to >= 1). `tracer` (optional, not owned) records per-message
   // events; `tick` (optional, not owned) supplies the tracer timestamp --
   // the simulator points it at its sweep counter, concurrent backends leave
   // it null (tick 0; event *order* across threads is not meaningful there).
   FiringCore(NodeId node, runtime::Kernel& kernel, std::size_t in_slots,
              std::size_t out_slots, runtime::NodeWrapper wrapper,
              std::uint64_t num_inputs, DeliverySink& sink,
-             runtime::Tracer* tracer = nullptr,
+             std::uint32_t batch = 1, runtime::Tracer* tracer = nullptr,
              const std::uint64_t* tick = nullptr);
 
   // One scheduling quantum; returns true iff any progress was made (a
@@ -129,22 +165,32 @@ class FiringCore {
   std::uint64_t sink_data = 0;  // data messages consumed
 
  private:
-  struct PendingMessage {
+  // One queued output: a single message, or (run > 1) a coalesced run of
+  // `run` dummies starting at message.seq.
+  struct PendingRun {
     std::size_t out_slot;
     runtime::Message message;
+    std::uint32_t run = 1;
   };
 
   void trace(runtime::TraceKind kind, std::size_t slot, std::uint64_t seq);
   // Queues this firing's outputs: kernel data plus wrapper-mandated
-  // dummies. The wrapper is consulted exactly once per slot per seq.
+  // dummies. The wrapper is consulted exactly once per slot per seq;
+  // consecutive dummies for a slot coalesce into one pending run.
   void queue_outputs(std::uint64_t seq, bool any_input_dummy);
+  void queue_dummy(std::size_t slot, std::uint64_t seq);
   void queue_eos();
   // Pushes whatever fits from pending_, per-channel asynchronously: a full
-  // channel must not block messages destined for channels with space.
-  // Returns true iff anything was delivered.
+  // channel must not block messages destined for channels with space (but
+  // messages for the *same* channel stay FIFO). Returns true iff anything
+  // was delivered.
   bool drain_pending();
-  // One alignment + firing attempt; true iff anything was consumed/queued.
-  bool fire_once();
+  // One alignment + firing attempt; returns how many firing quanta it
+  // consumed (0 = no progress possible). When every aligned head is a
+  // dummy, consumes the whole aligned run -- bounded by the other heads
+  // and by `budget`, so a quantum never fires more than RunSpec::batch
+  // sequence numbers -- with one channel op per slot.
+  std::uint64_t fire_once(std::uint64_t budget);
 
   NodeId node_;
   runtime::Kernel& kernel_;
@@ -153,12 +199,17 @@ class FiringCore {
   runtime::NodeWrapper wrapper_;
   std::uint64_t num_inputs_;
   DeliverySink& sink_;
+  std::uint32_t batch_;
   runtime::Tracer* tracer_;
   const std::uint64_t* tick_;
   runtime::Emitter emitter_;
   std::vector<std::optional<runtime::Value>> inputs_;
-  std::vector<runtime::Message> heads_;
-  std::vector<PendingMessage> pending_;
+  std::vector<runtime::HeadView> heads_;
+  std::vector<PendingRun> pending_;
+  // Index into pending_ of the slot's trailing dummy run (coalescing
+  // target), or npos. Only valid between drains; drain_pending resets it.
+  std::vector<std::size_t> pending_tail_;
+  std::vector<std::uint8_t> slot_blocked_;  // drain_pending scratch
   std::uint64_t source_seq_ = 0;
   bool eos_flooded_ = false;
   bool done_ = false;

@@ -1,0 +1,113 @@
+// The one option/result surface for every execution backend. exec::RunSpec
+// is what a run needs regardless of backend (the old runtime::
+// ExecutorOptions and sim::SimOptions were per-backend copies of it, kept
+// as deprecated aliases for the differential tests that pin a backend on
+// purpose); exec::RunReport is the uniform result (ex runtime::RunResult /
+// sim::SimResult). The backends consume RunSpec directly and ignore the
+// fields that do not apply to them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/compile.h"
+#include "src/runtime/trace.h"
+#include "src/runtime/wrapper.h"
+
+namespace sdaf::runtime {
+class PoolExecutor;
+}  // namespace sdaf::runtime
+
+namespace sdaf::exec {
+
+enum class Backend : std::uint8_t {
+  Sim,       // deterministic single-threaded reference; exact sweep verdicts
+  Threaded,  // thread-per-node + watchdog; the paper's model made literal
+  Pooled,    // fixed worker pool; exact quiescence-based deadlock detection
+};
+
+[[nodiscard]] const char* to_string(Backend b);
+[[nodiscard]] std::optional<Backend> backend_from_string(std::string_view s);
+
+// Everything one run needs, regardless of backend. The per-edge fields
+// (intervals, forward_on_filter) come straight from a core::CompileResult
+// via apply(); the tail is per-backend tuning with sensible defaults.
+struct RunSpec {
+  Backend backend = Backend::Sim;
+  runtime::DummyMode mode = runtime::DummyMode::Propagation;
+  // Per-edge dummy thresholds (runtime::kInfiniteInterval = none). Empty =
+  // all infinite.
+  std::vector<std::int64_t> intervals;
+  // Propagation mode: per-edge continuation-forwarding flags
+  // (core::CompileResult::forward_on_filter). Empty = none.
+  std::vector<std::uint8_t> forward_on_filter;
+  // Number of sequence numbers each source generates (0 .. num_inputs-1).
+  std::uint64_t num_inputs = 0;
+  // Optional event recorder (not owned); works on every backend.
+  runtime::Tracer* tracer = nullptr;
+  // Firing batch quantum: how many sequence numbers a node may fire per
+  // scheduling quantum before its outputs are flushed, letting the data
+  // plane amortize one channel lock and one wake-up over a whole batch
+  // (coalesced dummy runs ride out in a single push). 1 (the default) is
+  // exactly the message-at-a-time pacing of the paper's model. At batch >
+  // 1 a node holds up to a quantum's outputs before delivering, which acts
+  // like extra per-node output buffering: completed runs keep bit-identical
+  // per-edge traffic, firing counts and verdicts at every setting (the
+  // differential tests sweep batch), and avoidance-armed runs stay
+  // deadlock-free with certification still exact -- but an *unprotected*
+  // workload whose deadlock hazard needs the tighter pacing to manifest
+  // may complete at a higher batch, exactly as it might with larger
+  // buffers. Verdict-sensitive experiments should keep batch = 1;
+  // throughput-oriented callers want 16-64.
+  std::uint32_t batch = 1;
+
+  // --- Sim tuning ---
+  std::uint64_t max_sweeps = std::uint64_t{1} << 30;
+
+  // --- Threaded tuning ---
+  std::chrono::milliseconds watchdog_tick{2};
+  int deadlock_confirm_ticks = 30;
+
+  // --- Pooled tuning ---
+  // Shared pool to run on (not owned); lets many sessions/tenants
+  // interleave on one fixed worker set. Null = a private pool per run.
+  runtime::PoolExecutor* pool = nullptr;
+  // Workers for a private pool (0 = hardware concurrency); ignored when
+  // `pool` is set.
+  std::size_t pool_workers = 0;
+
+  // Adopt a compile result's per-edge configuration: integer thresholds
+  // under `rounding`, plus the continuation-forwarding set when `mode` is
+  // Propagation.
+  void apply(const core::CompileResult& compiled,
+             core::Rounding rounding = core::Rounding::Floor);
+};
+
+struct EdgeTraffic {
+  std::uint64_t data = 0;
+  std::uint64_t dummies = 0;  // counts every dummy of a coalesced run
+  std::int64_t max_occupancy = 0;
+};
+
+// Uniform result across backends.
+struct RunReport {
+  Backend backend = Backend::Sim;
+  bool completed = false;
+  bool deadlocked = false;
+  double wall_seconds = 0.0;
+  std::uint64_t sweeps = 0;  // Sim only; 0 elsewhere
+  std::vector<EdgeTraffic> edges;    // per edge id
+  std::vector<std::uint64_t> fires;  // kernel invocations per node
+  std::vector<std::uint64_t> sink_data;  // data msgs consumed per node
+  // Non-empty iff deadlocked: channel occupancies and per-node stuck state.
+  std::string state_dump;
+
+  [[nodiscard]] std::uint64_t total_dummies() const;
+  [[nodiscard]] std::uint64_t total_data() const;
+};
+
+}  // namespace sdaf::exec

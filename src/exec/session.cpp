@@ -1,104 +1,12 @@
 #include "src/exec/session.h"
 
+#include "src/runtime/executor.h"
 #include "src/runtime/pool_executor.h"
 #include "src/sim/simulation.h"
 #include "src/support/contracts.h"
 #include "src/support/timer.h"
 
 namespace sdaf::exec {
-
-const char* to_string(Backend b) {
-  switch (b) {
-    case Backend::Sim:
-      return "sim";
-    case Backend::Threaded:
-      return "threaded";
-    case Backend::Pooled:
-      return "pooled";
-  }
-  return "?";
-}
-
-std::optional<Backend> backend_from_string(std::string_view s) {
-  if (s == "sim") return Backend::Sim;
-  if (s == "threaded") return Backend::Threaded;
-  if (s == "pooled") return Backend::Pooled;
-  return std::nullopt;
-}
-
-void RunSpec::apply(const core::CompileResult& compiled,
-                    core::Rounding rounding) {
-  intervals = compiled.integer_intervals(rounding);
-  forward_on_filter = mode == runtime::DummyMode::Propagation
-                          ? compiled.forward_on_filter()
-                          : std::vector<std::uint8_t>{};
-}
-
-std::uint64_t RunReport::total_dummies() const {
-  std::uint64_t total = 0;
-  for (const auto& e : edges) total += e.dummies;
-  return total;
-}
-
-std::uint64_t RunReport::total_data() const {
-  std::uint64_t total = 0;
-  for (const auto& e : edges) total += e.data;
-  return total;
-}
-
-namespace {
-
-RunReport from_sim(sim::SimResult&& r, double wall_seconds) {
-  RunReport report;
-  report.backend = Backend::Sim;
-  report.completed = r.completed;
-  report.deadlocked = r.deadlocked;
-  report.wall_seconds = wall_seconds;
-  report.sweeps = r.sweeps;
-  report.edges = std::move(r.edges);
-  report.fires = std::move(r.fires);
-  report.sink_data = std::move(r.sink_data);
-  report.state_dump = std::move(r.state_dump);
-  return report;
-}
-
-RunReport from_runtime(runtime::RunResult&& r, Backend backend) {
-  RunReport report;
-  report.backend = backend;
-  report.completed = r.completed;
-  report.deadlocked = r.deadlocked;
-  report.wall_seconds = r.wall_seconds;
-  report.edges = std::move(r.edges);
-  report.fires = std::move(r.fires);
-  report.sink_data = std::move(r.sink_data);
-  report.state_dump = std::move(r.state_dump);
-  return report;
-}
-
-sim::SimOptions sim_options(const RunSpec& spec) {
-  sim::SimOptions opt;
-  opt.mode = spec.mode;
-  opt.intervals = spec.intervals;
-  opt.forward_on_filter = spec.forward_on_filter;
-  opt.num_inputs = spec.num_inputs;
-  opt.max_sweeps = spec.max_sweeps;
-  opt.tracer = spec.tracer;
-  return opt;
-}
-
-runtime::ExecutorOptions executor_options(const RunSpec& spec) {
-  runtime::ExecutorOptions opt;
-  opt.mode = spec.mode;
-  opt.intervals = spec.intervals;
-  opt.forward_on_filter = spec.forward_on_filter;
-  opt.num_inputs = spec.num_inputs;
-  opt.tracer = spec.tracer;
-  opt.watchdog_tick = spec.watchdog_tick;
-  opt.deadlock_confirm_ticks = spec.deadlock_confirm_ticks;
-  return opt;
-}
-
-}  // namespace
 
 Session::Session(const StreamGraph& g,
                  std::vector<std::shared_ptr<runtime::Kernel>> kernels)
@@ -118,28 +26,26 @@ void Session::set_compile_cache(core::CompileCache* cache) {
 }
 
 RunReport Session::run(const RunSpec& spec) {
+  // The backends consume RunSpec directly (ignoring the fields that do not
+  // apply to them), so dispatch is just construction + run.
   switch (spec.backend) {
     case Backend::Sim: {
       Stopwatch clock;
       sim::Simulation simulation(graph_, kernels_);
-      auto result = simulation.run(sim_options(spec));
-      return from_sim(std::move(result), clock.elapsed_seconds());
+      RunReport report = simulation.run(spec);
+      report.wall_seconds = clock.elapsed_seconds();
+      return report;
     }
     case Backend::Threaded: {
       runtime::Executor executor(graph_, kernels_);
-      return from_runtime(executor.run(executor_options(spec)),
-                          Backend::Threaded);
+      return executor.run(spec);
     }
     case Backend::Pooled: {
-      if (spec.pool != nullptr)
-        return from_runtime(
-            spec.pool->run(graph_, kernels_, executor_options(spec)),
-            Backend::Pooled);
+      if (spec.pool != nullptr) return spec.pool->run(graph_, kernels_, spec);
       runtime::PoolExecutor::Options popt;
       popt.workers = spec.pool_workers;
       runtime::PoolExecutor pool(popt);
-      return from_runtime(pool.run(graph_, kernels_, executor_options(spec)),
-                          Backend::Pooled);
+      return pool.run(graph_, kernels_, spec);
     }
   }
   SDAF_ASSERT(false);
@@ -175,15 +81,14 @@ RunReport Session::Pending::get() {
   SDAF_ASSERT(pool_ != nullptr);
   runtime::PoolExecutor* pool = pool_;
   pool_ = nullptr;
-  return from_runtime(pool->wait(ticket_), Backend::Pooled);
+  return pool->wait(ticket_);
 }
 
 Session::Pending Session::submit(const RunSpec& spec) {
   Pending pending;
   if (spec.backend == Backend::Pooled && spec.pool != nullptr) {
     pending.pool_ = spec.pool;
-    pending.ticket_ = spec.pool->submit(graph_, kernels_,
-                                        executor_options(spec));
+    pending.ticket_ = spec.pool->submit(graph_, kernels_, spec);
   } else {
     pending.ready_ = run(spec);
   }

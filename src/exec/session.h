@@ -15,94 +15,27 @@
 // compile_and_run() chains the process-wide core::CompileCache (or one you
 // inject) in front of backend dispatch, so resubmitting a known topology
 // skips CS4 decomposition and interval computation entirely.
+//
+// RunSpec/RunReport (and the Backend enum) live in src/exec/run_types.h,
+// which the backends consume directly -- there are no per-backend option or
+// result types anymore.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
 #include <memory>
 #include <optional>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "src/core/compile.h"
 #include "src/core/compile_cache.h"
+#include "src/exec/run_types.h"
 #include "src/graph/stream_graph.h"
-#include "src/runtime/executor.h"
 #include "src/runtime/kernel.h"
-#include "src/runtime/trace.h"
 
 namespace sdaf::runtime {
 class PoolExecutor;
 }  // namespace sdaf::runtime
 
 namespace sdaf::exec {
-
-enum class Backend : std::uint8_t {
-  Sim,       // deterministic single-threaded reference; exact sweep verdicts
-  Threaded,  // thread-per-node + watchdog; the paper's model made literal
-  Pooled,    // fixed worker pool; exact quiescence-based deadlock detection
-};
-
-[[nodiscard]] const char* to_string(Backend b);
-[[nodiscard]] std::optional<Backend> backend_from_string(std::string_view s);
-
-// Everything one run needs, regardless of backend. The per-edge fields
-// (intervals, forward_on_filter) come straight from a core::CompileResult
-// via apply(); the tail is per-backend tuning with sensible defaults.
-struct RunSpec {
-  Backend backend = Backend::Sim;
-  runtime::DummyMode mode = runtime::DummyMode::Propagation;
-  // Per-edge dummy thresholds (runtime::kInfiniteInterval = none). Empty =
-  // all infinite.
-  std::vector<std::int64_t> intervals;
-  // Propagation mode: per-edge continuation-forwarding flags
-  // (core::CompileResult::forward_on_filter). Empty = none.
-  std::vector<std::uint8_t> forward_on_filter;
-  // Number of sequence numbers each source generates (0 .. num_inputs-1).
-  std::uint64_t num_inputs = 0;
-  // Optional event recorder (not owned); works on every backend.
-  runtime::Tracer* tracer = nullptr;
-
-  // --- Sim tuning ---
-  std::uint64_t max_sweeps = std::uint64_t{1} << 30;
-
-  // --- Threaded tuning ---
-  std::chrono::milliseconds watchdog_tick{2};
-  int deadlock_confirm_ticks = 30;
-
-  // --- Pooled tuning ---
-  // Shared pool to run on (not owned); lets many sessions/tenants
-  // interleave on one fixed worker set. Null = a private pool per run.
-  runtime::PoolExecutor* pool = nullptr;
-  // Workers for a private pool (0 = hardware concurrency); ignored when
-  // `pool` is set.
-  std::size_t pool_workers = 0;
-
-  // Adopt a compile result's per-edge configuration: integer thresholds
-  // under `rounding`, plus the continuation-forwarding set when `mode` is
-  // Propagation.
-  void apply(const core::CompileResult& compiled,
-             core::Rounding rounding = core::Rounding::Floor);
-};
-
-// Uniform result: the union of the old runtime::RunResult and
-// sim::SimResult surfaces.
-struct RunReport {
-  Backend backend = Backend::Sim;
-  bool completed = false;
-  bool deadlocked = false;
-  double wall_seconds = 0.0;
-  std::uint64_t sweeps = 0;  // Sim only; 0 elsewhere
-  std::vector<runtime::EdgeTraffic> edges;  // per edge id
-  std::vector<std::uint64_t> fires;         // kernel invocations per node
-  std::vector<std::uint64_t> sink_data;     // data msgs consumed per node
-  // Non-empty iff deadlocked: channel occupancies and per-node stuck state.
-  std::string state_dump;
-
-  [[nodiscard]] std::uint64_t total_dummies() const;
-  [[nodiscard]] std::uint64_t total_data() const;
-};
 
 class Session {
  public:

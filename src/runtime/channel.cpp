@@ -1,11 +1,13 @@
 #include "src/runtime/channel.h"
 
+#include <algorithm>
+
 #include "src/support/contracts.h"
 
 namespace sdaf::runtime {
 
 BoundedChannel::BoundedChannel(std::size_t capacity, RuntimeMonitor* monitor)
-    : capacity_(capacity), monitor_(monitor) {
+    : monitor_(monitor), ring_(capacity) {
   SDAF_EXPECTS(capacity >= 1);
 }
 
@@ -13,70 +15,124 @@ void BoundedChannel::set_producer_signal(ProducerSignal* signal) {
   producer_signal_ = signal;
 }
 
-void BoundedChannel::record_push(const Message& m) {
+void BoundedChannel::note_occupancy_locked() {
+  stats_.max_occupancy = std::max(stats_.max_occupancy,
+                                  static_cast<std::int64_t>(ring_.size()));
+}
+
+void BoundedChannel::record_push_locked(const Message& m) {
   if (m.kind == MessageKind::Data) ++stats_.data_pushed;
   if (m.kind == MessageKind::Dummy) ++stats_.dummies_pushed;
 }
 
 bool BoundedChannel::push(Message m) {
   std::unique_lock lock(mu_);
-  if (queue_.size() >= capacity_ && !aborted_) {
+  if (ring_.full() && !aborted_) {
     BlockedScope blocked(monitor_);
-    not_full_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || aborted_; });
+    not_full_.wait(lock, [&] { return !ring_.full() || aborted_; });
   }
   if (aborted_) return false;
-  record_push(m);
-  queue_.push_back(std::move(m));
-  stats_.max_occupancy =
-      std::max(stats_.max_occupancy, static_cast<std::int64_t>(queue_.size()));
+  record_push_locked(m);
+  ring_.push(std::move(m));
+  note_occupancy_locked();
   if (monitor_ != nullptr) monitor_->note_progress();
   not_empty_.notify_one();
   return true;
 }
 
-PushResult BoundedChannel::try_push(const Message& m, bool* was_empty) {
+PushResult BoundedChannel::try_push(Message&& m, bool* was_empty) {
   std::unique_lock lock(mu_);
   if (aborted_) return PushResult::Aborted;
-  if (queue_.size() >= capacity_) return PushResult::Full;
-  if (was_empty != nullptr) *was_empty = queue_.empty();
-  record_push(m);
-  queue_.push_back(m);
-  stats_.max_occupancy =
-      std::max(stats_.max_occupancy, static_cast<std::int64_t>(queue_.size()));
+  if (ring_.full()) return PushResult::Full;
+  if (was_empty != nullptr) *was_empty = ring_.empty();
+  record_push_locked(m);
+  ring_.push(std::move(m));
+  note_occupancy_locked();
   if (monitor_ != nullptr) monitor_->note_progress();
   not_empty_.notify_one();
   return PushResult::Ok;
 }
 
-std::optional<Message> BoundedChannel::peek_wait() {
+std::size_t BoundedChannel::try_push_dummies(std::uint64_t first_seq,
+                                             std::size_t count,
+                                             bool* was_empty, bool* aborted) {
   std::unique_lock lock(mu_);
-  if (queue_.empty() && !aborted_) {
+  if (aborted != nullptr) *aborted = aborted_;
+  if (aborted_) return 0;
+  if (was_empty != nullptr) *was_empty = ring_.empty();
+  const std::size_t accepted = ring_.push_dummies(first_seq, count);
+  if (accepted == 0) return 0;
+  stats_.dummies_pushed += accepted;
+  note_occupancy_locked();
+  if (monitor_ != nullptr) monitor_->note_progress();
+  not_empty_.notify_one();
+  return accepted;
+}
+
+std::optional<HeadView> BoundedChannel::try_peek_head() const {
+  std::unique_lock lock(mu_);
+  if (ring_.empty()) return std::nullopt;
+  return ring_.head();
+}
+
+std::optional<HeadView> BoundedChannel::peek_head_wait() {
+  std::unique_lock lock(mu_);
+  if (ring_.empty() && !aborted_) {
     BlockedScope blocked(monitor_);
-    not_empty_.wait(lock, [&] { return !queue_.empty() || aborted_; });
+    not_empty_.wait(lock, [&] { return !ring_.empty() || aborted_; });
   }
-  if (queue_.empty()) return std::nullopt;  // only possible when aborted
-  return queue_.front();
+  if (ring_.empty()) return std::nullopt;  // only possible when aborted
+  return ring_.head();
 }
 
 std::optional<Message> BoundedChannel::try_peek() const {
   std::unique_lock lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  return queue_.front();
+  if (ring_.empty()) return std::nullopt;
+  return ring_.head_message();
+}
+
+Message BoundedChannel::pop_head(bool* was_full) {
+  Message m;
+  bool full_before;
+  {
+    std::unique_lock lock(mu_);
+    SDAF_EXPECTS(!ring_.empty());
+    full_before = ring_.full();
+    m = ring_.pop_head();
+    if (monitor_ != nullptr) monitor_->note_progress();
+    not_full_.notify_one();
+  }
+  if (producer_signal_ != nullptr) producer_signal_->bump();
+  if (was_full != nullptr) *was_full = full_before;
+  return m;
 }
 
 bool BoundedChannel::pop() {
   bool was_full;
   {
     std::unique_lock lock(mu_);
-    SDAF_EXPECTS(!queue_.empty());
-    was_full = queue_.size() >= capacity_;
-    queue_.pop_front();
+    SDAF_EXPECTS(!ring_.empty());
+    was_full = ring_.full();
+    ring_.pop();
     if (monitor_ != nullptr) monitor_->note_progress();
     not_full_.notify_one();
   }
   if (producer_signal_ != nullptr) producer_signal_->bump();
   return was_full;
+}
+
+BoundedChannel::PopRun BoundedChannel::pop_dummies(std::size_t count) {
+  PopRun result;
+  {
+    std::unique_lock lock(mu_);
+    result.was_full = ring_.full();
+    result.popped = ring_.pop_dummies(count);
+    if (result.popped == 0) return result;
+    if (monitor_ != nullptr) monitor_->note_progress();
+    not_full_.notify_one();
+  }
+  if (producer_signal_ != nullptr) producer_signal_->bump();
+  return result;
 }
 
 void BoundedChannel::abort() {
@@ -96,17 +152,17 @@ bool BoundedChannel::aborted() const {
 
 bool BoundedChannel::empty() const {
   std::unique_lock lock(mu_);
-  return queue_.empty();
+  return ring_.empty();
 }
 
 bool BoundedChannel::full() const {
   std::unique_lock lock(mu_);
-  return queue_.size() >= capacity_;
+  return ring_.full();
 }
 
 std::size_t BoundedChannel::size() const {
   std::unique_lock lock(mu_);
-  return queue_.size();
+  return ring_.size();
 }
 
 ChannelStats BoundedChannel::stats() const {

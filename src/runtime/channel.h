@@ -2,23 +2,31 @@
 // producer and one consumer thread per channel (the edge's endpoints).
 // Blocking operations report to the RuntimeMonitor so the watchdog can
 // certify deadlock; abort() releases all waiters, which then unwind.
+//
+// Storage is a runtime::MessageRing: fixed-capacity, allocation-free after
+// construction, with consecutive dummy runs coalesced into one segment.
+// Occupancy, full() and the stats still count logical messages, so the
+// paper's buffer-size semantics (and deadlock certification) are untouched;
+// the batch operations (try_push_dummies / pop_dummies) let a run of k
+// dummies cross the channel with one lock acquisition and one wake-up
+// instead of k of each.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 
 #include "src/runtime/deadlock_detector.h"
 #include "src/runtime/message.h"
+#include "src/runtime/message_ring.h"
 
 namespace sdaf::runtime {
 
 struct ChannelStats {
   std::uint64_t data_pushed = 0;
-  std::uint64_t dummies_pushed = 0;
-  std::int64_t max_occupancy = 0;
+  std::uint64_t dummies_pushed = 0;  // counts k for a coalesced run of k
+  std::int64_t max_occupancy = 0;    // logical messages, not segments
 };
 
 // Wakeup channel from a node's output channels back to the node: a firing's
@@ -52,54 +60,77 @@ class BoundedChannel {
   [[nodiscard]] bool push(Message m);
 
   // Non-blocking push used by the per-channel-asynchronous emission path;
-  // copies only on success. When `was_empty` is non-null it is set to
+  // consumes `m` only on Ok. When `was_empty` is non-null it is set to
   // whether the push made the channel transition empty -> non-empty (the
   // edge a pooled scheduler must turn into a consumer wake-up).
-  [[nodiscard]] PushResult try_push(const Message& m,
-                                    bool* was_empty = nullptr);
+  [[nodiscard]] PushResult try_push(Message&& m, bool* was_empty = nullptr);
 
-  // Non-blocking consumer path for cooperatively scheduled nodes: a copy of
-  // the head, or empty when the channel holds no messages. Like peek_wait,
-  // heads remaining after abort() are still observable (the consumer drains
-  // them while unwinding). Never reports to the monitor -- the caller parks
-  // instead of blocking.
+  // Non-blocking batch push of up to `count` dummies first_seq,
+  // first_seq+1, ...: one lock, one coalesced segment, one notify. Returns
+  // how many were accepted (0 when full or aborted); `aborted` reports the
+  // abort case so a caller can distinguish it from a full channel.
+  [[nodiscard]] std::size_t try_push_dummies(std::uint64_t first_seq,
+                                             std::size_t count,
+                                             bool* was_empty = nullptr,
+                                             bool* aborted = nullptr);
+
+  // Payload-free head views -- alignment never copies a payload.
+  // try_peek_head: empty when the channel holds no messages (never blocks,
+  // never reports to the monitor -- the caller parks instead).
+  // peek_head_wait: blocks while empty; empty optional iff aborted.
+  [[nodiscard]] std::optional<HeadView> try_peek_head() const;
+  [[nodiscard]] std::optional<HeadView> peek_head_wait();
+
+  // Full copy of the head, for state dumps and tests. Heads remaining
+  // after abort() are still observable (the consumer drains them while
+  // unwinding).
   [[nodiscard]] std::optional<Message> try_peek() const;
+
+  // Removes the head and returns it in one critical section (no
+  // peek-then-pop double copy). Precondition: a preceding peek by the
+  // (single) consumer observed a head. `was_full` reports whether the
+  // channel was full before the pop (the edge a pooled scheduler must turn
+  // into a producer wake-up).
+  [[nodiscard]] Message pop_head(bool* was_full = nullptr);
+
+  // Removes the head, discarding it. Precondition: as for pop_head.
+  // Returns whether the channel was full before the pop.
+  bool pop();
+
+  // Removes up to `count` dummies from the head run in one critical
+  // section with one producer wake-up. Returns {popped, was_full}.
+  struct PopRun {
+    std::size_t popped = 0;
+    bool was_full = false;
+  };
+  PopRun pop_dummies(std::size_t count);
 
   // Registers the producing node's wakeup signal; bumped on every pop and
   // on abort.
   void set_producer_signal(ProducerSignal* signal);
 
-  // Blocks while empty; returns a copy of the head without removing it.
-  // Empty optional iff aborted.
-  [[nodiscard]] std::optional<Message> peek_wait();
-
-  // Removes the head. Precondition: a preceding peek_wait()/try_peek() by
-  // the (single) consumer observed a head, so the queue is non-empty.
-  // Returns whether the channel was full before the pop (the edge a pooled
-  // scheduler must turn into a producer wake-up).
-  bool pop();
-
   void abort();
   [[nodiscard]] bool aborted() const;
 
   // Instantaneous occupancy tests (non-blocking; for scheduler probes).
+  // All logical-message counts: a coalesced run of k dummies counts k.
   [[nodiscard]] bool empty() const;
   [[nodiscard]] bool full() const;
   [[nodiscard]] std::size_t size() const;
 
   [[nodiscard]] ChannelStats stats() const;
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
 
  private:
-  void record_push(const Message& m);
+  void note_occupancy_locked();
+  void record_push_locked(const Message& m);
 
-  const std::size_t capacity_;
   RuntimeMonitor* monitor_;
   ProducerSignal* producer_signal_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<Message> queue_;
+  MessageRing ring_;
   bool aborted_ = false;
   ChannelStats stats_;
 };

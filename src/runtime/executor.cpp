@@ -10,18 +10,6 @@
 
 namespace sdaf::runtime {
 
-std::uint64_t RunResult::total_dummies() const {
-  std::uint64_t total = 0;
-  for (const auto& e : edges) total += e.dummies;
-  return total;
-}
-
-std::uint64_t RunResult::total_data() const {
-  std::uint64_t total = 0;
-  for (const auto& e : edges) total += e.data;
-  return total;
-}
-
 namespace {
 
 // Per-node driver running on its own thread: an exec::FiringCore whose
@@ -38,13 +26,13 @@ class NodeRunner final : private exec::DeliverySink {
  public:
   NodeRunner(NodeId node, Kernel& kernel, std::vector<BoundedChannel*> ins,
              std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
-             std::uint64_t num_inputs, RuntimeMonitor* monitor,
-             Tracer* tracer)
+             std::uint64_t num_inputs, std::uint32_t batch,
+             RuntimeMonitor* monitor, Tracer* tracer)
       : ins_(std::move(ins)),
         outs_(std::move(outs)),
         monitor_(monitor),
         core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
-              num_inputs, *this, tracer) {}
+              num_inputs, *this, batch, tracer) {}
 
   [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
   [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
@@ -58,9 +46,9 @@ class NodeRunner final : private exec::DeliverySink {
       if (core_.done() || aborted_ || core_.aborted()) return;
       // step() made no progress and the run is live, so pending messages
       // remain for full channels (an empty input would have blocked inside
-      // peek_wait instead). Wait for any output channel to free space; the
-      // version counter closes the race with a pop that lands between the
-      // failed pushes and the wait.
+      // peek_head_wait instead). Wait for any output channel to free space;
+      // the version counter closes the race with a pop that lands between
+      // the failed pushes and the wait.
       std::uint64_t version;
       {
         std::lock_guard lock(signal_.mu);
@@ -82,16 +70,27 @@ class NodeRunner final : private exec::DeliverySink {
   }
 
  private:
-  std::optional<Message> try_peek(std::size_t slot) override {
-    auto head = ins_[slot]->peek_wait();  // blocks; empty iff aborted
+  std::optional<HeadView> peek_head(std::size_t slot,
+                                    bool may_wait) override {
+    if (!may_wait) return ins_[slot]->try_peek_head();
+    auto head = ins_[slot]->peek_head_wait();  // blocks; empty iff aborted
     if (!head.has_value()) aborted_ = true;
     return head;
   }
 
+  Message pop_head(std::size_t slot) override {
+    return ins_[slot]->pop_head();
+  }
+
   void pop(std::size_t slot) override { (void)ins_[slot]->pop(); }
 
-  exec::PushOutcome try_push(std::size_t slot, const Message& m) override {
-    switch (outs_[slot]->try_push(m)) {
+  void pop_dummies(std::size_t slot, std::size_t count) override {
+    const auto run = ins_[slot]->pop_dummies(count);
+    SDAF_ASSERT(run.popped == count);
+  }
+
+  exec::PushOutcome try_push(std::size_t slot, Message&& m) override {
+    switch (outs_[slot]->try_push(std::move(m))) {
       case PushResult::Ok:
         return exec::PushOutcome::Delivered;
       case PushResult::Aborted:
@@ -101,6 +100,22 @@ class NodeRunner final : private exec::DeliverySink {
       default:
         return exec::PushOutcome::Blocked;
     }
+  }
+
+  std::size_t try_push_dummies(std::size_t slot, std::uint64_t first_seq,
+                               std::size_t count,
+                               exec::PushOutcome* outcome) override {
+    bool chan_aborted = false;
+    const std::size_t accepted = outs_[slot]->try_push_dummies(
+        first_seq, count, /*was_empty=*/nullptr, &chan_aborted);
+    if (chan_aborted) {
+      aborted_ = true;
+      *outcome = exec::PushOutcome::Aborted;
+    } else {
+      *outcome = accepted == count ? exec::PushOutcome::Delivered
+                                   : exec::PushOutcome::Blocked;
+    }
+    return accepted;
   }
 
   std::vector<BoundedChannel*> ins_;
@@ -120,7 +135,7 @@ Executor::Executor(const StreamGraph& g,
   for (const auto& k : kernels_) SDAF_EXPECTS(k != nullptr);
 }
 
-RunResult Executor::run(const ExecutorOptions& options) {
+exec::RunReport Executor::run(const exec::RunSpec& options) {
   const std::size_t edges = graph_.edge_count();
   const std::size_t nodes = graph_.node_count();
   std::vector<std::int64_t> intervals = options.intervals;
@@ -155,7 +170,7 @@ RunResult Executor::run(const ExecutorOptions& options) {
         n, *kernels_[n], std::move(ins), std::move(outs),
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
-        options.num_inputs, &monitor, options.tracer));
+        options.num_inputs, options.batch, &monitor, options.tracer));
     for (const EdgeId e : graph_.out_edges(n))
       channels[e]->set_producer_signal(&runners.back()->signal());
   }
@@ -189,7 +204,8 @@ RunResult Executor::run(const ExecutorOptions& options) {
   stop_watchdog.store(true);
   watchdog.join();
 
-  RunResult result;
+  exec::RunReport result;
+  result.backend = exec::Backend::Threaded;
   result.deadlocked = deadlocked;
   result.completed = !deadlocked;
   result.wall_seconds = clock.elapsed_seconds();

@@ -6,60 +6,26 @@
 // scheduler.
 //
 // Prefer the exec::Session facade (src/exec/session.h) for new code; this
-// header stays as the backend implementation and its options/result types.
+// header stays as the backend implementation. Options and results are the
+// exec types (exec::RunSpec / exec::RunReport); the old per-backend names
+// remain as aliases for tests that pin this backend on purpose.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
 #include <memory>
-#include <string>
 #include <vector>
 
+#include "src/exec/run_types.h"
 #include "src/graph/stream_graph.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/kernel.h"
-#include "src/runtime/trace.h"
-#include "src/runtime/wrapper.h"
 
 namespace sdaf::runtime {
 
-struct ExecutorOptions {
-  DummyMode mode = DummyMode::Propagation;
-  // Per-edge dummy thresholds (kInfiniteInterval = none). Empty = all
-  // infinite.
-  std::vector<std::int64_t> intervals;
-  // Propagation mode: per-edge flags marking interior cycle edges whose
-  // filtered data must be forwarded as dummies (core::CompileResult::
-  // forward_on_filter). Empty = none.
-  std::vector<std::uint8_t> forward_on_filter;
-  // Number of sequence numbers each source generates (0 .. num_inputs-1).
-  std::uint64_t num_inputs = 0;
-  // Optional event recorder (not owned); see runtime/trace.h. Thread-safe,
-  // so concurrent backends may share it across nodes.
-  Tracer* tracer = nullptr;
-  std::chrono::milliseconds watchdog_tick{2};
-  int deadlock_confirm_ticks = 30;
-};
-
-struct EdgeTraffic {
-  std::uint64_t data = 0;
-  std::uint64_t dummies = 0;
-  std::int64_t max_occupancy = 0;
-};
-
-struct RunResult {
-  bool completed = false;
-  bool deadlocked = false;
-  double wall_seconds = 0.0;
-  std::vector<EdgeTraffic> edges;       // per edge id
-  std::vector<std::uint64_t> fires;     // kernel invocations per node
-  std::vector<std::uint64_t> sink_data; // data messages consumed per node
-  // On deadlock: human-readable channel/node state for diagnosis.
-  std::string state_dump;
-
-  [[nodiscard]] std::uint64_t total_dummies() const;
-  [[nodiscard]] std::uint64_t total_data() const;
-};
+// Deprecated aliases from before the exec:: fold; the exec names are the
+// one definition.
+using ExecutorOptions = exec::RunSpec;
+using RunResult = exec::RunReport;
+using EdgeTraffic = exec::EdgeTraffic;
 
 class Executor {
  public:
@@ -71,7 +37,9 @@ class Executor {
 
   // Runs one execution to completion or deadlock. May be called repeatedly;
   // kernels should be stateless across runs (wrapper state is per-run).
-  [[nodiscard]] RunResult run(const ExecutorOptions& options);
+  // Consumes spec.mode/intervals/forward_on_filter/num_inputs/tracer/batch
+  // and the watchdog fields; backend-selection and pool fields are ignored.
+  [[nodiscard]] exec::RunReport run(const exec::RunSpec& options);
 
  private:
   const StreamGraph& graph_;

@@ -15,6 +15,14 @@ const std::optional<Value>& Emitter::value(std::size_t slot) const {
   return values_[slot];
 }
 
+Value Emitter::take(std::size_t slot) {
+  SDAF_EXPECTS(slot < values_.size());
+  SDAF_EXPECTS(values_[slot].has_value());
+  Value v = std::move(*values_[slot]);
+  values_[slot].reset();
+  return v;
+}
+
 void Emitter::reset() {
   for (auto& v : values_) v.reset();
 }

@@ -10,30 +10,44 @@ NodeState::NodeState(NodeId node, Kernel& kernel,
                      std::uint64_t num_inputs,
                      std::vector<NodeId> in_producers,
                      std::vector<NodeId> out_consumers, Waker* waker,
-                     Tracer* tracer)
+                     std::uint32_t batch, Tracer* tracer)
     : ins_(std::move(ins)),
       outs_(std::move(outs)),
       in_producers_(std::move(in_producers)),
       out_consumers_(std::move(out_consumers)),
       waker_(waker),
       core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
-            num_inputs, *this, tracer) {
+            num_inputs, *this, batch, tracer) {
   SDAF_EXPECTS(in_producers_.size() == ins_.size());
   SDAF_EXPECTS(out_consumers_.size() == outs_.size());
   SDAF_EXPECTS(waker_ != nullptr);
 }
 
-std::optional<Message> NodeState::try_peek(std::size_t slot) {
-  return ins_[slot]->try_peek();  // empty = parked until this input fills
+std::optional<HeadView> NodeState::peek_head(std::size_t slot,
+                                             bool /*may_wait*/) {
+  return ins_[slot]->try_peek_head();  // empty = parked until input fills
+}
+
+Message NodeState::pop_head(std::size_t slot) {
+  bool was_full = false;
+  Message m = ins_[slot]->pop_head(&was_full);
+  if (was_full) waker_->wake(in_producers_[slot]);
+  return m;
 }
 
 void NodeState::pop(std::size_t slot) {
   if (ins_[slot]->pop()) waker_->wake(in_producers_[slot]);
 }
 
-exec::PushOutcome NodeState::try_push(std::size_t slot, const Message& m) {
+void NodeState::pop_dummies(std::size_t slot, std::size_t count) {
+  const auto run = ins_[slot]->pop_dummies(count);
+  SDAF_ASSERT(run.popped == count);
+  if (run.was_full) waker_->wake(in_producers_[slot]);
+}
+
+exec::PushOutcome NodeState::try_push(std::size_t slot, Message&& m) {
   bool was_empty = false;
-  switch (outs_[slot]->try_push(m, &was_empty)) {
+  switch (outs_[slot]->try_push(std::move(m), &was_empty)) {
     case PushResult::Ok:
       if (was_empty) waker_->wake(out_consumers_[slot]);
       return exec::PushOutcome::Delivered;
@@ -43,6 +57,24 @@ exec::PushOutcome NodeState::try_push(std::size_t slot, const Message& m) {
     default:
       return exec::PushOutcome::Blocked;
   }
+}
+
+std::size_t NodeState::try_push_dummies(std::size_t slot,
+                                        std::uint64_t first_seq,
+                                        std::size_t count,
+                                        exec::PushOutcome* outcome) {
+  bool was_empty = false;
+  bool chan_aborted = false;
+  const std::size_t accepted =
+      outs_[slot]->try_push_dummies(first_seq, count, &was_empty,
+                                    &chan_aborted);
+  if (accepted > 0 && was_empty) waker_->wake(out_consumers_[slot]);
+  if (chan_aborted)
+    *outcome = exec::PushOutcome::Aborted;
+  else
+    *outcome = accepted == count ? exec::PushOutcome::Delivered
+                                 : exec::PushOutcome::Blocked;
+  return accepted;
 }
 
 bool NodeState::probe(std::uint64_t summary) const {

@@ -43,7 +43,7 @@ class NodeState final : private exec::DeliverySink {
             std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
             std::uint64_t num_inputs, std::vector<NodeId> in_producers,
             std::vector<NodeId> out_consumers, Waker* waker,
-            Tracer* tracer = nullptr);
+            std::uint32_t batch = 1, Tracer* tracer = nullptr);
 
   // One scheduling quantum; returns true iff any progress was made
   // (a message delivered, consumed, or produced). After false the node is
@@ -74,10 +74,16 @@ class NodeState final : private exec::DeliverySink {
 
  private:
   // DeliverySink: non-blocking channel ops plus peer wake-ups on the
-  // empty->non-empty and full->non-full transitions.
-  std::optional<Message> try_peek(std::size_t slot) override;
+  // empty->non-empty and full->non-full transitions. The batched ops issue
+  // one wake-up per run, not per message.
+  std::optional<HeadView> peek_head(std::size_t slot, bool may_wait) override;
+  Message pop_head(std::size_t slot) override;
   void pop(std::size_t slot) override;
-  exec::PushOutcome try_push(std::size_t slot, const Message& m) override;
+  void pop_dummies(std::size_t slot, std::size_t count) override;
+  exec::PushOutcome try_push(std::size_t slot, Message&& m) override;
+  std::size_t try_push_dummies(std::size_t slot, std::uint64_t first_seq,
+                               std::size_t count,
+                               exec::PushOutcome* outcome) override;
 
   std::vector<BoundedChannel*> ins_;
   std::vector<BoundedChannel*> outs_;

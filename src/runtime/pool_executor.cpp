@@ -266,7 +266,7 @@ PoolExecutor::TicketId PoolExecutor::submit(
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
         options.num_inputs, std::move(in_producers), std::move(out_consumers),
-        instance.get(), options.tracer));
+        instance.get(), options.batch, options.tracer));
     instance->tasks[n].instance = instance.get();
     instance->tasks[n].node = instance->nodes.back().get();
   }
@@ -353,6 +353,7 @@ void PoolExecutor::run_task(NodeTask* task) {
 void PoolExecutor::finalize(Instance& instance) {
   const StreamGraph& g = *instance.graph;
   RunResult result;
+  result.backend = exec::Backend::Pooled;
   bool all_done = true;
   for (const auto& node : instance.nodes) all_done &= node->done();
   result.completed = all_done;

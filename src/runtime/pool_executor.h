@@ -126,8 +126,9 @@ class PoolExecutor {
   using TicketId = std::uint64_t;
 
   // Starts an execution of `g`. The graph and kernels must stay alive until
-  // wait() returns. ExecutorOptions is shared with the thread-per-node
-  // Executor; the watchdog fields are ignored (no watchdog exists here).
+  // wait() returns. Options are the exec::RunSpec shared by every backend;
+  // the watchdog and backend-selection fields are ignored (deadlock here is
+  // certified by exact quiescence, not timing).
   [[nodiscard]] TicketId submit(const StreamGraph& g,
                                 std::vector<std::shared_ptr<Kernel>> kernels,
                                 const ExecutorOptions& options);

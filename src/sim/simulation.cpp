@@ -4,46 +4,38 @@
 #include <optional>
 
 #include "src/exec/firing_core.h"
+#include "src/runtime/message_ring.h"
 #include "src/support/contracts.h"
 
 namespace sdaf::sim {
 
+using runtime::HeadView;
 using runtime::kInfiniteInterval;
 using runtime::Message;
 using runtime::MessageKind;
+using runtime::MessageRing;
 using runtime::NodeWrapper;
-
-std::uint64_t SimResult::total_dummies() const {
-  std::uint64_t total = 0;
-  for (const auto& e : edges) total += e.dummies;
-  return total;
-}
-
-std::uint64_t SimResult::total_data() const {
-  std::uint64_t total = 0;
-  for (const auto& e : edges) total += e.data;
-  return total;
-}
 
 namespace {
 
+// One edge's buffer: the shared coalescing ring plus traffic accounting.
+// Logical occupancy (a run of k dummies counts k) drives full()/capacity,
+// so buffer-size semantics match the concurrent backends exactly.
 struct SimChannel {
-  std::deque<Message> queue;
-  std::size_t capacity = 1;
-  runtime::EdgeTraffic traffic;
+  explicit SimChannel(std::size_t capacity) : ring(capacity) {}
 
-  [[nodiscard]] bool full() const { return queue.size() >= capacity; }
-  void push(Message m) {
-    SDAF_ASSERT(!full());
-    if (m.kind == MessageKind::Data) ++traffic.data;
-    if (m.kind == MessageKind::Dummy) ++traffic.dummies;
-    queue.push_back(std::move(m));
-    traffic.max_occupancy = std::max(traffic.max_occupancy,
-                                     static_cast<std::int64_t>(queue.size()));
+  MessageRing ring;
+  exec::EdgeTraffic traffic;
+
+  void note_push(std::size_t data, std::size_t dummies) {
+    traffic.data += data;
+    traffic.dummies += dummies;
+    traffic.max_occupancy = std::max(
+        traffic.max_occupancy, static_cast<std::int64_t>(ring.size()));
   }
 };
 
-// Sweep-step sink: an exec::FiringCore over plain deques. Nothing ever
+// Sweep-step sink: an exec::FiringCore over plain rings. Nothing ever
 // blocks or wakes; the round-robin sweep in Simulation::run supplies the
 // scheduling and the core's step() return value is the progress signal the
 // exact deadlock verdict rests on.
@@ -51,12 +43,12 @@ class SimNode final : private exec::DeliverySink {
  public:
   SimNode(NodeId node, runtime::Kernel& kernel, std::vector<SimChannel*> ins,
           std::vector<SimChannel*> outs, NodeWrapper wrapper,
-          std::uint64_t num_inputs, runtime::Tracer* tracer,
-          const std::uint64_t* sweep)
+          std::uint64_t num_inputs, std::uint32_t batch,
+          runtime::Tracer* tracer, const std::uint64_t* sweep)
       : ins_(std::move(ins)),
         outs_(std::move(outs)),
         core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
-              num_inputs, *this, tracer, sweep) {}
+              num_inputs, *this, batch, tracer, sweep) {}
 
   // One scheduling quantum; returns true if any progress was made.
   bool step() { return core_.step(); }
@@ -67,17 +59,42 @@ class SimNode final : private exec::DeliverySink {
   [[nodiscard]] std::string describe() const { return core_.describe(); }
 
  private:
-  std::optional<Message> try_peek(std::size_t slot) override {
-    if (ins_[slot]->queue.empty()) return std::nullopt;
-    return ins_[slot]->queue.front();
+  std::optional<HeadView> peek_head(std::size_t slot,
+                                    bool /*may_wait*/) override {
+    if (ins_[slot]->ring.empty()) return std::nullopt;
+    return ins_[slot]->ring.head();
   }
 
-  void pop(std::size_t slot) override { ins_[slot]->queue.pop_front(); }
+  Message pop_head(std::size_t slot) override {
+    return ins_[slot]->ring.pop_head();
+  }
 
-  exec::PushOutcome try_push(std::size_t slot, const Message& m) override {
-    if (outs_[slot]->full()) return exec::PushOutcome::Blocked;
-    outs_[slot]->push(m);
+  void pop(std::size_t slot) override { ins_[slot]->ring.pop(); }
+
+  void pop_dummies(std::size_t slot, std::size_t count) override {
+    const std::size_t popped = ins_[slot]->ring.pop_dummies(count);
+    SDAF_ASSERT(popped == count);
+  }
+
+  exec::PushOutcome try_push(std::size_t slot, Message&& m) override {
+    SimChannel& ch = *outs_[slot];
+    if (ch.ring.full()) return exec::PushOutcome::Blocked;
+    const bool is_data = m.kind == MessageKind::Data;
+    const bool is_dummy = m.kind == MessageKind::Dummy;
+    ch.ring.push(std::move(m));
+    ch.note_push(is_data ? 1 : 0, is_dummy ? 1 : 0);
     return exec::PushOutcome::Delivered;
+  }
+
+  std::size_t try_push_dummies(std::size_t slot, std::uint64_t first_seq,
+                               std::size_t count,
+                               exec::PushOutcome* outcome) override {
+    SimChannel& ch = *outs_[slot];
+    const std::size_t accepted = ch.ring.push_dummies(first_seq, count);
+    if (accepted > 0) ch.note_push(0, accepted);
+    *outcome = accepted == count ? exec::PushOutcome::Delivered
+                                 : exec::PushOutcome::Blocked;
+    return accepted;
   }
 
   std::vector<SimChannel*> ins_;
@@ -94,7 +111,7 @@ Simulation::Simulation(const StreamGraph& g,
   for (const auto& k : kernels_) SDAF_EXPECTS(k != nullptr);
 }
 
-SimResult Simulation::run(const SimOptions& options) {
+exec::RunReport Simulation::run(const exec::RunSpec& options) {
   const std::size_t edges = graph_.edge_count();
   std::vector<std::int64_t> intervals = options.intervals;
   if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
@@ -104,11 +121,13 @@ SimResult Simulation::run(const SimOptions& options) {
   if (forward.empty()) forward.assign(edges, 0);
   SDAF_EXPECTS(forward.size() == edges);
 
-  std::vector<SimChannel> channels(edges);
+  std::vector<SimChannel> channels;
+  channels.reserve(edges);
   for (EdgeId e = 0; e < edges; ++e)
-    channels[e].capacity = static_cast<std::size_t>(graph_.edge(e).buffer);
+    channels.emplace_back(static_cast<std::size_t>(graph_.edge(e).buffer));
 
-  SimResult result;
+  exec::RunReport result;
+  result.backend = exec::Backend::Sim;
   std::vector<std::unique_ptr<SimNode>> nodes;
   nodes.reserve(graph_.node_count());
   for (NodeId n = 0; n < graph_.node_count(); ++n) {
@@ -126,7 +145,7 @@ SimResult Simulation::run(const SimOptions& options) {
         n, *kernels_[n], std::move(ins), std::move(outs),
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
-        options.num_inputs, options.tracer, &result.sweeps));
+        options.num_inputs, options.batch, options.tracer, &result.sweeps));
   }
   for (result.sweeps = 0; result.sweeps < options.max_sweeps;
        ++result.sweeps) {
@@ -146,12 +165,12 @@ SimResult Simulation::run(const SimOptions& options) {
           graph_,
           [&](EdgeId e) {
             const auto& ch = channels[e];
-            exec::EdgeDumpInfo info{ch.queue.size(), ch.capacity,
+            exec::EdgeDumpInfo info{ch.ring.size(), ch.ring.capacity(),
                                     ch.traffic.data, ch.traffic.dummies,
                                     std::nullopt, std::nullopt};
-            if (!ch.queue.empty()) {
-              info.head = ch.queue.front();
-              info.tail = ch.queue.back();
+            if (!ch.ring.empty()) {
+              info.head = ch.ring.head_message();
+              info.tail = ch.ring.tail_message();
             }
             return info;
           },

@@ -4,57 +4,39 @@
 // nodes stall mid-emission on a full channel, holding already-consumed
 // inputs). Deadlock is detected exactly -- a full round-robin sweep with no
 // progress while work remains -- with no timers, making the traffic and
-// deadlock benchmarks reproducible on any machine.
+// deadlock benchmarks reproducible on any machine. Channels are the same
+// coalescing runtime::MessageRing as the concurrent backends', so the
+// batched data plane is differential-tested against the sweep semantics.
 //
 // Prefer the exec::Session facade (src/exec/session.h) for new code; this
-// header stays as the backend implementation and its options/result types.
+// header stays as the backend implementation. Options and results are the
+// exec types (exec::RunSpec / exec::RunReport); the old per-backend names
+// remain as aliases for tests that pin this backend on purpose.
 #pragma once
 
-#include <cstdint>
-#include <deque>
 #include <memory>
-#include <string>
 #include <vector>
 
+#include "src/exec/run_types.h"
 #include "src/graph/stream_graph.h"
-#include "src/runtime/executor.h"
 #include "src/runtime/kernel.h"
-#include "src/runtime/trace.h"
-#include "src/runtime/wrapper.h"
 
 namespace sdaf::sim {
 
-struct SimOptions {
-  runtime::DummyMode mode = runtime::DummyMode::Propagation;
-  std::vector<std::int64_t> intervals;  // per edge; empty = all infinite
-  std::vector<std::uint8_t> forward_on_filter;  // per edge; empty = none
-  std::uint64_t num_inputs = 0;
-  // Safety valve against harness bugs; a legitimate run finishes far below.
-  std::uint64_t max_sweeps = 1u << 30;
-  // Optional event recorder (not owned); see runtime/trace.h.
-  runtime::Tracer* tracer = nullptr;
-};
-
-struct SimResult {
-  bool completed = false;
-  bool deadlocked = false;
-  std::uint64_t sweeps = 0;
-  std::vector<runtime::EdgeTraffic> edges;
-  std::vector<std::uint64_t> fires;
-  std::vector<std::uint64_t> sink_data;
-  // On deadlock: human-readable channel/node state for diagnosis.
-  std::string state_dump;
-
-  [[nodiscard]] std::uint64_t total_dummies() const;
-  [[nodiscard]] std::uint64_t total_data() const;
-};
+// Deprecated aliases from before the exec:: fold; the exec names are the
+// one definition.
+using SimOptions = exec::RunSpec;
+using SimResult = exec::RunReport;
 
 class Simulation {
  public:
   Simulation(const StreamGraph& g,
              std::vector<std::shared_ptr<runtime::Kernel>> kernels);
 
-  [[nodiscard]] SimResult run(const SimOptions& options);
+  // Consumes spec.mode/intervals/forward_on_filter/num_inputs/tracer/batch
+  // and max_sweeps; backend-selection, watchdog and pool fields are
+  // ignored.
+  [[nodiscard]] exec::RunReport run(const exec::RunSpec& options);
 
  private:
   const StreamGraph& graph_;

@@ -153,4 +153,22 @@ StreamGraph fig5_ladder(std::int64_t buffer) {
   return g;
 }
 
+StreamGraph continuation_ladder(std::size_t relays, std::int64_t fat,
+                                std::int64_t tight) {
+  StreamGraph g;
+  const NodeId u = g.add_node("u");
+  const NodeId a = g.add_node("a");
+  g.add_edge(u, a, fat);
+  NodeId prev = a;
+  for (std::size_t i = 0; i < relays; ++i) {
+    const NodeId r = g.add_node("r" + std::to_string(i));
+    g.add_edge(prev, r, fat);
+    prev = r;
+  }
+  const NodeId b = g.add_node("b");
+  g.add_edge(prev, b, fat);
+  g.add_edge(u, b, tight);
+  return g;
+}
+
 }  // namespace sdaf::workloads

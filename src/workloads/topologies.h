@@ -46,4 +46,18 @@ namespace sdaf::workloads {
 // b -> j (after SP contraction of the decorated components).
 [[nodiscard]] StreamGraph fig5_ladder(std::int64_t buffer = 2);
 
+// The continuation-edge counterexample stretched into a pipeline: source u
+// feeds a filter stage `a` and, through a tight companion edge, the sink
+// directly; a relay chain of `relays` nodes sits between `a` and the sink.
+// The buffer asymmetry (fat long path, tight direct edge) forces interval 1
+// on u -> a and marks the whole relay chain forward-on-filter, so every
+// item the filter drops becomes a dummy on the wire -- at low pass rates
+// the channels carry dense runs of consecutive-sequence dummies, which is
+// the data plane's worst case (and the coalescing fast path's best).
+//   u -> a -> r0 -> ... -> r{relays-1} -> b   (buffer `fat` each)
+//   u -> b                                    (buffer `tight`)
+[[nodiscard]] StreamGraph continuation_ladder(std::size_t relays = 4,
+                                              std::int64_t fat = 64,
+                                              std::int64_t tight = 1);
+
 }  // namespace sdaf::workloads

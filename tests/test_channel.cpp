@@ -12,22 +12,23 @@ TEST(Channel, FifoOrder) {
   ASSERT_TRUE(ch.push(Message::data(0, Value(1))));
   ASSERT_TRUE(ch.push(Message::dummy(1)));
   ASSERT_TRUE(ch.push(Message::data(2, Value(3))));
-  auto m = ch.peek_wait();
+  auto m = ch.peek_head_wait();
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->seq, 0u);
-  ch.pop();
-  m = ch.peek_wait();
+  (void)ch.pop();
+  m = ch.peek_head_wait();
   EXPECT_EQ(m->kind, MessageKind::Dummy);
-  ch.pop();
-  m = ch.peek_wait();
+  (void)ch.pop();
+  m = ch.peek_head_wait();
   EXPECT_EQ(m->seq, 2u);
 }
 
 TEST(Channel, PeekDoesNotConsume) {
   BoundedChannel ch(2, nullptr);
   ASSERT_TRUE(ch.push(Message::data(7, Value(0))));
-  EXPECT_EQ(ch.peek_wait()->seq, 7u);
-  EXPECT_EQ(ch.peek_wait()->seq, 7u);
+  EXPECT_EQ(ch.peek_head_wait()->seq, 7u);
+  EXPECT_EQ(ch.peek_head_wait()->seq, 7u);
+  EXPECT_EQ(ch.try_peek()->seq, 7u);  // full-message peek agrees
 }
 
 TEST(Channel, StatsCountKinds) {
@@ -42,6 +43,156 @@ TEST(Channel, StatsCountKinds) {
   EXPECT_EQ(s.max_occupancy, 4);
 }
 
+TEST(Channel, PopHeadMovesPayloadInOneCall) {
+  BoundedChannel ch(2, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(3, Value(std::int64_t{42}))));
+  bool was_full = true;
+  const Message m = ch.pop_head(&was_full);
+  EXPECT_EQ(m.seq, 3u);
+  EXPECT_EQ(m.kind, MessageKind::Data);
+  EXPECT_EQ(m.payload.as<std::int64_t>(), 42);
+  EXPECT_FALSE(was_full);
+  EXPECT_TRUE(ch.empty());
+}
+
+// --- dummy run coalescing ---------------------------------------------
+
+TEST(Channel, ConsecutiveDummiesCoalesceButCountFully) {
+  // A run of k consecutive dummies is one physical segment but k logical
+  // messages: occupancy, capacity and the stats all see k.
+  BoundedChannel ch(4, nullptr);
+  for (std::uint64_t s = 0; s < 4; ++s)
+    ASSERT_EQ(ch.try_push(Message::dummy(s)), PushResult::Ok);
+  EXPECT_EQ(ch.size(), 4u);
+  EXPECT_TRUE(ch.full());
+  EXPECT_EQ(ch.stats().dummies_pushed, 4u);
+  EXPECT_EQ(ch.stats().max_occupancy, 4);
+  const auto head = ch.try_peek_head();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->seq, 0u);
+  EXPECT_EQ(head->kind, MessageKind::Dummy);
+  EXPECT_EQ(head->run, 4u);
+  // A fifth dummy does not fit: coalescing does not create buffer space.
+  EXPECT_EQ(ch.try_push(Message::dummy(4)), PushResult::Full);
+}
+
+TEST(Channel, BatchPushAcceptsExactlyFreeSpace) {
+  BoundedChannel ch(4, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(0, Value(1))));
+  bool was_empty = true;
+  bool aborted = true;
+  EXPECT_EQ(ch.try_push_dummies(1, 10, &was_empty, &aborted), 3u);
+  EXPECT_FALSE(was_empty);
+  EXPECT_FALSE(aborted);
+  EXPECT_TRUE(ch.full());
+  EXPECT_EQ(ch.stats().dummies_pushed, 3u);
+  EXPECT_EQ(ch.try_push_dummies(4, 5), 0u);  // full: nothing accepted
+}
+
+TEST(Channel, InterleavedDataDummyDataPopsInOrder) {
+  BoundedChannel ch(8, nullptr);
+  ASSERT_TRUE(ch.push(Message::data(0, Value(std::int64_t{10}))));
+  ASSERT_TRUE(ch.push(Message::dummy(1)));
+  ASSERT_TRUE(ch.push(Message::dummy(2)));
+  ASSERT_TRUE(ch.push(Message::data(3, Value(std::int64_t{30}))));
+  ASSERT_TRUE(ch.push(Message::dummy(4)));
+  EXPECT_EQ(ch.size(), 5u);
+
+  EXPECT_EQ(ch.pop_head().payload.as<std::int64_t>(), 10);
+  auto head = ch.try_peek_head();
+  EXPECT_EQ(head->seq, 1u);
+  EXPECT_EQ(head->run, 2u);  // the 1,2 run coalesced behind the data
+  const auto run = ch.pop_dummies(2);
+  EXPECT_EQ(run.popped, 2u);
+  EXPECT_EQ(ch.pop_head().payload.as<std::int64_t>(), 30);
+  head = ch.try_peek_head();
+  EXPECT_EQ(head->seq, 4u);
+  EXPECT_EQ(head->run, 1u);  // seq 4 did not merge across the data message
+}
+
+TEST(Channel, NonConsecutiveDummiesStaySeparate) {
+  BoundedChannel ch(4, nullptr);
+  ASSERT_TRUE(ch.push(Message::dummy(1)));
+  ASSERT_TRUE(ch.push(Message::dummy(5)));  // gap: upstream filtered 2..4
+  auto head = ch.try_peek_head();
+  EXPECT_EQ(head->seq, 1u);
+  EXPECT_EQ(head->run, 1u);
+  // pop_dummies never crosses into the next segment.
+  EXPECT_EQ(ch.pop_dummies(2).popped, 1u);
+  head = ch.try_peek_head();
+  EXPECT_EQ(head->seq, 5u);
+}
+
+TEST(Channel, EosArrivingMidRunStaysOrdered) {
+  BoundedChannel ch(8, nullptr);
+  EXPECT_EQ(ch.try_push_dummies(7, 3), 3u);
+  ASSERT_TRUE(ch.push(Message::eos()));
+  EXPECT_EQ(ch.size(), 4u);
+  auto head = ch.try_peek_head();
+  EXPECT_EQ(head->kind, MessageKind::Dummy);
+  EXPECT_EQ(head->run, 3u);
+  EXPECT_EQ(ch.pop_dummies(3).popped, 3u);
+  head = ch.try_peek_head();
+  EXPECT_EQ(head->kind, MessageKind::Eos);
+  EXPECT_EQ(head->run, 1u);  // EOS never merges into a run
+  EXPECT_EQ(ch.pop_head().kind, MessageKind::Eos);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, PartialRunPopKeepsSequenceNumbers) {
+  BoundedChannel ch(8, nullptr);
+  EXPECT_EQ(ch.try_push_dummies(10, 5), 5u);
+  EXPECT_EQ(ch.pop_dummies(2).popped, 2u);
+  auto head = ch.try_peek_head();
+  EXPECT_EQ(head->seq, 12u);
+  EXPECT_EQ(head->run, 3u);
+  // pop_head materializes one dummy of the run at a time.
+  const Message m = ch.pop_head();
+  EXPECT_EQ(m.kind, MessageKind::Dummy);
+  EXPECT_EQ(m.seq, 12u);
+  EXPECT_EQ(ch.try_peek_head()->seq, 13u);
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, CoalescedRunRefillsAtCapacityBoundary) {
+  // full()/occupancy around the boundary when a run partially drains and
+  // the producer tops the same run back up.
+  BoundedChannel ch(3, nullptr);
+  EXPECT_EQ(ch.try_push_dummies(0, 3), 3u);
+  EXPECT_TRUE(ch.full());
+  EXPECT_EQ(ch.pop_dummies(2).popped, 2u);
+  EXPECT_FALSE(ch.full());
+  EXPECT_EQ(ch.size(), 1u);
+  // Continue the same run: coalesces onto the surviving segment.
+  EXPECT_EQ(ch.try_push_dummies(3, 4), 2u);
+  EXPECT_TRUE(ch.full());
+  const auto head = ch.try_peek_head();
+  EXPECT_EQ(head->seq, 2u);
+  EXPECT_EQ(head->run, 3u);
+  EXPECT_EQ(ch.stats().dummies_pushed, 5u);
+  EXPECT_EQ(ch.stats().max_occupancy, 3);
+}
+
+TEST(Channel, AbortWithCoalescedRunInFlight) {
+  BoundedChannel ch(8, nullptr);
+  EXPECT_EQ(ch.try_push_dummies(0, 4), 4u);
+  ch.abort();
+  // Heads stay observable after abort: the consumer drains while
+  // unwinding.
+  auto head = ch.try_peek_head();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->run, 4u);
+  EXPECT_EQ(ch.pop_dummies(4).popped, 4u);
+  EXPECT_TRUE(ch.empty());
+  // But no new traffic enters an aborted channel.
+  bool aborted = false;
+  EXPECT_EQ(ch.try_push_dummies(4, 2, nullptr, &aborted), 0u);
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(ch.try_push(Message::dummy(4)), PushResult::Aborted);
+}
+
+// --- blocking / abort / monitor ---------------------------------------
+
 TEST(Channel, BlocksWhenFullUntilPop) {
   BoundedChannel ch(1, nullptr);
   ASSERT_TRUE(ch.push(Message::data(0, Value(0))));
@@ -50,16 +201,16 @@ TEST(Channel, BlocksWhenFullUntilPop) {
     EXPECT_TRUE(ch.push(Message::data(1, Value(0))));
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  ch.pop();
+  (void)ch.pop();
   producer.join();
-  EXPECT_EQ(ch.peek_wait()->seq, 1u);
+  EXPECT_EQ(ch.peek_head_wait()->seq, 1u);
 }
 
 TEST(Channel, BlocksWhenEmptyUntilPush) {
   BoundedChannel ch(1, nullptr);
   std::uint64_t got = 99;
   std::thread consumer([&] {
-    const auto m = ch.peek_wait();
+    const auto m = ch.peek_head_wait();
     ASSERT_TRUE(m.has_value());
     got = m->seq;
   });
@@ -84,7 +235,7 @@ TEST(Channel, AbortReleasesBlockedProducer) {
 TEST(Channel, AbortReleasesBlockedConsumer) {
   BoundedChannel ch(1, nullptr);
   std::thread consumer([&] {
-    EXPECT_FALSE(ch.peek_wait().has_value());  // aborted while empty
+    EXPECT_FALSE(ch.peek_head_wait().has_value());  // aborted while empty
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   ch.abort();
@@ -100,7 +251,7 @@ TEST(Channel, MonitorSeesBlockedStates) {
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_EQ(monitor.blocked(), 1);
   const auto progress_before = monitor.progress();
-  ch.pop();
+  (void)ch.pop();
   producer.join();
   EXPECT_EQ(monitor.blocked(), 0);
   EXPECT_GT(monitor.progress(), progress_before);

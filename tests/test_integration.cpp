@@ -7,7 +7,7 @@
 
 #include "src/core/compile.h"
 #include "src/graph/normalize.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/random_ladder.h"
@@ -19,17 +19,18 @@ namespace {
 
 using runtime::DummyMode;
 
-sim::SimResult run_sim(const StreamGraph& g, DummyMode mode,
-                       const std::vector<std::int64_t>& intervals, double p,
-                       std::uint64_t seed, std::uint64_t n = 400,
-                       std::vector<std::uint8_t> forward = {}) {
-  sim::Simulation s(g, workloads::relay_kernels(g, p, seed));
-  sim::SimOptions opt;
-  opt.mode = mode;
-  opt.intervals = intervals;
-  opt.forward_on_filter = std::move(forward);
-  opt.num_inputs = n;
-  return s.run(opt);
+exec::RunReport run_sim(const StreamGraph& g, DummyMode mode,
+                        const std::vector<std::int64_t>& intervals, double p,
+                        std::uint64_t seed, std::uint64_t n = 400,
+                        std::vector<std::uint8_t> forward = {}) {
+  exec::Session session(g, workloads::relay_kernels(g, p, seed));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Sim;
+  spec.mode = mode;
+  spec.intervals = intervals;
+  spec.forward_on_filter = std::move(forward);
+  spec.num_inputs = n;
+  return session.run(spec);
 }
 
 class SafetySweep : public ::testing::TestWithParam<std::uint64_t> {};
@@ -119,13 +120,13 @@ TEST(Integration, AdversarialSplitJoinSurvives) {
     kernels.push_back(runtime::pass_through_kernel());
     kernels.push_back(runtime::pass_through_kernel());
     kernels.push_back(runtime::pass_through_kernel());
-    sim::Simulation s(g, kernels);
-    sim::SimOptions opt;
-    opt.mode = DummyMode::Propagation;
-    opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-    opt.forward_on_filter = compiled.forward_on_filter();
-    opt.num_inputs = 600;
-    const auto r = s.run(opt);
+    exec::Session session(g, kernels);
+    exec::RunSpec spec;
+    spec.mode = DummyMode::Propagation;
+    spec.intervals = compiled.integer_intervals(core::Rounding::Floor);
+    spec.forward_on_filter = compiled.forward_on_filter();
+    spec.num_inputs = 600;
+    const auto r = session.run(spec);
     EXPECT_TRUE(r.completed) << "buffer=" << buffer;
     EXPECT_EQ(r.sink_data[3] - r.fires[3],
               r.sink_data[3] - r.fires[3]);  // sanity; alignment consumed
@@ -142,11 +143,11 @@ TEST(Integration, SameWorkloadsDeadlockWithoutAvoidance) {
   kernels.push_back(runtime::pass_through_kernel());
   kernels.push_back(runtime::pass_through_kernel());
   kernels.push_back(runtime::pass_through_kernel());
-  sim::Simulation s(g, kernels);
-  sim::SimOptions opt;
-  opt.mode = DummyMode::None;
-  opt.num_inputs = 600;
-  EXPECT_TRUE(s.run(opt).deadlocked);
+  exec::Session session(g, kernels);
+  exec::RunSpec spec;
+  spec.mode = DummyMode::None;
+  spec.num_inputs = 600;
+  EXPECT_TRUE(session.run(spec).deadlocked);
 }
 
 // Deadlock frequency under Bernoulli filtering with no avoidance rises as
@@ -239,13 +240,13 @@ TEST(Integration, MultiSourceJoinViaNormalization) {
     return kernels;
   };
   {
-    sim::Simulation s(g, make_kernels());
-    sim::SimOptions opt;
-    opt.mode = DummyMode::Propagation;
-    opt.intervals = intervals;
-    opt.forward_on_filter = forward;
-    opt.num_inputs = 500;
-    const auto r = s.run(opt);
+    exec::Session session(g, make_kernels());
+    exec::RunSpec spec;
+    spec.mode = DummyMode::Propagation;
+    spec.intervals = intervals;
+    spec.forward_on_filter = forward;
+    spec.num_inputs = 500;
+    const auto r = session.run(spec);
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.sink_data[t], 500u);     // s2's stream arrived in full
     EXPECT_GT(r.edges[e1].dummies, 0u);  // s1 forwarded knowledge
@@ -254,11 +255,11 @@ TEST(Integration, MultiSourceJoinViaNormalization) {
     // the starvation contrast is below.
   }
   {
-    sim::Simulation s(g, make_kernels());
-    sim::SimOptions opt;
-    opt.mode = DummyMode::None;
-    opt.num_inputs = 500;
-    const auto r = s.run(opt);
+    exec::Session session(g, make_kernels());
+    exec::RunSpec spec;
+    spec.mode = DummyMode::None;
+    spec.num_inputs = 500;
+    const auto r = session.run(spec);
     // No deadlock -- but starvation: the join consumed nothing until EOS,
     // which shows up as s2's channel saturating at full capacity.
     EXPECT_TRUE(r.completed);
@@ -272,13 +273,14 @@ TEST(Integration, ThreadedExecutorAgreesOnSafety) {
   const StreamGraph g = workloads::fig5_ladder(2);
   const auto compiled = core::compile(g);
   ASSERT_TRUE(compiled.ok);
-  runtime::Executor ex(g, workloads::relay_kernels(g, 0.4, 11));
-  runtime::ExecutorOptions opt;
-  opt.mode = DummyMode::Propagation;
-  opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  opt.forward_on_filter = compiled.forward_on_filter();
-  opt.num_inputs = 200;
-  const auto r = ex.run(opt);
+  exec::Session session(g, workloads::relay_kernels(g, 0.4, 11));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Threaded;
+  spec.mode = DummyMode::Propagation;
+  spec.intervals = compiled.integer_intervals(core::Rounding::Floor);
+  spec.forward_on_filter = compiled.forward_on_filter();
+  spec.num_inputs = 200;
+  const auto r = session.run(spec);
   EXPECT_TRUE(r.completed);
 }
 

@@ -72,6 +72,8 @@ TEST(Session, RandomizedWorkloadsIdenticalAcrossBackendsAndModes) {
       spec.apply(compiled);
       spec.num_inputs = num_inputs;
       spec.pool = &pool;
+      // Random firing quantum: batching must never change the traffic.
+      spec.batch = 1 + static_cast<std::uint32_t>(rng.next_below(16));
       RunReport reference;
       for (const Backend backend : kBackends) {
         spec.backend = backend;
@@ -107,29 +109,81 @@ TEST(Session, RandomizedWorkloadsIdenticalAcrossBackendsAndModes) {
   EXPECT_GE(cases, 22);
 }
 
+// The coalescing differential: the continuation ladder floods dense runs of
+// consecutive-sequence dummies (every item the filter stage drops continues
+// down the relay chain as a dummy), so coalesced segments cross every
+// sink's batched paths. Every backend, both dummy modes, and every batch
+// quantum must produce bit-identical traffic -- batching amortizes cost,
+// never changes semantics.
+TEST(Session, DummyRunCoalescingIdenticalAcrossBackendsAndBatches) {
+  const StreamGraph g = workloads::continuation_ladder(3, 32, 1);
+  runtime::PoolExecutor pool(2);
+  for (const auto mode :
+       {DummyMode::Propagation, DummyMode::NonPropagation}) {
+    core::CompileOptions copt;
+    copt.algorithm = mode == DummyMode::Propagation
+                         ? core::Algorithm::Propagation
+                         : core::Algorithm::NonPropagation;
+    const auto compiled = core::compile(g, copt);
+    ASSERT_TRUE(compiled.ok) << compiled.diagnostics;
+    for (const double pass_rate : {0.05, 0.4}) {
+      Session session(g, workloads::relay_kernels(g, pass_rate, 0xD00D));
+      RunSpec spec;
+      spec.mode = mode;
+      spec.apply(compiled);
+      spec.num_inputs = 400;
+      spec.pool = &pool;
+      RunSpec ref_spec = spec;
+      ref_spec.backend = Backend::Sim;
+      ref_spec.batch = 1;
+      const RunReport reference = session.run(ref_spec);
+      ASSERT_TRUE(reference.completed);
+      EXPECT_GT(reference.total_dummies(), reference.total_data())
+          << "workload not dummy-heavy; the coalescing path is not covered";
+      for (const Backend backend : kBackends) {
+        for (const std::uint32_t batch : {1u, 7u, 64u}) {
+          spec.backend = backend;
+          spec.batch = batch;
+          const std::string label = std::string(to_string(backend)) +
+                                    " batch=" + std::to_string(batch) +
+                                    " p=" + std::to_string(pass_rate);
+          expect_same_report(reference, session.run(spec), label);
+        }
+      }
+    }
+  }
+}
+
 TEST(Session, Fig2WedgeSameVerdictAndStateDumpOnEveryBackend) {
   // The Fig. 2 triangle with the adversarial filter and no avoidance must
   // wedge on every backend, and every backend must surface a usable
   // post-mortem through RunReport::state_dump.
   const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
   for (const Backend backend : kBackends) {
-    Session session(g, wedge_kernels());
-    RunSpec spec;
-    spec.backend = backend;
-    spec.mode = DummyMode::None;
-    spec.num_inputs = 100;
-    spec.pool_workers = 2;
-    const auto report = session.run(spec);
-    const std::string label = to_string(backend);
-    EXPECT_TRUE(report.deadlocked) << label;
-    EXPECT_FALSE(report.completed) << label;
-    ASSERT_FALSE(report.state_dump.empty()) << label;
-    EXPECT_NE(report.state_dump.find("edge "), std::string::npos) << label;
-    EXPECT_NE(report.state_dump.find("node "), std::string::npos) << label;
-    if (backend == Backend::Sim)
-      EXPECT_GT(report.sweeps, 0u);
-    else
-      EXPECT_EQ(report.sweeps, 0u);
+    // Batching adds at most `batch` held outputs per node -- far below the
+    // 100-seq adversarial prefix that forces this wedge -- so the deadlock
+    // must manifest and certify exactly at both quanta.
+    for (const std::uint32_t batch : {1u, 64u}) {
+      Session session(g, wedge_kernels());
+      RunSpec spec;
+      spec.backend = backend;
+      spec.mode = DummyMode::None;
+      spec.num_inputs = 100;
+      spec.pool_workers = 2;
+      spec.batch = batch;
+      const auto report = session.run(spec);
+      const std::string label = std::string(to_string(backend)) +
+                                " batch=" + std::to_string(batch);
+      EXPECT_TRUE(report.deadlocked) << label;
+      EXPECT_FALSE(report.completed) << label;
+      ASSERT_FALSE(report.state_dump.empty()) << label;
+      EXPECT_NE(report.state_dump.find("edge "), std::string::npos) << label;
+      EXPECT_NE(report.state_dump.find("node "), std::string::npos) << label;
+      if (backend == Backend::Sim)
+        EXPECT_GT(report.sweeps, 0u);
+      else
+        EXPECT_EQ(report.sweeps, 0u);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/compile.h"
+#include "src/runtime/executor.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
 

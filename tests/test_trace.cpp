@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/compile.h"
-#include "src/sim/simulation.h"
+#include "src/exec/session.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
 
@@ -57,13 +57,13 @@ TEST(TracerDeathTest, RejectsZeroCapacity) {
 
 TEST(SimTracing, PipelineEventAccounting) {
   const StreamGraph g = workloads::pipeline(3, 2);
-  sim::Simulation s(g, workloads::passthrough_kernels(g));
+  exec::Session session(g, workloads::passthrough_kernels(g));
   Tracer tracer(1u << 16);
-  sim::SimOptions opt;
-  opt.mode = DummyMode::None;
-  opt.num_inputs = 20;
-  opt.tracer = &tracer;
-  const auto r = s.run(opt);
+  exec::RunSpec spec;
+  spec.mode = DummyMode::None;
+  spec.num_inputs = 20;
+  spec.tracer = &tracer;
+  const auto r = session.run(spec);
   ASSERT_TRUE(r.completed);
   // 3 nodes x 20 firings, 2 edges x 20 data sends/consumes, 2 EOS floods.
   EXPECT_EQ(tracer.filter(TraceKind::Fire).size(), 60u);
@@ -83,15 +83,15 @@ TEST(SimTracing, DummyOriginationAndForwardingVisible) {
       workloads::adversarial_prefix_filter(1, 1000)));
   kernels.push_back(pass_through_kernel());
   kernels.push_back(pass_through_kernel());
-  sim::Simulation s(g, kernels);
+  exec::Session session(g, kernels);
   Tracer tracer(1u << 16);
-  sim::SimOptions opt;
-  opt.mode = DummyMode::Propagation;
-  opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  opt.forward_on_filter = compiled.forward_on_filter();
-  opt.num_inputs = 100;
-  opt.tracer = &tracer;
-  ASSERT_TRUE(s.run(opt).completed);
+  exec::RunSpec spec;
+  spec.mode = DummyMode::Propagation;
+  spec.intervals = compiled.integer_intervals(core::Rounding::Floor);
+  spec.forward_on_filter = compiled.forward_on_filter();
+  spec.num_inputs = 100;
+  spec.tracer = &tracer;
+  ASSERT_TRUE(session.run(spec).completed);
 
   const auto sent = tracer.filter(TraceKind::DummySent);
   ASSERT_FALSE(sent.empty());
@@ -114,16 +114,16 @@ TEST(SimTracing, DummyOriginationAndForwardingVisible) {
 
 TEST(SimTracing, TicksAreMonotone) {
   const StreamGraph g = workloads::fig1_splitjoin(2);
-  sim::Simulation s(g, workloads::relay_kernels(g, 0.5, 3));
+  exec::Session session(g, workloads::relay_kernels(g, 0.5, 3));
   Tracer tracer(1u << 14);
   const auto compiled = core::compile(g);
-  sim::SimOptions opt;
-  opt.mode = DummyMode::Propagation;
-  opt.intervals = compiled.integer_intervals(core::Rounding::Floor);
-  opt.forward_on_filter = compiled.forward_on_filter();
-  opt.num_inputs = 50;
-  opt.tracer = &tracer;
-  ASSERT_TRUE(s.run(opt).completed);
+  exec::RunSpec spec;
+  spec.mode = DummyMode::Propagation;
+  spec.intervals = compiled.integer_intervals(core::Rounding::Floor);
+  spec.forward_on_filter = compiled.forward_on_filter();
+  spec.num_inputs = 50;
+  spec.tracer = &tracer;
+  ASSERT_TRUE(session.run(spec).completed);
   const auto events = tracer.snapshot();
   for (std::size_t i = 1; i < events.size(); ++i)
     EXPECT_LE(events[i - 1].tick, events[i].tick);

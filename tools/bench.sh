@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Benchmark runner with a machine-readable, schema-stable output contract:
+# runs bench_throughput and bench_pool_scaling in a fixed configuration and
+# writes google-benchmark JSON to BENCH_throughput.json /
+# BENCH_pool_scaling.json at the repo root, so successive PRs have a
+# comparable trajectory to track (items_per_second is the figure of merit;
+# per-run dummy counts ride along as cross-checks).
+#
+#   tools/bench.sh            # full run (all registered benchmarks)
+#   tools/bench.sh --smoke    # CI mode: the fixed smoke subset, ~seconds,
+#                             # proves the bench binaries still run
+#
+# Options:
+#   --build-dir DIR   build tree holding the bench binaries
+#                     (default: build/release, configured+built if missing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=0
+build_dir=build/release
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1 ;;
+    --build-dir) build_dir=$2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+if [[ ! -x "$build_dir/bench_throughput" ]]; then
+  if [[ "$build_dir" != build/release ]]; then
+    echo "error: $build_dir/bench_throughput not found; build it first" >&2
+    exit 1
+  fi
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" \
+      --target bench_throughput bench_pool_scaling
+fi
+
+# The smoke subset is fixed so the JSON schema (benchmark names + counters)
+# stays stable across PRs: the three throughput pass rates at the batched
+# quantum, and the pooled filtering sweep.
+throughput_filter='.'
+pool_filter='Filtering|CompileCache'
+if [[ $smoke -eq 1 ]]; then
+  throughput_filter='BM_Throughput_Pass(100|50|10)/'
+  pool_filter='BM_PoolExecutor_Filtering'
+fi
+
+echo "==> bench_throughput -> BENCH_throughput.json"
+"$build_dir/bench_throughput" \
+    --benchmark_filter="$throughput_filter" \
+    --benchmark_out=BENCH_throughput.json \
+    --benchmark_out_format=json
+
+echo "==> bench_pool_scaling -> BENCH_pool_scaling.json"
+"$build_dir/bench_pool_scaling" \
+    --benchmark_filter="$pool_filter" \
+    --benchmark_out=BENCH_pool_scaling.json \
+    --benchmark_out_format=json
+
+echo "==> bench OK"

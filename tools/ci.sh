@@ -16,6 +16,9 @@ cmake --preset release
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
+echo "==> bench smoke (BENCH_*.json)"
+tools/bench.sh --smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "==> asan build + ctest"
   cmake --preset asan
