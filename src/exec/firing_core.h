@@ -7,15 +7,17 @@
 // message moves through a channel and what happens when it cannot -- which
 // is exactly the DeliverySink contract below.
 //
-// The data plane is allocation-free and batched: alignment peeks
-// payload-free HeadViews (never copying a payload), data is moved out of a
-// channel in one critical section (pop_head), and consecutive-sequence
-// dummy runs travel as single coalesced segments in both directions
-// (pop_dummies / try_push_dummies). A `batch` quantum lets step() run
-// several firings before handing outputs to the sink, so one lock and one
-// wake-up amortize over the whole batch. All of this is below the firing
-// semantics: per-edge traffic, firing counts and verdicts are bit-identical
-// at every batch setting, which the differential tests enforce.
+// The data plane is allocation-free, batched, and (on the concurrent
+// backends) lock-free: alignment peeks payload-free HeadViews (never
+// copying a payload), data is moved out of a channel by its single
+// consumer without a mutex (the channels ride runtime::SpscRing), and
+// consecutive-sequence dummy runs travel as single coalesced segments in
+// both directions (pop_dummies / try_push_dummies). A `batch` quantum lets
+// step() run several firings before handing outputs to the sink, so one
+// channel op and one (usually elided) wake-up amortize over the whole
+// batch. All of this is below the firing semantics: per-edge traffic,
+// firing counts and verdicts are bit-identical at every batch setting,
+// which the differential tests enforce.
 //
 // A FiringCore is single-owner: exactly one thread may call step() at a
 // time (the simulator sweep, the node's own OS thread, or the pool worker

@@ -15,130 +15,155 @@ void BoundedChannel::set_producer_signal(ProducerSignal* signal) {
   producer_signal_ = signal;
 }
 
-void BoundedChannel::note_occupancy_locked() {
-  stats_.max_occupancy = std::max(stats_.max_occupancy,
-                                  static_cast<std::int64_t>(ring_.size()));
+void BoundedChannel::record_push(MessageKind kind, std::size_t count,
+                                 const SpscRing::PushEffect& effect) {
+  // Producer-only writers: plain load+store beats an RMW on the hot path.
+  if (kind == MessageKind::Data)
+    data_pushed_.store(data_pushed_.load(std::memory_order_relaxed) + count,
+                       std::memory_order_relaxed);
+  if (kind == MessageKind::Dummy)
+    dummies_pushed_.store(
+        dummies_pushed_.load(std::memory_order_relaxed) + count,
+        std::memory_order_relaxed);
+  const auto occ = static_cast<std::int64_t>(effect.occupancy);
+  if (occ > max_occupancy_.load(std::memory_order_relaxed))
+    max_occupancy_.store(occ, std::memory_order_relaxed);
+  if (monitor_ != nullptr) monitor_->note_progress();
 }
 
-void BoundedChannel::record_push_locked(const Message& m) {
-  if (m.kind == MessageKind::Data) ++stats_.data_pushed;
-  if (m.kind == MessageKind::Dummy) ++stats_.dummies_pushed;
+void BoundedChannel::notify_not_empty() {
+  // The ring publish already issued a seq_cst fence, so this relaxed load
+  // pairs with a waiter's seq_cst registration: one side always sees the
+  // other (lost-wakeup-free), and with no waiter the mutex is never touched.
+  if (empty_waiters_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(park_mu_);
+    not_empty_.notify_one();
+  }
+}
+
+void BoundedChannel::notify_not_full() {
+  if (full_waiters_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(park_mu_);
+    not_full_.notify_one();
+  }
 }
 
 bool BoundedChannel::push(Message m) {
-  std::unique_lock lock(mu_);
-  if (ring_.full() && !aborted_) {
-    BlockedScope blocked(monitor_);
-    not_full_.wait(lock, [&] { return !ring_.full() || aborted_; });
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire)) return false;
+    const MessageKind kind = m.kind;
+    SpscRing::PushEffect effect;
+    if (ring_.try_push(std::move(m), &effect)) {
+      record_push(kind, 1, effect);
+      notify_not_empty();
+      return true;
+    }
+    // Full: park until a pop frees space or the run aborts. Registration
+    // precedes the re-check, and the fence pairs with finish_pop's fence
+    // (a seq_cst RMW alone does not order the acquire re-check under the
+    // standard's fence rules).
+    full_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (ring_.full() && !aborted_.load(std::memory_order_acquire)) {
+      std::unique_lock lock(park_mu_);
+      BlockedScope blocked(monitor_);
+      not_full_.wait(lock, [&] {
+        return !ring_.full() || aborted_.load(std::memory_order_acquire);
+      });
+    }
+    full_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
-  if (aborted_) return false;
-  record_push_locked(m);
-  ring_.push(std::move(m));
-  note_occupancy_locked();
-  if (monitor_ != nullptr) monitor_->note_progress();
-  not_empty_.notify_one();
-  return true;
 }
 
 PushResult BoundedChannel::try_push(Message&& m, bool* was_empty) {
-  std::unique_lock lock(mu_);
-  if (aborted_) return PushResult::Aborted;
-  if (ring_.full()) return PushResult::Full;
-  if (was_empty != nullptr) *was_empty = ring_.empty();
-  record_push_locked(m);
-  ring_.push(std::move(m));
-  note_occupancy_locked();
-  if (monitor_ != nullptr) monitor_->note_progress();
-  not_empty_.notify_one();
+  if (aborted_.load(std::memory_order_acquire)) return PushResult::Aborted;
+  const MessageKind kind = m.kind;
+  SpscRing::PushEffect effect;
+  if (!ring_.try_push(std::move(m), &effect)) return PushResult::Full;
+  if (was_empty != nullptr) *was_empty = effect.was_empty;
+  record_push(kind, 1, effect);
+  notify_not_empty();
   return PushResult::Ok;
 }
 
 std::size_t BoundedChannel::try_push_dummies(std::uint64_t first_seq,
                                              std::size_t count,
                                              bool* was_empty, bool* aborted) {
-  std::unique_lock lock(mu_);
-  if (aborted != nullptr) *aborted = aborted_;
-  if (aborted_) return 0;
-  if (was_empty != nullptr) *was_empty = ring_.empty();
-  const std::size_t accepted = ring_.push_dummies(first_seq, count);
+  const bool is_aborted = aborted_.load(std::memory_order_acquire);
+  if (aborted != nullptr) *aborted = is_aborted;
+  if (is_aborted) return 0;
+  SpscRing::PushEffect effect;
+  const std::size_t accepted =
+      ring_.try_push_dummies(first_seq, count, &effect);
   if (accepted == 0) return 0;
-  stats_.dummies_pushed += accepted;
-  note_occupancy_locked();
-  if (monitor_ != nullptr) monitor_->note_progress();
-  not_empty_.notify_one();
+  if (was_empty != nullptr) *was_empty = effect.was_empty;
+  record_push(MessageKind::Dummy, accepted, effect);
+  notify_not_empty();
   return accepted;
 }
 
 std::optional<HeadView> BoundedChannel::try_peek_head() const {
-  std::unique_lock lock(mu_);
-  if (ring_.empty()) return std::nullopt;
-  return ring_.head();
+  return ring_.peek_head();
 }
 
 std::optional<HeadView> BoundedChannel::peek_head_wait() {
-  std::unique_lock lock(mu_);
-  if (ring_.empty() && !aborted_) {
-    BlockedScope blocked(monitor_);
-    not_empty_.wait(lock, [&] { return !ring_.empty() || aborted_; });
+  for (;;) {
+    if (auto head = ring_.peek_head(); head.has_value()) return head;
+    if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
+    empty_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (ring_.empty() && !aborted_.load(std::memory_order_acquire)) {
+      std::unique_lock lock(park_mu_);
+      BlockedScope blocked(monitor_);
+      not_empty_.wait(lock, [&] {
+        return !ring_.empty() || aborted_.load(std::memory_order_acquire);
+      });
+    }
+    empty_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
-  if (ring_.empty()) return std::nullopt;  // only possible when aborted
-  return ring_.head();
 }
 
 std::optional<Message> BoundedChannel::try_peek() const {
-  std::unique_lock lock(mu_);
-  if (ring_.empty()) return std::nullopt;
-  return ring_.head_message();
+  return ring_.peek_message();
 }
 
 Message BoundedChannel::pop_head(bool* was_full) {
-  Message m;
-  bool full_before;
-  {
-    std::unique_lock lock(mu_);
-    SDAF_EXPECTS(!ring_.empty());
-    full_before = ring_.full();
-    m = ring_.pop_head();
-    if (monitor_ != nullptr) monitor_->note_progress();
-    not_full_.notify_one();
-  }
+  SpscRing::PopEffect effect;
+  Message m = ring_.pop_head(&effect);
+  if (monitor_ != nullptr) monitor_->note_progress();
+  notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();
-  if (was_full != nullptr) *was_full = full_before;
+  if (was_full != nullptr) *was_full = effect.was_full;
   return m;
 }
 
 bool BoundedChannel::pop() {
-  bool was_full;
-  {
-    std::unique_lock lock(mu_);
-    SDAF_EXPECTS(!ring_.empty());
-    was_full = ring_.full();
-    ring_.pop();
-    if (monitor_ != nullptr) monitor_->note_progress();
-    not_full_.notify_one();
-  }
+  SpscRing::PopEffect effect;
+  ring_.pop(&effect);
+  if (monitor_ != nullptr) monitor_->note_progress();
+  notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();
-  return was_full;
+  return effect.was_full;
 }
 
 BoundedChannel::PopRun BoundedChannel::pop_dummies(std::size_t count) {
+  SpscRing::PopEffect effect;
   PopRun result;
-  {
-    std::unique_lock lock(mu_);
-    result.was_full = ring_.full();
-    result.popped = ring_.pop_dummies(count);
-    if (result.popped == 0) return result;
-    if (monitor_ != nullptr) monitor_->note_progress();
-    not_full_.notify_one();
-  }
+  result.popped = ring_.pop_dummies(count, &effect);
+  if (result.popped == 0) return result;
+  result.was_full = effect.was_full;
+  if (monitor_ != nullptr) monitor_->note_progress();
+  notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();
   return result;
 }
 
 void BoundedChannel::abort() {
+  aborted_.store(true, std::memory_order_seq_cst);
   {
-    std::unique_lock lock(mu_);
-    aborted_ = true;
+    // Take the park mutex so a waiter between its re-check and its wait
+    // cannot miss the notification.
+    std::lock_guard lock(park_mu_);
     not_full_.notify_all();
     not_empty_.notify_all();
   }
@@ -146,28 +171,21 @@ void BoundedChannel::abort() {
 }
 
 bool BoundedChannel::aborted() const {
-  std::unique_lock lock(mu_);
-  return aborted_;
+  return aborted_.load(std::memory_order_acquire);
 }
 
-bool BoundedChannel::empty() const {
-  std::unique_lock lock(mu_);
-  return ring_.empty();
-}
+bool BoundedChannel::empty() const { return ring_.empty(); }
 
-bool BoundedChannel::full() const {
-  std::unique_lock lock(mu_);
-  return ring_.full();
-}
+bool BoundedChannel::full() const { return ring_.full(); }
 
-std::size_t BoundedChannel::size() const {
-  std::unique_lock lock(mu_);
-  return ring_.size();
-}
+std::size_t BoundedChannel::size() const { return ring_.size(); }
 
 ChannelStats BoundedChannel::stats() const {
-  std::unique_lock lock(mu_);
-  return stats_;
+  ChannelStats s;
+  s.data_pushed = data_pushed_.load(std::memory_order_acquire);
+  s.dummies_pushed = dummies_pushed_.load(std::memory_order_acquire);
+  s.max_occupancy = max_occupancy_.load(std::memory_order_acquire);
+  return s;
 }
 
 }  // namespace sdaf::runtime

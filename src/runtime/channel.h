@@ -1,17 +1,31 @@
 // Bounded FIFO channel: the finite buffer of the paper's model. Exactly one
-// producer and one consumer thread per channel (the edge's endpoints).
-// Blocking operations report to the RuntimeMonitor so the watchdog can
-// certify deadlock; abort() releases all waiters, which then unwind.
+// producer and one consumer thread per channel (the edge's endpoints), which
+// is what makes the data path lock-free: all non-blocking operations ride on
+// a runtime::SpscRing (atomic head/tail counters over MessageRing-style
+// coalescing segment storage) and never take a mutex.
 //
-// Storage is a runtime::MessageRing: fixed-capacity, allocation-free after
-// construction, with consecutive dummy runs coalesced into one segment.
-// Occupancy, full() and the stats still count logical messages, so the
-// paper's buffer-size semantics (and deadlock certification) are untouched;
-// the batch operations (try_push_dummies / pop_dummies) let a run of k
-// dummies cross the channel with one lock acquisition and one wake-up
-// instead of k of each.
+// The mutex survives only for the *blocking* operations (push /
+// peek_head_wait, used by the thread-per-node backend and tests) and even
+// there only around the condition-variable park itself. Wake-ups are elided
+// with atomic waiter counts: a fast-path push or pop touches the mutex only
+// when the opposite side has registered as parked, so the hot path of the
+// pooled backend (which never blocks inside a channel) pays no notify at
+// all. The protocol is lost-wakeup-free: a waiter registers its count
+// *before* re-checking the ring, and the opposite side's counter publish
+// issues a seq_cst fence *before* reading the waiter count, so one of the
+// two always observes the other (see README "Testing" for the invariant).
+//
+// Occupancy, full() and the stats still count logical messages (a coalesced
+// run of k dummies counts k), so the paper's buffer-size semantics -- and
+// exact deadlock certification -- are untouched. Occupancy probes
+// (empty/full/size) are coherent snapshots, never torn, so the pooled
+// scheduler's park-probe protocol and the deadlock state dumps read sizes
+// that actually existed. Blocking operations report to the RuntimeMonitor
+// so the watchdog can certify deadlock; abort() releases all waiters, which
+// then unwind.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -19,7 +33,7 @@
 
 #include "src/runtime/deadlock_detector.h"
 #include "src/runtime/message.h"
-#include "src/runtime/message_ring.h"
+#include "src/runtime/spsc_ring.h"
 
 namespace sdaf::runtime {
 
@@ -33,20 +47,29 @@ struct ChannelStats {
 // outputs are delivered per-channel asynchronously (whatever fits goes out;
 // the rest is retried), so a producer blocked on one full channel must wake
 // when *any* of its channels frees space. The version counter closes the
-// check-then-wait race.
+// check-then-wait race; the waiter count elides the mutex+notify on pops
+// when the producer is not parked (the common case).
 struct ProducerSignal {
   std::mutex mu;
   std::condition_variable cv;
-  std::uint64_t version = 0;
-  bool aborted = false;
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<bool> aborted{false};
+  std::atomic<int> waiters{0};
 
+  // Wake-elision contract: a waiter must (1) capture `version`, (2)
+  // register in `waiters` with a seq_cst RMW, (3) re-check for progress,
+  // and only then wait for `version` to move. bump() publishes the version
+  // before reading `waiters` across a seq_cst fence, so either the bump
+  // sees the registered waiter (and notifies under mu), or the waiter's
+  // re-check runs after the pop that bumped -- never both miss.
   void bump(bool abort_flag = false) {
-    {
+    if (abort_flag) aborted.store(true, std::memory_order_release);
+    version.fetch_add(1, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters.load(std::memory_order_relaxed) > 0) {
       std::lock_guard lock(mu);
-      ++version;
-      if (abort_flag) aborted = true;
+      cv.notify_all();
     }
-    cv.notify_all();
   }
 };
 
@@ -62,11 +85,13 @@ class BoundedChannel {
   // Non-blocking push used by the per-channel-asynchronous emission path;
   // consumes `m` only on Ok. When `was_empty` is non-null it is set to
   // whether the push made the channel transition empty -> non-empty (the
-  // edge a pooled scheduler must turn into a consumer wake-up).
+  // edge a pooled scheduler must turn into a consumer wake-up; may be
+  // spuriously true under concurrency, never falsely false for a parked
+  // consumer).
   [[nodiscard]] PushResult try_push(Message&& m, bool* was_empty = nullptr);
 
   // Non-blocking batch push of up to `count` dummies first_seq,
-  // first_seq+1, ...: one lock, one coalesced segment, one notify. Returns
+  // first_seq+1, ...: one coalesced segment, one (elidable) wake. Returns
   // how many were accepted (0 when full or aborted); `aborted` reports the
   // abort case so a caller can distinguish it from a full channel.
   [[nodiscard]] std::size_t try_push_dummies(std::uint64_t first_seq,
@@ -74,7 +99,8 @@ class BoundedChannel {
                                              bool* was_empty = nullptr,
                                              bool* aborted = nullptr);
 
-  // Payload-free head views -- alignment never copies a payload.
+  // Payload-free head views -- alignment never copies a payload. Consumer
+  // side only.
   // try_peek_head: empty when the channel holds no messages (never blocks,
   // never reports to the monitor -- the caller parks instead).
   // peek_head_wait: blocks while empty; empty optional iff aborted.
@@ -86,19 +112,19 @@ class BoundedChannel {
   // unwinding).
   [[nodiscard]] std::optional<Message> try_peek() const;
 
-  // Removes the head and returns it in one critical section (no
-  // peek-then-pop double copy). Precondition: a preceding peek by the
-  // (single) consumer observed a head. `was_full` reports whether the
-  // channel was full before the pop (the edge a pooled scheduler must turn
-  // into a producer wake-up).
+  // Removes the head and returns it (payload moved out, no copy).
+  // Precondition: a preceding peek by the (single) consumer observed a
+  // head. `was_full` reports whether the channel was full before the pop
+  // (the edge a pooled scheduler must turn into a producer wake-up; may be
+  // spuriously true, never falsely false for a parked producer).
   [[nodiscard]] Message pop_head(bool* was_full = nullptr);
 
   // Removes the head, discarding it. Precondition: as for pop_head.
   // Returns whether the channel was full before the pop.
   bool pop();
 
-  // Removes up to `count` dummies from the head run in one critical
-  // section with one producer wake-up. Returns {popped, was_full}.
+  // Removes up to `count` dummies from the head run with one producer
+  // wake-up. Returns {popped, was_full}.
   struct PopRun {
     std::size_t popped = 0;
     bool was_full = false;
@@ -112,8 +138,9 @@ class BoundedChannel {
   void abort();
   [[nodiscard]] bool aborted() const;
 
-  // Instantaneous occupancy tests (non-blocking; for scheduler probes).
-  // All logical-message counts: a coalesced run of k dummies counts k.
+  // Instantaneous occupancy tests (non-blocking, any thread; coherent
+  // snapshots -- for scheduler probes and state dumps). All logical-message
+  // counts: a coalesced run of k dummies counts k.
   [[nodiscard]] bool empty() const;
   [[nodiscard]] bool full() const;
   [[nodiscard]] std::size_t size() const;
@@ -122,17 +149,32 @@ class BoundedChannel {
   [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
 
  private:
-  void note_occupancy_locked();
-  void record_push_locked(const Message& m);
+  void record_push(MessageKind kind, std::size_t count,
+                   const SpscRing::PushEffect& effect);
+  void notify_not_empty();
+  void notify_not_full();
 
   RuntimeMonitor* monitor_;
   ProducerSignal* producer_signal_ = nullptr;
-  mutable std::mutex mu_;
+  // mutable: const peeks are consumer-side operations that may advance the
+  // ring's consumer cursor past exhausted segments.
+  mutable SpscRing ring_;
+  std::atomic<bool> aborted_{false};
+
+  // Stats are producer-written atomics so probes and state dumps read them
+  // without tearing. Push counters are exact at quiescence; max_occupancy
+  // is a conservative high-water mark (exact when pushes and pops do not
+  // race; never misses a genuine peak -- see SpscRing::PushEffect).
+  std::atomic<std::uint64_t> data_pushed_{0};
+  std::atomic<std::uint64_t> dummies_pushed_{0};
+  std::atomic<std::int64_t> max_occupancy_{0};
+
+  // Slow path only: the mutex guards nothing but the condition variables.
+  mutable std::mutex park_mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  MessageRing ring_;
-  bool aborted_ = false;
-  ChannelStats stats_;
+  std::atomic<int> full_waiters_{0};
+  std::atomic<int> empty_waiters_{0};
 };
 
 }  // namespace sdaf::runtime

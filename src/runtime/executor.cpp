@@ -46,26 +46,32 @@ class NodeRunner final : private exec::DeliverySink {
       if (core_.done() || aborted_ || core_.aborted()) return;
       // step() made no progress and the run is live, so pending messages
       // remain for full channels (an empty input would have blocked inside
-      // peek_head_wait instead). Wait for any output channel to free space;
-      // the version counter closes the race with a pop that lands between
-      // the failed pushes and the wait.
-      std::uint64_t version;
-      {
-        std::lock_guard lock(signal_.mu);
-        if (signal_.aborted) return;
-        version = signal_.version;
-      }
-      if (core_.step()) continue;  // a pop raced ahead of the capture
-      if (core_.done() || aborted_ || core_.aborted()) return;
-      std::unique_lock lock(signal_.mu);
-      if (signal_.aborted) return;
-      if (signal_.version == version) {
+      // peek_head_wait instead). Wait for any output channel to free space.
+      // Wake-elision protocol (see ProducerSignal::bump): capture the
+      // version, register as a waiter, then re-check -- a pop that lands
+      // after the capture either moves the version (so the wait predicate
+      // is already true) or sees our registration and notifies.
+      const std::uint64_t version =
+          signal_.version.load(std::memory_order_acquire);
+      signal_.waiters.fetch_add(1, std::memory_order_seq_cst);
+      // Pairs with the fence in ProducerSignal::bump: the registration RMW
+      // alone does not order the re-check's acquire loads.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const bool progressed = core_.step();
+      if (!progressed && !core_.done() && !aborted_ && !core_.aborted() &&
+          !signal_.aborted.load(std::memory_order_acquire)) {
+        std::unique_lock lock(signal_.mu);
         BlockedScope blocked(monitor_);
         signal_.cv.wait(lock, [&] {
-          return signal_.version != version || signal_.aborted;
+          return signal_.version.load(std::memory_order_acquire) != version ||
+                 signal_.aborted.load(std::memory_order_acquire);
         });
       }
-      if (signal_.aborted) return;
+      signal_.waiters.fetch_sub(1, std::memory_order_relaxed);
+      if (progressed) continue;
+      if (core_.done() || aborted_ || core_.aborted() ||
+          signal_.aborted.load(std::memory_order_acquire))
+        return;
     }
   }
 

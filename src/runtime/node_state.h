@@ -55,9 +55,13 @@ class NodeState final : private exec::DeliverySink {
   // to capture *why* the node is stuck, publishes it, parks, and then calls
   // probe(summary) to close the race with a wake that slipped between the
   // last unproductive step and the park. probe() reads only immutable
-  // members and channel occupancy (under the channel locks), so it is safe
-  // to call after ownership has been lost; a stale verdict is handled by
-  // the caller (it re-acquires the node or defers to whoever queued it).
+  // members and coherent channel-occupancy snapshots, so it is safe to
+  // call after ownership has been lost; a stale verdict is handled by the
+  // caller (it re-acquires the node or defers to whoever queued it).
+  // The probe must run after the park transition's seq_cst RMW: that RMW
+  // pairs with the seq_cst fence a channel peer issues between publishing
+  // its counter and deciding whether to wake us, which is what makes the
+  // lock-free channel's elided wake-ups lost-wakeup-free.
   [[nodiscard]] std::uint64_t park_summary() const {
     return core_.park_summary();
   }

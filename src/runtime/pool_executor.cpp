@@ -338,6 +338,16 @@ void PoolExecutor::run_task(NodeTask* task) {
     // concurrent wake has already queued it and responsibility moved on.
     // A newer owner overwriting park_summary is benign for the same
     // reason: its own park runs this protocol again.
+    // Quiescence stays exact with the lock-free SPSC channels: the park
+    // CAS above is a seq_cst RMW, and every channel peer issues a seq_cst
+    // fence between publishing its pushed/popped counter and checking
+    // whether to wake us -- so either the peer saw the transition and
+    // re-queues this task (keeping `active` nonzero), or this probe sees
+    // the peer's counter and reclaims. No third outcome exists, so when
+    // `active` hits zero no wake can be in flight. The explicit fence
+    // completes the pairing: the park CAS's seq_cst RMW alone does not
+    // order the probe's acquire loads under the standard's fence rules.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (node.probe(task->park_summary.load(std::memory_order_acquire))) {
       expected = kIdle;
       if (task->sched.compare_exchange_strong(expected, kRunning)) continue;

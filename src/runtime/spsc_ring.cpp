@@ -1,0 +1,224 @@
+#include "src/runtime/spsc_ring.h"
+
+#include <algorithm>
+
+#include "src/support/contracts.h"
+
+namespace sdaf::runtime {
+
+SpscRing::SpscRing(std::size_t capacity)
+    : capacity_(capacity), segs_(capacity) {
+  SDAF_EXPECTS(capacity >= 1);
+}
+
+void SpscRing::publish(std::size_t count, PushEffect* effect) {
+  const std::uint64_t before = p_.pushed;
+  // Sampled just before the publish so the occupancy high-water is exact
+  // when un-raced and can only over-report (never miss) a concurrent peak
+  // -- a pop landing inside the publish window must not hide saturation.
+  const std::uint64_t popped_pre = popped_.load(std::memory_order_acquire);
+  p_.pushed += count;
+  pushed_.store(p_.pushed, std::memory_order_release);
+  // Dekker pairing with the consumer's park protocol: after publishing,
+  // re-read popped_ across a seq_cst fence. Either this read observes the
+  // consumer's final pops (so was_empty correctly reports the transition
+  // and the caller wakes it), or the consumer's post-park probe -- which
+  // reads pushed_ after its own seq_cst park RMW -- observes this push.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // acquire, not relaxed: this value becomes popped_cache, which later
+  // justifies reusing a slot without re-reading popped_ -- so it must carry
+  // the happens-before edge to the consumer's last writes to that slot.
+  const std::uint64_t popped_now = popped_.load(std::memory_order_acquire);
+  p_.popped_cache = popped_now;
+  if (effect != nullptr) {
+    // popped_now > before means the consumer already consumed part of this
+    // very push: it is certainly awake, so the wake-up may be elided.
+    effect->was_empty = popped_now >= before;
+    effect->occupancy = static_cast<std::size_t>(p_.pushed - popped_pre);
+  }
+}
+
+bool SpscRing::try_push(Message&& m, PushEffect* effect) {
+  if (p_.pushed - p_.popped_cache >= capacity_) {
+    p_.popped_cache = popped_.load(std::memory_order_acquire);
+    if (p_.pushed - p_.popped_cache >= capacity_) return false;
+  }
+  if (m.kind == MessageKind::Dummy && p_.segs > 0 && p_.tail_is_dummy &&
+      p_.tail_base_seq + p_.tail_run == m.seq && p_.tail_run < kRunLimit) {
+    Segment& t = slot(p_.segs - 1);
+    std::uint32_t expected = p_.tail_run;
+    if (t.run.compare_exchange_strong(expected, p_.tail_run + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      ++p_.tail_run;
+      publish(1, effect);
+      return true;
+    }
+    // The consumer sealed the (fully consumed) tail; fresh segment below.
+  }
+  Segment& s = slot(p_.segs);
+  p_.tail_is_dummy = m.kind == MessageKind::Dummy;
+  p_.tail_base_seq = m.seq;
+  p_.tail_run = 1;
+  s.msg = std::move(m);
+  s.run.store(1, std::memory_order_relaxed);  // ordered by publish()'s release
+  ++p_.segs;
+  publish(1, effect);
+  return true;
+}
+
+std::size_t SpscRing::try_push_dummies(std::uint64_t first_seq,
+                                       std::size_t count, PushEffect* effect) {
+  if (count == 0) return 0;
+  std::uint64_t space = capacity_ - (p_.pushed - p_.popped_cache);
+  if (space < count) {
+    p_.popped_cache = popped_.load(std::memory_order_acquire);
+    space = capacity_ - (p_.pushed - p_.popped_cache);
+  }
+  const std::size_t accepted =
+      std::min<std::uint64_t>(count, space);
+  if (accepted == 0) return 0;
+  if (p_.segs > 0 && p_.tail_is_dummy &&
+      p_.tail_base_seq + p_.tail_run == first_seq &&
+      p_.tail_run + accepted < kRunLimit) {
+    Segment& t = slot(p_.segs - 1);
+    std::uint32_t expected = p_.tail_run;
+    if (t.run.compare_exchange_strong(
+            expected, p_.tail_run + static_cast<std::uint32_t>(accepted),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      p_.tail_run += static_cast<std::uint32_t>(accepted);
+      publish(accepted, effect);
+      return accepted;
+    }
+  }
+  Segment& s = slot(p_.segs);
+  p_.tail_is_dummy = true;
+  p_.tail_base_seq = first_seq;
+  p_.tail_run = static_cast<std::uint32_t>(accepted);
+  s.msg = Message::dummy(first_seq);
+  s.run.store(static_cast<std::uint32_t>(accepted), std::memory_order_relaxed);
+  ++p_.segs;
+  publish(accepted, effect);
+  return accepted;
+}
+
+std::optional<HeadView> SpscRing::peek_head() {
+  if (c_.pushed_cache == c_.popped) {
+    c_.pushed_cache = pushed_.load(std::memory_order_acquire);
+    if (c_.pushed_cache == c_.popped) return std::nullopt;
+  }
+  // Unconsumed messages exist, so the loop terminates: each round either
+  // returns a head, retires an exhausted segment (the next one is already
+  // published -- it holds the unconsumed messages), or observes the
+  // producer's concurrent run extension.
+  for (;;) {
+    Segment& s = slot(c_.segs);
+    std::uint32_t run = s.run.load(std::memory_order_acquire);
+    if (c_.consumed < run) {
+      if (s.msg.kind == MessageKind::Dummy)
+        return HeadView{s.msg.seq + c_.consumed, MessageKind::Dummy,
+                        run - c_.consumed};
+      return HeadView{s.msg.seq, s.msg.kind, 1};
+    }
+    // Exhausted head: seal it so the producer can never extend it, then
+    // retire. A failed seal means the producer just extended the run.
+    if (s.run.compare_exchange_strong(run, run | kSealed,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      ++c_.segs;
+      c_.consumed = 0;
+    }
+  }
+}
+
+std::optional<Message> SpscRing::peek_message() {
+  const auto head = peek_head();
+  if (!head.has_value()) return std::nullopt;
+  if (head->kind == MessageKind::Dummy) return Message::dummy(head->seq);
+  return slot(c_.segs).msg;  // deep copy, dumps/tests only
+}
+
+Message SpscRing::pop_head(PopEffect* effect) {
+  Segment& s = slot(c_.segs);
+  SDAF_EXPECTS(c_.consumed < s.run.load(std::memory_order_acquire));
+  Message m;
+  if (s.msg.kind == MessageKind::Dummy) {
+    m = Message::dummy(s.msg.seq + c_.consumed);
+  } else {
+    m = std::move(s.msg);
+  }
+  ++c_.consumed;
+  finish_pop(s, 1, effect);
+  return m;
+}
+
+void SpscRing::pop(PopEffect* effect) {
+  Segment& s = slot(c_.segs);
+  SDAF_EXPECTS(c_.consumed < s.run.load(std::memory_order_acquire));
+  if (s.msg.kind != MessageKind::Dummy) s.msg.payload = Value{};
+  ++c_.consumed;
+  finish_pop(s, 1, effect);
+}
+
+std::size_t SpscRing::pop_dummies(std::size_t count, PopEffect* effect) {
+  if (count == 0) return 0;
+  const auto head = peek_head();
+  if (!head.has_value() || head->kind != MessageKind::Dummy) return 0;
+  const std::size_t popped = std::min<std::size_t>(count, head->run);
+  Segment& s = slot(c_.segs);
+  c_.consumed += static_cast<std::uint32_t>(popped);
+  finish_pop(s, popped, effect);
+  return popped;
+}
+
+void SpscRing::finish_pop(Segment& s, std::size_t count, PopEffect* effect) {
+  // Retire the head if this pop exhausted it, *before* publishing the pop:
+  // the producer's slot-reuse argument needs "every unretired segment still
+  // holds an unconsumed message" to hold whenever it acquires popped_.
+  std::uint32_t run = s.run.load(std::memory_order_acquire);
+  if (c_.consumed == run) {
+    if (s.run.compare_exchange_strong(run, run | kSealed,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      ++c_.segs;
+      c_.consumed = 0;
+    }
+    // Seal failure: the producer extended the run; the segment stays head.
+  }
+  const std::uint64_t before = c_.popped;
+  c_.popped += count;
+  popped_.store(c_.popped, std::memory_order_release);
+  // Dekker pairing with the producer's waiter registration / park probe
+  // (mirror image of publish()).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // acquire, not relaxed: this value becomes pushed_cache, which later lets
+  // peek_head skip its own acquire reload -- so it must carry the
+  // happens-before edge to the producer's segment writes.
+  const std::uint64_t pushed_now = pushed_.load(std::memory_order_acquire);
+  if (pushed_now > c_.pushed_cache) c_.pushed_cache = pushed_now;
+  if (effect != nullptr) {
+    // Reads >= capacity for every genuinely-full-before pop; concurrent
+    // pushes can make it spuriously true (a harmless extra wake), never
+    // falsely false for a parked producer.
+    effect->was_full = pushed_now - before >= capacity_;
+  }
+}
+
+std::size_t SpscRing::size() const {
+  // Coherent snapshot: retry until popped_ is stable around the pushed_
+  // read. pushed - popped is then a logical size that actually existed and
+  // is bounded by capacity (the producer's full-check guarantees pushed
+  // never exceeds any concurrently-readable popped by more than capacity).
+  std::uint64_t p0 = popped_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+    const std::uint64_t p1 = popped_.load(std::memory_order_acquire);
+    if (p0 == p1) {
+      SDAF_ASSERT(pushed >= p0 && pushed - p0 <= capacity_);
+      return static_cast<std::size_t>(pushed - p0);
+    }
+    p0 = p1;
+  }
+}
+
+}  // namespace sdaf::runtime

@@ -1,0 +1,315 @@
+#include "tests/harness/stress_harness.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/compile.h"
+#include "src/exec/session.h"
+#include "src/runtime/pool_executor.h"
+#include "src/support/contracts.h"
+#include "src/support/timer.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/random_ladder.h"
+#include "src/workloads/random_sp.h"
+#include "src/workloads/topologies.h"
+
+namespace sdaf::harness {
+
+using runtime::DummyMode;
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::Sp:
+      return "sp";
+    case Topology::Ladder:
+      return "ladder";
+    case Topology::Triangle:
+      return "triangle";
+    case Topology::Continuation:
+      return "continuation";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<Topology> topology_from_string(const std::string& s) {
+  for (const Topology t : {Topology::Sp, Topology::Ladder, Topology::Triangle,
+                           Topology::Continuation})
+    if (s == to_string(t)) return t;
+  return std::nullopt;
+}
+
+const char* mode_name(DummyMode m) {
+  switch (m) {
+    case DummyMode::Propagation:
+      return "prop";
+    case DummyMode::NonPropagation:
+      return "nonprop";
+    case DummyMode::None:
+      return "none";
+  }
+  return "?";
+}
+
+std::optional<DummyMode> mode_from_string(const std::string& s) {
+  for (const DummyMode m :
+       {DummyMode::Propagation, DummyMode::NonPropagation, DummyMode::None})
+    if (s == mode_name(m)) return m;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_string(const CaseSpec& spec) {
+  char pass[64];
+  std::snprintf(pass, sizeof(pass), "%.17g", spec.pass_rate);
+  std::ostringstream out;
+  out << "topo=" << to_string(spec.topology) << " seed=" << spec.seed
+      << " inputs=" << spec.num_inputs << " pass=" << pass
+      << " mode=" << mode_name(spec.mode) << " batch=" << spec.batch;
+  return out.str();
+}
+
+std::optional<CaseSpec> parse_case(const std::string& line) {
+  CaseSpec spec;
+  std::istringstream in(line);
+  std::string token;
+  bool saw_topo = false;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "topo") {
+        const auto t = topology_from_string(value);
+        if (!t.has_value()) return std::nullopt;
+        spec.topology = *t;
+        saw_topo = true;
+      } else if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "inputs") {
+        spec.num_inputs = std::stoull(value);
+      } else if (key == "pass") {
+        spec.pass_rate = std::stod(value);
+      } else if (key == "mode") {
+        const auto m = mode_from_string(value);
+        if (!m.has_value()) return std::nullopt;
+        spec.mode = *m;
+      } else if (key == "batch") {
+        spec.batch = static_cast<std::uint32_t>(std::stoul(value));
+      } else {
+        return std::nullopt;
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (!saw_topo) return std::nullopt;
+  return spec;
+}
+
+std::string repro_command(const CaseSpec& spec) {
+  return "SDAF_HARNESS_REPRO='" + to_string(spec) +
+         "' ./test_harness_stress --gtest_filter=HarnessStress.ReproFromEnv";
+}
+
+StreamGraph build_topology(const CaseSpec& spec) {
+  Prng rng(spec.seed);
+  switch (spec.topology) {
+    case Topology::Sp: {
+      workloads::RandomSpOptions opt;
+      opt.target_edges = 4 + static_cast<std::size_t>(rng.next_below(16));
+      opt.max_buffer = 1 + static_cast<std::int64_t>(rng.next_below(6));
+      return workloads::random_sp(rng, opt).graph;
+    }
+    case Topology::Ladder: {
+      workloads::RandomLadderOptions opt;
+      opt.rungs = 1 + static_cast<std::size_t>(rng.next_below(3));
+      opt.left_interior = 1 + static_cast<std::size_t>(rng.next_below(4));
+      opt.right_interior = 1 + static_cast<std::size_t>(rng.next_below(4));
+      opt.component_edges = 1 + static_cast<std::size_t>(rng.next_below(3));
+      opt.max_buffer = 1 + static_cast<std::int64_t>(rng.next_below(6));
+      return workloads::random_ladder(rng, opt);
+    }
+    case Topology::Triangle:
+      return workloads::fig2_triangle(
+          1 + static_cast<std::int64_t>(rng.next_below(3)),
+          1 + static_cast<std::int64_t>(rng.next_below(3)),
+          1 + static_cast<std::int64_t>(rng.next_below(3)));
+    case Topology::Continuation:
+      return workloads::continuation_ladder(
+          1 + static_cast<std::size_t>(rng.next_below(4)),
+          /*fat=*/8 + static_cast<std::int64_t>(rng.next_below(57)),
+          /*tight=*/1);
+  }
+  SDAF_ASSERT(false);
+  return {};
+}
+
+std::vector<std::shared_ptr<runtime::Kernel>> build_kernels(
+    const StreamGraph& g, const CaseSpec& spec) {
+  if (spec.topology == Topology::Triangle) {
+    // The Fig. 2 wedge driver: the source filters everything on the long
+    // path for the whole run, so without avoidance the triangle deadlocks
+    // once the direct edge fills.
+    std::vector<std::shared_ptr<runtime::Kernel>> kernels;
+    kernels.push_back(std::make_shared<runtime::RelayKernel>(
+        workloads::adversarial_prefix_filter(1, spec.num_inputs)));
+    kernels.push_back(runtime::pass_through_kernel());
+    kernels.push_back(runtime::pass_through_kernel());
+    return kernels;
+  }
+  return workloads::relay_kernels(g, spec.pass_rate, spec.seed);
+}
+
+namespace {
+
+exec::RunSpec make_run_spec(const StreamGraph& g, const CaseSpec& spec) {
+  exec::RunSpec rs;
+  rs.mode = spec.mode;
+  rs.num_inputs = spec.num_inputs;
+  rs.batch = spec.batch;
+  rs.pool_workers = 2;
+  if (spec.mode != DummyMode::None) {
+    core::CompileOptions copt;
+    copt.algorithm = spec.mode == DummyMode::Propagation
+                         ? core::Algorithm::Propagation
+                         : core::Algorithm::NonPropagation;
+    const auto compiled = core::compile(g, copt);
+    SDAF_EXPECTS(compiled.ok);
+    rs.apply(compiled);
+  }
+  return rs;
+}
+
+// The dump contract: emitted exactly when deadlocked, and then it names
+// edges and nodes (the pooled backend emits it at exact quiescence).
+std::optional<std::string> check_dump(const exec::RunReport& report,
+                                      const std::string& label) {
+  if (report.deadlocked) {
+    if (report.state_dump.empty())
+      return label + ": deadlocked but state_dump is empty";
+    if (report.state_dump.find("edge ") == std::string::npos ||
+        report.state_dump.find("node ") == std::string::npos)
+      return label + ": state_dump lacks edge/node lines";
+  } else if (!report.state_dump.empty()) {
+    return label + ": completed run has a non-empty state_dump";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> compare_reports(const exec::RunReport& expected,
+                                           const exec::RunReport& actual,
+                                           const std::string& label) {
+  std::ostringstream out;
+  if (expected.deadlocked != actual.deadlocked ||
+      expected.completed != actual.completed) {
+    out << label << ": verdict mismatch (reference "
+        << (expected.deadlocked ? "deadlocked" : "completed") << ", got "
+        << (actual.deadlocked ? "deadlocked" : "completed") << ")";
+    return out.str();
+  }
+  if (expected.fires != actual.fires) return label + ": fires mismatch";
+  if (expected.sink_data != actual.sink_data)
+    return label + ": sink_data mismatch";
+  if (expected.edges.size() != actual.edges.size())
+    return label + ": edge count mismatch";
+  for (std::size_t e = 0; e < expected.edges.size(); ++e) {
+    if (expected.edges[e].data != actual.edges[e].data ||
+        expected.edges[e].dummies != actual.edges[e].dummies) {
+      out << label << ": edge " << e << " traffic mismatch (reference "
+          << expected.edges[e].data << "+" << expected.edges[e].dummies
+          << "d, got " << actual.edges[e].data << "+"
+          << actual.edges[e].dummies << "d)";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+exec::RunReport run_backend(const StreamGraph& g, const CaseSpec& spec,
+                            exec::Backend backend,
+                            runtime::PoolExecutor* pool) {
+  exec::Session session(g, build_kernels(g, spec));
+  exec::RunSpec rs = make_run_spec(g, spec);
+  rs.backend = backend;
+  rs.pool = pool;
+  return session.run(rs);
+}
+
+std::optional<std::string> run_differential(const CaseSpec& spec,
+                                            runtime::PoolExecutor* pool,
+                                            bool* reference_deadlocked) {
+  const StreamGraph g = build_topology(spec);
+  exec::Session session(g, build_kernels(g, spec));
+  exec::RunSpec rs = make_run_spec(g, spec);
+  rs.pool = pool;
+
+  rs.backend = exec::Backend::Sim;
+  const exec::RunReport reference = session.run(rs);
+  if (reference_deadlocked != nullptr)
+    *reference_deadlocked = reference.deadlocked;
+  if (auto err = check_dump(reference, "sim"); err.has_value())
+    return *err + "\n  repro: " + repro_command(spec);
+
+  for (const exec::Backend backend :
+       {exec::Backend::Threaded, exec::Backend::Pooled}) {
+    rs.backend = backend;
+    const exec::RunReport report = session.run(rs);
+    const std::string label = exec::to_string(backend);
+    auto err = compare_reports(reference, report, label);
+    if (!err.has_value()) err = check_dump(report, label);
+    if (err.has_value())
+      return *err + "\n  case: " + to_string(spec) +
+             "\n  repro: " + repro_command(spec);
+  }
+  return std::nullopt;
+}
+
+CaseSpec random_case(Prng& rng) {
+  CaseSpec spec;
+  const std::uint64_t t = rng.next_below(100);
+  spec.topology = t < 40   ? Topology::Sp
+                  : t < 70 ? Topology::Ladder
+                  : t < 85 ? Topology::Triangle
+                           : Topology::Continuation;
+  spec.seed = rng.next_u64();
+  spec.num_inputs = 20 + rng.next_below(80);
+  spec.pass_rate = 0.2 + 0.8 * rng.next_double();
+  const std::uint64_t m = rng.next_below(100);
+  spec.mode = m < 40   ? DummyMode::Propagation
+              : m < 80 ? DummyMode::NonPropagation
+                       : DummyMode::None;
+  if (spec.mode == DummyMode::None) {
+    // Unprotected verdicts are only exact at message-at-a-time pacing:
+    // batch > 1 acts like extra buffering and may mask a hazard.
+    spec.batch = 1;
+  } else {
+    const std::uint32_t batches[] = {1, 7, 64};
+    spec.batch = batches[rng.next_below(3)];
+  }
+  return spec;
+}
+
+SweepResult sweep_random_cases(std::uint64_t sweep_seed, double seconds,
+                               int max_cases, runtime::PoolExecutor* pool) {
+  SweepResult result;
+  Prng rng(sweep_seed);
+  Stopwatch clock;
+  while (result.cases_run < max_cases &&
+         (result.cases_run == 0 || clock.elapsed_seconds() < seconds)) {
+    const CaseSpec spec = random_case(rng);
+    bool deadlocked = false;
+    result.failure = run_differential(spec, pool, &deadlocked);
+    if (deadlocked) ++result.deadlocks;
+    ++result.cases_run;
+    if (result.failure.has_value()) break;
+  }
+  return result;
+}
+
+}  // namespace sdaf::harness

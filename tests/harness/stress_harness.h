@@ -1,0 +1,100 @@
+// Reusable randomized stress / differential harness for the execution
+// backends. One seeded CaseSpec fully determines a workload -- topology,
+// kernels, dummy mode, firing quantum -- and the harness runs it through
+// the deterministic simulator (the reference), the thread-per-node
+// executor, and the pooled scheduler, requiring bit-identical verdicts,
+// per-edge traffic, firing counts and sink deliveries.
+//
+// On mismatch the harness reports a one-line repro command
+// (SDAF_HARNESS_REPRO='<spec>' ./test_harness_stress ...), so a failure
+// found by a time-boxed random sweep -- locally, in CI, or under TSan/ASan
+// via `tools/ci.sh --stress` -- replays as a deterministic single case.
+//
+// The library is gtest-free on purpose: tests assert on the returned
+// optional mismatch string, and tools can link it without a test driver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exec/run_types.h"
+#include "src/graph/stream_graph.h"
+#include "src/runtime/kernel.h"
+#include "src/support/prng.h"
+
+namespace sdaf::runtime {
+class PoolExecutor;
+}  // namespace sdaf::runtime
+
+namespace sdaf::harness {
+
+enum class Topology : std::uint8_t {
+  Sp,            // random series-parallel DAG (workloads::random_sp)
+  Ladder,        // random SP-ladder (workloads::random_ladder)
+  Triangle,      // Fig. 2 triangle + adversarial prefix filter (the wedge)
+  Continuation,  // dummy-dense continuation ladder (coalescing worst case)
+};
+
+[[nodiscard]] const char* to_string(Topology t);
+
+// Everything that determines one workload, bit for bit. `seed` shapes the
+// graph (buffer sizes, structure) and decorrelates the kernel filters;
+// `mode` None disables avoidance (batch is then pinned to 1 by
+// random_case -- unprotected deadlock verdicts are only exact at the
+// paper's message-at-a-time pacing).
+struct CaseSpec {
+  Topology topology = Topology::Sp;
+  std::uint64_t seed = 1;
+  std::uint64_t num_inputs = 50;
+  double pass_rate = 0.7;
+  runtime::DummyMode mode = runtime::DummyMode::Propagation;
+  std::uint32_t batch = 1;
+};
+
+// One-line `key=value ...` form; parse_case is its exact inverse.
+[[nodiscard]] std::string to_string(const CaseSpec& spec);
+[[nodiscard]] std::optional<CaseSpec> parse_case(const std::string& line);
+// Shell one-liner that replays exactly this case.
+[[nodiscard]] std::string repro_command(const CaseSpec& spec);
+
+[[nodiscard]] StreamGraph build_topology(const CaseSpec& spec);
+[[nodiscard]] std::vector<std::shared_ptr<runtime::Kernel>> build_kernels(
+    const StreamGraph& g, const CaseSpec& spec);
+
+// Runs the spec on one backend. When `pool` is null the Pooled backend uses
+// a private 2-worker pool. mode != None runs with compiled intervals.
+[[nodiscard]] exec::RunReport run_backend(const StreamGraph& g,
+                                          const CaseSpec& spec,
+                                          exec::Backend backend,
+                                          runtime::PoolExecutor* pool);
+
+// The differential check: simulator reference, then threaded and pooled
+// must match verdict, per-edge {data, dummies}, fires and sink_data -- and
+// every backend must emit a state_dump exactly when deadlocked. Returns
+// nullopt on agreement, else a mismatch description ending in the repro
+// command. `reference_deadlocked` (optional) reports the reference
+// verdict, so sweeps can tally without re-running the simulator.
+[[nodiscard]] std::optional<std::string> run_differential(
+    const CaseSpec& spec, runtime::PoolExecutor* pool,
+    bool* reference_deadlocked = nullptr);
+
+// Draws a random but replayable CaseSpec: all topologies, both dummy modes
+// plus avoidance-off, batch in {1, 7, 64} (1 when mode == None).
+[[nodiscard]] CaseSpec random_case(Prng& rng);
+
+struct SweepResult {
+  int cases_run = 0;
+  int deadlocks = 0;  // cases whose reference verdict was deadlock
+  std::optional<std::string> failure;
+};
+
+// Runs random cases derived from `sweep_seed` until `seconds` elapse or
+// `max_cases` have run; stops at the first mismatch.
+[[nodiscard]] SweepResult sweep_random_cases(std::uint64_t sweep_seed,
+                                             double seconds, int max_cases,
+                                             runtime::PoolExecutor* pool);
+
+}  // namespace sdaf::harness

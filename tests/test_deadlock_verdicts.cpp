@@ -1,0 +1,73 @@
+// Deadlock-verdict property test: for randomized topologies with avoidance
+// disabled (DummyMode::None), all three backends must agree on the
+// deadlock-vs-complete verdict, the wedged state must be unique (traffic,
+// fires and sink deliveries bit-identical -- bounded deterministic dataflow
+// has a single terminal marking), and the state_dump must be emitted at
+// exact quiescence iff the run deadlocked. This extends the Fig. 2 wedge
+// check (tests/test_session.cpp) to random SP-DAGs and SP-ladders via the
+// stress harness; any failure prints a one-line repro command.
+#include <gtest/gtest.h>
+
+#include "src/runtime/pool_executor.h"
+#include "src/support/prng.h"
+#include "tests/harness/stress_harness.h"
+
+namespace sdaf::harness {
+namespace {
+
+TEST(DeadlockVerdicts, RandomizedUnprotectedRunsAgreeOnEveryBackend) {
+  Prng rng(0xDEAD10C4);
+  runtime::PoolExecutor pool(3);
+  int deadlocks = 0;
+  int completions = 0;
+  for (int i = 0; i < 24; ++i) {
+    CaseSpec spec;
+    // Triangles are the known wedge; SP-DAGs and ladders with tight
+    // buffers and heavy filtering wedge on their own merges.
+    spec.topology = i % 4 == 0   ? Topology::Triangle
+                    : i % 2 == 0 ? Topology::Sp
+                                 : Topology::Ladder;
+    spec.seed = rng.next_u64();
+    spec.num_inputs = 30 + rng.next_below(50);
+    // Alternate heavy and light filtering so the sweep sees both verdicts
+    // (tight buffers wedge under almost any filtering).
+    spec.pass_rate = i % 2 == 0 ? 0.15 + 0.4 * rng.next_double()
+                                : 0.85 + 0.15 * rng.next_double();
+    spec.mode = runtime::DummyMode::None;  // avoidance off
+    spec.batch = 1;  // unprotected verdicts are only exact at paper pacing
+    bool deadlocked = false;
+    const auto failure = run_differential(spec, &pool, &deadlocked);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+    if (deadlocked)
+      ++deadlocks;
+    else
+      ++completions;
+  }
+  // The sweep must exercise both verdicts, or it proves nothing.
+  EXPECT_GE(deadlocks, 3) << "sweep found too few deadlocks";
+  EXPECT_GE(completions, 3) << "sweep found too few completions";
+}
+
+TEST(DeadlockVerdicts, ProtectedRunsNeverDeadlock) {
+  // The same tight-buffer workloads with compiled intervals armed must
+  // complete on every backend (the paper's guarantee), still bit-identical.
+  Prng rng(0x5AFE);
+  runtime::PoolExecutor pool(3);
+  for (int i = 0; i < 8; ++i) {
+    CaseSpec spec;
+    spec.topology = i % 2 == 0 ? Topology::Sp : Topology::Ladder;
+    spec.seed = rng.next_u64();
+    spec.num_inputs = 30 + rng.next_below(50);
+    spec.pass_rate = 0.15 + 0.5 * rng.next_double();
+    spec.mode = i % 4 < 2 ? runtime::DummyMode::Propagation
+                          : runtime::DummyMode::NonPropagation;
+    spec.batch = 1;
+    bool deadlocked = true;
+    const auto failure = run_differential(spec, &pool, &deadlocked);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+    EXPECT_FALSE(deadlocked) << to_string(spec);
+  }
+}
+
+}  // namespace
+}  // namespace sdaf::harness

@@ -1,0 +1,84 @@
+// Driver for the randomized stress / differential harness
+// (tests/harness/stress_harness.h). Three entry points:
+//
+//   - ReproFromEnv: replays exactly one case from SDAF_HARNESS_REPRO
+//     (the one-line spec the harness prints on mismatch).
+//   - TimeBoxedRandomSweep: runs random cases for SDAF_STRESS_SECONDS
+//     (default ~2s, so plain ctest stays fast; tools/ci.sh --stress raises
+//     it under TSan/ASan) with SDAF_STRESS_SEED steering the sweep.
+//   - SpecRoundTrip / named topology smokes: keep the repro format and
+//     every topology generator honest.
+#include "tests/harness/stress_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/runtime/pool_executor.h"
+
+namespace sdaf::harness {
+namespace {
+
+TEST(HarnessStress, SpecRoundTrip) {
+  Prng rng(0xF00D);
+  for (int i = 0; i < 200; ++i) {
+    const CaseSpec spec = random_case(rng);
+    const auto parsed = parse_case(to_string(spec));
+    ASSERT_TRUE(parsed.has_value()) << to_string(spec);
+    EXPECT_EQ(parsed->topology, spec.topology);
+    EXPECT_EQ(parsed->seed, spec.seed);
+    EXPECT_EQ(parsed->num_inputs, spec.num_inputs);
+    EXPECT_EQ(parsed->pass_rate, spec.pass_rate);  // %.17g round-trips
+    EXPECT_EQ(parsed->mode, spec.mode);
+    EXPECT_EQ(parsed->batch, spec.batch);
+  }
+  EXPECT_FALSE(parse_case("nonsense").has_value());
+  EXPECT_FALSE(parse_case("topo=warp seed=1").has_value());
+}
+
+TEST(HarnessStress, EveryTopologyRunsDifferentially) {
+  runtime::PoolExecutor pool(2);
+  for (const Topology topo : {Topology::Sp, Topology::Ladder,
+                              Topology::Triangle, Topology::Continuation}) {
+    CaseSpec spec;
+    spec.topology = topo;
+    spec.seed = 0xBA5E + static_cast<std::uint64_t>(topo);
+    spec.num_inputs = 40;
+    spec.pass_rate = 0.5;
+    spec.mode = runtime::DummyMode::Propagation;
+    spec.batch = 7;
+    const auto failure = run_differential(spec, &pool);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
+TEST(HarnessStress, ReproFromEnv) {
+  const char* line = std::getenv("SDAF_HARNESS_REPRO");
+  if (line == nullptr) {
+    GTEST_SKIP() << "SDAF_HARNESS_REPRO not set";
+  }
+  const auto spec = parse_case(line);
+  ASSERT_TRUE(spec.has_value()) << "unparseable spec: " << line;
+  runtime::PoolExecutor pool(2);
+  const auto failure = run_differential(*spec, &pool);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(HarnessStress, TimeBoxedRandomSweep) {
+  double seconds = 2.0;
+  if (const char* env = std::getenv("SDAF_STRESS_SECONDS"))
+    seconds = std::strtod(env, nullptr);
+  std::uint64_t seed = 0x5EED;
+  if (const char* env = std::getenv("SDAF_STRESS_SEED"))
+    seed = std::strtoull(env, nullptr, 0);
+  runtime::PoolExecutor pool(3);
+  const SweepResult result = sweep_random_cases(
+      seed, seconds, /*max_cases=*/1000000, &pool);
+  EXPECT_FALSE(result.failure.has_value()) << *result.failure;
+  EXPECT_GE(result.cases_run, 1);
+  RecordProperty("cases_run", result.cases_run);
+  RecordProperty("deadlocks", result.deadlocks);
+}
+
+}  // namespace
+}  // namespace sdaf::harness

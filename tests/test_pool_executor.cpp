@@ -7,8 +7,8 @@
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/random_ladder.h"
-#include "src/workloads/random_sp.h"
 #include "src/workloads/topologies.h"
+#include "tests/harness/stress_harness.h"
 
 namespace sdaf::runtime {
 namespace {
@@ -156,61 +156,29 @@ TEST(PoolExecutor, Fig2SafeWithCompiledIntervalsBothModes) {
   }
 }
 
-// Runs one random graph in both dummy algorithms with compiled intervals,
-// checking the pool (and optionally the threaded executor) against the
-// simulator.
-void run_both_modes(PoolExecutor& pool, const StreamGraph& g, Prng& rng,
-                    int& cases, bool against_executor) {
-  const std::uint64_t num_inputs = 40 + rng.next_below(60);
-  const double pass_rate = 0.3 + 0.7 * rng.next_double();
-  const std::uint64_t seed = rng.next_u64();
-  for (const auto algorithm :
-       {core::Algorithm::Propagation, core::Algorithm::NonPropagation}) {
-    core::CompileOptions copt;
-    copt.algorithm = algorithm;
-    const auto compiled = core::compile(g, copt);
-    ASSERT_TRUE(compiled.ok) << compiled.diagnostics;
-    ParityCase c{g,
-                 algorithm == core::Algorithm::Propagation
-                     ? DummyMode::Propagation
-                     : DummyMode::NonPropagation,
-                 compiled.integer_intervals(core::Rounding::Floor),
-                 {},
-                 num_inputs,
-                 pass_rate,
-                 seed};
-    if (algorithm == core::Algorithm::Propagation)
-      c.forward_on_filter = compiled.forward_on_filter();
-    check_pool_parity(pool, c,
-                      "case " + std::to_string(cases) + " mode " +
-                          std::string(core::to_string(algorithm)),
-                      against_executor);
-    ++cases;
-  }
-}
-
 TEST(PoolExecutor, RandomizedParityWithSimulatorBothModes) {
   // >= 100 randomized workloads x both dummy algorithms, bit-identical
-  // against sim::simulate. SP-DAGs and SP-ladders, random filtering.
+  // against the simulator (and the threaded executor -- the harness always
+  // runs all three). SP-DAGs and SP-ladders, random filtering; ported onto
+  // the stress harness, which prints a one-line repro on mismatch.
   Prng rng(0x9A417EE5);
   PoolExecutor pool(3);
   int cases = 0;
-  for (int i = 0; i < 30; ++i) {
-    workloads::RandomSpOptions opt;
-    opt.target_edges = 4 + static_cast<std::size_t>(rng.next_below(20));
-    opt.max_buffer = 1 + static_cast<std::int64_t>(rng.next_below(6));
-    const auto built = workloads::random_sp(rng, opt);
-    run_both_modes(pool, built.graph, rng, cases, i < 8);
-  }
-  for (int i = 0; i < 25; ++i) {
-    workloads::RandomLadderOptions opt;
-    opt.rungs = 1 + static_cast<std::size_t>(rng.next_below(4));
-    opt.left_interior = 1 + static_cast<std::size_t>(rng.next_below(4));
-    opt.right_interior = 1 + static_cast<std::size_t>(rng.next_below(4));
-    opt.component_edges = 1 + static_cast<std::size_t>(rng.next_below(3));
-    opt.max_buffer = 1 + static_cast<std::int64_t>(rng.next_below(6));
-    const StreamGraph g = workloads::random_ladder(rng, opt);
-    run_both_modes(pool, g, rng, cases, i < 8);
+  for (int i = 0; i < 55; ++i) {
+    for (const auto mode :
+         {DummyMode::Propagation, DummyMode::NonPropagation}) {
+      harness::CaseSpec spec;
+      spec.topology =
+          i < 30 ? harness::Topology::Sp : harness::Topology::Ladder;
+      spec.seed = rng.next_u64();
+      spec.num_inputs = 40 + rng.next_below(60);
+      spec.pass_rate = 0.3 + 0.7 * rng.next_double();
+      spec.mode = mode;
+      spec.batch = 1;
+      const auto failure = harness::run_differential(spec, &pool);
+      ASSERT_FALSE(failure.has_value()) << *failure;
+      ++cases;
+    }
   }
   EXPECT_GE(cases, 100);
 }

@@ -9,9 +9,8 @@
 #include "src/runtime/pool_executor.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
-#include "src/workloads/random_ladder.h"
-#include "src/workloads/random_sp.h"
 #include "src/workloads/topologies.h"
+#include "tests/harness/stress_harness.h"
 
 namespace sdaf::exec {
 namespace {
@@ -50,61 +49,29 @@ std::vector<std::shared_ptr<Kernel>> wedge_kernels() {
 }
 
 TEST(Session, RandomizedWorkloadsIdenticalAcrossBackendsAndModes) {
+  // Ported onto the stress harness (tests/harness/stress_harness.h): the
+  // same randomized SP/ladder sweep through all three backends and both
+  // dummy modes at a random firing quantum, now with a one-line repro
+  // command on any mismatch.
   Prng rng(0xC0FFEE);
   runtime::PoolExecutor pool(3);
   int cases = 0;
-  const auto run_case = [&](const StreamGraph& g) {
-    const std::uint64_t num_inputs = 30 + rng.next_below(50);
-    const double pass_rate = 0.3 + 0.7 * rng.next_double();
-    const std::uint64_t seed = rng.next_u64();
+  for (int i = 0; i < 11; ++i) {
     for (const auto mode :
          {DummyMode::Propagation, DummyMode::NonPropagation}) {
-      core::CompileOptions copt;
-      copt.algorithm = mode == DummyMode::Propagation
-                           ? core::Algorithm::Propagation
-                           : core::Algorithm::NonPropagation;
-      const auto compiled = core::compile(g, copt);
-      ASSERT_TRUE(compiled.ok) << compiled.diagnostics;
-
-      Session session(g, workloads::relay_kernels(g, pass_rate, seed));
-      RunSpec spec;
+      harness::CaseSpec spec;
+      spec.topology =
+          i < 6 ? harness::Topology::Sp : harness::Topology::Ladder;
+      spec.seed = rng.next_u64();
+      spec.num_inputs = 30 + rng.next_below(50);
+      spec.pass_rate = 0.3 + 0.7 * rng.next_double();
       spec.mode = mode;
-      spec.apply(compiled);
-      spec.num_inputs = num_inputs;
-      spec.pool = &pool;
       // Random firing quantum: batching must never change the traffic.
       spec.batch = 1 + static_cast<std::uint32_t>(rng.next_below(16));
-      RunReport reference;
-      for (const Backend backend : kBackends) {
-        spec.backend = backend;
-        auto report = session.run(spec);
-        EXPECT_EQ(report.backend, backend);
-        const std::string label = "case " + std::to_string(cases) + " " +
-                                  std::string(to_string(backend));
-        if (backend == Backend::Sim) {
-          ASSERT_TRUE(report.completed) << label;
-          reference = std::move(report);
-        } else {
-          expect_same_report(reference, report, label);
-        }
-      }
+      const auto failure = harness::run_differential(spec, &pool);
+      ASSERT_FALSE(failure.has_value()) << *failure;
       ++cases;
     }
-  };
-  for (int i = 0; i < 6; ++i) {
-    workloads::RandomSpOptions opt;
-    opt.target_edges = 4 + static_cast<std::size_t>(rng.next_below(16));
-    opt.max_buffer = 1 + static_cast<std::int64_t>(rng.next_below(6));
-    run_case(workloads::random_sp(rng, opt).graph);
-  }
-  for (int i = 0; i < 5; ++i) {
-    workloads::RandomLadderOptions opt;
-    opt.rungs = 1 + static_cast<std::size_t>(rng.next_below(3));
-    opt.left_interior = 1 + static_cast<std::size_t>(rng.next_below(4));
-    opt.right_interior = 1 + static_cast<std::size_t>(rng.next_below(4));
-    opt.component_edges = 1 + static_cast<std::size_t>(rng.next_below(3));
-    opt.max_buffer = 1 + static_cast<std::int64_t>(rng.next_below(6));
-    run_case(workloads::random_ladder(rng, opt));
   }
   EXPECT_GE(cases, 22);
 }

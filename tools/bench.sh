@@ -40,12 +40,14 @@ fi
 
 # The smoke subset is fixed so the JSON schema (benchmark names + counters)
 # stays stable across PRs: the three throughput pass rates at the batched
-# quantum, and the pooled filtering sweep.
+# quantum, the pooled filtering sweep, and (since the SPSC channel fast
+# path) two batch=1 pooled ladder configs whose per-op channel cost is the
+# figure the lock-free path exists to cut.
 throughput_filter='.'
 pool_filter='Filtering|CompileCache'
 if [[ $smoke -eq 1 ]]; then
   throughput_filter='BM_Throughput_Pass(100|50|10)/'
-  pool_filter='BM_PoolExecutor_Filtering'
+  pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2'
 fi
 
 echo "==> bench_throughput -> BENCH_throughput.json"

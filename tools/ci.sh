@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite, then an AddressSanitizer
 # (+UBSan) pass over the whole suite, then a ThreadSanitizer pass so the
-# pooled scheduler's lock-free ready queue and park/wake protocol are
-# race-checked on every PR.
+# lock-free SPSC channels, the pooled scheduler's ready queue and the
+# park/wake protocols are race-checked on every PR.
 #
 #   tools/ci.sh            # release + asan + tsan
 #   tools/ci.sh --fast     # release only
+#   tools/ci.sh --stress   # everything above, then a time-boxed randomized
+#                          # stress tier under both sanitizers: the
+#                          # cross-backend differential harness sweep and
+#                          # the SPSC two-thread hammer. Tune with
+#                          # SDAF_STRESS_SECONDS (default 30, per binary)
+#                          # and SDAF_STRESS_SEED. On a mismatch the
+#                          # harness prints a one-line SDAF_HARNESS_REPRO
+#                          # command that replays the exact failing case.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+mode=${1:-}
 
 echo "==> release build + ctest"
 cmake --preset release
@@ -19,7 +28,7 @@ ctest --preset release -j "$jobs"
 echo "==> bench smoke (BENCH_*.json)"
 tools/bench.sh --smoke
 
-if [[ "${1:-}" != "--fast" ]]; then
+if [[ "$mode" != "--fast" ]]; then
   echo "==> asan build + ctest"
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
@@ -29,6 +38,21 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
   ctest --preset tsan -j "$jobs"
+fi
+
+if [[ "$mode" == "--stress" ]]; then
+  stress_seconds=${SDAF_STRESS_SECONDS:-30}
+  export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  export SDAF_STRESS_SECONDS="$stress_seconds"
+  for preset in asan tsan; do
+    echo "==> $preset stress sweep (${stress_seconds}s per binary)"
+    "build/$preset/test_harness_stress" \
+        --gtest_filter='HarnessStress.TimeBoxedRandomSweep'
+    "build/$preset/test_spsc_ring" --gtest_filter='SpscRingHammer.*'
+    "build/$preset/test_deadlock_verdicts"
+  done
 fi
 
 echo "==> ci OK"
