@@ -1,0 +1,193 @@
+// Streaming-port data plane: what live traffic costs through the
+// exec::Stream API on the continuation ladder (the dummy-dense regime the
+// coalescing data plane is built for).
+//
+// Two figures of merit, both recorded in BENCH_streaming.json by
+// tools/bench.sh:
+//   - BM_StreamLatency_*: push -> poll round-trip of a single in-flight
+//     item through the whole ladder (p50_ns / p99_ns percentile counters
+//     over every round trip in the run; pass rate 1.0 so each push
+//     produces exactly one egress item).
+//   - BM_StreamIngest_*: sustained ingest throughput with a concurrent
+//     drainer thread (items_per_second against wall time), the
+//     backpressured serving shape the ports exist for.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/core/compile.h"
+#include "src/exec/session.h"
+#include "src/exec/stream.h"
+#include "src/support/contracts.h"
+#include "src/support/timer.h"
+#include "src/workloads/filters.h"
+#include "src/workloads/topologies.h"
+
+namespace {
+
+using namespace sdaf;
+
+constexpr std::uint64_t kLatencyItems = 2000;
+constexpr std::uint64_t kIngestItems = 20000;
+
+exec::StreamSpec ladder_stream_spec(const core::CompileResult& compiled,
+                                    exec::Backend backend,
+                                    std::uint32_t batch) {
+  exec::StreamSpec spec;
+  spec.run.backend = backend;
+  spec.run.mode = runtime::DummyMode::Propagation;
+  spec.run.apply(compiled);
+  spec.run.batch = batch;
+  spec.run.pool_workers = 2;
+  return spec;
+}
+
+void report_percentiles(benchmark::State& state,
+                        std::vector<double>& samples_ns) {
+  SDAF_ASSERT(!samples_ns.empty());
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_ns.size() - 1));
+    return samples_ns[idx];
+  };
+  state.counters["p50_ns"] = at(0.50);
+  state.counters["p99_ns"] = at(0.99);
+}
+
+// One item in flight at a time: push, then poll until the ladder delivers
+// it at the sink tap. Every stage passes, so the round trip covers the full
+// relay chain (and, in propagation mode, its wrapper bookkeeping).
+void run_latency(benchmark::State& state, exec::Backend backend) {
+  const StreamGraph g = workloads::continuation_ladder(4, 64, 1);
+  const auto compiled = core::compile(g);
+  SDAF_ASSERT(compiled.ok);
+  std::vector<double> samples_ns;
+  samples_ns.reserve(kLatencyItems);
+  std::uint64_t processed = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    exec::Session session(g, workloads::passthrough_kernels(g));
+    exec::Stream stream =
+        session.open(ladder_stream_spec(compiled, backend, /*batch=*/1));
+    exec::InputPort& in = stream.input(0);
+    exec::OutputPort& out = stream.output(0);
+    Stopwatch run_clock;
+    for (std::uint64_t i = 0; i < kLatencyItems; ++i) {
+      Stopwatch rtt;
+      const bool pushed = in.push();
+      SDAF_ASSERT(pushed);
+      // next() parks in the tap's condition variable on the concurrent
+      // backends (so the measurement includes the real wake-up path) and
+      // pumps sweeps on Sim.
+      auto item = out.next();
+      SDAF_ASSERT(item.has_value());
+      samples_ns.push_back(rtt.elapsed_seconds() * 1e9);
+      benchmark::DoNotOptimize(item->seq);
+    }
+    wall += run_clock.elapsed_seconds();
+    processed += kLatencyItems;
+    in.close();
+    const auto report = stream.finish();
+    SDAF_ASSERT(report.completed);
+  }
+  report_percentiles(state, samples_ns);
+  state.counters["round_trips_per_second"] =
+      wall > 0 ? static_cast<double>(processed) / wall : 0.0;
+}
+
+void BM_StreamLatency_Sim(benchmark::State& state) {
+  run_latency(state, exec::Backend::Sim);
+}
+BENCHMARK(BM_StreamLatency_Sim)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_StreamLatency_Threaded(benchmark::State& state) {
+  run_latency(state, exec::Backend::Threaded);
+}
+BENCHMARK(BM_StreamLatency_Threaded)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_StreamLatency_Pooled(benchmark::State& state) {
+  run_latency(state, exec::Backend::Pooled);
+}
+BENCHMARK(BM_StreamLatency_Pooled)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// Saturated ingest: the caller pushes as fast as backpressure allows while
+// a drainer thread consumes the tap; heavy filtering keeps the wire
+// dummy-dense. Sim has no concurrent drainer (single-threaded by design)
+// -- its ports interleave pump and drain on the caller's thread.
+void run_ingest(benchmark::State& state, exec::Backend backend,
+                double pass_rate) {
+  const StreamGraph g = workloads::continuation_ladder(4, 64, 1);
+  const auto compiled = core::compile(g);
+  SDAF_ASSERT(compiled.ok);
+  std::uint64_t processed = 0;
+  std::uint64_t dummies = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    exec::Session session(g, workloads::relay_kernels(g, pass_rate, 17));
+    exec::Stream stream =
+        session.open(ladder_stream_spec(compiled, backend, /*batch=*/64));
+    exec::InputPort& in = stream.input(0);
+    exec::OutputPort& out = stream.output(0);
+    Stopwatch run_clock;
+    if (backend == exec::Backend::Sim) {
+      // Single-threaded serving loop: ingest until backpressure, then
+      // drain the tap (poll pumps sweeps when it runs dry).
+      std::uint64_t pushed = 0;
+      while (pushed < kIngestItems) {
+        if (in.try_push()) {
+          ++pushed;
+          continue;
+        }
+        while (out.poll().has_value()) {
+        }
+      }
+      in.close();
+      while (out.next().has_value()) {
+      }
+    } else {
+      std::thread drainer([&] {
+        while (out.next().has_value()) {
+        }
+      });
+      for (std::uint64_t i = 0; i < kIngestItems; ++i) {
+        const bool pushed = in.push();
+        SDAF_ASSERT(pushed);
+      }
+      in.close();
+      drainer.join();
+    }
+    const auto report = stream.finish();
+    SDAF_ASSERT(report.completed);
+    wall += run_clock.elapsed_seconds();
+    processed += kIngestItems;
+    dummies += report.total_dummies();
+  }
+  state.counters["items_per_second"] =
+      wall > 0 ? static_cast<double>(processed) / wall : 0.0;
+  state.counters["dummies_per_run"] = static_cast<double>(
+      dummies / std::max<std::uint64_t>(1, state.iterations()));
+}
+
+void BM_StreamIngest_Sim(benchmark::State& state) {
+  run_ingest(state, exec::Backend::Sim, /*pass_rate=*/0.1);
+}
+BENCHMARK(BM_StreamIngest_Sim)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_StreamIngest_Threaded(benchmark::State& state) {
+  run_ingest(state, exec::Backend::Threaded, /*pass_rate=*/0.1);
+}
+BENCHMARK(BM_StreamIngest_Threaded)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_StreamIngest_Pooled(benchmark::State& state) {
+  run_ingest(state, exec::Backend::Pooled, /*pass_rate=*/0.1);
+}
+BENCHMARK(BM_StreamIngest_Pooled)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -17,6 +17,16 @@ namespace {
 constexpr std::size_t kNoTail = std::numeric_limits<std::size_t>::max();
 }  // namespace
 
+std::optional<runtime::HeadView> DeliverySink::peek_feed(bool /*may_wait*/) {
+  SDAF_ASSERT(false && "sink does not support port-fed sources");
+  return std::nullopt;
+}
+
+runtime::Message DeliverySink::pop_feed() {
+  SDAF_ASSERT(false && "sink does not support port-fed sources");
+  return {};
+}
+
 std::string describe_park_summary(std::uint64_t summary) {
   switch (summary >> kParkTagShift) {
     case kParkDone:
@@ -61,7 +71,8 @@ FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
                        std::size_t in_slots, std::size_t out_slots,
                        runtime::NodeWrapper wrapper, std::uint64_t num_inputs,
                        DeliverySink& sink, std::uint32_t batch,
-                       runtime::Tracer* tracer, const std::uint64_t* tick)
+                       runtime::Tracer* tracer, const std::uint64_t* tick,
+                       bool port_fed)
     : node_(node),
       kernel_(kernel),
       in_slots_(in_slots),
@@ -72,11 +83,15 @@ FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
       batch_(std::max<std::uint32_t>(1, batch)),
       tracer_(tracer),
       tick_(tick),
+      port_fed_(port_fed),
       emitter_(out_slots),
       inputs_(in_slots),
+      feed_input_(port_fed ? 1 : 0),
       heads_(in_slots),
       pending_tail_(out_slots, kNoTail),
-      slot_blocked_(out_slots, 0) {}
+      slot_blocked_(out_slots, 0) {
+  SDAF_EXPECTS(!port_fed_ || in_slots_ == 0);
+}
 
 void FiringCore::trace(TraceKind kind, std::size_t slot, std::uint64_t seq) {
   if (tracer_ != nullptr)
@@ -180,6 +195,38 @@ bool FiringCore::drain_pending() {
 }
 
 std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
+  static const std::vector<std::optional<runtime::Value>> no_inputs;
+  if (in_slots_ == 0 && port_fed_) {
+    // Port-fed source: one feed message per firing. The blocking contract
+    // mirrors interior alignment -- the sink may only wait inside peek_feed
+    // when no outputs are pending.
+    auto head = sink_.peek_feed(/*may_wait=*/pending_.empty());
+    if (!head.has_value()) return 0;  // feed empty (or aborted)
+    if (head->kind == MessageKind::Eos) {
+      // Unlike interior nodes (which leave EOS in graph channels for
+      // teardown), the feed EOS is consumed: an empty feed afterwards is
+      // what lets the pooled backend's extended quiescence rule read
+      // "no port has pending items" exactly.
+      (void)sink_.pop_feed();
+      queue_eos();
+      return 1;
+    }
+    Message m = sink_.pop_feed();
+    emitter_.reset();
+    if (m.payload.has_value()) {
+      feed_input_[0] = std::move(m.payload);
+      kernel_.fire(m.seq, feed_input_, emitter_);
+      feed_input_[0].reset();
+    } else {
+      // Firing token: exactly the call shape of a self-generating source.
+      kernel_.fire(m.seq, no_inputs, emitter_);
+    }
+    ++fires;
+    trace(TraceKind::Fire, 0, m.seq);
+    queue_outputs(m.seq, /*any_input_dummy=*/false);
+    source_seq_ = m.seq + 1;
+    return 1;
+  }
   if (in_slots_ == 0) {
     // Source: generates one sequence number per firing, then EOS.
     if (source_seq_ >= num_inputs_) {
@@ -187,7 +234,6 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
       return 1;
     }
     emitter_.reset();
-    static const std::vector<std::optional<runtime::Value>> no_inputs;
     kernel_.fire(source_seq_, no_inputs, emitter_);
     ++fires;
     trace(TraceKind::Fire, 0, source_seq_);

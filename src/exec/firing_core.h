@@ -95,6 +95,14 @@ class DeliverySink {
                                                      std::uint64_t first_seq,
                                                      std::size_t count,
                                                      PushOutcome* outcome) = 0;
+
+  // Port-fed sources only (FiringCore constructed with port_fed = true):
+  // head view / removal of the injected ingress feed, with the same
+  // blocking contract as peek_head. The defaults assert -- a backend that
+  // runs port-fed sources must override both.
+  [[nodiscard]] virtual std::optional<runtime::HeadView> peek_feed(
+      bool may_wait);
+  [[nodiscard]] virtual runtime::Message pop_feed();
 };
 
 // Park summary encoding, shared by the pooled scheduler's park/probe
@@ -139,11 +147,17 @@ class FiringCore {
   // events; `tick` (optional, not owned) supplies the tracer timestamp --
   // the simulator points it at its sweep counter, concurrent backends leave
   // it null (tick 0; event *order* across threads is not meaningful there).
+  // `port_fed` (sources only, in_slots == 0): consume the sink's injected
+  // feed instead of self-generating num_inputs sequence numbers -- a
+  // payload-free data message is a pure firing token (the kernel sees the
+  // same empty input vector as a self-generating source, so a token-fed run
+  // is bit-identical to the classic one), a payload rides to the kernel as
+  // a single-slot input, and EOS triggers the ordinary flood.
   FiringCore(NodeId node, runtime::Kernel& kernel, std::size_t in_slots,
              std::size_t out_slots, runtime::NodeWrapper wrapper,
              std::uint64_t num_inputs, DeliverySink& sink,
              std::uint32_t batch = 1, runtime::Tracer* tracer = nullptr,
-             const std::uint64_t* tick = nullptr);
+             const std::uint64_t* tick = nullptr, bool port_fed = false);
 
   // One scheduling quantum; returns true iff any progress was made (a
   // message delivered, consumed, or produced). After false the node cannot
@@ -204,8 +218,11 @@ class FiringCore {
   std::uint32_t batch_;
   runtime::Tracer* tracer_;
   const std::uint64_t* tick_;
+  bool port_fed_;
   runtime::Emitter emitter_;
   std::vector<std::optional<runtime::Value>> inputs_;
+  // Scratch single-slot input vector for payload-carrying feed messages.
+  std::vector<std::optional<runtime::Value>> feed_input_;
   std::vector<runtime::HeadView> heads_;
   std::vector<PendingRun> pending_;
   // Index into pending_ of the slot's trailing dummy run (coalescing

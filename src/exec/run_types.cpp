@@ -21,6 +21,18 @@ std::optional<Backend> backend_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+runtime::BoundedChannel* PortBinding::feed_for(NodeId n) const {
+  for (std::size_t i = 0; i < source_nodes.size(); ++i)
+    if (source_nodes[i] == n) return feeds[i];
+  return nullptr;
+}
+
+runtime::BoundedChannel* PortBinding::egress_for(NodeId n) const {
+  for (std::size_t i = 0; i < sink_nodes.size(); ++i)
+    if (sink_nodes[i] == n) return egress[i];
+  return nullptr;
+}
+
 void RunSpec::apply(const core::CompileResult& compiled,
                     core::Rounding rounding) {
   intervals = compiled.integer_intervals(rounding);

@@ -19,6 +19,7 @@
 #include "src/runtime/wrapper.h"
 
 namespace sdaf::runtime {
+class BoundedChannel;
 class PoolExecutor;
 }  // namespace sdaf::runtime
 
@@ -32,6 +33,36 @@ enum class Backend : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Backend b);
 [[nodiscard]] std::optional<Backend> backend_from_string(std::string_view s);
+
+// External ports injected into a run: one ingress feed per source node and
+// (optionally) one egress tap per sink node. A port-fed source consumes the
+// feed channel -- data messages fire the kernel (a payload-free message is a
+// pure firing token, so the kernel sees exactly the empty input vector a
+// self-generating source sees), EOS triggers the ordinary EOS flood --
+// instead of self-generating RunSpec::num_inputs sequence numbers. An
+// egress tap is an appended out-slot on the sink node (infinite dummy
+// interval, never continuation-forwarding): whatever the sink kernel emits
+// on it streams to the caller, and a full tap backpressures the sink
+// through the ordinary blocked-output machinery.
+//
+// The channels are borrowed, not owned, and must outlive the run. Callers
+// do not build this by hand: exec::Stream (live ports) and the
+// Session::run batch adapter (pre-closed ports) are the two producers.
+struct PortBinding {
+  std::vector<NodeId> source_nodes;                // in-degree-0, graph order
+  std::vector<runtime::BoundedChannel*> feeds;     // feeds[i] -> source_nodes[i]
+  std::vector<NodeId> sink_nodes;                  // out-degree-0, graph order
+  std::vector<runtime::BoundedChannel*> egress;    // egress[j] -> sink_nodes[j];
+                                                   // null = sink not tapped
+  // True while a caller may still push/close (exec::Stream): backends must
+  // treat quiescence-with-open-ports as idle, not as a verdict. False =
+  // every feed already ends in EOS (the batch adapter), so the classic
+  // completion/deadlock verdicts stay exact and unchanged.
+  bool live = false;
+
+  [[nodiscard]] runtime::BoundedChannel* feed_for(NodeId n) const;
+  [[nodiscard]] runtime::BoundedChannel* egress_for(NodeId n) const;
+};
 
 // Everything one run needs, regardless of backend. The per-edge fields
 // (intervals, forward_on_filter) come straight from a core::CompileResult
@@ -79,6 +110,12 @@ struct RunSpec {
   // Workers for a private pool (0 = hardware concurrency); ignored when
   // `pool` is set.
   std::size_t pool_workers = 0;
+
+  // --- Port plumbing (internal) ---
+  // Set by exec::Stream / the Session::run batch adapter; null = classic
+  // self-generating sources. Borrowed; must outlive the run. When a source
+  // node has a feed here, num_inputs is ignored for it.
+  const PortBinding* ports = nullptr;
 
   // Adopt a compile result's per-edge configuration: integer thresholds
   // under `rounding`, plus the continuation-forwarding set when `mode` is

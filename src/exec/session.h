@@ -1,10 +1,19 @@
 // One execution API. exec::Session is the single entry point for running a
-// compiled stream graph: pick a backend in exec::RunSpec, get a uniform
-// exec::RunReport back. The backends -- the deterministic simulator, the
-// thread-per-node executor, and the pooled scheduler -- share one firing
-// rule (src/exec/firing_core.cpp) and are differential-tested bit-identical
-// (tests/test_session.cpp), so switching backends changes cost, not
-// semantics:
+// compiled stream graph, in either of two shapes:
+//
+//   - Streaming: session.open(StreamSpec) returns an exec::Stream whose
+//     InputPorts/OutputPorts carry live, backpressured traffic with
+//     dynamic per-port EOS (src/exec/stream.h) -- the serving shape.
+//   - Batch: session.run(RunSpec) / compile_and_run() execute num_inputs
+//     items to completion or deadlock. This is a thin adapter over the
+//     same ports (open, feed N firing tokens, close, drain), bit-identical
+//     to the historical self-generating run.
+//
+// The backends -- the deterministic simulator, the thread-per-node
+// executor, and the pooled scheduler -- share one firing rule
+// (src/exec/firing_core.cpp) and are differential-tested bit-identical
+// (tests/test_session.cpp, tests/test_stream.cpp), so switching backends
+// changes cost, not semantics:
 //
 //   exec::Session session(graph, kernels);
 //   exec::RunSpec spec;
@@ -21,6 +30,7 @@
 // result types anymore.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -28,6 +38,7 @@
 #include "src/core/compile.h"
 #include "src/core/compile_cache.h"
 #include "src/exec/run_types.h"
+#include "src/exec/stream.h"
 #include "src/graph/stream_graph.h"
 #include "src/runtime/kernel.h"
 
@@ -45,8 +56,19 @@ class Session {
   Session(const StreamGraph& g,
           std::vector<std::shared_ptr<runtime::Kernel>> kernels);
 
-  // One execution to completion or deadlock on the chosen backend.
+  // One execution to completion or deadlock on the chosen backend. This is
+  // the thin batch adapter over the port machinery: unless the caller bound
+  // ports already, the sources are fed from pre-closed ingress channels
+  // holding num_inputs firing tokens plus EOS -- open, feed N, close, drain
+  // -- which is bit-identical to the historical self-generating run (same
+  // traffic, fires, verdicts, and Sim sweep counts; the differential
+  // harness enforces it).
   [[nodiscard]] RunReport run(const RunSpec& spec);
+
+  // Long-lived streaming execution with external ports: push live traffic
+  // through InputPorts (dynamic EOS per port) and consume OutputPorts,
+  // instead of preconfiguring an item count. See src/exec/stream.h.
+  [[nodiscard]] Stream open(StreamSpec spec);
 
   // CompileCache -> RunSpec::apply -> backend dispatch. The compile
   // algorithm follows spec.mode (Propagation/NonPropagation); with
@@ -62,9 +84,14 @@ class Session {
       RunSpec spec, core::CompileOptions options = {},
       core::Rounding rounding = core::Rounding::Floor);
 
-  // Asynchronous submission. Only the Pooled backend with a shared
-  // spec.pool actually runs concurrently with the caller; the other
-  // backends execute inline at submit() and get() just returns the report.
+  // Asynchronous submission: submit() never runs the workload inline. The
+  // Pooled backend with a shared spec.pool rides the pool's own ticket
+  // machinery (the graph must then outlive get(), as it must outlive
+  // PoolExecutor::wait); every other configuration is offloaded to a
+  // dedicated thread that owns a *copy* of the graph, so neither the
+  // Session nor the caller's graph needs to survive until get(). A
+  // Pending that is destroyed without get() waits for the offloaded run
+  // to finish (std::future semantics) and discards the report.
   class Pending {
    public:
     [[nodiscard]] RunReport get();
@@ -72,6 +99,7 @@ class Session {
    private:
     friend class Session;
     std::optional<RunReport> ready_;
+    std::future<RunReport> future_;
     runtime::PoolExecutor* pool_ = nullptr;
     std::uint64_t ticket_ = 0;
   };

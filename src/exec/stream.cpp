@@ -1,0 +1,503 @@
+#include "src/exec/stream.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/exec/session.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/pool_executor.h"
+#include "src/sim/simulation.h"
+#include "src/support/contracts.h"
+#include "src/support/timer.h"
+
+namespace sdaf::exec {
+namespace stream_detail {
+
+using runtime::BoundedChannel;
+using runtime::Message;
+using runtime::MessageKind;
+using runtime::ProducerSignal;
+using runtime::PushResult;
+using runtime::Value;
+
+// The backend-polymorphic stream engine. The base class owns everything a
+// stream is made of -- the port channels (feeds with one reserved EOS slot,
+// egress taps), the PortBinding the backend consumes, and the port handles
+// -- plus the backend-agnostic port logic. Subclasses supply how execution
+// is driven (sweeps on the caller's thread vs. threads vs. pool tasks) and
+// what a port transition must additionally do (nothing, or a task wake-up).
+struct Core {
+  const StreamGraph& graph;
+  std::vector<std::shared_ptr<runtime::Kernel>> kernels;
+  StreamSpec spec;
+  PortBinding binding;
+  std::vector<std::unique_ptr<BoundedChannel>> feed_channels;
+  std::vector<std::unique_ptr<ProducerSignal>> feed_signals;
+  std::vector<std::unique_ptr<BoundedChannel>> egress_channels;
+  std::vector<std::unique_ptr<InputPort>> inputs;
+  std::vector<std::unique_ptr<OutputPort>> outputs;
+  Stopwatch clock;
+  bool collected = false;
+
+  Core(const StreamGraph& g,
+       std::vector<std::shared_ptr<runtime::Kernel>> session_kernels,
+       StreamSpec stream_spec)
+      : graph(g), kernels(std::move(session_kernels)), spec(std::move(stream_spec)) {
+    SDAF_EXPECTS(graph.node_count() > 0);
+    SDAF_EXPECTS(spec.feed_capacity >= 1);
+    SDAF_EXPECTS(spec.egress_capacity >= 1);
+    binding.live = true;
+    for (const NodeId n : graph.sources()) {
+      binding.source_nodes.push_back(n);
+      // capacity + 1: the extra slot is reserved for EOS, so close() can
+      // never fail for lack of space (data occupancy is capped at
+      // feed_capacity by the port push path).
+      feed_channels.push_back(std::make_unique<BoundedChannel>(
+          spec.feed_capacity + 1, /*monitor=*/nullptr));
+      feed_signals.push_back(std::make_unique<ProducerSignal>());
+      feed_channels.back()->set_producer_signal(feed_signals.back().get());
+      binding.feeds.push_back(feed_channels.back().get());
+      auto port = std::unique_ptr<InputPort>(new InputPort());
+      port->core_ = this;
+      port->index_ = inputs.size();
+      port->node_ = n;
+      inputs.push_back(std::move(port));
+    }
+    for (const NodeId n : graph.sinks()) {
+      binding.sink_nodes.push_back(n);
+      if (spec.capture_outputs) {
+        egress_channels.push_back(std::make_unique<BoundedChannel>(
+            spec.egress_capacity, /*monitor=*/nullptr));
+        binding.egress.push_back(egress_channels.back().get());
+        auto port = std::unique_ptr<OutputPort>(new OutputPort());
+        port->core_ = this;
+        port->index_ = outputs.size();
+        port->node_ = n;
+        outputs.push_back(std::move(port));
+      } else {
+        binding.egress.push_back(nullptr);
+      }
+    }
+  }
+
+  virtual ~Core() = default;
+
+  [[nodiscard]] RunSpec bound_spec() const {
+    RunSpec bound = spec.run;
+    bound.ports = &binding;
+    return bound;
+  }
+
+  // --- backend hooks ---------------------------------------------------
+  // Sim only: run sweeps now. Concurrent backends: no-op.
+  virtual bool pump_now() { return false; }
+  // Port transitions. Pushes/pops report the channel's wake-relevant edge.
+  virtual void feed_pushed(std::size_t /*i*/, bool /*was_empty*/) {}
+  virtual void feed_closed(std::size_t /*i*/) {}
+  virtual void egress_popped(std::size_t /*i*/, bool /*was_full*/) {}
+  // Blocking helpers: return true = state may have changed, retry; false =
+  // give up (aborted, or -- Sim -- no progress possible).
+  virtual bool wait_feed_space(std::size_t i);
+  virtual bool wait_egress_item(std::size_t i);
+  // After every port is closed and the taps are drained: the final report.
+  virtual RunReport collect() = 0;
+
+  // --- shared port logic -----------------------------------------------
+  enum class PushStatus { Ok, NoSpace, Ended };
+
+  PushStatus push_message(InputPort& port, Message& m) {
+    BoundedChannel& feed = *feed_channels[port.index_];
+    if (feed.size() >= spec.feed_capacity)
+      return PushStatus::NoSpace;  // data slots exhausted; EOS slot reserved
+    bool was_empty = false;
+    switch (feed.try_push(std::move(m), &was_empty)) {
+      case PushResult::Ok:
+        ++port.next_seq_;
+        feed_pushed(port.index_, was_empty);
+        return PushStatus::Ok;
+      case PushResult::Aborted:
+        return PushStatus::Ended;
+      case PushResult::Full:
+      default:
+        return PushStatus::NoSpace;
+    }
+  }
+
+  bool port_try_push(InputPort& port, Value&& v) {
+    if (port.closed_) return false;
+    Message m = Message::data(port.next_seq_, std::move(v));
+    return push_message(port, m) == PushStatus::Ok;
+  }
+
+  bool port_push(InputPort& port, Value&& v) {
+    if (port.closed_) return false;
+    Message m = Message::data(port.next_seq_, std::move(v));
+    for (;;) {
+      switch (push_message(port, m)) {
+        case PushStatus::Ok:
+          return true;
+        case PushStatus::Ended:
+          return false;
+        case PushStatus::NoSpace:
+          if (!wait_feed_space(port.index_)) return false;
+          break;
+      }
+    }
+  }
+
+  void port_close(InputPort& port) {
+    if (port.closed_) return;
+    port.closed_ = true;
+    BoundedChannel& feed = *feed_channels[port.index_];
+    // The reserved slot makes this infallible unless the stream already
+    // aborted (then the EOS is moot anyway).
+    const PushResult r = feed.try_push(Message::eos());
+    SDAF_ASSERT(r != PushResult::Full);
+    feed_closed(port.index_);
+  }
+
+  std::optional<OutputPort::Item> port_poll_once(OutputPort& port) {
+    if (port.ended_) return std::nullopt;
+    BoundedChannel& egress = *egress_channels[port.index_];
+    for (;;) {
+      const auto head = egress.try_peek_head();
+      if (!head.has_value()) {
+        if (egress.aborted()) port.ended_ = true;
+        return std::nullopt;
+      }
+      if (head->kind == MessageKind::Dummy) {
+        // Interior dummies reaching the tap (propagation-mode forwarding)
+        // carry no caller-visible payload; drop the whole run in one op.
+        const auto run = egress.pop_dummies(head->run);
+        egress_popped(port.index_, run.was_full);
+        continue;
+      }
+      if (head->kind == MessageKind::Eos) {
+        const bool was_full = egress.pop();
+        egress_popped(port.index_, was_full);
+        port.ended_ = true;
+        return std::nullopt;
+      }
+      bool was_full = false;
+      Message m = egress.pop_head(&was_full);
+      egress_popped(port.index_, was_full);
+      return OutputPort::Item{m.seq, std::move(m.payload)};
+    }
+  }
+
+  std::optional<OutputPort::Item> port_poll(OutputPort& port) {
+    auto item = port_poll_once(port);
+    if (!item.has_value() && !port.ended_ && pump_now())
+      item = port_poll_once(port);
+    return item;
+  }
+
+  std::optional<OutputPort::Item> port_next(OutputPort& port) {
+    for (;;) {
+      if (auto item = port_poll_once(port); item.has_value()) return item;
+      if (port.ended_) return std::nullopt;
+      if (!wait_egress_item(port.index_)) return std::nullopt;
+    }
+  }
+
+  // Discard whatever is still on the taps until every tap saw EOS (or the
+  // run aborted): with the taps kept drained the EOS flood can always
+  // complete, and on deadlock the backend aborts the taps, which ends the
+  // loop too.
+  virtual void drain_taps() {
+    using namespace std::chrono_literals;
+    for (;;) {
+      bool all_ended = true;
+      bool any = false;
+      for (auto& port : outputs) {
+        while (port_poll_once(*port).has_value()) any = true;
+        all_ended &= port->ended_;
+      }
+      if (all_ended) return;
+      if (!any) std::this_thread::sleep_for(200us);
+    }
+  }
+
+  RunReport finish() {
+    SDAF_EXPECTS(!collected);
+    collected = true;
+    for (auto& port : inputs) port_close(*port);
+    drain_taps();
+    RunReport report = collect();
+    if (report.deadlocked) append_port_dump(&report);
+    return report;
+  }
+
+  void append_port_dump(RunReport* report) const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      out << "port feed " << graph.node_name(binding.source_nodes[i]) << " "
+          << feed_channels[i]->size() << "/" << spec.feed_capacity
+          << (inputs[i]->closed_ ? " closed" : " open") << "\n";
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+      out << "port egress " << graph.node_name(outputs[i]->node_) << " "
+          << egress_channels[i]->size() << "/" << spec.egress_capacity
+          << (outputs[i]->ended_ ? " ended" : "") << "\n";
+    report->state_dump += out.str();
+  }
+};
+
+bool Core::wait_feed_space(std::size_t i) {
+  // Wake-elision protocol, mirrored from the node runners: register as a
+  // waiter on the feed's ProducerSignal (every consumer pop bumps it),
+  // re-check, then park. See runtime::ProducerSignal::bump.
+  BoundedChannel& feed = *feed_channels[i];
+  ProducerSignal& sig = *feed_signals[i];
+  const std::uint64_t version = sig.version.load(std::memory_order_acquire);
+  sig.waiters.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const bool space = feed.size() < spec.feed_capacity;
+  if (!space && !feed.aborted() &&
+      !sig.aborted.load(std::memory_order_acquire)) {
+    std::unique_lock lock(sig.mu);
+    sig.cv.wait(lock, [&] {
+      return sig.version.load(std::memory_order_acquire) != version ||
+             sig.aborted.load(std::memory_order_acquire);
+    });
+  }
+  sig.waiters.fetch_sub(1, std::memory_order_relaxed);
+  return !feed.aborted();
+}
+
+bool Core::wait_egress_item(std::size_t i) {
+  // Blocks in the channel itself (every producer push notifies); empty
+  // optional iff the tap was aborted.
+  return egress_channels[i]->peek_head_wait().has_value();
+}
+
+// ---------------------------------------------------------------- Sim ---
+// Single-threaded: the caller's own thread runs the deterministic sweeps.
+// Ports never block -- "waiting" means pumping, and a pump with no progress
+// tells the caller nothing more can happen without new input.
+struct SimCore final : Core {
+  std::unique_ptr<sim::SweepEngine> engine;
+
+  SimCore(const StreamGraph& g,
+          std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s)
+      : Core(g, std::move(k), std::move(s)) {
+    engine = std::make_unique<sim::SweepEngine>(graph, kernels, bound_spec());
+  }
+
+  bool pump_now() override { return engine->pump(); }
+  bool wait_feed_space(std::size_t i) override {
+    return engine->pump() && !feed_channels[i]->aborted();
+  }
+  bool wait_egress_item(std::size_t /*i*/) override { return engine->pump(); }
+
+  void drain_taps() override {
+    for (;;) {
+      bool any = false;
+      for (auto& port : outputs)
+        while (port_poll_once(*port).has_value()) any = true;
+      const bool pumped = engine->pump();
+      if (engine->all_done()) {
+        // One last drain so collect() leaves no tap contents behind.
+        for (auto& port : outputs)
+          while (port_poll_once(*port).has_value()) {
+          }
+        return;
+      }
+      if (!pumped && !any) return;  // wedged (or sweep budget exhausted)
+    }
+  }
+
+  RunReport collect() override {
+    const bool deadlocked =
+        !engine->all_done() && engine->sweeps() < spec.run.max_sweeps;
+    RunReport report = engine->report(deadlocked);
+    report.wall_seconds = clock.elapsed_seconds();
+    return report;
+  }
+};
+
+// ----------------------------------------------------------- Threaded ---
+// One thread per node; port calls block inside the channels. The watchdog
+// spawns unarmed (an input-starved source is idle, not wedged) and arms
+// when the last port closes -- from then on "every node thread blocked with
+// no progress" is again the exact certification, and certifying aborts the
+// port channels too, releasing any parked caller.
+struct ThreadedCore final : Core {
+  std::unique_ptr<runtime::ThreadEngine> engine;
+  std::atomic<std::size_t> closed_ports{0};
+
+  ThreadedCore(const StreamGraph& g,
+               std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s)
+      : Core(g, std::move(k), std::move(s)) {
+    engine = std::make_unique<runtime::ThreadEngine>(graph, kernels,
+                                                     bound_spec());
+    engine->start(/*arm_watchdog=*/inputs.empty());
+  }
+
+  void feed_closed(std::size_t /*i*/) override {
+    if (closed_ports.fetch_add(1) + 1 == inputs.size())
+      engine->arm_watchdog();
+  }
+
+  RunReport collect() override { return engine->join(); }
+};
+
+// ------------------------------------------------------------- Pooled ---
+// Node tasks on a worker pool; port transitions become task wake-ups
+// through the PoolExecutor stream hooks, and the extended quiescence rule
+// ("quiescent and no port has pending items") keeps the deadlock verdict
+// exact while ports are open.
+struct PooledCore final : Core {
+  std::unique_ptr<runtime::PoolExecutor> owned_pool;
+  runtime::PoolExecutor* pool = nullptr;
+  runtime::PoolExecutor::TicketId ticket = 0;
+  runtime::PoolExecutor::StreamHandle handle;
+
+  PooledCore(const StreamGraph& g,
+             std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s)
+      : Core(g, std::move(k), std::move(s)) {
+    if (spec.run.pool != nullptr) {
+      pool = spec.run.pool;
+    } else {
+      runtime::PoolExecutor::Options popt;
+      popt.workers = spec.run.pool_workers;
+      owned_pool = std::make_unique<runtime::PoolExecutor>(popt);
+      pool = owned_pool.get();
+    }
+    ticket = pool->submit(graph, kernels, bound_spec());
+    handle = pool->stream_handle(ticket);
+  }
+
+  void feed_pushed(std::size_t i, bool was_empty) override {
+    if (was_empty)
+      runtime::PoolExecutor::stream_wake(handle, binding.source_nodes[i]);
+  }
+
+  void feed_closed(std::size_t i) override {
+    // Close protocol (see PoolExecutor::Instance): EOS already pushed by
+    // port_close, then the decrement, then the wake -- so a quiescent
+    // observer that reads the decrement also sees the EOS.
+    runtime::PoolExecutor::stream_port_closed(handle);
+    runtime::PoolExecutor::stream_wake(handle, binding.source_nodes[i]);
+  }
+
+  void egress_popped(std::size_t i, bool was_full) override {
+    if (was_full)
+      runtime::PoolExecutor::stream_wake(handle, outputs[i]->node());
+  }
+
+  RunReport collect() override {
+    RunReport report = pool->wait(ticket);
+    handle.reset();
+    return report;
+  }
+};
+
+}  // namespace stream_detail
+
+using stream_detail::Core;
+
+bool InputPort::push(runtime::Value v) {
+  return core_->port_push(*this, std::move(v));
+}
+
+bool InputPort::try_push(runtime::Value v) {
+  return core_->port_try_push(*this, std::move(v));
+}
+
+std::size_t InputPort::push_batch(std::vector<runtime::Value> values) {
+  std::size_t accepted = 0;
+  for (auto& v : values) {
+    if (!core_->port_push(*this, std::move(v))) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+void InputPort::close() { core_->port_close(*this); }
+
+std::optional<OutputPort::Item> OutputPort::poll() {
+  return core_->port_poll(*this);
+}
+
+std::size_t OutputPort::poll_batch(std::vector<Item>* out, std::size_t max) {
+  SDAF_EXPECTS(out != nullptr);
+  std::size_t appended = 0;
+  while (appended < max) {
+    auto item = core_->port_poll(*this);
+    if (!item.has_value()) break;
+    out->push_back(std::move(*item));
+    ++appended;
+  }
+  return appended;
+}
+
+std::optional<OutputPort::Item> OutputPort::next() {
+  return core_->port_next(*this);
+}
+
+Stream::Stream(std::unique_ptr<stream_detail::Core> core)
+    : core_(std::move(core)) {}
+
+Stream::Stream(Stream&& other) noexcept = default;
+
+Stream::~Stream() {
+  if (core_ != nullptr && !core_->collected) (void)core_->finish();
+}
+
+std::size_t Stream::input_count() const { return core_->inputs.size(); }
+
+InputPort& Stream::input(std::size_t i) {
+  SDAF_EXPECTS(i < core_->inputs.size());
+  return *core_->inputs[i];
+}
+
+InputPort& Stream::input_for(NodeId source) {
+  for (auto& port : core_->inputs)
+    if (port->node() == source) return *port;
+  SDAF_EXPECTS(false && "no input port for node");
+  return *core_->inputs.front();
+}
+
+std::size_t Stream::output_count() const { return core_->outputs.size(); }
+
+OutputPort& Stream::output(std::size_t i) {
+  SDAF_EXPECTS(i < core_->outputs.size());
+  return *core_->outputs[i];
+}
+
+OutputPort& Stream::output_for(NodeId sink) {
+  for (auto& port : core_->outputs)
+    if (port->node() == sink) return *port;
+  SDAF_EXPECTS(false && "no output port for node");
+  return *core_->outputs.front();
+}
+
+void Stream::pump() { (void)core_->pump_now(); }
+
+RunReport Stream::finish() { return core_->finish(); }
+
+// Defined here (not session.cpp) so the concrete cores stay file-local.
+Stream Session::open(StreamSpec spec) {
+  std::unique_ptr<stream_detail::Core> core;
+  switch (spec.run.backend) {
+    case Backend::Sim:
+      core = std::make_unique<stream_detail::SimCore>(graph_, kernels_,
+                                                      std::move(spec));
+      break;
+    case Backend::Threaded:
+      core = std::make_unique<stream_detail::ThreadedCore>(graph_, kernels_,
+                                                           std::move(spec));
+      break;
+    case Backend::Pooled:
+      core = std::make_unique<stream_detail::PooledCore>(graph_, kernels_,
+                                                         std::move(spec));
+      break;
+  }
+  SDAF_ASSERT(core != nullptr);
+  return Stream(std::move(core));
+}
+
+}  // namespace sdaf::exec

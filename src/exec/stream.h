@@ -1,0 +1,194 @@
+// Long-lived streaming sessions with external ports: the live-traffic face
+// of the execution API. Session::open(StreamSpec) returns an exec::Stream
+// whose typed ports replace the closed-world RunSpec::num_inputs contract:
+//
+//   exec::Session session(graph, kernels);
+//   exec::StreamSpec spec;
+//   spec.run.backend = exec::Backend::Pooled;
+//   spec.run.apply(*compiled);
+//   exec::Stream stream = session.open(spec);
+//   stream.input(0).push(runtime::Value(std::int64_t{42}));  // backpressured
+//   while (auto item = stream.output(0).poll()) consume(*item);
+//   stream.input(0).close();            // dynamic EOS -> the ordinary flood
+//   exec::RunReport report = stream.finish();
+//
+// One InputPort per source node (push / try_push / push_batch with
+// backpressure; close() is the dynamic end-of-stream that triggers the
+// existing EOS flood) and one OutputPort per sink node (poll / poll_batch /
+// blocking next), on all three backends: the simulator drains whatever was
+// pushed between deterministic sweeps on the caller's thread, the threaded
+// backend blocks port calls in the channels themselves, and the pooled
+// backend turns port transitions into task wake-ups with quiescence
+// extended to "quiescent *and* no port has pending items", so deadlock
+// certification stays exact while ports are open (see
+// runtime::PoolExecutor::submit).
+//
+// The paper's dummy-interval avoidance runs unchanged underneath: ports
+// inject and extract *sequence-numbered* traffic at the graph boundary,
+// and every interior wrapper, interval, and verdict is byte-for-byte the
+// batch machinery. A port-fed run that pushes N items and closes is
+// bit-identical to the classic num_inputs = N run -- the differential
+// harness enforces it (tests/harness, feed=port).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/exec/run_types.h"
+#include "src/runtime/message.h"
+
+namespace sdaf::exec {
+
+namespace stream_detail {
+struct Core;  // backend-polymorphic stream engine (src/exec/stream.cpp)
+}  // namespace stream_detail
+
+// Everything a live stream needs. `run` carries the shared backend
+// configuration (backend, dummy mode, intervals, forward_on_filter, batch,
+// tracer, pool fields, watchdog tuning); num_inputs and ports are ignored
+// -- the ports make the item count dynamic.
+struct StreamSpec {
+  RunSpec run;
+  // Data items each ingress feed buffers before push() backpressures the
+  // caller (an extra slot for EOS is always reserved on top).
+  std::size_t feed_capacity = 256;
+  // Items each egress tap buffers before the sink node parks; a parked sink
+  // resumes when the caller polls. Taps never affect deadlock verdicts: a
+  // sink parked on its tap counts as "waiting for the caller", not wedged.
+  std::size_t egress_capacity = 1024;
+  // false = sinks keep no egress tap (fire-and-forget ingestion; sink
+  // deliveries still count in RunReport::sink_data).
+  bool capture_outputs = true;
+};
+
+// Ingress into one source node. Single caller thread per port at a time;
+// distinct ports may be driven from distinct threads.
+class InputPort {
+ public:
+  InputPort(const InputPort&) = delete;
+  InputPort& operator=(const InputPort&) = delete;
+
+  // Pushes the next item (sequence numbers are assigned in push order). An
+  // empty Value is a pure firing token: the source kernel fires exactly as
+  // a self-generating source (empty input vector); a non-empty Value rides
+  // to the kernel as its single input. push() blocks on backpressure (on
+  // the Sim backend it pumps sweeps instead of blocking) and returns false
+  // iff the port is closed or the stream ended (deadlock certified /
+  // aborted) -- or, Sim only, when the graph cannot absorb the item even
+  // after pumping (a wedge the caller can confirm with finish()).
+  //
+  // Caveat for wedge-capable workloads (avoidance off, or unvalidated
+  // intervals) on the concurrent backends: deadlock is only certified once
+  // every port closes, so if the graph wedges while this port is open, a
+  // blocked push() has no one to unblock it -- the caller parked here is
+  // the one who would have closed the port. Such callers should drive
+  // ingestion with try_push (see tools/sdafc.cpp's --stdin loop) and fall
+  // back to close() + finish() when the stream stops absorbing input.
+  // Avoidance-armed streams never wedge, so their push() always returns.
+  bool push(runtime::Value v = {});
+  // Never blocks or pumps; false = no buffer space right now (or closed /
+  // ended, which closed() distinguishes).
+  bool try_push(runtime::Value v = {});
+  // Pushes each value in order with push(); returns how many were accepted
+  // (stops early when push() fails).
+  std::size_t push_batch(std::vector<runtime::Value> values);
+
+  // Dynamic end-of-stream: enqueues EOS (a reserved buffer slot guarantees
+  // space), after which the source floods EOS exactly like a completed
+  // batch source. Idempotent. All ports closed = the stream can reach a
+  // final verdict.
+  void close();
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  // Items accepted so far == the next sequence number.
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  friend struct stream_detail::Core;
+  InputPort() = default;
+
+  stream_detail::Core* core_ = nullptr;
+  std::size_t index_ = 0;
+  NodeId node_ = kNoNode;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+// Egress from one sink node: the items the sink kernel emits on its tap
+// slot, in sequence order. Single caller thread per port at a time.
+class OutputPort {
+ public:
+  struct Item {
+    std::uint64_t seq = 0;
+    runtime::Value value;
+  };
+
+  OutputPort(const OutputPort&) = delete;
+  OutputPort& operator=(const OutputPort&) = delete;
+
+  // Next available item, or nullopt when none is buffered (Sim: pumps
+  // sweeps first). Skips interior dummies; consuming the tap's EOS flips
+  // ended().
+  std::optional<Item> poll();
+  // Appends up to `max` items to *out; returns how many were appended.
+  std::size_t poll_batch(std::vector<Item>* out, std::size_t max);
+  // Blocks until an item arrives or the stream ends for this port (EOS
+  // consumed, stream aborted, or -- Sim only -- no progress possible
+  // without more input); nullopt = no further item will arrive *now*
+  // (check ended() to tell end-of-stream from Sim starvation).
+  std::optional<Item> next();
+
+  [[nodiscard]] bool ended() const { return ended_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+
+ private:
+  friend struct stream_detail::Core;
+  OutputPort() = default;
+
+  stream_detail::Core* core_ = nullptr;
+  std::size_t index_ = 0;
+  NodeId node_ = kNoNode;
+  bool ended_ = false;
+};
+
+// A long-lived execution with external ports. Obtain via Session::open.
+// The graph, kernels and (for a shared pool) the PoolExecutor must outlive
+// the Stream; destroying an unfinished Stream finishes it (closing every
+// port and discarding the report).
+class Stream {
+ public:
+  ~Stream();
+  Stream(Stream&& other) noexcept;
+  Stream& operator=(Stream&&) = delete;
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] std::size_t input_count() const;
+  [[nodiscard]] InputPort& input(std::size_t i);
+  [[nodiscard]] InputPort& input_for(NodeId source);
+  [[nodiscard]] std::size_t output_count() const;  // 0 unless capture_outputs
+  [[nodiscard]] OutputPort& output(std::size_t i);
+  [[nodiscard]] OutputPort& output_for(NodeId sink);
+
+  // Sim backend: run sweeps on the caller's thread until nothing more can
+  // progress without new input (ports call this on demand too, so explicit
+  // pumping is optional). No-op on the concurrent backends.
+  void pump();
+
+  // Closes any open input ports, drains (and discards) whatever remains on
+  // the egress taps so the EOS flood can always complete, waits for the
+  // final exact verdict, and collects the report -- completed, or
+  // deadlocked with the usual state dump (plus port occupancy lines). At
+  // most once.
+  [[nodiscard]] RunReport finish();
+
+ private:
+  friend class Session;
+  explicit Stream(std::unique_ptr<stream_detail::Core> core);
+  std::unique_ptr<stream_detail::Core> core_;
+};
+
+}  // namespace sdaf::exec

@@ -22,17 +22,31 @@ namespace {
 // a message for a starved channel could queue behind a blocked push to a
 // full one, creating a wait the paper's model does not have (and that its
 // intervals do not guard against).
+//
+// A port-fed source blocks inside the injected feed channel instead (built
+// with a null monitor, so the watchdog never counts an input-starved source
+// as wedged); a tapped sink's egress channel rides in outs_ as one extra
+// slot, so a full egress parks the sink on its ProducerSignal exactly like
+// a full graph channel (caller pops bump the signal via the channel).
+// `tapped_sink` marks that configuration: a tapped node is an out-degree-0
+// sink, so its blocked-on-outputs park can only mean "tap full, awaiting
+// the caller" -- that wait is hidden from the watchdog (like feed waits),
+// keeping the "taps never affect deadlock verdicts" contract exact even
+// when the caller drains slower than the certification window.
 class NodeRunner final : private exec::DeliverySink {
  public:
   NodeRunner(NodeId node, Kernel& kernel, std::vector<BoundedChannel*> ins,
-             std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
-             std::uint64_t num_inputs, std::uint32_t batch,
-             RuntimeMonitor* monitor, Tracer* tracer)
+             std::vector<BoundedChannel*> outs, BoundedChannel* feed,
+             bool tapped_sink, NodeWrapper wrapper, std::uint64_t num_inputs,
+             std::uint32_t batch, RuntimeMonitor* monitor, Tracer* tracer)
       : ins_(std::move(ins)),
         outs_(std::move(outs)),
+        feed_(feed),
         monitor_(monitor),
+        output_wait_monitor_(tapped_sink ? nullptr : monitor),
         core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
-              num_inputs, *this, batch, tracer) {}
+              num_inputs, *this, batch, tracer, /*tick=*/nullptr,
+              /*port_fed=*/feed != nullptr) {}
 
   [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
   [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
@@ -61,7 +75,7 @@ class NodeRunner final : private exec::DeliverySink {
       if (!progressed && !core_.done() && !aborted_ && !core_.aborted() &&
           !signal_.aborted.load(std::memory_order_acquire)) {
         std::unique_lock lock(signal_.mu);
-        BlockedScope blocked(monitor_);
+        BlockedScope blocked(output_wait_monitor_);
         signal_.cv.wait(lock, [&] {
           return signal_.version.load(std::memory_order_acquire) != version ||
                  signal_.aborted.load(std::memory_order_acquire);
@@ -124,15 +138,210 @@ class NodeRunner final : private exec::DeliverySink {
     return accepted;
   }
 
+  std::optional<HeadView> peek_feed(bool may_wait) override {
+    if (!may_wait) return feed_->try_peek_head();
+    auto head = feed_->peek_head_wait();  // blocks; empty iff aborted
+    if (!head.has_value()) aborted_ = true;
+    return head;
+  }
+
+  Message pop_feed() override { return feed_->pop_head(); }
+
   std::vector<BoundedChannel*> ins_;
   std::vector<BoundedChannel*> outs_;
+  BoundedChannel* feed_;
   RuntimeMonitor* monitor_;
+  // Null for tapped sinks: their only output is the tap, so an output wait
+  // is "awaiting the caller", never part of a certifiable wedge.
+  RuntimeMonitor* output_wait_monitor_;
   ProducerSignal signal_;
   bool aborted_ = false;
   exec::FiringCore core_;  // last: its sink is *this
 };
 
 }  // namespace
+
+struct ThreadEngine::Impl {
+  const StreamGraph& graph;
+  RuntimeMonitor monitor;
+  WatchdogOptions watchdog_options;
+  const exec::PortBinding* ports;
+  std::vector<std::unique_ptr<BoundedChannel>> channels;
+  std::vector<std::unique_ptr<NodeRunner>> runners;
+  Stopwatch clock;
+  std::vector<std::thread> threads;
+  std::thread watchdog;
+  std::atomic<bool> stop_watchdog{false};
+  std::atomic<bool> watchdog_armed{false};
+  bool started = false;
+  bool joined = false;
+  bool deadlocked = false;
+
+  explicit Impl(const StreamGraph& g) : graph(g), ports(nullptr) {}
+
+  void abort_all_channels() {
+    for (auto& ch : channels) ch->abort();
+    if (ports != nullptr) {
+      for (BoundedChannel* feed : ports->feeds) feed->abort();
+      for (BoundedChannel* egress : ports->egress)
+        if (egress != nullptr) egress->abort();
+    }
+  }
+};
+
+ThreadEngine::ThreadEngine(
+    const StreamGraph& g, const std::vector<std::shared_ptr<Kernel>>& kernels,
+    const exec::RunSpec& options)
+    : impl_(std::make_unique<Impl>(g)) {
+  const std::size_t edges = g.edge_count();
+  const std::size_t nodes = g.node_count();
+  SDAF_EXPECTS(kernels.size() == nodes);
+  for (const auto& k : kernels) SDAF_EXPECTS(k != nullptr);
+
+  std::vector<std::int64_t> intervals = options.intervals;
+  if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
+  SDAF_EXPECTS(intervals.size() == edges);
+
+  std::vector<std::uint8_t> forward = options.forward_on_filter;
+  if (forward.empty()) forward.assign(edges, 0);
+  SDAF_EXPECTS(forward.size() == edges);
+
+  Impl& s = *impl_;
+  s.watchdog_options =
+      WatchdogOptions{options.watchdog_tick, options.deadlock_confirm_ticks};
+  s.ports = options.ports;
+
+  s.channels.reserve(edges);
+  for (EdgeId e = 0; e < edges; ++e)
+    s.channels.push_back(std::make_unique<BoundedChannel>(
+        static_cast<std::size_t>(g.edge(e).buffer), &s.monitor));
+
+  s.runners.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    std::vector<BoundedChannel*> ins;
+    for (const EdgeId e : g.in_edges(n)) ins.push_back(s.channels[e].get());
+    std::vector<BoundedChannel*> outs;
+    std::vector<std::int64_t> out_intervals;
+    std::vector<std::uint8_t> out_forward;
+    for (const EdgeId e : g.out_edges(n)) {
+      outs.push_back(s.channels[e].get());
+      out_intervals.push_back(intervals[e]);
+      out_forward.push_back(forward[e]);
+    }
+    BoundedChannel* feed = nullptr;
+    BoundedChannel* egress = nullptr;
+    if (s.ports != nullptr) {
+      feed = s.ports->feed_for(n);
+      egress = s.ports->egress_for(n);
+      if (egress != nullptr) {
+        // The egress tap is one extra out-slot: infinite dummy interval,
+        // never continuation-forwarding.
+        outs.push_back(egress);
+        out_intervals.push_back(kInfiniteInterval);
+        out_forward.push_back(0);
+      }
+    }
+    s.runners.push_back(std::make_unique<NodeRunner>(
+        n, *kernels[n], std::move(ins), std::move(outs), feed,
+        /*tapped_sink=*/egress != nullptr,
+        NodeWrapper(options.mode, std::move(out_intervals),
+                    std::move(out_forward)),
+        options.num_inputs, options.batch, &s.monitor, options.tracer));
+    for (const EdgeId e : g.out_edges(n))
+      s.channels[e]->set_producer_signal(&s.runners.back()->signal());
+    if (egress != nullptr)
+      egress->set_producer_signal(&s.runners.back()->signal());
+  }
+}
+
+ThreadEngine::~ThreadEngine() {
+  Impl& s = *impl_;
+  if (s.started && !s.joined) {
+    // Abandoned mid-stream: tear the run down rather than leaking threads.
+    s.abort_all_channels();
+    for (auto& t : s.threads) t.join();
+    s.stop_watchdog.store(true);
+    s.watchdog.join();
+  }
+}
+
+void ThreadEngine::start(bool arm_watchdog) {
+  Impl& s = *impl_;
+  SDAF_EXPECTS(!s.started);
+  s.started = true;
+  s.watchdog_armed.store(arm_watchdog, std::memory_order_release);
+  s.clock.reset();
+  s.threads.reserve(s.runners.size());
+  for (std::size_t n = 0; n < s.runners.size(); ++n) {
+    s.monitor.thread_started();
+    s.threads.emplace_back([&s, n] {
+      (*s.runners[n])();
+      s.monitor.thread_finished();
+      // A finishing thread is progress: without this, the watchdog could
+      // see a stale all-blocked snapshot while a peer exits.
+      s.monitor.note_progress();
+    });
+  }
+  s.watchdog = std::thread([&s] {
+    // Certification may be armed late (live streams arm at last port
+    // close); until then just idle on the tick.
+    while (!s.watchdog_armed.load(std::memory_order_acquire)) {
+      if (s.stop_watchdog.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(s.watchdog_options.tick);
+    }
+    s.deadlocked = run_watchdog(s.monitor, s.stop_watchdog,
+                                s.watchdog_options,
+                                [&s] { s.abort_all_channels(); });
+  });
+}
+
+void ThreadEngine::arm_watchdog() {
+  impl_->watchdog_armed.store(true, std::memory_order_release);
+}
+
+exec::RunReport ThreadEngine::join() {
+  Impl& s = *impl_;
+  SDAF_EXPECTS(s.started && !s.joined);
+  s.joined = true;
+  for (auto& t : s.threads) t.join();
+  s.stop_watchdog.store(true);
+  s.watchdog.join();
+
+  const std::size_t edges = s.graph.edge_count();
+  const std::size_t nodes = s.graph.node_count();
+  exec::RunReport result;
+  result.backend = exec::Backend::Threaded;
+  result.deadlocked = s.deadlocked;
+  result.completed = !s.deadlocked;
+  result.wall_seconds = s.clock.elapsed_seconds();
+  result.edges.resize(edges);
+  for (EdgeId e = 0; e < edges; ++e) {
+    const auto st = s.channels[e]->stats();
+    result.edges[e] = EdgeTraffic{st.data_pushed, st.dummies_pushed,
+                                  st.max_occupancy};
+  }
+  result.fires.resize(nodes);
+  result.sink_data.resize(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    result.fires[n] = s.runners[n]->fires();
+    result.sink_data[n] = s.runners[n]->sink_data();
+  }
+  if (s.deadlocked) {
+    // All threads have unwound, so channel and runner state is stable; the
+    // channels keep their wedged contents after abort().
+    result.state_dump = exec::dump_wedged_state(
+        s.graph,
+        [&](EdgeId e) {
+          const auto st = s.channels[e]->stats();
+          return exec::EdgeDumpInfo{s.channels[e]->size(),
+                                    s.channels[e]->capacity(), st.data_pushed,
+                                    st.dummies_pushed, s.channels[e]->try_peek(),
+                                    std::nullopt};
+        },
+        [&](NodeId n) { return s.runners[n]->describe(); });
+  }
+  return result;
+}
 
 Executor::Executor(const StreamGraph& g,
                    std::vector<std::shared_ptr<Kernel>> kernels)
@@ -142,106 +351,13 @@ Executor::Executor(const StreamGraph& g,
 }
 
 exec::RunReport Executor::run(const exec::RunSpec& options) {
-  const std::size_t edges = graph_.edge_count();
-  const std::size_t nodes = graph_.node_count();
-  std::vector<std::int64_t> intervals = options.intervals;
-  if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
-  SDAF_EXPECTS(intervals.size() == edges);
-
-  std::vector<std::uint8_t> forward = options.forward_on_filter;
-  if (forward.empty()) forward.assign(edges, 0);
-  SDAF_EXPECTS(forward.size() == edges);
-
-  RuntimeMonitor monitor;
-  std::vector<std::unique_ptr<BoundedChannel>> channels;
-  channels.reserve(edges);
-  for (EdgeId e = 0; e < edges; ++e)
-    channels.push_back(std::make_unique<BoundedChannel>(
-        static_cast<std::size_t>(graph_.edge(e).buffer), &monitor));
-
-  std::vector<std::unique_ptr<NodeRunner>> runners;
-  runners.reserve(nodes);
-  for (NodeId n = 0; n < nodes; ++n) {
-    std::vector<BoundedChannel*> ins;
-    for (const EdgeId e : graph_.in_edges(n)) ins.push_back(channels[e].get());
-    std::vector<BoundedChannel*> outs;
-    std::vector<std::int64_t> out_intervals;
-    std::vector<std::uint8_t> out_forward;
-    for (const EdgeId e : graph_.out_edges(n)) {
-      outs.push_back(channels[e].get());
-      out_intervals.push_back(intervals[e]);
-      out_forward.push_back(forward[e]);
-    }
-    runners.push_back(std::make_unique<NodeRunner>(
-        n, *kernels_[n], std::move(ins), std::move(outs),
-        NodeWrapper(options.mode, std::move(out_intervals),
-                    std::move(out_forward)),
-        options.num_inputs, options.batch, &monitor, options.tracer));
-    for (const EdgeId e : graph_.out_edges(n))
-      channels[e]->set_producer_signal(&runners.back()->signal());
-  }
-
-  Stopwatch clock;
-  std::atomic<bool> stop_watchdog{false};
-  std::vector<std::thread> threads;
-  threads.reserve(nodes);
-  for (NodeId n = 0; n < nodes; ++n) {
-    monitor.thread_started();
-    threads.emplace_back([&, n] {
-      (*runners[n])();
-      monitor.thread_finished();
-      // A finishing thread is progress: without this, the watchdog could
-      // see a stale all-blocked snapshot while a peer exits.
-      monitor.note_progress();
-    });
-  }
-
-  bool deadlocked = false;
-  std::thread watchdog([&] {
-    deadlocked = run_watchdog(
-        monitor, stop_watchdog,
-        WatchdogOptions{options.watchdog_tick, options.deadlock_confirm_ticks},
-        [&] {
-          for (auto& ch : channels) ch->abort();
-        });
-  });
-
-  for (auto& t : threads) t.join();
-  stop_watchdog.store(true);
-  watchdog.join();
-
-  exec::RunReport result;
-  result.backend = exec::Backend::Threaded;
-  result.deadlocked = deadlocked;
-  result.completed = !deadlocked;
-  result.wall_seconds = clock.elapsed_seconds();
-  result.edges.resize(edges);
-  for (EdgeId e = 0; e < edges; ++e) {
-    const auto s = channels[e]->stats();
-    result.edges[e] = EdgeTraffic{s.data_pushed, s.dummies_pushed,
-                                  s.max_occupancy};
-  }
-  result.fires.resize(nodes);
-  result.sink_data.resize(nodes);
-  for (NodeId n = 0; n < nodes; ++n) {
-    result.fires[n] = runners[n]->fires();
-    result.sink_data[n] = runners[n]->sink_data();
-  }
-  if (deadlocked) {
-    // All threads have unwound, so channel and runner state is stable; the
-    // channels keep their wedged contents after abort().
-    result.state_dump = exec::dump_wedged_state(
-        graph_,
-        [&](EdgeId e) {
-          const auto s = channels[e]->stats();
-          return exec::EdgeDumpInfo{channels[e]->size(),
-                                    channels[e]->capacity(), s.data_pushed,
-                                    s.dummies_pushed, channels[e]->try_peek(),
-                                    std::nullopt};
-        },
-        [&](NodeId n) { return runners[n]->describe(); });
-  }
-  return result;
+  // Live ports would defeat timing-based certification (an input-starved
+  // graph is idle, not wedged); this blocking entry point only accepts
+  // pre-closed feeds, for which arming from the start is exact.
+  SDAF_EXPECTS(options.ports == nullptr || !options.ports->live);
+  ThreadEngine engine(graph_, kernels_, options);
+  engine.start(/*arm_watchdog=*/true);
+  return engine.join();
 }
 
 }  // namespace sdaf::runtime

@@ -37,13 +37,52 @@ class Executor {
 
   // Runs one execution to completion or deadlock. May be called repeatedly;
   // kernels should be stateless across runs (wrapper state is per-run).
-  // Consumes spec.mode/intervals/forward_on_filter/num_inputs/tracer/batch
-  // and the watchdog fields; backend-selection and pool fields are ignored.
+  // Consumes spec.mode/intervals/forward_on_filter/num_inputs/tracer/batch,
+  // ports and the watchdog fields; backend-selection and pool fields are
+  // ignored.
   [[nodiscard]] exec::RunReport run(const exec::RunSpec& options);
 
  private:
   const StreamGraph& graph_;
   std::vector<std::shared_ptr<Kernel>> kernels_;
+};
+
+// The long-lived form behind both Executor::run and the Threaded backend of
+// exec::Stream: one thread per node plus the certifying watchdog, with the
+// node threads' lifetime under caller control. Feed channels named by
+// spec.ports never report their waits to the watchdog monitor -- a source
+// waiting for external input is idle, not wedged -- so certification stays
+// exact whenever it is armed: with pre-closed feeds (the batch adapter)
+// it is armed from start() exactly as the classic executor; a live stream
+// arms it when the last port closes, which is the earliest moment
+// "all threads blocked, no progress" again implies deadlock.
+class ThreadEngine {
+ public:
+  ThreadEngine(const StreamGraph& g,
+               const std::vector<std::shared_ptr<Kernel>>& kernels,
+               const exec::RunSpec& options);
+  // Joins (aborting the run first) if the caller never collected.
+  ~ThreadEngine();
+
+  ThreadEngine(const ThreadEngine&) = delete;
+  ThreadEngine& operator=(const ThreadEngine&) = delete;
+
+  // Spawns the node threads and the watchdog. `arm_watchdog` = certify
+  // deadlock from the start (requires every feed to be pre-closed).
+  void start(bool arm_watchdog);
+
+  // Live streams: start certification once no more input can arrive.
+  void arm_watchdog();
+
+  // Waits for every node thread to finish (the caller must have made that
+  // possible: feeds closed, or enough egress drained, or deadlock will be
+  // certified by the armed watchdog), stops the watchdog, and collects the
+  // final report. At most once.
+  [[nodiscard]] exec::RunReport join();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace sdaf::runtime

@@ -6,18 +6,20 @@ namespace sdaf::runtime {
 
 NodeState::NodeState(NodeId node, Kernel& kernel,
                      std::vector<BoundedChannel*> ins,
-                     std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
-                     std::uint64_t num_inputs,
+                     std::vector<BoundedChannel*> outs, BoundedChannel* feed,
+                     NodeWrapper wrapper, std::uint64_t num_inputs,
                      std::vector<NodeId> in_producers,
                      std::vector<NodeId> out_consumers, Waker* waker,
                      std::uint32_t batch, Tracer* tracer)
     : ins_(std::move(ins)),
       outs_(std::move(outs)),
+      feed_(feed),
       in_producers_(std::move(in_producers)),
       out_consumers_(std::move(out_consumers)),
       waker_(waker),
       core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
-            num_inputs, *this, batch, tracer) {
+            num_inputs, *this, batch, tracer, /*tick=*/nullptr,
+            /*port_fed=*/feed != nullptr) {
   SDAF_EXPECTS(in_producers_.size() == ins_.size());
   SDAF_EXPECTS(out_consumers_.size() == outs_.size());
   SDAF_EXPECTS(waker_ != nullptr);
@@ -49,7 +51,10 @@ exec::PushOutcome NodeState::try_push(std::size_t slot, Message&& m) {
   bool was_empty = false;
   switch (outs_[slot]->try_push(std::move(m), &was_empty)) {
     case PushResult::Ok:
-      if (was_empty) waker_->wake(out_consumers_[slot]);
+      // kNoNode = egress tap: the consumer is the external caller, woken
+      // through the channel's own condition variable, not the scheduler.
+      if (was_empty && out_consumers_[slot] != kNoNode)
+        waker_->wake(out_consumers_[slot]);
       return exec::PushOutcome::Delivered;
     case PushResult::Aborted:
       return exec::PushOutcome::Aborted;
@@ -68,13 +73,24 @@ std::size_t NodeState::try_push_dummies(std::size_t slot,
   const std::size_t accepted =
       outs_[slot]->try_push_dummies(first_seq, count, &was_empty,
                                     &chan_aborted);
-  if (accepted > 0 && was_empty) waker_->wake(out_consumers_[slot]);
+  if (accepted > 0 && was_empty && out_consumers_[slot] != kNoNode)
+    waker_->wake(out_consumers_[slot]);
   if (chan_aborted)
     *outcome = exec::PushOutcome::Aborted;
   else
     *outcome = accepted == count ? exec::PushOutcome::Delivered
                                  : exec::PushOutcome::Blocked;
   return accepted;
+}
+
+std::optional<HeadView> NodeState::peek_feed(bool /*may_wait*/) {
+  return feed_->try_peek_head();  // empty = parked until the caller pushes
+}
+
+Message NodeState::pop_feed() {
+  // The pop bumps the feed's ProducerSignal inside the channel, which is
+  // how a caller blocked in InputPort::push learns space freed up.
+  return feed_->pop_head();
 }
 
 bool NodeState::probe(std::uint64_t summary) const {
@@ -92,6 +108,7 @@ bool NodeState::probe(std::uint64_t summary) const {
       return false;
     }
     default: {  // kParkInputs
+      if (feed_ != nullptr && feed_->empty()) return false;
       for (const BoundedChannel* in : ins_)
         if (in->empty()) return false;
       return true;

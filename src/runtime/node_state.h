@@ -39,9 +39,14 @@ class NodeState final : private exec::DeliverySink {
   // `in_producers[j]` / `out_consumers[slot]` name the node at the far end
   // of the corresponding channel; they are the wake targets for the
   // pop-freed-a-full-channel / push-filled-an-empty-channel transitions.
+  // `feed` (optional) makes the node a port-fed source consuming the
+  // injected channel; an egress tap rides in `outs` as one extra slot whose
+  // out_consumers entry is kNoNode (its consumer is the external caller,
+  // woken through the channel itself, never through the Waker).
   NodeState(NodeId node, Kernel& kernel, std::vector<BoundedChannel*> ins,
-            std::vector<BoundedChannel*> outs, NodeWrapper wrapper,
-            std::uint64_t num_inputs, std::vector<NodeId> in_producers,
+            std::vector<BoundedChannel*> outs, BoundedChannel* feed,
+            NodeWrapper wrapper, std::uint64_t num_inputs,
+            std::vector<NodeId> in_producers,
             std::vector<NodeId> out_consumers, Waker* waker,
             std::uint32_t batch = 1, Tracer* tracer = nullptr);
 
@@ -88,9 +93,12 @@ class NodeState final : private exec::DeliverySink {
   std::size_t try_push_dummies(std::size_t slot, std::uint64_t first_seq,
                                std::size_t count,
                                exec::PushOutcome* outcome) override;
+  std::optional<HeadView> peek_feed(bool may_wait) override;
+  Message pop_feed() override;
 
   std::vector<BoundedChannel*> ins_;
   std::vector<BoundedChannel*> outs_;
+  BoundedChannel* feed_;
   std::vector<NodeId> in_producers_;
   std::vector<NodeId> out_consumers_;
   Waker* waker_;

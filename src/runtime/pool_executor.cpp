@@ -165,9 +165,38 @@ struct PoolExecutor::Instance final : Waker {
   Stopwatch clock;
 
   // Queued + running tasks of this instance. Wake-ups only originate from
-  // tasks of the same instance, so 0 here means quiescence: either all
-  // nodes finished (completed) or some cannot progress (deadlock), exactly.
+  // tasks of the same instance (or, for live ports, from the stream hooks,
+  // which always follow the channel transition they report), so 0 here
+  // means quiescence: no node of this instance can progress until a port
+  // supplies more work -- and with no open ports that verdict is final:
+  // either all nodes finished (completed) or some cannot (deadlock),
+  // exactly.
   std::atomic<std::int64_t> active{0};
+
+  // Live-port bookkeeping. `streaming` is set for ports->live submissions;
+  // `open_ports` counts input ports whose EOS has not been pushed yet.
+  // finalize() is gated on open_ports == 0 *and* every feed drained: the
+  // close protocol is push-EOS, then decrement, then wake, so whenever a
+  // quiescent observer reads open_ports == 0, the EOS that closed the last
+  // port is already visible -- it either still sits in the feed (then the
+  // close's wake re-activates the instance) or was consumed (then the feed
+  // is empty and the nodes took the flood as far as it goes).
+  bool streaming = false;
+  const exec::PortBinding* ports = nullptr;
+  std::atomic<std::int64_t> open_ports{0};
+  // Serializes caller-side port wakes against the final verdict: a stream
+  // hook either schedules before maybe_finalize takes the lock (then
+  // `active` is nonzero and the verdict attempt aborts) or after `dead` is
+  // set (then the wake is dropped -- by then it is provably spurious). Only
+  // port-transition edges take it, never the data fast path.
+  std::mutex port_mu;
+  std::atomic<bool> dead{false};
+  // Workers inside the quiescence-decrement + maybe_finalize window. With
+  // live ports `active` can reach zero many times, so a *stale* verdict
+  // attempt may still be parked on port_mu when the real finalize lets the
+  // caller collect -- wait() spins this count to zero before handing the
+  // instance to its destroyer.
+  std::atomic<std::int64_t> verdict_guests{0};
 
   std::mutex mu;
   std::condition_variable cv;
@@ -237,6 +266,11 @@ PoolExecutor::TicketId PoolExecutor::submit(
   instance->executor = this;
   instance->graph = &g;
   instance->kernels = std::move(kernels);
+  instance->ports = options.ports;
+  instance->streaming = options.ports != nullptr && options.ports->live;
+  if (instance->streaming)
+    instance->open_ports.store(
+        static_cast<std::int64_t>(options.ports->feeds.size()));
   instance->channels.reserve(edges);
   for (EdgeId e = 0; e < edges; ++e)
     instance->channels.push_back(std::make_unique<BoundedChannel>(
@@ -261,8 +295,20 @@ PoolExecutor::TicketId PoolExecutor::submit(
       out_intervals.push_back(intervals[e]);
       out_forward.push_back(forward[e]);
     }
+    BoundedChannel* feed = nullptr;
+    if (options.ports != nullptr) {
+      feed = options.ports->feed_for(n);
+      if (BoundedChannel* egress = options.ports->egress_for(n)) {
+        // The egress tap is one extra out-slot: infinite dummy interval,
+        // never continuation-forwarding, no consumer task to wake.
+        outs.push_back(egress);
+        out_consumers.push_back(kNoNode);
+        out_intervals.push_back(kInfiniteInterval);
+        out_forward.push_back(0);
+      }
+    }
     instance->nodes.push_back(std::make_unique<NodeState>(
-        n, *instance->kernels[n], std::move(ins), std::move(outs),
+        n, *instance->kernels[n], std::move(ins), std::move(outs), feed,
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
         options.num_inputs, std::move(in_producers), std::move(out_consumers),
@@ -284,7 +330,9 @@ PoolExecutor::TicketId PoolExecutor::submit(
   instance->active.store(1);
   // Kick every node once; interior nodes immediately park until fed.
   for (NodeTask& task : instance->tasks) schedule(&task);
-  if (instance->active.fetch_sub(1) == 1) finalize(*instance);
+  instance->verdict_guests.fetch_add(1, std::memory_order_acq_rel);
+  if (instance->active.fetch_sub(1) == 1) maybe_finalize(*instance);
+  instance->verdict_guests.fetch_sub(1, std::memory_order_release);
   return ticket;
 }
 
@@ -355,9 +403,67 @@ void PoolExecutor::run_task(NodeTask* task) {
     break;
   }
   // This task is no longer queued or running; if it was the last one, the
-  // instance is quiescent and its verdict is exact.
+  // instance is quiescent and its verdict is exact. The guest count pins
+  // the instance across the window (see Instance::verdict_guests).
   Instance& instance = *task->instance;
-  if (instance.active.fetch_sub(1) == 1) finalize(instance);
+  instance.verdict_guests.fetch_add(1, std::memory_order_acq_rel);
+  if (instance.active.fetch_sub(1) == 1) maybe_finalize(instance);
+  instance.verdict_guests.fetch_sub(1, std::memory_order_release);
+}
+
+void PoolExecutor::maybe_finalize(Instance& instance) {
+  if (!instance.streaming) {
+    finalize(instance);
+    return;
+  }
+  // Extended quiescence rule for live ports: the verdict is final only when
+  // the instance is quiescent *and* no port can still supply work:
+  //   - an open input port means the caller may push or close later;
+  //   - a non-empty feed still holds the EOS whose close-wake is in flight;
+  //   - a sink parked on its egress slot resumes when the caller drains the
+  //     tap (or its pop-wake is already in flight).
+  // In each of those cases the instance idles -- quiescence is "awaiting
+  // the caller", not a verdict -- and the corresponding port wake
+  // re-activates it. Otherwise all nodes either finished (completed) or
+  // are wedged on graph channels alone (deadlock), exactly as in the
+  // closed-world rule. port_mu freezes the instance for the decision: any
+  // concurrent stream hook either scheduled first (then `active` is
+  // nonzero below) or waits and observes `dead`.
+  std::lock_guard plock(instance.port_mu);
+  if (instance.dead.load(std::memory_order_relaxed)) return;
+  if (instance.active.load(std::memory_order_acquire) != 0) return;
+  bool all_done = true;
+  for (const auto& node : instance.nodes) all_done &= node->done();
+  if (!all_done) {
+    if (instance.open_ports.load(std::memory_order_acquire) > 0) return;
+    for (std::size_t i = 0; i < instance.ports->feeds.size(); ++i) {
+      // A pending feed item (the closing EOS included) only defers the
+      // verdict if its source could actually consume it -- i.e. it parked
+      // waiting on input, in which case the close/push wake that follows
+      // every feed transition re-activates the instance. A source parked
+      // on full *outputs* can never drain its feed: those items are part
+      // of the wedge, exactly like a batch source's ungenerated remainder.
+      if (instance.ports->feeds[i]->empty()) continue;
+      const NodeId n = instance.ports->source_nodes[i];
+      if (instance.nodes[n]->done()) continue;
+      const std::uint64_t summary = instance.tasks[n].park_summary.load(
+          std::memory_order_acquire);
+      if ((summary >> exec::kParkTagShift) == exec::kParkInputs) return;
+    }
+    for (std::size_t i = 0; i < instance.ports->sink_nodes.size(); ++i) {
+      if (instance.ports->egress[i] == nullptr) continue;
+      const NodeId n = instance.ports->sink_nodes[i];
+      if (instance.nodes[n]->done()) continue;
+      const std::uint64_t summary = instance.tasks[n].park_summary.load(
+          std::memory_order_acquire);
+      if ((summary >> exec::kParkTagShift) != exec::kParkOutputs) continue;
+      // Taps attach only to out-degree-0 sinks, so the tap is the node's
+      // sole out-slot: parked-on-outputs means parked on the tap.
+      return;
+    }
+  }
+  instance.dead.store(true, std::memory_order_release);
+  finalize(instance);
 }
 
 void PoolExecutor::finalize(Instance& instance) {
@@ -402,6 +508,14 @@ void PoolExecutor::finalize(Instance& instance) {
                          std::memory_order_acquire));
         });
   }
+  if (instance.streaming && result.deadlocked) {
+    // Release callers parked on the ports: a pusher blocked on a full feed
+    // and a poller blocked on an empty tap both unwind on abort (remaining
+    // tap contents stay drainable).
+    for (BoundedChannel* feed : instance.ports->feeds) feed->abort();
+    for (BoundedChannel* egress : instance.ports->egress)
+      if (egress != nullptr) egress->abort();
+  }
   {
     std::lock_guard lock(instance.mu);
     instance.result = std::move(result);
@@ -433,6 +547,10 @@ RunResult PoolExecutor::wait(TicketId ticket) {
     instance->collected = true;
     result = std::move(instance->result);
   }
+  // Do not hand the instance to its destroyer while a stale verdict
+  // attempt is still inside the decrement/maybe_finalize window.
+  while (instance->verdict_guests.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
   {
     std::lock_guard lock(instances_mu_);
     instances_.erase(ticket);
@@ -444,6 +562,27 @@ RunResult PoolExecutor::run(const StreamGraph& g,
                             std::vector<std::shared_ptr<Kernel>> kernels,
                             const ExecutorOptions& options) {
   return wait(submit(g, std::move(kernels), options));
+}
+
+PoolExecutor::StreamHandle PoolExecutor::stream_handle(TicketId ticket) {
+  std::lock_guard lock(instances_mu_);
+  auto it = instances_.find(ticket);
+  SDAF_EXPECTS(it != instances_.end());
+  SDAF_EXPECTS(it->second->streaming);
+  return it->second;
+}
+
+void PoolExecutor::stream_wake(const StreamHandle& handle, NodeId node) {
+  auto* instance = static_cast<Instance*>(handle.get());
+  std::lock_guard lock(instance->port_mu);
+  if (instance->dead.load(std::memory_order_relaxed)) return;
+  instance->executor->schedule(&instance->tasks[node]);
+}
+
+void PoolExecutor::stream_port_closed(const StreamHandle& handle) {
+  auto* instance = static_cast<Instance*>(handle.get());
+  std::lock_guard lock(instance->port_mu);
+  instance->open_ports.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 }  // namespace sdaf::runtime

@@ -129,9 +129,31 @@ class PoolExecutor {
   // wait() returns. Options are the exec::RunSpec shared by every backend;
   // the watchdog and backend-selection fields are ignored (deadlock here is
   // certified by exact quiescence, not timing).
+  //
+  // With options.ports set, sources read the injected feeds and tapped
+  // sinks gain an egress out-slot. Live ports (ports->live) extend the
+  // quiescence rule: the instance only finalizes when it is quiescent *and*
+  // no port can still supply work -- every port reported closed
+  // (stream_port_closed), no input-starved source with a non-empty feed,
+  // no sink parked on its egress tap -- so deadlock certification stays
+  // exact while ports are open (quiescence with an open port is "idle,
+  // awaiting the caller", never a verdict). The port channels must outlive
+  // the instance; exec::Stream owns them.
   [[nodiscard]] TicketId submit(const StreamGraph& g,
                                 std::vector<std::shared_ptr<Kernel>> kernels,
                                 const ExecutorOptions& options);
+
+  // Streaming hooks for exec::Stream. The opaque handle (fetched once per
+  // stream) keeps the per-push path off the ticket table; it pins the
+  // instance, so drop it before or at wait().
+  using StreamHandle = std::shared_ptr<void>;
+  [[nodiscard]] StreamHandle stream_handle(TicketId ticket);
+  // Re-schedules a node task after a port transition (feed push filled an
+  // empty feed; egress pop drained a full tap).
+  static void stream_wake(const StreamHandle& handle, NodeId node);
+  // Reports one port closed (its EOS already pushed). The caller must wake
+  // the port's node afterwards so a quiescent instance re-checks.
+  static void stream_port_closed(const StreamHandle& handle);
 
   // Blocks until the instance finishes; each ticket may be waited once.
   [[nodiscard]] RunResult wait(TicketId ticket);
@@ -150,6 +172,9 @@ class PoolExecutor {
   void worker_loop();
   void run_task(pool_detail::NodeTask* task);
   void schedule(pool_detail::NodeTask* task);
+  // Called at quiescence (active hit zero): finalize, or stay idle when an
+  // open port may still supply work.
+  void maybe_finalize(Instance& instance);
   void finalize(Instance& instance);
 
   Options options_;

@@ -113,16 +113,39 @@ std::optional<HeadView> SpscRing::peek_head() {
   // producer's concurrent run extension.
   for (;;) {
     Segment& s = slot(c_.segs);
-    std::uint32_t run = s.run.load(std::memory_order_acquire);
+    const std::uint32_t raw = s.run.load(std::memory_order_acquire);
+    // The producer's run-extension CAS (and a fresh segment's run store)
+    // becomes visible *before* the matching pushed_ publish, so the raw
+    // value may briefly exceed the published message count. The consumer
+    // must never observe -- let alone pop -- messages beyond pushed_:
+    // over-popping drives popped_ past pushed_, which breaks the
+    // producer's full-check (slot reuse under a live head), the occupancy
+    // snapshots, and the retire walk. Messages preceding this segment
+    // number c_.popped - c_.consumed, so exactly `avail` of the run is
+    // published; clamp to it (after refreshing the cache, so an
+    // already-published extension is never under-reported).
+    std::uint32_t run = raw;
+    if ((raw & kSealed) == 0) {
+      std::uint64_t avail = c_.pushed_cache - (c_.popped - c_.consumed);
+      if (raw > avail) {
+        c_.pushed_cache = pushed_.load(std::memory_order_acquire);
+        avail = c_.pushed_cache - (c_.popped - c_.consumed);
+        if (raw > avail) run = static_cast<std::uint32_t>(avail);
+      }
+    }
     if (c_.consumed < run) {
       if (s.msg.kind == MessageKind::Dummy)
         return HeadView{s.msg.seq + c_.consumed, MessageKind::Dummy,
                         run - c_.consumed};
       return HeadView{s.msg.seq, s.msg.kind, 1};
     }
+    if ((raw & kSealed) == 0 && c_.consumed < raw) continue;
+    // ^ the clamp hid an extension whose count publish is still in flight;
+    // the refresh above makes this retry loop terminate with the producer.
     // Exhausted head: seal it so the producer can never extend it, then
     // retire. A failed seal means the producer just extended the run.
-    if (s.run.compare_exchange_strong(run, run | kSealed,
+    std::uint32_t expected = raw;
+    if (s.run.compare_exchange_strong(expected, raw | kSealed,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
       ++c_.segs;

@@ -27,6 +27,14 @@
 // CASes target the same word with the same expected value, so exactly one
 // side wins and each failure tells the loser precisely what happened.
 //
+// The extension CAS lands *before* the producer's pushed_ publish, so a raw
+// `run` read can briefly exceed the published message count. The consumer
+// therefore clamps every head view to pushed_ (see peek_head): without the
+// clamp, a consumer draining the tail run in a tight loop can pop messages
+// ahead of the count, driving popped_ past pushed_ -- which breaks the
+// producer's full-check (slot reuse under a live head) and every
+// counter-derived invariant after it.
+//
 // Slot-reuse safety (why the producer may overwrite seg[segs % capacity]
 // without reading a consumer-side segment counter): the consumer retires a
 // segment *before* publishing the pop that exhausted it, so whenever the

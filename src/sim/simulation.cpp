@@ -4,17 +4,20 @@
 #include <optional>
 
 #include "src/exec/firing_core.h"
+#include "src/runtime/channel.h"
 #include "src/runtime/message_ring.h"
 #include "src/support/contracts.h"
 
 namespace sdaf::sim {
 
+using runtime::BoundedChannel;
 using runtime::HeadView;
 using runtime::kInfiniteInterval;
 using runtime::Message;
 using runtime::MessageKind;
 using runtime::MessageRing;
 using runtime::NodeWrapper;
+using runtime::PushResult;
 
 namespace {
 
@@ -36,19 +39,27 @@ struct SimChannel {
 };
 
 // Sweep-step sink: an exec::FiringCore over plain rings. Nothing ever
-// blocks or wakes; the round-robin sweep in Simulation::run supplies the
+// blocks or wakes; the round-robin sweep in SweepEngine supplies the
 // scheduling and the core's step() return value is the progress signal the
-// exact deadlock verdict rests on.
+// exact deadlock verdict rests on. A port-fed source reads the injected
+// `feed` BoundedChannel; a tapped sink owns one extra out-slot backed by
+// the `egress` BoundedChannel (both drained/refilled by the caller between
+// pumps -- single-threaded, so the channel atomics are uncontended).
 class SimNode final : private exec::DeliverySink {
  public:
   SimNode(NodeId node, runtime::Kernel& kernel, std::vector<SimChannel*> ins,
-          std::vector<SimChannel*> outs, NodeWrapper wrapper,
+          std::vector<SimChannel*> outs, BoundedChannel* feed,
+          BoundedChannel* egress, NodeWrapper wrapper,
           std::uint64_t num_inputs, std::uint32_t batch,
           runtime::Tracer* tracer, const std::uint64_t* sweep)
       : ins_(std::move(ins)),
         outs_(std::move(outs)),
-        core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
-              num_inputs, *this, batch, tracer, sweep) {}
+        feed_(feed),
+        egress_(egress),
+        core_(node, kernel, ins_.size(),
+              outs_.size() + (egress != nullptr ? 1 : 0), std::move(wrapper),
+              num_inputs, *this, batch, tracer, sweep,
+              /*port_fed=*/feed != nullptr) {}
 
   // One scheduling quantum; returns true if any progress was made.
   bool step() { return core_.step(); }
@@ -77,6 +88,17 @@ class SimNode final : private exec::DeliverySink {
   }
 
   exec::PushOutcome try_push(std::size_t slot, Message&& m) override {
+    if (slot == outs_.size()) {
+      switch (egress_->try_push(std::move(m))) {
+        case PushResult::Ok:
+          return exec::PushOutcome::Delivered;
+        case PushResult::Aborted:
+          return exec::PushOutcome::Aborted;
+        case PushResult::Full:
+        default:
+          return exec::PushOutcome::Blocked;
+      }
+    }
     SimChannel& ch = *outs_[slot];
     if (ch.ring.full()) return exec::PushOutcome::Blocked;
     const bool is_data = m.kind == MessageKind::Data;
@@ -89,6 +111,15 @@ class SimNode final : private exec::DeliverySink {
   std::size_t try_push_dummies(std::size_t slot, std::uint64_t first_seq,
                                std::size_t count,
                                exec::PushOutcome* outcome) override {
+    if (slot == outs_.size()) {
+      bool chan_aborted = false;
+      const std::size_t accepted = egress_->try_push_dummies(
+          first_seq, count, /*was_empty=*/nullptr, &chan_aborted);
+      *outcome = chan_aborted ? exec::PushOutcome::Aborted
+                 : accepted == count ? exec::PushOutcome::Delivered
+                                     : exec::PushOutcome::Blocked;
+      return accepted;
+    }
     SimChannel& ch = *outs_[slot];
     const std::size_t accepted = ch.ring.push_dummies(first_seq, count);
     if (accepted > 0) ch.note_push(0, accepted);
@@ -97,12 +128,148 @@ class SimNode final : private exec::DeliverySink {
     return accepted;
   }
 
+  std::optional<HeadView> peek_feed(bool /*may_wait*/) override {
+    return feed_->try_peek_head();
+  }
+
+  Message pop_feed() override { return feed_->pop_head(); }
+
   std::vector<SimChannel*> ins_;
   std::vector<SimChannel*> outs_;
+  BoundedChannel* feed_;
+  BoundedChannel* egress_;
   exec::FiringCore core_;  // last: its sink is *this
 };
 
 }  // namespace
+
+struct SweepEngine::Impl {
+  const StreamGraph& graph;
+  std::uint64_t max_sweeps;
+  std::uint64_t sweeps = 0;
+  bool all_done = false;
+  std::vector<SimChannel> channels;
+  std::vector<std::unique_ptr<SimNode>> nodes;
+
+  explicit Impl(const StreamGraph& g) : graph(g), max_sweeps(0) {}
+};
+
+SweepEngine::SweepEngine(
+    const StreamGraph& g,
+    const std::vector<std::shared_ptr<runtime::Kernel>>& kernels,
+    const exec::RunSpec& options)
+    : impl_(std::make_unique<Impl>(g)) {
+  SDAF_EXPECTS(kernels.size() == g.node_count());
+  for (const auto& k : kernels) SDAF_EXPECTS(k != nullptr);
+  impl_->max_sweeps = options.max_sweeps;
+
+  const std::size_t edges = g.edge_count();
+  std::vector<std::int64_t> intervals = options.intervals;
+  if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
+  SDAF_EXPECTS(intervals.size() == edges);
+
+  std::vector<std::uint8_t> forward = options.forward_on_filter;
+  if (forward.empty()) forward.assign(edges, 0);
+  SDAF_EXPECTS(forward.size() == edges);
+
+  impl_->channels.reserve(edges);
+  for (EdgeId e = 0; e < edges; ++e)
+    impl_->channels.emplace_back(
+        static_cast<std::size_t>(g.edge(e).buffer));
+
+  impl_->nodes.reserve(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    std::vector<SimChannel*> ins;
+    for (const EdgeId e : g.in_edges(n)) ins.push_back(&impl_->channels[e]);
+    std::vector<SimChannel*> outs;
+    std::vector<std::int64_t> out_intervals;
+    std::vector<std::uint8_t> out_forward;
+    for (const EdgeId e : g.out_edges(n)) {
+      outs.push_back(&impl_->channels[e]);
+      out_intervals.push_back(intervals[e]);
+      out_forward.push_back(forward[e]);
+    }
+    BoundedChannel* feed = nullptr;
+    BoundedChannel* egress = nullptr;
+    if (options.ports != nullptr) {
+      feed = options.ports->feed_for(n);
+      egress = options.ports->egress_for(n);
+      if (egress != nullptr) {
+        // The egress tap is one extra out-slot: infinite dummy interval,
+        // never continuation-forwarding.
+        out_intervals.push_back(kInfiniteInterval);
+        out_forward.push_back(0);
+      }
+    }
+    impl_->nodes.push_back(std::make_unique<SimNode>(
+        n, *kernels[n], std::move(ins), std::move(outs), feed, egress,
+        NodeWrapper(options.mode, std::move(out_intervals),
+                    std::move(out_forward)),
+        options.num_inputs, options.batch, options.tracer, &impl_->sweeps));
+  }
+}
+
+SweepEngine::~SweepEngine() = default;
+
+bool SweepEngine::pump() {
+  Impl& s = *impl_;
+  bool pumped = false;
+  while (!s.all_done && s.sweeps < s.max_sweeps) {
+    bool progress = false;
+    bool done = true;
+    for (auto& node : s.nodes) {
+      progress |= node->step();
+      done &= node->done();
+    }
+    pumped |= progress;
+    if (done) {
+      s.all_done = true;
+      break;  // terminal sweep: not counted, matching the historical loop
+    }
+    if (!progress) break;  // starved or wedged: also not counted
+    ++s.sweeps;
+  }
+  return pumped;
+}
+
+bool SweepEngine::all_done() const { return impl_->all_done; }
+
+std::uint64_t SweepEngine::sweeps() const { return impl_->sweeps; }
+
+exec::RunReport SweepEngine::report(bool deadlocked) const {
+  const Impl& s = *impl_;
+  exec::RunReport result;
+  result.backend = exec::Backend::Sim;
+  result.sweeps = s.sweeps;
+  result.completed = s.all_done;
+  result.deadlocked = deadlocked;
+  if (deadlocked) {
+    result.state_dump = exec::dump_wedged_state(
+        s.graph,
+        [&](EdgeId e) {
+          const auto& ch = s.channels[e];
+          exec::EdgeDumpInfo info{ch.ring.size(), ch.ring.capacity(),
+                                  ch.traffic.data, ch.traffic.dummies,
+                                  std::nullopt, std::nullopt};
+          if (!ch.ring.empty()) {
+            info.head = ch.ring.head_message();
+            info.tail = ch.ring.tail_message();
+          }
+          return info;
+        },
+        [&](NodeId n) { return s.nodes[n]->describe(); });
+  }
+  result.edges.resize(s.channels.size());
+  for (std::size_t e = 0; e < s.channels.size(); ++e)
+    result.edges[e] = s.channels[e].traffic;
+  result.fires.resize(s.nodes.size());
+  result.sink_data.resize(s.nodes.size());
+  for (std::size_t n = 0; n < s.nodes.size(); ++n) {
+    result.fires[n] = s.nodes[n]->fires();
+    result.sink_data[n] = s.nodes[n]->sink_data();
+  }
+  return result;
+}
 
 Simulation::Simulation(const StreamGraph& g,
                        std::vector<std::shared_ptr<runtime::Kernel>> kernels)
@@ -112,82 +279,17 @@ Simulation::Simulation(const StreamGraph& g,
 }
 
 exec::RunReport Simulation::run(const exec::RunSpec& options) {
-  const std::size_t edges = graph_.edge_count();
-  std::vector<std::int64_t> intervals = options.intervals;
-  if (intervals.empty()) intervals.assign(edges, kInfiniteInterval);
-  SDAF_EXPECTS(intervals.size() == edges);
-
-  std::vector<std::uint8_t> forward = options.forward_on_filter;
-  if (forward.empty()) forward.assign(edges, 0);
-  SDAF_EXPECTS(forward.size() == edges);
-
-  std::vector<SimChannel> channels;
-  channels.reserve(edges);
-  for (EdgeId e = 0; e < edges; ++e)
-    channels.emplace_back(static_cast<std::size_t>(graph_.edge(e).buffer));
-
-  exec::RunReport result;
-  result.backend = exec::Backend::Sim;
-  std::vector<std::unique_ptr<SimNode>> nodes;
-  nodes.reserve(graph_.node_count());
-  for (NodeId n = 0; n < graph_.node_count(); ++n) {
-    std::vector<SimChannel*> ins;
-    for (const EdgeId e : graph_.in_edges(n)) ins.push_back(&channels[e]);
-    std::vector<SimChannel*> outs;
-    std::vector<std::int64_t> out_intervals;
-    std::vector<std::uint8_t> out_forward;
-    for (const EdgeId e : graph_.out_edges(n)) {
-      outs.push_back(&channels[e]);
-      out_intervals.push_back(intervals[e]);
-      out_forward.push_back(forward[e]);
-    }
-    nodes.push_back(std::make_unique<SimNode>(
-        n, *kernels_[n], std::move(ins), std::move(outs),
-        NodeWrapper(options.mode, std::move(out_intervals),
-                    std::move(out_forward)),
-        options.num_inputs, options.batch, options.tracer, &result.sweeps));
-  }
-  for (result.sweeps = 0; result.sweeps < options.max_sweeps;
-       ++result.sweeps) {
-    bool progress = false;
-    bool all_done = true;
-    for (auto& node : nodes) {
-      progress |= node->step();
-      all_done &= node->done();
-    }
-    if (all_done) {
-      result.completed = true;
-      break;
-    }
-    if (!progress) {
-      result.deadlocked = true;
-      result.state_dump = exec::dump_wedged_state(
-          graph_,
-          [&](EdgeId e) {
-            const auto& ch = channels[e];
-            exec::EdgeDumpInfo info{ch.ring.size(), ch.ring.capacity(),
-                                    ch.traffic.data, ch.traffic.dummies,
-                                    std::nullopt, std::nullopt};
-            if (!ch.ring.empty()) {
-              info.head = ch.ring.head_message();
-              info.tail = ch.ring.tail_message();
-            }
-            return info;
-          },
-          [&](NodeId n) { return nodes[n]->describe(); });
-      break;
-    }
-  }
-
-  result.edges.resize(edges);
-  for (EdgeId e = 0; e < edges; ++e) result.edges[e] = channels[e].traffic;
-  result.fires.resize(graph_.node_count());
-  result.sink_data.resize(graph_.node_count());
-  for (NodeId n = 0; n < graph_.node_count(); ++n) {
-    result.fires[n] = nodes[n]->fires();
-    result.sink_data[n] = nodes[n]->sink_data();
-  }
-  return result;
+  // Live ports would make a no-progress sweep ambiguous (more input may
+  // arrive); this blocking entry point only accepts pre-closed feeds.
+  SDAF_EXPECTS(options.ports == nullptr || !options.ports->live);
+  SweepEngine engine(graph_, kernels_, options);
+  (void)engine.pump();
+  // With every feed pre-closed, pump() stopping short of completion inside
+  // the sweep budget is exactly the historical verdict: a full round-robin
+  // sweep with no progress while work remains.
+  const bool deadlocked =
+      !engine.all_done() && engine.sweeps() < options.max_sweeps;
+  return engine.report(deadlocked);
 }
 
 }  // namespace sdaf::sim

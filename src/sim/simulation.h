@@ -33,14 +33,52 @@ class Simulation {
   Simulation(const StreamGraph& g,
              std::vector<std::shared_ptr<runtime::Kernel>> kernels);
 
-  // Consumes spec.mode/intervals/forward_on_filter/num_inputs/tracer/batch
-  // and max_sweeps; backend-selection, watchdog and pool fields are
+  // Consumes spec.mode/intervals/forward_on_filter/num_inputs/tracer/batch,
+  // max_sweeps and ports; backend-selection, watchdog and pool fields are
   // ignored.
   [[nodiscard]] exec::RunReport run(const exec::RunSpec& options);
 
  private:
   const StreamGraph& graph_;
   std::vector<std::shared_ptr<runtime::Kernel>> kernels_;
+};
+
+// The incremental sweep engine behind both Simulation::run and the Sim
+// backend of exec::Stream: the same channels, nodes, and round-robin sweep
+// rule, but the *caller* owns the sweep loop, so injected feed channels
+// (exec::RunSpec::ports) can be refilled between pumps -- "the sim drains
+// whatever is pushed between deterministic sweeps". A pump that stops
+// without finishing is not a verdict by itself: only the caller knows
+// whether more input may still arrive (Simulation::run knows it cannot, so
+// there a no-progress pump *is* the exact deadlock verdict of the paper's
+// sweep rule).
+class SweepEngine {
+ public:
+  SweepEngine(const StreamGraph& g,
+              const std::vector<std::shared_ptr<runtime::Kernel>>& kernels,
+              const exec::RunSpec& options);
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  // Round-robin sweeps until every node is done, a sweep makes no progress,
+  // or sweeps() reaches the spec's max_sweeps. Returns true iff any sweep
+  // made progress. Sweep accounting is bit-compatible with the historical
+  // Simulation::run loop: terminal sweeps (the all-done one and a
+  // no-progress one) are not counted.
+  bool pump();
+
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] std::uint64_t sweeps() const;
+
+  // Final report (traffic, fires, sink deliveries; state dump iff
+  // `deadlocked`). The verdict flags are the caller's call, see above.
+  [[nodiscard]] exec::RunReport report(bool deadlocked) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace sdaf::sim

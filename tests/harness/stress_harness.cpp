@@ -1,6 +1,8 @@
 #include "tests/harness/stress_harness.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/core/compile.h"
@@ -27,6 +29,16 @@ const char* to_string(Topology t) {
       return "triangle";
     case Topology::Continuation:
       return "continuation";
+  }
+  return "?";
+}
+
+const char* to_string(FeedMode m) {
+  switch (m) {
+    case FeedMode::Batch:
+      return "batch";
+    case FeedMode::Port:
+      return "port";
   }
   return "?";
 }
@@ -67,7 +79,8 @@ std::string to_string(const CaseSpec& spec) {
   std::ostringstream out;
   out << "topo=" << to_string(spec.topology) << " seed=" << spec.seed
       << " inputs=" << spec.num_inputs << " pass=" << pass
-      << " mode=" << mode_name(spec.mode) << " batch=" << spec.batch;
+      << " mode=" << mode_name(spec.mode) << " batch=" << spec.batch
+      << " feed=" << to_string(spec.feed) << " chunk=" << spec.chunk;
   return out.str();
 }
 
@@ -99,6 +112,15 @@ std::optional<CaseSpec> parse_case(const std::string& line) {
         spec.mode = *m;
       } else if (key == "batch") {
         spec.batch = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "feed") {
+        if (value == "batch")
+          spec.feed = FeedMode::Batch;
+        else if (value == "port")
+          spec.feed = FeedMode::Port;
+        else
+          return std::nullopt;
+      } else if (key == "chunk") {
+        spec.chunk = static_cast<std::uint32_t>(std::stoul(value));
       } else {
         return std::nullopt;
       }
@@ -231,9 +253,52 @@ std::optional<std::string> compare_reports(const exec::RunReport& expected,
 
 }  // namespace
 
+namespace {
+
+// The live-port equivalent of the batch run: push exactly num_inputs firing
+// tokens per source in randomized chunks (pacing decorrelated from the
+// topology seed), opportunistically draining the egress taps between
+// chunks, then dynamic close + finish. Feed capacity covers the whole run
+// so a wedged workload can never park the harness in push() -- the verdict
+// always arrives from finish(). Bit-identity with the batch run is the
+// property under test.
+exec::RunReport run_backend_port(const StreamGraph& g, const CaseSpec& spec,
+                                 exec::Backend backend,
+                                 runtime::PoolExecutor* pool) {
+  exec::Session session(g, build_kernels(g, spec));
+  exec::StreamSpec ss;
+  ss.run = make_run_spec(g, spec);
+  ss.run.backend = backend;
+  ss.run.pool = pool;
+  ss.feed_capacity = static_cast<std::size_t>(spec.num_inputs) + 1;
+  ss.egress_capacity = static_cast<std::size_t>(spec.num_inputs) + 2;
+  exec::Stream stream = session.open(ss);
+  Prng pacing(spec.seed ^ 0xFEEDF00Dull);
+  const std::uint32_t max_chunk = std::max<std::uint32_t>(1, spec.chunk);
+  std::uint64_t pushed = 0;
+  while (pushed < spec.num_inputs) {
+    std::uint64_t chunk = 1 + pacing.next_below(max_chunk);
+    for (; chunk > 0 && pushed < spec.num_inputs; --chunk, ++pushed)
+      for (std::size_t i = 0; i < stream.input_count(); ++i) {
+        const bool ok = stream.input(i).push();
+        SDAF_EXPECTS(ok);
+      }
+    for (std::size_t i = 0; i < stream.output_count(); ++i)
+      while (stream.output(i).poll().has_value()) {
+      }
+  }
+  for (std::size_t i = 0; i < stream.input_count(); ++i)
+    stream.input(i).close();
+  return stream.finish();
+}
+
+}  // namespace
+
 exec::RunReport run_backend(const StreamGraph& g, const CaseSpec& spec,
                             exec::Backend backend,
                             runtime::PoolExecutor* pool) {
+  if (spec.feed == FeedMode::Port)
+    return run_backend_port(g, spec, backend, pool);
   exec::Session session(g, build_kernels(g, spec));
   exec::RunSpec rs = make_run_spec(g, spec);
   rs.backend = backend;
@@ -249,6 +314,10 @@ std::optional<std::string> run_differential(const CaseSpec& spec,
   exec::RunSpec rs = make_run_spec(g, spec);
   rs.pool = pool;
 
+  // The reference is always the batch-fed simulator: in Port mode that
+  // makes the check exactly "a port-fed run pushing the same N items is
+  // bit-identical to the equivalent num_inputs batch run", on every
+  // backend including the port-fed simulator itself.
   rs.backend = exec::Backend::Sim;
   const exec::RunReport reference = session.run(rs);
   if (reference_deadlocked != nullptr)
@@ -256,11 +325,14 @@ std::optional<std::string> run_differential(const CaseSpec& spec,
   if (auto err = check_dump(reference, "sim"); err.has_value())
     return *err + "\n  repro: " + repro_command(spec);
 
-  for (const exec::Backend backend :
-       {exec::Backend::Threaded, exec::Backend::Pooled}) {
-    rs.backend = backend;
-    const exec::RunReport report = session.run(rs);
-    const std::string label = exec::to_string(backend);
+  std::vector<exec::Backend> backends = {exec::Backend::Threaded,
+                                         exec::Backend::Pooled};
+  if (spec.feed == FeedMode::Port)
+    backends.insert(backends.begin(), exec::Backend::Sim);
+  for (const exec::Backend backend : backends) {
+    const exec::RunReport report = run_backend(g, spec, backend, pool);
+    const std::string label = std::string(exec::to_string(backend)) +
+                              (spec.feed == FeedMode::Port ? "+port" : "");
     auto err = compare_reports(reference, report, label);
     if (!err.has_value()) err = check_dump(report, label);
     if (err.has_value())
@@ -292,17 +364,25 @@ CaseSpec random_case(Prng& rng) {
     const std::uint32_t batches[] = {1, 7, 64};
     spec.batch = batches[rng.next_below(3)];
   }
+  spec.feed = rng.next_below(100) < 30 ? FeedMode::Port : FeedMode::Batch;
+  spec.chunk = 1 + static_cast<std::uint32_t>(rng.next_below(8));
   return spec;
 }
 
 SweepResult sweep_random_cases(std::uint64_t sweep_seed, double seconds,
-                               int max_cases, runtime::PoolExecutor* pool) {
+                               int max_cases, runtime::PoolExecutor* pool,
+                               std::optional<FeedMode> forced_feed) {
   SweepResult result;
   Prng rng(sweep_seed);
   Stopwatch clock;
+  // SDAF_STRESS_VERBOSE: one line per case before it runs, so a hang (not
+  // just a mismatch) identifies its case.
+  const bool verbose = std::getenv("SDAF_STRESS_VERBOSE") != nullptr;
   while (result.cases_run < max_cases &&
          (result.cases_run == 0 || clock.elapsed_seconds() < seconds)) {
-    const CaseSpec spec = random_case(rng);
+    CaseSpec spec = random_case(rng);
+    if (forced_feed.has_value()) spec.feed = *forced_feed;
+    if (verbose) std::fprintf(stderr, "case: %s\n", to_string(spec).c_str());
     bool deadlocked = false;
     result.failure = run_differential(spec, pool, &deadlocked);
     if (deadlocked) ++result.deadlocks;

@@ -40,11 +40,25 @@ enum class Topology : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Topology t);
 
+// How the workload's items reach the sources.
+enum class FeedMode : std::uint8_t {
+  Batch,  // classic: Session::run with RunSpec::num_inputs
+  Port,   // live: Session::open, randomized push chunking/pacing through
+          // InputPorts (tokens, so kernels fire exactly as in batch mode),
+          // outputs drained through the egress taps, dynamic close()
+};
+
+[[nodiscard]] const char* to_string(FeedMode m);
+
 // Everything that determines one workload, bit for bit. `seed` shapes the
 // graph (buffer sizes, structure) and decorrelates the kernel filters;
 // `mode` None disables avoidance (batch is then pinned to 1 by
 // random_case -- unprotected deadlock verdicts are only exact at the
-// paper's message-at-a-time pacing).
+// paper's message-at-a-time pacing). `feed` Port runs the same workload
+// through the streaming ports, with `chunk` bounding the randomized push
+// chunk size; the reference is always the batch-fed simulator, so every
+// port-fed backend is differential-tested bit-identical to the equivalent
+// num_inputs batch run.
 struct CaseSpec {
   Topology topology = Topology::Sp;
   std::uint64_t seed = 1;
@@ -52,6 +66,8 @@ struct CaseSpec {
   double pass_rate = 0.7;
   runtime::DummyMode mode = runtime::DummyMode::Propagation;
   std::uint32_t batch = 1;
+  FeedMode feed = FeedMode::Batch;
+  std::uint32_t chunk = 8;  // Port only: pushes land in chunks of 1..chunk
 };
 
 // One-line `key=value ...` form; parse_case is its exact inverse.
@@ -64,25 +80,29 @@ struct CaseSpec {
 [[nodiscard]] std::vector<std::shared_ptr<runtime::Kernel>> build_kernels(
     const StreamGraph& g, const CaseSpec& spec);
 
-// Runs the spec on one backend. When `pool` is null the Pooled backend uses
-// a private 2-worker pool. mode != None runs with compiled intervals.
+// Runs the spec on one backend, honouring spec.feed. When `pool` is null
+// the Pooled backend uses a private 2-worker pool. mode != None runs with
+// compiled intervals.
 [[nodiscard]] exec::RunReport run_backend(const StreamGraph& g,
                                           const CaseSpec& spec,
                                           exec::Backend backend,
                                           runtime::PoolExecutor* pool);
 
-// The differential check: simulator reference, then threaded and pooled
-// must match verdict, per-edge {data, dummies}, fires and sink_data -- and
-// every backend must emit a state_dump exactly when deadlocked. Returns
-// nullopt on agreement, else a mismatch description ending in the repro
-// command. `reference_deadlocked` (optional) reports the reference
-// verdict, so sweeps can tally without re-running the simulator.
+// The differential check: batch-fed simulator reference, then every
+// backend (all three in Port mode -- the port-fed sim included -- else
+// threaded and pooled) must match verdict, per-edge {data, dummies}, fires
+// and sink_data -- and every backend must emit a state_dump exactly when
+// deadlocked. Returns nullopt on agreement, else a mismatch description
+// ending in the repro command. `reference_deadlocked` (optional) reports
+// the reference verdict, so sweeps can tally without re-running the
+// simulator.
 [[nodiscard]] std::optional<std::string> run_differential(
     const CaseSpec& spec, runtime::PoolExecutor* pool,
     bool* reference_deadlocked = nullptr);
 
 // Draws a random but replayable CaseSpec: all topologies, both dummy modes
-// plus avoidance-off, batch in {1, 7, 64} (1 when mode == None).
+// plus avoidance-off, batch in {1, 7, 64} (1 when mode == None), batch- or
+// port-fed with a random chunking bound.
 [[nodiscard]] CaseSpec random_case(Prng& rng);
 
 struct SweepResult {
@@ -92,9 +112,11 @@ struct SweepResult {
 };
 
 // Runs random cases derived from `sweep_seed` until `seconds` elapse or
-// `max_cases` have run; stops at the first mismatch.
-[[nodiscard]] SweepResult sweep_random_cases(std::uint64_t sweep_seed,
-                                             double seconds, int max_cases,
-                                             runtime::PoolExecutor* pool);
+// `max_cases` have run; stops at the first mismatch. `forced_feed` pins
+// every case to one feed mode (the ci.sh --stress port-mode sweep).
+[[nodiscard]] SweepResult sweep_random_cases(
+    std::uint64_t sweep_seed, double seconds, int max_cases,
+    runtime::PoolExecutor* pool,
+    std::optional<FeedMode> forced_feed = std::nullopt);
 
 }  // namespace sdaf::harness

@@ -31,9 +31,15 @@ TEST(HarnessStress, SpecRoundTrip) {
     EXPECT_EQ(parsed->pass_rate, spec.pass_rate);  // %.17g round-trips
     EXPECT_EQ(parsed->mode, spec.mode);
     EXPECT_EQ(parsed->batch, spec.batch);
+    EXPECT_EQ(parsed->feed, spec.feed);
+    EXPECT_EQ(parsed->chunk, spec.chunk);
   }
   EXPECT_FALSE(parse_case("nonsense").has_value());
   EXPECT_FALSE(parse_case("topo=warp seed=1").has_value());
+  // Pre-port repro lines (no feed=/chunk=) still parse, as batch-fed.
+  const auto legacy = parse_case("topo=sp seed=7 inputs=30 batch=2");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->feed, FeedMode::Batch);
 }
 
 TEST(HarnessStress, EveryTopologyRunsDifferentially) {
@@ -74,6 +80,26 @@ TEST(HarnessStress, TimeBoxedRandomSweep) {
   runtime::PoolExecutor pool(3);
   const SweepResult result = sweep_random_cases(
       seed, seconds, /*max_cases=*/1000000, &pool);
+  EXPECT_FALSE(result.failure.has_value()) << *result.failure;
+  EXPECT_GE(result.cases_run, 1);
+  RecordProperty("cases_run", result.cases_run);
+  RecordProperty("deadlocks", result.deadlocks);
+}
+
+// Every case port-fed: randomized push chunking/pacing through the live
+// Stream API on all three backends, each required bit-identical to the
+// batch-fed simulator reference (tools/ci.sh --stress runs this under
+// ASan and TSan).
+TEST(HarnessStress, PortModeSweep) {
+  double seconds = 2.0;
+  if (const char* env = std::getenv("SDAF_STRESS_SECONDS"))
+    seconds = std::strtod(env, nullptr);
+  std::uint64_t seed = 0x5EED ^ 0x90;
+  if (const char* env = std::getenv("SDAF_STRESS_SEED"))
+    seed = std::strtoull(env, nullptr, 0);
+  runtime::PoolExecutor pool(3);
+  const SweepResult result = sweep_random_cases(
+      seed, seconds, /*max_cases=*/1000000, &pool, FeedMode::Port);
   EXPECT_FALSE(result.failure.has_value()) << *result.failure;
   EXPECT_GE(result.cases_run, 1);
   RecordProperty("cases_run", result.cases_run);

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Benchmark runner with a machine-readable, schema-stable output contract:
-# runs bench_throughput and bench_pool_scaling in a fixed configuration and
-# writes google-benchmark JSON to BENCH_throughput.json /
-# BENCH_pool_scaling.json at the repo root, so successive PRs have a
-# comparable trajectory to track (items_per_second is the figure of merit;
-# per-run dummy counts ride along as cross-checks).
+# runs bench_throughput, bench_pool_scaling and bench_streaming_latency in
+# a fixed configuration and writes google-benchmark JSON to
+# BENCH_throughput.json / BENCH_pool_scaling.json / BENCH_streaming.json at
+# the repo root, so successive PRs have a comparable trajectory to track
+# (items_per_second is the figure of merit for the batch benches; the
+# streaming bench adds push->poll p50_ns/p99_ns latency percentiles and
+# sustained-ingest items_per_second; per-run dummy counts ride along as
+# cross-checks).
 #
 #   tools/bench.sh            # full run (all registered benchmarks)
 #   tools/bench.sh --smoke    # CI mode: the fixed smoke subset, ~seconds,
@@ -28,26 +31,31 @@ while [[ $# -gt 0 ]]; do
 done
 
 jobs=$(nproc 2>/dev/null || echo 2)
-if [[ ! -x "$build_dir/bench_throughput" ]]; then
+if [[ ! -x "$build_dir/bench_throughput" ||
+      ! -x "$build_dir/bench_pool_scaling" ||
+      ! -x "$build_dir/bench_streaming_latency" ]]; then
   if [[ "$build_dir" != build/release ]]; then
-    echo "error: $build_dir/bench_throughput not found; build it first" >&2
+    echo "error: bench binaries missing from $build_dir; build them first" >&2
     exit 1
   fi
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
-      --target bench_throughput bench_pool_scaling
+      --target bench_throughput bench_pool_scaling bench_streaming_latency
 fi
 
 # The smoke subset is fixed so the JSON schema (benchmark names + counters)
 # stays stable across PRs: the three throughput pass rates at the batched
-# quantum, the pooled filtering sweep, and (since the SPSC channel fast
-# path) two batch=1 pooled ladder configs whose per-op channel cost is the
-# figure the lock-free path exists to cut.
+# quantum, the pooled filtering sweep, (since the SPSC channel fast path)
+# two batch=1 pooled ladder configs whose per-op channel cost is the figure
+# the lock-free path exists to cut, and (since the streaming ports) one
+# latency and one ingest config per concurrent backend.
 throughput_filter='.'
 pool_filter='Filtering|CompileCache'
+streaming_filter='.'
 if [[ $smoke -eq 1 ]]; then
   throughput_filter='BM_Throughput_Pass(100|50|10)/'
   pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2'
+  streaming_filter='BM_Stream(Latency|Ingest)_(Pooled|Threaded)'
 fi
 
 echo "==> bench_throughput -> BENCH_throughput.json"
@@ -60,6 +68,12 @@ echo "==> bench_pool_scaling -> BENCH_pool_scaling.json"
 "$build_dir/bench_pool_scaling" \
     --benchmark_filter="$pool_filter" \
     --benchmark_out=BENCH_pool_scaling.json \
+    --benchmark_out_format=json
+
+echo "==> bench_streaming_latency -> BENCH_streaming.json"
+"$build_dir/bench_streaming_latency" \
+    --benchmark_filter="$streaming_filter" \
+    --benchmark_out=BENCH_streaming.json \
     --benchmark_out_format=json
 
 echo "==> bench OK"

@@ -8,8 +8,10 @@
 #   tools/ci.sh --fast     # release only
 #   tools/ci.sh --stress   # everything above, then a time-boxed randomized
 #                          # stress tier under both sanitizers: the
-#                          # cross-backend differential harness sweep and
-#                          # the SPSC two-thread hammer. Tune with
+#                          # cross-backend differential harness sweep (batch
+#                          # and port feed modes), the port-mode harness
+#                          # sweep (every case through the live Stream API),
+#                          # and the SPSC two-thread hammer. Tune with
 #                          # SDAF_STRESS_SECONDS (default 30, per binary)
 #                          # and SDAF_STRESS_SEED. On a mismatch the
 #                          # harness prints a one-line SDAF_HARNESS_REPRO
@@ -50,6 +52,8 @@ if [[ "$mode" == "--stress" ]]; then
     echo "==> $preset stress sweep (${stress_seconds}s per binary)"
     "build/$preset/test_harness_stress" \
         --gtest_filter='HarnessStress.TimeBoxedRandomSweep'
+    "build/$preset/test_harness_stress" \
+        --gtest_filter='HarnessStress.PortModeSweep'
     "build/$preset/test_spsc_ring" --gtest_filter='SpscRingHammer.*'
     "build/$preset/test_deadlock_verdicts"
   done

@@ -8,20 +8,30 @@
 //   sdafc [--nonprop] [--reject-general] [--dot] [--ceil] FILE
 //   sdafc --run [--backend=sim|threaded|pooled] [--items=N]
 //         [--pass-rate=P] [--seed=S] [--no-avoidance] FILE
+//   sdafc --run --stdin [--backend=...] FILE   # one item per input line
 //   sdafc --help
+//
+// --stdin drives the topology live through the streaming port API: each
+// stdin line is pushed as one item into the (single) source's InputPort,
+// results are printed from the sink OutputPorts as they arrive
+// ("sink[seq]\ttext"), and EOF is the dynamic close() that ends the
+// stream with the usual verdict.
 //
 // Exit status: 0 ok, 1 rejected/invalid/incomplete, 2 usage,
 // 3 run deadlocked.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/core/compile.h"
 #include "src/core/report.h"
 #include "src/exec/session.h"
+#include "src/exec/stream.h"
 #include "src/graph/io.h"
 #include "src/workloads/filters.h"
 
@@ -34,7 +44,8 @@ int usage() {
       stderr,
       "usage: sdafc [--nonprop] [--reject-general] [--dot] [--ceil]\n"
       "             [--run] [--backend=sim|threaded|pooled] [--items=N]\n"
-      "             [--pass-rate=P] [--seed=S] [--no-avoidance] FILE\n"
+      "             [--pass-rate=P] [--seed=S] [--no-avoidance] [--stdin]\n"
+      "             FILE\n"
       "  FILE format:  node <name> | edge <from> <to> <buffer>\n"
       "  --nonprop         use the Non-Propagation Algorithm\n"
       "  --reject-general  refuse non-CS4 topologies\n"
@@ -48,6 +59,10 @@ int usage() {
       "  --seed=S          kernel seed (default 1)\n"
       "  --no-avoidance    run without dummy wrappers (demonstrates the\n"
       "                    deadlock the intervals prevent)\n"
+      "  --stdin           with --run: stream one item per stdin line\n"
+      "                    through the live InputPort (single-source\n"
+      "                    topologies), printing sink results as they\n"
+      "                    arrive; EOF closes the stream\n"
       "  exit: 0 ok, 1 rejected/invalid/incomplete, 2 usage,\n"
       "        3 run deadlocked\n");
   return 2;
@@ -69,12 +84,113 @@ bool parse_probability(const char* text, double* out) {
   return true;
 }
 
+std::string value_text(const runtime::Value& v) {
+  if (!v.has_value()) return "<token>";
+  try {
+    return v.as<std::string>();
+  } catch (const std::bad_cast&) {
+  }
+  try {
+    return std::to_string(v.as<std::int64_t>());
+  } catch (const std::bad_cast&) {
+  }
+  try {
+    return std::to_string(v.as<double>());
+  } catch (const std::bad_cast&) {
+  }
+  return "<opaque>";
+}
+
+// Shared trailer for --run and --stdin: verdict line, traffic totals, and
+// the wedged-state dump on deadlock. Returns the process exit status.
+int print_run_report(const StreamGraph& g, const exec::RunReport& report,
+                     const char* mode_name, std::uint64_t items,
+                     double pass_rate) {
+  const char* verdict = report.completed    ? "COMPLETED"
+                        : report.deadlocked ? "DEADLOCKED"
+                                            : "INCOMPLETE (sweep limit)";
+  std::cout << "run backend=" << exec::to_string(report.backend)
+            << " mode=" << mode_name << " items=" << items
+            << " pass_rate=" << pass_rate << "\n"
+            << "  " << verdict << " wall=" << report.wall_seconds << "s";
+  if (report.backend == exec::Backend::Sim)
+    std::cout << " sweeps=" << report.sweeps;
+  std::cout << "\n  data=" << report.total_data()
+            << " dummies=" << report.total_dummies() << " sink_data=";
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    if (g.out_degree(n) == 0) std::cout << report.sink_data[n] << " ";
+  std::cout << "\n";
+  if (report.deadlocked && !report.state_dump.empty())
+    std::cout << "--- wedged state ---\n" << report.state_dump;
+  if (report.completed) return 0;
+  return report.deadlocked ? 3 : 1;
+}
+
+// The live path: one stdin line = one item through the InputPort, results
+// streamed from the OutputPorts as they arrive. Backpressure is handled by
+// draining taps between push attempts (and pumping on the Sim backend); a
+// topology that stops absorbing input for ~5s is reported and closed, so
+// the verdict still comes from the exact machinery.
+int run_stdin_stream(const StreamGraph& g, exec::StreamSpec spec,
+                     const char* mode_name, double pass_rate,
+                     std::uint64_t seed) {
+  if (g.sources().size() != 1) {
+    std::fprintf(stderr,
+                 "sdafc: --stdin needs exactly one source node (got %zu)\n",
+                 g.sources().size());
+    return 1;
+  }
+  exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
+  exec::Stream stream = session.open(std::move(spec));
+  exec::InputPort& in = stream.input(0);
+
+  const auto drain = [&] {
+    for (std::size_t i = 0; i < stream.output_count(); ++i) {
+      exec::OutputPort& out = stream.output(i);
+      while (auto item = out.poll())
+        std::cout << g.node_name(out.node()) << "[" << item->seq << "]\t"
+                  << value_text(item->value) << "\n";
+    }
+  };
+
+  bool wedged = false;
+  std::uint64_t items = 0;
+  std::string line;
+  while (!wedged && std::getline(std::cin, line)) {
+    int stalls = 0;
+    while (!in.try_push(runtime::Value(line))) {
+      stream.pump();  // Sim: run sweeps; concurrent backends: no-op
+      drain();
+      if (++stalls > 5000) {
+        std::fprintf(stderr,
+                     "sdafc: stream stopped absorbing input; closing\n");
+        wedged = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!wedged) ++items;
+    drain();
+  }
+  in.close();
+  // Stream the tail until every tap reports end-of-stream.
+  for (std::size_t i = 0; i < stream.output_count(); ++i) {
+    exec::OutputPort& out = stream.output(i);
+    while (auto item = out.next())
+      std::cout << g.node_name(out.node()) << "[" << item->seq << "]\t"
+                << value_text(item->value) << "\n";
+  }
+  const auto report = stream.finish();
+  return print_run_report(g, report, mode_name, items, pass_rate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   core::CompileOptions options;
   bool dot = false;
   bool run = false;
+  bool use_stdin = false;
   bool avoidance = true;
   core::Rounding rounding = core::Rounding::Floor;
   exec::Backend backend = exec::Backend::Sim;
@@ -121,6 +237,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-avoidance") {
       avoidance = false;
+    } else if (arg == "--stdin") {
+      use_stdin = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -163,9 +281,12 @@ int main(int argc, char** argv) {
     }
   }
   if (!result.ok) return 1;
-  if (!run) return 0;
+  if (!run) {
+    if (use_stdin)
+      std::fprintf(stderr, "sdafc: --stdin requires --run\n");
+    return use_stdin ? usage() : 0;
+  }
 
-  exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
   exec::RunSpec spec;
   spec.backend = backend;
   spec.num_inputs = items;
@@ -177,29 +298,22 @@ int main(int argc, char** argv) {
   } else {
     spec.mode = runtime::DummyMode::None;
   }
-  const auto report = session.run(spec);
+  const char* mode_name =
+      avoidance ? (spec.mode == runtime::DummyMode::Propagation
+                       ? "propagation"
+                       : "nonpropagation")
+                : "none";
 
+  if (use_stdin) {
+    exec::StreamSpec stream_spec;
+    stream_spec.run = spec;
+    return run_stdin_stream(g, std::move(stream_spec), mode_name, pass_rate,
+                            seed);
+  }
+
+  exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
+  const auto report = session.run(spec);
   // Three distinct outcomes: completed, certified deadlock, or a sim run
   // truncated by the sweep ceiling (neither flag set).
-  const char* verdict = report.completed    ? "COMPLETED"
-                        : report.deadlocked ? "DEADLOCKED"
-                                            : "INCOMPLETE (sweep limit)";
-  std::cout << "run backend=" << exec::to_string(report.backend)
-            << " mode=" << (avoidance ? (spec.mode == runtime::DummyMode::Propagation
-                                             ? "propagation"
-                                             : "nonpropagation")
-                                      : "none")
-            << " items=" << items << " pass_rate=" << pass_rate << "\n"
-            << "  " << verdict << " wall=" << report.wall_seconds << "s";
-  if (report.backend == exec::Backend::Sim)
-    std::cout << " sweeps=" << report.sweeps;
-  std::cout << "\n  data=" << report.total_data()
-            << " dummies=" << report.total_dummies() << " sink_data=";
-  for (NodeId n = 0; n < g.node_count(); ++n)
-    if (g.out_degree(n) == 0) std::cout << report.sink_data[n] << " ";
-  std::cout << "\n";
-  if (report.deadlocked && !report.state_dump.empty())
-    std::cout << "--- wedged state ---\n" << report.state_dump;
-  if (report.completed) return 0;
-  return report.deadlocked ? 3 : 1;
+  return print_run_report(g, report, mode_name, items, pass_rate);
 }
