@@ -1,6 +1,7 @@
 #include "src/exec/firing_core.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <sstream>
 
@@ -48,7 +49,8 @@ std::string describe_park_summary(std::uint64_t summary) {
 std::string dump_wedged_state(
     const StreamGraph& g,
     const std::function<EdgeDumpInfo(EdgeId)>& edge_info,
-    const std::function<std::string(NodeId)>& node_info) {
+    const std::function<NodeDumpInfo(NodeId)>& node_info,
+    const runtime::Tracer* tracer, std::size_t trace_tail) {
   std::ostringstream dump;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const EdgeDumpInfo info = edge_info(e);
@@ -62,8 +64,14 @@ std::string dump_wedged_state(
       dump << " tail=" << runtime::to_string(*info.tail);
     dump << "\n";
   }
-  for (NodeId n = 0; n < g.node_count(); ++n)
-    dump << "node " << g.node_name(n) << " " << node_info(n) << "\n";
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const NodeDumpInfo info = node_info(n);
+    dump << "node " << g.node_name(n) << " " << info.describe
+         << " park=" << describe_park_summary(info.park_summary) << "\n";
+    if (tracer != nullptr)
+      for (const auto& e : tracer->tail_for_node(n, trace_tail))
+        dump << "  trace " << e.to_string() << "\n";
+  }
   return dump.str();
 }
 
@@ -72,7 +80,7 @@ FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
                        runtime::NodeWrapper wrapper, std::uint64_t num_inputs,
                        DeliverySink& sink, std::uint32_t batch,
                        runtime::Tracer* tracer, const std::uint64_t* tick,
-                       bool port_fed)
+                       bool port_fed, obs::NodeCounters* metrics)
     : node_(node),
       kernel_(kernel),
       in_slots_(in_slots),
@@ -84,6 +92,7 @@ FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
       tracer_(tracer),
       tick_(tick),
       port_fed_(port_fed),
+      metrics_(metrics),
       emitter_(out_slots),
       inputs_(in_slots),
       feed_input_(port_fed ? 1 : 0),
@@ -94,9 +103,21 @@ FiringCore::FiringCore(NodeId node, runtime::Kernel& kernel,
 }
 
 void FiringCore::trace(TraceKind kind, std::size_t slot, std::uint64_t seq) {
-  if (tracer_ != nullptr)
-    tracer_->record(runtime::TraceEvent{kind, node_, slot, seq,
-                                        tick_ != nullptr ? *tick_ : 0});
+  if constexpr (runtime::kTracingEnabled) {
+    if (tracer_ != nullptr) {
+      // The sim stamps its sweep counter; the live backends stamp a
+      // steady-clock timestamp instead (cross-thread order by time, not
+      // by a global tick).
+      runtime::TraceEvent e{kind, node_, slot, seq,
+                            tick_ != nullptr ? *tick_ : 0};
+      if (tick_ == nullptr)
+        e.ts_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+      tracer_->record(e);
+    }
+  }
 }
 
 void FiringCore::queue_dummy(std::size_t slot, std::uint64_t seq) {
@@ -121,10 +142,12 @@ void FiringCore::queue_outputs(std::uint64_t seq, bool any_input_dummy) {
       (void)wrapper_.should_send_dummy(slot, seq, /*sent_data=*/true, false);
       pending_.push_back({slot, Message::data(seq, emitter_.take(slot)), 1});
       pending_tail_[slot] = kNoTail;
+      if (metrics_ != nullptr) obs::bump(metrics_->data_out);
       trace(TraceKind::DataSent, slot, seq);
     } else if (wrapper_.should_send_dummy(slot, seq, /*sent_data=*/false,
                                           any_input_dummy)) {
       queue_dummy(slot, seq);
+      if (metrics_ != nullptr) obs::bump(metrics_->dummy_out);
       trace(TraceKind::DummySent, slot, seq);
     }
   }
@@ -134,6 +157,7 @@ void FiringCore::queue_eos() {
   for (std::size_t slot = 0; slot < out_slots_; ++slot) {
     pending_.push_back({slot, Message::eos(), 1});
     pending_tail_[slot] = kNoTail;
+    if (metrics_ != nullptr) obs::bump(metrics_->eos_out);
     trace(TraceKind::EosSent, slot, kEosSeq);
   }
   eos_flooded_ = true;
@@ -222,6 +246,7 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
       kernel_.fire(m.seq, no_inputs, emitter_);
     }
     ++fires;
+    if (metrics_ != nullptr) obs::bump(metrics_->fires);
     trace(TraceKind::Fire, 0, m.seq);
     queue_outputs(m.seq, /*any_input_dummy=*/false);
     source_seq_ = m.seq + 1;
@@ -236,6 +261,7 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
     emitter_.reset();
     kernel_.fire(source_seq_, no_inputs, emitter_);
     ++fires;
+    if (metrics_ != nullptr) obs::bump(metrics_->fires);
     trace(TraceKind::Fire, 0, source_seq_);
     queue_outputs(source_seq_, /*any_input_dummy=*/false);
     ++source_seq_;
@@ -289,8 +315,10 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
       queue_outputs(seq, /*any_input_dummy=*/true);
     }
     for (std::size_t j = 0; j < in_slots_; ++j)
-      if (heads_[j].seq == min_seq)
+      if (heads_[j].seq == min_seq) {
         sink_.pop_dummies(j, static_cast<std::size_t>(r));
+        if (metrics_ != nullptr) obs::bump(metrics_->dummy_in, r);
+      }
     return r;
   }
 
@@ -305,9 +333,11 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
       inputs_[j] = std::move(m.payload);
       any_data = true;
       ++sink_data;
+      if (metrics_ != nullptr) obs::bump(metrics_->data_in);
       trace(TraceKind::DataConsumed, j, min_seq);
     } else {
       any_dummy = true;
+      if (metrics_ != nullptr) obs::bump(metrics_->dummy_in);
       trace(TraceKind::DummyConsumed, j, min_seq);
       sink_.pop(j);
     }
@@ -316,6 +346,7 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
   if (any_data) {
     kernel_.fire(min_seq, inputs_, emitter_);
     ++fires;
+    if (metrics_ != nullptr) obs::bump(metrics_->fires);
     trace(TraceKind::Fire, 0, min_seq);
   }
   queue_outputs(min_seq, any_dummy);

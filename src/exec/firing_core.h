@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/graph/stream_graph.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/kernel.h"
 #include "src/runtime/message.h"
 #include "src/runtime/trace.h"
@@ -120,11 +121,16 @@ inline constexpr std::uint64_t kParkSlotMask = (std::uint64_t{1} << 62) - 1;
 
 [[nodiscard]] std::string describe_park_summary(std::uint64_t summary);
 
-// One formatter for the deadlock state dumps every backend emits
-// ("edge i from->to occ/cap pushed=D+Kd head=... [tail=...]" per edge,
-// then "node name <node_info>" per node). Backends supply accessors for
-// their channel representation; `tail` is empty when a backend cannot
-// observe it cheaply.
+// One formatter for the deadlock state dumps every backend emits -- the
+// unified shape is
+//
+//   edge <i> <from>-><to> <occ>/<cap> pushed=<D>+<K>d [head=...] [tail=...]
+//   node <name> <describe> park=<park-summary text>
+//     trace <event>            (last few tracer events, when armed)
+//
+// Backends supply accessors for their channel and node representations;
+// `tail` is empty when a backend cannot observe it cheaply, and the trace
+// lines appear only when the run carried a Tracer.
 struct EdgeDumpInfo {
   std::size_t occupancy = 0;
   std::size_t capacity = 0;
@@ -134,10 +140,16 @@ struct EdgeDumpInfo {
   std::optional<runtime::Message> tail;
 };
 
+struct NodeDumpInfo {
+  std::string describe;            // FiringCore::describe() or equivalent
+  std::uint64_t park_summary = 0;  // encoding below
+};
+
 [[nodiscard]] std::string dump_wedged_state(
     const StreamGraph& g,
     const std::function<EdgeDumpInfo(EdgeId)>& edge_info,
-    const std::function<std::string(NodeId)>& node_info);
+    const std::function<NodeDumpInfo(NodeId)>& node_info,
+    const runtime::Tracer* tracer = nullptr, std::size_t trace_tail = 4);
 
 class FiringCore {
  public:
@@ -153,11 +165,15 @@ class FiringCore {
   // same empty input vector as a self-generating source, so a token-fed run
   // is bit-identical to the classic one), a payload rides to the kernel as
   // a single-slot input, and EOS triggers the ordinary flood.
+  // `metrics` (optional, not owned): the node's obs counter shard;
+  // increments happen at the same sites on every backend, so the counters
+  // are differentially exact against the sim reference.
   FiringCore(NodeId node, runtime::Kernel& kernel, std::size_t in_slots,
              std::size_t out_slots, runtime::NodeWrapper wrapper,
              std::uint64_t num_inputs, DeliverySink& sink,
              std::uint32_t batch = 1, runtime::Tracer* tracer = nullptr,
-             const std::uint64_t* tick = nullptr, bool port_fed = false);
+             const std::uint64_t* tick = nullptr, bool port_fed = false,
+             obs::NodeCounters* metrics = nullptr);
 
   // One scheduling quantum; returns true iff any progress was made (a
   // message delivered, consumed, or produced). After false the node cannot
@@ -219,6 +235,7 @@ class FiringCore {
   runtime::Tracer* tracer_;
   const std::uint64_t* tick_;
   bool port_fed_;
+  obs::NodeCounters* metrics_;
   runtime::Emitter emitter_;
   std::vector<std::optional<runtime::Value>> inputs_;
   // Scratch single-slot input vector for payload-carrying feed messages.

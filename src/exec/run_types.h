@@ -18,6 +18,10 @@
 #include "src/runtime/trace.h"
 #include "src/runtime/wrapper.h"
 
+namespace sdaf::obs {
+class MetricsRegistry;
+}  // namespace sdaf::obs
+
 namespace sdaf::runtime {
 class BoundedChannel;
 class PoolExecutor;
@@ -80,6 +84,14 @@ struct RunSpec {
   std::uint64_t num_inputs = 0;
   // Optional event recorder (not owned); works on every backend.
   runtime::Tracer* tracer = nullptr;
+  // Optional obs counter registry (not owned; sized for the graph's nodes
+  // and edges). When set, every backend increments per-node firing-rule
+  // counters and per-channel traffic/stall counters into it -- relaxed
+  // single-writer atomics, so the hot-path cost is one predictable branch
+  // plus a load+store per event. Null = metrics off (the bench baseline).
+  obs::MetricsRegistry* metrics = nullptr;
+  // Tenant label for roll-ups (Session ledgers, exporter labels).
+  std::string tenant = "default";
   // Firing batch quantum: how many sequence numbers a node may fire per
   // scheduling quantum before its outputs are flushed, letting the data
   // plane amortize one channel lock and one wake-up over a whole batch

@@ -76,28 +76,67 @@ RunReport Session::run(const RunSpec& spec) {
   }
   // The backends consume RunSpec directly (ignoring the fields that do not
   // apply to them), so dispatch is just construction + run.
+  RunReport report;
   switch (spec.backend) {
     case Backend::Sim: {
       Stopwatch clock;
       sim::Simulation simulation(graph_, kernels_);
-      RunReport report = simulation.run(spec);
+      report = simulation.run(spec);
       report.wall_seconds = clock.elapsed_seconds();
-      return report;
+      break;
     }
     case Backend::Threaded: {
       runtime::Executor executor(graph_, kernels_);
-      return executor.run(spec);
+      report = executor.run(spec);
+      break;
     }
     case Backend::Pooled: {
-      if (spec.pool != nullptr) return spec.pool->run(graph_, kernels_, spec);
-      runtime::PoolExecutor::Options popt;
-      popt.workers = spec.pool_workers;
-      runtime::PoolExecutor pool(popt);
-      return pool.run(graph_, kernels_, spec);
+      if (spec.pool != nullptr) {
+        report = spec.pool->run(graph_, kernels_, spec);
+      } else {
+        runtime::PoolExecutor::Options popt;
+        popt.workers = spec.pool_workers;
+        runtime::PoolExecutor pool(popt);
+        report = pool.run(graph_, kernels_, spec);
+      }
+      break;
     }
   }
-  SDAF_ASSERT(false);
-  return {};
+  fold_metrics(spec, report);
+  return report;
+}
+
+void Session::fold_metrics(const RunSpec& spec, const RunReport& report) {
+  std::lock_guard lock(ledger_mu_);
+  obs::TenantMetrics& t = ledger_[spec.tenant];
+  t.tenant = spec.tenant;
+  t.runs += 1;
+  for (const std::uint64_t f : report.fires) t.items_fired += f;
+  for (const EdgeTraffic& e : report.edges) {
+    t.data_items += e.data;
+    t.dummy_items += e.dummies;
+  }
+  const std::uint64_t total = t.data_items + t.dummy_items;
+  t.dummy_overhead_ratio =
+      total == 0 ? 0.0
+                 : static_cast<double>(t.dummy_items) /
+                       static_cast<double>(total);
+  // The certified buffer footprint of this Session's graph: what the
+  // avoidance analysis reserves for the tenant, independent of traffic.
+  std::uint64_t slots = 0;
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e)
+    slots += static_cast<std::uint64_t>(graph_.edge(e).buffer);
+  t.channel_slots = slots;
+  t.channel_bytes = slots * sizeof(runtime::Message);
+  t.wall_seconds += report.wall_seconds;
+}
+
+std::vector<obs::TenantMetrics> Session::metrics() const {
+  std::lock_guard lock(ledger_mu_);
+  std::vector<obs::TenantMetrics> out;
+  out.reserve(ledger_.size());
+  for (const auto& [name, t] : ledger_) out.push_back(t);
+  return out;
 }
 
 Session::CompiledRun Session::compile_and_run(RunSpec spec,

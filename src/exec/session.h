@@ -31,7 +31,9 @@
 #pragma once
 
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -40,6 +42,7 @@
 #include "src/exec/run_types.h"
 #include "src/exec/stream.h"
 #include "src/graph/stream_graph.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/kernel.h"
 
 namespace sdaf::runtime {
@@ -109,12 +112,26 @@ class Session {
   void set_compile_cache(core::CompileCache* cache);
   [[nodiscard]] static core::CompileCache& process_cache();
 
+  // Per-tenant roll-up of every run() this Session completed, keyed by
+  // RunSpec::tenant and sorted by tenant name: runs, total fires, data vs.
+  // dummy traffic (the measured avoidance overhead), the graph's certified
+  // channel footprint, and accumulated wall time. Folded from RunReports at
+  // run() exit -- zero hot-path cost, available even with RunSpec::metrics
+  // unset. Only synchronous run()/compile_and_run() executions fold here;
+  // submit()'s asynchronous runs are not tracked (the offloaded path runs
+  // inside a throwaway worker Session).
+  [[nodiscard]] std::vector<obs::TenantMetrics> metrics() const;
+
   [[nodiscard]] const StreamGraph& graph() const { return graph_; }
 
  private:
+  void fold_metrics(const RunSpec& spec, const RunReport& report);
+
   const StreamGraph& graph_;
   std::vector<std::shared_ptr<runtime::Kernel>> kernels_;
   core::CompileCache* cache_;
+  mutable std::mutex ledger_mu_;
+  std::map<std::string, obs::TenantMetrics> ledger_;
 };
 
 }  // namespace sdaf::exec

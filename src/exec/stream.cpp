@@ -39,6 +39,12 @@ struct Core {
   std::vector<std::unique_ptr<BoundedChannel>> egress_channels;
   std::vector<std::unique_ptr<InputPort>> inputs;
   std::vector<std::unique_ptr<OutputPort>> outputs;
+  // Counter registry the backend writes through (see StreamSpec::metrics).
+  // Owned here unless the caller supplied one via spec.run.metrics, so
+  // snapshots stay valid for the Stream's whole lifetime regardless of
+  // backend teardown order.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry;
+  obs::MetricsRegistry* registry = nullptr;
   Stopwatch clock;
   bool collected = false;
 
@@ -49,6 +55,14 @@ struct Core {
     SDAF_EXPECTS(graph.node_count() > 0);
     SDAF_EXPECTS(spec.feed_capacity >= 1);
     SDAF_EXPECTS(spec.egress_capacity >= 1);
+    if (spec.run.metrics != nullptr) {
+      registry = spec.run.metrics;
+    } else if (spec.metrics) {
+      owned_registry = std::make_unique<obs::MetricsRegistry>(
+          graph.node_count(), graph.edge_count());
+      registry = owned_registry.get();
+      spec.run.metrics = registry;
+    }
     binding.live = true;
     for (const NodeId n : graph.sources()) {
       binding.source_nodes.push_back(n);
@@ -94,6 +108,11 @@ struct Core {
   // --- backend hooks ---------------------------------------------------
   // Sim only: run sweeps now. Concurrent backends: no-op.
   virtual bool pump_now() { return false; }
+  // Pooled only: the pool's per-worker scheduler counters.
+  [[nodiscard]] virtual std::vector<obs::WorkerMetrics> worker_metrics()
+      const {
+    return {};
+  }
   // Port transitions. Pushes/pops report the channel's wake-relevant edge.
   virtual void feed_pushed(std::size_t /*i*/, bool /*was_empty*/) {}
   virtual void feed_closed(std::size_t /*i*/) {}
@@ -115,7 +134,8 @@ struct Core {
     bool was_empty = false;
     switch (feed.try_push(std::move(m), &was_empty)) {
       case PushResult::Ok:
-        ++port.next_seq_;
+        // Single writer (the port's caller): plain load+store, no RMW.
+        port.next_seq_.store(port.pushed() + 1, std::memory_order_relaxed);
         feed_pushed(port.index_, was_empty);
         return PushStatus::Ok;
       case PushResult::Aborted:
@@ -128,13 +148,13 @@ struct Core {
 
   bool port_try_push(InputPort& port, Value&& v) {
     if (port.closed_) return false;
-    Message m = Message::data(port.next_seq_, std::move(v));
+    Message m = Message::data(port.pushed(), std::move(v));
     return push_message(port, m) == PushStatus::Ok;
   }
 
   bool port_push(InputPort& port, Value&& v) {
     if (port.closed_) return false;
-    Message m = Message::data(port.next_seq_, std::move(v));
+    Message m = Message::data(port.pushed(), std::move(v));
     for (;;) {
       switch (push_message(port, m)) {
         case PushStatus::Ok:
@@ -219,6 +239,44 @@ struct Core {
       if (all_ended) return;
       if (!any) std::this_thread::sleep_for(200us);
     }
+  }
+
+  [[nodiscard]] obs::MetricsSnapshot take_snapshot() const {
+    obs::MetricsSnapshot s;
+    if (registry != nullptr) {
+      obs::SnapshotOptions opts;
+      opts.backend = to_string(spec.run.backend);
+      opts.tenant = spec.run.tenant;
+      opts.wall_seconds = clock.elapsed_seconds();
+      opts.bytes_per_slot = sizeof(Message);
+      s = obs::snapshot(graph, *registry, opts);
+    } else {
+      s.backend = to_string(spec.run.backend);
+      s.tenant.tenant = spec.run.tenant;
+      s.tenant.wall_seconds = clock.elapsed_seconds();
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      obs::PortMetrics p;
+      p.node = inputs[i]->node();
+      p.name = graph.node_name(p.node);
+      p.input = true;
+      p.pushed = inputs[i]->pushed();
+      p.occupancy = feed_channels[i]->size();
+      p.capacity = spec.feed_capacity;
+      s.ports.push_back(std::move(p));
+    }
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      obs::PortMetrics p;
+      p.node = outputs[i]->node();
+      p.name = graph.node_name(p.node);
+      p.input = false;
+      p.pushed = egress_channels[i]->stats().data_pushed;
+      p.occupancy = egress_channels[i]->size();
+      p.capacity = spec.egress_capacity;
+      s.ports.push_back(std::move(p));
+    }
+    s.workers = worker_metrics();
+    return s;
   }
 
   RunReport finish() {
@@ -388,6 +446,11 @@ struct PooledCore final : Core {
       runtime::PoolExecutor::stream_wake(handle, outputs[i]->node());
   }
 
+  [[nodiscard]] std::vector<obs::WorkerMetrics> worker_metrics()
+      const override {
+    return pool->worker_metrics();
+  }
+
   RunReport collect() override {
     RunReport report = pool->wait(ticket);
     handle.reset();
@@ -476,6 +539,8 @@ OutputPort& Stream::output_for(NodeId sink) {
 }
 
 void Stream::pump() { (void)core_->pump_now(); }
+
+obs::MetricsSnapshot Stream::metrics() const { return core_->take_snapshot(); }
 
 RunReport Stream::finish() { return core_->finish(); }
 

@@ -31,12 +31,14 @@
 // harness enforces it (tests/harness, feed=port).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/exec/run_types.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/message.h"
 
 namespace sdaf::exec {
@@ -61,6 +63,12 @@ struct StreamSpec {
   // false = sinks keep no egress tap (fire-and-forget ingestion; sink
   // deliveries still count in RunReport::sink_data).
   bool capture_outputs = true;
+  // Attach per-node/per-channel counters so Stream::metrics() reports live
+  // values. The hot-path cost is one relaxed load+store per counted event
+  // (single-writer, no RMW); set false for benchmarking a zero-overhead
+  // baseline -- metrics() then reports zero counters but live port gauges.
+  // Ignored when run.metrics already points at a caller-owned registry.
+  bool metrics = true;
 };
 
 // Ingress into one source node. Single caller thread per port at a time;
@@ -103,8 +111,13 @@ class InputPort {
 
   [[nodiscard]] bool closed() const { return closed_; }
   [[nodiscard]] NodeId node() const { return node_; }
-  // Items accepted so far == the next sequence number.
-  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+  // Items accepted so far == the next sequence number. Safe from any
+  // thread (metrics snapshots read it while the port's caller pushes);
+  // the single-writer relaxed atomic is the same discipline as the obs
+  // counters, so this costs the pusher nothing.
+  [[nodiscard]] std::uint64_t pushed() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend struct stream_detail::Core;
@@ -113,7 +126,7 @@ class InputPort {
   stream_detail::Core* core_ = nullptr;
   std::size_t index_ = 0;
   NodeId node_ = kNoNode;
-  std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> next_seq_{0};
   bool closed_ = false;
 };
 
@@ -177,6 +190,14 @@ class Stream {
   // progress without new input (ports call this on demand too, so explicit
   // pumping is optional). No-op on the concurrent backends.
   void pump();
+
+  // Live metrics snapshot: per-node and per-channel counters from the
+  // attached registry (zeros when StreamSpec::metrics is false), the
+  // ingress/egress port gauges, and -- on the Pooled backend -- the pool's
+  // per-worker scheduler counters. Safe to call from any thread at any time
+  // while the Stream is alive (every counter read is a relaxed atomic
+  // load), which is exactly what obs::MetricsSampler needs as its source.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
 
   // Closes any open input ports, drains (and discards) whatever remains on
   // the egress taps so the EOS flood can always complete, waits for the

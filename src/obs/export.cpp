@@ -1,0 +1,275 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace sdaf::obs {
+
+namespace {
+
+// JSON string escaping (control characters, quote, backslash).
+std::string jesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jnum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string pesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '\\')
+      out += "\\\\";
+    else if (ch == '"')
+      out += "\\\"";
+    else if (ch == '\n')
+      out += "\\n";
+    else
+      out += ch;
+  }
+  return out;
+}
+
+class PromWriter {
+ public:
+  explicit PromWriter(std::string tenant) : tenant_(std::move(tenant)) {}
+
+  void family(const std::string& name, const char* type, const char* help) {
+    out_ << "# HELP " << name << " " << help << "\n";
+    out_ << "# TYPE " << name << " " << type << "\n";
+    family_ = name;
+  }
+
+  template <typename V>
+  void sample(const std::string& labels, V value) {
+    out_ << family_ << "{tenant=\"" << pesc(tenant_) << "\"" << labels
+         << "} " << value << "\n";
+  }
+
+  void sample_f(const std::string& labels, double value) {
+    out_ << family_ << "{tenant=\"" << pesc(tenant_) << "\"" << labels
+         << "} " << jnum(value) << "\n";
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::string tenant_;
+  std::string family_;
+  std::ostringstream out_;
+};
+
+std::string node_label(const NodeMetrics& n) {
+  return ",node=\"" + pesc(n.name) + "\"";
+}
+
+std::string edge_label(const ChannelMetrics& c) {
+  return ",edge=\"" + std::to_string(c.edge) + "\",from=\"" +
+         pesc(c.from_name) + "\",to=\"" + pesc(c.to_name) + "\"";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& s) {
+  std::ostringstream o;
+  o << "{\"schema\":\"" << jesc(s.schema) << "\"";
+  o << ",\"backend\":\"" << jesc(s.backend) << "\"";
+  const TenantMetrics& t = s.tenant;
+  o << ",\"tenant\":{\"name\":\"" << jesc(t.tenant) << "\""
+    << ",\"runs\":" << t.runs << ",\"items_fired\":" << t.items_fired
+    << ",\"data_items\":" << t.data_items
+    << ",\"dummy_items\":" << t.dummy_items
+    << ",\"dummy_overhead_ratio\":" << jnum(t.dummy_overhead_ratio)
+    << ",\"channel_slots\":" << t.channel_slots
+    << ",\"channel_bytes\":" << t.channel_bytes
+    << ",\"wall_seconds\":" << jnum(t.wall_seconds) << "}";
+  o << ",\"nodes\":[";
+  for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+    const NodeMetrics& n = s.nodes[i];
+    if (i != 0) o << ",";
+    o << "{\"node\":" << n.node << ",\"name\":\"" << jesc(n.name) << "\""
+      << ",\"fires\":" << n.fires << ",\"data_out\":" << n.data_out
+      << ",\"dummy_out\":" << n.dummy_out << ",\"eos_out\":" << n.eos_out
+      << ",\"data_in\":" << n.data_in << ",\"dummy_in\":" << n.dummy_in
+      << "}";
+  }
+  o << "],\"channels\":[";
+  for (std::size_t i = 0; i < s.channels.size(); ++i) {
+    const ChannelMetrics& c = s.channels[i];
+    if (i != 0) o << ",";
+    o << "{\"edge\":" << c.edge << ",\"from\":\"" << jesc(c.from_name)
+      << "\",\"to\":\"" << jesc(c.to_name) << "\""
+      << ",\"capacity\":" << c.capacity
+      << ",\"data_pushed\":" << c.data_pushed
+      << ",\"dummies_pushed\":" << c.dummies_pushed << ",\"pops\":" << c.pops
+      << ",\"full_stalls\":" << c.full_stalls
+      << ",\"empty_waits\":" << c.empty_waits
+      << ",\"high_water\":" << c.high_water
+      << ",\"occupancy\":" << c.occupancy << "}";
+  }
+  o << "],\"workers\":[";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const WorkerMetrics& w = s.workers[i];
+    if (i != 0) o << ",";
+    o << "{\"worker\":" << w.worker << ",\"task_runs\":" << w.task_runs
+      << ",\"parks\":" << w.parks << ",\"wakes\":" << w.wakes
+      << ",\"depth_samples\":" << w.depth_samples
+      << ",\"depth_max\":" << w.depth_max
+      << ",\"depth_avg\":" << jnum(w.depth_avg) << "}";
+  }
+  o << "],\"ports\":[";
+  for (std::size_t i = 0; i < s.ports.size(); ++i) {
+    const PortMetrics& p = s.ports[i];
+    if (i != 0) o << ",";
+    o << "{\"node\":\"" << jesc(p.name) << "\",\"dir\":\""
+      << (p.input ? "in" : "out") << "\",\"pushed\":" << p.pushed
+      << ",\"occupancy\":" << p.occupancy << ",\"capacity\":" << p.capacity
+      << "}";
+  }
+  o << "]}";
+  return o.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& s) {
+  PromWriter w(s.tenant.tenant);
+
+  w.family("sdaf_node_fires_total", "counter",
+           "Kernel invocations per node.");
+  for (const auto& n : s.nodes) w.sample(node_label(n), n.fires);
+  w.family("sdaf_node_data_out_total", "counter",
+           "Data items emitted per node.");
+  for (const auto& n : s.nodes) w.sample(node_label(n), n.data_out);
+  w.family("sdaf_node_dummy_out_total", "counter",
+           "Dummy items emitted per node (deadlock-avoidance overhead).");
+  for (const auto& n : s.nodes) w.sample(node_label(n), n.dummy_out);
+  w.family("sdaf_node_eos_out_total", "counter",
+           "End-of-stream floods per node out-slot.");
+  for (const auto& n : s.nodes) w.sample(node_label(n), n.eos_out);
+  w.family("sdaf_node_data_in_total", "counter",
+           "Data items consumed per node.");
+  for (const auto& n : s.nodes) w.sample(node_label(n), n.data_in);
+  w.family("sdaf_node_dummy_in_total", "counter",
+           "Dummy items consumed per node.");
+  for (const auto& n : s.nodes) w.sample(node_label(n), n.dummy_in);
+
+  w.family("sdaf_channel_data_pushed_total", "counter",
+           "Data messages pushed per channel.");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.data_pushed);
+  w.family("sdaf_channel_dummies_pushed_total", "counter",
+           "Dummy messages pushed per channel.");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.dummies_pushed);
+  w.family("sdaf_channel_pops_total", "counter",
+           "Messages popped per channel.");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.pops);
+  w.family("sdaf_channel_full_stalls_total", "counter",
+           "Pushes refused or parked because the channel was full.");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.full_stalls);
+  w.family("sdaf_channel_empty_waits_total", "counter",
+           "Consumer peeks that found the channel empty.");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.empty_waits);
+  w.family("sdaf_channel_capacity", "gauge",
+           "Channel buffer bound in messages (the paper's length).");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.capacity);
+  w.family("sdaf_channel_high_water", "gauge",
+           "Maximum logical occupancy observed.");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.high_water);
+  w.family("sdaf_channel_occupancy", "gauge",
+           "Current logical occupancy (pushes minus pops).");
+  for (const auto& c : s.channels) w.sample(edge_label(c), c.occupancy);
+
+  w.family("sdaf_worker_task_runs_total", "counter",
+           "Node quanta executed per pool worker.");
+  for (const auto& x : s.workers)
+    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.task_runs);
+  w.family("sdaf_worker_parks_total", "counter",
+           "Tasks parked per pool worker.");
+  for (const auto& x : s.workers)
+    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.parks);
+  w.family("sdaf_worker_wakes_total", "counter",
+           "Tasks scheduled per pool worker.");
+  for (const auto& x : s.workers)
+    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.wakes);
+  w.family("sdaf_worker_queue_depth_max", "gauge",
+           "Maximum ready-queue depth sampled per worker.");
+  for (const auto& x : s.workers)
+    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.depth_max);
+  w.family("sdaf_worker_queue_depth_avg", "gauge",
+           "Mean ready-queue depth sampled per worker.");
+  for (const auto& x : s.workers)
+    w.sample_f(",worker=\"" + std::to_string(x.worker) + "\"", x.depth_avg);
+
+  w.family("sdaf_port_pushed_total", "counter",
+           "Items through a stream port.");
+  for (const auto& p : s.ports)
+    w.sample(",node=\"" + pesc(p.name) + "\",dir=\"" +
+                 (p.input ? std::string("in") : std::string("out")) + "\"",
+             p.pushed);
+  w.family("sdaf_port_occupancy", "gauge",
+           "Current port channel occupancy.");
+  for (const auto& p : s.ports)
+    w.sample(",node=\"" + pesc(p.name) + "\",dir=\"" +
+                 (p.input ? std::string("in") : std::string("out")) + "\"",
+             p.occupancy);
+
+  w.family("sdaf_tenant_items_fired_total", "counter",
+           "Kernel invocations for the tenant.");
+  w.sample("", s.tenant.items_fired);
+  w.family("sdaf_tenant_data_items_total", "counter",
+           "Data items pushed for the tenant.");
+  w.sample("", s.tenant.data_items);
+  w.family("sdaf_tenant_dummy_items_total", "counter",
+           "Dummy items pushed for the tenant.");
+  w.sample("", s.tenant.dummy_items);
+  w.family("sdaf_tenant_dummy_overhead_ratio", "gauge",
+           "dummies / (data + dummies): the measured avoidance cost.");
+  w.sample_f("", s.tenant.dummy_overhead_ratio);
+  w.family("sdaf_tenant_channel_slots", "gauge",
+           "Compiled channel buffer footprint in messages.");
+  w.sample("", s.tenant.channel_slots);
+  w.family("sdaf_tenant_channel_bytes", "gauge",
+           "Compiled channel buffer footprint in bytes.");
+  w.sample("", s.tenant.channel_bytes);
+  w.family("sdaf_tenant_wall_seconds", "gauge",
+           "Wall-clock seconds spent in runs.");
+  w.sample_f("", s.tenant.wall_seconds);
+
+  return w.str();
+}
+
+}  // namespace sdaf::obs

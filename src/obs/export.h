@@ -1,0 +1,23 @@
+// Schema-stable serializers for obs::MetricsSnapshot.
+//
+// to_json: one JSON object, schema tagged "sdaf.metrics.v1". Key order and
+// key names are part of the contract -- dashboards and tests parse this;
+// additions must append new keys, never rename or reorder existing ones.
+//
+// to_prometheus: the Prometheus text exposition format (version 0.0.4):
+// `# HELP` / `# TYPE` headers per metric family, one sample line per series
+// with tenant/node/edge labels. Counter families end in `_total`; gauges
+// (occupancy, high water, ratios) do not. tools/check_prom.sh validates the
+// line grammar in CI so this exporter cannot silently rot.
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace sdaf::obs {
+
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace sdaf::obs

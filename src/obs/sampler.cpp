@@ -1,0 +1,83 @@
+#include "src/obs/sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/contracts.h"
+
+namespace sdaf::obs {
+
+MetricsSampler::MetricsSampler(std::function<MetricsSnapshot()> source,
+                               Options options)
+    : source_(std::move(source)), options_(options) {
+  SDAF_EXPECTS(source_ != nullptr);
+  SDAF_EXPECTS(options_.interval.count() > 0);
+  SDAF_EXPECTS(options_.keep >= 1);
+  // Take one sample synchronously so latest() is valid immediately.
+  fold(source_());
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      // Already stopped; just make sure the thread is gone.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsSampler::run() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, options_.interval, [&] { return stopping_; }))
+      return;
+    lock.unlock();
+    MetricsSnapshot s = source_();  // never sample under the lock
+    lock.lock();
+    fold(s);
+  }
+}
+
+void MetricsSampler::fold(const MetricsSnapshot& s) {
+  // Called with mu_ held (or from the constructor, pre-thread).
+  ++samples_;
+  if (peak_occupancy_.size() < s.channels.size())
+    peak_occupancy_.resize(s.channels.size(), 0);
+  for (const auto& c : s.channels)
+    if (c.edge < peak_occupancy_.size())
+      peak_occupancy_[c.edge] = std::max(peak_occupancy_[c.edge],
+                                         c.occupancy);
+  for (const auto& w : s.workers)
+    peak_queue_depth_ = std::max(peak_queue_depth_, w.depth_max);
+  window_.push_back(s);
+  while (window_.size() > options_.keep) window_.pop_front();
+}
+
+std::uint64_t MetricsSampler::sample_count() const {
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+MetricsSnapshot MetricsSampler::latest() const {
+  std::lock_guard lock(mu_);
+  SDAF_EXPECTS(!window_.empty());
+  return window_.back();
+}
+
+std::int64_t MetricsSampler::peak_occupancy(EdgeId e) const {
+  std::lock_guard lock(mu_);
+  return e < peak_occupancy_.size() ? peak_occupancy_[e] : 0;
+}
+
+std::uint64_t MetricsSampler::peak_queue_depth() const {
+  std::lock_guard lock(mu_);
+  return peak_queue_depth_;
+}
+
+}  // namespace sdaf::obs

@@ -1,0 +1,70 @@
+// Background gauge sampler for live streams. Counters are cumulative and
+// cheap to read at any time, but gauges (queue depths, channel occupancy)
+// are instantaneous -- a single end-of-run snapshot only shows the final,
+// usually-empty state. MetricsSampler polls a snapshot source on its own
+// thread at a fixed interval and folds the gauges into per-channel peaks
+// plus a bounded recent-sample window, so "where did backpressure live
+// while this stream was hot?" has an answer after the fact.
+//
+// The source callback must be safe to invoke from the sampler thread
+// concurrently with the run (Stream::metrics() is: every registry read is a
+// relaxed atomic load). stop() joins the thread; the destructor stops too.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace sdaf::obs {
+
+class MetricsSampler {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{10};
+    std::size_t keep = 64;  // bounded window of retained snapshots
+  };
+
+  explicit MetricsSampler(std::function<MetricsSnapshot()> source)
+      : MetricsSampler(std::move(source), Options{}) {}
+  MetricsSampler(std::function<MetricsSnapshot()> source, Options options);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  void stop();
+
+  [[nodiscard]] std::uint64_t sample_count() const;
+  [[nodiscard]] MetricsSnapshot latest() const;
+  // Peak instantaneous occupancy observed for an edge across all samples
+  // taken so far (not just the retained window).
+  [[nodiscard]] std::int64_t peak_occupancy(EdgeId e) const;
+  // Peak ready-queue depth observed across workers and samples.
+  [[nodiscard]] std::uint64_t peak_queue_depth() const;
+
+ private:
+  void run();
+  void fold(const MetricsSnapshot& s);
+
+  const std::function<MetricsSnapshot()> source_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t samples_ = 0;
+  std::deque<MetricsSnapshot> window_;
+  std::vector<std::int64_t> peak_occupancy_;
+  std::uint64_t peak_queue_depth_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace sdaf::obs

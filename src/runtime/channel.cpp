@@ -15,6 +15,10 @@ void BoundedChannel::set_producer_signal(ProducerSignal* signal) {
   producer_signal_ = signal;
 }
 
+void BoundedChannel::set_metrics(obs::ChannelCounters* metrics) {
+  metrics_ = metrics;
+}
+
 void BoundedChannel::record_push(MessageKind kind, std::size_t count,
                                  const SpscRing::PushEffect& effect) {
   // Producer-only writers: plain load+store beats an RMW on the hot path.
@@ -28,6 +32,12 @@ void BoundedChannel::record_push(MessageKind kind, std::size_t count,
   const auto occ = static_cast<std::int64_t>(effect.occupancy);
   if (occ > max_occupancy_.load(std::memory_order_relaxed))
     max_occupancy_.store(occ, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    if (kind == MessageKind::Data) obs::bump(metrics_->data_pushed, count);
+    if (kind == MessageKind::Dummy)
+      obs::bump(metrics_->dummies_pushed, count);
+    metrics_->note_high_water(occ);
+  }
   if (monitor_ != nullptr) monitor_->note_progress();
 }
 
@@ -62,6 +72,7 @@ bool BoundedChannel::push(Message m) {
     // precedes the re-check, and the fence pairs with finish_pop's fence
     // (a seq_cst RMW alone does not order the acquire re-check under the
     // standard's fence rules).
+    if (metrics_ != nullptr) obs::bump(metrics_->full_stalls);
     full_waiters_.fetch_add(1, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (ring_.full() && !aborted_.load(std::memory_order_acquire)) {
@@ -79,7 +90,10 @@ PushResult BoundedChannel::try_push(Message&& m, bool* was_empty) {
   if (aborted_.load(std::memory_order_acquire)) return PushResult::Aborted;
   const MessageKind kind = m.kind;
   SpscRing::PushEffect effect;
-  if (!ring_.try_push(std::move(m), &effect)) return PushResult::Full;
+  if (!ring_.try_push(std::move(m), &effect)) {
+    if (metrics_ != nullptr) obs::bump(metrics_->full_stalls);
+    return PushResult::Full;
+  }
   if (was_empty != nullptr) *was_empty = effect.was_empty;
   record_push(kind, 1, effect);
   notify_not_empty();
@@ -95,7 +109,10 @@ std::size_t BoundedChannel::try_push_dummies(std::uint64_t first_seq,
   SpscRing::PushEffect effect;
   const std::size_t accepted =
       ring_.try_push_dummies(first_seq, count, &effect);
-  if (accepted == 0) return 0;
+  if (accepted == 0) {
+    if (metrics_ != nullptr) obs::bump(metrics_->full_stalls);
+    return 0;
+  }
   if (was_empty != nullptr) *was_empty = effect.was_empty;
   record_push(MessageKind::Dummy, accepted, effect);
   notify_not_empty();
@@ -103,13 +120,17 @@ std::size_t BoundedChannel::try_push_dummies(std::uint64_t first_seq,
 }
 
 std::optional<HeadView> BoundedChannel::try_peek_head() const {
-  return ring_.peek_head();
+  auto head = ring_.peek_head();
+  if (!head.has_value() && metrics_ != nullptr)
+    obs::bump(metrics_->empty_waits);
+  return head;
 }
 
 std::optional<HeadView> BoundedChannel::peek_head_wait() {
   for (;;) {
     if (auto head = ring_.peek_head(); head.has_value()) return head;
     if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
+    if (metrics_ != nullptr) obs::bump(metrics_->empty_waits);
     empty_waiters_.fetch_add(1, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (ring_.empty() && !aborted_.load(std::memory_order_acquire)) {
@@ -130,6 +151,7 @@ std::optional<Message> BoundedChannel::try_peek() const {
 Message BoundedChannel::pop_head(bool* was_full) {
   SpscRing::PopEffect effect;
   Message m = ring_.pop_head(&effect);
+  if (metrics_ != nullptr) obs::bump(metrics_->pops);
   if (monitor_ != nullptr) monitor_->note_progress();
   notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();
@@ -140,6 +162,7 @@ Message BoundedChannel::pop_head(bool* was_full) {
 bool BoundedChannel::pop() {
   SpscRing::PopEffect effect;
   ring_.pop(&effect);
+  if (metrics_ != nullptr) obs::bump(metrics_->pops);
   if (monitor_ != nullptr) monitor_->note_progress();
   notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();
@@ -152,6 +175,7 @@ BoundedChannel::PopRun BoundedChannel::pop_dummies(std::size_t count) {
   result.popped = ring_.pop_dummies(count, &effect);
   if (result.popped == 0) return result;
   result.was_full = effect.was_full;
+  if (metrics_ != nullptr) obs::bump(metrics_->pops, result.popped);
   if (monitor_ != nullptr) monitor_->note_progress();
   notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();

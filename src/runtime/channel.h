@@ -31,6 +31,7 @@
 #include <mutex>
 #include <optional>
 
+#include "src/obs/metrics.h"
 #include "src/runtime/deadlock_detector.h"
 #include "src/runtime/message.h"
 #include "src/runtime/spsc_ring.h"
@@ -135,6 +136,12 @@ class BoundedChannel {
   // on abort.
   void set_producer_signal(ProducerSignal* signal);
 
+  // Attaches the edge's obs counter shard (not owned; null detaches). The
+  // channel mirrors pushes/pops/stalls/waits/high-water into it with relaxed
+  // single-writer increments -- one predictable branch per op when detached.
+  // Must be set before the endpoints start running (no concurrent attach).
+  void set_metrics(obs::ChannelCounters* metrics);
+
   void abort();
   [[nodiscard]] bool aborted() const;
 
@@ -156,6 +163,7 @@ class BoundedChannel {
 
   RuntimeMonitor* monitor_;
   ProducerSignal* producer_signal_ = nullptr;
+  obs::ChannelCounters* metrics_ = nullptr;
   // mutable: const peeks are consumer-side operations that may advance the
   // ring's consumer cursor past exhausted segments.
   mutable SpscRing ring_;

@@ -38,7 +38,8 @@ class NodeRunner final : private exec::DeliverySink {
   NodeRunner(NodeId node, Kernel& kernel, std::vector<BoundedChannel*> ins,
              std::vector<BoundedChannel*> outs, BoundedChannel* feed,
              bool tapped_sink, NodeWrapper wrapper, std::uint64_t num_inputs,
-             std::uint32_t batch, RuntimeMonitor* monitor, Tracer* tracer)
+             std::uint32_t batch, RuntimeMonitor* monitor, Tracer* tracer,
+             obs::NodeCounters* metrics)
       : ins_(std::move(ins)),
         outs_(std::move(outs)),
         feed_(feed),
@@ -46,11 +47,14 @@ class NodeRunner final : private exec::DeliverySink {
         output_wait_monitor_(tapped_sink ? nullptr : monitor),
         core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
               num_inputs, *this, batch, tracer, /*tick=*/nullptr,
-              /*port_fed=*/feed != nullptr) {}
+              /*port_fed=*/feed != nullptr, metrics) {}
 
   [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
   [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
   [[nodiscard]] std::string describe() const { return core_.describe(); }
+  [[nodiscard]] std::uint64_t park_summary() const {
+    return core_.park_summary();
+  }
 
   ProducerSignal& signal() { return signal_; }
 
@@ -166,6 +170,7 @@ struct ThreadEngine::Impl {
   RuntimeMonitor monitor;
   WatchdogOptions watchdog_options;
   const exec::PortBinding* ports;
+  Tracer* tracer = nullptr;  // for the wedged-state dump tail
   std::vector<std::unique_ptr<BoundedChannel>> channels;
   std::vector<std::unique_ptr<NodeRunner>> runners;
   Stopwatch clock;
@@ -210,11 +215,15 @@ ThreadEngine::ThreadEngine(
   s.watchdog_options =
       WatchdogOptions{options.watchdog_tick, options.deadlock_confirm_ticks};
   s.ports = options.ports;
+  s.tracer = options.tracer;
 
   s.channels.reserve(edges);
-  for (EdgeId e = 0; e < edges; ++e)
+  for (EdgeId e = 0; e < edges; ++e) {
     s.channels.push_back(std::make_unique<BoundedChannel>(
         static_cast<std::size_t>(g.edge(e).buffer), &s.monitor));
+    if (options.metrics != nullptr)
+      s.channels.back()->set_metrics(&options.metrics->channel(e));
+  }
 
   s.runners.reserve(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
@@ -246,7 +255,8 @@ ThreadEngine::ThreadEngine(
         /*tapped_sink=*/egress != nullptr,
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
-        options.num_inputs, options.batch, &s.monitor, options.tracer));
+        options.num_inputs, options.batch, &s.monitor, options.tracer,
+        options.metrics != nullptr ? &options.metrics->node(n) : nullptr));
     for (const EdgeId e : g.out_edges(n))
       s.channels[e]->set_producer_signal(&s.runners.back()->signal());
     if (egress != nullptr)
@@ -338,7 +348,11 @@ exec::RunReport ThreadEngine::join() {
                                     st.dummies_pushed, s.channels[e]->try_peek(),
                                     std::nullopt};
         },
-        [&](NodeId n) { return s.runners[n]->describe(); });
+        [&](NodeId n) {
+          return exec::NodeDumpInfo{s.runners[n]->describe(),
+                                    s.runners[n]->park_summary()};
+        },
+        s.tracer);
   }
   return result;
 }

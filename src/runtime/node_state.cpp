@@ -10,7 +10,8 @@ NodeState::NodeState(NodeId node, Kernel& kernel,
                      NodeWrapper wrapper, std::uint64_t num_inputs,
                      std::vector<NodeId> in_producers,
                      std::vector<NodeId> out_consumers, Waker* waker,
-                     std::uint32_t batch, Tracer* tracer)
+                     std::uint32_t batch, Tracer* tracer,
+                     obs::NodeCounters* metrics)
     : ins_(std::move(ins)),
       outs_(std::move(outs)),
       feed_(feed),
@@ -19,7 +20,7 @@ NodeState::NodeState(NodeId node, Kernel& kernel,
       waker_(waker),
       core_(node, kernel, ins_.size(), outs_.size(), std::move(wrapper),
             num_inputs, *this, batch, tracer, /*tick=*/nullptr,
-            /*port_fed=*/feed != nullptr) {
+            /*port_fed=*/feed != nullptr, metrics) {
   SDAF_EXPECTS(in_producers_.size() == ins_.size());
   SDAF_EXPECTS(out_consumers_.size() == outs_.size());
   SDAF_EXPECTS(waker_ != nullptr);

@@ -48,7 +48,8 @@ class NodeState final : private exec::DeliverySink {
             NodeWrapper wrapper, std::uint64_t num_inputs,
             std::vector<NodeId> in_producers,
             std::vector<NodeId> out_consumers, Waker* waker,
-            std::uint32_t batch = 1, Tracer* tracer = nullptr);
+            std::uint32_t batch = 1, Tracer* tracer = nullptr,
+            obs::NodeCounters* metrics = nullptr);
 
   // One scheduling quantum; returns true iff any progress was made
   // (a message delivered, consumed, or produced). After false the node is

@@ -83,6 +83,12 @@ NodeTask* MpmcRing::try_pop() {
   }
 }
 
+std::size_t MpmcRing::approx_depth() const {
+  const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+  const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+  return enq > deq ? enq - deq : 0;
+}
+
 ReadyQueue::ReadyQueue(std::size_t ring_capacity) : ring_(ring_capacity) {}
 
 void ReadyQueue::push(NodeTask* task) {
@@ -145,7 +151,24 @@ void ReadyQueue::notify_all() {
   cv_.notify_all();
 }
 
+std::size_t ReadyQueue::approx_depth() const {
+  return ring_.approx_depth() +
+         overflow_size_.load(std::memory_order_relaxed);
+}
+
 }  // namespace pool_detail
+
+namespace {
+
+// Per-thread shard attribution: worker_loop pins these for pool workers;
+// any other thread (submit kicks, stream-port hooks) falls back to the
+// pool's shared external shard. Pool identity is checked so a worker of
+// pool A calling into pool B (never happens today, but cheap to guard)
+// does not write through a foreign shard pointer.
+thread_local const void* tls_pool = nullptr;
+thread_local obs::WorkerCounters* tls_shard = nullptr;
+
+}  // namespace
 
 using pool_detail::kIdle;
 using pool_detail::kQueued;
@@ -162,6 +185,7 @@ struct PoolExecutor::Instance final : Waker {
   std::vector<std::unique_ptr<BoundedChannel>> channels;
   std::vector<std::unique_ptr<NodeState>> nodes;
   std::vector<NodeTask> tasks;
+  Tracer* tracer = nullptr;
   Stopwatch clock;
 
   // Queued + running tasks of this instance. Wake-ups only originate from
@@ -218,9 +242,12 @@ PoolExecutor::PoolExecutor(const Options& options)
   }
   options_.workers = n;
   if (options_.max_steps_per_quantum == 0) options_.max_steps_per_quantum = 1;
+  // Sized before the workers spawn and never resized: one shard per worker
+  // plus a trailing shard for non-worker threads.
+  worker_shards_ = std::vector<obs::WorkerCounters>(n + 1);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 PoolExecutor::~PoolExecutor() {
@@ -271,10 +298,14 @@ PoolExecutor::TicketId PoolExecutor::submit(
   if (instance->streaming)
     instance->open_ports.store(
         static_cast<std::int64_t>(options.ports->feeds.size()));
+  instance->tracer = options.tracer;
   instance->channels.reserve(edges);
-  for (EdgeId e = 0; e < edges; ++e)
+  for (EdgeId e = 0; e < edges; ++e) {
     instance->channels.push_back(std::make_unique<BoundedChannel>(
         static_cast<std::size_t>(g.edge(e).buffer), /*monitor=*/nullptr));
+    if (options.metrics != nullptr)
+      instance->channels.back()->set_metrics(&options.metrics->channel(e));
+  }
 
   instance->tasks = std::vector<NodeTask>(node_count);
   instance->nodes.reserve(node_count);
@@ -312,7 +343,8 @@ PoolExecutor::TicketId PoolExecutor::submit(
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
         options.num_inputs, std::move(in_producers), std::move(out_consumers),
-        instance.get(), options.batch, options.tracer));
+        instance.get(), options.batch, options.tracer,
+        options.metrics != nullptr ? &options.metrics->node(n) : nullptr));
     instance->tasks[n].instance = instance.get();
     instance->tasks[n].node = instance->nodes.back().get();
   }
@@ -342,6 +374,12 @@ void PoolExecutor::schedule(NodeTask* task) {
     switch (s) {
       case kIdle:
         if (task->sched.compare_exchange_weak(s, kQueued)) {
+          // A wake is counted only when it actually transitions a parked
+          // task to runnable; notifications folded into a running task are
+          // re-runs, not wakes. The external shard (non-worker callers) is
+          // multi-writer, so a rare lost increment there is tolerated --
+          // these are scheduling diagnostics, not exactness-checked counts.
+          obs::bump(current_shard().wakes);
           task->instance->active.fetch_add(1);
           queue_.push(task);
           return;
@@ -358,6 +396,9 @@ void PoolExecutor::schedule(NodeTask* task) {
 
 void PoolExecutor::run_task(NodeTask* task) {
   NodeState& node = *task->node;
+  obs::WorkerCounters& shard = current_shard();
+  obs::bump(shard.task_runs);
+  shard.sample_depth(queue_.approx_depth());
   task->sched.store(kRunning);
   for (;;) {
     std::size_t steps = 0;
@@ -379,6 +420,7 @@ void PoolExecutor::run_task(NodeTask* task) {
       task->sched.store(kRunning);
       continue;
     }
+    obs::bump(shard.parks);
     // Parked. Dekker-style recheck against a wake that raced our last
     // unproductive step: probe only the channels named by the summary (no
     // NodeState access -- a new owner may already be stepping it). If the
@@ -502,11 +544,11 @@ void PoolExecutor::finalize(Instance& instance) {
                                     std::nullopt};
         },
         [&](NodeId n) {
-          return instance.nodes[n]->describe() + " park=" +
-                 exec::describe_park_summary(
-                     instance.tasks[n].park_summary.load(
-                         std::memory_order_acquire));
-        });
+          return exec::NodeDumpInfo{
+              instance.nodes[n]->describe(),
+              instance.tasks[n].park_summary.load(std::memory_order_acquire)};
+        },
+        instance.tracer);
   }
   if (instance.streaming && result.deadlocked) {
     // Release callers parked on the ports: a pusher blocked on a full feed
@@ -527,8 +569,23 @@ void PoolExecutor::finalize(Instance& instance) {
   }
 }
 
-void PoolExecutor::worker_loop() {
+void PoolExecutor::worker_loop(std::size_t worker_index) {
+  tls_pool = this;
+  tls_shard = &worker_shards_[worker_index];
   while (NodeTask* task = queue_.pop_wait(stop_)) run_task(task);
+}
+
+obs::WorkerCounters& PoolExecutor::current_shard() {
+  if (tls_pool == this) return *tls_shard;
+  return worker_shards_.back();
+}
+
+std::vector<obs::WorkerMetrics> PoolExecutor::worker_metrics() const {
+  std::vector<obs::WorkerMetrics> out;
+  out.reserve(worker_shards_.size());
+  for (std::size_t i = 0; i < worker_shards_.size(); ++i)
+    out.push_back(obs::read_worker(worker_shards_[i], i));
+  return out;
 }
 
 RunResult PoolExecutor::wait(TicketId ticket) {

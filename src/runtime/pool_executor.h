@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "src/graph/stream_graph.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/kernel.h"
@@ -59,6 +60,8 @@ class MpmcRing {
 
   [[nodiscard]] bool try_push(NodeTask* task);
   [[nodiscard]] NodeTask* try_pop();
+  // Racy instantaneous depth (enqueue minus dequeue cursor); sampling only.
+  [[nodiscard]] std::size_t approx_depth() const;
 
  private:
   struct Cell {
@@ -84,6 +87,8 @@ class ReadyQueue {
   // Blocks until a task is available or `stop` becomes true (then nullptr).
   [[nodiscard]] NodeTask* pop_wait(const std::atomic<bool>& stop);
   void notify_all();
+  // Racy instantaneous depth (ring + overflow); sampling only.
+  [[nodiscard]] std::size_t approx_depth() const;
 
  private:
   [[nodiscard]] NodeTask* try_pop();
@@ -165,13 +170,23 @@ class PoolExecutor {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  // Pool-global scheduler counters: one WorkerMetrics per worker plus a
+  // final "external" entry (wakes issued by non-worker threads -- submit
+  // kicks and stream-port transitions). Safe to call any time; values are
+  // cumulative across every instance the pool ever ran (the pool, not the
+  // run, owns worker identity).
+  [[nodiscard]] std::vector<obs::WorkerMetrics> worker_metrics() const;
+
  private:
   struct Instance;
   friend struct pool_detail::NodeTask;
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   void run_task(pool_detail::NodeTask* task);
   void schedule(pool_detail::NodeTask* task);
+  // The calling thread's counter shard: its own when it is one of this
+  // pool's workers, the shared external shard otherwise.
+  [[nodiscard]] obs::WorkerCounters& current_shard();
   // Called at quiescence (active hit zero): finalize, or stay idle when an
   // open port may still supply work.
   void maybe_finalize(Instance& instance);
@@ -180,6 +195,9 @@ class PoolExecutor {
   Options options_;
   pool_detail::ReadyQueue queue_;
   std::atomic<bool> stop_{false};
+  // workers + 1 shards, sized before the workers spawn and never resized;
+  // the final shard absorbs increments from non-worker threads.
+  std::vector<obs::WorkerCounters> worker_shards_;
   std::vector<std::thread> workers_;
 
   std::mutex instances_mu_;

@@ -1,5 +1,7 @@
 #include "src/runtime/trace.h"
 
+#include <algorithm>
+
 #include "src/support/contracts.h"
 
 namespace sdaf::runtime {
@@ -23,53 +25,87 @@ const char* to_string(TraceKind kind) {
 }
 
 std::string TraceEvent::to_string() const {
-  return "t=" + std::to_string(tick) + " node=" + std::to_string(node) +
-         " " + runtime::to_string(kind) + " slot=" + std::to_string(slot) +
-         " seq=" + std::to_string(seq);
+  std::string out = "t=" + std::to_string(tick) +
+                    " node=" + std::to_string(node) + " " +
+                    runtime::to_string(kind) +
+                    " slot=" + std::to_string(slot) +
+                    " seq=" + std::to_string(seq);
+  if (ts_ns != 0) out += " ts_ns=" + std::to_string(ts_ns);
+  return out;
 }
 
-Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity) {
   SDAF_EXPECTS(capacity >= 1);
 }
 
 void Tracer::record(TraceEvent event) {
   std::lock_guard lock(mu_);
-  if (events_.size() >= capacity_) {
-    events_.pop_front();
-    ++dropped_;
-  }
-  events_.push_back(event);
+  ring_[next_ % capacity_] = event;
+  ++next_;
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-  std::lock_guard lock(mu_);
-  return {events_.begin(), events_.end()};
+  // Copy out at most kChunk events per lock hold so hot writers only ever
+  // wait a bounded time. The first hold fixes the range [cursor, end): the
+  // snapshot's contents are the events present at that instant. Between
+  // holds, writers may lap the reader; slots they overwrote are skipped by
+  // advancing the cursor to the new oldest-surviving event.
+  constexpr std::uint64_t kChunk = 256;
+  std::vector<TraceEvent> out;
+  std::uint64_t cursor = 0;
+  std::uint64_t end = 0;
+  bool primed = false;
+  for (;;) {
+    std::unique_lock lock(mu_);
+    if (!primed) {
+      end = next_;
+      cursor = end > capacity_ ? end - capacity_ : 0;
+      out.reserve(static_cast<std::size_t>(end - cursor));
+      primed = true;
+    }
+    const std::uint64_t oldest = next_ > capacity_ ? next_ - capacity_ : 0;
+    cursor = std::max(cursor, oldest);
+    if (cursor >= end) break;
+    const std::uint64_t n = std::min(kChunk, end - cursor);
+    for (std::uint64_t i = 0; i < n; ++i)
+      out.push_back(ring_[(cursor + i) % capacity_]);
+    cursor += n;
+  }
+  return out;
 }
 
 std::uint64_t Tracer::dropped() const {
   std::lock_guard lock(mu_);
-  return dropped_;
+  return next_ > capacity_ ? next_ - capacity_ : 0;
 }
 
 std::size_t Tracer::size() const {
   std::lock_guard lock(mu_);
-  return events_.size();
+  return static_cast<std::size_t>(std::min<std::uint64_t>(next_, capacity_));
 }
 
 std::vector<TraceEvent> Tracer::filter(TraceKind kind) const {
-  std::lock_guard lock(mu_);
   std::vector<TraceEvent> out;
-  for (const auto& e : events_)
+  for (const auto& e : snapshot())
     if (e.kind == kind) out.push_back(e);
   return out;
 }
 
 std::vector<TraceEvent> Tracer::for_node(NodeId node) const {
-  std::lock_guard lock(mu_);
   std::vector<TraceEvent> out;
-  for (const auto& e : events_)
+  for (const auto& e : snapshot())
     if (e.node == node) out.push_back(e);
   return out;
+}
+
+std::vector<TraceEvent> Tracer::tail_for_node(NodeId node,
+                                              std::size_t limit) const {
+  std::vector<TraceEvent> matching = for_node(node);
+  if (matching.size() > limit)
+    matching.erase(matching.begin(),
+                   matching.end() - static_cast<std::ptrdiff_t>(limit));
+  return matching;
 }
 
 }  // namespace sdaf::runtime

@@ -1,20 +1,35 @@
 // Bounded execution tracing: a ring buffer of per-message events
-// (firings, data/dummy emissions, consumptions) that the deterministic
-// simulator records into on request. Traces make protocol behaviour --
-// who originated a dummy, where it was forwarded, what a node consumed at
-// a given sequence number -- directly inspectable in tests and while
-// debugging wedged topologies.
+// (firings, data/dummy emissions, consumptions) recorded on any backend.
+// Traces make protocol behaviour -- who originated a dummy, where it was
+// forwarded, what a node consumed at a given sequence number -- directly
+// inspectable in tests and while debugging wedged topologies: the unified
+// state_dump embeds the last few events per node when a tracer was armed.
+//
+// The recorder is a preallocated ring written under a short mutex hold (no
+// allocation on record), and snapshot() copies out in bounded chunks so a
+// reader never stalls hot workers for the whole ring: writers interleave
+// between chunks, and any slot they overwrite while the reader is off-lock
+// is simply skipped (the copy stays ordered and duplicate-free, bounded by
+// the ring capacity as of the first chunk).
+//
+// Tracing hooks compile away entirely with -DSDAF_TRACING_ENABLED=0; the
+// default build keeps them at the cost of one pointer test per event site.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/graph/stream_graph.h"
 
+#ifndef SDAF_TRACING_ENABLED
+#define SDAF_TRACING_ENABLED 1
+#endif
+
 namespace sdaf::runtime {
+
+inline constexpr bool kTracingEnabled = SDAF_TRACING_ENABLED != 0;
 
 enum class TraceKind : std::uint8_t {
   Fire,           // kernel invocation (seq accepted with data)
@@ -30,7 +45,9 @@ struct TraceEvent {
   NodeId node = kNoNode;
   std::size_t slot = 0;  // out-slot for *Sent, in-slot for *Consumed
   std::uint64_t seq = 0;
-  std::uint64_t tick = 0;  // simulator sweep number
+  std::uint64_t tick = 0;   // simulator sweep number (0 on the live backends)
+  std::uint64_t ts_ns = 0;  // steady-clock timestamp on the live backends
+                            // (0 in the sim, whose clock is `tick`)
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -42,6 +59,8 @@ class Tracer {
 
   void record(TraceEvent event);
 
+  // Chunk-copied: events present at the first chunk are returned unless a
+  // writer overwrites them mid-copy (those are skipped, never torn).
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   [[nodiscard]] std::uint64_t dropped() const;
   [[nodiscard]] std::size_t size() const;
@@ -49,12 +68,15 @@ class Tracer {
   // Events matching a predicate, convenience for tests.
   [[nodiscard]] std::vector<TraceEvent> filter(TraceKind kind) const;
   [[nodiscard]] std::vector<TraceEvent> for_node(NodeId node) const;
+  // The most recent `limit` events for one node, oldest first (state dumps).
+  [[nodiscard]] std::vector<TraceEvent> tail_for_node(NodeId node,
+                                                      std::size_t limit) const;
 
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::deque<TraceEvent> events_;
-  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;  // capacity_ slots, indexed by next_ % cap
+  std::uint64_t next_ = 0;        // total events ever recorded
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind);

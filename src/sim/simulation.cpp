@@ -29,12 +29,22 @@ struct SimChannel {
 
   MessageRing ring;
   exec::EdgeTraffic traffic;
+  obs::ChannelCounters* metrics = nullptr;
 
   void note_push(std::size_t data, std::size_t dummies) {
     traffic.data += data;
     traffic.dummies += dummies;
     traffic.max_occupancy = std::max(
         traffic.max_occupancy, static_cast<std::int64_t>(ring.size()));
+    if (metrics != nullptr) {
+      if (data > 0) obs::bump(metrics->data_pushed, data);
+      if (dummies > 0) obs::bump(metrics->dummies_pushed, dummies);
+      metrics->note_high_water(static_cast<std::int64_t>(ring.size()));
+    }
+  }
+
+  void note_pop(std::size_t count) {
+    if (metrics != nullptr) obs::bump(metrics->pops, count);
   }
 };
 
@@ -51,7 +61,8 @@ class SimNode final : private exec::DeliverySink {
           std::vector<SimChannel*> outs, BoundedChannel* feed,
           BoundedChannel* egress, NodeWrapper wrapper,
           std::uint64_t num_inputs, std::uint32_t batch,
-          runtime::Tracer* tracer, const std::uint64_t* sweep)
+          runtime::Tracer* tracer, const std::uint64_t* sweep,
+          obs::NodeCounters* metrics)
       : ins_(std::move(ins)),
         outs_(std::move(outs)),
         feed_(feed),
@@ -59,7 +70,7 @@ class SimNode final : private exec::DeliverySink {
         core_(node, kernel, ins_.size(),
               outs_.size() + (egress != nullptr ? 1 : 0), std::move(wrapper),
               num_inputs, *this, batch, tracer, sweep,
-              /*port_fed=*/feed != nullptr) {}
+              /*port_fed=*/feed != nullptr, metrics) {}
 
   // One scheduling quantum; returns true if any progress was made.
   bool step() { return core_.step(); }
@@ -68,23 +79,35 @@ class SimNode final : private exec::DeliverySink {
   [[nodiscard]] std::uint64_t fires() const { return core_.fires; }
   [[nodiscard]] std::uint64_t sink_data() const { return core_.sink_data; }
   [[nodiscard]] std::string describe() const { return core_.describe(); }
+  [[nodiscard]] std::uint64_t park_summary() const {
+    return core_.park_summary();
+  }
 
  private:
   std::optional<HeadView> peek_head(std::size_t slot,
                                     bool /*may_wait*/) override {
-    if (ins_[slot]->ring.empty()) return std::nullopt;
-    return ins_[slot]->ring.head();
+    SimChannel& ch = *ins_[slot];
+    if (ch.ring.empty()) {
+      if (ch.metrics != nullptr) obs::bump(ch.metrics->empty_waits);
+      return std::nullopt;
+    }
+    return ch.ring.head();
   }
 
   Message pop_head(std::size_t slot) override {
+    ins_[slot]->note_pop(1);
     return ins_[slot]->ring.pop_head();
   }
 
-  void pop(std::size_t slot) override { ins_[slot]->ring.pop(); }
+  void pop(std::size_t slot) override {
+    ins_[slot]->note_pop(1);
+    ins_[slot]->ring.pop();
+  }
 
   void pop_dummies(std::size_t slot, std::size_t count) override {
     const std::size_t popped = ins_[slot]->ring.pop_dummies(count);
     SDAF_ASSERT(popped == count);
+    ins_[slot]->note_pop(popped);
   }
 
   exec::PushOutcome try_push(std::size_t slot, Message&& m) override {
@@ -100,7 +123,10 @@ class SimNode final : private exec::DeliverySink {
       }
     }
     SimChannel& ch = *outs_[slot];
-    if (ch.ring.full()) return exec::PushOutcome::Blocked;
+    if (ch.ring.full()) {
+      if (ch.metrics != nullptr) obs::bump(ch.metrics->full_stalls);
+      return exec::PushOutcome::Blocked;
+    }
     const bool is_data = m.kind == MessageKind::Data;
     const bool is_dummy = m.kind == MessageKind::Dummy;
     ch.ring.push(std::move(m));
@@ -123,6 +149,8 @@ class SimNode final : private exec::DeliverySink {
     SimChannel& ch = *outs_[slot];
     const std::size_t accepted = ch.ring.push_dummies(first_seq, count);
     if (accepted > 0) ch.note_push(0, accepted);
+    if (accepted < count && ch.metrics != nullptr)
+      obs::bump(ch.metrics->full_stalls);
     *outcome = accepted == count ? exec::PushOutcome::Delivered
                                  : exec::PushOutcome::Blocked;
     return accepted;
@@ -148,6 +176,7 @@ struct SweepEngine::Impl {
   std::uint64_t max_sweeps;
   std::uint64_t sweeps = 0;
   bool all_done = false;
+  runtime::Tracer* tracer = nullptr;  // for the wedged-state dump tail
   std::vector<SimChannel> channels;
   std::vector<std::unique_ptr<SimNode>> nodes;
 
@@ -162,6 +191,7 @@ SweepEngine::SweepEngine(
   SDAF_EXPECTS(kernels.size() == g.node_count());
   for (const auto& k : kernels) SDAF_EXPECTS(k != nullptr);
   impl_->max_sweeps = options.max_sweeps;
+  impl_->tracer = options.tracer;
 
   const std::size_t edges = g.edge_count();
   std::vector<std::int64_t> intervals = options.intervals;
@@ -173,9 +203,12 @@ SweepEngine::SweepEngine(
   SDAF_EXPECTS(forward.size() == edges);
 
   impl_->channels.reserve(edges);
-  for (EdgeId e = 0; e < edges; ++e)
+  for (EdgeId e = 0; e < edges; ++e) {
     impl_->channels.emplace_back(
         static_cast<std::size_t>(g.edge(e).buffer));
+    if (options.metrics != nullptr)
+      impl_->channels.back().metrics = &options.metrics->channel(e);
+  }
 
   impl_->nodes.reserve(g.node_count());
   for (NodeId n = 0; n < g.node_count(); ++n) {
@@ -205,7 +238,8 @@ SweepEngine::SweepEngine(
         n, *kernels[n], std::move(ins), std::move(outs), feed, egress,
         NodeWrapper(options.mode, std::move(out_intervals),
                     std::move(out_forward)),
-        options.num_inputs, options.batch, options.tracer, &impl_->sweeps));
+        options.num_inputs, options.batch, options.tracer, &impl_->sweeps,
+        options.metrics != nullptr ? &options.metrics->node(n) : nullptr));
   }
 }
 
@@ -257,7 +291,11 @@ exec::RunReport SweepEngine::report(bool deadlocked) const {
           }
           return info;
         },
-        [&](NodeId n) { return s.nodes[n]->describe(); });
+        [&](NodeId n) {
+          return exec::NodeDumpInfo{s.nodes[n]->describe(),
+                                    s.nodes[n]->park_summary()};
+        },
+        s.tracer);
   }
   result.edges.resize(s.channels.size());
   for (std::size_t e = 0; e < s.channels.size(); ++e)

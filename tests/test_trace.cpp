@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "src/core/compile.h"
 #include "src/exec/session.h"
 #include "src/workloads/filters.h"
@@ -53,6 +56,46 @@ TEST(Tracer, EventToString) {
 
 TEST(TracerDeathTest, RejectsZeroCapacity) {
   EXPECT_DEATH(Tracer(0), "precondition");
+}
+
+TEST(Tracer, TailForNode) {
+  Tracer t(32);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.record(TraceEvent{TraceKind::Fire, i % 2, 0, i, i});
+  const auto tail = t.tail_for_node(0, 3);
+  ASSERT_EQ(tail.size(), 3u);
+  // The *last* three node-0 events (seqs 4, 6, 8), oldest first.
+  EXPECT_EQ(tail[0].seq, 4u);
+  EXPECT_EQ(tail[2].seq, 8u);
+  EXPECT_TRUE(t.tail_for_node(7, 3).empty());
+}
+
+TEST(Tracer, SnapshotUnderConcurrentWritersIsBoundedAndOrdered) {
+  // The snapshot path copies the ring in bounded chunks, releasing the lock
+  // between chunks so a hot writer is stalled for at most one chunk at a
+  // time. Events a writer laps while the reader is off the lock are
+  // *skipped*, never duplicated or torn: every snapshot must be a strictly
+  // increasing subsequence of the recorded seqs, bounded by the capacity.
+  constexpr std::size_t kCapacity = 1u << 10;
+  constexpr std::uint64_t kRecords = 200'000;  // laps the ring ~200 times
+  Tracer t(kCapacity);
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t seq = 0; seq < kRecords; ++seq)
+      t.record(TraceEvent{TraceKind::Fire, 0, 0, seq, 0});
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    const auto events = t.snapshot();
+    ASSERT_LE(events.size(), kCapacity);
+    for (std::size_t i = 1; i < events.size(); ++i)
+      ASSERT_LT(events[i - 1].seq, events[i].seq) << "torn snapshot";
+  }
+  writer.join();
+  // Quiescent now: the final snapshot is the exact ring tail.
+  const auto events = t.snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().seq - events.front().seq + 1, events.size());
 }
 
 TEST(SimTracing, PipelineEventAccounting) {
@@ -110,6 +153,38 @@ TEST(SimTracing, DummyOriginationAndForwardingVisible) {
   for (std::size_t i = 1; i < sent.size(); ++i)
     EXPECT_LE(sent[i].seq - sent[i - 1].seq,
               static_cast<std::uint64_t>(interval));
+}
+
+TEST(ThreadedTracing, WallClockTimestampsAttached) {
+  // Off the simulator there is no sweep tick, so trace events carry a
+  // steady-clock ts_ns instead (and tick stays 0). The sim keeps ts_ns == 0
+  // -- its deterministic tick is the timestamp.
+  const StreamGraph g = workloads::pipeline(3, 2);
+  exec::Session session(g, workloads::passthrough_kernels(g));
+  Tracer tracer(1u << 14);
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Threaded;
+  spec.mode = DummyMode::None;
+  spec.num_inputs = 20;
+  spec.tracer = &tracer;
+  ASSERT_TRUE(session.run(spec).completed);
+  const auto events = tracer.snapshot();
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_NE(e.ts_ns, 0u);
+    EXPECT_EQ(e.tick, 0u);
+  }
+  // to_string surfaces the timestamp for state_dump readers.
+  EXPECT_NE(events.front().to_string().find("ts_ns="), std::string::npos);
+
+  Tracer sim_tracer(1u << 14);
+  exec::RunSpec sim_spec = spec;
+  sim_spec.backend = exec::Backend::Sim;
+  sim_spec.tracer = &sim_tracer;
+  ASSERT_TRUE(session.run(sim_spec).completed);
+  const auto sim_events = sim_tracer.snapshot();
+  ASSERT_FALSE(sim_events.empty());
+  for (const auto& e : sim_events) EXPECT_EQ(e.ts_ns, 0u);
 }
 
 TEST(SimTracing, TicksAreMonotone) {

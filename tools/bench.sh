@@ -45,15 +45,18 @@ fi
 
 # The smoke subset is fixed so the JSON schema (benchmark names + counters)
 # stays stable across PRs: the three throughput pass rates at the batched
-# quantum, the pooled filtering sweep, (since the SPSC channel fast path)
-# two batch=1 pooled ladder configs whose per-op channel cost is the figure
-# the lock-free path exists to cut, and (since the streaming ports) one
-# latency and one ingest config per concurrent backend.
+# quantum, the metrics-on/off overhead pair (records the observability cost
+# -- counters items_per_second_metrics_{on,off} and metrics_overhead_pct,
+# budget <= 2% -- into BENCH_throughput.json), the pooled filtering sweep,
+# (since the SPSC channel fast path) two batch=1 pooled ladder configs whose
+# per-op channel cost is the figure the lock-free path exists to cut, and
+# (since the streaming ports) one latency and one ingest config per
+# concurrent backend.
 throughput_filter='.'
 pool_filter='Filtering|CompileCache'
 streaming_filter='.'
 if [[ $smoke -eq 1 ]]; then
-  throughput_filter='BM_Throughput_Pass(100|50|10)/'
+  throughput_filter='BM_Throughput_Pass(100|50|10)/|BM_Throughput_Pass10_MetricsOverhead'
   pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2'
   streaming_filter='BM_Stream(Latency|Ingest)_(Pooled|Threaded)'
 fi

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# check_prom.sh -- Prometheus text exposition (version 0.0.4) line checker.
+#
+#   tools/check_prom.sh [FILE]     # or reads stdin
+#
+# Validates the grammar obs::to_prometheus promises:
+#   * every line is `# HELP <name> <doc>`, `# TYPE <name> <type>`, a free
+#     comment, or a sample `name[{label="value",...}] value [timestamp]`
+#   * metric and label names match the Prometheus charset
+#   * label values use only the \\ \" \n escapes and are terminated
+#   * each family has exactly one TYPE, emitted before its samples
+#   * counter families end in _total; sample values are valid floats
+#
+# Exits 0 on a clean page, 1 with per-line diagnostics otherwise. CI runs
+# sdafc --metrics=prom output through this so the exporter cannot silently
+# drift from the exposition format.
+set -euo pipefail
+
+exec awk '
+function fail(msg) {
+  printf "check_prom: line %d: %s\n    %s\n", NR, msg, $0 > "/dev/stderr"
+  bad = 1
+}
+BEGIN { name_re = "^[a-zA-Z_:][a-zA-Z0-9_:]*$" }
+/^$/ { next }
+/^# HELP / {
+  if (split($0, a, " ") < 4) { fail("HELP wants <name> <doc>"); next }
+  if (a[3] !~ name_re) fail("bad metric name in HELP: " a[3])
+  if (a[3] in helped) fail("duplicate HELP for " a[3])
+  helped[a[3]] = 1
+  next
+}
+/^# TYPE / {
+  if (split($0, a, " ") != 4) { fail("TYPE wants exactly <name> <type>"); next }
+  if (a[3] !~ name_re) fail("bad metric name in TYPE: " a[3])
+  if (a[4] !~ /^(counter|gauge|histogram|summary|untyped)$/)
+    fail("unknown type: " a[4])
+  if (a[3] in typed) fail("duplicate TYPE for " a[3])
+  if (a[3] in sampled) fail("TYPE after samples of " a[3])
+  if (a[4] == "counter" && a[3] !~ /_total$/)
+    fail("counter family must end in _total: " a[3])
+  typed[a[3]] = a[4]
+  next
+}
+/^#/ { next }  # free-form comment
+{
+  if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) { fail("bad metric name"); next }
+  fam = substr($0, 1, RLENGTH)
+  rest = substr($0, RLENGTH + 1)
+  if (!(fam in typed)) fail("sample before # TYPE for " fam)
+  sampled[fam] = 1
+  if (substr(rest, 1, 1) == "{") {
+    i = 2
+    n = length(rest)
+    for (;;) {
+      if (!match(substr(rest, i), /^[a-zA-Z_][a-zA-Z0-9_]*=/)) {
+        fail("bad label name"); next
+      }
+      i += RLENGTH
+      if (substr(rest, i, 1) != "\"") { fail("label value must be quoted"); next }
+      ++i
+      closed = 0
+      while (i <= n) {
+        c = substr(rest, i, 1)
+        if (c == "\\") {
+          e = substr(rest, i + 1, 1)
+          if (e != "\\" && e != "\"" && e != "n") fail("bad escape: \\" e)
+          i += 2
+          continue
+        }
+        ++i
+        if (c == "\"") { closed = 1; break }
+      }
+      if (!closed) { fail("unterminated label value"); next }
+      c = substr(rest, i, 1)
+      ++i
+      if (c == ",") continue
+      if (c == "}") break
+      fail("expected , or } after label value"); next
+    }
+    rest = substr(rest, i)
+  }
+  if (rest !~ /^ (-?([0-9]+\.?[0-9]*|\.[0-9]+)([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)( -?[0-9]+)?$/)
+    fail("bad sample value:" rest)
+  ++samples
+}
+END {
+  if (!samples && !bad) {
+    print "check_prom: no sample lines found" > "/dev/stderr"
+    bad = 1
+  }
+  exit bad
+}
+' "${1:-/dev/stdin}"

@@ -6,6 +6,10 @@
 #
 #   tools/ci.sh            # release + asan + tsan
 #   tools/ci.sh --fast     # release only
+#   tools/ci.sh --smoke    # release build, then the observability smoke:
+#                          # run sdafc --metrics=prom on a known topology
+#                          # and validate the exposition page with
+#                          # tools/check_prom.sh (no ctest, ~seconds)
 #   tools/ci.sh --stress   # everything above, then a time-boxed randomized
 #                          # stress tier under both sanitizers: the
 #                          # cross-backend differential harness sweep (batch
@@ -22,10 +26,33 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 mode=${1:-}
 
-echo "==> release build + ctest"
+echo "==> release build"
 cmake --preset release
 cmake --build --preset release -j "$jobs"
+
+# The exporter contract check: a real run's Prometheus page must satisfy the
+# exposition grammar end to end (sdafc emits metrics on stderr).
+check_prom() {
+  echo "==> prometheus exposition check (tools/check_prom.sh)"
+  local topo
+  topo=$(mktemp)
+  printf 'node A\nnode B\nnode C\nedge A B 2\nedge A C 2\nedge B C 2\n' \
+      > "$topo"
+  build/release/sdafc --run --backend=pooled --items=200 --pass-rate=0.4 \
+      --metrics=prom "$topo" 2>&1 >/dev/null | tools/check_prom.sh
+  rm -f "$topo"
+}
+
+if [[ "$mode" == "--smoke" ]]; then
+  check_prom
+  echo "==> ci OK (smoke)"
+  exit 0
+fi
+
+echo "==> release ctest"
 ctest --preset release -j "$jobs"
+
+check_prom
 
 echo "==> bench smoke (BENCH_*.json)"
 tools/bench.sh --smoke

@@ -7,7 +7,8 @@
 //
 //   sdafc [--nonprop] [--reject-general] [--dot] [--ceil] FILE
 //   sdafc --run [--backend=sim|threaded|pooled] [--items=N]
-//         [--pass-rate=P] [--seed=S] [--no-avoidance] FILE
+//         [--pass-rate=P] [--seed=S] [--no-avoidance] [--metrics[=json|prom]]
+//         FILE
 //   sdafc --run --stdin [--backend=...] FILE   # one item per input line
 //   sdafc --help
 //
@@ -17,6 +18,11 @@
 // ("sink[seq]\ttext"), and EOF is the dynamic close() that ends the
 // stream with the usual verdict.
 //
+// --metrics attaches an obs::MetricsRegistry to the run and prints the
+// end-of-run snapshot to *stderr* (JSON by default, Prometheus text with
+// --metrics=prom), keeping stdout parseable and exit codes unchanged. With
+// --stdin the final summary is printed once the stream closes.
+//
 // Exit status: 0 ok, 1 rejected/invalid/incomplete, 2 usage,
 // 3 run deadlocked.
 #include <chrono>
@@ -24,6 +30,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -33,6 +40,8 @@
 #include "src/exec/session.h"
 #include "src/exec/stream.h"
 #include "src/graph/io.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/workloads/filters.h"
 
 using namespace sdaf;
@@ -59,6 +68,8 @@ int usage() {
       "  --seed=S          kernel seed (default 1)\n"
       "  --no-avoidance    run without dummy wrappers (demonstrates the\n"
       "                    deadlock the intervals prevent)\n"
+      "  --metrics[=FMT]   print the end-of-run metrics snapshot to stderr;\n"
+      "                    FMT is json (default) or prom (Prometheus text)\n"
       "  --stdin           with --run: stream one item per stdin line\n"
       "                    through the live InputPort (single-source\n"
       "                    topologies), printing sink results as they\n"
@@ -101,6 +112,17 @@ std::string value_text(const runtime::Value& v) {
   return "<opaque>";
 }
 
+// Metrics land on stderr so stdout stays the report/stream channel; a
+// pipeline can do `sdafc --run --metrics=prom f 2>metrics.prom` and still
+// parse the run output.
+void print_metrics(const obs::MetricsSnapshot& snapshot,
+                   const std::string& format) {
+  const std::string text = format == "prom" ? obs::to_prometheus(snapshot)
+                                            : obs::to_json(snapshot);
+  std::fputs(text.c_str(), stderr);
+  if (text.empty() || text.back() != '\n') std::fputc('\n', stderr);
+}
+
 // Shared trailer for --run and --stdin: verdict line, traffic totals, and
 // the wedged-state dump on deadlock. Returns the process exit status.
 int print_run_report(const StreamGraph& g, const exec::RunReport& report,
@@ -133,7 +155,7 @@ int print_run_report(const StreamGraph& g, const exec::RunReport& report,
 // the verdict still comes from the exact machinery.
 int run_stdin_stream(const StreamGraph& g, exec::StreamSpec spec,
                      const char* mode_name, double pass_rate,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, const std::string& metrics_format) {
   if (g.sources().size() != 1) {
     std::fprintf(stderr,
                  "sdafc: --stdin needs exactly one source node (got %zu)\n",
@@ -181,6 +203,9 @@ int run_stdin_stream(const StreamGraph& g, exec::StreamSpec spec,
                 << value_text(item->value) << "\n";
   }
   const auto report = stream.finish();
+  // The stream Core owns its registry (StreamSpec::metrics defaults on), so
+  // the final summary -- ports included -- comes straight off the handle.
+  if (!metrics_format.empty()) print_metrics(stream.metrics(), metrics_format);
   return print_run_report(g, report, mode_name, items, pass_rate);
 }
 
@@ -197,6 +222,7 @@ int main(int argc, char** argv) {
   std::uint64_t items = 1000;
   double pass_rate = 0.7;
   std::uint64_t seed = 1;
+  std::string metrics_format;  // empty = off
   std::string file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -233,6 +259,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       if (!parse_u64(arg.c_str() + 7, &seed)) {
         std::fprintf(stderr, "sdafc: bad --seed value %s\n", arg.c_str() + 7);
+        return usage();
+      }
+    } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+      metrics_format = arg == "--metrics" ? "json" : arg.substr(10);
+      if (metrics_format != "json" && metrics_format != "prom") {
+        std::fprintf(stderr, "sdafc: bad --metrics format %s (want json|prom)\n",
+                     metrics_format.c_str());
         return usage();
       }
     } else if (arg == "--no-avoidance") {
@@ -308,11 +341,24 @@ int main(int argc, char** argv) {
     exec::StreamSpec stream_spec;
     stream_spec.run = spec;
     return run_stdin_stream(g, std::move(stream_spec), mode_name, pass_rate,
-                            seed);
+                            seed, metrics_format);
   }
 
+  std::optional<obs::MetricsRegistry> registry;
+  if (!metrics_format.empty()) {
+    registry.emplace(g.node_count(), g.edge_count());
+    spec.metrics = &*registry;
+  }
   exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
   const auto report = session.run(spec);
+  if (registry.has_value()) {
+    obs::SnapshotOptions sopt;
+    sopt.backend = exec::to_string(report.backend);
+    sopt.tenant = spec.tenant;
+    sopt.wall_seconds = report.wall_seconds;
+    sopt.bytes_per_slot = sizeof(runtime::Message);
+    print_metrics(obs::snapshot(g, *registry, sopt), metrics_format);
+  }
   // Three distinct outcomes: completed, certified deadlock, or a sim run
   // truncated by the sweep ceiling (neither flag set).
   return print_run_report(g, report, mode_name, items, pass_rate);
