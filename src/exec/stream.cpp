@@ -1,5 +1,6 @@
 #include "src/exec/stream.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <sstream>
@@ -118,8 +119,10 @@ struct Core {
   virtual void feed_closed(std::size_t /*i*/) {}
   virtual void egress_popped(std::size_t /*i*/, bool /*was_full*/) {}
   // Blocking helpers: return true = state may have changed, retry; false =
-  // give up (aborted, or -- Sim -- no progress possible).
-  virtual bool wait_feed_space(std::size_t i);
+  // give up (aborted, deadline passed, or -- Sim -- no progress possible).
+  // A null deadline waits forever (the classic push() path).
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+  virtual bool wait_feed_space(std::size_t i, const Deadline& deadline);
   virtual bool wait_egress_item(std::size_t i);
   // After every port is closed and the taps are drained: the final report.
   virtual RunReport collect() = 0;
@@ -153,19 +156,69 @@ struct Core {
   }
 
   bool port_push(InputPort& port, Value&& v) {
-    if (port.closed_) return false;
+    return port_push_deadline(port, std::move(v), std::nullopt) ==
+           PortPushOutcome::Ok;
+  }
+
+  PortPushOutcome port_push_deadline(InputPort& port, Value&& v,
+                                 const Deadline& deadline) {
+    if (port.closed_) return PortPushOutcome::Ended;
     Message m = Message::data(port.pushed(), std::move(v));
     for (;;) {
       switch (push_message(port, m)) {
         case PushStatus::Ok:
-          return true;
+          return PortPushOutcome::Ok;
         case PushStatus::Ended:
-          return false;
+          return PortPushOutcome::Ended;
         case PushStatus::NoSpace:
-          if (!wait_feed_space(port.index_)) return false;
+          if (!wait_feed_space(port.index_, deadline))
+            return feed_channels[port.index_]->aborted() ? PortPushOutcome::Ended
+                                                         : PortPushOutcome::TimedOut;
           break;
       }
     }
+  }
+
+  // The bulk-ingest fast path: all sequence numbers are assigned up front,
+  // then each round stages as many messages as the feed has data room for
+  // and lands them with one BoundedChannel::try_push_batch (one ring
+  // reservation + one publish + one wake). Traffic is bit-identical to
+  // item-at-a-time push() -- same seqs, same channel contents, one
+  // empty->non-empty wake edge instead of many redundant ones.
+  std::size_t port_push_batch(InputPort& port, std::vector<Value> values,
+                              const Deadline& deadline) {
+    if (port.closed_ || values.empty()) return 0;
+    std::vector<Message> msgs;
+    msgs.reserve(values.size());
+    std::uint64_t seq = port.pushed();
+    for (auto& v : values) msgs.push_back(Message::data(seq++, std::move(v)));
+    std::size_t done = 0;
+    BoundedChannel& feed = *feed_channels[port.index_];
+    for (;;) {
+      // Data occupancy is capped at feed_capacity (the ring's extra slot is
+      // reserved for EOS); size() only shrinks under the caller's feet, so
+      // `room` is a safe underestimate.
+      const std::size_t occ = feed.size();
+      const std::size_t room =
+          occ >= spec.feed_capacity ? 0 : spec.feed_capacity - occ;
+      if (room > 0) {
+        bool was_empty = false;
+        bool aborted = false;
+        const std::size_t n = feed.try_push_batch(
+            msgs.data() + done, std::min(room, msgs.size() - done),
+            &was_empty, &aborted);
+        if (aborted) break;
+        if (n > 0) {
+          done += n;
+          port.next_seq_.store(port.pushed() + n, std::memory_order_relaxed);
+          feed_pushed(port.index_, was_empty);
+          if (done == msgs.size()) break;
+          continue;
+        }
+      }
+      if (!wait_feed_space(port.index_, deadline)) break;
+    }
+    return done;
   }
 
   void port_close(InputPort& port) {
@@ -303,26 +356,32 @@ struct Core {
   }
 };
 
-bool Core::wait_feed_space(std::size_t i) {
+bool Core::wait_feed_space(std::size_t i, const Deadline& deadline) {
   // Wake-elision protocol, mirrored from the node runners: register as a
   // waiter on the feed's ProducerSignal (every consumer pop bumps it),
-  // re-check, then park. See runtime::ProducerSignal::bump.
+  // re-check, then park -- with an absolute deadline when the caller asked
+  // for timed parking. See runtime::ProducerSignal::bump.
   BoundedChannel& feed = *feed_channels[i];
   ProducerSignal& sig = *feed_signals[i];
   const std::uint64_t version = sig.version.load(std::memory_order_acquire);
   sig.waiters.fetch_add(1, std::memory_order_seq_cst);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const bool space = feed.size() < spec.feed_capacity;
+  bool timed_out = false;
   if (!space && !feed.aborted() &&
       !sig.aborted.load(std::memory_order_acquire)) {
-    std::unique_lock lock(sig.mu);
-    sig.cv.wait(lock, [&] {
+    const auto moved = [&] {
       return sig.version.load(std::memory_order_acquire) != version ||
              sig.aborted.load(std::memory_order_acquire);
-    });
+    };
+    std::unique_lock lock(sig.mu);
+    if (deadline.has_value())
+      timed_out = !sig.cv.wait_until(lock, *deadline, moved);
+    else
+      sig.cv.wait(lock, moved);
   }
   sig.waiters.fetch_sub(1, std::memory_order_relaxed);
-  return !feed.aborted();
+  return !feed.aborted() && !timed_out;
 }
 
 bool Core::wait_egress_item(std::size_t i) {
@@ -345,7 +404,11 @@ struct SimCore final : Core {
   }
 
   bool pump_now() override { return engine->pump(); }
-  bool wait_feed_space(std::size_t i) override {
+  bool wait_feed_space(std::size_t i, const Deadline& /*deadline*/) override {
+    // "Waiting" on the Sim backend means pumping on the caller's thread; a
+    // pump with no progress already answers a deadline caller (the graph
+    // cannot absorb the item no matter how long it waits), so the deadline
+    // itself is moot.
     return engine->pump() && !feed_channels[i]->aborted();
   }
   bool wait_egress_item(std::size_t /*i*/) override { return engine->pump(); }
@@ -470,13 +533,24 @@ bool InputPort::try_push(runtime::Value v) {
   return core_->port_try_push(*this, std::move(v));
 }
 
+PortPushOutcome InputPort::try_push_for(runtime::Value v,
+                                    std::chrono::nanoseconds timeout) {
+  // timeout <= 0: a deadline already in the past -- one push attempt, no
+  // park (try_push semantics with the three-way status).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::max(timeout, std::chrono::nanoseconds::zero());
+  return core_->port_push_deadline(*this, std::move(v), deadline);
+}
+
 std::size_t InputPort::push_batch(std::vector<runtime::Value> values) {
-  std::size_t accepted = 0;
-  for (auto& v : values) {
-    if (!core_->port_push(*this, std::move(v))) break;
-    ++accepted;
-  }
-  return accepted;
+  return core_->port_push_batch(*this, std::move(values), std::nullopt);
+}
+
+std::size_t InputPort::push_batch_for(std::vector<runtime::Value> values,
+                                      std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::max(timeout, std::chrono::nanoseconds::zero());
+  return core_->port_push_batch(*this, std::move(values), deadline);
 }
 
 void InputPort::close() { core_->port_close(*this); }

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -71,6 +72,12 @@ struct StreamSpec {
   bool metrics = true;
 };
 
+// Outcome of a deadline-bounded push. TimedOut is the backpressure status:
+// the stream would not absorb the item within the deadline (the graph may
+// be busy, starved of polls -- or wedged; only close()+finish() can tell).
+// Ended means the port is closed or the stream finished/aborted.
+enum class PortPushOutcome : std::uint8_t { Ok, TimedOut, Ended };
+
 // Ingress into one source node. Single caller thread per port at a time;
 // distinct ports may be driven from distinct threads.
 class InputPort {
@@ -99,9 +106,26 @@ class InputPort {
   // Never blocks or pumps; false = no buffer space right now (or closed /
   // ended, which closed() distinguishes).
   bool try_push(runtime::Value v = {});
-  // Pushes each value in order with push(); returns how many were accepted
-  // (stops early when push() fails).
+  // Deadline-bounded push: parks on the feed at most `timeout` (timed cv
+  // wait on the concurrent backends; the Sim backend pumps instead and
+  // reports TimedOut as soon as a pump cannot absorb the item). A caller
+  // that must never hard-block on a wedge-capable stream -- a network
+  // server ingesting on behalf of remote clients -- uses this instead of
+  // push(). timeout <= 0 is exactly try_push with a three-way status.
+  PortPushOutcome try_push_for(runtime::Value v, std::chrono::nanoseconds timeout);
+  // Bulk ingest: pushes every value in order as ONE coalesced channel
+  // operation per round -- a single ring reservation + a single counter
+  // publish + a single wake for as many values as the feed has room for
+  // (O(1) publishes for a batch that fits, instead of one per item) --
+  // blocking like push() until all are accepted or the stream ends.
+  // Returns how many were accepted; sequence numbers and all downstream
+  // traffic are bit-identical to item-at-a-time push() (the differential
+  // sweeps enforce it).
   std::size_t push_batch(std::vector<runtime::Value> values);
+  // push_batch with a deadline across the whole batch: accepts what fits
+  // within `timeout` and returns the accepted count (may be short).
+  std::size_t push_batch_for(std::vector<runtime::Value> values,
+                             std::chrono::nanoseconds timeout);
 
   // Dynamic end-of-stream: enqueues EOS (a reserved buffer slot guarantees
   // space), after which the source floods EOS exactly like a completed

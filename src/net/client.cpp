@@ -1,0 +1,155 @@
+#include "src/net/client.h"
+
+#include <utility>
+
+namespace sdaf::net {
+
+std::optional<Client> Client::connect_unix(const std::string& path) {
+  Fd fd = net::connect_unix(path);
+  if (!fd.valid()) return std::nullopt;
+  Client c(std::move(fd));
+  c.hello();
+  return c;
+}
+
+std::optional<Client> Client::connect_tcp(const std::string& host,
+                                          std::uint16_t port) {
+  Fd fd = net::connect_tcp(host, port);
+  if (!fd.valid()) return std::nullopt;
+  Client c(std::move(fd));
+  c.hello();
+  return c;
+}
+
+void Client::hello() {
+  HelloFrame f;
+  Writer w;
+  encode(f, w);
+  const Reply reply =
+      round_trip(FrameType::Hello, 0, std::move(w), FrameType::HelloOk);
+  const auto ok = decode_hello_ok(reply.payload.data(), reply.payload.size());
+  if (!ok.has_value() || ok->version != kProtocolVersion)
+    throw ProtocolError(ErrorCode::Version, "unusable HelloOk");
+}
+
+Client::Reply Client::round_trip(FrameType type, std::uint16_t stream,
+                                 Writer payload, FrameType expect) {
+  const std::vector<std::uint8_t> frame =
+      make_frame(type, stream, std::move(payload));
+  if (!send_all(fd_, frame.data(), frame.size()))
+    throw ProtocolError(ErrorCode::Internal, "send failed (peer gone?)");
+
+  std::uint8_t header_bytes[kHeaderSize];
+  if (!recv_exact(fd_, header_bytes, kHeaderSize))
+    throw ProtocolError(ErrorCode::Internal, "connection closed mid-reply");
+  const auto h = decode_header(header_bytes);
+  if (!h.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed reply header");
+  Reply reply;
+  reply.header = *h;
+  reply.payload.resize(h->length);
+  if (h->length > 0 &&
+      !recv_exact(fd_, reply.payload.data(), reply.payload.size()))
+    throw ProtocolError(ErrorCode::Internal, "connection closed mid-payload");
+
+  if (reply.header.type == FrameType::Error) {
+    const auto e = decode_error(reply.payload.data(), reply.payload.size());
+    if (!e.has_value())
+      throw ProtocolError(ErrorCode::BadFrame, "malformed Error frame");
+    throw ProtocolError(e->code, e->message);
+  }
+  if (reply.header.type != expect || reply.header.stream != stream)
+    throw ProtocolError(ErrorCode::BadFrame, "unexpected reply frame");
+  return reply;
+}
+
+ClientStream Client::open(std::uint16_t id, const OpenFrame& spec) {
+  Writer w;
+  encode(spec, w);
+  const Reply reply =
+      round_trip(FrameType::Open, id, std::move(w), FrameType::OpenOk);
+  const auto ok = decode_open_ok(reply.payload.data(), reply.payload.size());
+  if (!ok.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed OpenOk");
+  return ClientStream(this, id, *ok);
+}
+
+std::string Client::stats() {
+  const Reply reply =
+      round_trip(FrameType::Stats, 0, Writer{}, FrameType::StatsOk);
+  const auto ok = decode_stats_ok(reply.payload.data(), reply.payload.size());
+  if (!ok.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed StatsOk");
+  return ok->prometheus;
+}
+
+PushAckFrame ClientStream::push_some(
+    std::uint16_t port, const std::vector<runtime::Value>& values) {
+  PushBatchFrame f;
+  f.port = port;
+  f.values = values;
+  Writer w;
+  encode(f, w);
+  const Client::Reply reply = client_->round_trip(
+      FrameType::PushBatch, id_, std::move(w), FrameType::PushAck);
+  const auto ack =
+      decode_push_ack(reply.payload.data(), reply.payload.size());
+  if (!ack.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed PushAck");
+  return *ack;
+}
+
+std::size_t ClientStream::push(std::uint16_t port,
+                               std::vector<runtime::Value> values) {
+  std::size_t accepted = 0;
+  while (accepted < values.size()) {
+    const std::vector<runtime::Value> rest(values.begin() + accepted,
+                                           values.end());
+    const PushAckFrame ack = push_some(port, rest);
+    accepted += ack.accepted;
+    if (ack.ended != 0) break;  // retrying cannot make progress anymore
+  }
+  return accepted;
+}
+
+DeliverFrame ClientStream::poll(std::uint16_t port, std::uint32_t max_items) {
+  PollFrame f;
+  f.port = port;
+  f.max_items = max_items;
+  Writer w;
+  encode(f, w);
+  const Client::Reply reply = client_->round_trip(
+      FrameType::Poll, id_, std::move(w), FrameType::Deliver);
+  auto d = decode_deliver(reply.payload.data(), reply.payload.size());
+  if (!d.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed Deliver");
+  return std::move(*d);
+}
+
+void ClientStream::close(std::uint16_t port) {
+  CloseFrame f;
+  f.port = port;
+  Writer w;
+  encode(f, w);
+  const Client::Reply reply = client_->round_trip(
+      FrameType::Close, id_, std::move(w), FrameType::CloseOk);
+  const auto ok = decode_close(reply.payload.data(), reply.payload.size());
+  if (!ok.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed CloseOk");
+}
+
+exec::RunReport ClientStream::finish() {
+  // No client-side drain: the server's Stream::finish() closes any open
+  // input ports and drains (discarding) whatever remains on the egress
+  // taps itself, so the EOS flood always completes and a wedged stream
+  // still certifies. Callers that want the output tail poll until
+  // Deliver.ended before calling finish().
+  const Client::Reply reply =
+      client_->round_trip(FrameType::Finish, id_, Writer{}, FrameType::Verdict);
+  const auto v = decode_verdict(reply.payload.data(), reply.payload.size());
+  if (!v.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed Verdict");
+  return v->report;
+}
+
+}  // namespace sdaf::net

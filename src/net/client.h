@@ -1,0 +1,127 @@
+// Synchronous client for the sdaf wire protocol: the same push / poll /
+// close / finish surface as in-process exec::Stream ports, carried over a
+// socket to sdafd. One Client is one connection (Hello/HelloOk run in
+// connect_*); open() starts a stream on it, and a connection can carry
+// several concurrent streams under distinct ids. Strictly one thread per
+// Client at a time -- every call is a blocking request/response round trip.
+//
+//   auto client = net::Client::connect_unix("/tmp/sdafd.sock");
+//   net::OpenFrame spec;
+//   spec.topology = graph::to_text(g);   // or any topology text
+//   spec.kernel = net::KernelKind::Relay;
+//   net::ClientStream s = client->open(1, spec);
+//   s.push(0, values);                    // retries short PushAcks
+//   for (;;) { auto d = s.poll(0, 512); ...; if (d.ended) break; }
+//   s.close(0);
+//   exec::RunReport report = s.finish();  // Finish -> Verdict
+//
+// Protocol violations (an Error frame, a short read, an unexpected reply
+// type) surface as net::ProtocolError; the connection is then dead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exec/run_types.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace sdaf::net {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client;
+
+// Handle to one open stream on a Client connection. Borrowed from the
+// Client -- the Client must outlive it.
+class ClientStream {
+ public:
+  [[nodiscard]] std::uint16_t id() const { return id_; }
+  [[nodiscard]] std::size_t input_count() const { return inputs_; }
+  [[nodiscard]] std::size_t output_count() const { return outputs_; }
+  [[nodiscard]] bool cache_hit() const { return cache_hit_; }
+
+  // One PushBatch round trip; returns the server's acceptance. accepted <
+  // values.size() is backpressure (the server's bounded push timed out);
+  // ended means the port is closed server-side and retrying is futile.
+  PushAckFrame push_some(std::uint16_t port,
+                         const std::vector<runtime::Value>& values);
+  // Blocking push mirroring InputPort::push_batch over the wire: retries
+  // short acceptances until everything is accepted or the stream ends.
+  // Returns how many items were accepted.
+  std::size_t push(std::uint16_t port, std::vector<runtime::Value> values);
+  // Poll mirroring OutputPort::poll_batch: one round trip, up to max items.
+  DeliverFrame poll(std::uint16_t port, std::uint32_t max_items);
+  // Dynamic EOS for one input port (idempotent server-side).
+  void close(std::uint16_t port);
+  // Finish -> Verdict: the final exec::RunReport, including the exact
+  // deadlock certification and state dump. The server closes any ports
+  // still open and discards undelivered egress items, so this returns a
+  // verdict even for a wedged stream; callers that want the output tail
+  // poll until Deliver.ended first.
+  [[nodiscard]] exec::RunReport finish();
+
+ private:
+  friend class Client;
+  ClientStream(Client* client, std::uint16_t id, const OpenOkFrame& ok)
+      : client_(client),
+        id_(id),
+        inputs_(ok.inputs),
+        outputs_(ok.outputs),
+        cache_hit_(ok.cache_hit != 0) {}
+
+  Client* client_;
+  std::uint16_t id_;
+  std::size_t inputs_;
+  std::size_t outputs_;
+  bool cache_hit_;
+};
+
+class Client {
+ public:
+  // Connect + version handshake; nullopt when the socket cannot be
+  // established (a protocol failure during Hello throws instead).
+  [[nodiscard]] static std::optional<Client> connect_unix(
+      const std::string& path);
+  [[nodiscard]] static std::optional<Client> connect_tcp(
+      const std::string& host, std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // Opens stream `id` (client-chosen, nonzero, unique per connection).
+  [[nodiscard]] ClientStream open(std::uint16_t id, const OpenFrame& spec);
+  // The server's merged Prometheus page (all live streams + sdafd_*).
+  [[nodiscard]] std::string stats();
+
+ private:
+  friend class ClientStream;
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+  void hello();
+
+  // Sends one frame and returns the one reply, after unwrapping Error
+  // frames into ProtocolError.
+  struct Reply {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+  };
+  Reply round_trip(FrameType type, std::uint16_t stream, Writer payload,
+                   FrameType expect);
+
+  Fd fd_;
+};
+
+}  // namespace sdaf::net

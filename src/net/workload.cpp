@@ -1,0 +1,98 @@
+#include "src/net/workload.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/workloads/filters.h"
+
+namespace sdaf::net {
+
+std::vector<std::shared_ptr<runtime::Kernel>> make_kernels(
+    const StreamGraph& g, const OpenFrame& spec) {
+  switch (spec.kernel) {
+    case KernelKind::Relay:
+      return workloads::relay_kernels(g, spec.pass_rate, spec.seed);
+    case KernelKind::Wedge: {
+      auto kernels = workloads::passthrough_kernels(g);
+      kernels[0] = std::make_shared<runtime::RelayKernel>(
+          workloads::adversarial_prefix_filter(1, spec.wedge_prefix));
+      return kernels;
+    }
+    case KernelKind::Passthrough:
+      break;
+  }
+  return workloads::passthrough_kernels(g);
+}
+
+std::optional<StreamGraph> parse_topology(const std::string& text) {
+  constexpr std::size_t kMaxNodes = 4096;
+  constexpr std::size_t kMaxEdges = 65536;
+  constexpr std::int64_t kMaxBuffer = 1 << 20;
+
+  struct EdgeDecl {
+    NodeId from;
+    NodeId to;
+    std::int64_t buffer;
+  };
+  std::map<std::string, NodeId> by_name;
+  std::vector<EdgeDecl> edges;
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    if (kw == "node") {
+      std::string name;
+      if (!(ls >> name)) return std::nullopt;
+      if (by_name.contains(name) || by_name.size() >= kMaxNodes)
+        return std::nullopt;
+      const auto id = static_cast<NodeId>(by_name.size());
+      by_name.emplace(name, id);
+    } else if (kw == "edge") {
+      std::string from;
+      std::string to;
+      std::int64_t buffer = 0;
+      if (!(ls >> from >> to >> buffer)) return std::nullopt;
+      const auto f = by_name.find(from);
+      const auto t = by_name.find(to);
+      if (f == by_name.end() || t == by_name.end()) return std::nullopt;
+      if (f->second == t->second) return std::nullopt;  // self-loop
+      if (buffer < 1 || buffer > kMaxBuffer) return std::nullopt;
+      if (edges.size() >= kMaxEdges) return std::nullopt;
+      edges.push_back({f->second, t->second, buffer});
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (by_name.empty()) return std::nullopt;
+
+  // Acyclicity (Kahn): the compile and run layers require a DAG and treat
+  // cycles as contract violations, so a cyclic wire topology must be
+  // rejected here, before it reaches them.
+  std::vector<std::size_t> indegree(by_name.size(), 0);
+  for (const auto& e : edges) ++indegree[e.to];
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < indegree.size(); ++n)
+    if (indegree[n] == 0) ready.push_back(n);
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const NodeId n = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const auto& e : edges)
+      if (e.from == n && --indegree[e.to] == 0) ready.push_back(e.to);
+  }
+  if (visited != by_name.size()) return std::nullopt;
+
+  StreamGraph g;
+  std::vector<std::string> names(by_name.size());
+  for (const auto& [name, id] : by_name) names[id] = name;
+  for (auto& name : names) g.add_node(std::move(name));
+  for (const auto& e : edges) g.add_edge(e.from, e.to, e.buffer);
+  return g;
+}
+
+}  // namespace sdaf::net

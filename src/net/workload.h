@@ -1,0 +1,41 @@
+// Kernels never travel over the wire as code: an OpenFrame names one of
+// three deterministic workload families, and both sides of the connection
+// (the server when serving, a test when building the in-process reference)
+// materialize the exact same kernel vector from the spec. Determinism is
+// inherited from src/workloads/filters.h -- the relay filter is a stateless
+// hash of (seed, seq, slot), so a wire run and an in-process run of the
+// same OpenFrame are bit-comparable, which is what the loopback
+// differential tests assert.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/stream_graph.h"
+#include "src/net/frame.h"
+#include "src/runtime/kernel.h"
+
+namespace sdaf::net {
+
+// The kernel vector an OpenFrame describes for graph `g`:
+//   Passthrough  pass-everything relays on every node
+//   Relay        workloads::relay_kernels(g, pass_rate, seed)
+//   Wedge        node 0 filters out-slot 1 for the first wedge_prefix
+//                sequence numbers (the Fig. 2 adversary), pass-through
+//                elsewhere -- needs node 0 to have >= 2 out-edges to bite
+[[nodiscard]] std::vector<std::shared_ptr<runtime::Kernel>> make_kernels(
+    const StreamGraph& g, const OpenFrame& spec);
+
+// Defensive counterpart of graph::from_text for untrusted wire input:
+// graph::from_text treats malformed text as a programming error (contract
+// abort), which a network server cannot afford. This parser accepts the
+// same line format but returns nullopt on anything malformed -- unknown
+// keywords, duplicate or undeclared node names, self-loops, non-positive
+// buffers -- and additionally enforces serving resource bounds: at most
+// 4096 nodes, 65536 edges, per-edge buffers of at most 1 << 20 slots, and
+// the graph must be acyclic and non-empty (the run machinery requires a
+// DAG with at least one node).
+[[nodiscard]] std::optional<StreamGraph> parse_topology(
+    const std::string& text);
+
+}  // namespace sdaf::net

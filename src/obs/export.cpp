@@ -66,10 +66,11 @@ std::string pesc(const std::string& s) {
   return out;
 }
 
+// Emits one family at a time; samples carry the owning snapshot's tenant
+// label, so one writer serves the merged multi-snapshot page as well as
+// the classic single-snapshot one.
 class PromWriter {
  public:
-  explicit PromWriter(std::string tenant) : tenant_(std::move(tenant)) {}
-
   void family(const std::string& name, const char* type, const char* help) {
     out_ << "# HELP " << name << " " << help << "\n";
     out_ << "# TYPE " << name << " " << type << "\n";
@@ -77,20 +78,20 @@ class PromWriter {
   }
 
   template <typename V>
-  void sample(const std::string& labels, V value) {
-    out_ << family_ << "{tenant=\"" << pesc(tenant_) << "\"" << labels
-         << "} " << value << "\n";
+  void sample(const std::string& tenant, const std::string& labels, V value) {
+    out_ << family_ << "{tenant=\"" << pesc(tenant) << "\"" << labels << "} "
+         << value << "\n";
   }
 
-  void sample_f(const std::string& labels, double value) {
-    out_ << family_ << "{tenant=\"" << pesc(tenant_) << "\"" << labels
-         << "} " << jnum(value) << "\n";
+  void sample_f(const std::string& tenant, const std::string& labels,
+                double value) {
+    out_ << family_ << "{tenant=\"" << pesc(tenant) << "\"" << labels << "} "
+         << jnum(value) << "\n";
   }
 
   [[nodiscard]] std::string str() const { return out_.str(); }
 
  private:
-  std::string tenant_;
   std::string family_;
   std::ostringstream out_;
 };
@@ -166,108 +167,159 @@ std::string to_json(const MetricsSnapshot& s) {
   return o.str();
 }
 
-std::string to_prometheus(const MetricsSnapshot& s) {
-  PromWriter w(s.tenant.tenant);
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  return to_prometheus(std::vector<MetricsSnapshot>{snapshot});
+}
+
+std::string to_prometheus(const std::vector<MetricsSnapshot>& snaps) {
+  PromWriter w;
 
   w.family("sdaf_node_fires_total", "counter",
            "Kernel invocations per node.");
-  for (const auto& n : s.nodes) w.sample(node_label(n), n.fires);
+  for (const auto& s : snaps)
+    for (const auto& n : s.nodes)
+      w.sample(s.tenant.tenant, node_label(n), n.fires);
   w.family("sdaf_node_data_out_total", "counter",
            "Data items emitted per node.");
-  for (const auto& n : s.nodes) w.sample(node_label(n), n.data_out);
+  for (const auto& s : snaps)
+    for (const auto& n : s.nodes)
+      w.sample(s.tenant.tenant, node_label(n), n.data_out);
   w.family("sdaf_node_dummy_out_total", "counter",
            "Dummy items emitted per node (deadlock-avoidance overhead).");
-  for (const auto& n : s.nodes) w.sample(node_label(n), n.dummy_out);
+  for (const auto& s : snaps)
+    for (const auto& n : s.nodes)
+      w.sample(s.tenant.tenant, node_label(n), n.dummy_out);
   w.family("sdaf_node_eos_out_total", "counter",
            "End-of-stream floods per node out-slot.");
-  for (const auto& n : s.nodes) w.sample(node_label(n), n.eos_out);
+  for (const auto& s : snaps)
+    for (const auto& n : s.nodes)
+      w.sample(s.tenant.tenant, node_label(n), n.eos_out);
   w.family("sdaf_node_data_in_total", "counter",
            "Data items consumed per node.");
-  for (const auto& n : s.nodes) w.sample(node_label(n), n.data_in);
+  for (const auto& s : snaps)
+    for (const auto& n : s.nodes)
+      w.sample(s.tenant.tenant, node_label(n), n.data_in);
   w.family("sdaf_node_dummy_in_total", "counter",
            "Dummy items consumed per node.");
-  for (const auto& n : s.nodes) w.sample(node_label(n), n.dummy_in);
+  for (const auto& s : snaps)
+    for (const auto& n : s.nodes)
+      w.sample(s.tenant.tenant, node_label(n), n.dummy_in);
 
   w.family("sdaf_channel_data_pushed_total", "counter",
            "Data messages pushed per channel.");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.data_pushed);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.data_pushed);
   w.family("sdaf_channel_dummies_pushed_total", "counter",
            "Dummy messages pushed per channel.");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.dummies_pushed);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.dummies_pushed);
   w.family("sdaf_channel_pops_total", "counter",
            "Messages popped per channel.");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.pops);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.pops);
   w.family("sdaf_channel_full_stalls_total", "counter",
            "Pushes refused or parked because the channel was full.");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.full_stalls);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.full_stalls);
   w.family("sdaf_channel_empty_waits_total", "counter",
            "Consumer peeks that found the channel empty.");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.empty_waits);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.empty_waits);
   w.family("sdaf_channel_capacity", "gauge",
            "Channel buffer bound in messages (the paper's length).");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.capacity);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.capacity);
   w.family("sdaf_channel_high_water", "gauge",
            "Maximum logical occupancy observed.");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.high_water);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.high_water);
   w.family("sdaf_channel_occupancy", "gauge",
            "Current logical occupancy (pushes minus pops).");
-  for (const auto& c : s.channels) w.sample(edge_label(c), c.occupancy);
+  for (const auto& s : snaps)
+    for (const auto& c : s.channels)
+      w.sample(s.tenant.tenant, edge_label(c), c.occupancy);
 
   w.family("sdaf_worker_task_runs_total", "counter",
            "Node quanta executed per pool worker.");
-  for (const auto& x : s.workers)
-    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.task_runs);
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.task_runs);
   w.family("sdaf_worker_parks_total", "counter",
            "Tasks parked per pool worker.");
-  for (const auto& x : s.workers)
-    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.parks);
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.parks);
   w.family("sdaf_worker_wakes_total", "counter",
            "Tasks scheduled per pool worker.");
-  for (const auto& x : s.workers)
-    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.wakes);
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.wakes);
   w.family("sdaf_worker_queue_depth_max", "gauge",
            "Maximum ready-queue depth sampled per worker.");
-  for (const auto& x : s.workers)
-    w.sample(",worker=\"" + std::to_string(x.worker) + "\"", x.depth_max);
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.depth_max);
   w.family("sdaf_worker_queue_depth_avg", "gauge",
            "Mean ready-queue depth sampled per worker.");
-  for (const auto& x : s.workers)
-    w.sample_f(",worker=\"" + std::to_string(x.worker) + "\"", x.depth_avg);
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample_f(s.tenant.tenant,
+                 ",worker=\"" + std::to_string(x.worker) + "\"", x.depth_avg);
 
   w.family("sdaf_port_pushed_total", "counter",
            "Items through a stream port.");
-  for (const auto& p : s.ports)
-    w.sample(",node=\"" + pesc(p.name) + "\",dir=\"" +
-                 (p.input ? std::string("in") : std::string("out")) + "\"",
-             p.pushed);
+  for (const auto& s : snaps)
+    for (const auto& p : s.ports)
+      w.sample(s.tenant.tenant,
+               ",node=\"" + pesc(p.name) + "\",dir=\"" +
+                   (p.input ? std::string("in") : std::string("out")) + "\"",
+               p.pushed);
   w.family("sdaf_port_occupancy", "gauge",
            "Current port channel occupancy.");
-  for (const auto& p : s.ports)
-    w.sample(",node=\"" + pesc(p.name) + "\",dir=\"" +
-                 (p.input ? std::string("in") : std::string("out")) + "\"",
-             p.occupancy);
+  for (const auto& s : snaps)
+    for (const auto& p : s.ports)
+      w.sample(s.tenant.tenant,
+               ",node=\"" + pesc(p.name) + "\",dir=\"" +
+                   (p.input ? std::string("in") : std::string("out")) + "\"",
+               p.occupancy);
 
   w.family("sdaf_tenant_items_fired_total", "counter",
            "Kernel invocations for the tenant.");
-  w.sample("", s.tenant.items_fired);
+  for (const auto& s : snaps) w.sample(s.tenant.tenant, "", s.tenant.items_fired);
   w.family("sdaf_tenant_data_items_total", "counter",
            "Data items pushed for the tenant.");
-  w.sample("", s.tenant.data_items);
+  for (const auto& s : snaps) w.sample(s.tenant.tenant, "", s.tenant.data_items);
   w.family("sdaf_tenant_dummy_items_total", "counter",
            "Dummy items pushed for the tenant.");
-  w.sample("", s.tenant.dummy_items);
+  for (const auto& s : snaps)
+    w.sample(s.tenant.tenant, "", s.tenant.dummy_items);
   w.family("sdaf_tenant_dummy_overhead_ratio", "gauge",
            "dummies / (data + dummies): the measured avoidance cost.");
-  w.sample_f("", s.tenant.dummy_overhead_ratio);
+  for (const auto& s : snaps)
+    w.sample_f(s.tenant.tenant, "", s.tenant.dummy_overhead_ratio);
   w.family("sdaf_tenant_channel_slots", "gauge",
            "Compiled channel buffer footprint in messages.");
-  w.sample("", s.tenant.channel_slots);
+  for (const auto& s : snaps)
+    w.sample(s.tenant.tenant, "", s.tenant.channel_slots);
   w.family("sdaf_tenant_channel_bytes", "gauge",
            "Compiled channel buffer footprint in bytes.");
-  w.sample("", s.tenant.channel_bytes);
+  for (const auto& s : snaps)
+    w.sample(s.tenant.tenant, "", s.tenant.channel_bytes);
   w.family("sdaf_tenant_wall_seconds", "gauge",
            "Wall-clock seconds spent in runs.");
-  w.sample_f("", s.tenant.wall_seconds);
+  for (const auto& s : snaps)
+    w.sample_f(s.tenant.tenant, "", s.tenant.wall_seconds);
 
   return w.str();
 }

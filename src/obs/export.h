@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 
@@ -19,5 +20,14 @@ namespace sdaf::obs {
 
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
 [[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+// Merged page for a process exposing many snapshots at once (one per live
+// stream in sdafd): each metric family appears exactly once -- one HELP,
+// one TYPE -- with the samples of every snapshot under it, distinguished
+// by their tenant label. Concatenating single-snapshot pages instead would
+// duplicate the TYPE headers, which the exposition format (and
+// tools/check_prom.sh) forbids. An empty vector yields headers only.
+[[nodiscard]] std::string to_prometheus(
+    const std::vector<MetricsSnapshot>& snapshots);
 
 }  // namespace sdaf::obs

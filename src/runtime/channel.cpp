@@ -100,6 +100,23 @@ PushResult BoundedChannel::try_push(Message&& m, bool* was_empty) {
   return PushResult::Ok;
 }
 
+std::size_t BoundedChannel::try_push_batch(Message* msgs, std::size_t count,
+                                           bool* was_empty, bool* aborted) {
+  const bool is_aborted = aborted_.load(std::memory_order_acquire);
+  if (aborted != nullptr) *aborted = is_aborted;
+  if (is_aborted || count == 0) return 0;
+  SpscRing::PushEffect effect;
+  const std::size_t accepted = ring_.try_push_batch(msgs, count, &effect);
+  if (accepted == 0) {
+    if (metrics_ != nullptr) obs::bump(metrics_->full_stalls);
+    return 0;
+  }
+  if (was_empty != nullptr) *was_empty = effect.was_empty;
+  record_push(MessageKind::Data, accepted, effect);
+  notify_not_empty();
+  return accepted;
+}
+
 std::size_t BoundedChannel::try_push_dummies(std::uint64_t first_seq,
                                              std::size_t count,
                                              bool* was_empty, bool* aborted) {

@@ -91,6 +91,14 @@ class BoundedChannel {
   // consumer).
   [[nodiscard]] PushResult try_push(Message&& m, bool* was_empty = nullptr);
 
+  // Non-blocking bulk push of up to `count` data messages: one ring
+  // reservation, one counter publish, one (elidable) wake for the whole
+  // batch. Returns how many were accepted (a prefix of msgs is consumed);
+  // `aborted` distinguishes an aborted channel from a full one.
+  [[nodiscard]] std::size_t try_push_batch(Message* msgs, std::size_t count,
+                                           bool* was_empty = nullptr,
+                                           bool* aborted = nullptr);
+
   // Non-blocking batch push of up to `count` dummies first_seq,
   // first_seq+1, ...: one coalesced segment, one (elidable) wake. Returns
   // how many were accepted (0 when full or aborted); `aborted` reports the

@@ -67,6 +67,33 @@ bool SpscRing::try_push(Message&& m, PushEffect* effect) {
   return true;
 }
 
+std::size_t SpscRing::try_push_batch(Message* msgs, std::size_t count,
+                                     PushEffect* effect) {
+  if (count == 0) return 0;
+  std::uint64_t space = capacity_ - (p_.pushed - p_.popped_cache);
+  if (space < count) {
+    p_.popped_cache = popped_.load(std::memory_order_acquire);
+    space = capacity_ - (p_.pushed - p_.popped_cache);
+  }
+  const std::size_t accepted = std::min<std::uint64_t>(count, space);
+  if (accepted == 0) return 0;
+  for (std::size_t k = 0; k < accepted; ++k) {
+    // Data only: dummy runs ride try_push_dummies (they coalesce, which
+    // needs the tail CAS this staging loop deliberately avoids), and EOS is
+    // a single terminal message.
+    SDAF_EXPECTS(msgs[k].kind == MessageKind::Data);
+    Segment& s = slot(p_.segs);
+    p_.tail_is_dummy = false;
+    p_.tail_base_seq = msgs[k].seq;
+    p_.tail_run = 1;
+    s.msg = std::move(msgs[k]);
+    s.run.store(1, std::memory_order_relaxed);  // ordered by publish()
+    ++p_.segs;
+  }
+  publish(accepted, effect);
+  return accepted;
+}
+
 std::size_t SpscRing::try_push_dummies(std::uint64_t first_seq,
                                        std::size_t count, PushEffect* effect) {
   if (count == 0) return 0;

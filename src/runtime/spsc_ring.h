@@ -81,6 +81,17 @@ class SpscRing {
   // Producer only. Consumes `m` and returns true unless logically full.
   [[nodiscard]] bool try_push(Message&& m, PushEffect* effect = nullptr);
 
+  // Producer only. Bulk-ingest fast path: stages up to `count` *data*
+  // messages (one segment each) and makes them visible with ONE counter
+  // publish + one seq_cst fence, so a whole batch costs what a single push
+  // used to. Returns how many fit (a prefix of msgs is consumed). The
+  // staged slots are safe to write before the publish for the same reason
+  // sequential pushes may reuse slots: the full-check bounds live segments
+  // to `capacity`, and unpublished segments are invisible to the consumer
+  // (peek clamps every head view to pushed_).
+  [[nodiscard]] std::size_t try_push_batch(Message* msgs, std::size_t count,
+                                           PushEffect* effect = nullptr);
+
   // Producer only. Appends up to `count` dummies first_seq, first_seq+1,
   // ... as (part of) one coalesced segment; returns how many fit.
   [[nodiscard]] std::size_t try_push_dummies(std::uint64_t first_seq,

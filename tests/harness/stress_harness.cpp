@@ -277,12 +277,17 @@ exec::RunReport run_backend_port(const StreamGraph& g, const CaseSpec& spec,
   const std::uint32_t max_chunk = std::max<std::uint32_t>(1, spec.chunk);
   std::uint64_t pushed = 0;
   while (pushed < spec.num_inputs) {
-    std::uint64_t chunk = 1 + pacing.next_below(max_chunk);
-    for (; chunk > 0 && pushed < spec.num_inputs; --chunk, ++pushed)
-      for (std::size_t i = 0; i < stream.input_count(); ++i) {
-        const bool ok = stream.input(i).push();
-        SDAF_EXPECTS(ok);
-      }
+    const std::uint64_t chunk = std::min<std::uint64_t>(
+        1 + pacing.next_below(max_chunk), spec.num_inputs - pushed);
+    // Coalesced ingest: one push_batch per chunk per port, so the whole
+    // randomized port-vs-batch sweep also proves the bulk fast path
+    // (single segment reservation + publish) bit-identical.
+    for (std::size_t i = 0; i < stream.input_count(); ++i) {
+      const std::size_t accepted = stream.input(i).push_batch(
+          std::vector<runtime::Value>(static_cast<std::size_t>(chunk)));
+      SDAF_EXPECTS(accepted == chunk);
+    }
+    pushed += chunk;
     for (std::size_t i = 0; i < stream.output_count(); ++i)
       while (stream.output(i).poll().has_value()) {
       }

@@ -313,5 +313,114 @@ TEST(Stream, SharedPoolInterleavesLiveStreams) {
   }
 }
 
+// try_push_for on a wedged stream: the deadline parks, then reports
+// TimedOut -- the distinct backpressure status -- and never blocks past its
+// bound. The port stays usable: close still certifies the exact deadlock,
+// and a closed port reports Ended, not TimedOut.
+TEST(Stream, TryPushForTimesOutOnWedgeThenStillCertifies) {
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  for (const Backend backend : kBackends) {
+    Session session(g, wedge_kernels());
+    StreamSpec ss;
+    ss.run.backend = backend;
+    ss.run.mode = DummyMode::None;
+    ss.run.pool_workers = 2;
+    ss.feed_capacity = 4;
+    Stream stream = session.open(ss);
+    const std::string label = to_string(backend);
+
+    PortPushOutcome outcome = PortPushOutcome::Ok;
+    const auto start = std::chrono::steady_clock::now();
+    int accepted = 0;
+    for (int i = 0; i < 64; ++i) {
+      outcome = stream.input(0).try_push_for(Value(),
+                                             std::chrono::milliseconds(40));
+      if (outcome != PortPushOutcome::Ok) break;
+      ++accepted;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(outcome, PortPushOutcome::TimedOut) << label;
+    EXPECT_GT(accepted, 0) << label;
+    // 64 bounded attempts, each <= 40ms + slack: nothing hard-blocked.
+    EXPECT_LT(elapsed, std::chrono::seconds(30)) << label;
+
+    // A timed batch push on the same wedge accepts at most a short prefix
+    // rather than blocking forever.
+    const std::size_t bulk = stream.input(0).push_batch_for(
+        std::vector<Value>(8), std::chrono::milliseconds(40));
+    EXPECT_LT(bulk, 8u) << label;
+
+    stream.input(0).close();
+    EXPECT_EQ(stream.input(0).try_push_for(Value(),
+                                           std::chrono::milliseconds(1)),
+              PortPushOutcome::Ended)
+        << label;
+    const RunReport report = stream.finish();
+    EXPECT_TRUE(report.deadlocked) << label;
+    EXPECT_FALSE(report.state_dump.empty()) << label;
+  }
+}
+
+// push_batch is the same stream as item-at-a-time push, coalesced: one
+// reservation + one publish per chunk must leave payload order, per-edge
+// traffic, firing counts and verdict bit-identical on every backend and in
+// both avoidance modes.
+TEST(Stream, PushBatchBitIdenticalToItemPushes) {
+  const StreamGraph g = workloads::splitjoin(3, 2, 3);
+  const auto compiled = core::compile(g);
+  ASSERT_TRUE(compiled.ok);
+  constexpr std::int64_t kItems = 150;
+  for (const auto mode :
+       {DummyMode::Propagation, DummyMode::NonPropagation}) {
+    for (const Backend backend : kBackends) {
+      const std::string label =
+          std::string(to_string(backend)) + "+mode" +
+          std::to_string(static_cast<int>(mode));
+      RunReport reports[2];
+      std::vector<std::int64_t> payloads[2];
+      for (const int use_batch : {0, 1}) {
+        Session session(g, workloads::relay_kernels(g, 0.55, 0xAB));
+        StreamSpec ss;
+        ss.run.mode = mode;
+        ss.run.apply(compiled);
+        ss.run.backend = backend;
+        ss.run.pool_workers = 2;
+        Stream stream = session.open(ss);
+        const auto drain = [&] {
+          while (auto item = stream.output(0).poll())
+            payloads[use_batch].push_back(item->value.as<std::int64_t>());
+        };
+        std::int64_t next = 0;
+        while (next < kItems) {
+          // Varied chunk sizes cross the feed-capacity boundary, forcing
+          // the room-limited multi-round staging path.
+          const std::int64_t chunk =
+              std::min<std::int64_t>(1 + (next * 7) % 23, kItems - next);
+          if (use_batch == 1) {
+            std::vector<Value> vals;
+            for (std::int64_t i = 0; i < chunk; ++i)
+              vals.emplace_back(Value((next + i) * 10));
+            ASSERT_EQ(stream.input(0).push_batch(std::move(vals)),
+                      static_cast<std::size_t>(chunk))
+                << label;
+          } else {
+            for (std::int64_t i = 0; i < chunk; ++i)
+              ASSERT_TRUE(stream.input(0).push(Value((next + i) * 10)))
+                  << label;
+          }
+          next += chunk;
+          drain();
+        }
+        stream.input(0).close();
+        while (auto item = stream.output(0).next())
+          payloads[use_batch].push_back(item->value.as<std::int64_t>());
+        reports[use_batch] = stream.finish();
+      }
+      expect_same_report(reports[0], reports[1], label);
+      EXPECT_EQ(payloads[0], payloads[1]) << label;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sdaf::exec

@@ -7,7 +7,11 @@
 # (items_per_second is the figure of merit for the batch benches; the
 # streaming bench adds push->poll p50_ns/p99_ns latency percentiles and
 # sustained-ingest items_per_second; per-run dummy counts ride along as
-# cross-checks).
+# cross-checks). Since the socket front door it also boots sdafd on a Unix
+# socket and drives it with sdaf_loadgen at 1/8/64 concurrent connections,
+# writing push->deliver round-trip p50_ns/p99_ns and wire items_per_second
+# per connection count to BENCH_service.json (schema sdaf.service.bench.v1;
+# the connection ladder is fixed so the file stays diffable across PRs).
 #
 #   tools/bench.sh            # full run (all registered benchmarks)
 #   tools/bench.sh --smoke    # CI mode: the fixed smoke subset, ~seconds,
@@ -33,14 +37,16 @@ done
 jobs=$(nproc 2>/dev/null || echo 2)
 if [[ ! -x "$build_dir/bench_throughput" ||
       ! -x "$build_dir/bench_pool_scaling" ||
-      ! -x "$build_dir/bench_streaming_latency" ]]; then
+      ! -x "$build_dir/bench_streaming_latency" ||
+      ! -x "$build_dir/sdafd" || ! -x "$build_dir/sdaf_loadgen" ]]; then
   if [[ "$build_dir" != build/release ]]; then
     echo "error: bench binaries missing from $build_dir; build them first" >&2
     exit 1
   fi
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
-      --target bench_throughput bench_pool_scaling bench_streaming_latency
+      --target bench_throughput bench_pool_scaling bench_streaming_latency \
+      sdafd sdaf_loadgen
 fi
 
 # The smoke subset is fixed so the JSON schema (benchmark names + counters)
@@ -78,5 +84,28 @@ echo "==> bench_streaming_latency -> BENCH_streaming.json"
     --benchmark_filter="$streaming_filter" \
     --benchmark_out=BENCH_streaming.json \
     --benchmark_out_format=json
+
+# The service bench goes over a real socket: every sample pays the framing,
+# the poll loop and the session table, so it bounds what an in-process port
+# push/poll pair costs once it is served. The connection ladder is the
+# schema; only the per-connection item count shrinks in smoke mode.
+service_items=20000
+if [[ $smoke -eq 1 ]]; then service_items=2000; fi
+service_sock="/tmp/sdaf_bench_$$.sock"
+echo "==> sdafd + sdaf_loadgen -> BENCH_service.json"
+"$build_dir/sdafd" --unix="$service_sock" &
+service_pid=$!
+trap 'kill -KILL $service_pid 2>/dev/null || true; rm -f "$service_sock"' EXIT
+for _ in $(seq 1 50); do
+  [[ -S "$service_sock" ]] && break
+  sleep 0.1
+done
+[[ -S "$service_sock" ]] || { echo "error: sdafd never bound" >&2; exit 1; }
+"$build_dir/sdaf_loadgen" --unix="$service_sock" --connections=1,8,64 \
+    --items="$service_items" --out=BENCH_service.json
+kill -TERM "$service_pid"
+wait "$service_pid"
+trap - EXIT
+rm -f "$service_sock"
 
 echo "==> bench OK"

@@ -9,7 +9,12 @@
 #   tools/ci.sh --smoke    # release build, then the observability smoke:
 #                          # run sdafc --metrics=prom on a known topology
 #                          # and validate the exposition page with
-#                          # tools/check_prom.sh (no ctest, ~seconds)
+#                          # tools/check_prom.sh, then the service smoke:
+#                          # boot sdafd on a Unix socket, drive it with
+#                          # sdaf_loadgen, validate the daemon's STATS dump
+#                          # with check_prom.sh, run the wire-vs-in-process
+#                          # loopback differential, and check the daemon
+#                          # drains cleanly on SIGTERM (no ctest, ~seconds)
 #   tools/ci.sh --stress   # everything above, then a time-boxed randomized
 #                          # stress tier under both sanitizers: the
 #                          # cross-backend differential harness sweep (batch
@@ -43,8 +48,45 @@ check_prom() {
   rm -f "$topo"
 }
 
+# The service contract check: boot the daemon on a Unix socket, push real
+# traffic through the wire with the load generator, validate the daemon's
+# Prometheus STATS page against the same exposition checker, prove wire runs
+# bit-identical to in-process runs (the loopback differential), and verify
+# SIGTERM drains to a clean exit with the socket unlinked.
+check_service() {
+  echo "==> service smoke (sdafd + sdaf_loadgen + loopback differential)"
+  local sock stats
+  sock="/tmp/sdaf_ci_$$.sock"
+  stats=$(mktemp)
+  build/release/sdafd --unix="$sock" &
+  local daemon_pid=$!
+  for _ in $(seq 1 50); do
+    [[ -S "$sock" ]] && break
+    sleep 0.1
+  done
+  [[ -S "$sock" ]] || { echo "ci: sdafd never bound $sock" >&2; exit 1; }
+  build/release/sdaf_loadgen --unix="$sock" --connections=1,4 --items=2000 \
+      --stats-out="$stats" >/dev/null
+  tools/check_prom.sh "$stats"
+  rm -f "$stats"
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [[ "$rc" != 0 ]]; then
+    echo "ci: sdafd exited $rc after SIGTERM (want clean drain)" >&2
+    exit 1
+  fi
+  if [[ -S "$sock" ]]; then
+    echo "ci: sdafd left $sock behind after drain" >&2
+    exit 1
+  fi
+  build/release/test_net_loopback \
+      --gtest_filter='LoopbackTest.WireRunBitIdenticalToInProcess:LoopbackTest.DeadlockVerdictCertifiedOverWire'
+}
+
 if [[ "$mode" == "--smoke" ]]; then
   check_prom
+  check_service
   echo "==> ci OK (smoke)"
   exit 0
 fi
@@ -53,11 +95,15 @@ echo "==> release ctest"
 ctest --preset release -j "$jobs"
 
 check_prom
+check_service
 
 echo "==> bench smoke (BENCH_*.json)"
 tools/bench.sh --smoke
 
 if [[ "$mode" != "--fast" ]]; then
+  # Both sanitizer suites include tests/test_net_loopback.cpp (ctest picks up
+  # every tests/*.cpp), so the poll loop, the session table and the framed
+  # protocol run under ASan/UBSan and TSan on every PR, not just in release.
   echo "==> asan build + ctest"
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
