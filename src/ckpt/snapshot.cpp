@@ -1,0 +1,203 @@
+#include "src/ckpt/snapshot.h"
+
+#include <algorithm>
+
+#include "src/net/frame.h"
+#include "src/support/contracts.h"
+
+namespace sdaf::ckpt {
+
+namespace {
+// Everything length-prefixed in the snapshot is bounded, so a corrupt or
+// adversarial blob cannot make deserialize allocate unboundedly. Streams
+// are compiled graphs (node/edge counts are small) and tap residue is
+// bounded by the egress ring capacity.
+constexpr std::size_t kMaxVec = 1u << 20;
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const StreamSnapshot& s) {
+  net::Writer w;
+  w.u32(s.version);
+  w.str(s.signature);
+  w.u64(s.epoch);
+  w.u64(s.barrier_seq);
+  w.u64(s.sweeps);
+  w.u32(static_cast<std::uint32_t>(s.nodes.size()));
+  for (const NodeCut& n : s.nodes) {
+    w.u8(n.done);
+    w.u64(n.fires);
+    w.u64(n.sink_data);
+    w.u64(n.source_seq);
+    w.u32(static_cast<std::uint32_t>(n.last_sent.size()));
+    for (const std::int64_t v : n.last_sent) w.i64(v);
+    w.str(n.kernel_state);
+  }
+  w.u32(static_cast<std::uint32_t>(s.edges.size()));
+  for (const EdgeCut& e : s.edges) {
+    w.u64(e.data_pushed);
+    w.u64(e.dummies_pushed);
+  }
+  w.u32(static_cast<std::uint32_t>(s.ports.size()));
+  for (const PortCut& p : s.ports) {
+    w.u8(p.closed);
+    w.u64(p.next_seq);
+  }
+  w.u32(static_cast<std::uint32_t>(s.taps.size()));
+  for (const TapCut& t : s.taps) {
+    w.u8(t.ended);
+    w.u32(static_cast<std::uint32_t>(t.residue.size()));
+    for (const TapItem& item : t.residue) {
+      w.u64(item.seq);
+      w.value(item.value);
+    }
+  }
+  return w.take();
+}
+
+std::optional<StreamSnapshot> deserialize(const std::uint8_t* data,
+                                          std::size_t size) {
+  net::Reader r(data, size);
+  StreamSnapshot s;
+  s.version = r.u32();
+  if (!r.ok() || s.version != kSnapshotVersion) return std::nullopt;
+  s.signature = r.str();
+  s.epoch = r.u64();
+  s.barrier_seq = r.u64();
+  s.sweeps = r.u64();
+  const std::uint32_t nnodes = r.u32();
+  if (!r.ok() || nnodes > kMaxVec) return std::nullopt;
+  s.nodes.resize(nnodes);
+  for (NodeCut& n : s.nodes) {
+    n.done = r.u8();
+    n.fires = r.u64();
+    n.sink_data = r.u64();
+    n.source_seq = r.u64();
+    const std::uint32_t nslots = r.u32();
+    if (!r.ok() || nslots > kMaxVec) return std::nullopt;
+    n.last_sent.resize(nslots);
+    for (std::int64_t& v : n.last_sent) v = r.i64();
+    n.kernel_state = r.str();
+  }
+  const std::uint32_t nedges = r.u32();
+  if (!r.ok() || nedges > kMaxVec) return std::nullopt;
+  s.edges.resize(nedges);
+  for (EdgeCut& e : s.edges) {
+    e.data_pushed = r.u64();
+    e.dummies_pushed = r.u64();
+  }
+  const std::uint32_t nports = r.u32();
+  if (!r.ok() || nports > kMaxVec) return std::nullopt;
+  s.ports.resize(nports);
+  for (PortCut& p : s.ports) {
+    p.closed = r.u8();
+    p.next_seq = r.u64();
+  }
+  const std::uint32_t ntaps = r.u32();
+  if (!r.ok() || ntaps > kMaxVec) return std::nullopt;
+  s.taps.resize(ntaps);
+  for (TapCut& t : s.taps) {
+    t.ended = r.u8();
+    const std::uint32_t nitems = r.u32();
+    if (!r.ok() || nitems > kMaxVec) return std::nullopt;
+    t.residue.resize(nitems);
+    for (TapItem& item : t.residue) {
+      item.seq = r.u64();
+      item.value = r.value();
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return s;
+}
+
+std::optional<StreamSnapshot> deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  return deserialize(bytes.data(), bytes.size());
+}
+
+void SnapshotPlane::attach(std::size_t num_nodes) {
+  std::lock_guard lock(mu_);
+  num_nodes_ = num_nodes;
+  pending_ = false;
+  have_.assign(num_nodes, 0);
+  have_count_ = 0;
+  cuts_.assign(num_nodes, NodeCut{});
+  finished_.assign(num_nodes, 0);
+  final_cuts_.assign(num_nodes, NodeCut{});
+}
+
+bool SnapshotPlane::begin(std::uint64_t barrier_seq) {
+  std::lock_guard lock(mu_);
+  if (pending_) return false;
+  pending_ = true;
+  barrier_ = barrier_seq;
+  std::fill(have_.begin(), have_.end(), 0);
+  have_count_ = 0;
+  return true;
+}
+
+bool SnapshotPlane::pending() const {
+  std::lock_guard lock(mu_);
+  return pending_;
+}
+
+std::uint64_t SnapshotPlane::barrier_seq() const {
+  std::lock_guard lock(mu_);
+  return barrier_;
+}
+
+void SnapshotPlane::node_checkpoint(std::size_t node, NodeCut cut) {
+  std::lock_guard lock(mu_);
+  SDAF_ASSERT(node < num_nodes_);
+  // A checkpoint arriving after abort_barrier() is a stale marker still
+  // draining through the graph (stream teardown): drop it.
+  if (!pending_ || have_[node] != 0) return;
+  have_[node] = 1;
+  ++have_count_;
+  cuts_[node] = std::move(cut);
+}
+
+void SnapshotPlane::node_finished(std::size_t node, NodeCut cut) {
+  std::lock_guard lock(mu_);
+  SDAF_ASSERT(node < num_nodes_);
+  if (finished_[node] != 0) return;
+  finished_[node] = 1;
+  cut.done = 1;
+  final_cuts_[node] = std::move(cut);
+}
+
+bool SnapshotPlane::nodes_complete() const {
+  std::lock_guard lock(mu_);
+  if (!pending_) return false;
+  for (std::size_t n = 0; n < num_nodes_; ++n)
+    if (have_[n] == 0 && finished_[n] == 0) return false;
+  return true;
+}
+
+bool SnapshotPlane::is_finished(std::size_t node) const {
+  std::lock_guard lock(mu_);
+  return node < num_nodes_ && finished_[node] != 0;
+}
+
+std::vector<NodeCut> SnapshotPlane::take_cuts() {
+  std::lock_guard lock(mu_);
+  SDAF_ASSERT(pending_);
+  std::vector<NodeCut> out(num_nodes_);
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    // A node that checkpointed *and* finished during the same barrier
+    // (it consumed its markers, then hit EOS) contributes its barrier
+    // cut -- the finished counters equal it anyway, the cut is at S.
+    if (have_[n] != 0)
+      out[n] = cuts_[n];
+    else
+      out[n] = final_cuts_[n];
+  }
+  pending_ = false;
+  return out;
+}
+
+void SnapshotPlane::abort_barrier() {
+  std::lock_guard lock(mu_);
+  pending_ = false;
+}
+
+}  // namespace sdaf::ckpt

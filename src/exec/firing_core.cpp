@@ -161,6 +161,52 @@ void FiringCore::queue_eos() {
     trace(TraceKind::EosSent, slot, kEosSeq);
   }
   eos_flooded_ = true;
+  // Latch the final counters in the plane's finished set: a barrier begun
+  // after this node drains treats the EOS flood as marker-equivalent
+  // downstream, and the snapshot carries these counters as the node's cut.
+  if (plane_ != nullptr) plane_->node_finished(node_, make_cut(/*done=*/true));
+}
+
+ckpt::NodeCut FiringCore::make_cut(bool done) const {
+  ckpt::NodeCut cut;
+  cut.done = done ? 1 : 0;
+  cut.fires = fires;
+  cut.sink_data = sink_data;
+  cut.source_seq = source_seq_;
+  cut.last_sent = wrapper_.last_sent();
+  kernel_.save_state(cut.kernel_state);
+  return cut;
+}
+
+void FiringCore::checkpoint(std::uint64_t barrier_seq) {
+  if (plane_ != nullptr)
+    plane_->node_checkpoint(node_, make_cut(/*done=*/false));
+  // Forward Marker(S) on every output, behind any pre-S pending emissions
+  // (per-slot FIFO through drain_pending keeps the barrier invariant: all
+  // pre-cut messages precede the marker on each channel). Markers are not
+  // traffic: no fires, no data/dummy counters.
+  for (std::size_t slot = 0; slot < out_slots_; ++slot) {
+    pending_.push_back({slot, Message::marker(barrier_seq), 1});
+    pending_tail_[slot] = kNoTail;
+  }
+}
+
+void FiringCore::restore_cut(const ckpt::NodeCut& cut) {
+  fires = cut.fires;
+  sink_data = cut.sink_data;
+  source_seq_ = cut.source_seq;
+  wrapper_.restore_last_sent(cut.last_sent);
+  kernel_.load_state(cut.kernel_state);
+}
+
+void FiringCore::mark_done() {
+  eos_flooded_ = true;
+  done_ = true;
+  // Seed the plane's finished set so a barrier begun after the restore
+  // still completes (the node will never step again, so this is its only
+  // chance to report). Call restore_cut first: the final cut must carry
+  // the restored counters, not zeros.
+  if (plane_ != nullptr) plane_->node_finished(node_, make_cut(/*done=*/true));
 }
 
 bool FiringCore::drain_pending() {
@@ -226,6 +272,14 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
     // when no outputs are pending.
     auto head = sink_.peek_feed(/*may_wait=*/pending_.empty());
     if (!head.has_value()) return 0;  // feed empty (or aborted)
+    if (head->kind == MessageKind::Marker) {
+      // Barrier reaches a port-fed source directly from its InputPort:
+      // checkpoint between seq S-1 and seq S and forward the marker.
+      const std::uint64_t barrier = head->seq;
+      (void)sink_.pop_feed();
+      checkpoint(barrier);
+      return 1;
+    }
     if (head->kind == MessageKind::Eos) {
       // Unlike interior nodes (which leave EOS in graph channels for
       // teardown), the feed EOS is consumed: an empty feed afterwards is
@@ -275,6 +329,7 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
   const bool may_wait = pending_.empty();
   std::uint64_t min_seq = kEosSeq;
   bool any_data_at_min = false;
+  bool marker_at_min = false;
   for (std::size_t j = 0; j < in_slots_; ++j) {
     auto head = sink_.peek_head(j, may_wait);
     if (!head.has_value()) return 0;  // input unavailable (or aborted)
@@ -282,9 +337,29 @@ std::uint64_t FiringCore::fire_once(std::uint64_t budget) {
     if (head->seq < min_seq) {
       min_seq = head->seq;
       any_data_at_min = head->kind == MessageKind::Data;
-    } else if (head->seq == min_seq && head->kind == MessageKind::Data) {
-      any_data_at_min = true;
+      marker_at_min = head->kind == MessageKind::Marker;
+    } else if (head->seq == min_seq) {
+      if (head->kind == MessageKind::Data) any_data_at_min = true;
+      if (head->kind == MessageKind::Marker) marker_at_min = true;
     }
+  }
+  if (marker_at_min) {
+    // A Marker(S) at the minimum head means every input has drained below
+    // S: by the barrier invariant (markers precede all seq >= S traffic on
+    // their channel) every head is now Marker(S) or EOS -- an EOS head is
+    // an upstream that finished before the barrier, whose final cut the
+    // plane already holds. Pop the markers (EOS stays for teardown),
+    // checkpoint, and forward. No firing: the barrier is between S-1 and S.
+    for (std::size_t j = 0; j < in_slots_; ++j) {
+      if (heads_[j].kind == MessageKind::Marker) {
+        SDAF_ASSERT(heads_[j].seq == min_seq);
+        sink_.pop(j);
+      } else {
+        SDAF_ASSERT(heads_[j].kind == MessageKind::Eos);
+      }
+    }
+    checkpoint(min_seq);
+    return 1;
   }
   if (min_seq == kEosSeq) {
     queue_eos();

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/snapshot.h"
 #include "src/graph/stream_graph.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/kernel.h"
@@ -193,6 +194,24 @@ class FiringCore {
   // Human-readable state for deadlock dumps. Owner-only (or quiescent).
   [[nodiscard]] std::string describe() const;
 
+  // Snapshot plumbing (ckpt). set_snapshot_plane attaches the stream's
+  // barrier coordinator (null = snapshots off, the default: every marker
+  // branch below is then dead and the fast path is unchanged). When a
+  // Marker(S) aligns at this node's inputs, step() pops the markers,
+  // reports a NodeCut to the plane, and queues Marker(S) on every output
+  // after the pre-S emissions -- no kernel firing, no counter movement.
+  // queue_eos additionally reports the node's final cut to the plane so a
+  // barrier begun after this node drained still completes.
+  void set_snapshot_plane(ckpt::SnapshotPlane* plane) { plane_ = plane; }
+
+  // Restore plumbing: rehydrate this core from a NodeCut taken at a
+  // barrier. Live node: restore_cut alone. Done node: restore_cut (its
+  // final counters) *then* mark_done, which makes the core terminal and
+  // seeds the plane's finished set; its outgoing channels are preloaded
+  // with EOS by the engine. Must run before the first step().
+  void restore_cut(const ckpt::NodeCut& cut);
+  void mark_done();
+
   std::uint64_t fires = 0;      // kernel invocations
   std::uint64_t sink_data = 0;  // data messages consumed
 
@@ -206,6 +225,10 @@ class FiringCore {
   };
 
   void trace(runtime::TraceKind kind, std::size_t slot, std::uint64_t seq);
+  // The node's state at a consistent cut (ckpt).
+  [[nodiscard]] ckpt::NodeCut make_cut(bool done) const;
+  // Barrier alignment reached: report the cut and forward Marker(S).
+  void checkpoint(std::uint64_t barrier_seq);
   // Queues this firing's outputs: kernel data plus wrapper-mandated
   // dummies. The wrapper is consulted exactly once per slot per seq;
   // consecutive dummies for a slot coalesce into one pending run.
@@ -250,6 +273,7 @@ class FiringCore {
   bool eos_flooded_ = false;
   bool done_ = false;
   bool aborted_ = false;
+  ckpt::SnapshotPlane* plane_ = nullptr;
 };
 
 }  // namespace sdaf::exec

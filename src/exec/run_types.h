@@ -18,6 +18,11 @@
 #include "src/runtime/trace.h"
 #include "src/runtime/wrapper.h"
 
+namespace sdaf::ckpt {
+class SnapshotPlane;
+struct StreamSnapshot;
+}  // namespace sdaf::ckpt
+
 namespace sdaf::obs {
 class MetricsRegistry;
 }  // namespace sdaf::obs
@@ -128,6 +133,17 @@ struct RunSpec {
   // self-generating sources. Borrowed; must outlive the run. When a source
   // node has a feed here, num_inputs is ignored for it.
   const PortBinding* ports = nullptr;
+
+  // --- Snapshot plumbing (internal, ckpt) ---
+  // Barrier coordinator the engine attaches to every FiringCore (not
+  // owned; set by exec::Stream when snapshots are enabled). Null = markers
+  // never appear and the data path is byte-for-byte the snapshots-off one.
+  ckpt::SnapshotPlane* ckpt_plane = nullptr;
+  // Restore source: the engine rebuilds node/edge state at this cut before
+  // the run starts (node counters, kernel state, EOS preloads on edges out
+  // of finished nodes, cumulative traffic baselines). Borrowed; must
+  // outlive engine construction. Set by Session::restore only.
+  const ckpt::StreamSnapshot* restore = nullptr;
 
   // Adopt a compile result's per-edge configuration: integer thresholds
   // under `rounding`, plus the continuation-forwarding set when `mode` is

@@ -73,6 +73,19 @@ class Session {
   // instead of preconfiguring an item count. See src/exec/stream.h.
   [[nodiscard]] Stream open(StreamSpec spec);
 
+  // Rehydrates an open stream from a Stream::snapshot() cut: node counters,
+  // kernel state, edge traffic baselines and undelivered tap residue resume
+  // exactly at the barrier; open input ports resume at their cut sequence
+  // numbers (the caller replays pushes -- and closes -- from
+  // PortCut::next_seq on; clients dedupe re-delivered output by seq, which
+  // together give exactly-once egress). The restored stream runs at
+  // snapshot.epoch + 1 on spec.run.backend -- snapshots are
+  // backend-portable. nullopt = the snapshot does not match this session's
+  // compiled topology/avoidance configuration (signature, version, or
+  // shape), or is internally inconsistent. See docs/SNAPSHOTS.md.
+  [[nodiscard]] std::optional<Stream> restore(
+      StreamSpec spec, const ckpt::StreamSnapshot& snapshot);
+
   // CompileCache -> RunSpec::apply -> backend dispatch. The compile
   // algorithm follows spec.mode (Propagation/NonPropagation); with
   // DummyMode::None the graph is compiled for the report only and the run

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "src/core/compile_cache.h"
 #include "src/exec/session.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/executor.h"
@@ -23,6 +26,22 @@ using runtime::MessageKind;
 using runtime::ProducerSignal;
 using runtime::PushResult;
 using runtime::Value;
+
+// What a snapshot pins: the compiled topology (CompileCache's canonical
+// signature) plus every traffic-affecting run setting. Restore refuses a
+// snapshot whose signature does not match the spec it is rehydrated into;
+// backend and capacities are deliberately excluded (snapshots are
+// backend-portable, and port buffer sizes only pace the caller).
+std::string snapshot_signature(const StreamGraph& g, const RunSpec& run) {
+  std::ostringstream sig;
+  sig << core::CompileCache::signature(g, core::CompileOptions{});
+  sig << "|mode=" << static_cast<int>(run.mode)
+      << "|fwd=" << (run.forward_on_filter.empty() ? "-" : "");
+  for (const std::uint8_t f : run.forward_on_filter) sig << int{f};
+  sig << "|iv=";
+  for (const std::int64_t v : run.intervals) sig << v << ",";
+  return std::move(sig).str();
+}
 
 // The backend-polymorphic stream engine. The base class owns everything a
 // stream is made of -- the port channels (feeds with one reserved EOS slot,
@@ -49,10 +68,52 @@ struct Core {
   Stopwatch clock;
   bool collected = false;
 
+  // --- checkpoint state (sdaf::ckpt) ------------------------------------
+  // Locking: snap_mu serializes begin/poll/assembly and may nest a
+  // port_mus[i] or an egress_mus[j] try_lock inside it; the port paths take
+  // only their own port's mutex and never snap_mu, so there is no lock
+  // inversion. port_mus[i] serializes every producer-side op on feed i (the
+  // caller's pushes and the barrier's marker injection -- the ring is SPSC,
+  // two concurrent producers would be a race); egress_mus[j] serializes
+  // every consumer-side op on tap j (the caller's polls and the barrier's
+  // marker reaping).
+  static constexpr std::uint64_t kNoBarrier = ~std::uint64_t{0};
+  ckpt::SnapshotPlane plane;
+  std::uint64_t epoch = 0;
+  const ckpt::StreamSnapshot* restore_src = nullptr;  // ctor-time borrow
+  mutable std::mutex snap_mu;  // mutable: metrics reads it from const
+  bool snap_active = false;        // guarded by snap_mu
+  std::uint64_t snap_barrier = 0;  // guarded by snap_mu
+  double snap_begin_seconds = 0;   // guarded by snap_mu
+  std::uint64_t snapshots_taken = 0;    // guarded by snap_mu
+  double last_snapshot_seconds = 0;     // guarded by snap_mu
+  // Barrier generation: bumped by begin() before any marker is injected, so
+  // a marker racing to a tap always acks under the generation that sent it.
+  std::atomic<std::uint64_t> snap_gen{0};
+  // Per input port, guarded by port_mus[i]:
+  std::vector<std::unique_ptr<std::mutex>> port_mus;
+  std::vector<std::uint64_t> armed_marker;  // kNoBarrier = none armed
+  std::vector<std::uint64_t> port_cut_seq;
+  std::vector<std::uint8_t> port_cut_closed;
+  // Per output port, guarded by egress_mus[j] (tap_residue additionally
+  // only ever written under snap_mu, so assembly reads it without the tap
+  // lock -- a caller parked in next() holds egress_mus[j] indefinitely):
+  std::vector<std::unique_ptr<std::mutex>> egress_mus;
+  std::vector<std::uint64_t> tap_gen;
+  std::vector<std::uint8_t> tap_acked;
+  std::vector<std::uint8_t> tap_ended_cut;
+  std::vector<std::vector<ckpt::TapItem>> tap_residue;
+  std::vector<std::deque<OutputPort::Item>> parked;
+  std::vector<std::uint8_t> parked_ended;
+  std::atomic<std::size_t> tap_acked_count{0};
+
   Core(const StreamGraph& g,
        std::vector<std::shared_ptr<runtime::Kernel>> session_kernels,
-       StreamSpec stream_spec)
-      : graph(g), kernels(std::move(session_kernels)), spec(std::move(stream_spec)) {
+       StreamSpec stream_spec, const ckpt::StreamSnapshot* restore)
+      : graph(g),
+        kernels(std::move(session_kernels)),
+        spec(std::move(stream_spec)),
+        restore_src(restore) {
     SDAF_EXPECTS(graph.node_count() > 0);
     SDAF_EXPECTS(spec.feed_capacity >= 1);
     SDAF_EXPECTS(spec.egress_capacity >= 1);
@@ -96,19 +157,69 @@ struct Core {
         binding.egress.push_back(nullptr);
       }
     }
+    plane.attach(graph.node_count());
+    port_mus.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      port_mus.push_back(std::make_unique<std::mutex>());
+    armed_marker.assign(inputs.size(), kNoBarrier);
+    port_cut_seq.assign(inputs.size(), 0);
+    port_cut_closed.assign(inputs.size(), 0);
+    egress_mus.reserve(outputs.size());
+    for (std::size_t j = 0; j < outputs.size(); ++j)
+      egress_mus.push_back(std::make_unique<std::mutex>());
+    tap_gen.assign(outputs.size(), 0);
+    tap_acked.assign(outputs.size(), 0);
+    tap_ended_cut.assign(outputs.size(), 0);
+    tap_residue.resize(outputs.size());
+    parked.resize(outputs.size());
+    parked_ended.assign(outputs.size(), 0);
+    if (restore_src != nullptr) apply_restore();
+  }
+
+  // The port-facing half of a restore; the engine half (node counters,
+  // kernel state, edge baselines, EOS preloads) runs inside the backend
+  // engine's construction off RunSpec::restore. Open ports resume at their
+  // cut sequence numbers; tap residue is parked for re-delivery ahead of
+  // anything the restored sinks emit.
+  void apply_restore() {
+    const ckpt::StreamSnapshot& snap = *restore_src;
+    epoch = snap.epoch + 1;
+    SDAF_EXPECTS(snap.ports.size() == inputs.size());
+    SDAF_EXPECTS(snap.taps.size() == outputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      inputs[i]->next_seq_.store(snap.ports[i].next_seq,
+                                 std::memory_order_relaxed);
+      // A port closed at the cut stays closed; its source was restored done
+      // (Session::restore validates that), so no EOS needs re-pushing.
+      inputs[i]->closed_ = snap.ports[i].closed != 0;
+    }
+    for (std::size_t j = 0; j < outputs.size(); ++j) {
+      for (const ckpt::TapItem& item : snap.taps[j].residue)
+        parked[j].push_back(OutputPort::Item{item.seq, item.value});
+      parked_ended[j] = snap.taps[j].ended;
+    }
   }
 
   virtual ~Core() = default;
 
-  [[nodiscard]] RunSpec bound_spec() const {
+  [[nodiscard]] RunSpec bound_spec() {
     RunSpec bound = spec.run;
     bound.ports = &binding;
+    bound.ckpt_plane = &plane;
+    bound.restore = restore_src;
     return bound;
   }
 
   // --- backend hooks ---------------------------------------------------
   // Sim only: run sweeps now. Concurrent backends: no-op.
   virtual bool pump_now() { return false; }
+  // ckpt: edge e's cumulative traffic at the barrier cut -- the producer's
+  // marker latch when it forwarded Marker(S), its frozen totals when it
+  // finished before the barrier. Only read after the barrier completes.
+  [[nodiscard]] virtual ckpt::EdgeCut edge_cut_at(
+      EdgeId e, bool producer_checkpointed) const = 0;
+  // Sim only: cumulative sweeps, so a restored engine resumes the count.
+  [[nodiscard]] virtual std::uint64_t sweeps_now() const { return 0; }
   // Pooled only: the pool's per-worker scheduler counters.
   [[nodiscard]] virtual std::vector<obs::WorkerMetrics> worker_metrics()
       const {
@@ -130,8 +241,27 @@ struct Core {
   // --- shared port logic -----------------------------------------------
   enum class PushStatus { Ok, NoSpace, Ended };
 
+  // Pre: port_mus[i] held, a marker is due now (the barrier armed this port
+  // and it just reached S, begin() found it already at S, or close() cuts
+  // it short of S). The feed always has physical room: data occupancy is
+  // capped at feed_capacity segments, EOS adds one, and a marker rides the
+  // ring's extra physical slot -- so Full can only mean a previous barrier's
+  // marker is still in flight, which barrier serialization excludes.
+  void inject_marker_locked(std::size_t i, std::uint64_t seq) {
+    bool was_empty = false;
+    const PushResult r = feed_channels[i]->try_push_marker(seq, &was_empty);
+    SDAF_ASSERT(r != PushResult::Full);
+    armed_marker[i] = kNoBarrier;
+    // This port's cut: everything it accepted before its marker (== S for a
+    // port that reached the barrier, its final count for one closed short).
+    port_cut_seq[i] = inputs[i]->pushed();
+    if (r == PushResult::Ok) feed_pushed(i, was_empty);
+  }
+
   PushStatus push_message(InputPort& port, Message& m) {
-    BoundedChannel& feed = *feed_channels[port.index_];
+    const std::size_t i = port.index_;
+    BoundedChannel& feed = *feed_channels[i];
+    std::lock_guard plock(*port_mus[i]);
     if (feed.size() >= spec.feed_capacity)
       return PushStatus::NoSpace;  // data slots exhausted; EOS slot reserved
     bool was_empty = false;
@@ -139,7 +269,11 @@ struct Core {
       case PushResult::Ok:
         // Single writer (the port's caller): plain load+store, no RMW.
         port.next_seq_.store(port.pushed() + 1, std::memory_order_relaxed);
-        feed_pushed(port.index_, was_empty);
+        // An armed barrier injects its marker exactly between seq S-1 and
+        // seq S, preserving the barrier invariant at the injection point.
+        if (armed_marker[i] != kNoBarrier && port.pushed() == armed_marker[i])
+          inject_marker_locked(i, armed_marker[i]);
+        feed_pushed(i, was_empty);
         return PushStatus::Ok;
       case PushResult::Aborted:
         return PushStatus::Ended;
@@ -193,48 +327,112 @@ struct Core {
     std::uint64_t seq = port.pushed();
     for (auto& v : values) msgs.push_back(Message::data(seq++, std::move(v)));
     std::size_t done = 0;
-    BoundedChannel& feed = *feed_channels[port.index_];
+    const std::size_t i = port.index_;
+    BoundedChannel& feed = *feed_channels[i];
     for (;;) {
-      // Data occupancy is capped at feed_capacity (the ring's extra slot is
-      // reserved for EOS); size() only shrinks under the caller's feet, so
-      // `room` is a safe underestimate.
-      const std::size_t occ = feed.size();
-      const std::size_t room =
-          occ >= spec.feed_capacity ? 0 : spec.feed_capacity - occ;
-      if (room > 0) {
-        bool was_empty = false;
-        bool aborted = false;
-        const std::size_t n = feed.try_push_batch(
-            msgs.data() + done, std::min(room, msgs.size() - done),
-            &was_empty, &aborted);
-        if (aborted) break;
-        if (n > 0) {
-          done += n;
-          port.next_seq_.store(port.pushed() + n, std::memory_order_relaxed);
-          feed_pushed(port.index_, was_empty);
-          if (done == msgs.size()) break;
-          continue;
+      bool aborted = false;
+      std::size_t n = 0;
+      {
+        std::lock_guard plock(*port_mus[i]);
+        // Data occupancy is capped at feed_capacity (the ring's extra slot
+        // is reserved for EOS); size() only shrinks under the caller's
+        // feet, so `room` is a safe underestimate.
+        const std::size_t occ = feed.size();
+        const std::size_t room =
+            occ >= spec.feed_capacity ? 0 : spec.feed_capacity - occ;
+        std::size_t want = msgs.size() - done;
+        // An armed barrier splits the batch at S: stage up to the marker's
+        // slot, inject it, then the next round continues past it.
+        if (armed_marker[i] != kNoBarrier)
+          want = std::min<std::size_t>(
+              want, static_cast<std::size_t>(armed_marker[i] - port.pushed()));
+        if (room > 0 && want > 0) {
+          bool was_empty = false;
+          n = feed.try_push_batch(msgs.data() + done, std::min(room, want),
+                                  &was_empty, &aborted);
+          if (n > 0) {
+            done += n;
+            port.next_seq_.store(port.pushed() + n, std::memory_order_relaxed);
+            if (armed_marker[i] != kNoBarrier &&
+                port.pushed() == armed_marker[i])
+              inject_marker_locked(i, armed_marker[i]);
+            feed_pushed(i, was_empty);
+          }
         }
       }
-      if (!wait_feed_space(port.index_, deadline)) break;
+      if (aborted || done == msgs.size()) break;
+      if (n > 0) continue;
+      if (!wait_feed_space(i, deadline)) break;
     }
     return done;
   }
 
   void port_close(InputPort& port) {
     if (port.closed_) return;
+    const std::size_t i = port.index_;
+    std::lock_guard plock(*port_mus[i]);
+    // A port closed short of an armed barrier cuts at its final count: its
+    // marker precedes the EOS, so everything it ever accepted is below the
+    // cut and the barrier invariant holds with next_seq < S.
+    if (armed_marker[i] != kNoBarrier)
+      inject_marker_locked(i, armed_marker[i]);
     port.closed_ = true;
-    BoundedChannel& feed = *feed_channels[port.index_];
+    BoundedChannel& feed = *feed_channels[i];
     // The reserved slot makes this infallible unless the stream already
     // aborted (then the EOS is moot anyway).
     const PushResult r = feed.try_push(Message::eos());
     SDAF_ASSERT(r != PushResult::Full);
-    feed_closed(port.index_);
+    feed_closed(i);
+  }
+
+  // Lazily aligns tap j's cut state with the current barrier generation
+  // (begin() bumps the generation; the taps reset on first touch instead of
+  // begin() taking every tap lock -- a caller parked in next() holds its
+  // tap's lock indefinitely). Pre: egress_mus[j] held.
+  void tap_sync_locked(std::size_t j) {
+    const std::uint64_t gen = snap_gen.load(std::memory_order_acquire);
+    if (tap_gen[j] == gen) return;
+    tap_gen[j] = gen;
+    tap_acked[j] = 0;
+    tap_ended_cut[j] = 0;
+    tap_residue[j].clear();
+    // A tap whose EOS was consumed before the barrier began is already at
+    // its final cut: no marker will arrive (the sink finished), ack now.
+    if (outputs[j]->ended_) ack_tap_locked(j, /*ended=*/true);
+  }
+
+  // Pre: egress_mus[j] held and tap_sync_locked(j) ran this touch. The
+  // release increment pairs with assembly's acquire read, publishing the
+  // frozen tap cut (ended flag + residue).
+  void ack_tap_locked(std::size_t j, bool ended) {
+    if (tap_acked[j] != 0) return;
+    tap_acked[j] = 1;
+    tap_ended_cut[j] = ended ? 1 : 0;
+    tap_acked_count.fetch_add(1, std::memory_order_release);
   }
 
   std::optional<OutputPort::Item> port_poll_once(OutputPort& port) {
+    std::lock_guard elock(*egress_mus[port.index_]);
+    return port_poll_once_locked(port);
+  }
+
+  std::optional<OutputPort::Item> port_poll_once_locked(OutputPort& port) {
+    const std::size_t j = port.index_;
+    // Restored tap residue (and items the snapshot reaper parked to surface
+    // a marker) delivers ahead of anything in the live ring -- it is older.
+    if (!parked[j].empty()) {
+      OutputPort::Item item = std::move(parked[j].front());
+      parked[j].pop_front();
+      return item;
+    }
+    if (parked_ended[j] != 0) {
+      // The cut saw this tap's EOS; the restored sink is done and will not
+      // flood another one into the new ring.
+      port.ended_ = true;
+      return std::nullopt;
+    }
     if (port.ended_) return std::nullopt;
-    BoundedChannel& egress = *egress_channels[port.index_];
+    BoundedChannel& egress = *egress_channels[j];
     for (;;) {
       const auto head = egress.try_peek_head();
       if (!head.has_value()) {
@@ -245,18 +443,33 @@ struct Core {
         // Interior dummies reaching the tap (propagation-mode forwarding)
         // carry no caller-visible payload; drop the whole run in one op.
         const auto run = egress.pop_dummies(head->run);
-        egress_popped(port.index_, run.was_full);
+        egress_popped(j, run.was_full);
+        continue;
+      }
+      if (head->kind == MessageKind::Marker) {
+        // The tap's barrier marker: invisible to the caller. Everything the
+        // caller popped before it was delivered (needs no residue);
+        // acknowledge the tap's cut and keep polling.
+        const bool was_full = egress.pop();
+        egress_popped(j, was_full);
+        tap_sync_locked(j);
+        ack_tap_locked(j, /*ended=*/false);
         continue;
       }
       if (head->kind == MessageKind::Eos) {
+        // EOS racing a pending barrier: the sink finished before (or while)
+        // consuming its markers -- either way no marker follows, so this IS
+        // the tap's cut.
+        tap_sync_locked(j);
+        ack_tap_locked(j, /*ended=*/true);
         const bool was_full = egress.pop();
-        egress_popped(port.index_, was_full);
+        egress_popped(j, was_full);
         port.ended_ = true;
         return std::nullopt;
       }
       bool was_full = false;
       Message m = egress.pop_head(&was_full);
-      egress_popped(port.index_, was_full);
+      egress_popped(j, was_full);
       return OutputPort::Item{m.seq, std::move(m.payload)};
     }
   }
@@ -269,8 +482,13 @@ struct Core {
   }
 
   std::optional<OutputPort::Item> port_next(OutputPort& port) {
+    // Holds the tap lock across the park: the wait peeks the ring, which is
+    // a consumer-side op that must not race the snapshot reaper (whose
+    // try_lock simply skips a tap its caller owns).
+    std::lock_guard elock(*egress_mus[port.index_]);
     for (;;) {
-      if (auto item = port_poll_once(port); item.has_value()) return item;
+      if (auto item = port_poll_once_locked(port); item.has_value())
+        return item;
       if (port.ended_) return std::nullopt;
       if (!wait_egress_item(port.index_)) return std::nullopt;
     }
@@ -291,6 +509,152 @@ struct Core {
       }
       if (all_ended) return;
       if (!any) std::this_thread::sleep_for(200us);
+    }
+  }
+
+  // --- barrier lifecycle (Stream::snapshot_*) ---------------------------
+
+  bool snapshot_begin() {
+    std::lock_guard slock(snap_mu);
+    if (collected) return false;
+    if (snap_active || plane.pending()) return false;
+    // Generation first: a marker that races through a shallow graph to a
+    // tap before begin() returns must ack under the new generation.
+    snap_gen.fetch_add(1, std::memory_order_release);
+    tap_acked_count.store(0, std::memory_order_relaxed);
+    // Hold every feed's producer side while choosing S and injecting, so no
+    // port can slip an item with seq >= S underneath an injected marker.
+    std::vector<std::unique_lock<std::mutex>> plocks;
+    plocks.reserve(port_mus.size());
+    for (auto& m : port_mus) plocks.emplace_back(*m);
+    // S = max over ALL ports (open and closed) of items accepted: closed
+    // ports forward no marker, so every message they ever contributed must
+    // sit below the cut for downstream alignment to hold.
+    std::uint64_t barrier = 0;
+    for (const auto& port : inputs) barrier = std::max(barrier, port->pushed());
+    const bool begun = plane.begin(barrier);
+    SDAF_ASSERT(begun);
+    snap_barrier = barrier;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      InputPort& port = *inputs[i];
+      if (port.closed_) {
+        // No marker: the source drains to EOS and reports through the
+        // plane's finished set (its feed holds only seqs < S by choice of
+        // S, plus the EOS).
+        port_cut_closed[i] = 1;
+        port_cut_seq[i] = port.pushed();
+        continue;
+      }
+      port_cut_closed[i] = 0;
+      if (port.pushed() == barrier)
+        inject_marker_locked(i, barrier);
+      else
+        armed_marker[i] = barrier;  // inject exactly when it reaches S
+    }
+    snap_active = true;
+    snap_begin_seconds = clock.elapsed_seconds();
+    return true;
+  }
+
+  // Reap tap markers that idle output ports have not consumed: for each
+  // unacked tap we can lock (try_lock -- a caller inside a port call owns
+  // the tap and will process its marker itself), pop ahead of the marker,
+  // parking Data items for later delivery and recording them as the cut's
+  // residue (popped-but-undelivered at the cut). Pre: snap_mu held.
+  void reap_tap_markers() {
+    for (std::size_t j = 0; j < outputs.size(); ++j) {
+      std::unique_lock elock(*egress_mus[j], std::try_to_lock);
+      if (!elock.owns_lock()) continue;
+      tap_sync_locked(j);
+      if (tap_acked[j] != 0 || parked_ended[j] != 0 || outputs[j]->ended_)
+        continue;
+      BoundedChannel& egress = *egress_channels[j];
+      for (;;) {
+        const auto head = egress.try_peek_head();
+        if (!head.has_value()) break;
+        if (head->kind == MessageKind::Marker) {
+          const bool was_full = egress.pop();
+          egress_popped(j, was_full);
+          ack_tap_locked(j, /*ended=*/false);
+          break;
+        }
+        if (head->kind == MessageKind::Eos) {
+          // Leave the EOS for the caller's poll (ended() flips there); the
+          // cut records the tap as ended either way.
+          ack_tap_locked(j, /*ended=*/true);
+          break;
+        }
+        if (head->kind == MessageKind::Dummy) {
+          const auto run = egress.pop_dummies(head->run);
+          egress_popped(j, run.was_full);
+          continue;
+        }
+        bool was_full = false;
+        Message m = egress.pop_head(&was_full);
+        egress_popped(j, was_full);
+        tap_residue[j].push_back(ckpt::TapItem{m.seq, m.payload});
+        parked[j].push_back(OutputPort::Item{m.seq, std::move(m.payload)});
+      }
+    }
+  }
+
+  std::optional<ckpt::StreamSnapshot> snapshot_poll() {
+    std::lock_guard slock(snap_mu);
+    if (!snap_active) return std::nullopt;
+    (void)pump_now();  // Sim: markers only advance on the caller's thread
+    reap_tap_markers();
+    if (!plane.nodes_complete()) return std::nullopt;
+    if (tap_acked_count.load(std::memory_order_acquire) != outputs.size())
+      return std::nullopt;
+    return assemble_snapshot();
+  }
+
+  // Pre: snap_mu held, every node checkpointed/finished, every tap acked.
+  ckpt::StreamSnapshot assemble_snapshot() {
+    ckpt::StreamSnapshot snap;
+    snap.signature = snapshot_signature(graph, spec.run);
+    snap.epoch = epoch;
+    snap.barrier_seq = snap_barrier;
+    snap.sweeps = sweeps_now();
+    snap.nodes = plane.take_cuts();
+    snap.edges.reserve(graph.edge_count());
+    for (EdgeId e = 0; e < static_cast<EdgeId>(graph.edge_count()); ++e)
+      snap.edges.push_back(
+          edge_cut_at(e, /*producer_checkpointed=*/
+                      snap.nodes[graph.edge(e).from].done == 0));
+    snap.ports.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      // Brief lock: port mutex holders never block (pushes park outside).
+      std::lock_guard plock(*port_mus[i]);
+      snap.ports.push_back(ckpt::PortCut{port_cut_closed[i], port_cut_seq[i]});
+    }
+    snap.taps.reserve(outputs.size());
+    for (std::size_t j = 0; j < outputs.size(); ++j) {
+      // No tap lock (a parked next() caller holds one indefinitely): the
+      // residue is written only under snap_mu, and the ended flag was
+      // published by the ack's release increment.
+      snap.taps.push_back(
+          ckpt::TapCut{tap_ended_cut[j], std::move(tap_residue[j])});
+      tap_residue[j].clear();
+    }
+    snap_active = false;
+    ++snapshots_taken;
+    last_snapshot_seconds = clock.elapsed_seconds() - snap_begin_seconds;
+    return snap;
+  }
+
+  std::optional<ckpt::StreamSnapshot> snapshot_wait(
+      std::chrono::milliseconds timeout) {
+    (void)snapshot_begin();  // false = already pending; poll that barrier
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (auto snap = snapshot_poll(); snap.has_value()) return snap;
+      {
+        std::lock_guard slock(snap_mu);
+        if (!snap_active) return std::nullopt;  // never begun (finished)
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
 
@@ -329,12 +693,26 @@ struct Core {
       s.ports.push_back(std::move(p));
     }
     s.workers = worker_metrics();
+    {
+      std::lock_guard slock(snap_mu);
+      s.ckpt.epoch = epoch;
+      s.ckpt.snapshots_taken = snapshots_taken;
+      s.ckpt.snapshot_pending = snap_active;
+      s.ckpt.last_snapshot_seconds = last_snapshot_seconds;
+    }
     return s;
   }
 
   RunReport finish() {
     SDAF_EXPECTS(!collected);
-    collected = true;
+    {
+      // A pending barrier dies with the stream: in-flight markers drain as
+      // stale (the plane drops their checkpoints after abort_barrier).
+      std::lock_guard slock(snap_mu);
+      collected = true;
+      snap_active = false;
+      plane.abort_barrier();
+    }
     for (auto& port : inputs) port_close(*port);
     drain_taps();
     RunReport report = collect();
@@ -398,12 +776,21 @@ struct SimCore final : Core {
   std::unique_ptr<sim::SweepEngine> engine;
 
   SimCore(const StreamGraph& g,
-          std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s)
-      : Core(g, std::move(k), std::move(s)) {
+          std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s,
+          const ckpt::StreamSnapshot* restore)
+      : Core(g, std::move(k), std::move(s), restore) {
     engine = std::make_unique<sim::SweepEngine>(graph, kernels, bound_spec());
+    restore_src = nullptr;  // borrow ends with engine construction
   }
 
   bool pump_now() override { return engine->pump(); }
+  [[nodiscard]] ckpt::EdgeCut edge_cut_at(
+      EdgeId e, bool producer_checkpointed) const override {
+    return engine->edge_cut(e, producer_checkpointed);
+  }
+  [[nodiscard]] std::uint64_t sweeps_now() const override {
+    return engine->sweeps();
+  }
   bool wait_feed_space(std::size_t i, const Deadline& /*deadline*/) override {
     // "Waiting" on the Sim backend means pumping on the caller's thread; a
     // pump with no progress already answers a deadline caller (the graph
@@ -450,16 +837,30 @@ struct ThreadedCore final : Core {
   std::atomic<std::size_t> closed_ports{0};
 
   ThreadedCore(const StreamGraph& g,
-               std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s)
-      : Core(g, std::move(k), std::move(s)) {
+               std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s,
+               const ckpt::StreamSnapshot* restore)
+      : Core(g, std::move(k), std::move(s), restore) {
     engine = std::make_unique<runtime::ThreadEngine>(graph, kernels,
                                                      bound_spec());
-    engine->start(/*arm_watchdog=*/inputs.empty());
+    restore_src = nullptr;  // borrow ends with engine construction
+    // Ports restored closed never call feed_closed; seed the count so the
+    // watchdog still arms when the *remaining* open ports close (or right
+    // away if the cut had closed them all).
+    std::size_t pre_closed = 0;
+    for (const auto& port : inputs)
+      if (port->closed()) ++pre_closed;
+    closed_ports.store(pre_closed);
+    engine->start(/*arm_watchdog=*/pre_closed == inputs.size());
   }
 
   void feed_closed(std::size_t /*i*/) override {
     if (closed_ports.fetch_add(1) + 1 == inputs.size())
       engine->arm_watchdog();
+  }
+
+  [[nodiscard]] ckpt::EdgeCut edge_cut_at(
+      EdgeId e, bool producer_checkpointed) const override {
+    return engine->edge_cut(e, producer_checkpointed);
   }
 
   RunReport collect() override { return engine->join(); }
@@ -477,8 +878,9 @@ struct PooledCore final : Core {
   runtime::PoolExecutor::StreamHandle handle;
 
   PooledCore(const StreamGraph& g,
-             std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s)
-      : Core(g, std::move(k), std::move(s)) {
+             std::vector<std::shared_ptr<runtime::Kernel>> k, StreamSpec s,
+             const ckpt::StreamSnapshot* restore)
+      : Core(g, std::move(k), std::move(s), restore) {
     if (spec.run.pool != nullptr) {
       pool = spec.run.pool;
     } else {
@@ -489,6 +891,15 @@ struct PooledCore final : Core {
     }
     ticket = pool->submit(graph, kernels, bound_spec());
     handle = pool->stream_handle(ticket);
+    restore_src = nullptr;  // borrow ends with submit
+    // Ports restored closed (their sources restored done) never call
+    // feed_closed; report them so the extended quiescence rule sees the
+    // right open-port count.
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      if (inputs[i]->closed()) {
+        runtime::PoolExecutor::stream_port_closed(handle);
+        runtime::PoolExecutor::stream_wake(handle, binding.source_nodes[i]);
+      }
   }
 
   void feed_pushed(std::size_t i, bool was_empty) override {
@@ -514,12 +925,38 @@ struct PooledCore final : Core {
     return pool->worker_metrics();
   }
 
+  [[nodiscard]] ckpt::EdgeCut edge_cut_at(
+      EdgeId e, bool producer_checkpointed) const override {
+    return runtime::PoolExecutor::stream_edge_cut(handle, e,
+                                                  producer_checkpointed);
+  }
+
   RunReport collect() override {
     RunReport report = pool->wait(ticket);
     handle.reset();
     return report;
   }
 };
+
+std::unique_ptr<Core> make_core(const StreamGraph& graph,
+                                std::vector<std::shared_ptr<runtime::Kernel>>
+                                    kernels,
+                                StreamSpec spec,
+                                const ckpt::StreamSnapshot* restore) {
+  switch (spec.run.backend) {
+    case Backend::Sim:
+      return std::make_unique<SimCore>(graph, std::move(kernels),
+                                       std::move(spec), restore);
+    case Backend::Threaded:
+      return std::make_unique<ThreadedCore>(graph, std::move(kernels),
+                                            std::move(spec), restore);
+    case Backend::Pooled:
+      return std::make_unique<PooledCore>(graph, std::move(kernels),
+                                          std::move(spec), restore);
+  }
+  SDAF_ASSERT(false && "unknown backend");
+  return nullptr;
+}
 
 }  // namespace stream_detail
 
@@ -616,27 +1053,48 @@ void Stream::pump() { (void)core_->pump_now(); }
 
 obs::MetricsSnapshot Stream::metrics() const { return core_->take_snapshot(); }
 
+bool Stream::snapshot_begin() { return core_->snapshot_begin(); }
+
+std::optional<ckpt::StreamSnapshot> Stream::snapshot_poll() {
+  return core_->snapshot_poll();
+}
+
+std::optional<ckpt::StreamSnapshot> Stream::snapshot(
+    std::chrono::milliseconds timeout) {
+  return core_->snapshot_wait(timeout);
+}
+
+std::uint64_t Stream::epoch() const { return core_->epoch; }
+
 RunReport Stream::finish() { return core_->finish(); }
 
 // Defined here (not session.cpp) so the concrete cores stay file-local.
 Stream Session::open(StreamSpec spec) {
-  std::unique_ptr<stream_detail::Core> core;
-  switch (spec.run.backend) {
-    case Backend::Sim:
-      core = std::make_unique<stream_detail::SimCore>(graph_, kernels_,
-                                                      std::move(spec));
-      break;
-    case Backend::Threaded:
-      core = std::make_unique<stream_detail::ThreadedCore>(graph_, kernels_,
-                                                           std::move(spec));
-      break;
-    case Backend::Pooled:
-      core = std::make_unique<stream_detail::PooledCore>(graph_, kernels_,
-                                                         std::move(spec));
-      break;
-  }
-  SDAF_ASSERT(core != nullptr);
-  return Stream(std::move(core));
+  return Stream(stream_detail::make_core(graph_, kernels_, std::move(spec),
+                                         /*restore=*/nullptr));
+}
+
+std::optional<Stream> Session::restore(StreamSpec spec,
+                                       const ckpt::StreamSnapshot& snapshot) {
+  if (snapshot.version != ckpt::kSnapshotVersion) return std::nullopt;
+  if (snapshot.signature != stream_detail::snapshot_signature(graph_, spec.run))
+    return std::nullopt;
+  if (snapshot.nodes.size() != graph_.node_count()) return std::nullopt;
+  if (snapshot.edges.size() != graph_.edge_count()) return std::nullopt;
+  const auto& sources = graph_.sources();
+  if (snapshot.ports.size() != sources.size()) return std::nullopt;
+  const std::size_t want_taps =
+      spec.capture_outputs ? graph_.sinks().size() : 0;
+  if (snapshot.taps.size() != want_taps) return std::nullopt;
+  // Internal consistency: a port closed at the cut implies its source was
+  // cut done (a closed feed carries no marker, so the barrier can only have
+  // completed through the source finishing). Reject blobs that violate it
+  // -- apply_restore leans on the EOS having fully flooded.
+  for (std::size_t i = 0; i < snapshot.ports.size(); ++i)
+    if (snapshot.ports[i].closed != 0 && snapshot.nodes[sources[i]].done == 0)
+      return std::nullopt;
+  return Stream(
+      stream_detail::make_core(graph_, kernels_, std::move(spec), &snapshot));
 }
 
 }  // namespace sdaf::exec

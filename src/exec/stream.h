@@ -38,6 +38,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/ckpt/snapshot.h"
 #include "src/exec/run_types.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/message.h"
@@ -223,11 +224,36 @@ class Stream {
   // load), which is exactly what obs::MetricsSampler needs as its source.
   [[nodiscard]] obs::MetricsSnapshot metrics() const;
 
+  // --- Checkpointing (sdaf::ckpt, see docs/SNAPSHOTS.md) ----------------
+  // Starts an asynchronous barrier snapshot without stopping the stream:
+  // picks the barrier S = max over ports of items accepted so far, injects
+  // Marker(S) into every open feed (lagging ports get theirs exactly when
+  // they reach S), and returns immediately while the markers ride the
+  // ordinary channels. false = a snapshot is already pending (barriers
+  // serialize) or the stream already finished. Safe from any thread; port
+  // callers keep pushing/polling concurrently.
+  [[nodiscard]] bool snapshot_begin();
+  // Non-blocking completion check: advances collection (Sim: runs sweeps on
+  // the caller's thread; all backends: reaps tap markers idle output ports
+  // have not consumed) and returns the assembled snapshot once every node
+  // has checkpointed and every tap saw its marker. nullopt = still pending,
+  // or no snapshot was begun.
+  [[nodiscard]] std::optional<ckpt::StreamSnapshot> snapshot_poll();
+  // snapshot_begin (unless a barrier is already pending) + poll until
+  // `timeout` elapses. A timed-out barrier stays pending -- on a wedged
+  // stream it never completes; on a merely slow one a later call can still
+  // collect it.
+  [[nodiscard]] std::optional<ckpt::StreamSnapshot> snapshot(
+      std::chrono::milliseconds timeout);
+  // Logical stream generation over this compiled topology: 0 for
+  // Session::open, snapshot.epoch + 1 for a Session::restore'd stream.
+  [[nodiscard]] std::uint64_t epoch() const;
+
   // Closes any open input ports, drains (and discards) whatever remains on
   // the egress taps so the EOS flood can always complete, waits for the
   // final exact verdict, and collects the report -- completed, or
   // deadlocked with the usual state dump (plus port occupancy lines). At
-  // most once.
+  // most once. A pending snapshot barrier is abandoned.
   [[nodiscard]] RunReport finish();
 
  private:

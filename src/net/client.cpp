@@ -1,22 +1,72 @@
 #include "src/net/client.h"
 
+#include <cerrno>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace sdaf::net {
 
-std::optional<Client> Client::connect_unix(const std::string& path) {
-  Fd fd = net::connect_unix(path);
-  if (!fd.valid()) return std::nullopt;
-  Client c(std::move(fd));
+namespace {
+
+bool retryable_connect_errno(int err, bool unix_socket) {
+  if (err == ECONNREFUSED || err == EAGAIN || err == ECONNRESET) return true;
+  // A restarting daemon has not re-bound its socket file yet.
+  return unix_socket && err == ENOENT;
+}
+
+// Exponential backoff jittered +-50%, so a fleet of clients reconnecting
+// to a reborn daemon decorrelates instead of stampeding. The jitter seed
+// is the clock itself -- no shared state, no determinism required.
+void backoff_sleep(const ConnectOptions& retry, int attempt) {
+  auto gap = retry.backoff * (1 << attempt);
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // splitmix64 finisher on the clock: cheap, uniform enough for jitter.
+  std::uint64_t z = now + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  // Scale into [50%, 150%] of the nominal gap.
+  const auto jittered = gap / 2 + (gap * (z % 1024)) / 1024;
+  std::this_thread::sleep_for(jittered);
+}
+
+template <typename ConnectFn>
+std::optional<Fd> connect_with_retry(const ConnectOptions& retry,
+                                     bool unix_socket, ConnectFn connect_fn) {
+  const int attempts = retry.attempts > 0 ? retry.attempts : 1;
+  for (int attempt = 0;; ++attempt) {
+    int err = 0;
+    Fd fd = connect_fn(&err);
+    if (fd.valid()) return fd;
+    if (attempt + 1 >= attempts || !retryable_connect_errno(err, unix_socket))
+      return std::nullopt;
+    backoff_sleep(retry, attempt);
+  }
+}
+
+}  // namespace
+
+std::optional<Client> Client::connect_unix(const std::string& path,
+                                           const ConnectOptions& retry) {
+  auto fd = connect_with_retry(retry, /*unix_socket=*/true, [&](int* err) {
+    return net::connect_unix(path, err);
+  });
+  if (!fd.has_value()) return std::nullopt;
+  Client c(std::move(*fd));
   c.hello();
   return c;
 }
 
 std::optional<Client> Client::connect_tcp(const std::string& host,
-                                          std::uint16_t port) {
-  Fd fd = net::connect_tcp(host, port);
-  if (!fd.valid()) return std::nullopt;
-  Client c(std::move(fd));
+                                          std::uint16_t port,
+                                          const ConnectOptions& retry) {
+  auto fd = connect_with_retry(retry, /*unix_socket=*/false, [&](int* err) {
+    return net::connect_tcp(host, port, err);
+  });
+  if (!fd.has_value()) return std::nullopt;
+  Client c(std::move(*fd));
   c.hello();
   return c;
 }
@@ -74,6 +124,22 @@ ClientStream Client::open(std::uint16_t id, const OpenFrame& spec) {
   return ClientStream(this, id, *ok);
 }
 
+ClientStream Client::restore(std::uint16_t id, const OpenFrame& spec,
+                             const std::vector<std::uint8_t>& snapshot) {
+  RestoreFrame f;
+  f.open = spec;
+  f.snapshot.assign(snapshot.begin(), snapshot.end());
+  Writer w;
+  encode(f, w);
+  const Reply reply =
+      round_trip(FrameType::Restore, id, std::move(w), FrameType::RestoreOk);
+  const auto ok =
+      decode_restore_ok(reply.payload.data(), reply.payload.size());
+  if (!ok.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed RestoreOk");
+  return ClientStream(this, id, *ok);
+}
+
 std::string Client::stats() {
   const Reply reply =
       round_trip(FrameType::Stats, 0, Writer{}, FrameType::StatsOk);
@@ -124,6 +190,28 @@ DeliverFrame ClientStream::poll(std::uint16_t port, std::uint32_t max_items) {
   if (!d.has_value())
     throw ProtocolError(ErrorCode::BadFrame, "malformed Deliver");
   return std::move(*d);
+}
+
+std::optional<std::vector<std::uint8_t>> ClientStream::snapshot_poll() {
+  const Client::Reply reply = client_->round_trip(
+      FrameType::Snapshot, id_, Writer{}, FrameType::SnapshotOk);
+  const auto ok =
+      decode_snapshot_ok(reply.payload.data(), reply.payload.size());
+  if (!ok.has_value())
+    throw ProtocolError(ErrorCode::BadFrame, "malformed SnapshotOk");
+  if (ok->complete == 0) return std::nullopt;
+  return std::vector<std::uint8_t>(ok->snapshot.begin(), ok->snapshot.end());
+}
+
+std::optional<std::vector<std::uint8_t>> ClientStream::snapshot(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto bytes = snapshot_poll();
+    if (bytes.has_value()) return bytes;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 void ClientStream::close(std::uint16_t port) {

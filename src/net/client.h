@@ -19,6 +19,7 @@
 // type) surface as net::ProtocolError; the connection is then dead.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -54,6 +55,10 @@ class ClientStream {
   [[nodiscard]] std::size_t output_count() const { return outputs_; }
   [[nodiscard]] bool cache_hit() const { return cache_hit_; }
 
+  // Logical stream generation: 0 for open(), snapshot.epoch + 1 for a
+  // restore()'d stream (from RestoreOk).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   // One PushBatch round trip; returns the server's acceptance. accepted <
   // values.size() is backpressure (the server's bounded push timed out);
   // ended means the port is closed server-side and retrying is futile.
@@ -65,6 +70,17 @@ class ClientStream {
   std::size_t push(std::uint16_t port, std::vector<runtime::Value> values);
   // Poll mirroring OutputPort::poll_batch: one round trip, up to max items.
   DeliverFrame poll(std::uint16_t port, std::uint32_t max_items);
+  // One Snapshot round trip, mirroring Stream::snapshot_begin +
+  // snapshot_poll: the first call begins an asynchronous barrier (the
+  // stream keeps flowing), every call polls it. nullopt = still pending,
+  // call again; bytes = the serialized ckpt::StreamSnapshot, restorable
+  // via Client::restore on this daemon or any later one. On a wedged
+  // stream the barrier never completes -- bound your own polling.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> snapshot_poll();
+  // snapshot_poll until it completes or `timeout` elapses (the barrier
+  // then stays pending server-side, exactly like Stream::snapshot).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> snapshot(
+      std::chrono::milliseconds timeout);
   // Dynamic EOS for one input port (idempotent server-side).
   void close(std::uint16_t port);
   // Finish -> Verdict: the final exec::RunReport, including the exact
@@ -82,28 +98,56 @@ class ClientStream {
         inputs_(ok.inputs),
         outputs_(ok.outputs),
         cache_hit_(ok.cache_hit != 0) {}
+  ClientStream(Client* client, std::uint16_t id, const RestoreOkFrame& ok)
+      : client_(client),
+        id_(id),
+        inputs_(ok.inputs),
+        outputs_(ok.outputs),
+        cache_hit_(ok.cache_hit != 0),
+        epoch_(ok.epoch) {}
 
   Client* client_;
   std::uint16_t id_;
   std::size_t inputs_;
   std::size_t outputs_;
   bool cache_hit_;
+  std::uint64_t epoch_ = 0;
+};
+
+// Bounded connect retry: a daemon that is restarting (crash recovery, the
+// whole point of Restore) refuses connections for a moment, so connect_*
+// retries ECONNREFUSED / EAGAIN / ECONNRESET -- and, for Unix sockets,
+// ENOENT, the socket file not re-bound yet -- up to `attempts` times with
+// exponential backoff jittered +-50% (decorrelated clients do not
+// stampede the reborn daemon). Any other errno fails immediately.
+struct ConnectOptions {
+  int attempts = 5;
+  std::chrono::milliseconds backoff{20};  // first gap; doubles per retry
 };
 
 class Client {
  public:
   // Connect + version handshake; nullopt when the socket cannot be
-  // established (a protocol failure during Hello throws instead).
+  // established within the retry budget (a protocol failure during Hello
+  // throws instead).
   [[nodiscard]] static std::optional<Client> connect_unix(
-      const std::string& path);
+      const std::string& path, const ConnectOptions& retry = {});
   [[nodiscard]] static std::optional<Client> connect_tcp(
-      const std::string& host, std::uint16_t port);
+      const std::string& host, std::uint16_t port,
+      const ConnectOptions& retry = {});
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
   // Opens stream `id` (client-chosen, nonzero, unique per connection).
   [[nodiscard]] ClientStream open(std::uint16_t id, const OpenFrame& spec);
+  // Opens stream `id` rehydrated from a ClientStream::snapshot blob
+  // (Restore -> RestoreOk). The spec must describe the same topology,
+  // workload and mode the snapshot was cut from; the caller then replays
+  // pushes and closes from each PortCut::next_seq and dedupes re-delivered
+  // output by seq. Throws ProtocolError (BadState) on a mismatch.
+  [[nodiscard]] ClientStream restore(std::uint16_t id, const OpenFrame& spec,
+                                     const std::vector<std::uint8_t>& snapshot);
   // The server's merged Prometheus page (all live streams + sdafd_*).
   [[nodiscard]] std::string stats();
 

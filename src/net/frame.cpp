@@ -65,6 +65,10 @@ const char* to_string(FrameType t) {
     case FrameType::Stats: return "Stats";
     case FrameType::StatsOk: return "StatsOk";
     case FrameType::Error: return "Error";
+    case FrameType::Snapshot: return "Snapshot";
+    case FrameType::SnapshotOk: return "SnapshotOk";
+    case FrameType::Restore: return "Restore";
+    case FrameType::RestoreOk: return "RestoreOk";
   }
   return "?";
 }
@@ -101,7 +105,7 @@ std::optional<FrameHeader> decode_header(const std::uint8_t* in) {
   h.stream = get_u16(in + 6);
   if (h.length > kMaxPayload) return std::nullopt;
   if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
-      type > static_cast<std::uint8_t>(FrameType::Error))
+      type > static_cast<std::uint8_t>(FrameType::RestoreOk))
     return std::nullopt;
   h.type = static_cast<FrameType>(type);
   return h;
@@ -506,6 +510,81 @@ std::optional<ErrorFrame> decode_error(const std::uint8_t* p, std::size_t n) {
       code > static_cast<std::uint32_t>(ErrorCode::Internal))
     return std::nullopt;
   f.code = static_cast<ErrorCode>(code);
+  return f;
+}
+
+void encode(const SnapshotOkFrame& f, Writer& w) {
+  w.u8(f.complete);
+  w.str(f.snapshot);
+}
+
+std::optional<SnapshotOkFrame> decode_snapshot_ok(const std::uint8_t* p,
+                                                  std::size_t n) {
+  Reader r(p, n);
+  SnapshotOkFrame f;
+  f.complete = r.u8();
+  f.snapshot = r.str();
+  if (!r.done()) return std::nullopt;
+  if (f.complete == 0 && !f.snapshot.empty()) return std::nullopt;
+  if (f.complete != 0 && f.snapshot.empty()) return std::nullopt;
+  return f;
+}
+
+void encode(const RestoreFrame& f, Writer& w) {
+  encode(f.open, w);
+  w.str(f.snapshot);
+}
+
+std::optional<RestoreFrame> decode_restore(const std::uint8_t* p,
+                                           std::size_t n) {
+  // The Open prefix is length-variable (two embedded strings), so parse it
+  // inline with the same field order and bounds as decode_open.
+  Reader r(p, n);
+  RestoreFrame f;
+  f.open.backend = r.u8();
+  f.open.mode = r.u8();
+  const std::uint8_t kernel = r.u8();
+  (void)r.u8();
+  f.open.pass_rate = r.f64();
+  f.open.seed = r.u64();
+  f.open.wedge_prefix = r.u64();
+  f.open.feed_capacity = r.u32();
+  f.open.egress_capacity = r.u32();
+  f.open.batch = r.u32();
+  f.open.tenant = r.str();
+  f.open.topology = r.str();
+  f.snapshot = r.str();
+  if (!r.done()) return std::nullopt;
+  if (f.open.backend > 2 || f.open.mode > 2 ||
+      kernel > static_cast<std::uint8_t>(KernelKind::Wedge))
+    return std::nullopt;
+  if (f.open.feed_capacity == 0 || f.open.feed_capacity > (1u << 20) ||
+      f.open.egress_capacity == 0 || f.open.egress_capacity > (1u << 20) ||
+      f.open.batch == 0 || f.open.batch > 4096)
+    return std::nullopt;
+  if (!(f.open.pass_rate >= 0.0 && f.open.pass_rate <= 1.0))
+    return std::nullopt;
+  if (f.snapshot.empty()) return std::nullopt;
+  f.open.kernel = static_cast<KernelKind>(kernel);
+  return f;
+}
+
+void encode(const RestoreOkFrame& f, Writer& w) {
+  w.u16(f.inputs);
+  w.u16(f.outputs);
+  w.u8(f.cache_hit);
+  w.u64(f.epoch);
+}
+
+std::optional<RestoreOkFrame> decode_restore_ok(const std::uint8_t* p,
+                                                std::size_t n) {
+  Reader r(p, n);
+  RestoreOkFrame f;
+  f.inputs = r.u16();
+  f.outputs = r.u16();
+  f.cache_hit = r.u8();
+  f.epoch = r.u64();
+  if (!r.done()) return std::nullopt;
   return f;
 }
 

@@ -57,6 +57,10 @@ enum class FrameType : std::uint8_t {
   Stats = 13,     // c->s: request the service metrics page
   StatsOk = 14,   // s->c: Prometheus text exposition
   Error = 15,     // s->c: code + message; the connection is then closed
+  Snapshot = 16,  // c->s: begin/poll an asynchronous barrier snapshot
+  SnapshotOk = 17,  // s->c: pending, or the serialized ckpt::StreamSnapshot
+  Restore = 18,   // c->s: Open + snapshot bytes (new stream id, rehydrated)
+  RestoreOk = 19,  // s->c: port counts + the restored stream's epoch
 };
 
 [[nodiscard]] const char* to_string(FrameType t);
@@ -230,6 +234,38 @@ struct ErrorFrame {
   std::string message;
 };
 
+// Snapshot is one non-blocking begin-or-poll step (the server never parks
+// its event loop on a barrier): the first Snapshot on a stream begins the
+// barrier, every Snapshot answers with the current state, and the client
+// re-sends until complete -- mirroring Stream::snapshot_begin/snapshot_poll.
+// Carries no payload fields beyond the header's stream id.
+struct SnapshotFrame {};
+
+struct SnapshotOkFrame {
+  std::uint8_t complete = 0;  // 0 = barrier still pending, re-send Snapshot
+  // complete != 0: ckpt::serialize(StreamSnapshot) -- the versioned blob,
+  // restorable here (Restore) or by any later daemon over the same
+  // topology. Must fit kMaxPayload; size the stream's traffic accordingly.
+  std::string snapshot;
+};
+
+// Open's fields plus the snapshot blob: starts a NEW stream id rehydrated
+// at the cut (Session::restore semantics -- the client then replays pushes
+// and closes from each PortCut::next_seq and dedupes re-delivered egress
+// by seq). The topology, workload and mode must match the snapshot's
+// signature or the server answers BadState.
+struct RestoreFrame {
+  OpenFrame open;
+  std::string snapshot;
+};
+
+struct RestoreOkFrame {
+  std::uint16_t inputs = 0;
+  std::uint16_t outputs = 0;
+  std::uint8_t cache_hit = 0;
+  std::uint64_t epoch = 0;  // snapshot.epoch + 1
+};
+
 // --- encode/decode ------------------------------------------------------
 // encode_* appends the payload to a Writer; decode_* parses a payload and
 // returns nullopt on any malformation (short, trailing bytes, bad enum,
@@ -247,6 +283,9 @@ void encode(const CloseFrame& f, Writer& w);
 void encode(const VerdictFrame& f, Writer& w);
 void encode(const StatsOkFrame& f, Writer& w);
 void encode(const ErrorFrame& f, Writer& w);
+void encode(const SnapshotOkFrame& f, Writer& w);
+void encode(const RestoreFrame& f, Writer& w);
+void encode(const RestoreOkFrame& f, Writer& w);
 
 [[nodiscard]] std::optional<HelloFrame> decode_hello(const std::uint8_t* p,
                                                      std::size_t n);
@@ -272,6 +311,12 @@ void encode(const ErrorFrame& f, Writer& w);
                                                           std::size_t n);
 [[nodiscard]] std::optional<ErrorFrame> decode_error(const std::uint8_t* p,
                                                      std::size_t n);
+[[nodiscard]] std::optional<SnapshotOkFrame> decode_snapshot_ok(
+    const std::uint8_t* p, std::size_t n);
+[[nodiscard]] std::optional<RestoreFrame> decode_restore(const std::uint8_t* p,
+                                                         std::size_t n);
+[[nodiscard]] std::optional<RestoreOkFrame> decode_restore_ok(
+    const std::uint8_t* p, std::size_t n);
 
 // Convenience: header + payload in one buffer, ready to write to a socket.
 [[nodiscard]] std::vector<std::uint8_t> make_frame(FrameType type,

@@ -13,6 +13,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/ckpt/snapshot.h"
 #include "src/core/compile_cache.h"
 #include "src/exec/session.h"
 #include "src/graph/io.h"
@@ -182,8 +183,11 @@ struct Server::Impl {
     queue_frame(c, FrameType::HelloOk, 0, std::move(w));
   }
 
-  void handle_open(Conn& c, std::uint16_t stream, const std::uint8_t* p,
-                   std::size_t n) {
+  // Shared by Open and Restore: parse + compile the topology, build the
+  // session, open (snap == nullptr) or rehydrate the stream, register it
+  // and reply OpenOk/RestoreOk. On failure the error is already queued.
+  void open_stream(Conn& c, std::uint16_t stream, OpenFrame f,
+                   const ckpt::StreamSnapshot* snap) {
     if (stream == 0 || c.streams.contains(stream)) {
       queue_error(c, stream, ErrorCode::BadStream,
                   "stream id 0 or already open");
@@ -193,12 +197,7 @@ struct Server::Impl {
       queue_error(c, stream, ErrorCode::Draining, "server is draining");
       return;
     }
-    auto f = decode_open(p, n);
-    if (!f.has_value()) {
-      queue_error(c, stream, ErrorCode::BadFrame, "malformed Open");
-      return;
-    }
-    auto graph = parse_topology(f->topology);
+    auto graph = parse_topology(f.topology);
     if (!graph.has_value()) {
       queue_error(c, stream, ErrorCode::BadTopology,
                   "topology rejected (parse, bounds, or cycle)");
@@ -207,7 +206,7 @@ struct Server::Impl {
 
     auto s = std::make_unique<ServerStream>();
     s->graph = std::move(*graph);
-    s->spec = std::move(*f);
+    s->spec = std::move(f);
     s->id = next_stream_id++;
 
     exec::StreamSpec ss;
@@ -241,19 +240,101 @@ struct Server::Impl {
 
     s->session = std::make_unique<exec::Session>(
         s->graph, make_kernels(s->graph, s->spec));
-    s->stream = std::make_unique<exec::Stream>(s->session->open(ss));
+    if (snap == nullptr) {
+      s->stream = std::make_unique<exec::Stream>(s->session->open(ss));
+    } else {
+      auto restored = s->session->restore(ss, *snap);
+      if (!restored.has_value()) {
+        // Wrong topology/workload/mode for the blob, wrong version, or an
+        // internally inconsistent cut: refused before anything runs.
+        queue_error(c, stream, ErrorCode::BadState,
+                    "snapshot does not match this topology/mode");
+        return;
+      }
+      s->stream = std::make_unique<exec::Stream>(std::move(*restored));
+      ++stats.restores_total;
+    }
 
-    OpenOkFrame ok;
-    ok.inputs = static_cast<std::uint16_t>(s->stream->input_count());
-    ok.outputs = static_cast<std::uint16_t>(s->stream->output_count());
-    ok.cache_hit = cache_hit ? 1 : 0;
+    exec::Stream& live = *s->stream;
     c.streams.emplace(stream, std::move(s));
     ++stats.streams_total;
     ++stats.streams_open;
 
     Writer w;
+    if (snap == nullptr) {
+      OpenOkFrame ok;
+      ok.inputs = static_cast<std::uint16_t>(live.input_count());
+      ok.outputs = static_cast<std::uint16_t>(live.output_count());
+      ok.cache_hit = cache_hit ? 1 : 0;
+      encode(ok, w);
+      queue_frame(c, FrameType::OpenOk, stream, std::move(w));
+    } else {
+      RestoreOkFrame ok;
+      ok.inputs = static_cast<std::uint16_t>(live.input_count());
+      ok.outputs = static_cast<std::uint16_t>(live.output_count());
+      ok.cache_hit = cache_hit ? 1 : 0;
+      ok.epoch = live.epoch();
+      encode(ok, w);
+      queue_frame(c, FrameType::RestoreOk, stream, std::move(w));
+    }
+  }
+
+  void handle_open(Conn& c, std::uint16_t stream, const std::uint8_t* p,
+                   std::size_t n) {
+    auto f = decode_open(p, n);
+    if (!f.has_value()) {
+      queue_error(c, stream, ErrorCode::BadFrame, "malformed Open");
+      return;
+    }
+    open_stream(c, stream, std::move(*f), nullptr);
+  }
+
+  void handle_restore(Conn& c, std::uint16_t stream, const std::uint8_t* p,
+                      std::size_t n) {
+    auto f = decode_restore(p, n);
+    if (!f.has_value()) {
+      queue_error(c, stream, ErrorCode::BadFrame, "malformed Restore");
+      return;
+    }
+    const auto snap = ckpt::deserialize(
+        reinterpret_cast<const std::uint8_t*>(f->snapshot.data()),
+        f->snapshot.size());
+    if (!snap.has_value()) {
+      queue_error(c, stream, ErrorCode::BadFrame,
+                  "snapshot bytes rejected (version or malformation)");
+      return;
+    }
+    open_stream(c, stream, std::move(f->open), &*snap);
+  }
+
+  void handle_snapshot(Conn& c, std::uint16_t stream, std::size_t n) {
+    if (n != 0) {
+      queue_error(c, stream, ErrorCode::BadFrame,
+                  "Snapshot carries no payload");
+      return;
+    }
+    ServerStream* s = find_stream(c, stream);
+    if (s == nullptr) return;
+    // One non-blocking begin-or-poll step (constraint #1: the loop never
+    // parks on a barrier). The first Snapshot begins the barrier; a false
+    // begin means one is already pending, which is exactly the poll case.
+    (void)s->stream->snapshot_begin();
+    SnapshotOkFrame ok;
+    if (auto snap = s->stream->snapshot_poll()) {
+      const std::vector<std::uint8_t> bytes = ckpt::serialize(*snap);
+      if (bytes.size() + kHeaderSize > kMaxPayload) {
+        queue_error(c, stream, ErrorCode::TooLarge,
+                    "serialized snapshot exceeds the frame payload cap");
+        return;
+      }
+      ok.complete = 1;
+      ok.snapshot.assign(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+      ++stats.snapshots_total;
+    }
+    Writer w;
     encode(ok, w);
-    queue_frame(c, FrameType::OpenOk, stream, std::move(w));
+    queue_frame(c, FrameType::SnapshotOk, stream, std::move(w));
   }
 
   [[nodiscard]] ServerStream* find_stream(Conn& c, std::uint16_t stream) {
@@ -437,6 +518,13 @@ struct Server::Impl {
     counter("sdafd_compile_cache_hits_total",
             "Opens whose topology hit the compile cache.",
             stats.compile_cache_hits_total);
+    counter("sdafd_snapshots_total", "Completed barrier snapshots served.",
+            stats.snapshots_total);
+    counter("sdafd_restores_total", "Streams rehydrated via Restore.",
+            stats.restores_total);
+    counter("sdafd_sessions_aborted_total",
+            "Streams aborted because their connection dropped mid-stream.",
+            stats.sessions_aborted_total);
     return page;
   }
 
@@ -475,6 +563,12 @@ struct Server::Impl {
         return;
       case FrameType::Stats:
         handle_stats(c, h.stream, h.length);
+        return;
+      case FrameType::Snapshot:
+        handle_snapshot(c, h.stream, h.length);
+        return;
+      case FrameType::Restore:
+        handle_restore(c, h.stream, p, h.length);
         return;
       default:
         // Server-to-client types arriving at the server, or anything else.
@@ -535,9 +629,17 @@ struct Server::Impl {
   }
 
   void drop_conn(std::size_t i) {
-    // Destroying the entry destroys its streams; an unfinished
-    // exec::Stream finishes itself in its destructor (ports closed, taps
-    // drained, verdict discarded) -- no leaked pool state, ever.
+    // A connection that vanishes mid-stream (peer died, protocol
+    // violation) aborts its streams: every input port is closed here --
+    // the dynamic EOS that lets the flood complete and a wedge certify
+    // promptly -- and destroying the entry then finishes each Stream
+    // (taps drained, verdict discarded) and reaps its Session. No orphan
+    // ever holds pool slots or channel memory.
+    for (auto& [sid, s] : conns[i]->streams) {
+      ++stats.sessions_aborted_total;
+      for (std::size_t p = 0; p < s->stream->input_count(); ++p)
+        s->stream->input(p).close();
+    }
     stats.streams_open -= conns[i]->streams.size();
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
     --stats.connections_open;

@@ -78,6 +78,11 @@ struct ServiceStats {
   std::uint64_t items_out_total = 0;
   std::uint64_t push_timeouts_total = 0;  // short PushAcks (constraint #1)
   std::uint64_t compile_cache_hits_total = 0;
+  std::uint64_t snapshots_total = 0;  // completed barrier snapshots served
+  std::uint64_t restores_total = 0;   // streams rehydrated via Restore
+  // Streams torn down because their connection dropped mid-stream (peer
+  // vanished without Finish): input ports aborted, session reaped.
+  std::uint64_t sessions_aborted_total = 0;
 };
 
 class Server {

@@ -56,31 +56,52 @@ std::uint16_t bound_port(const Fd& listener) {
   return ntohs(addr.sin_port);
 }
 
-Fd connect_tcp(const std::string& host, std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!fd.valid()) return {};
+namespace {
+
+// A signal during a blocking connect leaves the attempt in flight; the
+// portable recovery is to abandon the socket and retry on a fresh one.
+// `err` (optional) reports the final errno, captured before the Fd
+// destructor's close() can clobber it.
+Fd connect_addr(int family, const sockaddr* addr, socklen_t len, int* err) {
+  for (;;) {
+    Fd fd(::socket(family, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      if (err != nullptr) *err = errno;
+      return {};
+    }
+    if (::connect(fd.get(), addr, len) == 0) return fd;
+    if (errno == EINTR) continue;
+    if (err != nullptr) *err = errno;
+    return {};
+  }
+}
+
+}  // namespace
+
+Fd connect_tcp(const std::string& host, std::uint16_t port, int* err) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return {};
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0)
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = EINVAL;
     return {};
-  set_nodelay(fd);
+  }
+  Fd fd = connect_addr(AF_INET, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr), err);
+  if (fd.valid()) set_nodelay(fd);
   return fd;
 }
 
-Fd connect_unix(const std::string& path) {
+Fd connect_unix(const std::string& path, int* err) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) return {};
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
-  if (!fd.valid()) return {};
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0)
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = ENAMETOOLONG;
     return {};
-  return fd;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return connect_addr(AF_UNIX, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr), err);
 }
 
 Fd accept_conn(const Fd& listener) {

@@ -47,9 +47,14 @@ class Fd {
 [[nodiscard]] Fd listen_unix(const std::string& path, int backlog = 128);
 [[nodiscard]] std::uint16_t bound_port(const Fd& listener);
 
-// Blocking connectors.
-[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
-[[nodiscard]] Fd connect_unix(const std::string& path);
+// Blocking connectors, EINTR-safe (a signal mid-connect retries on a fresh
+// socket -- the portable recovery for interrupted blocking connects). On
+// failure `err` (if non-null) receives the errno, captured before the
+// in-flight fd's close can clobber it, so callers can tell a retryable
+// refusal (ECONNREFUSED: daemon not up yet) from a hard error.
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port,
+                             int* err = nullptr);
+[[nodiscard]] Fd connect_unix(const std::string& path, int* err = nullptr);
 
 // Accepts one pending connection; empty Fd when none / on error.
 [[nodiscard]] Fd accept_conn(const Fd& listener);

@@ -120,6 +120,11 @@ std::string to_json(const MetricsSnapshot& s) {
     << ",\"channel_slots\":" << t.channel_slots
     << ",\"channel_bytes\":" << t.channel_bytes
     << ",\"wall_seconds\":" << jnum(t.wall_seconds) << "}";
+  o << ",\"ckpt\":{\"epoch\":" << s.ckpt.epoch
+    << ",\"snapshots_taken\":" << s.ckpt.snapshots_taken
+    << ",\"snapshot_pending\":" << (s.ckpt.snapshot_pending ? "true" : "false")
+    << ",\"last_snapshot_seconds\":" << jnum(s.ckpt.last_snapshot_seconds)
+    << "}";
   o << ",\"nodes\":[";
   for (std::size_t i = 0; i < s.nodes.size(); ++i) {
     const NodeMetrics& n = s.nodes[i];
@@ -320,6 +325,22 @@ std::string to_prometheus(const std::vector<MetricsSnapshot>& snaps) {
            "Wall-clock seconds spent in runs.");
   for (const auto& s : snaps)
     w.sample_f(s.tenant.tenant, "", s.tenant.wall_seconds);
+
+  w.family("sdaf_stream_epoch", "gauge",
+           "Logical stream generation (0 fresh, +1 per restore).");
+  for (const auto& s : snaps) w.sample(s.tenant.tenant, "", s.ckpt.epoch);
+  w.family("sdaf_snapshots_total", "counter",
+           "Barrier snapshots completed on the stream.");
+  for (const auto& s : snaps)
+    w.sample(s.tenant.tenant, "", s.ckpt.snapshots_taken);
+  w.family("sdaf_snapshot_pending", "gauge",
+           "1 while a barrier snapshot is in flight.");
+  for (const auto& s : snaps)
+    w.sample(s.tenant.tenant, "", s.ckpt.snapshot_pending ? 1 : 0);
+  w.family("sdaf_snapshot_duration_seconds", "gauge",
+           "Wall duration of the last completed barrier (begin to cut).");
+  for (const auto& s : snaps)
+    w.sample_f(s.tenant.tenant, "", s.ckpt.last_snapshot_seconds);
 
   return w.str();
 }

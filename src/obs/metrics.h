@@ -180,10 +180,22 @@ struct TenantMetrics {
   double wall_seconds = 0.0;
 };
 
+// Checkpoint/restore instrumentation (live streams only): the stream's
+// logical epoch (0 = fresh open, snapshot.epoch + 1 after a restore), how
+// many barrier snapshots have completed on it, whether one is in flight,
+// and the wall duration of the last completed barrier (begin -> assembly).
+struct CheckpointMetrics {
+  std::uint64_t epoch = 0;
+  std::uint64_t snapshots_taken = 0;
+  bool snapshot_pending = false;
+  double last_snapshot_seconds = 0.0;
+};
+
 struct MetricsSnapshot {
   std::string schema = "sdaf.metrics.v1";
   std::string backend;
   TenantMetrics tenant;
+  CheckpointMetrics ckpt;  // live streams only
   std::vector<NodeMetrics> nodes;
   std::vector<ChannelMetrics> channels;
   std::vector<WorkerMetrics> workers;  // pooled backend only

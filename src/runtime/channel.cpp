@@ -136,6 +136,46 @@ std::size_t BoundedChannel::try_push_dummies(std::uint64_t first_seq,
   return accepted;
 }
 
+PushResult BoundedChannel::try_push_marker(std::uint64_t seq,
+                                           bool* was_empty) {
+  if (aborted_.load(std::memory_order_acquire)) return PushResult::Aborted;
+  // Latch the edge's cut BEFORE the marker becomes visible: every push the
+  // downstream node can observe before the marker is already counted, and
+  // the producer pushes nothing else between the latch and the publish.
+  // The reader (snapshot assembly) only runs after the downstream node has
+  // checkpointed this marker, which synchronizes via the channel's ring
+  // release/acquire and the snapshot plane's mutex.
+  cut_data_pushed_.store(data_pushed_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  cut_dummies_pushed_.store(dummies_pushed_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  SpscRing::PushEffect effect;
+  if (!ring_.try_push_marker(seq, &effect)) return PushResult::Full;
+  if (was_empty != nullptr) *was_empty = effect.was_empty;
+  // Markers are not traffic: no data/dummy counters, no high-water (they
+  // are occupancy-neutral), but they ARE progress for the watchdog and
+  // pending work for a parked consumer.
+  if (monitor_ != nullptr) monitor_->note_progress();
+  notify_not_empty();
+  return PushResult::Ok;
+}
+
+void BoundedChannel::restore_stats(std::uint64_t data_pushed,
+                                   std::uint64_t dummies_pushed) {
+  data_pushed_.store(data_pushed, std::memory_order_relaxed);
+  dummies_pushed_.store(dummies_pushed, std::memory_order_relaxed);
+  cut_data_pushed_.store(data_pushed, std::memory_order_relaxed);
+  cut_dummies_pushed_.store(dummies_pushed, std::memory_order_relaxed);
+}
+
+ChannelStats BoundedChannel::marker_cut_stats() const {
+  ChannelStats s;
+  s.data_pushed = cut_data_pushed_.load(std::memory_order_acquire);
+  s.dummies_pushed = cut_dummies_pushed_.load(std::memory_order_acquire);
+  s.max_occupancy = max_occupancy_.load(std::memory_order_acquire);
+  return s;
+}
+
 std::optional<HeadView> BoundedChannel::try_peek_head() const {
   auto head = ring_.peek_head();
   if (!head.has_value() && metrics_ != nullptr)

@@ -108,6 +108,18 @@ class BoundedChannel {
                                              bool* was_empty = nullptr,
                                              bool* aborted = nullptr);
 
+  // Non-blocking push of a snapshot barrier marker (ckpt). Markers are
+  // occupancy-neutral (they never count against the certified capacity and
+  // ride the ring's extra physical segment), so with the snapshot plane's
+  // at-most-one-marker-per-channel invariant this returns Full only in the
+  // transient where the previous marker is still in flight. On success the
+  // channel also latches its cumulative push counters as the edge's marker
+  // cut (see marker_cut_stats): the producer-side capture point is exactly
+  // the consistent-cut boundary, and it is ordered before the consumer can
+  // observe the marker.
+  [[nodiscard]] PushResult try_push_marker(std::uint64_t seq,
+                                           bool* was_empty = nullptr);
+
   // Payload-free head views -- alignment never copies a payload. Consumer
   // side only.
   // try_peek_head: empty when the channel holds no messages (never blocks,
@@ -163,6 +175,18 @@ class BoundedChannel {
   [[nodiscard]] ChannelStats stats() const;
   [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
 
+  // Cumulative {data_pushed, dummies_pushed} latched by the most recent
+  // successful try_push_marker -- the edge's traffic totals at the snapshot
+  // cut. Safe to read once the marker's downstream node has checkpointed
+  // (the capture is sequenced before the marker publish, and the reader
+  // synchronizes via the plane's completion protocol).
+  [[nodiscard]] ChannelStats marker_cut_stats() const;
+
+  // Restore plumbing (ckpt): preloads the cumulative push counters with a
+  // snapshot's edge cut so a restored run's final totals continue the
+  // pre-crash ones. Pre-start only (no concurrent endpoint).
+  void restore_stats(std::uint64_t data_pushed, std::uint64_t dummies_pushed);
+
  private:
   void record_push(MessageKind kind, std::size_t count,
                    const SpscRing::PushEffect& effect);
@@ -184,6 +208,11 @@ class BoundedChannel {
   std::atomic<std::uint64_t> data_pushed_{0};
   std::atomic<std::uint64_t> dummies_pushed_{0};
   std::atomic<std::int64_t> max_occupancy_{0};
+
+  // Edge cut latched at the marker crossing (producer-written; see
+  // try_push_marker / marker_cut_stats).
+  std::atomic<std::uint64_t> cut_data_pushed_{0};
+  std::atomic<std::uint64_t> cut_dummies_pushed_{0};
 
   // Slow path only: the mutex guards nothing but the condition variables.
   mutable std::mutex park_mu_;

@@ -56,6 +56,13 @@ class NodeRunner final : private exec::DeliverySink {
     return core_.park_summary();
   }
 
+  // Snapshot/restore plumbing (ckpt): see exec::FiringCore. Pre-start only.
+  void set_snapshot_plane(ckpt::SnapshotPlane* plane) {
+    core_.set_snapshot_plane(plane);
+  }
+  void restore_cut(const ckpt::NodeCut& cut) { core_.restore_cut(cut); }
+  void mark_done() { core_.mark_done(); }
+
   ProducerSignal& signal() { return signal_; }
 
   void operator()() {
@@ -114,7 +121,13 @@ class NodeRunner final : private exec::DeliverySink {
   }
 
   exec::PushOutcome try_push(std::size_t slot, Message&& m) override {
-    switch (outs_[slot]->try_push(std::move(m))) {
+    // Markers ride their own channel entry point: occupancy-neutral
+    // admission plus the producer-side edge-cut latch (see BoundedChannel).
+    const PushResult result =
+        m.kind == MessageKind::Marker
+            ? outs_[slot]->try_push_marker(m.seq)
+            : outs_[slot]->try_push(std::move(m));
+    switch (result) {
       case PushResult::Ok:
         return exec::PushOutcome::Delivered;
       case PushResult::Aborted:
@@ -262,6 +275,29 @@ ThreadEngine::ThreadEngine(
     if (egress != nullptr)
       egress->set_producer_signal(&s.runners.back()->signal());
   }
+
+  if (options.ckpt_plane != nullptr)
+    for (auto& r : s.runners) r->set_snapshot_plane(options.ckpt_plane);
+  if (options.restore != nullptr) {
+    const ckpt::StreamSnapshot& snap = *options.restore;
+    SDAF_EXPECTS(snap.nodes.size() == nodes && snap.edges.size() == edges);
+    for (NodeId n = 0; n < nodes; ++n) {
+      s.runners[n]->restore_cut(snap.nodes[n]);
+      if (snap.nodes[n].done != 0) s.runners[n]->mark_done();
+    }
+    for (EdgeId e = 0; e < edges; ++e) {
+      s.channels[e]->restore_stats(snap.edges[e].data_pushed,
+                                   snap.edges[e].dummies_pushed);
+      // The cut's interior channels are logically empty except for the EOS
+      // a pre-barrier-finished producer had flooded; re-create that head so
+      // a live consumer still terminates.
+      if (snap.nodes[g.edge(e).from].done != 0 &&
+          snap.nodes[g.edge(e).to].done == 0) {
+        const PushResult pushed = s.channels[e]->try_push(Message::eos());
+        SDAF_ASSERT(pushed == PushResult::Ok);
+      }
+    }
+  }
 }
 
 ThreadEngine::~ThreadEngine() {
@@ -307,6 +343,14 @@ void ThreadEngine::start(bool arm_watchdog) {
 
 void ThreadEngine::arm_watchdog() {
   impl_->watchdog_armed.store(true, std::memory_order_release);
+}
+
+ckpt::EdgeCut ThreadEngine::edge_cut(EdgeId e,
+                                     bool producer_checkpointed) const {
+  const auto st = producer_checkpointed
+                      ? impl_->channels[e]->marker_cut_stats()
+                      : impl_->channels[e]->stats();
+  return ckpt::EdgeCut{st.data_pushed, st.dummies_pushed};
 }
 
 exec::RunReport ThreadEngine::join() {

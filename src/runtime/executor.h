@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/snapshot.h"
 #include "src/exec/run_types.h"
 #include "src/graph/stream_graph.h"
 #include "src/runtime/channel.h"
@@ -73,6 +74,14 @@ class ThreadEngine {
 
   // Live streams: start certification once no more input can arrive.
   void arm_watchdog();
+
+  // Snapshot assembly (ckpt): edge e's cumulative traffic at the barrier
+  // cut -- the marker latch when the producer forwarded Marker(S), the
+  // frozen totals when it finished before the barrier (a node pushes
+  // nothing after its EOS flood, so its totals are the cut). Only valid
+  // once the barrier's downstream consumers have checkpointed.
+  [[nodiscard]] ckpt::EdgeCut edge_cut(EdgeId e,
+                                       bool producer_checkpointed) const;
 
   // Waits for every node thread to finish (the caller must have made that
   // possible: feeds closed, or enough egress drained, or deadlock will be

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/runtime/message.h"
@@ -45,6 +46,15 @@ class Kernel {
   virtual void fire(std::uint64_t seq,
                     const std::vector<std::optional<Value>>& inputs,
                     Emitter& out) = 0;
+
+  // Checkpoint hooks (ckpt): a stateful kernel serializes its state into an
+  // opaque byte blob at a snapshot barrier and rehydrates from it on
+  // restore. The default no-ops declare the kernel stateless, which is what
+  // every built-in kernel is -- its firings are a pure function of
+  // (seq, inputs). save_state is called at a consistent cut (never
+  // concurrently with fire); load_state before the first post-restore fire.
+  virtual void save_state(std::string& out) const { (void)out; }
+  virtual void load_state(const std::string& in) { (void)in; }
 };
 
 // Kernel from a lambda.

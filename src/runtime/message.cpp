@@ -10,6 +10,8 @@ std::string to_string(const Message& m) {
       return "dummy(" + std::to_string(m.seq) + ")";
     case MessageKind::Eos:
       return "eos";
+    case MessageKind::Marker:
+      return "marker(" + std::to_string(m.seq) + ")";
   }
   return "?";
 }

@@ -144,7 +144,7 @@ class Value {
 inline constexpr std::uint64_t kEosSeq =
     std::numeric_limits<std::uint64_t>::max();
 
-enum class MessageKind : std::uint8_t { Data, Dummy, Eos };
+enum class MessageKind : std::uint8_t { Data, Dummy, Eos, Marker };
 
 struct Message {
   std::uint64_t seq = 0;
@@ -158,6 +158,13 @@ struct Message {
     return Message{seq, MessageKind::Dummy, {}};
   }
   static Message eos() { return Message{kEosSeq, MessageKind::Eos, {}}; }
+  // Snapshot barrier marker (ckpt): carries the barrier sequence S with the
+  // invariant that it precedes every message of seq >= S on its channel.
+  // Markers are occupancy-neutral -- they never count against a channel's
+  // certified logical capacity (see SpscRing/MessageRing).
+  static Message marker(std::uint64_t seq) {
+    return Message{seq, MessageKind::Marker, {}};
+  }
 };
 
 // Payload-free view of a channel head, all alignment ever needs: the

@@ -7,7 +7,7 @@
 namespace sdaf::runtime {
 
 MessageRing::MessageRing(std::size_t capacity)
-    : capacity_(capacity), segs_(capacity) {
+    : capacity_(capacity), segs_(capacity + 1) {
   SDAF_EXPECTS(capacity >= 1);
 }
 
@@ -66,6 +66,16 @@ std::size_t MessageRing::push_dummies(std::uint64_t first_seq,
   return accepted;
 }
 
+bool MessageRing::push_marker(std::uint64_t seq) {
+  if (nsegs_ >= capacity_ + 1) return false;
+  Segment& s = segs_[wrap(head_ + nsegs_)];
+  s.msg = Message::marker(seq);
+  s.run = 1;
+  ++nsegs_;
+  ++markers_;
+  return true;
+}
+
 void MessageRing::drop_head_segment() {
   segs_[head_].msg = Message{};  // release any payload eagerly
   segs_[head_].run = 1;
@@ -76,7 +86,11 @@ void MessageRing::drop_head_segment() {
 Message MessageRing::pop_head() {
   SDAF_EXPECTS(!empty());
   Segment& s = segs_[head_];
-  --size_;
+  if (s.msg.kind == MessageKind::Marker) {
+    --markers_;  // occupancy-neutral: size_ never counted it
+  } else {
+    --size_;
+  }
   if (s.run > 1) {
     Message m = Message::dummy(s.msg.seq);
     ++s.msg.seq;
@@ -91,7 +105,11 @@ Message MessageRing::pop_head() {
 void MessageRing::pop() {
   SDAF_EXPECTS(!empty());
   Segment& s = segs_[head_];
-  --size_;
+  if (s.msg.kind == MessageKind::Marker) {
+    --markers_;
+  } else {
+    --size_;
+  }
   if (s.run > 1) {
     ++s.msg.seq;
     --s.run;

@@ -27,10 +27,14 @@ class MessageRing {
  public:
   explicit MessageRing(std::size_t capacity);
 
-  // Logical occupancy: coalesced runs count their full length.
+  // Logical occupancy: coalesced runs count their full length; snapshot
+  // markers are excluded (they are occupancy-neutral for the certified
+  // capacity and ride one extra physical segment).
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
+  // Physical emptiness: a ring holding only a marker is NOT empty --
+  // schedulers must treat an in-flight marker as pending work.
+  [[nodiscard]] bool empty() const { return size_ == 0 && markers_ == 0; }
   [[nodiscard]] bool full() const { return size_ >= capacity_; }
   [[nodiscard]] std::size_t free_space() const { return capacity_ - size_; }
 
@@ -48,6 +52,13 @@ class MessageRing {
   // Appends up to `count` dummies first_seq, first_seq+1, ...; returns how
   // many fit (min(count, free_space())). One segment, O(1).
   std::size_t push_dummies(std::uint64_t first_seq, std::size_t count);
+
+  // Appends a snapshot barrier marker (ckpt). Occupancy-neutral: does not
+  // count against the logical capacity and never coalesces (it terminates
+  // any dummy tail run). Always admissible at or below the certified bound
+  // with at most one marker in flight; returns false only if even the
+  // physical headroom (capacity + 1 segments) is exhausted.
+  bool push_marker(std::uint64_t seq);
 
   // Removes the head and returns it, materializing one dummy of a run.
   // Precondition: !empty().
@@ -71,16 +82,21 @@ class MessageRing {
   [[nodiscard]] const Segment& tail() const {
     return segs_[wrap(head_ + nsegs_ - 1)];
   }
+  // Physical slots number capacity + 1: the extra segment is the marker's
+  // headroom (logical occupancy >= data/dummy segment count, so data alone
+  // can never need more than capacity segments).
   [[nodiscard]] std::size_t wrap(std::size_t i) const {
-    return i < capacity_ ? i : i - capacity_;
+    const std::size_t nslots = capacity_ + 1;
+    return i < nslots ? i : i - nslots;
   }
   void drop_head_segment();
 
   std::size_t capacity_;
   std::vector<Segment> segs_;
-  std::size_t head_ = 0;   // index of the head segment
-  std::size_t nsegs_ = 0;  // occupied segments
-  std::size_t size_ = 0;   // logical messages
+  std::size_t head_ = 0;     // index of the head segment
+  std::size_t nsegs_ = 0;    // occupied segments
+  std::size_t size_ = 0;     // logical messages (markers excluded)
+  std::size_t markers_ = 0;  // in-flight snapshot markers (0 or 1)
 };
 
 }  // namespace sdaf::runtime

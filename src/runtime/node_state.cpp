@@ -50,7 +50,13 @@ void NodeState::pop_dummies(std::size_t slot, std::size_t count) {
 
 exec::PushOutcome NodeState::try_push(std::size_t slot, Message&& m) {
   bool was_empty = false;
-  switch (outs_[slot]->try_push(std::move(m), &was_empty)) {
+  // Markers ride their own channel entry point: occupancy-neutral admission
+  // plus the producer-side edge-cut latch (see BoundedChannel).
+  const PushResult result =
+      m.kind == MessageKind::Marker
+          ? outs_[slot]->try_push_marker(m.seq, &was_empty)
+          : outs_[slot]->try_push(std::move(m), &was_empty);
+  switch (result) {
     case PushResult::Ok:
       // kNoNode = egress tap: the consumer is the external caller, woken
       // through the channel's own condition variable, not the scheduler.

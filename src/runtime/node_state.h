@@ -82,6 +82,13 @@ class NodeState final : private exec::DeliverySink {
   // from the owning worker).
   [[nodiscard]] std::string describe() const { return core_.describe(); }
 
+  // Snapshot/restore plumbing (ckpt): see exec::FiringCore.
+  void set_snapshot_plane(ckpt::SnapshotPlane* plane) {
+    core_.set_snapshot_plane(plane);
+  }
+  void restore_cut(const ckpt::NodeCut& cut) { core_.restore_cut(cut); }
+  void mark_done() { core_.mark_done(); }
+
  private:
   // DeliverySink: non-blocking channel ops plus peer wake-ups on the
   // empty->non-empty and full->non-full transitions. The batched ops issue

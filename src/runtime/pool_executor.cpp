@@ -349,6 +349,31 @@ PoolExecutor::TicketId PoolExecutor::submit(
     instance->tasks[n].node = instance->nodes.back().get();
   }
 
+  if (options.ckpt_plane != nullptr)
+    for (auto& ns : instance->nodes)
+      ns->set_snapshot_plane(options.ckpt_plane);
+  if (options.restore != nullptr) {
+    const ckpt::StreamSnapshot& snap = *options.restore;
+    SDAF_EXPECTS(snap.nodes.size() == node_count && snap.edges.size() == edges);
+    for (NodeId n = 0; n < node_count; ++n) {
+      instance->nodes[n]->restore_cut(snap.nodes[n]);
+      if (snap.nodes[n].done != 0) instance->nodes[n]->mark_done();
+    }
+    for (EdgeId e = 0; e < edges; ++e) {
+      instance->channels[e]->restore_stats(snap.edges[e].data_pushed,
+                                           snap.edges[e].dummies_pushed);
+      // The cut's interior channels are logically empty except for the EOS
+      // a pre-barrier-finished producer had flooded; re-create that head so
+      // a live consumer still terminates.
+      if (snap.nodes[g.edge(e).from].done != 0 &&
+          snap.nodes[g.edge(e).to].done == 0) {
+        const PushResult pushed = instance->channels[e]->try_push(
+            Message::eos());
+        SDAF_ASSERT(pushed == PushResult::Ok);
+      }
+    }
+  }
+
   TicketId ticket;
   {
     std::lock_guard lock(instances_mu_);
@@ -640,6 +665,16 @@ void PoolExecutor::stream_port_closed(const StreamHandle& handle) {
   auto* instance = static_cast<Instance*>(handle.get());
   std::lock_guard lock(instance->port_mu);
   instance->open_ports.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+ckpt::EdgeCut PoolExecutor::stream_edge_cut(const StreamHandle& handle,
+                                            EdgeId e,
+                                            bool producer_checkpointed) {
+  auto* instance = static_cast<Instance*>(handle.get());
+  const auto st = producer_checkpointed
+                      ? instance->channels[e]->marker_cut_stats()
+                      : instance->channels[e]->stats();
+  return ckpt::EdgeCut{st.data_pushed, st.dummies_pushed};
 }
 
 }  // namespace sdaf::runtime

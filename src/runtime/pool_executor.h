@@ -160,6 +160,13 @@ class PoolExecutor {
   // the port's node afterwards so a quiescent instance re-checks.
   static void stream_port_closed(const StreamHandle& handle);
 
+  // Snapshot assembly (ckpt): edge e's cumulative traffic at the barrier
+  // cut -- the marker latch when the producer forwarded Marker(S), the
+  // frozen totals when it finished before the barrier. Only valid once the
+  // barrier's downstream consumers have checkpointed.
+  [[nodiscard]] static ckpt::EdgeCut stream_edge_cut(
+      const StreamHandle& handle, EdgeId e, bool producer_checkpointed);
+
   // Blocks until the instance finishes; each ticket may be waited once.
   [[nodiscard]] RunResult wait(TicketId ticket);
 

@@ -7,8 +7,27 @@
 namespace sdaf::runtime {
 
 SpscRing::SpscRing(std::size_t capacity)
-    : capacity_(capacity), segs_(capacity) {
+    : capacity_(capacity), segs_(capacity + 1) {
+  // capacity + 1 segments: the extra one is the marker's physical headroom
+  // (markers are excluded from the logical capacity; see slot()).
   SDAF_EXPECTS(capacity >= 1);
+}
+
+std::uint64_t SpscRing::logical_space(std::uint64_t want) {
+  // Marker-excluded occupancy estimate for data/dummy admission. The
+  // refresh order is load-bearing: popped_ (acquire) FIRST, then
+  // markers_in_ring_. The consumer decrements markers_in_ring_ before its
+  // popped_ publish, so a popped_ value that includes a marker's pop
+  // implies the markers read also sees its decrement -- the estimate can
+  // over-count logical occupancy (spurious full, retried) but never
+  // under-count it (which would over-admit past the certified bound).
+  std::uint64_t used = p_.pushed - p_.popped_cache - p_.markers_cache;
+  if (capacity_ - std::min<std::uint64_t>(used, capacity_) < want) {
+    p_.popped_cache = popped_.load(std::memory_order_acquire);
+    p_.markers_cache = markers_in_ring_.load(std::memory_order_acquire);
+    used = p_.pushed - p_.popped_cache - p_.markers_cache;
+  }
+  return used >= capacity_ ? 0 : capacity_ - used;
 }
 
 void SpscRing::publish(std::size_t count, PushEffect* effect) {
@@ -39,10 +58,7 @@ void SpscRing::publish(std::size_t count, PushEffect* effect) {
 }
 
 bool SpscRing::try_push(Message&& m, PushEffect* effect) {
-  if (p_.pushed - p_.popped_cache >= capacity_) {
-    p_.popped_cache = popped_.load(std::memory_order_acquire);
-    if (p_.pushed - p_.popped_cache >= capacity_) return false;
-  }
+  if (logical_space(1) == 0) return false;
   if (m.kind == MessageKind::Dummy && p_.segs > 0 && p_.tail_is_dummy &&
       p_.tail_base_seq + p_.tail_run == m.seq && p_.tail_run < kRunLimit) {
     Segment& t = slot(p_.segs - 1);
@@ -70,11 +86,7 @@ bool SpscRing::try_push(Message&& m, PushEffect* effect) {
 std::size_t SpscRing::try_push_batch(Message* msgs, std::size_t count,
                                      PushEffect* effect) {
   if (count == 0) return 0;
-  std::uint64_t space = capacity_ - (p_.pushed - p_.popped_cache);
-  if (space < count) {
-    p_.popped_cache = popped_.load(std::memory_order_acquire);
-    space = capacity_ - (p_.pushed - p_.popped_cache);
-  }
+  const std::uint64_t space = logical_space(count);
   const std::size_t accepted = std::min<std::uint64_t>(count, space);
   if (accepted == 0) return 0;
   for (std::size_t k = 0; k < accepted; ++k) {
@@ -97,11 +109,7 @@ std::size_t SpscRing::try_push_batch(Message* msgs, std::size_t count,
 std::size_t SpscRing::try_push_dummies(std::uint64_t first_seq,
                                        std::size_t count, PushEffect* effect) {
   if (count == 0) return 0;
-  std::uint64_t space = capacity_ - (p_.pushed - p_.popped_cache);
-  if (space < count) {
-    p_.popped_cache = popped_.load(std::memory_order_acquire);
-    space = capacity_ - (p_.pushed - p_.popped_cache);
-  }
+  const std::uint64_t space = logical_space(count);
   const std::size_t accepted =
       std::min<std::uint64_t>(count, space);
   if (accepted == 0) return 0;
@@ -127,6 +135,36 @@ std::size_t SpscRing::try_push_dummies(std::uint64_t first_seq,
   ++p_.segs;
   publish(accepted, effect);
   return accepted;
+}
+
+bool SpscRing::try_push_marker(std::uint64_t seq, PushEffect* effect) {
+  // Physical space check against capacity + 1: the marker rides the extra
+  // segment, so a channel at its certified logical bound still admits it.
+  // Slot safety: admission implies physical occupancy <= capacity before
+  // the push, so live segments <= capacity = (#slots - 1) and the new slot
+  // is retired (see the slot-reuse argument in the header comment).
+  if (p_.pushed - p_.popped_cache >= capacity_ + 1) {
+    p_.popped_cache = popped_.load(std::memory_order_acquire);
+    p_.markers_cache = markers_in_ring_.load(std::memory_order_acquire);
+    if (p_.pushed - p_.popped_cache >= capacity_ + 1) return false;
+  }
+  // Markers never coalesce and terminate any dummy tail run: the fresh
+  // segment below resets the producer's tail mirror.
+  Segment& s = slot(p_.segs);
+  p_.tail_is_dummy = false;
+  p_.tail_base_seq = seq;
+  p_.tail_run = 1;
+  s.msg = Message::marker(seq);
+  s.run.store(1, std::memory_order_relaxed);  // ordered by publish()
+  ++p_.segs;
+  ++p_.markers_cache;
+  // Increment BEFORE the pushed_ publish: any reader that observes this
+  // push in pushed_ also observes the marker in markers_in_ring_, so a
+  // marker-excluded occupancy can never over-report logical occupancy by
+  // counting the marker as data.
+  markers_in_ring_.fetch_add(1, std::memory_order_release);
+  publish(1, effect);
+  return true;
 }
 
 std::optional<HeadView> SpscRing::peek_head() {
@@ -197,6 +235,12 @@ Message SpscRing::pop_head(PopEffect* effect) {
   } else {
     m = std::move(s.msg);
   }
+  // Decrement BEFORE the popped_ publish (inside finish_pop): a producer
+  // whose popped_ read includes this pop must also see the marker gone, or
+  // its marker-excluded space estimate would subtract the marker twice and
+  // over-admit (see logical_space).
+  if (m.kind == MessageKind::Marker)
+    markers_in_ring_.fetch_sub(1, std::memory_order_release);
   ++c_.consumed;
   finish_pop(s, 1, effect);
   return m;
@@ -206,6 +250,8 @@ void SpscRing::pop(PopEffect* effect) {
   Segment& s = slot(c_.segs);
   SDAF_EXPECTS(c_.consumed < s.run.load(std::memory_order_acquire));
   if (s.msg.kind != MessageKind::Dummy) s.msg.payload = Value{};
+  if (s.msg.kind == MessageKind::Marker)
+    markers_in_ring_.fetch_sub(1, std::memory_order_release);
   ++c_.consumed;
   finish_pop(s, 1, effect);
 }
@@ -256,16 +302,25 @@ void SpscRing::finish_pop(Segment& s, std::size_t count, PopEffect* effect) {
 
 std::size_t SpscRing::size() const {
   // Coherent snapshot: retry until popped_ is stable around the pushed_
-  // read. pushed - popped is then a logical size that actually existed and
-  // is bounded by capacity (the producer's full-check guarantees pushed
-  // never exceeds any concurrently-readable popped by more than capacity).
+  // read. pushed - popped is then a physical size that actually existed and
+  // is bounded by capacity + 1 (the producer's admission checks allow at
+  // most capacity logical messages plus one marker). The reported value is
+  // logical -- markers excluded -- clamped into [0, capacity]; a marker
+  // push or pop racing the reads can skew the estimate by one in either
+  // direction, which only ever produces a spurious full/non-full for
+  // observers, never an admission decision (producers use logical_space).
   std::uint64_t p0 = popped_.load(std::memory_order_acquire);
   for (;;) {
     const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+    const std::uint64_t markers =
+        markers_in_ring_.load(std::memory_order_acquire);
     const std::uint64_t p1 = popped_.load(std::memory_order_acquire);
     if (p0 == p1) {
-      SDAF_ASSERT(pushed >= p0 && pushed - p0 <= capacity_);
-      return static_cast<std::size_t>(pushed - p0);
+      SDAF_ASSERT(pushed >= p0 && pushed - p0 <= capacity_ + 1);
+      const std::uint64_t physical = pushed - p0;
+      const std::uint64_t m = std::min<std::uint64_t>(markers, physical);
+      return static_cast<std::size_t>(
+          std::min<std::uint64_t>(physical - m, capacity_));
     }
     p0 = p1;
   }

@@ -127,10 +127,28 @@ class SpscRing {
   [[nodiscard]] std::size_t pop_dummies(std::size_t count,
                                         PopEffect* effect = nullptr);
 
-  // Any thread: coherent occupancy snapshot (never torn -- the value is a
-  // logical size that actually existed, always within [0, capacity]).
+  // Producer only. Appends a snapshot barrier marker (ckpt). Markers are
+  // occupancy-neutral: they do not count against the certified logical
+  // capacity (size/full exclude them), riding in the one extra physical
+  // segment the ring over-allocates. With the snapshot plane's at-most-one-
+  // marker-per-channel invariant this never fails on a channel within its
+  // certified bound; returns false only if even the physical headroom is
+  // exhausted. Never coalesces with a dummy tail run.
+  [[nodiscard]] bool try_push_marker(std::uint64_t seq,
+                                     PushEffect* effect = nullptr);
+
+  // Any thread: coherent *logical* occupancy snapshot -- data + dummy
+  // messages, markers excluded -- always within [0, capacity]. This is the
+  // value the paper's buffer-size semantics and the deadlock certification
+  // reason about.
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] bool empty() const { return size() == 0; }
+  // Any thread: *physical* emptiness (markers included): schedulers and the
+  // quiescence rules must treat an in-flight marker as pending work, so a
+  // ring holding only a marker is NOT empty.
+  [[nodiscard]] bool empty() const {
+    return pushed_.load(std::memory_order_acquire) ==
+           popped_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] bool full() const { return size() >= capacity_; }
 
  private:
@@ -146,11 +164,17 @@ class SpscRing {
   // `run` (which counts consumed messages too) can never near kSealed.
   static constexpr std::uint32_t kRunLimit = 1u << 30;
 
+  // Physical storage is capacity + 1 segments: markers are occupancy-neutral
+  // for the logical (certified) capacity, so with one marker in flight the
+  // ring can hold capacity logical messages plus the marker. Live segments
+  // are bounded by physical messages in flight <= capacity + 1, so the
+  // slot-reuse argument carries over unchanged with the wider modulus.
   [[nodiscard]] Segment& slot(std::uint64_t seg_number) {
-    return segs_[seg_number % capacity_];
+    return segs_[seg_number % (capacity_ + 1)];
   }
   void publish(std::size_t count, PushEffect* effect);
   void finish_pop(Segment& s, std::size_t count, PopEffect* effect);
+  [[nodiscard]] std::uint64_t logical_space(std::uint64_t want);
 
   std::size_t capacity_;
   std::vector<Segment> segs_;
@@ -160,6 +184,7 @@ class SpscRing {
     std::uint64_t pushed = 0;        // mirror of pushed_
     std::uint64_t segs = 0;          // segments ever started
     std::uint64_t popped_cache = 0;  // last observed popped_
+    std::uint64_t markers_cache = 0;  // last observed markers_in_ring_
     // Mirror of the newest segment, so coalescing checks never read memory
     // the consumer might be touching; the CAS is the only shared access.
     bool tail_is_dummy = false;
@@ -180,6 +205,13 @@ class SpscRing {
 
   alignas(64) std::atomic<std::uint64_t> pushed_{0};
   alignas(64) std::atomic<std::uint64_t> popped_{0};
+  // Markers currently in the ring (0 or 1 under the snapshot plane's
+  // invariant). The producer increments BEFORE its pushed_ publish and the
+  // consumer decrements BEFORE its popped_ publish, so observing either
+  // counter's publish implies observing the matching marker transition --
+  // which is what keeps every marker-excluded occupancy estimate
+  // conservative (never under-counts logical occupancy; see logical_space).
+  alignas(64) std::atomic<std::uint64_t> markers_in_ring_{0};
 };
 
 }  // namespace sdaf::runtime

@@ -17,6 +17,11 @@ NodeWrapper::NodeWrapper(DummyMode mode,
   SDAF_EXPECTS(forward_on_filter_.size() == intervals_.size());
 }
 
+void NodeWrapper::restore_last_sent(const std::vector<std::int64_t>& v) {
+  SDAF_EXPECTS(v.size() == last_sent_.size());
+  last_sent_ = v;
+}
+
 bool NodeWrapper::should_send_dummy(std::size_t slot, std::uint64_t seq,
                                     bool sent_data, bool any_input_dummy) {
   SDAF_EXPECTS(slot < last_sent_.size());

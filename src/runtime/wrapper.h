@@ -52,6 +52,15 @@ class NodeWrapper {
 
   [[nodiscard]] DummyMode mode() const { return mode_; }
 
+  // Checkpoint hooks (ckpt): the wrapper's only mutable state is the last
+  // sequence number emitted per output slot, which a snapshot captures and
+  // a restore rehydrates so dummy-origination schedules resume exactly
+  // where the cut left them.
+  [[nodiscard]] const std::vector<std::int64_t>& last_sent() const {
+    return last_sent_;
+  }
+  void restore_last_sent(const std::vector<std::int64_t>& v);
+
  private:
   DummyMode mode_;
   std::vector<std::int64_t> intervals_;

@@ -30,6 +30,11 @@ struct SimChannel {
   MessageRing ring;
   exec::EdgeTraffic traffic;
   obs::ChannelCounters* metrics = nullptr;
+  // Edge cut latched at the marker crossing (ckpt): cumulative traffic the
+  // moment Marker(S) entered this channel. Single-threaded, so a plain
+  // producer-side store is the exact analogue of BoundedChannel's latch.
+  std::uint64_t cut_data = 0;
+  std::uint64_t cut_dummies = 0;
 
   void note_push(std::size_t data, std::size_t dummies) {
     traffic.data += data;
@@ -83,6 +88,13 @@ class SimNode final : private exec::DeliverySink {
     return core_.park_summary();
   }
 
+  // Snapshot/restore plumbing (ckpt): see exec::FiringCore.
+  void set_snapshot_plane(ckpt::SnapshotPlane* plane) {
+    core_.set_snapshot_plane(plane);
+  }
+  void restore_cut(const ckpt::NodeCut& cut) { core_.restore_cut(cut); }
+  void mark_done() { core_.mark_done(); }
+
  private:
   std::optional<HeadView> peek_head(std::size_t slot,
                                     bool /*may_wait*/) override {
@@ -112,7 +124,11 @@ class SimNode final : private exec::DeliverySink {
 
   exec::PushOutcome try_push(std::size_t slot, Message&& m) override {
     if (slot == outs_.size()) {
-      switch (egress_->try_push(std::move(m))) {
+      const PushResult result =
+          m.kind == MessageKind::Marker
+              ? egress_->try_push_marker(m.seq)
+              : egress_->try_push(std::move(m));
+      switch (result) {
         case PushResult::Ok:
           return exec::PushOutcome::Delivered;
         case PushResult::Aborted:
@@ -123,6 +139,14 @@ class SimNode final : private exec::DeliverySink {
       }
     }
     SimChannel& ch = *outs_[slot];
+    if (m.kind == MessageKind::Marker) {
+      // Latch the edge cut, then publish: markers are occupancy-neutral
+      // and never count as traffic (see BoundedChannel::try_push_marker).
+      ch.cut_data = ch.traffic.data;
+      ch.cut_dummies = ch.traffic.dummies;
+      return ch.ring.push_marker(m.seq) ? exec::PushOutcome::Delivered
+                                        : exec::PushOutcome::Blocked;
+    }
     if (ch.ring.full()) {
       if (ch.metrics != nullptr) obs::bump(ch.metrics->full_stalls);
       return exec::PushOutcome::Blocked;
@@ -241,6 +265,33 @@ SweepEngine::SweepEngine(
         options.num_inputs, options.batch, options.tracer, &impl_->sweeps,
         options.metrics != nullptr ? &options.metrics->node(n) : nullptr));
   }
+
+  if (options.ckpt_plane != nullptr)
+    for (auto& node : impl_->nodes)
+      node->set_snapshot_plane(options.ckpt_plane);
+  if (options.restore != nullptr) {
+    const ckpt::StreamSnapshot& snap = *options.restore;
+    SDAF_EXPECTS(snap.nodes.size() == g.node_count() &&
+                 snap.edges.size() == edges);
+    impl_->sweeps = snap.sweeps;  // resume the cumulative sweep count
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      impl_->nodes[n]->restore_cut(snap.nodes[n]);
+      if (snap.nodes[n].done != 0) impl_->nodes[n]->mark_done();
+    }
+    for (EdgeId e = 0; e < edges; ++e) {
+      SimChannel& ch = impl_->channels[e];
+      ch.traffic.data = snap.edges[e].data_pushed;
+      ch.traffic.dummies = snap.edges[e].dummies_pushed;
+      ch.cut_data = snap.edges[e].data_pushed;
+      ch.cut_dummies = snap.edges[e].dummies_pushed;
+      // The cut's interior channels are logically empty except for the EOS
+      // a pre-barrier-finished producer had flooded; re-create that head so
+      // a live consumer still terminates.
+      if (snap.nodes[g.edge(e).from].done != 0 &&
+          snap.nodes[g.edge(e).to].done == 0)
+        ch.ring.push(Message::eos());
+    }
+  }
 }
 
 SweepEngine::~SweepEngine() = default;
@@ -269,6 +320,13 @@ bool SweepEngine::pump() {
 bool SweepEngine::all_done() const { return impl_->all_done; }
 
 std::uint64_t SweepEngine::sweeps() const { return impl_->sweeps; }
+
+ckpt::EdgeCut SweepEngine::edge_cut(EdgeId e,
+                                    bool producer_checkpointed) const {
+  const SimChannel& ch = impl_->channels[e];
+  if (producer_checkpointed) return ckpt::EdgeCut{ch.cut_data, ch.cut_dummies};
+  return ckpt::EdgeCut{ch.traffic.data, ch.traffic.dummies};
+}
 
 exec::RunReport SweepEngine::report(bool deadlocked) const {
   const Impl& s = *impl_;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/snapshot.h"
 #include "src/exec/run_types.h"
 #include "src/graph/stream_graph.h"
 #include "src/runtime/kernel.h"
@@ -75,6 +76,13 @@ class SweepEngine {
   // Final report (traffic, fires, sink deliveries; state dump iff
   // `deadlocked`). The verdict flags are the caller's call, see above.
   [[nodiscard]] exec::RunReport report(bool deadlocked) const;
+
+  // Snapshot assembly (ckpt): edge e's cumulative traffic at the barrier
+  // cut -- the marker latch when the producer forwarded Marker(S), the
+  // frozen totals when it finished before the barrier. Only valid once the
+  // barrier's downstream consumers have checkpointed.
+  [[nodiscard]] ckpt::EdgeCut edge_cut(EdgeId e,
+                                       bool producer_checkpointed) const;
 
  private:
   struct Impl;

@@ -1,10 +1,13 @@
 #include "tests/harness/stress_harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 
+#include "src/ckpt/snapshot.h"
 #include "src/core/compile.h"
 #include "src/exec/session.h"
 #include "src/runtime/pool_executor.h"
@@ -347,6 +350,184 @@ std::optional<std::string> run_differential(const CaseSpec& spec,
   return std::nullopt;
 }
 
+namespace {
+
+// One tap's delivered items, deduplicated by seq -- the client-side half of
+// the exactly-once contract (a restore may re-deliver residue the client
+// already has). Returns an error string on a payload mismatch between a
+// re-delivery and the original.
+struct DeliveredSet {
+  std::map<std::uint64_t, std::int64_t> items;
+
+  std::optional<std::string> add(const exec::OutputPort::Item& item,
+                                 const std::string& label) {
+    const std::int64_t v =
+        item.value.has_value() ? item.value.as<std::int64_t>() : -1;
+    const auto [it, inserted] = items.emplace(item.seq, v);
+    if (!inserted && it->second != v) {
+      std::ostringstream out;
+      out << label << ": re-delivered seq " << item.seq << " changed payload ("
+          << it->second << " -> " << v << ")";
+      return out.str();
+    }
+    return std::nullopt;
+  }
+};
+
+std::string crash_label(const CaseSpec& spec, exec::Backend backend,
+                        std::uint64_t crash_seed) {
+  return "\n  case: " + to_string(spec) + " crash=" +
+         std::to_string(crash_seed) + " backend=" + exec::to_string(backend) +
+         "\n  repro: SDAF_CRASH_REPRO='" + to_string(spec) +
+         " crash=" + std::to_string(crash_seed) +
+         " backend=" + exec::to_string(backend) +
+         "' ./test_crash_recovery --gtest_filter=CrashRecovery.ReproFromEnv";
+}
+
+}  // namespace
+
+std::optional<std::string> run_crash_differential(const CaseSpec& spec,
+                                                  exec::Backend backend,
+                                                  std::uint64_t crash_seed,
+                                                  runtime::PoolExecutor* pool) {
+  SDAF_EXPECTS(spec.mode != DummyMode::None);
+  const StreamGraph g = build_topology(spec);
+  exec::StreamSpec ss;
+  ss.run = make_run_spec(g, spec);
+  ss.run.backend = backend;
+  ss.run.pool = pool;
+  // Feeds and taps sized for the whole run: the differential is about the
+  // cut, not backpressure, so neither side may park.
+  ss.feed_capacity = static_cast<std::size_t>(spec.num_inputs) + 1;
+  ss.egress_capacity = static_cast<std::size_t>(spec.num_inputs) + 2;
+  constexpr std::chrono::milliseconds kBarrier{30000};
+
+  // Uninterrupted reference: the port-fed deterministic simulator, outputs
+  // captured per tap.
+  std::vector<std::vector<exec::OutputPort::Item>> want;
+  exec::RunReport want_report;
+  {
+    exec::Session session(g, build_kernels(g, spec));
+    exec::StreamSpec ref = ss;
+    ref.run.backend = exec::Backend::Sim;
+    ref.run.pool = nullptr;
+    exec::Stream stream = session.open(ref);
+    for (std::size_t i = 0; i < stream.input_count(); ++i) {
+      stream.input(i).push_batch(std::vector<runtime::Value>(
+          static_cast<std::size_t>(spec.num_inputs)));
+      stream.input(i).close();
+    }
+    want.resize(stream.output_count());
+    for (std::size_t j = 0; j < stream.output_count(); ++j)
+      while (auto item = stream.output(j).next()) want[j].push_back(*item);
+    want_report = stream.finish();
+    if (!want_report.completed)
+      return "crash reference did not complete" +
+             crash_label(spec, backend, crash_seed);
+  }
+
+  Prng rng(crash_seed);
+  // One case in ten crashes at the terminal cut: everything pushed and
+  // closed, the barrier completing through the finished set alone.
+  const bool terminal = rng.next_below(100) < 10;
+  const std::uint64_t cut =
+      terminal ? spec.num_inputs : 1 + rng.next_below(spec.num_inputs);
+  std::vector<DeliveredSet> delivered;
+  std::vector<std::uint8_t> snapshot_bytes;
+
+  // Phase 1: run to the cut and crash at the barrier. Only `delivered` and
+  // `snapshot_bytes` survive the scope -- the stream, its session and its
+  // kernels are gone, exactly like the process that died.
+  {
+    exec::Session session(g, build_kernels(g, spec));
+    exec::Stream stream = session.open(ss);
+    delivered.resize(stream.output_count());
+    const std::uint32_t max_chunk = std::max<std::uint32_t>(1, spec.chunk);
+    std::uint64_t pushed = 0;
+    while (pushed < cut) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(1 + rng.next_below(max_chunk), cut - pushed);
+      for (std::size_t i = 0; i < stream.input_count(); ++i) {
+        const std::size_t accepted = stream.input(i).push_batch(
+            std::vector<runtime::Value>(static_cast<std::size_t>(chunk)));
+        SDAF_EXPECTS(accepted == chunk);
+      }
+      pushed += chunk;
+      // Opportunistic client-side draining: some items are delivered before
+      // the crash, so the restore's residue re-delivery overlaps them.
+      for (std::size_t j = 0; j < stream.output_count(); ++j)
+        while (auto item = stream.output(j).poll())
+          if (auto err = delivered[j].add(*item, "pre-crash"); err.has_value())
+            return *err + crash_label(spec, backend, crash_seed);
+    }
+    if (terminal)
+      for (std::size_t i = 0; i < stream.input_count(); ++i)
+        stream.input(i).close();
+    const auto snap = stream.snapshot(kBarrier);
+    if (!snap.has_value())
+      return "snapshot did not complete at the barrier" +
+             crash_label(spec, backend, crash_seed);
+    snapshot_bytes = ckpt::serialize(*snap);
+    (void)stream.finish();
+  }
+
+  // Phase 2: rehydrate from the serialized bytes in a fresh session and
+  // replay every port from its cut.
+  const auto snap = ckpt::deserialize(snapshot_bytes);
+  if (!snap.has_value())
+    return "snapshot bytes did not round-trip" +
+           crash_label(spec, backend, crash_seed);
+  exec::Session session(g, build_kernels(g, spec));
+  auto restored = session.restore(ss, *snap);
+  if (!restored.has_value())
+    return "Session::restore refused its own snapshot" +
+           crash_label(spec, backend, crash_seed);
+  for (std::size_t i = 0; i < restored->input_count(); ++i) {
+    auto& port = restored->input(i);
+    if (port.closed()) continue;
+    const std::uint64_t replay_from = snap->ports[i].next_seq;
+    SDAF_EXPECTS(port.pushed() == replay_from);
+    const std::size_t accepted = port.push_batch(std::vector<runtime::Value>(
+        static_cast<std::size_t>(spec.num_inputs - replay_from)));
+    SDAF_EXPECTS(accepted == spec.num_inputs - replay_from);
+    port.close();
+  }
+  for (std::size_t j = 0; j < restored->output_count(); ++j)
+    while (auto item = restored->output(j).next())
+      if (auto err = delivered[j].add(*item, "post-restore"); err.has_value())
+        return *err + crash_label(spec, backend, crash_seed);
+  const exec::RunReport report = restored->finish();
+
+  // The verdict, counters and traffic resume exactly.
+  if (auto err = compare_reports(want_report, report, "crash+restore");
+      err.has_value())
+    return *err + crash_label(spec, backend, crash_seed);
+  // The delivered set (pre-crash + re-delivered residue + post-restore),
+  // deduped by seq, is exactly the uninterrupted output stream.
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    if (delivered[j].items.size() != want[j].size()) {
+      std::ostringstream out;
+      out << "tap " << j << ": delivered " << delivered[j].items.size()
+          << " distinct items, reference delivered " << want[j].size();
+      return out.str() + crash_label(spec, backend, crash_seed);
+    }
+    auto it = delivered[j].items.begin();
+    for (const auto& ref : want[j]) {
+      const std::int64_t ref_v =
+          ref.value.has_value() ? ref.value.as<std::int64_t>() : -1;
+      if (it->first != ref.seq || it->second != ref_v) {
+        std::ostringstream out;
+        out << "tap " << j << ": item mismatch at seq " << ref.seq
+            << " (reference " << ref_v << ", got seq " << it->first << " = "
+            << it->second << ")";
+        return out.str() + crash_label(spec, backend, crash_seed);
+      }
+      ++it;
+    }
+  }
+  return std::nullopt;
+}
+
 CaseSpec random_case(Prng& rng) {
   CaseSpec spec;
   const std::uint64_t t = rng.next_below(100);
@@ -391,6 +572,39 @@ SweepResult sweep_random_cases(std::uint64_t sweep_seed, double seconds,
     bool deadlocked = false;
     result.failure = run_differential(spec, pool, &deadlocked);
     if (deadlocked) ++result.deadlocks;
+    ++result.cases_run;
+    if (result.failure.has_value()) break;
+  }
+  return result;
+}
+
+SweepResult sweep_crash_cases(std::uint64_t sweep_seed, double seconds,
+                              int max_cases, runtime::PoolExecutor* pool) {
+  SweepResult result;
+  Prng rng(sweep_seed);
+  Stopwatch clock;
+  const bool verbose = std::getenv("SDAF_STRESS_VERBOSE") != nullptr;
+  constexpr exec::Backend kBackends[] = {
+      exec::Backend::Sim, exec::Backend::Threaded, exec::Backend::Pooled};
+  while (result.cases_run < max_cases &&
+         (result.cases_run == 0 || clock.elapsed_seconds() < seconds)) {
+    CaseSpec spec = random_case(rng);
+    spec.feed = FeedMode::Port;  // the crash differential is port-fed
+    if (spec.mode == DummyMode::None) {
+      // Only avoidance-armed streams are wedge-free; a wedged barrier never
+      // completes, so unprotected cases have no crash differential.
+      spec.mode = DummyMode::Propagation;
+      const std::uint32_t batches[] = {1, 7, 64};
+      spec.batch = batches[rng.next_below(3)];
+    }
+    const exec::Backend backend = kBackends[rng.next_below(3)];
+    const std::uint64_t crash_seed = rng.next_u64();
+    if (verbose)
+      std::fprintf(stderr, "crash case: %s crash=%llu backend=%s\n",
+                   to_string(spec).c_str(),
+                   static_cast<unsigned long long>(crash_seed),
+                   exec::to_string(backend));
+    result.failure = run_crash_differential(spec, backend, crash_seed, pool);
     ++result.cases_run;
     if (result.failure.has_value()) break;
   }

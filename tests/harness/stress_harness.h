@@ -105,6 +105,22 @@ struct CaseSpec {
 // port-fed with a random chunking bound.
 [[nodiscard]] CaseSpec random_case(Prng& rng);
 
+// The crash-recovery differential (ckpt): run the spec port-fed on
+// `backend`, crash it at a random barrier -- push a crash_seed-chosen
+// prefix, take an asynchronous snapshot, then destroy the stream and its
+// session, keeping only the snapshot bytes and what the client had already
+// polled -- restore into a fresh session, replay every port from its
+// PortCut::next_seq, and finish. The delivered output set (client-side
+// dedup by seq across the crash, the exactly-once contract) and the final
+// report must be bit-identical to an uninterrupted run of the same spec.
+// The snapshot round-trips through serialize/deserialize on the way, so
+// the wire format is under the same differential. Requires spec.mode !=
+// None: only avoidance-armed streams are wedge-free, and a wedged stream's
+// barrier never completes (by design). Returns nullopt on agreement.
+[[nodiscard]] std::optional<std::string> run_crash_differential(
+    const CaseSpec& spec, exec::Backend backend, std::uint64_t crash_seed,
+    runtime::PoolExecutor* pool);
+
 struct SweepResult {
   int cases_run = 0;
   int deadlocks = 0;  // cases whose reference verdict was deadlock
@@ -118,5 +134,15 @@ struct SweepResult {
     std::uint64_t sweep_seed, double seconds, int max_cases,
     runtime::PoolExecutor* pool,
     std::optional<FeedMode> forced_feed = std::nullopt);
+
+// Randomized kill/restore sweep: random avoidance-armed cases (mode None is
+// re-drawn to Propagation), each crashed at a random barrier on a random
+// backend and differentially restored via run_crash_differential. Stops at
+// the first mismatch; the failure string carries the case line plus the
+// crash=<seed> backend=<name> tokens the SDAF_CRASH_REPRO env replays
+// (tests/test_crash_recovery.cpp).
+[[nodiscard]] SweepResult sweep_crash_cases(std::uint64_t sweep_seed,
+                                            double seconds, int max_cases,
+                                            runtime::PoolExecutor* pool);
 
 }  // namespace sdaf::harness

@@ -127,5 +127,44 @@ TEST(MessageRing, TailMessageReportsEndOfRun) {
   EXPECT_EQ(ring.head_message().seq, 0u);
 }
 
+TEST(MessageRing, MarkerIsOccupancyNeutral) {
+  // A snapshot marker must fit into a *logically full* ring (it rides the
+  // extra physical segment) and must never perturb the certified occupancy
+  // the deadlock certification reasons about.
+  MessageRing ring(2);
+  ring.push(Message::data(0, Value(std::int64_t{10})));
+  ring.push(Message::data(1, Value(std::int64_t{11})));
+  EXPECT_TRUE(ring.full());
+  EXPECT_TRUE(ring.push_marker(2));
+  EXPECT_EQ(ring.size(), 2u);  // marker excluded from logical occupancy
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.free_space(), 0u);
+  ring.pop();
+  ring.pop();
+  // Logically empty, but the in-flight marker is still pending work.
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_FALSE(ring.empty());
+  EXPECT_EQ(ring.head().kind, MessageKind::Marker);
+  EXPECT_EQ(ring.head().seq, 2u);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MessageRing, MarkerTerminatesDummyRunAndNeverCoalesces) {
+  MessageRing ring(8);
+  EXPECT_EQ(ring.push_dummies(0, 3), 3u);
+  EXPECT_TRUE(ring.push_marker(3));
+  ring.push(Message::dummy(3));  // consecutive seq, but behind the barrier
+  EXPECT_EQ(ring.size(), 4u);    // 3 + 1 dummies; marker excluded
+  EXPECT_EQ(ring.head().run, 3u);
+  EXPECT_EQ(ring.pop_dummies(8), 3u);  // stops at the marker
+  EXPECT_EQ(ring.head().kind, MessageKind::Marker);
+  ring.pop();
+  EXPECT_EQ(ring.head().kind, MessageKind::Dummy);
+  EXPECT_EQ(ring.head().run, 1u);  // the post-barrier run did not coalesce
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
 }  // namespace
 }  // namespace sdaf::runtime

@@ -232,7 +232,9 @@ TEST(MetricsExport, JsonSchemaStable) {
   for (const char* key :
        {"\"runs\":", "\"items_fired\":", "\"data_items\":", "\"dummy_items\":",
         "\"dummy_overhead_ratio\":", "\"channel_slots\":", "\"channel_bytes\":",
-        "\"wall_seconds\":", "\"nodes\":[", "\"channels\":[", "\"workers\":[",
+        "\"wall_seconds\":", "\"ckpt\":{", "\"snapshots_taken\":",
+        "\"snapshot_pending\":", "\"last_snapshot_seconds\":",
+        "\"nodes\":[", "\"channels\":[", "\"workers\":[",
         "\"ports\":[", "\"fires\":7", "\"data_pushed\":7", "\"dir\":\"in\"",
         "\"occupancy\":", "\"high_water\":"})
     EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
@@ -265,7 +267,11 @@ TEST(MetricsExport, PrometheusExpositionStable) {
         "# TYPE sdaf_channel_occupancy gauge",
         "# TYPE sdaf_worker_task_runs_total counter",
         "# TYPE sdaf_worker_queue_depth_avg gauge",
-        "# TYPE sdaf_tenant_dummy_overhead_ratio gauge"})
+        "# TYPE sdaf_tenant_dummy_overhead_ratio gauge",
+        "# TYPE sdaf_stream_epoch gauge",
+        "# TYPE sdaf_snapshots_total counter",
+        "# TYPE sdaf_snapshot_pending gauge",
+        "# TYPE sdaf_snapshot_duration_seconds gauge"})
     EXPECT_NE(p.find(family), std::string::npos) << family << " missing";
   // Label escaping: backslash then quote, each escaped.
   EXPECT_NE(p.find("tenant=\"t\\\"x\\\\y\""), std::string::npos) << p;
@@ -320,6 +326,49 @@ TEST(StreamMetrics, LiveSnapshotAcrossBackends) {
       EXPECT_TRUE(final_snap.workers.empty());
     }
   }
+}
+
+// Checkpoint instrumentation on a live stream: a completed barrier bumps
+// the snapshot counter, clears the pending gauge, and latches a duration;
+// a restored stream reports its bumped epoch.
+TEST(StreamMetrics, CheckpointCountersSurfaceInMetrics) {
+  const StreamGraph g = workloads::pipeline(3, 2);
+  exec::Session session(g, workloads::passthrough_kernels(g));
+  exec::StreamSpec sspec;
+  sspec.run.mode = runtime::DummyMode::None;
+  exec::Stream stream = session.open(sspec);
+
+  auto before = stream.metrics();
+  EXPECT_EQ(before.ckpt.epoch, 0u);
+  EXPECT_EQ(before.ckpt.snapshots_taken, 0u);
+  EXPECT_FALSE(before.ckpt.snapshot_pending);
+
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(stream.input(0).push());
+  const auto snap = stream.snapshot(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(snap.has_value());
+
+  auto after = stream.metrics();
+  EXPECT_EQ(after.ckpt.snapshots_taken, 1u);
+  EXPECT_FALSE(after.ckpt.snapshot_pending);
+  EXPECT_GE(after.ckpt.last_snapshot_seconds, 0.0);
+  const std::string page = obs::to_prometheus(after);
+  EXPECT_NE(page.find("sdaf_snapshots_total{tenant=\"default\"} 1"),
+            std::string::npos)
+      << page;
+
+  stream.input(0).close();
+  while (stream.output(0).next()) {
+  }
+  ASSERT_TRUE(stream.finish().completed);
+
+  exec::Session session2(g, workloads::passthrough_kernels(g));
+  auto restored = session2.restore(sspec, *snap);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->metrics().ckpt.epoch, 1u);
+  restored->input(0).close();
+  while (restored->output(0).next()) {
+  }
+  (void)restored->finish();
 }
 
 TEST(StreamMetrics, DisabledRegistryStillReportsPorts) {

@@ -68,7 +68,7 @@ TEST(NetFrame, HeaderRejectsOversizeAndBadType) {
   encode_header(h, buf);
   buf[4] = 0;  // type below the known range
   EXPECT_FALSE(decode_header(buf).has_value());
-  buf[4] = 16;  // type above the known range
+  buf[4] = 20;  // type above the known range (RestoreOk = 19 is the top)
   EXPECT_FALSE(decode_header(buf).has_value());
 }
 
@@ -339,6 +339,100 @@ TEST(NetFrame, SimpleFramesRoundTrip) {
   }
 }
 
+TEST(NetFrame, SnapshotFramesRoundTrip) {
+  {
+    SnapshotOkFrame pending;  // complete = 0, no bytes
+    Writer w;
+    encode(pending, w);
+    const auto b = payload_of(w);
+    const auto back = decode_snapshot_ok(b.data(), b.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->complete, 0);
+    EXPECT_TRUE(back->snapshot.empty());
+    expect_exact_consumption(b, decode_snapshot_ok, "SnapshotOk pending");
+  }
+  {
+    SnapshotOkFrame f;
+    f.complete = 1;
+    f.snapshot = std::string("\x01\x00opaque blob with \xff bytes", 26);
+    Writer w;
+    encode(f, w);
+    const auto b = payload_of(w);
+    const auto back = decode_snapshot_ok(b.data(), b.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->complete, 1);
+    EXPECT_EQ(back->snapshot, f.snapshot);
+    expect_exact_consumption(b, decode_snapshot_ok, "SnapshotOk complete");
+  }
+  {
+    // complete and payload must agree: a "pending" frame carrying bytes
+    // (or a "complete" frame without them) is malformed.
+    SnapshotOkFrame f;
+    f.complete = 0;
+    f.snapshot = "stray";
+    Writer w;
+    encode(f, w);
+    const auto b = payload_of(w);
+    EXPECT_FALSE(decode_snapshot_ok(b.data(), b.size()).has_value());
+  }
+  {
+    RestoreFrame f;
+    f.open.backend = 1;
+    f.open.mode = 2;
+    f.open.kernel = KernelKind::Relay;
+    f.open.pass_rate = 0.5;
+    f.open.topology = "node a\nnode b\nedge a b 4\n";
+    f.snapshot = std::string("versioned snapshot bytes");
+    Writer w;
+    encode(f, w);
+    const auto b = payload_of(w);
+    const auto back = decode_restore(b.data(), b.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->open.backend, 1);
+    EXPECT_EQ(back->open.mode, 2);
+    EXPECT_EQ(back->open.kernel, KernelKind::Relay);
+    EXPECT_EQ(back->open.topology, f.open.topology);
+    EXPECT_EQ(back->snapshot, f.snapshot);
+    expect_exact_consumption(b, decode_restore, "Restore");
+  }
+  {
+    // A Restore without snapshot bytes is meaningless.
+    RestoreFrame f;
+    f.snapshot.clear();
+    Writer w;
+    encode(f, w);
+    const auto b = payload_of(w);
+    EXPECT_FALSE(decode_restore(b.data(), b.size()).has_value());
+  }
+  {
+    // Out-of-range Open fields are policed inside Restore too.
+    RestoreFrame f;
+    f.open.backend = 3;
+    f.snapshot = "x";
+    Writer w;
+    encode(f, w);
+    const auto b = payload_of(w);
+    EXPECT_FALSE(decode_restore(b.data(), b.size()).has_value());
+  }
+  {
+    RestoreOkFrame f;
+    f.inputs = 2;
+    f.outputs = 1;
+    f.cache_hit = 1;
+    f.epoch = 3;
+    Writer w;
+    encode(f, w);
+    const auto b = payload_of(w);
+    const auto back = decode_restore_ok(b.data(), b.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->inputs, 2);
+    EXPECT_EQ(back->outputs, 1);
+    EXPECT_EQ(back->cache_hit, 1);
+    EXPECT_EQ(back->epoch, 3u);
+    expect_exact_consumption(b, decode_restore_ok, "RestoreOk");
+  }
+}
+
 // Property test: no decoder may crash, hang, or allocate absurdly on
 // arbitrary bytes -- at worst it returns nullopt. This is exactly what a
 // malicious client can feed the server after the (valid) header.
@@ -361,6 +455,9 @@ TEST(NetFrame, DecodersSurviveRandomBytes) {
     (void)decode_verdict(p, n);
     (void)decode_stats_ok(p, n);
     (void)decode_error(p, n);
+    (void)decode_snapshot_ok(p, n);
+    (void)decode_restore(p, n);
+    (void)decode_restore_ok(p, n);
   }
 }
 

@@ -378,5 +378,60 @@ TEST(SpscRing, TryPushBatchConcurrentFifo) {
   }
 }
 
+// A snapshot marker rides the ring's extra physical segment: it must be
+// admissible on a logically full ring, invisible to the certified
+// occupancy, ordered FIFO with the surrounding traffic, and still count as
+// pending work for emptiness (schedulers must not declare quiescence
+// across an un-consumed marker).
+TEST(SpscRing, MarkerOccupancyNeutralOrderedAndPending) {
+  SpscRing ring(2);
+  ASSERT_TRUE(ring.try_push(Message::data(0, Value(std::int64_t{7}))));
+  ASSERT_TRUE(ring.try_push(Message::data(1, Value(std::int64_t{8}))));
+  EXPECT_TRUE(ring.full());
+  SpscRing::PushEffect effect;
+  EXPECT_TRUE(ring.try_push_marker(2, &effect));
+  EXPECT_EQ(ring.size(), 2u);  // marker excluded from logical occupancy
+  EXPECT_TRUE(ring.full());
+  // 2 data + 1 marker = capacity + 1 segments: even the physical headroom
+  // is now gone, so a second marker is refused (the snapshot plane's
+  // at-most-one-marker-per-channel invariant keeps this unreachable).
+  EXPECT_FALSE(ring.try_push_marker(3));
+  ring.pop();
+  ring.pop();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_FALSE(ring.empty());  // the in-flight marker is pending work
+  const auto head = ring.peek_head();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->kind, MessageKind::Marker);
+  EXPECT_EQ(head->seq, 2u);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+// Marker behaviour must agree with the mutex-era model ring: it terminates
+// a coalesced dummy run and the run behind the barrier starts fresh.
+TEST(SpscRing, MarkerNeverCoalescesWithDummyRunsModelAgreement) {
+  MessageRing model(8);
+  SpscRing ring(8);
+  ASSERT_EQ(model.push_dummies(0, 3), 3u);
+  ASSERT_EQ(ring.try_push_dummies(0, 3), 3u);
+  ASSERT_TRUE(model.push_marker(3));
+  ASSERT_TRUE(ring.try_push_marker(3));
+  model.push(Message::dummy(3));  // consecutive seq, behind the barrier
+  ASSERT_TRUE(ring.try_push(Message::dummy(3)));
+  ASSERT_EQ(model.size(), ring.size());
+  expect_same_head(model, ring, "marker head");
+  EXPECT_EQ(model.pop_dummies(8), 3u);  // stops at the marker
+  EXPECT_EQ(ring.pop_dummies(8), 3u);
+  expect_same_head(model, ring, "marker reached");
+  model.pop();
+  ring.pop();
+  expect_same_head(model, ring, "post-barrier run");  // run of 1, seq 3
+  model.pop();
+  ring.pop();
+  EXPECT_TRUE(model.empty());
+  EXPECT_TRUE(ring.empty());
+}
+
 }  // namespace
 }  // namespace sdaf::runtime

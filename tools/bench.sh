@@ -12,6 +12,10 @@
 # writing push->deliver round-trip p50_ns/p99_ns and wire items_per_second
 # per connection count to BENCH_service.json (schema sdaf.service.bench.v1;
 # the connection ladder is fixed so the file stays diffable across PRs).
+# Since checkpoint/restore it also runs bench_snapshot into
+# BENCH_snapshot.json: the periodic-asynchronous-barriers-vs-off ingest
+# pair (snapshot_overhead_pct, budget <= 5%) and barrier completion
+# latency under load (p50_ns/p99_ns + serialized snapshot_bytes).
 #
 #   tools/bench.sh            # full run (all registered benchmarks)
 #   tools/bench.sh --smoke    # CI mode: the fixed smoke subset, ~seconds,
@@ -38,6 +42,7 @@ jobs=$(nproc 2>/dev/null || echo 2)
 if [[ ! -x "$build_dir/bench_throughput" ||
       ! -x "$build_dir/bench_pool_scaling" ||
       ! -x "$build_dir/bench_streaming_latency" ||
+      ! -x "$build_dir/bench_snapshot" ||
       ! -x "$build_dir/sdafd" || ! -x "$build_dir/sdaf_loadgen" ]]; then
   if [[ "$build_dir" != build/release ]]; then
     echo "error: bench binaries missing from $build_dir; build them first" >&2
@@ -46,7 +51,7 @@ if [[ ! -x "$build_dir/bench_throughput" ||
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
       --target bench_throughput bench_pool_scaling bench_streaming_latency \
-      sdafd sdaf_loadgen
+      bench_snapshot sdafd sdaf_loadgen
 fi
 
 # The smoke subset is fixed so the JSON schema (benchmark names + counters)
@@ -57,14 +62,18 @@ fi
 # (since the SPSC channel fast path) two batch=1 pooled ladder configs whose
 # per-op channel cost is the figure the lock-free path exists to cut, and
 # (since the streaming ports) one latency and one ingest config per
-# concurrent backend.
+# concurrent backend, and (since checkpoint/restore) the threaded
+# snapshot overhead pair + barrier latency (budget: snapshot_overhead_pct
+# <= 5%).
 throughput_filter='.'
 pool_filter='Filtering|CompileCache'
 streaming_filter='.'
+snapshot_filter='.'
 if [[ $smoke -eq 1 ]]; then
   throughput_filter='BM_Throughput_Pass(100|50|10)/|BM_Throughput_Pass10_MetricsOverhead'
   pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2'
   streaming_filter='BM_Stream(Latency|Ingest)_(Pooled|Threaded)'
+  snapshot_filter='BM_Snapshot(Overhead|Latency)_Threaded'
 fi
 
 echo "==> bench_throughput -> BENCH_throughput.json"
@@ -83,6 +92,12 @@ echo "==> bench_streaming_latency -> BENCH_streaming.json"
 "$build_dir/bench_streaming_latency" \
     --benchmark_filter="$streaming_filter" \
     --benchmark_out=BENCH_streaming.json \
+    --benchmark_out_format=json
+
+echo "==> bench_snapshot -> BENCH_snapshot.json"
+"$build_dir/bench_snapshot" \
+    --benchmark_filter="$snapshot_filter" \
+    --benchmark_out=BENCH_snapshot.json \
     --benchmark_out_format=json
 
 # The service bench goes over a real socket: every sample pays the framing,

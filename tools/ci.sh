@@ -15,6 +15,15 @@
 #                          # with check_prom.sh, run the wire-vs-in-process
 #                          # loopback differential, and check the daemon
 #                          # drains cleanly on SIGTERM (no ctest, ~seconds)
+#   tools/ci.sh --crash    # release + asan + tsan builds, then the
+#                          # crash-recovery certification tier: the
+#                          # kill-at-a-random-barrier/restore differential
+#                          # sweep under ASan (memory safety across the
+#                          # serialize/discard/rehydrate path) and the
+#                          # marker/EOS interleaving suite under TSan
+#                          # (barrier alignment racing real threads). Tune
+#                          # with SDAF_STRESS_SECONDS (default 20); a
+#                          # mismatch prints a one-line SDAF_CRASH_REPRO.
 #   tools/ci.sh --stress   # everything above, then a time-boxed randomized
 #                          # stress tier under both sanitizers: the
 #                          # cross-backend differential harness sweep (batch
@@ -88,6 +97,35 @@ if [[ "$mode" == "--smoke" ]]; then
   check_prom
   check_service
   echo "==> ci OK (smoke)"
+  exit 0
+fi
+
+if [[ "$mode" == "--crash" ]]; then
+  crash_seconds=${SDAF_STRESS_SECONDS:-20}
+  export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  export SDAF_STRESS_SECONDS="$crash_seconds"
+
+  # ASan over the full crash path: snapshot assembly, serialize, tear the
+  # stream down, deserialize, rehydrate -- any dangling reference into the
+  # dead stream or codec over-read dies here.
+  echo "==> asan build + crash differential (${crash_seconds}s sweep)"
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  build/asan/test_crash_recovery
+  build/asan/test_net_snapshot
+
+  # TSan over the barrier itself: markers racing live pushes, EOS floods,
+  # deadlock verdicts and concurrent pollers on the threaded/pooled
+  # backends.
+  echo "==> tsan build + marker interleavings"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  build/tsan/test_ckpt
+  build/tsan/test_crash_recovery
+
+  echo "==> ci OK (crash)"
   exit 0
 fi
 

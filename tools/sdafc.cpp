@@ -23,6 +23,13 @@
 // --metrics=prom), keeping stdout parseable and exit codes unchanged. With
 // --stdin the final summary is printed once the stream closes.
 //
+// --snapshot-every=N (with --run --stdin) cuts an asynchronous barrier
+// snapshot after every N accepted lines and writes the serialized bytes to
+// --snapshot-out=FILE (overwritten each cut, so the file always holds the
+// latest checkpoint). --restore=FILE starts the stream from such a file
+// instead of a fresh open: the stream resumes at the cut (epoch + 1) and
+// stdin lines continue from the snapshot's replay point.
+//
 // Exit status: 0 ok, 1 rejected/invalid/incomplete, 2 usage,
 // 3 run deadlocked.
 #include <chrono>
@@ -34,7 +41,9 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "src/ckpt/snapshot.h"
 #include "src/core/compile.h"
 #include "src/core/report.h"
 #include "src/exec/session.h"
@@ -74,6 +83,12 @@ int usage() {
       "                    through the live InputPort (single-source\n"
       "                    topologies), printing sink results as they\n"
       "                    arrive; EOF closes the stream\n"
+      "  --snapshot-every=N  with --stdin: cut a barrier snapshot every N\n"
+      "                    accepted lines, writing the latest checkpoint\n"
+      "                    to --snapshot-out=FILE\n"
+      "  --snapshot-out=FILE destination for --snapshot-every checkpoints\n"
+      "  --restore=FILE    with --stdin: resume the stream from a\n"
+      "                    checkpoint file instead of a fresh open\n"
       "  exit: 0 ok, 1 rejected/invalid/incomplete, 2 usage,\n"
       "        3 run deadlocked\n");
   return 2;
@@ -148,6 +163,36 @@ int print_run_report(const StreamGraph& g, const exec::RunReport& report,
   return report.deadlocked ? 3 : 1;
 }
 
+// Serializes the stream's current barrier snapshot to `path`. The write is
+// not atomic; a crash mid-write loses at most this one checkpoint file,
+// never the stream (the snapshot is a copy).
+bool write_snapshot_file(const ckpt::StreamSnapshot& snap,
+                         const std::string& path) {
+  const std::vector<std::uint8_t> bytes = ckpt::serialize(snap);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<ckpt::StreamSnapshot> read_snapshot_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  return ckpt::deserialize(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+}
+
+struct CkptFlags {
+  std::uint64_t snapshot_every = 0;  // 0 = off
+  std::string snapshot_out;
+  std::string restore_from;
+};
+
 // The live path: one stdin line = one item through the InputPort, results
 // streamed from the OutputPorts as they arrive. Backpressure is handled by
 // draining taps between push attempts (and pumping on the Sim backend); a
@@ -155,7 +200,8 @@ int print_run_report(const StreamGraph& g, const exec::RunReport& report,
 // the verdict still comes from the exact machinery.
 int run_stdin_stream(const StreamGraph& g, exec::StreamSpec spec,
                      const char* mode_name, double pass_rate,
-                     std::uint64_t seed, const std::string& metrics_format) {
+                     std::uint64_t seed, const std::string& metrics_format,
+                     const CkptFlags& ckpt_flags) {
   if (g.sources().size() != 1) {
     std::fprintf(stderr,
                  "sdafc: --stdin needs exactly one source node (got %zu)\n",
@@ -163,7 +209,32 @@ int run_stdin_stream(const StreamGraph& g, exec::StreamSpec spec,
     return 1;
   }
   exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
-  exec::Stream stream = session.open(std::move(spec));
+  // Stream is move-constructible but not move-assignable, so open/restore
+  // both flow through one initializing expression.
+  std::optional<exec::Stream> opened = [&]() -> std::optional<exec::Stream> {
+    if (ckpt_flags.restore_from.empty()) return session.open(std::move(spec));
+    const auto snap = read_snapshot_file(ckpt_flags.restore_from);
+    if (!snap.has_value()) {
+      std::fprintf(stderr, "sdafc: cannot read snapshot %s\n",
+                   ckpt_flags.restore_from.c_str());
+      return std::nullopt;
+    }
+    auto restored = session.restore(std::move(spec), *snap);
+    if (!restored.has_value()) {
+      std::fprintf(stderr,
+                   "sdafc: snapshot %s does not match this topology/mode\n",
+                   ckpt_flags.restore_from.c_str());
+      return std::nullopt;
+    }
+    std::fprintf(stderr,
+                 "sdafc: restored from %s (epoch %llu, resuming at seq %llu)\n",
+                 ckpt_flags.restore_from.c_str(),
+                 static_cast<unsigned long long>(restored->epoch()),
+                 static_cast<unsigned long long>(snap->ports[0].next_seq));
+    return restored;
+  }();
+  if (!opened.has_value()) return 1;
+  exec::Stream& stream = *opened;
   exec::InputPort& in = stream.input(0);
 
   const auto drain = [&] {
@@ -193,6 +264,24 @@ int run_stdin_stream(const StreamGraph& g, exec::StreamSpec spec,
     }
     if (!wedged) ++items;
     drain();
+    if (!wedged && ckpt_flags.snapshot_every != 0 &&
+        items % ckpt_flags.snapshot_every == 0) {
+      const auto snap = stream.snapshot(std::chrono::milliseconds(30000));
+      if (!snap.has_value()) {
+        std::fprintf(stderr,
+                     "sdafc: barrier snapshot did not complete (stream "
+                     "wedged?); continuing without a checkpoint\n");
+      } else if (!write_snapshot_file(*snap, ckpt_flags.snapshot_out)) {
+        std::fprintf(stderr, "sdafc: cannot write snapshot to %s\n",
+                     ckpt_flags.snapshot_out.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "sdafc: checkpoint at seq %llu -> %s\n",
+                     static_cast<unsigned long long>(snap->barrier_seq),
+                     ckpt_flags.snapshot_out.c_str());
+      }
+      drain();
+    }
   }
   in.close();
   // Stream the tail until every tap reports end-of-stream.
@@ -223,6 +312,7 @@ int main(int argc, char** argv) {
   double pass_rate = 0.7;
   std::uint64_t seed = 1;
   std::string metrics_format;  // empty = off
+  CkptFlags ckpt_flags;
   std::string file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -272,6 +362,17 @@ int main(int argc, char** argv) {
       avoidance = false;
     } else if (arg == "--stdin") {
       use_stdin = true;
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 17, &ckpt_flags.snapshot_every) ||
+          ckpt_flags.snapshot_every == 0) {
+        std::fprintf(stderr, "sdafc: bad --snapshot-every value %s\n",
+                     arg.c_str() + 17);
+        return usage();
+      }
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      ckpt_flags.snapshot_out = arg.substr(15);
+    } else if (arg.rfind("--restore=", 0) == 0) {
+      ckpt_flags.restore_from = arg.substr(10);
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -337,11 +438,22 @@ int main(int argc, char** argv) {
                        : "nonpropagation")
                 : "none";
 
+  if (ckpt_flags.snapshot_every != 0 && ckpt_flags.snapshot_out.empty()) {
+    std::fprintf(stderr, "sdafc: --snapshot-every needs --snapshot-out\n");
+    return usage();
+  }
+  if ((ckpt_flags.snapshot_every != 0 || !ckpt_flags.restore_from.empty()) &&
+      !use_stdin) {
+    std::fprintf(stderr,
+                 "sdafc: --snapshot-every/--restore need --run --stdin\n");
+    return usage();
+  }
+
   if (use_stdin) {
     exec::StreamSpec stream_spec;
     stream_spec.run = spec;
     return run_stdin_stream(g, std::move(stream_spec), mode_name, pass_rate,
-                            seed, metrics_format);
+                            seed, metrics_format, ckpt_flags);
   }
 
   std::optional<obs::MetricsRegistry> registry;
