@@ -6,7 +6,9 @@
 // run's own wall time.
 #include <benchmark/benchmark.h>
 
+#include <ctime>
 #include <map>
+#include <thread>
 
 #include "src/core/compile_cache.h"
 #include "src/exec/session.h"
@@ -65,6 +67,51 @@ void BM_PoolExecutor_Ladder(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolExecutor_Ladder)
     ->ArgsProduct({{100, 1000, 10000}, {1, 2, 4, 8, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// The CI scaling ladder: batch=1 pooled runs at 8 and 16 workers whose
+// counters let tools/ci.sh assert real work-stealing scaling instead of
+// silently passing on a 1-cpu runner. effective_parallelism is process CPU
+// time over wall time across the measured runs: ~1.0 means the workers
+// serialized (or the runner has one core), ~W means W workers were
+// genuinely busy -- futex-parked idle workers burn no CPU, so oversized
+// pools don't inflate it. hardware_concurrency rides along so a reader
+// (and tools/bench.sh) can tell "scheduler regressed" from "machine
+// cannot scale".
+void BM_PoolExecutor_LadderScaling(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const StreamGraph& g = ladder_of(nodes);
+  runtime::PoolExecutor pool(workers);
+  exec::Session session(g, workloads::passthrough_kernels(g));
+  exec::RunSpec spec;
+  spec.backend = exec::Backend::Pooled;
+  spec.pool = &pool;
+  spec.mode = runtime::DummyMode::None;
+  spec.num_inputs = kItems;
+  spec.batch = 1;
+  std::uint64_t processed = 0;
+  double wall = 0.0;
+  const std::clock_t cpu_start = std::clock();
+  for (auto _ : state) {
+    const auto r = session.run(spec);
+    SDAF_ASSERT(r.completed);
+    processed += kItems;
+    wall += r.wall_seconds;
+  }
+  const double cpu_seconds =
+      static_cast<double>(std::clock() - cpu_start) / CLOCKS_PER_SEC;
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["items_per_second"] =
+      wall > 0 ? static_cast<double>(processed) / wall : 0.0;
+  state.counters["effective_parallelism"] = wall > 0 ? cpu_seconds / wall : 0.0;
+  state.counters["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_PoolExecutor_LadderScaling)
+    ->ArgsProduct({{100, 1000}, {8, 16}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);
 

@@ -737,28 +737,26 @@ struct Core {
 bool Core::wait_feed_space(std::size_t i, const Deadline& deadline) {
   // Wake-elision protocol, mirrored from the node runners: register as a
   // waiter on the feed's ProducerSignal (every consumer pop bumps it),
-  // re-check, then park -- with an absolute deadline when the caller asked
-  // for timed parking. See runtime::ProducerSignal::bump.
+  // re-check, then park futex-style on the captured version -- bounded by
+  // the absolute deadline when the caller asked for timed parking. The
+  // caller loops, so a spurious wake-up (version moved but no space yet)
+  // just re-probes. See runtime::ProducerSignal::bump.
   BoundedChannel& feed = *feed_channels[i];
   ProducerSignal& sig = *feed_signals[i];
-  const std::uint64_t version = sig.version.load(std::memory_order_acquire);
-  sig.waiters.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint32_t version = sig.event.capture();
+  sig.event.register_waiter();
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const bool space = feed.size() < spec.feed_capacity;
   bool timed_out = false;
   if (!space && !feed.aborted() &&
       !sig.aborted.load(std::memory_order_acquire)) {
-    const auto moved = [&] {
-      return sig.version.load(std::memory_order_acquire) != version ||
-             sig.aborted.load(std::memory_order_acquire);
-    };
-    std::unique_lock lock(sig.mu);
     if (deadline.has_value())
-      timed_out = !sig.cv.wait_until(lock, *deadline, moved);
+      timed_out = !runtime::ParkingLot::park_until(sig.event.version, version,
+                                                   *deadline);
     else
-      sig.cv.wait(lock, moved);
+      runtime::ParkingLot::park(sig.event.version, version);
   }
-  sig.waiters.fetch_sub(1, std::memory_order_relaxed);
+  sig.event.unregister_waiter();
   return !feed.aborted() && !timed_out;
 }
 

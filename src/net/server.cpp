@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -55,6 +56,48 @@ struct Conn {
   std::map<std::uint16_t, std::unique_ptr<ServerStream>> streams;
 };
 
+// ServiceStats mirror with relaxed atomic fields: every counter is mutated
+// only on the server thread, but Server::stats() reads from arbitrary
+// threads (test wait-loops poll it), so the fields must be atomic. Field
+// names match ServiceStats so the ++/+= sites read naturally; relaxed is
+// enough -- these are diagnostics, not synchronization.
+struct AtomicServiceStats {
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> connections_open{0};
+  std::atomic<std::uint64_t> streams_total{0};
+  std::atomic<std::uint64_t> streams_open{0};
+  std::atomic<std::uint64_t> frames_total{0};
+  std::atomic<std::uint64_t> errors_total{0};
+  std::atomic<std::uint64_t> items_in_total{0};
+  std::atomic<std::uint64_t> items_out_total{0};
+  std::atomic<std::uint64_t> push_timeouts_total{0};
+  std::atomic<std::uint64_t> compile_cache_hits_total{0};
+  std::atomic<std::uint64_t> snapshots_total{0};
+  std::atomic<std::uint64_t> restores_total{0};
+  std::atomic<std::uint64_t> sessions_aborted_total{0};
+
+  [[nodiscard]] ServiceStats snapshot() const {
+    ServiceStats s;
+    s.connections_total = connections_total.load(std::memory_order_relaxed);
+    s.connections_open = connections_open.load(std::memory_order_relaxed);
+    s.streams_total = streams_total.load(std::memory_order_relaxed);
+    s.streams_open = streams_open.load(std::memory_order_relaxed);
+    s.frames_total = frames_total.load(std::memory_order_relaxed);
+    s.errors_total = errors_total.load(std::memory_order_relaxed);
+    s.items_in_total = items_in_total.load(std::memory_order_relaxed);
+    s.items_out_total = items_out_total.load(std::memory_order_relaxed);
+    s.push_timeouts_total =
+        push_timeouts_total.load(std::memory_order_relaxed);
+    s.compile_cache_hits_total =
+        compile_cache_hits_total.load(std::memory_order_relaxed);
+    s.snapshots_total = snapshots_total.load(std::memory_order_relaxed);
+    s.restores_total = restores_total.load(std::memory_order_relaxed);
+    s.sessions_aborted_total =
+        sessions_aborted_total.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
 }  // namespace
 
 struct Server::Impl {
@@ -66,7 +109,7 @@ struct Server::Impl {
   std::unique_ptr<runtime::PoolExecutor> pool;
   core::CompileCache* cache = nullptr;
   std::vector<std::unique_ptr<Conn>> conns;
-  ServiceStats stats;
+  AtomicServiceStats stats;
   std::uint64_t next_conn_id = 1;
   std::uint64_t next_stream_id = 1;
 
@@ -733,6 +776,6 @@ const std::string& Server::unix_path() const {
   return impl_->options.unix_path;
 }
 
-ServiceStats Server::stats() const { return impl_->stats; }
+ServiceStats Server::stats() const { return impl_->stats.snapshot(); }
 
 }  // namespace sdaf::net

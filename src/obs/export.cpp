@@ -155,6 +155,8 @@ std::string to_json(const MetricsSnapshot& s) {
     if (i != 0) o << ",";
     o << "{\"worker\":" << w.worker << ",\"task_runs\":" << w.task_runs
       << ",\"parks\":" << w.parks << ",\"wakes\":" << w.wakes
+      << ",\"steals\":" << w.steals << ",\"steal_fails\":" << w.steal_fails
+      << ",\"futex_parks\":" << w.futex_parks
       << ",\"depth_samples\":" << w.depth_samples
       << ",\"depth_max\":" << w.depth_max
       << ",\"depth_avg\":" << jnum(w.depth_avg) << "}";
@@ -269,6 +271,24 @@ std::string to_prometheus(const std::vector<MetricsSnapshot>& snaps) {
     for (const auto& x : s.workers)
       w.sample(s.tenant.tenant,
                ",worker=\"" + std::to_string(x.worker) + "\"", x.wakes);
+  w.family("sdaf_worker_steals_total", "counter",
+           "Tasks stolen from a peer worker's deque or hot slot.");
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.steals);
+  w.family("sdaf_worker_steal_fails_total", "counter",
+           "Steal probes that found a victim empty or lost the race.");
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.steal_fails);
+  w.family("sdaf_worker_futex_parks_total", "counter",
+           "Idle futex sleeps per pool worker.");
+  for (const auto& s : snaps)
+    for (const auto& x : s.workers)
+      w.sample(s.tenant.tenant,
+               ",worker=\"" + std::to_string(x.worker) + "\"", x.futex_parks);
   w.family("sdaf_worker_queue_depth_max", "gauge",
            "Maximum ready-queue depth sampled per worker.");
   for (const auto& s : snaps)

@@ -36,6 +36,9 @@ void WorkerCounters::reset() {
   task_runs.store(0, std::memory_order_relaxed);
   parks.store(0, std::memory_order_relaxed);
   wakes.store(0, std::memory_order_relaxed);
+  steals.store(0, std::memory_order_relaxed);
+  steal_fails.store(0, std::memory_order_relaxed);
+  futex_parks.store(0, std::memory_order_relaxed);
   depth_samples.store(0, std::memory_order_relaxed);
   depth_sum.store(0, std::memory_order_relaxed);
   depth_max.store(0, std::memory_order_relaxed);
@@ -119,6 +122,9 @@ WorkerMetrics read_worker(const WorkerCounters& counters, std::size_t index) {
   m.task_runs = load(counters.task_runs);
   m.parks = load(counters.parks);
   m.wakes = load(counters.wakes);
+  m.steals = load(counters.steals);
+  m.steal_fails = load(counters.steal_fails);
+  m.futex_parks = load(counters.futex_parks);
   m.depth_samples = load(counters.depth_samples);
   m.depth_max = load(counters.depth_max);
   m.depth_avg = m.depth_samples == 0

@@ -77,7 +77,10 @@ struct alignas(64) WorkerCounters {
   std::atomic<std::uint64_t> task_runs{0};      // node quanta executed
   std::atomic<std::uint64_t> parks{0};          // tasks parked (kIdle CAS won)
   std::atomic<std::uint64_t> wakes{0};          // tasks (re)scheduled
-  std::atomic<std::uint64_t> depth_samples{0};  // ready-queue depth samples
+  std::atomic<std::uint64_t> steals{0};         // tasks taken from a peer
+  std::atomic<std::uint64_t> steal_fails{0};    // empty/contended steal probes
+  std::atomic<std::uint64_t> futex_parks{0};    // idle worker futex sleeps
+  std::atomic<std::uint64_t> depth_samples{0};  // local deque depth samples
   std::atomic<std::uint64_t> depth_sum{0};
   std::atomic<std::uint64_t> depth_max{0};
 
@@ -148,6 +151,9 @@ struct WorkerMetrics {
   std::uint64_t task_runs = 0;
   std::uint64_t parks = 0;
   std::uint64_t wakes = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_fails = 0;
+  std::uint64_t futex_parks = 0;
   std::uint64_t depth_samples = 0;
   std::uint64_t depth_max = 0;
   double depth_avg = 0.0;

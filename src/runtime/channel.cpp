@@ -42,21 +42,14 @@ void BoundedChannel::record_push(MessageKind kind, std::size_t count,
 }
 
 void BoundedChannel::notify_not_empty() {
-  // The ring publish already issued a seq_cst fence, so this relaxed load
-  // pairs with a waiter's seq_cst registration: one side always sees the
-  // other (lost-wakeup-free), and with no waiter the mutex is never touched.
-  if (empty_waiters_.load(std::memory_order_relaxed) > 0) {
-    std::lock_guard lock(park_mu_);
-    not_empty_.notify_one();
-  }
+  // The ring publish already issued a seq_cst fence, so the elided bump's
+  // relaxed waiter read pairs with a waiter's seq_cst registration: one
+  // side always sees the other (lost-wakeup-free), and with no waiter
+  // neither the version word nor the kernel is ever touched.
+  not_empty_.bump_if_waiters();
 }
 
-void BoundedChannel::notify_not_full() {
-  if (full_waiters_.load(std::memory_order_relaxed) > 0) {
-    std::lock_guard lock(park_mu_);
-    not_full_.notify_one();
-  }
-}
+void BoundedChannel::notify_not_full() { not_full_.bump_if_waiters(); }
 
 bool BoundedChannel::push(Message m) {
   for (;;) {
@@ -68,21 +61,21 @@ bool BoundedChannel::push(Message m) {
       notify_not_empty();
       return true;
     }
-    // Full: park until a pop frees space or the run aborts. Registration
-    // precedes the re-check, and the fence pairs with finish_pop's fence
-    // (a seq_cst RMW alone does not order the acquire re-check under the
-    // standard's fence rules).
+    // Full: park futex-style until a pop frees space or the run aborts.
+    // Capture precedes registration precedes the re-check, and the fence
+    // pairs with finish_pop's fence (a seq_cst RMW alone does not order
+    // the acquire re-check under the standard's fence rules). If a pop
+    // lands after the re-check it bumps the version off `captured`, so the
+    // park falls through; the outer loop re-probes either way.
     if (metrics_ != nullptr) obs::bump(metrics_->full_stalls);
-    full_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint32_t captured = not_full_.capture();
+    not_full_.register_waiter();
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (ring_.full() && !aborted_.load(std::memory_order_acquire)) {
-      std::unique_lock lock(park_mu_);
       BlockedScope blocked(monitor_);
-      not_full_.wait(lock, [&] {
-        return !ring_.full() || aborted_.load(std::memory_order_acquire);
-      });
+      ParkingLot::park(not_full_.version, captured);
     }
-    full_waiters_.fetch_sub(1, std::memory_order_relaxed);
+    not_full_.unregister_waiter();
   }
 }
 
@@ -188,16 +181,14 @@ std::optional<HeadView> BoundedChannel::peek_head_wait() {
     if (auto head = ring_.peek_head(); head.has_value()) return head;
     if (aborted_.load(std::memory_order_acquire)) return std::nullopt;
     if (metrics_ != nullptr) obs::bump(metrics_->empty_waits);
-    empty_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint32_t captured = not_empty_.capture();
+    not_empty_.register_waiter();
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (ring_.empty() && !aborted_.load(std::memory_order_acquire)) {
-      std::unique_lock lock(park_mu_);
       BlockedScope blocked(monitor_);
-      not_empty_.wait(lock, [&] {
-        return !ring_.empty() || aborted_.load(std::memory_order_acquire);
-      });
+      ParkingLot::park(not_empty_.version, captured);
     }
-    empty_waiters_.fetch_sub(1, std::memory_order_relaxed);
+    not_empty_.unregister_waiter();
   }
 }
 
@@ -241,13 +232,11 @@ BoundedChannel::PopRun BoundedChannel::pop_dummies(std::size_t count) {
 
 void BoundedChannel::abort() {
   aborted_.store(true, std::memory_order_seq_cst);
-  {
-    // Take the park mutex so a waiter between its re-check and its wait
-    // cannot miss the notification.
-    std::lock_guard lock(park_mu_);
-    not_full_.notify_all();
-    not_empty_.notify_all();
-  }
+  // Unconditional bumps: the version moves off every captured value before
+  // the wake, so a waiter between its re-check and its park falls through
+  // instead of sleeping past the abort.
+  not_full_.bump();
+  not_empty_.bump();
   if (producer_signal_ != nullptr) producer_signal_->bump(/*abort_flag=*/true);
 }
 

@@ -4,16 +4,18 @@
 // a runtime::SpscRing (atomic head/tail counters over MessageRing-style
 // coalescing segment storage) and never take a mutex.
 //
-// The mutex survives only for the *blocking* operations (push /
-// peek_head_wait, used by the thread-per-node backend and tests) and even
-// there only around the condition-variable park itself. Wake-ups are elided
-// with atomic waiter counts: a fast-path push or pop touches the mutex only
-// when the opposite side has registered as parked, so the hot path of the
-// pooled backend (which never blocks inside a channel) pays no notify at
-// all. The protocol is lost-wakeup-free: a waiter registers its count
-// *before* re-checking the ring, and the opposite side's counter publish
-// issues a seq_cst fence *before* reading the waiter count, so one of the
-// two always observes the other (see README "Testing" for the invariant).
+// There is no mutex anywhere: the *blocking* operations (push /
+// peek_head_wait, used by the thread-per-node backend and tests) park
+// futex-style directly on the channel's atomic event words
+// (runtime::ParkingLot). Wake-ups are elided with atomic waiter counts: a
+// fast-path push or pop never issues a wake syscall unless the opposite
+// side has registered as parked, so the hot path of the pooled backend
+// (which never blocks inside a channel) pays nothing. The protocol is
+// lost-wakeup-free: a waiter captures the event word, registers its count
+// with a seq_cst RMW *before* re-checking the ring, and the opposite
+// side's counter publish issues a seq_cst fence *before* reading the
+// waiter count, so one of the two always observes the other -- "never
+// falsely empty for a parked peer" (see docs/SCHEDULER.md).
 //
 // Occupancy, full() and the stats still count logical messages (a coalesced
 // run of k dummies counts k), so the paper's buffer-size semantics -- and
@@ -26,14 +28,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 
 #include "src/obs/metrics.h"
 #include "src/runtime/deadlock_detector.h"
 #include "src/runtime/message.h"
+#include "src/runtime/parking_lot.h"
 #include "src/runtime/spsc_ring.h"
 
 namespace sdaf::runtime {
@@ -47,30 +48,23 @@ struct ChannelStats {
 // Wakeup channel from a node's output channels back to the node: a firing's
 // outputs are delivered per-channel asynchronously (whatever fits goes out;
 // the rest is retried), so a producer blocked on one full channel must wake
-// when *any* of its channels frees space. The version counter closes the
-// check-then-wait race; the waiter count elides the mutex+notify on pops
-// when the producer is not parked (the common case).
+// when *any* of its channels frees space. The event word's version counter
+// closes the check-then-wait race; the waiter count elides the wake syscall
+// on pops when the producer is not parked (the common case). Waiters park
+// futex-style on `event.version` -- no mutex, no condition variable.
 struct ProducerSignal {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::atomic<std::uint64_t> version{0};
+  EventWord event;
   std::atomic<bool> aborted{false};
-  std::atomic<int> waiters{0};
 
-  // Wake-elision contract: a waiter must (1) capture `version`, (2)
-  // register in `waiters` with a seq_cst RMW, (3) re-check for progress,
-  // and only then wait for `version` to move. bump() publishes the version
-  // before reading `waiters` across a seq_cst fence, so either the bump
-  // sees the registered waiter (and notifies under mu), or the waiter's
-  // re-check runs after the pop that bumped -- never both miss.
+  // Wake-elision contract: a waiter must (1) capture `event`, (2) register
+  // with a seq_cst RMW, (3) re-check for progress, and only then park on
+  // the captured value. bump() publishes the version before reading the
+  // waiter count across a seq_cst fence, so either the bump sees the
+  // registered waiter (and wakes), or the waiter's re-check runs after the
+  // pop that bumped -- never both miss.
   void bump(bool abort_flag = false) {
     if (abort_flag) aborted.store(true, std::memory_order_release);
-    version.fetch_add(1, std::memory_order_release);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (waiters.load(std::memory_order_relaxed) > 0) {
-      std::lock_guard lock(mu);
-      cv.notify_all();
-    }
+    event.bump();
   }
 };
 
@@ -214,12 +208,11 @@ class BoundedChannel {
   std::atomic<std::uint64_t> cut_data_pushed_{0};
   std::atomic<std::uint64_t> cut_dummies_pushed_{0};
 
-  // Slow path only: the mutex guards nothing but the condition variables.
-  mutable std::mutex park_mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::atomic<int> full_waiters_{0};
-  std::atomic<int> empty_waiters_{0};
+  // Slow path only: futex-parked event words for the blocking ops. The
+  // elided bumps are sound because SpscRing's publish/finish_pop each issue
+  // a seq_cst fence before the waiter-count read (see EventWord).
+  EventWord not_full_;
+  EventWord not_empty_;
 };
 
 }  // namespace sdaf::runtime

@@ -73,26 +73,22 @@ class NodeRunner final : private exec::DeliverySink {
       // remain for full channels (an empty input would have blocked inside
       // peek_head_wait instead). Wait for any output channel to free space.
       // Wake-elision protocol (see ProducerSignal::bump): capture the
-      // version, register as a waiter, then re-check -- a pop that lands
-      // after the capture either moves the version (so the wait predicate
-      // is already true) or sees our registration and notifies.
-      const std::uint64_t version =
-          signal_.version.load(std::memory_order_acquire);
-      signal_.waiters.fetch_add(1, std::memory_order_seq_cst);
+      // event word, register as a waiter, then re-check -- a pop that lands
+      // after the capture either moves the version (so the park falls
+      // through) or sees our registration and wakes. Spurious returns just
+      // re-enter the outer loop.
+      const std::uint32_t version = signal_.event.capture();
+      signal_.event.register_waiter();
       // Pairs with the fence in ProducerSignal::bump: the registration RMW
       // alone does not order the re-check's acquire loads.
       std::atomic_thread_fence(std::memory_order_seq_cst);
       const bool progressed = core_.step();
       if (!progressed && !core_.done() && !aborted_ && !core_.aborted() &&
           !signal_.aborted.load(std::memory_order_acquire)) {
-        std::unique_lock lock(signal_.mu);
         BlockedScope blocked(output_wait_monitor_);
-        signal_.cv.wait(lock, [&] {
-          return signal_.version.load(std::memory_order_acquire) != version ||
-                 signal_.aborted.load(std::memory_order_acquire);
-        });
+        ParkingLot::park(signal_.event.version, version);
       }
-      signal_.waiters.fetch_sub(1, std::memory_order_relaxed);
+      signal_.event.unregister_waiter();
       if (progressed) continue;
       if (core_.done() || aborted_ || core_.aborted() ||
           signal_.aborted.load(std::memory_order_acquire))

@@ -1,0 +1,131 @@
+#include "src/runtime/parking_lot.h"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#else
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#endif
+
+namespace sdaf::runtime {
+
+#if defined(__linux__)
+
+namespace {
+
+// The futex interface wants a plain uint32_t*. std::atomic<uint32_t> is
+// lock-free and layout-compatible on every platform with a futex; the data
+// race the kernel sees is benign (it only compares the value, and every
+// caller re-checks through the atomic afterwards).
+long futex_call(const std::atomic<std::uint32_t>& word, int op,
+                std::uint32_t value, const struct timespec* timeout) {
+  static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t));
+  return syscall(SYS_futex,
+                 reinterpret_cast<const std::uint32_t*>(&word),  // NOLINT
+                 op, value, timeout, nullptr, 0);
+}
+
+}  // namespace
+
+void ParkingLot::park(const std::atomic<std::uint32_t>& word,
+                      std::uint32_t expected) {
+  futex_call(word, FUTEX_WAIT_PRIVATE, expected, nullptr);
+}
+
+bool ParkingLot::park_for(const std::atomic<std::uint32_t>& word,
+                          std::uint32_t expected,
+                          std::chrono::nanoseconds timeout) {
+  if (timeout <= std::chrono::nanoseconds::zero())
+    return word.load(std::memory_order_acquire) != expected;
+  struct timespec ts;
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(timeout);
+  ts.tv_sec = static_cast<time_t>(secs.count());
+  ts.tv_nsec = static_cast<long>((timeout - secs).count());
+  const long rc = futex_call(word, FUTEX_WAIT_PRIVATE, expected, &ts);
+  return !(rc == -1 && errno == ETIMEDOUT);
+}
+
+bool ParkingLot::park_until(const std::atomic<std::uint32_t>& word,
+                            std::uint32_t expected,
+                            std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return word.load(std::memory_order_acquire) != expected;
+  return park_for(word, expected, deadline - now);
+}
+
+void ParkingLot::wake_one(const std::atomic<std::uint32_t>& word) {
+  futex_call(word, FUTEX_WAKE_PRIVATE, 1, nullptr);
+}
+
+void ParkingLot::wake_all(const std::atomic<std::uint32_t>& word) {
+  futex_call(word, FUTEX_WAKE_PRIVATE, 0x7FFFFFFF, nullptr);
+}
+
+#else  // portable fallback: hashed mutex+condvar buckets
+
+namespace {
+
+// Fixed-size bucket table keyed by word address. Collisions only cost
+// spurious wake-ups, which every caller tolerates by protocol.
+struct Bucket {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+constexpr std::size_t kBuckets = 64;
+
+Bucket& bucket_for(const void* addr) {
+  static Bucket buckets[kBuckets];
+  const auto h = reinterpret_cast<std::uintptr_t>(addr);
+  return buckets[(h >> 4) % kBuckets];
+}
+
+}  // namespace
+
+void ParkingLot::park(const std::atomic<std::uint32_t>& word,
+                      std::uint32_t expected) {
+  Bucket& b = bucket_for(&word);
+  std::unique_lock lock(b.mu);
+  if (word.load(std::memory_order_acquire) != expected) return;
+  b.cv.wait(lock, [&] {
+    return word.load(std::memory_order_acquire) != expected;
+  });
+}
+
+bool ParkingLot::park_for(const std::atomic<std::uint32_t>& word,
+                          std::uint32_t expected,
+                          std::chrono::nanoseconds timeout) {
+  return park_until(word, expected,
+                    std::chrono::steady_clock::now() + timeout);
+}
+
+bool ParkingLot::park_until(const std::atomic<std::uint32_t>& word,
+                            std::uint32_t expected,
+                            std::chrono::steady_clock::time_point deadline) {
+  Bucket& b = bucket_for(&word);
+  std::unique_lock lock(b.mu);
+  if (word.load(std::memory_order_acquire) != expected) return true;
+  return b.cv.wait_until(lock, deadline, [&] {
+    return word.load(std::memory_order_acquire) != expected;
+  });
+}
+
+void ParkingLot::wake_one(const std::atomic<std::uint32_t>& word) {
+  Bucket& b = bucket_for(&word);
+  std::lock_guard lock(b.mu);
+  b.cv.notify_all();  // collisions share the cv; notify_all is the safe form
+}
+
+void ParkingLot::wake_all(const std::atomic<std::uint32_t>& word) {
+  wake_one(word);
+}
+
+#endif
+
+}  // namespace sdaf::runtime

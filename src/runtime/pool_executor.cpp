@@ -4,16 +4,17 @@
 #include <thread>
 
 #include "src/support/contracts.h"
+#include "src/support/prng.h"
 #include "src/support/timer.h"
 
 namespace sdaf::runtime {
 
 namespace pool_detail {
 
-// Scheduling state of one node task. A task is in the ready queue iff its
-// state is kQueued; notifications that arrive while it runs are folded into
-// kRunningNotified so the owning worker re-runs it instead of racing a
-// second worker onto the same node.
+// Scheduling state of one node task. A task is enqueued (hot slot, deque,
+// or injector) iff its state is kQueued; notifications that arrive while it
+// runs are folded into kRunningNotified so the owning worker re-runs it
+// instead of racing a second worker onto the same node.
 enum : std::uint32_t {
   kIdle = 0,
   kQueued = 1,
@@ -31,131 +32,6 @@ struct NodeTask {
   std::atomic<std::uint64_t> park_summary{0};
 };
 
-MpmcRing::MpmcRing(std::size_t capacity_pow2)
-    : cells_(new Cell[capacity_pow2]), mask_(capacity_pow2 - 1) {
-  SDAF_EXPECTS(capacity_pow2 >= 2 &&
-               (capacity_pow2 & (capacity_pow2 - 1)) == 0);
-  for (std::size_t i = 0; i < capacity_pow2; ++i)
-    cells_[i].seq.store(i, std::memory_order_relaxed);
-}
-
-bool MpmcRing::try_push(NodeTask* task) {
-  std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
-  for (;;) {
-    Cell& cell = cells_[pos & mask_];
-    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
-                              static_cast<std::intptr_t>(pos);
-    if (dif == 0) {
-      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
-                                             std::memory_order_relaxed)) {
-        cell.item = task;
-        cell.seq.store(pos + 1, std::memory_order_release);
-        return true;
-      }
-    } else if (dif < 0) {
-      return false;  // full
-    } else {
-      pos = enqueue_pos_.load(std::memory_order_relaxed);
-    }
-  }
-}
-
-NodeTask* MpmcRing::try_pop() {
-  std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
-  for (;;) {
-    Cell& cell = cells_[pos & mask_];
-    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
-                              static_cast<std::intptr_t>(pos + 1);
-    if (dif == 0) {
-      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
-                                             std::memory_order_relaxed)) {
-        NodeTask* task = cell.item;
-        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
-        return task;
-      }
-    } else if (dif < 0) {
-      return nullptr;  // empty
-    } else {
-      pos = dequeue_pos_.load(std::memory_order_relaxed);
-    }
-  }
-}
-
-std::size_t MpmcRing::approx_depth() const {
-  const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
-  const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
-  return enq > deq ? enq - deq : 0;
-}
-
-ReadyQueue::ReadyQueue(std::size_t ring_capacity) : ring_(ring_capacity) {}
-
-void ReadyQueue::push(NodeTask* task) {
-  if (!ring_.try_push(task)) {
-    std::lock_guard lock(mu_);
-    overflow_.push_back(task);
-    overflow_size_.store(overflow_.size(), std::memory_order_relaxed);
-  }
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (sleepers_.load(std::memory_order_relaxed) > 0) {
-    std::lock_guard lock(mu_);
-    cv_.notify_one();
-  }
-}
-
-NodeTask* ReadyQueue::try_pop() {
-  if (NodeTask* task = ring_.try_pop()) return task;
-  if (overflow_size_.load(std::memory_order_relaxed) > 0) {
-    std::lock_guard lock(mu_);
-    if (!overflow_.empty()) {
-      NodeTask* task = overflow_.front();
-      overflow_.pop_front();
-      overflow_size_.store(overflow_.size(), std::memory_order_relaxed);
-      return task;
-    }
-  }
-  return nullptr;
-}
-
-NodeTask* ReadyQueue::pop_wait(const std::atomic<bool>& stop) {
-  for (;;) {
-    if (NodeTask* task = try_pop()) return task;
-    if (stop.load(std::memory_order_acquire)) return nullptr;
-    std::unique_lock lock(mu_);
-    sleepers_.fetch_add(1, std::memory_order_seq_cst);
-    // Recheck after registering as a sleeper: a pusher that published its
-    // task before reading sleepers_ is either seen here, or saw us and will
-    // notify under mu_. mu_ is already held, so consult the overflow list
-    // directly (try_pop would re-lock it) and the ring lock-free.
-    NodeTask* task = ring_.try_pop();
-    if (task == nullptr && !overflow_.empty()) {
-      task = overflow_.front();
-      overflow_.pop_front();
-      overflow_size_.store(overflow_.size(), std::memory_order_relaxed);
-    }
-    if (task != nullptr || stop.load(std::memory_order_acquire)) {
-      sleepers_.fetch_sub(1, std::memory_order_relaxed);
-      if (task != nullptr) return task;
-      return nullptr;
-    }
-    // The timeout is insurance only (the fence + sleepers_ handshake makes
-    // wakes reliable); keep it long enough that idle pools cost ~nothing.
-    cv_.wait_for(lock, std::chrono::milliseconds(50));
-    sleepers_.fetch_sub(1, std::memory_order_relaxed);
-  }
-}
-
-void ReadyQueue::notify_all() {
-  std::lock_guard lock(mu_);
-  cv_.notify_all();
-}
-
-std::size_t ReadyQueue::approx_depth() const {
-  return ring_.approx_depth() +
-         overflow_size_.load(std::memory_order_relaxed);
-}
-
 }  // namespace pool_detail
 
 namespace {
@@ -167,6 +43,16 @@ namespace {
 // does not write through a foreign shard pointer.
 thread_local const void* tls_pool = nullptr;
 thread_local obs::WorkerCounters* tls_shard = nullptr;
+thread_local void* tls_worker = nullptr;  // PoolExecutor::Worker*
+
+// Schedule-perturbation hook (harness sched=steal-heavy / park-storm): an
+// injected yield point that fires with probability p/256, forcing the
+// adversarial interleavings a free-running pool rarely explores. The PRNG
+// is the worker's own, so a fixed Options::seed reproduces the same
+// decision sequence for a given interleaving.
+inline void maybe_perturb(std::uint32_t p, sdaf::Prng& rng) {
+  if (p != 0 && rng.next_below(256) < p) std::this_thread::yield();
+}
 
 }  // namespace
 
@@ -175,6 +61,22 @@ using pool_detail::kQueued;
 using pool_detail::kRunning;
 using pool_detail::kRunningNotified;
 using pool_detail::NodeTask;
+
+// One worker's scheduling state. Only the owning worker touches the deque
+// bottom, the PRNG, and pending_wakes; the hot slot and the deque top are
+// shared with thieves.
+struct PoolExecutor::Worker {
+  Worker(std::size_t deque_capacity, std::uint64_t seed)
+      : deque(deque_capacity), rng(seed) {}
+
+  StealDeque deque;
+  // LIFO slot for the freshest wake-up: the task most likely to have its
+  // channel data still in this worker's cache. Any thread takes it with an
+  // exchange, so a task here is never stranded -- thieves probe it too.
+  alignas(64) std::atomic<NodeTask*> hot{nullptr};
+  Prng rng;                        // owner-only
+  std::size_t pending_wakes = 0;  // owner-only: pushes since the last flush
+};
 
 // One submitted graph execution: channels, node state machines, tasks, and
 // the exact-quiescence bookkeeping. Lives until wait() collects the result.
@@ -194,7 +96,10 @@ struct PoolExecutor::Instance final : Waker {
   // means quiescence: no node of this instance can progress until a port
   // supplies more work -- and with no open ports that verdict is final:
   // either all nodes finished (completed) or some cannot (deadlock),
-  // exactly.
+  // exactly. Distribution does not blur this: a task counts from its
+  // schedule() CAS until its park decrement wherever it sits -- a hot
+  // slot, any deque, the injector, or a thief's hands between the winning
+  // steal CAS and run_task -- so a steal in flight is still pending work.
   std::atomic<std::int64_t> active{0};
 
   // Live-port bookkeeping. `streaming` is set for ports->live submissions;
@@ -233,8 +138,7 @@ struct PoolExecutor::Instance final : Waker {
   }
 };
 
-PoolExecutor::PoolExecutor(const Options& options)
-    : options_(options), queue_(options.ready_queue_ring_capacity) {
+PoolExecutor::PoolExecutor(const Options& options) : options_(options) {
   std::size_t n = options_.workers;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
@@ -242,12 +146,20 @@ PoolExecutor::PoolExecutor(const Options& options)
   }
   options_.workers = n;
   if (options_.max_steps_per_quantum == 0) options_.max_steps_per_quantum = 1;
+  if (options_.deque_capacity < 2) options_.deque_capacity = 2;
   // Sized before the workers spawn and never resized: one shard per worker
   // plus a trailing shard for non-worker threads.
   worker_shards_ = std::vector<obs::WorkerCounters>(n + 1);
   workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Odd-multiplier mix so seed 0 still decorrelates the workers.
+    std::uint64_t s = options_.seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+    workers_.push_back(std::make_unique<Worker>(options_.deque_capacity,
+                                                splitmix64(s)));
+  }
+  threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 PoolExecutor::~PoolExecutor() {
@@ -270,8 +182,10 @@ PoolExecutor::~PoolExecutor() {
     pending->cv.wait(ilock, [&] { return pending->finished; });
   }
   stop_.store(true, std::memory_order_release);
-  queue_.notify_all();
-  for (auto& w : workers_) w.join();
+  // Unconditional bump: the epoch moves off every captured value before the
+  // wake, so a worker between its re-scan and its park falls through.
+  work_event_.bump();
+  for (auto& t : threads_) t.join();
 }
 
 PoolExecutor::TicketId PoolExecutor::submit(
@@ -393,6 +307,118 @@ PoolExecutor::TicketId PoolExecutor::submit(
   return ticket;
 }
 
+void PoolExecutor::enqueue_local(Worker& w, NodeTask* task) {
+  if (options_.lifo_slot) {
+    // The fresh wake takes the hot slot; its previous occupant ages into
+    // the deque where peers can steal it from the FIFO end.
+    NodeTask* displaced = w.hot.exchange(task, std::memory_order_acq_rel);
+    if (displaced != nullptr) w.deque.push_bottom(displaced);
+  } else {
+    w.deque.push_bottom(task);
+  }
+  // The wake is deferred: one flush per drain (after run_task) publishes
+  // the whole batch with a single fence + epoch bump instead of a fence
+  // per channel push. Liveness holds because a worker's own pre-park
+  // re-scan covers every deque -- see worker_loop.
+  ++w.pending_wakes;
+}
+
+void PoolExecutor::enqueue_injector(NodeTask* task) {
+  {
+    std::lock_guard lock(injector_mu_);
+    injector_.push_back(task);
+    injector_size_.store(injector_.size(), std::memory_order_relaxed);
+  }
+  // External enqueues flush immediately: nothing amortizes a caller that
+  // may go quiet (a stream pusher, a submit kick).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  work_event_.bump_if_waiters();
+}
+
+void PoolExecutor::flush_wakes(Worker& w) {
+  if (w.pending_wakes == 0) return;
+  w.pending_wakes = 0;
+  // Pairs with a parking worker's seq_cst registration: either this read
+  // sees the sleeper (and the epoch bump unparks it), or the sleeper's
+  // post-registration re-scan sees our deque pushes. Never both miss.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  work_event_.bump_if_waiters();
+}
+
+NodeTask* PoolExecutor::pop_injector() {
+  if (injector_size_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard lock(injector_mu_);
+  if (injector_.empty()) return nullptr;
+  NodeTask* task = injector_.front();
+  injector_.pop_front();
+  injector_size_.store(injector_.size(), std::memory_order_relaxed);
+  return task;
+}
+
+NodeTask* PoolExecutor::find_task(Worker& w, bool* contended) {
+  *contended = false;
+  // 1. Own hot slot: the freshest wake, hottest cache.
+  if (w.hot.load(std::memory_order_relaxed) != nullptr)
+    if (NodeTask* task = w.hot.exchange(nullptr, std::memory_order_acquire))
+      return task;
+  // 2. Own deque: LIFO bottom normally; in fifo mode (lifo_slot off) take
+  // the FIFO end via self-steal so arrival order is preserved.
+  if (options_.lifo_slot) {
+    if (auto* task = static_cast<NodeTask*>(w.deque.pop_bottom())) return task;
+  } else {
+    for (;;) {
+      void* out = nullptr;
+      const auto r = w.deque.steal(&out);
+      if (r == StealDeque::StealResult::Ok)
+        return static_cast<NodeTask*>(out);
+      if (r == StealDeque::StealResult::Empty) break;
+      // Contended self-steal: a thief holds the race; retry, it is our own
+      // non-empty deque.
+    }
+  }
+  // 3. Shared injector (external wakes, quantum-yielded tasks).
+  if (NodeTask* task = pop_injector()) return task;
+  // 4. Randomized steal sweep: probe every peer once, starting at a
+  // PRNG-chosen victim so simultaneous thieves fan out instead of piling
+  // onto worker 0.
+  const std::size_t n = workers_.size();
+  if (n <= 1) return nullptr;
+  obs::WorkerCounters& shard = current_shard();
+  const std::size_t start = static_cast<std::size_t>(w.rng.next_below(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& victim = *workers_[(start + k) % n];
+    if (&victim == &w) continue;
+    maybe_perturb(options_.perturb_yield_in_256, w.rng);
+    // Hot slots are stealable too (exchange), so a wake parked there while
+    // its owner crunches a long quantum is never stranded. Probe with a
+    // load first: the exchange dirties the victim's cache line.
+    if (victim.hot.load(std::memory_order_relaxed) != nullptr) {
+      if (NodeTask* task =
+              victim.hot.exchange(nullptr, std::memory_order_acquire)) {
+        obs::bump(shard.steals);
+        return task;
+      }
+    }
+    void* out = nullptr;
+    switch (victim.deque.steal(&out)) {
+      case StealDeque::StealResult::Ok:
+        obs::bump(shard.steals);
+        return static_cast<NodeTask*>(out);
+      case StealDeque::StealResult::Contended:
+        // Lost the top CAS: work exists (someone else got it, more may
+        // remain). The caller treats this as a work signal and must not
+        // park off this sweep.
+        *contended = true;
+        obs::bump(shard.steal_fails);
+        break;
+      case StealDeque::StealResult::Empty:
+        obs::bump(shard.steal_fails);
+        break;
+    }
+  }
+  return nullptr;
+}
+
 void PoolExecutor::schedule(NodeTask* task) {
   std::uint32_t s = task->sched.load();
   for (;;) {
@@ -406,7 +432,10 @@ void PoolExecutor::schedule(NodeTask* task) {
           // these are scheduling diagnostics, not exactness-checked counts.
           obs::bump(current_shard().wakes);
           task->instance->active.fetch_add(1);
-          queue_.push(task);
+          if (tls_pool == this)
+            enqueue_local(*static_cast<Worker*>(tls_worker), task);
+          else
+            enqueue_injector(task);
           return;
         }
         break;
@@ -422,17 +451,29 @@ void PoolExecutor::schedule(NodeTask* task) {
 void PoolExecutor::run_task(NodeTask* task) {
   NodeState& node = *task->node;
   obs::WorkerCounters& shard = current_shard();
+  auto* w = static_cast<Worker*>(tls_worker);
   obs::bump(shard.task_runs);
-  shard.sample_depth(queue_.approx_depth());
-  task->sched.store(kRunning);
+  if (w != nullptr)
+    shard.sample_depth(
+        w->deque.approx_size() +
+        (w->hot.load(std::memory_order_relaxed) != nullptr ? 1 : 0));
+  // An RMW, not a blind store: acquire-reading the enqueuer's kQueued write
+  // orders this runner after the previous runner through the sched word
+  // itself (park CAS -> wake CAS -> this exchange), independent of which
+  // container delivered the task.
+  const std::uint32_t pre = task->sched.exchange(kRunning);
+  SDAF_ASSERT(pre == kQueued);
   for (;;) {
     std::size_t steps = 0;
     while (node.step()) {
+      if (w != nullptr) maybe_perturb(options_.perturb_yield_in_256, w->rng);
       if (++steps >= options_.max_steps_per_quantum) {
-        // Yield for fairness; the task stays accounted as active. A
+        // Yield for fairness; the task stays accounted as active. It goes
+        // to the shared FIFO, not our own LIFO end, so co-tenant tasks in
+        // this deque get the worker first and idle peers can take it. A
         // notification folded in while running is subsumed by re-queuing.
         task->sched.exchange(kQueued);
-        queue_.push(task);
+        enqueue_injector(task);
         return;
       }
     }
@@ -597,7 +638,49 @@ void PoolExecutor::finalize(Instance& instance) {
 void PoolExecutor::worker_loop(std::size_t worker_index) {
   tls_pool = this;
   tls_shard = &worker_shards_[worker_index];
-  while (NodeTask* task = queue_.pop_wait(stop_)) run_task(task);
+  Worker& w = *workers_[worker_index];
+  tls_worker = &w;
+  obs::WorkerCounters& shard = *tls_shard;
+  for (;;) {
+    bool contended = false;
+    if (NodeTask* task = find_task(w, &contended)) {
+      run_task(task);
+      // The amortized wake point: one epoch bump covers every push this
+      // drain produced.
+      flush_wakes(w);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (contended) {
+      // A steal lost its race: work exists, re-sweep instead of parking
+      // (yield first -- on few cores the winner needs the CPU to finish).
+      std::this_thread::yield();
+      continue;
+    }
+    // Idle. Futex-park on the work epoch: capture -> register (seq_cst
+    // RMW) -> full re-scan -> park on the captured epoch. Any publisher
+    // either sees our registration after its fence (and bumps the epoch,
+    // so the park falls through or wakes) or published before our re-scan
+    // (and the re-scan finds its task). "Never falsely empty for a parked
+    // peer" -- see docs/SCHEDULER.md.
+    const std::uint32_t epoch = work_event_.capture();
+    work_event_.register_waiter();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    NodeTask* task = find_task(w, &contended);
+    if (task == nullptr && !contended &&
+        !stop_.load(std::memory_order_acquire)) {
+      obs::bump(shard.futex_parks);
+      // The timeout is insurance only (the flush handshake makes wakes
+      // reliable); keep it long enough that idle pools cost ~nothing.
+      ParkingLot::park_for(work_event_.version, epoch,
+                           std::chrono::milliseconds(50));
+    }
+    work_event_.unregister_waiter();
+    if (task != nullptr) {
+      run_task(task);
+      flush_wakes(w);
+    }
+  }
 }
 
 obs::WorkerCounters& PoolExecutor::current_shard() {

@@ -6,16 +6,30 @@
 // graph instances multiply that. Here each node is a non-blocking state
 // machine (runtime::NodeState) that a worker steps until it can make no
 // progress, then parks; channel transitions (input filled, full output
-// drained) re-enqueue it onto a shared ready queue. Threads never block
-// inside a kernel or a channel, so a pool of W workers runs any number of
-// graphs of any size with exactly W + 1 OS threads.
+// drained) re-enqueue it. Threads never block inside a kernel or a channel,
+// so a pool of W workers runs any number of graphs of any size with exactly
+// W + 1 OS threads.
+//
+// Scheduling (v2) is work-stealing: each worker owns a Chase-Lev deque
+// (runtime::StealDeque) plus a one-task LIFO hot slot for the freshest
+// wake-up (cache affinity); idle workers steal from randomly ordered
+// victims -- the hot slot by atomic exchange, the deque from its FIFO top.
+// External threads (submit kicks, stream-port hooks) enqueue through a small
+// locked injector. Wake fences are amortized: a worker batches the wakes
+// its quantum generates and publishes one epoch bump per drain, not one per
+// channel push; idle workers park futex-style (runtime::ParkingLot) on the
+// epoch word, with a pre-park re-scan of every source so the flush protocol
+// is "never falsely empty for a parked peer". See docs/SCHEDULER.md.
 //
 // Deadlock is certified *exactly*, not by watchdog timing: a per-instance
 // counter tracks queued + running tasks; nodes are only woken by channel
 // transitions caused by other tasks of the same instance, so when the
-// counter reaches zero no future progress is possible. If nodes remain
-// unfinished at quiescence the instance deadlocked -- the same verdict
-// sim::simulate computes by sweeping.
+// counter reaches zero no future progress is possible. Distributing the
+// ready queue does not move that quiescence point: a task counts from its
+// schedule() transition until its park decrement, wherever it sits -- a
+// hot slot, any deque, the injector, or a thief's hands between the
+// winning steal CAS and run_task. If nodes remain unfinished at quiescence
+// the instance deadlocked -- the same verdict sim::simulate computes.
 //
 // The pool is multi-tenant: submit() may be called concurrently for many
 // independent graph instances, which interleave on the same workers. Pair
@@ -46,61 +60,13 @@
 #include "src/runtime/executor.h"
 #include "src/runtime/kernel.h"
 #include "src/runtime/node_state.h"
+#include "src/runtime/parking_lot.h"
+#include "src/runtime/steal_deque.h"
 
 namespace sdaf::runtime {
 
 namespace pool_detail {
-
 struct NodeTask;
-
-// Bounded lock-free MPMC ring (Vyukov): the fast path of the ready queue.
-class MpmcRing {
- public:
-  explicit MpmcRing(std::size_t capacity_pow2);
-
-  [[nodiscard]] bool try_push(NodeTask* task);
-  [[nodiscard]] NodeTask* try_pop();
-  // Racy instantaneous depth (enqueue minus dequeue cursor); sampling only.
-  [[nodiscard]] std::size_t approx_depth() const;
-
- private:
-  struct Cell {
-    std::atomic<std::size_t> seq;
-    NodeTask* item;
-  };
-
-  std::unique_ptr<Cell[]> cells_;
-  std::size_t mask_;
-  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
-  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
-};
-
-// MPMC ready queue: lock-free ring fast path, mutex-protected overflow list
-// (the ring never loses tasks under burst), and condvar parking for idle
-// workers. Parked workers use a short wait timeout as a belt-and-braces
-// recheck, so a theoretical missed signal costs latency, never liveness.
-class ReadyQueue {
- public:
-  explicit ReadyQueue(std::size_t ring_capacity = 2048);
-
-  void push(NodeTask* task);
-  // Blocks until a task is available or `stop` becomes true (then nullptr).
-  [[nodiscard]] NodeTask* pop_wait(const std::atomic<bool>& stop);
-  void notify_all();
-  // Racy instantaneous depth (ring + overflow); sampling only.
-  [[nodiscard]] std::size_t approx_depth() const;
-
- private:
-  [[nodiscard]] NodeTask* try_pop();
-
-  MpmcRing ring_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<NodeTask*> overflow_;
-  std::atomic<std::size_t> overflow_size_{0};
-  std::atomic<int> sleepers_{0};
-};
-
 }  // namespace pool_detail
 
 class PoolExecutor {
@@ -108,14 +74,27 @@ class PoolExecutor {
   struct Options {
     // 0 = std::thread::hardware_concurrency() (at least 1).
     std::size_t workers = 0;
-    // Fairness quantum: a task yields back to the ready queue after this
+    // Fairness quantum: a task yields to the shared injector after this
     // many consecutive productive steps, so one large instance cannot
     // starve co-tenants.
     std::size_t max_steps_per_quantum = 256;
-    // Capacity (power of two) of the ready queue's lock-free ring; pushes
-    // beyond it spill to the mutex-protected overflow list. Tests shrink
-    // this to hammer the overflow path.
-    std::size_t ready_queue_ring_capacity = 2048;
+    // Initial capacity of each worker's stealing deque (grows on demand;
+    // rounded up to a power of two). Tests shrink this to hammer the
+    // growth path under concurrent steals.
+    std::size_t deque_capacity = 256;
+    // Seeds the per-worker PRNGs that randomize victim order (and drive
+    // the perturbation hook below). Fixed seed = reproducible schedules
+    // for a given interleaving; SDAF_HARNESS_REPRO records it.
+    std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+    // Schedule-perturbation hook for the differential harness: when
+    // nonzero, each worker yields its timeslice with probability N/256 at
+    // every injected decision point (between task steps and between steal
+    // probes), forcing adversarial interleavings that a free-running pool
+    // rarely explores. 0 = off (production).
+    std::uint32_t perturb_yield_in_256 = 0;
+    // When false, workers skip the LIFO hot slot and take their own deque
+    // from the FIFO end (self-steal) -- the harness's sched=fifo mode.
+    bool lifo_slot = true;
   };
 
   PoolExecutor() : PoolExecutor(Options{}) {}
@@ -175,7 +154,7 @@ class PoolExecutor {
                               std::vector<std::shared_ptr<Kernel>> kernels,
                               const ExecutorOptions& options);
 
-  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
 
   // Pool-global scheduler counters: one WorkerMetrics per worker plus a
   // final "external" entry (wakes issued by non-worker threads -- submit
@@ -188,9 +167,28 @@ class PoolExecutor {
   struct Instance;
   friend struct pool_detail::NodeTask;
 
+  // One worker's scheduling state. The deque and hot slot hold NodeTask*;
+  // only the owning worker pushes/pops the deque bottom, but any thread
+  // may exchange the hot slot or steal the deque top.
+  struct Worker;
+
   void worker_loop(std::size_t worker_index);
   void run_task(pool_detail::NodeTask* task);
   void schedule(pool_detail::NodeTask* task);
+  // Local enqueue on the calling worker (hot slot / deque bottom),
+  // deferring the wake to the next flush; w is the caller's own Worker.
+  void enqueue_local(Worker& w, pool_detail::NodeTask* task);
+  // Shared FIFO enqueue (external threads, quantum yields) + immediate
+  // wake flush.
+  void enqueue_injector(pool_detail::NodeTask* task);
+  // One amortized wake: publishes this worker's batched pushes to parked
+  // peers with a single epoch bump (elided when nobody sleeps).
+  void flush_wakes(Worker& w);
+  // Next runnable task for worker w: own hot slot, own deque, injector,
+  // then a randomized steal sweep. Sets *contended when a steal lost a
+  // race (work exists; the caller must not park on this round).
+  [[nodiscard]] pool_detail::NodeTask* find_task(Worker& w, bool* contended);
+  [[nodiscard]] pool_detail::NodeTask* pop_injector();
   // The calling thread's counter shard: its own when it is one of this
   // pool's workers, the shared external shard otherwise.
   [[nodiscard]] obs::WorkerCounters& current_shard();
@@ -200,12 +198,19 @@ class PoolExecutor {
   void finalize(Instance& instance);
 
   Options options_;
-  pool_detail::ReadyQueue queue_;
   std::atomic<bool> stop_{false};
+  // Sleep/wake rendezvous for idle workers: version = work epoch, bumped
+  // (amortized) whenever new work may exist and a worker sleeps.
+  EventWord work_event_;
+  // Shared FIFO for external schedulers and quantum-yielded tasks.
+  std::mutex injector_mu_;
+  std::deque<pool_detail::NodeTask*> injector_;
+  std::atomic<std::size_t> injector_size_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
   // workers + 1 shards, sized before the workers spawn and never resized;
   // the final shard absorbs increments from non-worker threads.
   std::vector<obs::WorkerCounters> worker_shards_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> threads_;
 
   std::mutex instances_mu_;
   std::uint64_t next_ticket_ = 1;

@@ -1,0 +1,133 @@
+#include "src/runtime/steal_deque.h"
+
+#include "src/support/contracts.h"
+
+namespace sdaf::runtime {
+
+// Power-of-two circular array of atomic slots. `prev` chains retired rings
+// (freed only by ~StealDeque) so stale thief reads stay in-bounds.
+struct StealDeque::Ring {
+  explicit Ring(std::size_t capacity_pow2, Ring* retired)
+      : mask(capacity_pow2 - 1),
+        slots(new std::atomic<void*>[capacity_pow2]),
+        prev(retired) {}
+
+  [[nodiscard]] void* load(std::int64_t i) const {
+    return slots[static_cast<std::size_t>(i) & mask].load(
+        std::memory_order_relaxed);
+  }
+  void store(std::int64_t i, void* item) {
+    slots[static_cast<std::size_t>(i) & mask].store(
+        item, std::memory_order_relaxed);
+  }
+
+  std::size_t mask;
+  std::unique_ptr<std::atomic<void*>[]> slots;
+  Ring* prev;
+};
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StealDeque::StealDeque(std::size_t capacity)
+    : ring_(new Ring(round_up_pow2(capacity < 2 ? 2 : capacity), nullptr)) {}
+
+StealDeque::~StealDeque() {
+  Ring* r = ring_.load(std::memory_order_relaxed);
+  while (r != nullptr) {
+    Ring* prev = r->prev;
+    delete r;
+    r = prev;
+  }
+}
+
+void StealDeque::grow(Ring* old_ring, std::int64_t bottom, std::int64_t top) {
+  auto* bigger = new Ring(2 * (old_ring->mask + 1), old_ring);
+  for (std::int64_t i = top; i < bottom; ++i)
+    bigger->store(i, old_ring->load(i));
+  // Release so a thief that reads the new pointer sees the copied slots;
+  // thieves still holding old_ring read the identical values there (grow
+  // never moves `top`, and the owner never writes a retired ring again).
+  ring_.store(bigger, std::memory_order_release);
+}
+
+void StealDeque::push_bottom(void* item) {
+  SDAF_EXPECTS(item != nullptr);
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<std::int64_t>(ring->mask)) {
+    grow(ring, b, t);
+    ring = ring_.load(std::memory_order_relaxed);
+  }
+  ring->store(b, item);
+  // Release pairs with the thief's acquire of bottom_: a thief that
+  // observes index b as in-range also observes the slot write above. A
+  // release store (not a release fence + relaxed store) so the edge is
+  // also visible to TSan, which does not model fence-based ordering.
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+void* StealDeque::pop_bottom() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  // The Dekker point: publish the decremented bottom before reading top,
+  // so this pop and a concurrent steal cannot both claim the last item
+  // without one of them seeing the other.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  if (t > b) {
+    // Already empty; restore the canonical empty shape.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  void* item = ring->load(b);
+  if (t == b) {
+    // Last item: race thieves for it with the same CAS they use.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      item = nullptr;  // a thief won; it owns the item
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return item;
+}
+
+StealDeque::StealResult StealDeque::steal(void** out) {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  // Order the top read before the bottom read (seq_cst, pairing with the
+  // owner's fence in pop_bottom): observing b <= t proves emptiness at the
+  // probe instant rather than a torn in-between.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return StealResult::Empty;
+  Ring* ring = ring_.load(std::memory_order_acquire);
+  void* item = ring->load(t);
+  // The CAS claims index t; on success the read above is the value that
+  // index held when the claim landed (the owner cannot recycle index t
+  // until top has moved past it).
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return StealResult::Contended;
+  *out = item;
+  return StealResult::Ok;
+}
+
+std::size_t StealDeque::approx_size() const {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+std::size_t StealDeque::capacity() const {
+  return ring_.load(std::memory_order_acquire)->mask + 1;
+}
+
+}  // namespace sdaf::runtime

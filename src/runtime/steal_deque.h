@@ -1,0 +1,76 @@
+// Chase-Lev work-stealing deque ("Dynamic Circular Work-Stealing Deque",
+// with the weak-memory orderings of Lê/Pop/Cohen/Nardelli): the per-worker
+// ready queue of the pooled scheduler. The owning worker pushes and pops at
+// the *bottom* (LIFO -- freshly woken tasks have hot caches); thieves take
+// from the *top* (FIFO -- the oldest task, the one least likely to share
+// cache lines with the owner), racing each other and the owner's last-item
+// pop with a single CAS on `top`.
+//
+// The circular array grows geometrically when a burst outruns it; retired
+// arrays are kept on a chain until the deque is destroyed, so a thief
+// holding a stale array pointer still reads valid memory (grow copies the
+// live range and the owner never writes a retired array again -- the
+// standard dynamic Chase-Lev argument; top-CAS winners always read the
+// value their index held when they won).
+//
+// Items are opaque `void*` (the scheduler stores NodeTask*); nullptr is
+// reserved as the empty sentinel and must not be pushed. Exactly one owner
+// thread may call push_bottom/pop_bottom; any thread may call steal.
+//
+// Quiescence note (the scheduler's exact deadlock certification): a task
+// sitting in any deque -- or held by a thief between its winning CAS and
+// the task's execution -- stays accounted in its instance's `active`
+// counter the whole way (scheduled -> queued/stolen/running -> parked), so
+// distributing the ready queue does not move the quiescence point; see
+// docs/SCHEDULER.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace sdaf::runtime {
+
+class StealDeque {
+ public:
+  // `capacity` (rounded up to a power of two, minimum 2) sizes the initial
+  // ring; tests shrink it to hammer the growth path.
+  explicit StealDeque(std::size_t capacity = 256);
+  ~StealDeque();
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  // Owner only. `item` must be non-null.
+  void push_bottom(void* item);
+
+  // Owner only; LIFO. nullptr iff the deque was empty (a lost race against
+  // a thief for the last item also reports empty -- the thief has it).
+  [[nodiscard]] void* pop_bottom();
+
+  enum class StealResult : std::uint8_t {
+    Ok,         // *out holds the stolen item
+    Empty,      // nothing to steal at the probe instant
+    Contended,  // lost the top CAS to another thief or the owner; retry-able
+  };
+  [[nodiscard]] StealResult steal(void** out);
+
+  // Racy instantaneous size; sampling/diagnostics only.
+  [[nodiscard]] std::size_t approx_size() const;
+
+  // Current ring capacity (tests observe growth through this).
+  [[nodiscard]] std::size_t capacity() const;
+
+ private:
+  struct Ring;
+
+  void grow(Ring* old_ring, std::int64_t bottom, std::int64_t top);
+
+  // top_ <= bottom_; both only ever increase except the owner's transient
+  // bottom_ decrement inside pop_bottom. 64-bit indices never wrap.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_;
+};
+
+}  // namespace sdaf::runtime

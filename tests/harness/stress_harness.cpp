@@ -46,7 +46,63 @@ const char* to_string(FeedMode m) {
   return "?";
 }
 
+const char* to_string(Sched s) {
+  switch (s) {
+    case Sched::Lifo:
+      return "lifo";
+    case Sched::Fifo:
+      return "fifo";
+    case Sched::StealHeavy:
+      return "steal-heavy";
+    case Sched::ParkStorm:
+      return "park-storm";
+  }
+  return "?";
+}
+
 namespace {
+
+std::optional<Sched> sched_from_string(const std::string& s) {
+  for (const Sched v :
+       {Sched::Lifo, Sched::Fifo, Sched::StealHeavy, Sched::ParkStorm})
+    if (s == to_string(v)) return v;
+  return std::nullopt;
+}
+
+// The pool configuration a non-default sched regime demands. All regimes
+// salt the scheduler seed from the case so a repro line replays the same
+// victim-selection and perturbation decisions.
+runtime::PoolExecutor::Options pool_options_for(const CaseSpec& spec,
+                                                std::size_t node_count) {
+  runtime::PoolExecutor::Options opt;
+  opt.seed = spec.seed ^ 0x5CEDC0DE5CEDC0DEull;
+  switch (spec.sched) {
+    case Sched::Lifo:
+      break;
+    case Sched::Fifo:
+      opt.workers = 2;
+      opt.lifo_slot = false;
+      break;
+    case Sched::StealHeavy:
+      // More workers than node tasks: a worker's local enqueue is almost
+      // always drained by somebody else, so every schedule is a steal.
+      // Tiny deques force ring growth to race those steals.
+      opt.workers = std::min<std::size_t>(16, node_count + 2);
+      opt.deque_capacity = 2;
+      opt.perturb_yield_in_256 = 64;
+      break;
+    case Sched::ParkStorm:
+      // 1-step quanta bounce every task through the injector between
+      // steps, and heavy perturbation makes workers go idle (and futex-
+      // park) between bounces: the park/wake handshake dominates.
+      opt.workers = 4;
+      opt.max_steps_per_quantum = 1;
+      opt.deque_capacity = 2;
+      opt.perturb_yield_in_256 = 128;
+      break;
+  }
+  return opt;
+}
 
 std::optional<Topology> topology_from_string(const std::string& s) {
   for (const Topology t : {Topology::Sp, Topology::Ladder, Topology::Triangle,
@@ -83,7 +139,8 @@ std::string to_string(const CaseSpec& spec) {
   out << "topo=" << to_string(spec.topology) << " seed=" << spec.seed
       << " inputs=" << spec.num_inputs << " pass=" << pass
       << " mode=" << mode_name(spec.mode) << " batch=" << spec.batch
-      << " feed=" << to_string(spec.feed) << " chunk=" << spec.chunk;
+      << " feed=" << to_string(spec.feed) << " chunk=" << spec.chunk
+      << " sched=" << to_string(spec.sched);
   return out.str();
 }
 
@@ -124,6 +181,11 @@ std::optional<CaseSpec> parse_case(const std::string& line) {
           return std::nullopt;
       } else if (key == "chunk") {
         spec.chunk = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "sched") {
+        // Pre-scheduler-v2 repro lines omit this key; default Lifo.
+        const auto s = sched_from_string(value);
+        if (!s.has_value()) return std::nullopt;
+        spec.sched = *s;
       } else {
         return std::nullopt;
       }
@@ -305,6 +367,14 @@ exec::RunReport run_backend_port(const StreamGraph& g, const CaseSpec& spec,
 exec::RunReport run_backend(const StreamGraph& g, const CaseSpec& spec,
                             exec::Backend backend,
                             runtime::PoolExecutor* pool) {
+  // A non-default scheduling regime needs its own adversarially configured
+  // pool; the caller's shared pool keeps its production options.
+  std::unique_ptr<runtime::PoolExecutor> perturbed;
+  if (backend == exec::Backend::Pooled && spec.sched != Sched::Lifo) {
+    perturbed = std::make_unique<runtime::PoolExecutor>(
+        pool_options_for(spec, g.node_count()));
+    pool = perturbed.get();
+  }
   if (spec.feed == FeedMode::Port)
     return run_backend_port(g, spec, backend, pool);
   exec::Session session(g, build_kernels(g, spec));
@@ -392,6 +462,15 @@ std::optional<std::string> run_crash_differential(const CaseSpec& spec,
                                                   runtime::PoolExecutor* pool) {
   SDAF_EXPECTS(spec.mode != DummyMode::None);
   const StreamGraph g = build_topology(spec);
+  // Same substitution as run_backend: a non-default sched regime gets its
+  // own pool, shared by the pre-crash and post-restore phases (the pool
+  // outlives instances, like a daemon surviving its streams).
+  std::unique_ptr<runtime::PoolExecutor> perturbed;
+  if (backend == exec::Backend::Pooled && spec.sched != Sched::Lifo) {
+    perturbed = std::make_unique<runtime::PoolExecutor>(
+        pool_options_for(spec, g.node_count()));
+    pool = perturbed.get();
+  }
   exec::StreamSpec ss;
   ss.run = make_run_spec(g, spec);
   ss.run.backend = backend;
@@ -552,12 +631,18 @@ CaseSpec random_case(Prng& rng) {
   }
   spec.feed = rng.next_below(100) < 30 ? FeedMode::Port : FeedMode::Batch;
   spec.chunk = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+  const std::uint64_t s = rng.next_below(100);
+  spec.sched = s < 50   ? Sched::Lifo
+               : s < 70 ? Sched::Fifo
+               : s < 85 ? Sched::StealHeavy
+                        : Sched::ParkStorm;
   return spec;
 }
 
 SweepResult sweep_random_cases(std::uint64_t sweep_seed, double seconds,
                                int max_cases, runtime::PoolExecutor* pool,
-                               std::optional<FeedMode> forced_feed) {
+                               std::optional<FeedMode> forced_feed,
+                               std::optional<Sched> forced_sched) {
   SweepResult result;
   Prng rng(sweep_seed);
   Stopwatch clock;
@@ -568,6 +653,7 @@ SweepResult sweep_random_cases(std::uint64_t sweep_seed, double seconds,
          (result.cases_run == 0 || clock.elapsed_seconds() < seconds)) {
     CaseSpec spec = random_case(rng);
     if (forced_feed.has_value()) spec.feed = *forced_feed;
+    if (forced_sched.has_value()) spec.sched = *forced_sched;
     if (verbose) std::fprintf(stderr, "case: %s\n", to_string(spec).c_str());
     bool deadlocked = false;
     result.failure = run_differential(spec, pool, &deadlocked);

@@ -50,6 +50,22 @@ enum class FeedMode : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FeedMode m);
 
+// Scheduling regime for the pooled backend: every mode must produce
+// bit-identical results (the scheduler is free to reorder execution, never
+// to change semantics). Non-default modes run on a private PoolExecutor
+// whose options force the adversarial paths -- more workers than nodes so
+// every wake is a steal, injected yield points (Options::perturb_yield_in_256
+// seeded from the case), tiny deques so rings grow mid-steal, a 1-step
+// quantum so tasks bounce through the injector and workers park constantly.
+enum class Sched : std::uint8_t {
+  Lifo,        // production defaults: shared pool, hot slot on
+  Fifo,        // lifo_slot off -- workers drain their own deque FIFO
+  StealHeavy,  // workers > nodes, tiny deques, perturbed: steals dominate
+  ParkStorm,   // 1-step quantum + heavy perturbation: park/wake dominate
+};
+
+[[nodiscard]] const char* to_string(Sched s);
+
 // Everything that determines one workload, bit for bit. `seed` shapes the
 // graph (buffer sizes, structure) and decorrelates the kernel filters;
 // `mode` None disables avoidance (batch is then pinned to 1 by
@@ -68,6 +84,7 @@ struct CaseSpec {
   std::uint32_t batch = 1;
   FeedMode feed = FeedMode::Batch;
   std::uint32_t chunk = 8;  // Port only: pushes land in chunks of 1..chunk
+  Sched sched = Sched::Lifo;
 };
 
 // One-line `key=value ...` form; parse_case is its exact inverse.
@@ -81,8 +98,9 @@ struct CaseSpec {
     const StreamGraph& g, const CaseSpec& spec);
 
 // Runs the spec on one backend, honouring spec.feed. When `pool` is null
-// the Pooled backend uses a private 2-worker pool. mode != None runs with
-// compiled intervals.
+// the Pooled backend uses a private 2-worker pool; spec.sched != Lifo
+// replaces `pool` with a private adversarially configured pool regardless.
+// mode != None runs with compiled intervals.
 [[nodiscard]] exec::RunReport run_backend(const StreamGraph& g,
                                           const CaseSpec& spec,
                                           exec::Backend backend,
@@ -129,11 +147,14 @@ struct SweepResult {
 
 // Runs random cases derived from `sweep_seed` until `seconds` elapse or
 // `max_cases` have run; stops at the first mismatch. `forced_feed` pins
-// every case to one feed mode (the ci.sh --stress port-mode sweep).
+// every case to one feed mode (the ci.sh --stress port-mode sweep);
+// `forced_sched` pins the pooled backend's scheduling regime (the ci.sh
+// --stress perturbation sweep draws per-case regimes when unset).
 [[nodiscard]] SweepResult sweep_random_cases(
     std::uint64_t sweep_seed, double seconds, int max_cases,
     runtime::PoolExecutor* pool,
-    std::optional<FeedMode> forced_feed = std::nullopt);
+    std::optional<FeedMode> forced_feed = std::nullopt,
+    std::optional<Sched> forced_sched = std::nullopt);
 
 // Randomized kill/restore sweep: random avoidance-armed cases (mode None is
 // re-drawn to Propagation), each crashed at a random barrier on a random

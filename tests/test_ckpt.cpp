@@ -19,6 +19,7 @@
 #include "src/core/compile.h"
 #include "src/exec/session.h"
 #include "src/exec/stream.h"
+#include "src/runtime/pool_executor.h"
 #include "src/workloads/filters.h"
 #include "src/workloads/topologies.h"
 
@@ -153,6 +154,50 @@ TEST(Ckpt, SnapshotMidStreamCompletesOnEveryBackend) {
     const RunReport report = stream.finish();
     EXPECT_TRUE(report.completed) << label;
   }
+}
+
+// The same mid-stream barrier on a scheduler-adversarial pool: more workers
+// than nodes, 2-slot deques, 1-step quanta and injected yields, so every
+// marker hop crosses a steal and the instance futex-parks between pushes.
+// Barrier markers are occupancy-neutral pending work -- the snapshot must
+// complete (not hang a quiescence verdict) and describe the same cut.
+TEST(Ckpt, SnapshotCompletesOnPerturbedPool) {
+  const StreamGraph g = workloads::pipeline(3, 4);
+  runtime::PoolExecutor::Options popt;
+  popt.workers = 6;
+  popt.deque_capacity = 2;
+  popt.max_steps_per_quantum = 1;
+  popt.perturb_yield_in_256 = 96;
+  popt.seed = 0xC4A51;
+  runtime::PoolExecutor pool(popt);
+  Session session(g, workloads::passthrough_kernels(g));
+  StreamSpec ss;
+  ss.run.backend = Backend::Pooled;
+  ss.run.pool = &pool;
+  ss.run.mode = DummyMode::None;
+  Stream stream = session.open(ss);
+  for (std::int64_t i = 0; i < 50; ++i)
+    ASSERT_TRUE(stream.input(0).push(Value(i * 10)));
+  ASSERT_TRUE(stream.snapshot_begin());
+  std::vector<OutputPort::Item> got;
+  std::optional<ckpt::StreamSnapshot> snap;
+  const auto deadline = std::chrono::steady_clock::now() + kSnapTimeout;
+  while (!snap.has_value()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    while (auto item = stream.output(0).poll()) got.push_back(*item);
+    snap = stream.snapshot_poll();
+  }
+  EXPECT_EQ(snap->barrier_seq, 50u);
+  EXPECT_EQ(snap->nodes.size(), g.node_count());
+  for (std::int64_t i = 50; i < 100; ++i)
+    ASSERT_TRUE(stream.input(0).push(Value(i * 10)));
+  stream.input(0).close();
+  while (auto item = stream.output(0).next()) got.push_back(*item);
+  ASSERT_EQ(got.size(), 100u);
+  for (std::size_t k = 0; k < got.size(); ++k)
+    EXPECT_EQ(got[k].value.as<std::int64_t>(),
+              static_cast<std::int64_t>(k) * 10);
+  EXPECT_TRUE(stream.finish().completed);
 }
 
 // The versioned blob round-trips exactly and rejects corruption.

@@ -33,13 +33,17 @@ TEST(HarnessStress, SpecRoundTrip) {
     EXPECT_EQ(parsed->batch, spec.batch);
     EXPECT_EQ(parsed->feed, spec.feed);
     EXPECT_EQ(parsed->chunk, spec.chunk);
+    EXPECT_EQ(parsed->sched, spec.sched);
   }
   EXPECT_FALSE(parse_case("nonsense").has_value());
   EXPECT_FALSE(parse_case("topo=warp seed=1").has_value());
-  // Pre-port repro lines (no feed=/chunk=) still parse, as batch-fed.
+  EXPECT_FALSE(parse_case("topo=sp seed=1 sched=chaotic").has_value());
+  // Pre-port repro lines (no feed=/chunk=/sched=) still parse, as batch-fed
+  // with the default scheduling regime.
   const auto legacy = parse_case("topo=sp seed=7 inputs=30 batch=2");
   ASSERT_TRUE(legacy.has_value());
   EXPECT_EQ(legacy->feed, FeedMode::Batch);
+  EXPECT_EQ(legacy->sched, Sched::Lifo);
 }
 
 TEST(HarnessStress, EveryTopologyRunsDifferentially) {
@@ -104,6 +108,36 @@ TEST(HarnessStress, PortModeSweep) {
   EXPECT_GE(result.cases_run, 1);
   RecordProperty("cases_run", result.cases_run);
   RecordProperty("deadlocks", result.deadlocks);
+}
+
+// The scheduler-adversarial sweep: every case runs the pooled backend under
+// each non-default scheduling regime -- fifo (hot slot off), steal-heavy
+// (more workers than nodes, tiny deques, injected yields) and park-storm
+// (1-step quanta, constant futex parking) -- and must stay bit-identical to
+// the batch-fed simulator reference. This is the "the scheduler may reorder
+// execution, never change semantics" property under the worst interleavings
+// we can force; tools/ci.sh --stress runs it under ASan and TSan.
+TEST(HarnessStress, SchedPerturbationSweep) {
+  double seconds = 2.0;
+  if (const char* env = std::getenv("SDAF_STRESS_SECONDS"))
+    seconds = std::strtod(env, nullptr);
+  std::uint64_t seed = 0x5EED ^ 0x5C;
+  if (const char* env = std::getenv("SDAF_STRESS_SEED"))
+    seed = std::strtoull(env, nullptr, 0);
+  runtime::PoolExecutor pool(3);
+  int total_cases = 0;
+  for (const Sched sched :
+       {Sched::Fifo, Sched::StealHeavy, Sched::ParkStorm}) {
+    const SweepResult result =
+        sweep_random_cases(seed + static_cast<std::uint64_t>(sched),
+                           seconds / 3.0, /*max_cases=*/1000000, &pool,
+                           std::nullopt, sched);
+    EXPECT_FALSE(result.failure.has_value())
+        << "sched=" << to_string(sched) << ": " << *result.failure;
+    EXPECT_GE(result.cases_run, 1) << to_string(sched);
+    total_cases += result.cases_run;
+  }
+  RecordProperty("cases_run", total_cases);
 }
 
 }  // namespace

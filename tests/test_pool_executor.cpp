@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "src/core/compile.h"
+#include "src/exec/session.h"
+#include "src/exec/stream.h"
 #include "src/sim/simulation.h"
 #include "src/support/prng.h"
 #include "src/workloads/filters.h"
@@ -243,13 +245,13 @@ TEST(PoolExecutor, TenThousandNodeLadderOnSixteenThreads) {
 }
 
 TEST(PoolExecutor, TinyRingExercisesOverflowAndSleepPath) {
-  // A 4-slot ready-queue ring forces constant spill into the overflow list
-  // while workers sleep and wake, hammering the queue paths a 2048 ring
-  // rarely reaches. Results must stay bit-identical to the simulator.
+  // A 4-slot deque forces constant ring growth and steal contention while
+  // workers sleep and wake, hammering the paths a 256 ring rarely reaches.
+  // Results must stay bit-identical to the simulator.
   PoolExecutor::Options popt;
   popt.workers = 3;
   popt.max_steps_per_quantum = 2;  // frequent yields: maximal re-queuing
-  popt.ready_queue_ring_capacity = 4;
+  popt.deque_capacity = 4;
   PoolExecutor pool(popt);
   const StreamGraph g = workloads::splitjoin(4, 3, 2);
   for (int round = 0; round < 5; ++round) {
@@ -258,6 +260,147 @@ TEST(PoolExecutor, TinyRingExercisesOverflowAndSleepPath) {
                  200,    0.7,
                  0xABCu + static_cast<std::uint64_t>(round)};
     check_pool_parity(pool, c, "tiny-ring round " + std::to_string(round));
+  }
+}
+
+// ---- scheduler-v2 quiescence regressions: exact verdicts while steals
+// ---- and futex parks are in flight ----
+
+// An adversarial pool for the quiescence regressions: more workers than the
+// workload has nodes (every local enqueue is typically drained by a thief),
+// 2-slot deques (rings grow mid-steal), 1-step quanta (tasks bounce through
+// the injector constantly) and heavy injected yielding. Under these options
+// the instance reaches its quiescence point over and over with steal CASes
+// and park/wake handshakes genuinely in flight.
+PoolExecutor::Options adversarial_options(std::uint64_t seed) {
+  PoolExecutor::Options popt;
+  popt.workers = 6;
+  popt.deque_capacity = 2;
+  popt.max_steps_per_quantum = 1;
+  popt.perturb_yield_in_256 = 96;
+  popt.seed = seed;
+  return popt;
+}
+
+TEST(PoolExecutor, DeadlockVerdictExactWhileStealsInFlight) {
+  // The Fig. 2 wedge on the adversarial pool: the deadlock verdict must be
+  // exactly the simulator's, certified by quiescence alone -- a task held
+  // by a thief between its winning steal CAS and run_task still counts as
+  // pending work, so the distributed queues never produce a false verdict.
+  const StreamGraph g = workloads::fig2_triangle(2, 2, 2);
+  auto kernels = [&] {
+    std::vector<std::shared_ptr<Kernel>> k;
+    k.push_back(std::make_shared<RelayKernel>(
+        workloads::adversarial_prefix_filter(1, 100)));
+    k.push_back(pass_through_kernel());
+    k.push_back(pass_through_kernel());
+    return k;
+  };
+  sim::Simulation s(g, kernels());
+  sim::SimOptions sopt;
+  sopt.mode = DummyMode::None;
+  sopt.num_inputs = 100;
+  const auto expected = s.run(sopt);
+  ASSERT_TRUE(expected.deadlocked);
+
+  ExecutorOptions opt;
+  opt.mode = DummyMode::None;
+  opt.num_inputs = 100;
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    PoolExecutor pool(adversarial_options(0x5DEA1 + round));
+    const auto r = pool.run(g, kernels(), opt);
+    EXPECT_TRUE(r.deadlocked) << "round " << round;
+    EXPECT_FALSE(r.completed) << "round " << round;
+    EXPECT_EQ(expected.sink_data, r.sink_data) << "round " << round;
+    EXPECT_FALSE(r.state_dump.empty()) << "round " << round;
+  }
+}
+
+TEST(PoolExecutor, RandomizedWedgeVerdictsExactUnderPerturbation) {
+  // Randomized wedge-capable workloads (avoidance off, message-at-a-time):
+  // completion/deadlock verdict, traffic, fires and sink data bit-identical
+  // to the simulator under the steal-heavy and park-storm regimes. The
+  // harness builds the perturbed pool itself from spec.sched.
+  Prng rng(0x3D9E);
+  int deadlocks = 0;
+  for (int i = 0; i < 24; ++i) {
+    harness::CaseSpec spec;
+    spec.topology = i % 3 == 0 ? harness::Topology::Triangle
+                               : harness::Topology::Sp;
+    spec.seed = rng.next_u64();
+    spec.num_inputs = 30 + rng.next_below(50);
+    spec.pass_rate = 0.3 + 0.7 * rng.next_double();
+    spec.mode = DummyMode::None;
+    spec.batch = 1;
+    spec.sched = i % 2 == 0 ? harness::Sched::StealHeavy
+                            : harness::Sched::ParkStorm;
+    bool deadlocked = false;
+    const auto failure = harness::run_differential(spec, nullptr, &deadlocked);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+    if (deadlocked) ++deadlocks;
+  }
+  // The sweep is only a quiescence regression if some cases actually wedge.
+  EXPECT_GE(deadlocks, 1);
+}
+
+TEST(PoolExecutor, OpenPortStreamIdlesNotDeadlocksUnderAdversarialSchedule) {
+  // A live stream on the adversarial pool, pushed in bursts with full
+  // drains between them: the instance quiesces mid-steal after every burst,
+  // and each time the open ports must hold the verdict ("idle, awaiting the
+  // caller") rather than let a racing finalize declare deadlock or
+  // completion early.
+  const StreamGraph g = workloads::pipeline(3, 2);
+  PoolExecutor pool(adversarial_options(0x0BEA7));
+  exec::Session session(g, workloads::passthrough_kernels(g));
+  exec::StreamSpec ss;
+  ss.run.backend = exec::Backend::Pooled;
+  ss.run.pool = &pool;
+  ss.run.mode = DummyMode::None;
+  exec::Stream stream = session.open(ss);
+  std::vector<exec::OutputPort::Item> got;
+  for (std::int64_t burst = 0; burst < 10; ++burst) {
+    for (std::int64_t i = 0; i < 6; ++i)
+      ASSERT_TRUE(stream.input(0).push(Value(burst * 6 + i)));
+    // Drain everything this burst produced: the instance goes fully
+    // quiescent (all tasks parked, workers futex-parked) with the port
+    // still open before the next burst arrives.
+    while (got.size() < static_cast<std::size_t>((burst + 1) * 6))
+      if (auto item = stream.output(0).poll()) got.push_back(*item);
+  }
+  stream.input(0).close();
+  const exec::RunReport report = stream.finish();
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.deadlocked);
+  ASSERT_EQ(got.size(), 60u);
+  for (std::size_t k = 0; k < got.size(); ++k)
+    EXPECT_EQ(got[k].value.as<std::int64_t>(), static_cast<std::int64_t>(k));
+}
+
+TEST(PoolExecutor, BarrierSnapshotPendingMidStealRestoresExactly) {
+  // The crash differential with a barrier snapshot racing the steal-heavy
+  // regime: push a random prefix, take an asynchronous barrier snapshot on
+  // the perturbed pool (markers are occupancy-neutral pending work, so the
+  // barrier must complete even though every marker hop crosses a steal),
+  // destroy the stream, restore and replay -- bit-identical to an
+  // uninterrupted run. Cross-checks tests/test_ckpt.cpp from the scheduler
+  // side.
+  Prng rng(0xC4A5);
+  for (int i = 0; i < 4; ++i) {
+    harness::CaseSpec spec;
+    spec.topology =
+        i % 2 == 0 ? harness::Topology::Ladder : harness::Topology::Sp;
+    spec.seed = rng.next_u64();
+    spec.num_inputs = 40;
+    spec.pass_rate = 0.6;
+    spec.mode = DummyMode::Propagation;
+    spec.batch = 1;
+    spec.feed = harness::FeedMode::Port;
+    spec.chunk = 5;
+    spec.sched =
+        i < 2 ? harness::Sched::StealHeavy : harness::Sched::ParkStorm;
+    const auto failure = harness::run_crash_differential(
+        spec, exec::Backend::Pooled, rng.next_u64(), nullptr);
+    ASSERT_FALSE(failure.has_value()) << *failure;
   }
 }
 

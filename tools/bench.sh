@@ -71,7 +71,7 @@ streaming_filter='.'
 snapshot_filter='.'
 if [[ $smoke -eq 1 ]]; then
   throughput_filter='BM_Throughput_Pass(100|50|10)/|BM_Throughput_Pass10_MetricsOverhead'
-  pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2'
+  pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2|BM_PoolExecutor_LadderScaling'
   streaming_filter='BM_Stream(Latency|Ingest)_(Pooled|Threaded)'
   snapshot_filter='BM_Snapshot(Overhead|Latency)_Threaded'
 fi
@@ -87,6 +87,29 @@ echo "==> bench_pool_scaling -> BENCH_pool_scaling.json"
     --benchmark_filter="$pool_filter" \
     --benchmark_out=BENCH_pool_scaling.json \
     --benchmark_out_format=json
+
+# Annotate the scaling ladder: effective_parallelism (process CPU time /
+# wall time) next to the runner's core count, so a BENCH_pool_scaling.json
+# produced on a 1-cpu runner is visibly non-evidence of scaling rather than
+# a silent flat line (tools/ci.sh --smoke asserts on these same counters
+# when the runner has >= 4 cores).
+python3 - <<'PY'
+import json
+with open("BENCH_pool_scaling.json") as f:
+    doc = json.load(f)
+rows = [b for b in doc.get("benchmarks", [])
+        if b.get("name", "").startswith("BM_PoolExecutor_LadderScaling")]
+if rows:
+    hw = int(rows[0].get("hardware_concurrency", 0))
+    print(f"==> pool scaling ladder (runner has {hw} hardware thread(s)):")
+    for b in rows:
+        print(f"    {b['name']}: {b.get('items_per_second', 0):,.0f} items/s, "
+              f"effective_parallelism={b.get('effective_parallelism', 0):.2f} "
+              f"of {int(b.get('workers', 0))} workers")
+    if hw < 4:
+        print(f"    WARNING: {hw} hardware thread(s) < 4 -- these numbers "
+              "cannot demonstrate scaling; run on a multi-core host")
+PY
 
 echo "==> bench_streaming_latency -> BENCH_streaming.json"
 "$build_dir/bench_streaming_latency" \

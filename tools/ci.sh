@@ -7,14 +7,18 @@
 #   tools/ci.sh            # release + asan + tsan
 #   tools/ci.sh --fast     # release only
 #   tools/ci.sh --smoke    # release build, then the observability smoke:
-#                          # run sdafc --metrics=prom on a known topology
-#                          # and validate the exposition page with
-#                          # tools/check_prom.sh, then the service smoke:
-#                          # boot sdafd on a Unix socket, drive it with
-#                          # sdaf_loadgen, validate the daemon's STATS dump
-#                          # with check_prom.sh, run the wire-vs-in-process
-#                          # loopback differential, and check the daemon
-#                          # drains cleanly on SIGTERM (no ctest, ~seconds)
+#                          # run sdafc --metrics=prom on a known topology,
+#                          # validate the exposition page with
+#                          # tools/check_prom.sh and require the scheduler
+#                          # counter families (steals/futex parks), then the
+#                          # service smoke: boot sdafd on a Unix socket,
+#                          # drive it with sdaf_loadgen, validate the
+#                          # daemon's STATS dump with check_prom.sh, run the
+#                          # wire-vs-in-process loopback differential, and
+#                          # check the daemon drains cleanly on SIGTERM;
+#                          # finally the pooled scaling ladder -- asserted
+#                          # on >= 4-core runners, skipped with a visible
+#                          # warning on smaller ones (no ctest, ~seconds)
 #   tools/ci.sh --crash    # release + asan + tsan builds, then the
 #                          # crash-recovery certification tier: the
 #                          # kill-at-a-random-barrier/restore differential
@@ -29,7 +33,10 @@
 #                          # cross-backend differential harness sweep (batch
 #                          # and port feed modes), the port-mode harness
 #                          # sweep (every case through the live Stream API),
-#                          # and the SPSC two-thread hammer. Tune with
+#                          # the schedule-perturbation sweep (sched=fifo /
+#                          # steal-heavy / park-storm adversarial pools must
+#                          # stay bit-identical), the SPSC two-thread hammer
+#                          # and the work-stealing deque hammer. Tune with
 #                          # SDAF_STRESS_SECONDS (default 30, per binary)
 #                          # and SDAF_STRESS_SEED. On a mismatch the
 #                          # harness prints a one-line SDAF_HARNESS_REPRO
@@ -45,16 +52,100 @@ cmake --preset release
 cmake --build --preset release -j "$jobs"
 
 # The exporter contract check: a real run's Prometheus page must satisfy the
-# exposition grammar end to end (sdafc emits metrics on stderr).
+# exposition grammar end to end (sdafc emits metrics on stderr), and a
+# pooled run's page must carry the scheduler counter families -- steals,
+# steal failures, futex parks -- so a scheduler change that silently drops
+# worker attribution fails here, not in a dashboard.
 check_prom() {
   echo "==> prometheus exposition check (tools/check_prom.sh)"
-  local topo
+  local topo page
   topo=$(mktemp)
+  page=$(mktemp)
   printf 'node A\nnode B\nnode C\nedge A B 2\nedge A C 2\nedge B C 2\n' \
       > "$topo"
   build/release/sdafc --run --backend=pooled --items=200 --pass-rate=0.4 \
-      --metrics=prom "$topo" 2>&1 >/dev/null | tools/check_prom.sh
-  rm -f "$topo"
+      --metrics=prom "$topo" 2>"$page" >/dev/null
+  tools/check_prom.sh "$page"
+  local family
+  for family in sdaf_worker_steals_total sdaf_worker_steal_fails_total \
+      sdaf_worker_futex_parks_total sdaf_worker_queue_depth_max; do
+    if ! grep -q "^$family{" "$page"; then
+      echo "ci: pooled prom page lacks the $family family" >&2
+      exit 1
+    fi
+  done
+  rm -f "$topo" "$page"
+}
+
+# The pooled scaling guard (fixing the 1-cpu blind spot): run the batch=1
+# BM_PoolExecutor_LadderScaling ladder and assert the work-stealing pool
+# actually scales -- on runners that can show it. On < 4 hardware threads
+# the assertions are SKIPPED WITH A VISIBLE WARNING instead of vacuously
+# passing: a flat ladder on one core is absence of evidence, not a pass.
+check_pool_scaling() {
+  echo "==> pooled ladder scaling check (BM_PoolExecutor_LadderScaling)"
+  local cores out
+  cores=$(nproc 2>/dev/null || echo 1)
+  out=$(mktemp)
+  build/release/bench_pool_scaling \
+      --benchmark_filter='BM_PoolExecutor_LadderScaling' \
+      --benchmark_out="$out" --benchmark_out_format=json \
+      >/dev/null
+  if [[ "$cores" -lt 4 ]]; then
+    echo "ci: WARNING: skipping pool scaling assertions -- this runner has" \
+         "$cores hardware thread(s) (< 4); the ladder ran (counters above" \
+         "are recorded) but cannot demonstrate scaling here" >&2
+    rm -f "$out"
+    return 0
+  fi
+  python3 - "$out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = {b["name"]: b for b in doc.get("benchmarks", [])
+        if b.get("name", "").startswith("BM_PoolExecutor_LadderScaling")}
+def ips(nodes, workers):
+    for name, b in rows.items():
+        if f"/{nodes}/{workers}/" in name:
+            return b["items_per_second"]
+    sys.exit(f"ci: missing LadderScaling row for {nodes} nodes / "
+             f"{workers} workers")
+small, large = ips(100, 8), ips(1000, 8)
+# A 10x bigger graph exposes 10x more node parallelism: at 8 workers the
+# pool must hold at least half the small-graph throughput, else stealing
+# is serializing on the scheduler instead of distributing.
+if large < 0.5 * small:
+    sys.exit(f"ci: pooled ladder does not scale: 1000-node @ 8 workers ran "
+             f"{large:,.0f} items/s vs 100-node {small:,.0f} "
+             f"(need >= 50%)")
+par = [(n, b.get("effective_parallelism", 0)) for n, b in rows.items()]
+print(f"ci: pool scaling OK: 1000-node @ 8 workers at "
+      f"{100 * large / small:.0f}% of 100-node throughput; "
+      "effective_parallelism " +
+      ", ".join(f"{p:.2f}" for _, p in sorted(par)))
+# Regression gate against the committed baseline, only when it was produced
+# on comparable hardware (same cpu count): the 100-node @ 8 workers config
+# may not lose more than 5% throughput.
+try:
+    with open("BENCH_pool_scaling.json") as f:
+        base_doc = json.load(f)
+except FileNotFoundError:
+    base_doc = {}
+base = [b for b in base_doc.get("benchmarks", [])
+        if "LadderScaling/100/8/" in b.get("name", "")]
+same_hw = base and int(base[0].get("hardware_concurrency", -1)) == \
+    int(rows[[n for n in rows if "/100/8/" in n][0]]["hardware_concurrency"])
+if base and same_hw:
+    if small < 0.95 * base[0]["items_per_second"]:
+        sys.exit(f"ci: pooled 100-node @ 8 workers regressed >5%: "
+                 f"{small:,.0f} items/s vs committed "
+                 f"{base[0]['items_per_second']:,.0f}")
+    print("ci: 100-node @ 8 workers within 5% of the committed baseline")
+else:
+    print("ci: no comparable committed baseline (different hardware or "
+          "missing rows); regression gate skipped")
+PY
+  rm -f "$out"
 }
 
 # The service contract check: boot the daemon on a Unix socket, push real
@@ -96,6 +187,7 @@ check_service() {
 if [[ "$mode" == "--smoke" ]]; then
   check_prom
   check_service
+  check_pool_scaling
   echo "==> ci OK (smoke)"
   exit 0
 fi
@@ -165,7 +257,10 @@ if [[ "$mode" == "--stress" ]]; then
         --gtest_filter='HarnessStress.TimeBoxedRandomSweep'
     "build/$preset/test_harness_stress" \
         --gtest_filter='HarnessStress.PortModeSweep'
+    "build/$preset/test_harness_stress" \
+        --gtest_filter='HarnessStress.SchedPerturbationSweep'
     "build/$preset/test_spsc_ring" --gtest_filter='SpscRingHammer.*'
+    "build/$preset/test_steal_deque" --gtest_filter='StealDequeHammer.*'
     "build/$preset/test_deadlock_verdicts"
   done
 fi

@@ -51,6 +51,7 @@
 #include "src/graph/io.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/runtime/pool_executor.h"
 #include "src/workloads/filters.h"
 
 using namespace sdaf;
@@ -457,9 +458,17 @@ int main(int argc, char** argv) {
   }
 
   std::optional<obs::MetricsRegistry> registry;
+  // With metrics on, a pooled run gets an explicit pool so the per-worker
+  // scheduler counters (steals, futex parks, deque depth) can be folded
+  // into the snapshot -- a session-private pool is gone before printing.
+  std::optional<runtime::PoolExecutor> pool;
   if (!metrics_format.empty()) {
     registry.emplace(g.node_count(), g.edge_count());
     spec.metrics = &*registry;
+    if (spec.backend == exec::Backend::Pooled && spec.pool == nullptr) {
+      pool.emplace(spec.pool_workers);
+      spec.pool = &*pool;
+    }
   }
   exec::Session session(g, workloads::relay_kernels(g, pass_rate, seed));
   const auto report = session.run(spec);
@@ -469,7 +478,9 @@ int main(int argc, char** argv) {
     sopt.tenant = spec.tenant;
     sopt.wall_seconds = report.wall_seconds;
     sopt.bytes_per_slot = sizeof(runtime::Message);
-    print_metrics(obs::snapshot(g, *registry, sopt), metrics_format);
+    obs::MetricsSnapshot snap = obs::snapshot(g, *registry, sopt);
+    if (pool.has_value()) snap.workers = pool->worker_metrics();
+    print_metrics(snap, metrics_format);
   }
   // Three distinct outcomes: completed, certified deadlock, or a sim run
   // truncated by the sweep ceiling (neither flag set).
