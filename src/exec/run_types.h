@@ -27,6 +27,10 @@ namespace sdaf::obs {
 class MetricsRegistry;
 }  // namespace sdaf::obs
 
+namespace sdaf::qos {
+class CreditGauge;
+}  // namespace sdaf::qos
+
 namespace sdaf::runtime {
 class BoundedChannel;
 class PoolExecutor;
@@ -97,6 +101,17 @@ struct RunSpec {
   obs::MetricsRegistry* metrics = nullptr;
   // Tenant label for roll-ups (Session ledgers, exporter labels).
   std::string tenant = "default";
+  // Relative share of the shared pool's injector bandwidth under the
+  // deficit-round-robin scheduler (qos): a tenant's lane drains
+  // proportionally to its weight. Rounded to an integer grant, clamped to
+  // >= 1; the latest submission of a tenant wins when weights disagree.
+  double tenant_weight = 1.0;
+  // Per-tenant in-flight credit gauge (qos): when set, InputPort pushes
+  // acquire one credit per data item *before* channel space and the credit
+  // returns when the source node consumes the item from its feed. Borrowed
+  // (a server-side qos::TenantTable typically owns it); must outlive the
+  // stream. Null = no tenant backpressure.
+  qos::CreditGauge* credits = nullptr;
   // Firing batch quantum: how many sequence numbers a node may fire per
   // scheduling quantum before its outputs are flushed, letting the data
   // plane amortize one channel lock and one wake-up over a whole batch

@@ -43,6 +43,7 @@
 #include "src/exec/stream.h"
 #include "src/graph/stream_graph.h"
 #include "src/obs/metrics.h"
+#include "src/qos/admission.h"
 #include "src/runtime/kernel.h"
 
 namespace sdaf::runtime {
@@ -72,6 +73,20 @@ class Session {
   // through InputPorts (dynamic EOS per port) and consume OutputPorts,
   // instead of preconfiguring an item count. See src/exec/stream.h.
   [[nodiscard]] Stream open(StreamSpec spec);
+
+  // Admission-controlled open: predicts the stream's resource footprint
+  // from its compiled intervals (qos::estimate over spec.run.intervals),
+  // asks `admission` to reserve it, and either opens the stream with the
+  // reservation pinned to its lifetime (StreamSpec::lease releases it when
+  // the Stream is destroyed) or refuses with the typed rejection -- nothing
+  // is allocated or scheduled for a refused open. The same decision the
+  // sdafd Open path makes, available in-process.
+  struct OpenDecision {
+    std::optional<Stream> stream;            // engaged iff admitted
+    std::optional<qos::Rejection> rejected;  // engaged iff refused
+    qos::TenantCost predicted;               // the cost model's estimate
+  };
+  [[nodiscard]] OpenDecision open(StreamSpec spec, qos::Admission& admission);
 
   // Rehydrates an open stream from a Stream::snapshot() cut: node counters,
   // kernel state, edge traffic baselines and undelivered tap residue resume

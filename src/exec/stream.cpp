@@ -10,6 +10,8 @@
 
 #include "src/core/compile_cache.h"
 #include "src/exec/session.h"
+#include "src/qos/admission.h"
+#include "src/qos/credit.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/pool_executor.h"
@@ -59,6 +61,41 @@ struct Core {
   std::vector<std::unique_ptr<BoundedChannel>> egress_channels;
   std::vector<std::unique_ptr<InputPort>> inputs;
   std::vector<std::unique_ptr<OutputPort>> outputs;
+  // --- per-tenant credit backpressure (sdaf::qos) -----------------------
+  // Borrowed gauge bounding this tenant's in-flight items (null or
+  // unlimited = no credit gating; normalized to null below so every check
+  // is one pointer test). A push acquires one credit BEFORE probing channel
+  // space; the credit returns when the source node consumes the item (the
+  // feed's drain hook fires on the consumer thread) or, for items still
+  // buffered when the stream dies, in finish() after collect(). The charge
+  // is recorded in `credit_releaser.held` before the channel publish, so
+  // drain decrements can never outrun their increments; `held` is signed
+  // only to tolerate the transient where a concurrent drain's decrement
+  // lands between a batch push and its (post-publish) charge -- at
+  // quiescence it is exact and non-negative.
+  qos::CreditGauge* credits = nullptr;
+  struct CreditReleaser final : BoundedChannel::DrainHook {
+    qos::CreditGauge* gauge = nullptr;
+    std::atomic<std::int64_t> held{0};
+    void on_data_drained(std::size_t n) override {
+      held.fetch_sub(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+      gauge->release(n);
+    }
+    void charge(std::uint64_t n) {
+      held.fetch_add(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+    }
+    void uncharge(std::uint64_t n) {
+      held.fetch_sub(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+      gauge->release(n);
+    }
+    // finish() only (quiesced): returns whatever the stream still holds --
+    // items pushed but never consumed (deadlock, abort, undrained feeds).
+    void release_rest() {
+      const std::int64_t rest = held.exchange(0, std::memory_order_relaxed);
+      if (rest > 0) gauge->release(static_cast<std::uint64_t>(rest));
+    }
+  };
+  CreditReleaser credit_releaser;
   // Counter registry the backend writes through (see StreamSpec::metrics).
   // Owned here unless the caller supplied one via spec.run.metrics, so
   // snapshots stay valid for the Stream's whole lifetime regardless of
@@ -125,6 +162,12 @@ struct Core {
       registry = owned_registry.get();
       spec.run.metrics = registry;
     }
+    // An unlimited gauge gates nothing; normalize it away so the push path
+    // pays a single null test.
+    if (spec.run.credits != nullptr && !spec.run.credits->unlimited()) {
+      credits = spec.run.credits;
+      credit_releaser.gauge = credits;
+    }
     binding.live = true;
     for (const NodeId n : graph.sources()) {
       binding.source_nodes.push_back(n);
@@ -135,6 +178,8 @@ struct Core {
           spec.feed_capacity + 1, /*monitor=*/nullptr));
       feed_signals.push_back(std::make_unique<ProducerSignal>());
       feed_channels.back()->set_producer_signal(feed_signals.back().get());
+      if (credits != nullptr)
+        feed_channels.back()->set_drain_hook(&credit_releaser);
       binding.feeds.push_back(feed_channels.back().get());
       auto port = std::unique_ptr<InputPort>(new InputPort());
       port->core_ = this;
@@ -235,11 +280,21 @@ struct Core {
   using Deadline = std::optional<std::chrono::steady_clock::time_point>;
   virtual bool wait_feed_space(std::size_t i, const Deadline& deadline);
   virtual bool wait_egress_item(std::size_t i);
+  // Blocks until the tenant gauge may have credit again (same wake-elision
+  // protocol as wait_feed_space, parked on the gauge's event word). The
+  // park is insurance-bounded: credits held by a stream that aborts come
+  // back through finish(), which never bumps this gauge's event, so a
+  // bounded park plus the caller's re-probe (which observes the abort)
+  // keeps a parked pusher from sleeping forever. Sim pumps instead.
+  virtual bool wait_credit(const Deadline& deadline);
   // After every port is closed and the taps are drained: the final report.
   virtual RunReport collect() = 0;
 
   // --- shared port logic -----------------------------------------------
-  enum class PushStatus { Ok, NoSpace, Ended };
+  // NoCredit is distinct from NoSpace so the blocking paths park on the
+  // right event: the tenant gauge for the former, the feed's producer
+  // signal for the latter.
+  enum class PushStatus { Ok, NoSpace, NoCredit, Ended };
 
   // Pre: port_mus[i] held, a marker is due now (the barrier armed this port
   // and it just reached S, begin() found it already at S, or close() cuts
@@ -261,9 +316,24 @@ struct Core {
   PushStatus push_message(InputPort& port, Message& m) {
     const std::size_t i = port.index_;
     BoundedChannel& feed = *feed_channels[i];
+    // Tenant credit gates BEFORE channel space: a tenant at its window
+    // parks on its own gauge without ever probing (or filling) the feed.
+    // The abort check first keeps a credit-starved pusher from spinning
+    // forever on a stream whose credits died with another feed.
+    if (credits != nullptr) {
+      if (feed.aborted()) return PushStatus::Ended;
+      if (!credits->try_acquire(1)) return PushStatus::NoCredit;
+      // Charge before the publish: the consumer-side drain decrement can
+      // then never precede its increment (see CreditReleaser).
+      credit_releaser.charge(1);
+    }
+    const auto undo = [&](PushStatus s) {
+      if (credits != nullptr) credit_releaser.uncharge(1);
+      return s;
+    };
     std::lock_guard plock(*port_mus[i]);
     if (feed.size() >= spec.feed_capacity)
-      return PushStatus::NoSpace;  // data slots exhausted; EOS slot reserved
+      return undo(PushStatus::NoSpace);  // data exhausted; EOS slot reserved
     bool was_empty = false;
     switch (feed.try_push(std::move(m), &was_empty)) {
       case PushResult::Ok:
@@ -276,10 +346,10 @@ struct Core {
         feed_pushed(i, was_empty);
         return PushStatus::Ok;
       case PushResult::Aborted:
-        return PushStatus::Ended;
+        return undo(PushStatus::Ended);
       case PushResult::Full:
       default:
-        return PushStatus::NoSpace;
+        return undo(PushStatus::NoSpace);
     }
   }
 
@@ -309,6 +379,11 @@ struct Core {
             return feed_channels[port.index_]->aborted() ? PortPushOutcome::Ended
                                                          : PortPushOutcome::TimedOut;
           break;
+        case PushStatus::NoCredit:
+          if (!wait_credit(deadline))
+            return feed_channels[port.index_]->aborted() ? PortPushOutcome::Ended
+                                                         : PortPushOutcome::TimedOut;
+          break;
       }
     }
   }
@@ -332,6 +407,19 @@ struct Core {
     for (;;) {
       bool aborted = false;
       std::size_t n = 0;
+      // Credit gates the round like the single-item path: grab as many as
+      // the gauge allows (charged up front so drains never outrun their
+      // charges), push what also fits the feed, hand back the rest.
+      std::uint64_t credit = 0;
+      if (credits != nullptr) {
+        if (feed.aborted()) break;
+        credit = credits->try_acquire_upto(msgs.size() - done);
+        if (credit == 0) {
+          if (!wait_credit(deadline)) break;
+          continue;
+        }
+        credit_releaser.charge(credit);
+      }
       {
         std::lock_guard plock(*port_mus[i]);
         // Data occupancy is capped at feed_capacity (the ring's extra slot
@@ -341,6 +429,8 @@ struct Core {
         const std::size_t room =
             occ >= spec.feed_capacity ? 0 : spec.feed_capacity - occ;
         std::size_t want = msgs.size() - done;
+        if (credits != nullptr)
+          want = std::min<std::size_t>(want, static_cast<std::size_t>(credit));
         // An armed barrier splits the batch at S: stage up to the marker's
         // slot, inject it, then the next round continues past it.
         if (armed_marker[i] != kNoBarrier)
@@ -360,6 +450,8 @@ struct Core {
           }
         }
       }
+      if (credits != nullptr && credit > n)
+        credit_releaser.uncharge(credit - n);
       if (aborted || done == msgs.size()) break;
       if (n > 0) continue;
       if (!wait_feed_space(i, deadline)) break;
@@ -716,6 +808,11 @@ struct Core {
     for (auto& port : inputs) port_close(*port);
     drain_taps();
     RunReport report = collect();
+    // The engine is quiesced: every drain hook that will ever fire has
+    // fired. Whatever this stream still holds (items left in feeds by a
+    // deadlock or abort) goes back to the tenant's window now, so one
+    // wedged stream cannot leak its co-streams' credits forever.
+    if (credits != nullptr) credit_releaser.release_rest();
     if (report.deadlocked) append_port_dump(&report);
     return report;
   }
@@ -766,6 +863,31 @@ bool Core::wait_egress_item(std::size_t i) {
   return egress_channels[i]->peek_head_wait().has_value();
 }
 
+bool Core::wait_credit(const Deadline& deadline) {
+  // Wake-elision protocol against the tenant gauge: capture -> register
+  // (seq_cst RMW) -> fence -> re-check -> park on the captured version.
+  // Every release() fences then bumps-if-waiters, so a parked pusher never
+  // misses a returned credit. The park carries 50ms insurance on top of
+  // any caller deadline: a co-stream that aborts returns its credits via
+  // finish() without bumping this event, and the re-probe upstream is what
+  // observes the abort.
+  using namespace std::chrono_literals;
+  runtime::EventWord& ev = credits->event();
+  const std::uint32_t version = ev.capture();
+  ev.register_waiter();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  bool timed_out = false;
+  if (credits->in_flight() >= credits->limit()) {
+    auto until = std::chrono::steady_clock::now() + 50ms;
+    if (deadline.has_value() && *deadline < until) until = *deadline;
+    (void)runtime::ParkingLot::park_until(ev.version, version, until);
+    timed_out =
+        deadline.has_value() && std::chrono::steady_clock::now() >= *deadline;
+  }
+  ev.unregister_waiter();
+  return !timed_out;
+}
+
 // ---------------------------------------------------------------- Sim ---
 // Single-threaded: the caller's own thread runs the deterministic sweeps.
 // Ports never block -- "waiting" means pumping, and a pump with no progress
@@ -797,6 +919,12 @@ struct SimCore final : Core {
     return engine->pump() && !feed_channels[i]->aborted();
   }
   bool wait_egress_item(std::size_t /*i*/) override { return engine->pump(); }
+  bool wait_credit(const Deadline& /*deadline*/) override {
+    // The feed consumers run on this thread: pumping is what returns
+    // credits. A pump with no progress means no credit will ever free
+    // without new polls, so give up (same contract as wait_feed_space).
+    return engine->pump();
+  }
 
   void drain_taps() override {
     for (;;) {
@@ -1070,6 +1198,38 @@ RunReport Stream::finish() { return core_->finish(); }
 Stream Session::open(StreamSpec spec) {
   return Stream(stream_detail::make_core(graph_, kernels_, std::move(spec),
                                          /*restore=*/nullptr));
+}
+
+namespace {
+// The reservation a successful admit pinned; releasing is the deleter's
+// job so the budget comes back exactly once, when the Stream (which owns
+// the lease through its spec) is destroyed.
+struct AdmissionTicket {
+  qos::Admission& admission;
+  std::string tenant;
+  qos::TenantCost cost;
+  AdmissionTicket(qos::Admission& a, std::string t, const qos::TenantCost& c)
+      : admission(a), tenant(std::move(t)), cost(c) {}
+  ~AdmissionTicket() { admission.release(tenant, cost); }
+};
+}  // namespace
+
+Session::OpenDecision Session::open(StreamSpec spec,
+                                    qos::Admission& admission) {
+  OpenDecision decision;
+  // The spec's intervals ARE the compile result (RunSpec::apply), so the
+  // cost model needs no separate CompileResult here; an empty vector
+  // (avoidance off) predicts zero dummy overhead over the raw buffers.
+  decision.predicted = qos::estimate(graph_, spec.run.intervals);
+  if (auto rejected = admission.admit(spec.run.tenant, decision.predicted)) {
+    decision.rejected = std::move(rejected);
+    return decision;
+  }
+  spec.lease = std::make_shared<AdmissionTicket>(admission, spec.run.tenant,
+                                                 decision.predicted);
+  decision.stream.emplace(Stream(stream_detail::make_core(
+      graph_, kernels_, std::move(spec), /*restore=*/nullptr)));
+  return decision;
 }
 
 std::optional<Stream> Session::restore(StreamSpec spec,

@@ -71,6 +71,12 @@ struct StreamSpec {
   // baseline -- metrics() then reports zero counters but live port gauges.
   // Ignored when run.metrics already points at a caller-owned registry.
   bool metrics = true;
+  // Opaque resource reservation pinned for the stream's lifetime. The
+  // admission-aware Session::open stores its qos::Admission ticket here (a
+  // shared_ptr whose deleter releases the reservation), so the budget is
+  // returned exactly when the stream is destroyed -- callers never pair
+  // admit/release by hand.
+  std::shared_ptr<void> lease;
 };
 
 // Outcome of a deadline-bounded push. TimedOut is the backpressure status:

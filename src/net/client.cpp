@@ -106,6 +106,16 @@ Client::Reply Client::round_trip(FrameType type, std::uint16_t stream,
     const auto e = decode_error(reply.payload.data(), reply.payload.size());
     if (!e.has_value())
       throw ProtocolError(ErrorCode::BadFrame, "malformed Error frame");
+    if (e->code == ErrorCode::AdmissionRejected) {
+      OpenRejectedError::PredictedCost cost;
+      if (e->has_cost != 0) {
+        cost.channel_slots = e->predicted_slots;
+        cost.channel_bytes = e->predicted_bytes;
+        cost.nodes = e->predicted_nodes;
+        cost.dummy_overhead_ratio = e->predicted_dummy_ratio;
+      }
+      throw OpenRejectedError(e->message, cost);
+    }
     throw ProtocolError(e->code, e->message);
   }
   if (reply.header.type != expect || reply.header.stream != stream)

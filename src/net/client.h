@@ -44,6 +44,26 @@ class ProtocolError : public std::runtime_error {
   ErrorCode code_;
 };
 
+// An Open the server's admission controller refused (ErrorCode::
+// AdmissionRejected). Soft: the connection survives, the stream id stays
+// free, and the predicted cost that tripped the budget rides along so the
+// caller can size a retry. Thrown by Client::open / Client::restore.
+class OpenRejectedError : public ProtocolError {
+ public:
+  struct PredictedCost {
+    std::uint64_t channel_slots = 0;
+    std::uint64_t channel_bytes = 0;
+    std::uint64_t nodes = 0;
+    double dummy_overhead_ratio = 0.0;
+  };
+  OpenRejectedError(const std::string& message, const PredictedCost& cost)
+      : ProtocolError(ErrorCode::AdmissionRejected, message), cost_(cost) {}
+  [[nodiscard]] const PredictedCost& predicted() const { return cost_; }
+
+ private:
+  PredictedCost cost_;
+};
+
 class Client;
 
 // Handle to one open stream on a Client connection. Borrowed from the

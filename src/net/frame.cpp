@@ -86,6 +86,7 @@ const char* to_string(ErrorCode c) {
     case ErrorCode::BadTopology: return "bad-topology";
     case ErrorCode::BadState: return "bad-state";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::AdmissionRejected: return "admission-rejected";
   }
   return "?";
 }
@@ -278,6 +279,7 @@ void encode(const OpenFrame& f, Writer& w) {
   w.u32(f.feed_capacity);
   w.u32(f.egress_capacity);
   w.u32(f.batch);
+  w.f64(f.weight);
   w.str(f.tenant);
   w.str(f.topology);
 }
@@ -295,6 +297,7 @@ std::optional<OpenFrame> decode_open(const std::uint8_t* p, std::size_t n) {
   f.feed_capacity = r.u32();
   f.egress_capacity = r.u32();
   f.batch = r.u32();
+  f.weight = r.f64();
   f.tenant = r.str();
   f.topology = r.str();
   if (!r.done()) return std::nullopt;
@@ -308,6 +311,8 @@ std::optional<OpenFrame> decode_open(const std::uint8_t* p, std::size_t n) {
       f.batch == 0 || f.batch > 4096)
     return std::nullopt;
   if (!(f.pass_rate >= 0.0 && f.pass_rate <= 1.0)) return std::nullopt;
+  // NaN fails this check too; the cap keeps llround in range.
+  if (!(f.weight >= 0.0 && f.weight <= 1e6)) return std::nullopt;
   f.kernel = static_cast<KernelKind>(kernel);
   return f;
 }
@@ -498,6 +503,11 @@ std::optional<StatsOkFrame> decode_stats_ok(const std::uint8_t* p,
 void encode(const ErrorFrame& f, Writer& w) {
   w.u32(static_cast<std::uint32_t>(f.code));
   w.str(f.message);
+  w.u8(f.has_cost);
+  w.u64(f.predicted_slots);
+  w.u64(f.predicted_bytes);
+  w.u64(f.predicted_nodes);
+  w.f64(f.predicted_dummy_ratio);
 }
 
 std::optional<ErrorFrame> decode_error(const std::uint8_t* p, std::size_t n) {
@@ -505,9 +515,14 @@ std::optional<ErrorFrame> decode_error(const std::uint8_t* p, std::size_t n) {
   ErrorFrame f;
   const std::uint32_t code = r.u32();
   f.message = r.str();
+  f.has_cost = r.u8();
+  f.predicted_slots = r.u64();
+  f.predicted_bytes = r.u64();
+  f.predicted_nodes = r.u64();
+  f.predicted_dummy_ratio = r.f64();
   if (!r.done()) return std::nullopt;
   if (code < static_cast<std::uint32_t>(ErrorCode::BadMagic) ||
-      code > static_cast<std::uint32_t>(ErrorCode::Internal))
+      code > static_cast<std::uint32_t>(ErrorCode::AdmissionRejected))
     return std::nullopt;
   f.code = static_cast<ErrorCode>(code);
   return f;
@@ -551,6 +566,7 @@ std::optional<RestoreFrame> decode_restore(const std::uint8_t* p,
   f.open.feed_capacity = r.u32();
   f.open.egress_capacity = r.u32();
   f.open.batch = r.u32();
+  f.open.weight = r.f64();
   f.open.tenant = r.str();
   f.open.topology = r.str();
   f.snapshot = r.str();
@@ -564,6 +580,7 @@ std::optional<RestoreFrame> decode_restore(const std::uint8_t* p,
     return std::nullopt;
   if (!(f.open.pass_rate >= 0.0 && f.open.pass_rate <= 1.0))
     return std::nullopt;
+  if (!(f.open.weight >= 0.0 && f.open.weight <= 1e6)) return std::nullopt;
   if (f.snapshot.empty()) return std::nullopt;
   f.open.kernel = static_cast<KernelKind>(kernel);
   return f;

@@ -77,6 +77,12 @@ enum class ErrorCode : std::uint32_t {
   BadTopology = 9,  // topology text failed to parse or compile
   BadState = 10,    // frame invalid in the current state (e.g. before Hello)
   Internal = 11,
+  // The admission controller refused the Open: a qos budget (channel
+  // bytes/slots, nodes, tenant fan-out, dummy ratio) would be exceeded.
+  // Like Draining this is a SOFT error -- the connection stays open, the
+  // stream id stays free, and the client may retry later or open a
+  // cheaper stream. The Error frame carries the predicted TenantCost.
+  AdmissionRejected = 12,
 };
 
 [[nodiscard]] const char* to_string(ErrorCode c);
@@ -178,6 +184,10 @@ struct OpenFrame {
   std::uint32_t feed_capacity = 256;
   std::uint32_t egress_capacity = 1024;
   std::uint32_t batch = 1;
+  // DRR scheduling weight for this tenant on the server's shared pool
+  // (rounded to an integer grant, clamped >= 1; the tenant's latest open
+  // wins). 1.0 = equal share.
+  double weight = 1.0;
   std::string tenant = "default";
   std::string topology;  // graph::to_text format
 };
@@ -232,6 +242,15 @@ struct StatsOkFrame {
 struct ErrorFrame {
   ErrorCode code = ErrorCode::Internal;
   std::string message;
+  // AdmissionRejected detail: the cost model's prediction for the refused
+  // open, so a client can size a retry without guessing. has_cost = 0 on
+  // every other code (the fields still ride the wire, zeroed -- fixed
+  // layout keeps the decoder straight-line).
+  std::uint8_t has_cost = 0;
+  std::uint64_t predicted_slots = 0;
+  std::uint64_t predicted_bytes = 0;
+  std::uint64_t predicted_nodes = 0;
+  double predicted_dummy_ratio = 0.0;
 };
 
 // Snapshot is one non-blocking begin-or-poll step (the server never parks

@@ -20,6 +20,8 @@
 #include "src/graph/io.h"
 #include "src/net/workload.h"
 #include "src/obs/export.h"
+#include "src/qos/cost.h"
+#include "src/qos/credit.h"
 #include "src/runtime/pool_executor.h"
 
 namespace sdaf::net {
@@ -112,8 +114,18 @@ struct Server::Impl {
   AtomicServiceStats stats;
   std::uint64_t next_conn_id = 1;
   std::uint64_t next_stream_id = 1;
+  // QoS plane: admission ledger over ServerOptions::budgets, plus one
+  // credit gauge per tenant (shared across all that tenant's streams, so
+  // the in-flight window is per tenant, not per stream). Both outlive
+  // every stream -- declared before `conns` would also work, but teardown
+  // order is already safe: run() clears conns before Impl destructs.
+  qos::Admission admission;
+  qos::TenantTable tenants;
 
-  explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        admission(options.budgets),
+        tenants(options.tenant_credits) {}
 
   [[nodiscard]] bool draining() const {
     return self->drain_.load(std::memory_order_acquire);
@@ -173,11 +185,30 @@ struct Server::Impl {
     Writer w;
     encode(e, w);
     queue_frame(c, FrameType::Error, stream, std::move(w));
-    // Draining is a soft refusal: the Open is rejected but the connection
-    // stays up so in-flight streams can Finish inside the grace window --
-    // that is the point of a graceful drain. Every other error means the
-    // peer is broken or hostile, and the connection goes down with it.
-    if (code != ErrorCode::Draining) c.closing = true;
+    // Draining and AdmissionRejected are soft refusals: the Open is
+    // rejected but the connection stays up -- in-flight streams can still
+    // Finish (the point of a graceful drain), and an over-budget tenant
+    // may retry a cheaper open. Every other error means the peer is broken
+    // or hostile, and the connection goes down with it.
+    if (code != ErrorCode::Draining && code != ErrorCode::AdmissionRejected)
+      c.closing = true;
+  }
+
+  void queue_admission_rejected(Conn& c, std::uint16_t stream,
+                                const qos::Rejection& rej) {
+    ++stats.errors_total;
+    ErrorFrame e;
+    e.code = ErrorCode::AdmissionRejected;
+    e.message = rej.reason;
+    e.has_cost = 1;
+    e.predicted_slots = rej.predicted.channel_slots;
+    e.predicted_bytes = rej.predicted.channel_bytes;
+    e.predicted_nodes = rej.predicted.nodes;
+    e.predicted_dummy_ratio = rej.predicted.dummy_overhead_ratio;
+    Writer w;
+    encode(e, w);
+    queue_frame(c, FrameType::Error, stream, std::move(w));
+    // Soft, like Draining: connection survives, the stream id stays free.
   }
 
   // Flushes as much of the write buffer as the socket takes right now.
@@ -280,6 +311,25 @@ struct Server::Impl {
       }
       ss.run.apply(*s->compiled);
     }
+
+    // Admission: predict the stream's footprint from its compiled
+    // intervals and buffer bounds, and reserve it before ANY channel
+    // memory is allocated or task scheduled. The lease's deleter returns
+    // the reservation when the Stream is destroyed (Finish, connection
+    // drop, or teardown) -- no hand-paired release.
+    const qos::TenantCost cost = qos::estimate(s->graph, ss.run.intervals);
+    if (auto rejected = admission.admit(ss.run.tenant, cost)) {
+      queue_admission_rejected(c, stream, *rejected);
+      return;
+    }
+    ss.lease = std::shared_ptr<void>(
+        nullptr, [this, tenant = ss.run.tenant, cost](void*) {
+          admission.release(tenant, cost);
+        });
+    // DRR weight + the tenant's shared credit gauge (unlimited gauges are
+    // normalized away inside the stream core).
+    ss.run.tenant_weight = s->spec.weight;
+    ss.run.credits = tenants.gauge(ss.run.tenant);
 
     s->session = std::make_unique<exec::Session>(
         s->graph, make_kernels(s->graph, s->spec));
@@ -526,6 +576,42 @@ struct Server::Impl {
       }
     }
     std::string page = obs::to_prometheus(snaps);
+
+    // QoS families: per-tenant DRR lane accounting from the shared pool,
+    // the admission counters, and each tenant's credit window. All family
+    // names are disjoint from the per-stream ones, so appending keeps the
+    // one-TYPE-per-family rule intact.
+    page += obs::tenant_sched_to_prometheus(pool->tenant_metrics());
+    page += obs::admission_to_prometheus(admission.admitted_total(),
+                                         admission.rejected_total());
+    {
+      const auto escape = [](const std::string& s) {
+        std::string out;
+        for (const char ch : s) {
+          if (ch == '\\' || ch == '"') out += '\\';
+          if (ch == '\n') {
+            out += "\\n";
+            continue;
+          }
+          out += ch;
+        }
+        return out;
+      };
+      const auto entries = tenants.entries();
+      page +=
+          "# HELP sdaf_tenant_credit_limit Per-tenant in-flight credit "
+          "window (0 = unlimited).\n# TYPE sdaf_tenant_credit_limit gauge\n";
+      for (const auto& e : entries)
+        page += "sdaf_tenant_credit_limit{tenant=\"" + escape(e.tenant) +
+                "\"} " + std::to_string(e.limit) + "\n";
+      page +=
+          "# HELP sdaf_tenant_credits_in_flight Data items a tenant has "
+          "pushed but its sources have not yet consumed.\n"
+          "# TYPE sdaf_tenant_credits_in_flight gauge\n";
+      for (const auto& e : entries)
+        page += "sdaf_tenant_credits_in_flight{tenant=\"" + escape(e.tenant) +
+                "\"} " + std::to_string(e.in_flight) + "\n";
+    }
 
     // Service-level families, appended after the per-stream ones (family
     // names are disjoint, so the one-TYPE-per-family rule holds).

@@ -37,6 +37,7 @@
 
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/qos/admission.h"
 
 namespace sdaf::core {
 class CompileCache;
@@ -63,6 +64,16 @@ struct ServerOptions {
   std::uint32_t max_poll_items = 4096;
   // Compile cache consulted by Open; null = Session::process_cache().
   core::CompileCache* cache = nullptr;
+
+  // --- multi-tenant QoS (sdaf::qos, see docs/QOS.md) --------------------
+  // Admission budgets every Open (and Restore) must fit under; all-zero =
+  // admit everything. A refused open earns a soft AdmissionRejected Error
+  // carrying the predicted cost -- the connection survives.
+  qos::Budgets budgets;
+  // Per-tenant in-flight credit window: how many data items one tenant may
+  // have pushed-but-unconsumed across all its streams before its pushes
+  // park. 0 = unlimited (no per-tenant backpressure).
+  std::uint64_t tenant_credits = 0;
 };
 
 // Monotonic service counters, exported as sdafd_* Prometheus families on

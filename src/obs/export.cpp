@@ -365,4 +365,40 @@ std::string to_prometheus(const std::vector<MetricsSnapshot>& snaps) {
   return w.str();
 }
 
+std::string tenant_sched_to_prometheus(
+    const std::vector<TenantSchedMetrics>& tenants) {
+  PromWriter w;
+  w.family("sdaf_tenant_weight", "gauge",
+           "DRR weight of the tenant's injector lane.");
+  for (const auto& t : tenants) w.sample(t.tenant, "", t.weight);
+  w.family("sdaf_tenant_sched_enqueued_total", "counter",
+           "Tasks enqueued into the tenant's injector lane.");
+  for (const auto& t : tenants) w.sample(t.tenant, "", t.enqueued);
+  w.family("sdaf_tenant_sched_dequeued_total", "counter",
+           "Tasks drained from the tenant's injector lane by workers.");
+  for (const auto& t : tenants) w.sample(t.tenant, "", t.dequeued);
+  w.family("sdaf_tenant_queue_depth", "gauge",
+           "Current occupancy of the tenant's injector lane.");
+  for (const auto& t : tenants) w.sample(t.tenant, "", t.queue_depth);
+  w.family("sdaf_tenant_queue_depth_max", "gauge",
+           "Maximum occupancy the tenant's injector lane reached.");
+  for (const auto& t : tenants) w.sample(t.tenant, "", t.queue_depth_max);
+  return w.str();
+}
+
+std::string admission_to_prometheus(std::uint64_t admitted,
+                                    std::uint64_t rejected) {
+  std::string page;
+  page +=
+      "# HELP sdaf_admission_admitted_total Streams admitted by the qos "
+      "admission controller.\n# TYPE sdaf_admission_admitted_total counter\n";
+  page += "sdaf_admission_admitted_total " + std::to_string(admitted) + "\n";
+  page +=
+      "# HELP sdaf_admission_rejected_total Opens refused over budget by "
+      "the qos admission controller.\n"
+      "# TYPE sdaf_admission_rejected_total counter\n";
+  page += "sdaf_admission_rejected_total " + std::to_string(rejected) + "\n";
+  return page;
+}
+
 }  // namespace sdaf::obs

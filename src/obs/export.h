@@ -30,4 +30,18 @@ namespace sdaf::obs {
 [[nodiscard]] std::string to_prometheus(
     const std::vector<MetricsSnapshot>& snapshots);
 
+// Per-tenant DRR injector-lane accounting (PoolExecutor::tenant_metrics)
+// as its own family group (sdaf_tenant_sched_*, sdaf_tenant_queue_*,
+// sdaf_tenant_weight). Family names are disjoint from to_prometheus's, so
+// the result can be appended to a page without violating the
+// one-TYPE-per-family rule.
+[[nodiscard]] std::string tenant_sched_to_prometheus(
+    const std::vector<TenantSchedMetrics>& tenants);
+
+// Admission-controller counters (qos::Admission) as Prometheus families:
+// sdaf_admission_admitted_total / sdaf_admission_rejected_total. Plain
+// integers so obs stays independent of qos.
+[[nodiscard]] std::string admission_to_prometheus(std::uint64_t admitted,
+                                                  std::uint64_t rejected);
+
 }  // namespace sdaf::obs

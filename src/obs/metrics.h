@@ -186,6 +186,20 @@ struct TenantMetrics {
   double wall_seconds = 0.0;
 };
 
+// Per-tenant scheduler accounting from the pooled backend's deficit-round-
+// robin injector lanes: how much injector bandwidth each tenant consumed
+// (enqueued/dequeued tasks) and how deep its lane ran (queue residency).
+// Snapshotted under the injector lock, so enqueued - dequeued ==
+// queue_depth exactly.
+struct TenantSchedMetrics {
+  std::string tenant;
+  std::uint64_t weight = 1;
+  std::uint64_t enqueued = 0;     // tasks pushed into this tenant's lane
+  std::uint64_t dequeued = 0;     // tasks drained from it by workers
+  std::uint64_t queue_depth = 0;  // current lane occupancy
+  std::uint64_t queue_depth_max = 0;
+};
+
 // Checkpoint/restore instrumentation (live streams only): the stream's
 // logical epoch (0 = fresh open, snapshot.epoch + 1 after a restore), how
 // many barrier snapshots have completed on it, whether one is in flight,

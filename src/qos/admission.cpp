@@ -1,0 +1,87 @@
+#include "src/qos/admission.h"
+
+#include <cstdio>
+
+namespace sdaf::qos {
+
+namespace {
+
+std::string over(const char* what, std::uint64_t want, std::uint64_t used,
+                 std::uint64_t budget) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s budget exceeded: need %llu with %llu reserved of %llu",
+                what, static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(used),
+                static_cast<unsigned long long>(budget));
+  return buf;
+}
+
+}  // namespace
+
+std::optional<Rejection> Admission::admit(const std::string& tenant,
+                                          const TenantCost& cost) {
+  std::lock_guard lock(mu_);
+  std::string reason;
+  const auto it = per_tenant_.find(tenant);
+  const std::uint64_t tenant_streams = it != per_tenant_.end() ? it->second : 0;
+  if (budgets_.max_channel_bytes != 0 &&
+      usage_.channel_bytes + cost.channel_bytes > budgets_.max_channel_bytes) {
+    reason = over("channel_bytes", cost.channel_bytes, usage_.channel_bytes,
+                  budgets_.max_channel_bytes);
+  } else if (budgets_.max_channel_slots != 0 &&
+             usage_.channel_slots + cost.channel_slots >
+                 budgets_.max_channel_slots) {
+    reason = over("channel_slots", cost.channel_slots, usage_.channel_slots,
+                  budgets_.max_channel_slots);
+  } else if (budgets_.max_nodes != 0 &&
+             usage_.nodes + cost.nodes > budgets_.max_nodes) {
+    reason = over("nodes", cost.nodes, usage_.nodes, budgets_.max_nodes);
+  } else if (budgets_.max_tenants != 0 && tenant_streams == 0 &&
+             usage_.tenants + 1 > budgets_.max_tenants) {
+    reason = over("tenants", 1, usage_.tenants, budgets_.max_tenants);
+  } else if (budgets_.max_streams_per_tenant != 0 &&
+             tenant_streams + 1 > budgets_.max_streams_per_tenant) {
+    reason = over("streams_per_tenant", 1, tenant_streams,
+                  budgets_.max_streams_per_tenant);
+  } else if (budgets_.max_dummy_ratio > 0.0 &&
+             cost.dummy_overhead_ratio > budgets_.max_dummy_ratio) {
+    char buf[120];
+    std::snprintf(buf, sizeof(buf),
+                  "dummy_ratio budget exceeded: predicted %.4f > cap %.4f",
+                  cost.dummy_overhead_ratio, budgets_.max_dummy_ratio);
+    reason = buf;
+  }
+  if (!reason.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Rejection{std::move(reason), cost};
+  }
+  usage_.channel_slots += cost.channel_slots;
+  usage_.channel_bytes += cost.channel_bytes;
+  usage_.nodes += cost.nodes;
+  usage_.streams += 1;
+  if (tenant_streams == 0) usage_.tenants += 1;
+  per_tenant_[tenant] = tenant_streams + 1;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void Admission::release(const std::string& tenant, const TenantCost& cost) {
+  std::lock_guard lock(mu_);
+  usage_.channel_slots -= cost.channel_slots;
+  usage_.channel_bytes -= cost.channel_bytes;
+  usage_.nodes -= cost.nodes;
+  usage_.streams -= 1;
+  const auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end() && --it->second == 0) {
+    per_tenant_.erase(it);
+    usage_.tenants -= 1;
+  }
+}
+
+Admission::Usage Admission::usage() const {
+  std::lock_guard lock(mu_);
+  return usage_;
+}
+
+}  // namespace sdaf::qos

@@ -1,0 +1,84 @@
+// sdaf::qos -- admission control over the shared pool. An Admission holds
+// configurable budgets (channel memory, node count, tenant fan-out) and a
+// running reservation ledger; admit() either reserves a stream's predicted
+// TenantCost or returns a typed Rejection naming the exceeded budget and
+// the prediction, so Session::open and the sdafd Open path refuse
+// over-budget work *before* any channel memory is allocated or any task is
+// scheduled -- the cost model makes the decision from compile-time facts.
+//
+// Thread safety: admit/release/usage are mutex-serialized (admission is a
+// per-open operation, never on the data path); the admitted/rejected
+// counters are additionally readable lock-free for metrics export.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/qos/cost.h"
+
+namespace sdaf::qos {
+
+// Budget knobs; 0 = unlimited for every field.
+struct Budgets {
+  std::uint64_t max_channel_bytes = 0;  // across all admitted streams
+  std::uint64_t max_channel_slots = 0;
+  std::uint64_t max_nodes = 0;          // total nodes on the pool
+  std::uint64_t max_tenants = 0;        // distinct tenants with live streams
+  std::uint64_t max_streams_per_tenant = 0;
+  double max_dummy_ratio = 0.0;  // per-stream predicted overhead cap
+};
+
+// Why an open was refused, plus what the cost model predicted for it --
+// surfaced verbatim through Session::open and the wire Error frame.
+struct Rejection {
+  std::string reason;
+  TenantCost predicted;
+};
+
+class Admission {
+ public:
+  Admission() = default;
+  explicit Admission(Budgets budgets) : budgets_(budgets) {}
+
+  // Reserves `cost` for `tenant` and returns nullopt, or returns the
+  // rejection without reserving anything. A successful admit must be paired
+  // with release(tenant, cost) when the stream retires.
+  [[nodiscard]] std::optional<Rejection> admit(const std::string& tenant,
+                                               const TenantCost& cost);
+  void release(const std::string& tenant, const TenantCost& cost);
+
+  // Current reservations (exact under the lock).
+  struct Usage {
+    std::uint64_t channel_slots = 0;
+    std::uint64_t channel_bytes = 0;
+    std::uint64_t nodes = 0;
+    std::uint64_t tenants = 0;
+    std::uint64_t streams = 0;
+  };
+  [[nodiscard]] Usage usage() const;
+  [[nodiscard]] const Budgets& budgets() const { return budgets_; }
+
+  // Lifetime counters for metrics export (sdaf_admission_*_total).
+  [[nodiscard]] std::uint64_t admitted_total() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Budgets budgets_;
+  mutable std::mutex mu_;
+  Usage usage_;
+  // Live stream count per tenant; an entry vanishes at zero so max_tenants
+  // counts tenants with at least one admitted stream.
+  std::unordered_map<std::string, std::uint64_t> per_tenant_;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace sdaf::qos

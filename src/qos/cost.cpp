@@ -1,0 +1,49 @@
+#include "src/qos/cost.h"
+
+#include <cstdio>
+
+#include "src/runtime/message.h"
+#include "src/runtime/wrapper.h"
+
+namespace sdaf::qos {
+
+TenantCost estimate(const StreamGraph& g,
+                    const std::vector<std::int64_t>& intervals) {
+  TenantCost cost;
+  cost.nodes = g.node_count();
+  double inv_sum = 0.0;
+  std::size_t finite = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const std::int64_t slots = g.edge(e).buffer;
+    cost.channel_slots += slots > 0 ? static_cast<std::uint64_t>(slots) : 0;
+    if (e < intervals.size()) {
+      const std::int64_t t = intervals[e];
+      if (t > 0 && t != runtime::kInfiniteInterval &&
+          t != core::kNoDummyInterval) {
+        inv_sum += 1.0 / static_cast<double>(t);
+        ++finite;
+      }
+    }
+  }
+  cost.channel_bytes = cost.channel_slots * sizeof(runtime::Message);
+  if (finite > 0)
+    cost.dummy_overhead_ratio = inv_sum / static_cast<double>(finite);
+  return cost;
+}
+
+TenantCost estimate(const StreamGraph& g, const core::CompileResult& compiled) {
+  return estimate(g, compiled.integer_intervals(core::Rounding::Floor));
+}
+
+std::string to_string(const TenantCost& cost) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "slots=%llu bytes=%llu nodes=%llu dummy_ratio=%.4f",
+                static_cast<unsigned long long>(cost.channel_slots),
+                static_cast<unsigned long long>(cost.channel_bytes),
+                static_cast<unsigned long long>(cost.nodes),
+                cost.dummy_overhead_ratio);
+  return buf;
+}
+
+}  // namespace sdaf::qos

@@ -1,0 +1,50 @@
+// sdaf::qos -- the interval-aware tenant cost model. The paper's compile
+// pass already certifies each graph's per-edge buffer bounds and dummy
+// intervals, which means the runtime can *predict* what a tenant costs
+// before accepting it: the channel memory its buffers reserve (whether or
+// not traffic ever fills them) and the avoidance overhead its intervals
+// imply (an edge with dummy interval T injects roughly one dummy per T
+// sequence numbers when its producer filters). TenantCost packages those
+// predictions for qos::Admission -- the admission decision is made from
+// compile-time facts alone, no profiling run required.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/compile.h"
+#include "src/graph/stream_graph.h"
+
+namespace sdaf::qos {
+
+// Predicted resource footprint of one stream/run of a graph.
+struct TenantCost {
+  // Sum of per-edge buffer bounds -- the logical message slots the
+  // avoidance analysis certified (the paper's channel lengths).
+  std::uint64_t channel_slots = 0;
+  // channel_slots * sizeof(runtime::Message): the bytes those slots pin.
+  std::uint64_t channel_bytes = 0;
+  // Node count: each node is one parked task on the shared pool.
+  std::uint64_t nodes = 0;
+  // Predicted dummy overhead: mean over finite-interval edges of 1/T --
+  // the worst-case fraction of traffic the avoidance protocol adds when
+  // every filter hits its interval deadline. 0 when no edge carries a
+  // finite interval (avoidance off or no cycles).
+  double dummy_overhead_ratio = 0.0;
+};
+
+// Estimate from a graph plus per-edge integer intervals
+// (runtime::kInfiniteInterval / core::kNoDummyInterval = none; an empty
+// vector means all infinite).
+[[nodiscard]] TenantCost estimate(const StreamGraph& g,
+                                  const std::vector<std::int64_t>& intervals);
+
+// Estimate straight from a compile result (Rounding::Floor thresholds).
+[[nodiscard]] TenantCost estimate(const StreamGraph& g,
+                                  const core::CompileResult& compiled);
+
+// One-line human rendering for rejection messages and logs.
+[[nodiscard]] std::string to_string(const TenantCost& cost);
+
+}  // namespace sdaf::qos

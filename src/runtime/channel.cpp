@@ -19,6 +19,8 @@ void BoundedChannel::set_metrics(obs::ChannelCounters* metrics) {
   metrics_ = metrics;
 }
 
+void BoundedChannel::set_drain_hook(DrainHook* hook) { drain_hook_ = hook; }
+
 void BoundedChannel::record_push(MessageKind kind, std::size_t count,
                                  const SpscRing::PushEffect& effect) {
   // Producer-only writers: plain load+store beats an RMW on the hot path.
@@ -203,6 +205,8 @@ Message BoundedChannel::pop_head(bool* was_full) {
   if (monitor_ != nullptr) monitor_->note_progress();
   notify_not_full();
   if (producer_signal_ != nullptr) producer_signal_->bump();
+  if (drain_hook_ != nullptr && m.kind == MessageKind::Data)
+    drain_hook_->on_data_drained(1);
   if (was_full != nullptr) *was_full = effect.was_full;
   return m;
 }

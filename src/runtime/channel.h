@@ -150,6 +150,18 @@ class BoundedChannel {
   // on abort.
   void set_producer_signal(ProducerSignal* signal);
 
+  // Consumer-side drain notification (qos credit return): invoked by the
+  // consumer thread after each *data* message leaves the channel via
+  // pop_head (feeds are consumed exclusively through pop_head, so this
+  // covers every item a port pushed). Dummies, EOS and markers never carry
+  // a credit and never fire it. Not owned; must be set before the
+  // endpoints start running, like set_metrics.
+  struct DrainHook {
+    virtual ~DrainHook() = default;
+    virtual void on_data_drained(std::size_t n) = 0;
+  };
+  void set_drain_hook(DrainHook* hook);
+
   // Attaches the edge's obs counter shard (not owned; null detaches). The
   // channel mirrors pushes/pops/stalls/waits/high-water into it with relaxed
   // single-writer increments -- one predictable branch per op when detached.
@@ -190,6 +202,7 @@ class BoundedChannel {
   RuntimeMonitor* monitor_;
   ProducerSignal* producer_signal_ = nullptr;
   obs::ChannelCounters* metrics_ = nullptr;
+  DrainHook* drain_hook_ = nullptr;
   // mutable: const peeks are consumer-side operations that may advance the
   // ring's consumer cursor past exhausted segments.
   mutable SpscRing ring_;

@@ -27,9 +27,12 @@
 // counter reaches zero no future progress is possible. Distributing the
 // ready queue does not move that quiescence point: a task counts from its
 // schedule() transition until its park decrement, wherever it sits -- a
-// hot slot, any deque, the injector, or a thief's hands between the
-// winning steal CAS and run_task. If nodes remain unfinished at quiescence
-// the instance deadlocked -- the same verdict sim::simulate computes.
+// hot slot, any deque, a per-tenant injector lane, or a thief's hands
+// between the winning steal CAS and run_task. If nodes remain unfinished
+// at quiescence the instance deadlocked -- the same verdict sim::simulate
+// computes. The DRR lanes (qos) reorder only *when* queued tasks run,
+// never whether they are counted, so weighting one tenant down cannot
+// turn another tenant's starvation into a false deadlock verdict.
 //
 // The pool is multi-tenant: submit() may be called concurrently for many
 // independent graph instances, which interleave on the same workers. Pair
@@ -50,6 +53,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +99,13 @@ class PoolExecutor {
     // When false, workers skip the LIFO hot slot and take their own deque
     // from the FIFO end (self-steal) -- the harness's sched=fifo mode.
     bool lifo_slot = true;
+    // Weighted deficit-round-robin across per-tenant injector lanes (qos):
+    // external wakes and quantum yields land in the lane of the submitting
+    // tenant, and workers drain lanes proportionally to RunSpec::
+    // tenant_weight. When false every instance shares lane 0 -- the legacy
+    // single-FIFO injector, kept as the bench baseline (and the degenerate
+    // case of the same code path, so verdicts cannot depend on the flag).
+    bool fair_injector = true;
   };
 
   PoolExecutor() : PoolExecutor(Options{}) {}
@@ -163,6 +174,13 @@ class PoolExecutor {
   // run, owns worker identity).
   [[nodiscard]] std::vector<obs::WorkerMetrics> worker_metrics() const;
 
+  // Per-tenant injector-lane accounting (DRR scheduler): one entry per
+  // tenant the pool has ever seen, snapshotted under the injector lock so
+  // enqueued - dequeued == queue_depth exactly. Lanes are never removed --
+  // a retired tenant's lane costs one empty deque and keeps its counters
+  // visible to the exporter.
+  [[nodiscard]] std::vector<obs::TenantSchedMetrics> tenant_metrics() const;
+
  private:
   struct Instance;
   friend struct pool_detail::NodeTask;
@@ -197,14 +215,38 @@ class PoolExecutor {
   void maybe_finalize(Instance& instance);
   void finalize(Instance& instance);
 
+  // One per-tenant injector lane, drained by deficit round-robin: a lane at
+  // the head of the active ring gets a grant of `weight` task dequeues,
+  // then rotates to the back; a lane that empties forfeits its remaining
+  // deficit and unlinks (DRR's empty-queue rule, so a silent tenant
+  // accumulates no credit). All fields are guarded by injector_mu_.
+  struct TenantLane {
+    std::string tenant;
+    std::uint64_t weight = 1;
+    std::uint64_t deficit = 0;
+    bool linked = false;  // present in the active ring
+    std::deque<pool_detail::NodeTask*> q;
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t depth_max = 0;
+  };
+  // Lane id for `tenant`, creating it on first sight (injector_mu_ held by
+  // the caller is NOT required -- this takes the lock itself).
+  [[nodiscard]] std::size_t intern_lane(const std::string& tenant,
+                                        double weight);
+
   Options options_;
   std::atomic<bool> stop_{false};
   // Sleep/wake rendezvous for idle workers: version = work epoch, bumped
   // (amortized) whenever new work may exist and a worker sleeps.
   EventWord work_event_;
-  // Shared FIFO for external schedulers and quantum-yielded tasks.
-  std::mutex injector_mu_;
-  std::deque<pool_detail::NodeTask*> injector_;
+  // The injector (external schedulers, quantum-yielded tasks): per-tenant
+  // lanes + the DRR ring of lanes with queued work. injector_size_ caches
+  // the total across lanes for the lock-free empty probe.
+  mutable std::mutex injector_mu_;
+  std::vector<std::unique_ptr<TenantLane>> lanes_;
+  std::unordered_map<std::string, std::size_t> lane_ids_;
+  std::deque<std::size_t> active_lanes_;
   std::atomic<std::size_t> injector_size_{0};
   std::vector<std::unique_ptr<Worker>> workers_;
   // workers + 1 shards, sized before the workers spawn and never resized;

@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <map>
 #include <sstream>
+#include <thread>
 
+#include "src/qos/credit.h"
 #include "src/ckpt/snapshot.h"
 #include "src/core/compile.h"
 #include "src/exec/session.h"
@@ -140,7 +142,7 @@ std::string to_string(const CaseSpec& spec) {
       << " inputs=" << spec.num_inputs << " pass=" << pass
       << " mode=" << mode_name(spec.mode) << " batch=" << spec.batch
       << " feed=" << to_string(spec.feed) << " chunk=" << spec.chunk
-      << " sched=" << to_string(spec.sched);
+      << " sched=" << to_string(spec.sched) << " tenants=" << spec.tenants;
   return out.str();
 }
 
@@ -186,6 +188,10 @@ std::optional<CaseSpec> parse_case(const std::string& line) {
         const auto s = sched_from_string(value);
         if (!s.has_value()) return std::nullopt;
         spec.sched = *s;
+      } else if (key == "tenants") {
+        // Pre-qos repro lines omit this key; default 1 (single-tenant).
+        spec.tenants = static_cast<std::uint32_t>(std::stoul(value));
+        if (spec.tenants == 0) return std::nullopt;
       } else {
         return std::nullopt;
       }
@@ -413,6 +419,94 @@ std::optional<std::string> run_differential(const CaseSpec& spec,
                               (spec.feed == FeedMode::Port ? "+port" : "");
     auto err = compare_reports(reference, report, label);
     if (!err.has_value()) err = check_dump(report, label);
+    if (err.has_value())
+      return *err + "\n  case: " + to_string(spec) +
+             "\n  repro: " + repro_command(spec);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_multitenant_differential(
+    const CaseSpec& spec, runtime::PoolExecutor* pool) {
+  SDAF_EXPECTS(spec.tenants >= 1);
+  SDAF_EXPECTS(pool != nullptr);  // sharing the pool is the point
+  const StreamGraph g = build_topology(spec);
+
+  // Solo reference: the batch-fed deterministic simulator, exactly as in
+  // run_differential.
+  exec::RunReport reference;
+  {
+    exec::Session session(g, build_kernels(g, spec));
+    exec::RunSpec rs = make_run_spec(g, spec);
+    rs.backend = exec::Backend::Sim;
+    reference = session.run(rs);
+  }
+  if (auto err = check_dump(reference, "sim"); err.has_value())
+    return *err + "\n  repro: " + repro_command(spec);
+
+  // N concurrent port-fed pooled copies on the one shared (DRR) pool, each
+  // under a distinct tenant label and weight. Avoidance-armed copies also
+  // run under a tight per-tenant credit window so the acquire/park/release
+  // path is exercised under real cross-tenant concurrency; wedge-capable
+  // (mode None) copies run uncredited -- a wedged stream never returns its
+  // credits, and the harness must reach finish() to collect the verdict.
+  std::vector<exec::RunReport> reports(spec.tenants);
+  std::vector<std::string> errors(spec.tenants);
+  {
+    std::vector<std::thread> drivers;
+    drivers.reserve(spec.tenants);
+    for (std::uint32_t t = 0; t < spec.tenants; ++t) {
+      drivers.emplace_back([&, t] {
+        try {
+          qos::CreditGauge credits(1 + spec.num_inputs / 4);
+          exec::Session session(g, build_kernels(g, spec));
+          exec::StreamSpec ss;
+          ss.run = make_run_spec(g, spec);
+          ss.run.backend = exec::Backend::Pooled;
+          ss.run.pool = pool;
+          ss.run.tenant = "t" + std::to_string(t);
+          ss.run.tenant_weight = static_cast<double>(t + 1);
+          if (spec.mode != DummyMode::None) ss.run.credits = &credits;
+          ss.feed_capacity = static_cast<std::size_t>(spec.num_inputs) + 1;
+          ss.egress_capacity = static_cast<std::size_t>(spec.num_inputs) + 2;
+          exec::Stream stream = session.open(ss);
+          // Pacing decorrelated per tenant, so the copies interleave their
+          // pushes instead of marching in lockstep.
+          Prng pacing(spec.seed ^ (0xFEEDF00Dull + 0x9E3779B9ull * (t + 1)));
+          const std::uint32_t max_chunk =
+              std::max<std::uint32_t>(1, spec.chunk);
+          std::uint64_t pushed = 0;
+          while (pushed < spec.num_inputs) {
+            const std::uint64_t chunk = std::min<std::uint64_t>(
+                1 + pacing.next_below(max_chunk), spec.num_inputs - pushed);
+            for (std::size_t i = 0; i < stream.input_count(); ++i) {
+              const std::size_t accepted = stream.input(i).push_batch(
+                  std::vector<runtime::Value>(static_cast<std::size_t>(chunk)));
+              SDAF_EXPECTS(accepted == chunk);
+            }
+            pushed += chunk;
+            for (std::size_t i = 0; i < stream.output_count(); ++i)
+              while (stream.output(i).poll().has_value()) {
+              }
+          }
+          for (std::size_t i = 0; i < stream.input_count(); ++i)
+            stream.input(i).close();
+          reports[t] = stream.finish();
+        } catch (const std::exception& e) {
+          errors[t] = std::string("driver threw: ") + e.what();
+        }
+      });
+    }
+    for (auto& d : drivers) d.join();
+  }
+
+  for (std::uint32_t t = 0; t < spec.tenants; ++t) {
+    const std::string label = "tenant t" + std::to_string(t);
+    if (!errors[t].empty())
+      return label + ": " + errors[t] + "\n  case: " + to_string(spec) +
+             "\n  repro: " + repro_command(spec);
+    auto err = compare_reports(reference, reports[t], label);
+    if (!err.has_value()) err = check_dump(reports[t], label);
     if (err.has_value())
       return *err + "\n  case: " + to_string(spec) +
              "\n  repro: " + repro_command(spec);
@@ -658,6 +752,28 @@ SweepResult sweep_random_cases(std::uint64_t sweep_seed, double seconds,
     bool deadlocked = false;
     result.failure = run_differential(spec, pool, &deadlocked);
     if (deadlocked) ++result.deadlocks;
+    ++result.cases_run;
+    if (result.failure.has_value()) break;
+  }
+  return result;
+}
+
+SweepResult sweep_multitenant_cases(std::uint64_t sweep_seed, double seconds,
+                                    int max_cases,
+                                    runtime::PoolExecutor* pool) {
+  SweepResult result;
+  Prng rng(sweep_seed);
+  Stopwatch clock;
+  const bool verbose = std::getenv("SDAF_STRESS_VERBOSE") != nullptr;
+  while (result.cases_run < max_cases &&
+         (result.cases_run == 0 || clock.elapsed_seconds() < seconds)) {
+    CaseSpec spec = random_case(rng);
+    // The shared pool keeps its production regime; the adversarial sched
+    // pools are single-tenant by construction (SchedPerturbationSweep).
+    spec.sched = Sched::Lifo;
+    spec.tenants = 2 + static_cast<std::uint32_t>(rng.next_below(2));
+    if (verbose) std::fprintf(stderr, "case: %s\n", to_string(spec).c_str());
+    result.failure = run_multitenant_differential(spec, pool);
     ++result.cases_run;
     if (result.failure.has_value()) break;
   }

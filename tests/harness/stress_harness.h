@@ -85,6 +85,12 @@ struct CaseSpec {
   FeedMode feed = FeedMode::Batch;
   std::uint32_t chunk = 8;  // Port only: pushes land in chunks of 1..chunk
   Sched sched = Sched::Lifo;
+  // Multi-tenant axis (qos): run_multitenant_differential runs this many
+  // concurrent port-fed copies of the case on ONE shared pool, tenant i
+  // labeled "t<i>" at DRR weight i+1 (and, when avoidance-armed, under a
+  // per-tenant credit window), each required bit-identical to the solo
+  // batch-fed simulator reference. 1 = the classic single-tenant case.
+  std::uint32_t tenants = 1;
 };
 
 // One-line `key=value ...` form; parse_case is its exact inverse.
@@ -117,6 +123,17 @@ struct CaseSpec {
 [[nodiscard]] std::optional<std::string> run_differential(
     const CaseSpec& spec, runtime::PoolExecutor* pool,
     bool* reference_deadlocked = nullptr);
+
+// The multi-tenant differential (qos): spec.tenants concurrent port-fed
+// copies of the case on the caller's shared pool (fair DRR injector),
+// weights 1..N, avoidance-armed copies additionally throttled by a
+// per-tenant credit window -- and every copy's verdict, per-edge traffic,
+// firing counts and sink deliveries must be bit-identical to the solo
+// batch-fed simulator reference. This is "weighting and backpressure
+// reorder execution, never change semantics" under real concurrency.
+// Requires a non-null shared pool. Returns nullopt on agreement.
+[[nodiscard]] std::optional<std::string> run_multitenant_differential(
+    const CaseSpec& spec, runtime::PoolExecutor* pool);
 
 // Draws a random but replayable CaseSpec: all topologies, both dummy modes
 // plus avoidance-off, batch in {1, 7, 64} (1 when mode == None), batch- or
@@ -155,6 +172,15 @@ struct SweepResult {
     runtime::PoolExecutor* pool,
     std::optional<FeedMode> forced_feed = std::nullopt,
     std::optional<Sched> forced_sched = std::nullopt);
+
+// Randomized multi-tenant sweep: random cases pinned to 2-3 tenants and run
+// through run_multitenant_differential on the shared pool. Stops at the
+// first mismatch (the failure line carries tenants=N, so the ordinary
+// SDAF_HARNESS_REPRO replay routes back through the multi-tenant check).
+[[nodiscard]] SweepResult sweep_multitenant_cases(std::uint64_t sweep_seed,
+                                                  double seconds,
+                                                  int max_cases,
+                                                  runtime::PoolExecutor* pool);
 
 // Randomized kill/restore sweep: random avoidance-armed cases (mode None is
 // re-drawn to Propagation), each crashed at a random barrier on a random

@@ -34,16 +34,19 @@ TEST(HarnessStress, SpecRoundTrip) {
     EXPECT_EQ(parsed->feed, spec.feed);
     EXPECT_EQ(parsed->chunk, spec.chunk);
     EXPECT_EQ(parsed->sched, spec.sched);
+    EXPECT_EQ(parsed->tenants, spec.tenants);
   }
   EXPECT_FALSE(parse_case("nonsense").has_value());
   EXPECT_FALSE(parse_case("topo=warp seed=1").has_value());
   EXPECT_FALSE(parse_case("topo=sp seed=1 sched=chaotic").has_value());
-  // Pre-port repro lines (no feed=/chunk=/sched=) still parse, as batch-fed
-  // with the default scheduling regime.
+  EXPECT_FALSE(parse_case("topo=sp seed=1 tenants=0").has_value());
+  // Pre-port repro lines (no feed=/chunk=/sched=/tenants=) still parse, as
+  // batch-fed single-tenant with the default scheduling regime.
   const auto legacy = parse_case("topo=sp seed=7 inputs=30 batch=2");
   ASSERT_TRUE(legacy.has_value());
   EXPECT_EQ(legacy->feed, FeedMode::Batch);
   EXPECT_EQ(legacy->sched, Sched::Lifo);
+  EXPECT_EQ(legacy->tenants, 1u);
 }
 
 TEST(HarnessStress, EveryTopologyRunsDifferentially) {
@@ -70,7 +73,11 @@ TEST(HarnessStress, ReproFromEnv) {
   const auto spec = parse_case(line);
   ASSERT_TRUE(spec.has_value()) << "unparseable spec: " << line;
   runtime::PoolExecutor pool(2);
-  const auto failure = run_differential(*spec, &pool);
+  // A tenants=N line came from the multi-tenant sweep; replay it through
+  // the same check.
+  const auto failure = spec->tenants > 1
+                           ? run_multitenant_differential(*spec, &pool)
+                           : run_differential(*spec, &pool);
   EXPECT_FALSE(failure.has_value()) << *failure;
 }
 
@@ -108,6 +115,27 @@ TEST(HarnessStress, PortModeSweep) {
   EXPECT_GE(result.cases_run, 1);
   RecordProperty("cases_run", result.cases_run);
   RecordProperty("deadlocks", result.deadlocks);
+}
+
+// The multi-tenant sweep (qos): every case runs as 2-3 concurrent port-fed
+// tenant copies on one shared fair-injector pool, distinct DRR weights and
+// (when avoidance-armed) tight per-tenant credit windows, each copy
+// required bit-identical to the solo batch-fed simulator reference --
+// weighting and backpressure may reorder execution, never change
+// semantics. tools/ci.sh --stress runs this under ASan and TSan.
+TEST(HarnessStress, MultiTenantSweep) {
+  double seconds = 2.0;
+  if (const char* env = std::getenv("SDAF_STRESS_SECONDS"))
+    seconds = std::strtod(env, nullptr);
+  std::uint64_t seed = 0x5EED ^ 0x7E;
+  if (const char* env = std::getenv("SDAF_STRESS_SEED"))
+    seed = std::strtoull(env, nullptr, 0);
+  runtime::PoolExecutor pool(3);
+  const SweepResult result = sweep_multitenant_cases(
+      seed, seconds, /*max_cases=*/1000000, &pool);
+  EXPECT_FALSE(result.failure.has_value()) << *result.failure;
+  EXPECT_GE(result.cases_run, 1);
+  RecordProperty("cases_run", result.cases_run);
 }
 
 // The scheduler-adversarial sweep: every case runs the pooled backend under

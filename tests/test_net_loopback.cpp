@@ -43,6 +43,7 @@ class LoopbackTest : public ::testing::Test {
                         ->current_test_info()
                         ->name();
     opt.push_wait = std::chrono::milliseconds(100);
+    configure(opt);
     server_ = std::make_unique<Server>(std::move(opt));
     ASSERT_TRUE(server_->start());
     thread_ = std::thread([this] { server_->run(); });
@@ -52,6 +53,9 @@ class LoopbackTest : public ::testing::Test {
     server_->request_stop();
     thread_.join();
   }
+
+  // Subclass hook: adjust the daemon's options before it boots.
+  virtual void configure(ServerOptions& opt) { (void)opt; }
 
   [[nodiscard]] Client connect() {
     auto c = Client::connect_unix(server_->unix_path());
@@ -468,6 +472,49 @@ TEST_F(LoopbackTest, StatsPageMergesStreamsAndServiceFamilies) {
   s2.close(0);
   (void)s1.finish();
   (void)s2.finish();
+}
+
+// Fixture with a tight admission budget: at most 2 nodes across all
+// admitted streams, so any 3-node topology is over budget by construction.
+class AdmissionLoopbackTest : public LoopbackTest {
+ protected:
+  void configure(ServerOptions& opt) override { opt.budgets.max_nodes = 2; }
+};
+
+// The admission rejection round trip (qos): an over-budget Open comes back
+// as a typed OpenRejectedError carrying the reason and the cost model's
+// prediction, the rejection is SOFT -- the same connection then opens an
+// in-budget stream and runs it to completion -- and the refusal is counted
+// in the daemon's Prometheus page.
+TEST_F(AdmissionLoopbackTest, OverBudgetOpenRejectedSoftlyWithPredictedCost) {
+  Client client = connect();
+  OpenFrame big;
+  big.topology = to_text(workloads::fig2_triangle());  // 3 nodes: over budget
+  bool rejected = false;
+  try {
+    (void)client.open(1, big);
+  } catch (const OpenRejectedError& e) {
+    rejected = true;
+    EXPECT_NE(std::string(e.what()).find("nodes"), std::string::npos);
+    EXPECT_EQ(e.predicted().nodes, 3u);
+    EXPECT_GT(e.predicted().channel_slots, 0u);
+    EXPECT_GT(e.predicted().channel_bytes, 0u);
+  }
+  ASSERT_TRUE(rejected);
+
+  // Soft refusal: the connection survives, the id stays free, and an
+  // in-budget open on the very same connection and id runs normally.
+  OpenFrame small;
+  small.topology = "node a\nnode b\nedge a b 4\n";
+  ClientStream s = client.open(1, small);
+  EXPECT_EQ(s.push(0, {Value(std::int64_t{9})}), 1u);
+  s.close(0);
+  EXPECT_TRUE(s.finish().completed);
+
+  // The refusal (and the admit) surface on the Stats page.
+  const std::string page = client.stats();
+  EXPECT_NE(page.find("sdaf_admission_rejected_total 1"), std::string::npos);
+  EXPECT_NE(page.find("sdaf_admission_admitted_total 1"), std::string::npos);
 }
 
 // Graceful drain: after request_drain, new Opens are refused (Draining)

@@ -16,6 +16,12 @@
 # BENCH_snapshot.json: the periodic-asynchronous-barriers-vs-off ingest
 # pair (snapshot_overhead_pct, budget <= 5%) and barrier completion
 # latency under load (p50_ns/p99_ns + serialized snapshot_bytes).
+# Since sdaf::qos it also runs bench_qos_isolation into BENCH_qos.json:
+# interactive push->poll p50/p99 solo vs under batch-tenant saturation
+# (DRR + credit window vs the legacy unfair injector) plus the weighted
+# bandwidth-share pair; the interference ratio (shared-DRR p99 / solo p99,
+# budget <= 5x) is printed and, like the scaling ladder, flagged as
+# non-evidence on a host with < 4 hardware threads.
 #
 #   tools/bench.sh            # full run (all registered benchmarks)
 #   tools/bench.sh --smoke    # CI mode: the fixed smoke subset, ~seconds,
@@ -43,6 +49,7 @@ if [[ ! -x "$build_dir/bench_throughput" ||
       ! -x "$build_dir/bench_pool_scaling" ||
       ! -x "$build_dir/bench_streaming_latency" ||
       ! -x "$build_dir/bench_snapshot" ||
+      ! -x "$build_dir/bench_qos_isolation" ||
       ! -x "$build_dir/sdafd" || ! -x "$build_dir/sdaf_loadgen" ]]; then
   if [[ "$build_dir" != build/release ]]; then
     echo "error: bench binaries missing from $build_dir; build them first" >&2
@@ -51,7 +58,7 @@ if [[ ! -x "$build_dir/bench_throughput" ||
   cmake --preset release
   cmake --build --preset release -j "$jobs" \
       --target bench_throughput bench_pool_scaling bench_streaming_latency \
-      bench_snapshot sdafd sdaf_loadgen
+      bench_snapshot bench_qos_isolation sdafd sdaf_loadgen
 fi
 
 # The smoke subset is fixed so the JSON schema (benchmark names + counters)
@@ -69,11 +76,13 @@ throughput_filter='.'
 pool_filter='Filtering|CompileCache'
 streaming_filter='.'
 snapshot_filter='.'
+qos_filter='.'
 if [[ $smoke -eq 1 ]]; then
   throughput_filter='BM_Throughput_Pass(100|50|10)/|BM_Throughput_Pass10_MetricsOverhead'
   pool_filter='BM_PoolExecutor_Filtering|BM_PoolExecutor_Ladder/(100|1000)/2|BM_PoolExecutor_LadderScaling'
   streaming_filter='BM_Stream(Latency|Ingest)_(Pooled|Threaded)'
   snapshot_filter='BM_Snapshot(Overhead|Latency)_Threaded'
+  qos_filter='BM_QosInteractive_(Solo|SharedDRR)'
 fi
 
 echo "==> bench_throughput -> BENCH_throughput.json"
@@ -123,6 +132,35 @@ echo "==> bench_snapshot -> BENCH_snapshot.json"
     --benchmark_out=BENCH_snapshot.json \
     --benchmark_out_format=json
 
+echo "==> bench_qos_isolation -> BENCH_qos.json"
+"$build_dir/bench_qos_isolation" \
+    --benchmark_filter="$qos_filter" \
+    --benchmark_out=BENCH_qos.json \
+    --benchmark_out_format=json
+
+# The isolation headline: shared-under-DRR p99 as a multiple of solo p99
+# (budget <= 5x). Like the scaling ladder above, a 1-cpu runner cannot
+# demonstrate isolation -- every thread interferes with every other by
+# construction -- so the ratio is printed but flagged as non-evidence
+# below 4 hardware threads.
+python3 - <<'PY'
+import json
+with open("BENCH_qos.json") as f:
+    doc = json.load(f)
+rows = {b["name"].split("/")[0]: b for b in doc.get("benchmarks", [])}
+solo = rows.get("BM_QosInteractive_Solo")
+shared = rows.get("BM_QosInteractive_SharedDRR")
+if solo and shared and solo.get("p99_ns", 0) > 0:
+    ratio = shared["p99_ns"] / solo["p99_ns"]
+    hw = int(solo.get("hardware_concurrency", 0))
+    print(f"==> qos isolation: solo p99 {solo['p99_ns']:,.0f} ns, "
+          f"shared-DRR p99 {shared['p99_ns']:,.0f} ns "
+          f"(ratio {ratio:.2f}x, budget <= 5x)")
+    if hw < 4:
+        print(f"    WARNING: {hw} hardware thread(s) < 4 -- this ratio "
+              "cannot demonstrate isolation; run on a multi-core host")
+PY
+
 # The service bench goes over a real socket: every sample pays the framing,
 # the poll loop and the session table, so it bounds what an in-process port
 # push/poll pair costs once it is served. The connection ladder is the
@@ -139,8 +177,10 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [[ -S "$service_sock" ]] || { echo "error: sdafd never bound" >&2; exit 1; }
+# --mix appends the two-tenant run (interactive RTT tenant vs batch
+# saturator tenant, per-tenant p50/p99) as the "mix" object in the report.
 "$build_dir/sdaf_loadgen" --unix="$service_sock" --connections=1,8,64 \
-    --items="$service_items" --out=BENCH_service.json
+    --items="$service_items" --mix=2:2 --out=BENCH_service.json
 kill -TERM "$service_pid"
 wait "$service_pid"
 trap - EXIT

@@ -16,6 +16,10 @@
 #                          # daemon's STATS dump with check_prom.sh, run the
 #                          # wire-vs-in-process loopback differential, and
 #                          # check the daemon drains cleanly on SIGTERM;
+#                          # then the qos admission smoke: a tight-budget
+#                          # sdafd must refuse an over-budget Open softly
+#                          # and account it in
+#                          # sdaf_admission_rejected_total on STATS;
 #                          # finally the pooled scaling ladder -- asserted
 #                          # on >= 4-core runners, skipped with a visible
 #                          # warning on smaller ones (no ctest, ~seconds)
@@ -33,6 +37,9 @@
 #                          # cross-backend differential harness sweep (batch
 #                          # and port feed modes), the port-mode harness
 #                          # sweep (every case through the live Stream API),
+#                          # the multi-tenant sweep (2-3 concurrent tenant
+#                          # copies on one shared DRR pool with weights and
+#                          # credit windows, each bit-identical to solo),
 #                          # the schedule-perturbation sweep (sched=fifo /
 #                          # steal-heavy / park-storm adversarial pools must
 #                          # stay bit-identical), the SPSC two-thread hammer
@@ -184,9 +191,48 @@ check_service() {
       --gtest_filter='LoopbackTest.WireRunBitIdenticalToInProcess:LoopbackTest.DeadlockVerdictCertifiedOverWire'
 }
 
+# The admission contract check (qos): a daemon with a deliberately tiny
+# node budget must refuse the loadgen probe's 3-node Open with the soft
+# AdmissionRejected error -- the connection survives to fetch STATS -- and
+# the refusal must be accounted in the sdaf_admission_rejected_total
+# counter on a grammar-valid Prometheus page.
+check_admission() {
+  echo "==> admission smoke (tight-budget sdafd + over-budget Open)"
+  local sock stats
+  sock="/tmp/sdaf_ci_adm_$$.sock"
+  stats=$(mktemp)
+  build/release/sdafd --unix="$sock" --max-nodes=1 --tenant-credits=8 &
+  local daemon_pid=$!
+  for _ in $(seq 1 50); do
+    [[ -S "$sock" ]] && break
+    sleep 0.1
+  done
+  [[ -S "$sock" ]] || { echo "ci: sdafd never bound $sock" >&2; exit 1; }
+  build/release/sdaf_loadgen --unix="$sock" --expect-rejected \
+      --stats-out="$stats"
+  tools/check_prom.sh "$stats"
+  local rejected
+  rejected=$(grep '^sdaf_admission_rejected_total ' "$stats" \
+      | awk '{print $2}')
+  if [[ -z "$rejected" || "$rejected" == 0 ]]; then
+    echo "ci: STATS page does not account the rejected open" \
+         "(sdaf_admission_rejected_total=$rejected)" >&2
+    exit 1
+  fi
+  rm -f "$stats"
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [[ "$rc" != 0 ]]; then
+    echo "ci: sdafd exited $rc after SIGTERM (want clean drain)" >&2
+    exit 1
+  fi
+}
+
 if [[ "$mode" == "--smoke" ]]; then
   check_prom
   check_service
+  check_admission
   check_pool_scaling
   echo "==> ci OK (smoke)"
   exit 0
@@ -259,6 +305,8 @@ if [[ "$mode" == "--stress" ]]; then
         --gtest_filter='HarnessStress.PortModeSweep'
     "build/$preset/test_harness_stress" \
         --gtest_filter='HarnessStress.SchedPerturbationSweep'
+    "build/$preset/test_harness_stress" \
+        --gtest_filter='HarnessStress.MultiTenantSweep'
     "build/$preset/test_spsc_ring" --gtest_filter='SpscRingHammer.*'
     "build/$preset/test_steal_deque" --gtest_filter='StealDequeHammer.*'
     "build/$preset/test_deadlock_verdicts"

@@ -8,6 +8,7 @@
 //   sdafc [--nonprop] [--reject-general] [--dot] [--ceil] FILE
 //   sdafc --run [--backend=sim|threaded|pooled] [--items=N]
 //         [--pass-rate=P] [--seed=S] [--no-avoidance] [--metrics[=json|prom]]
+//         [--tenant=NAME] [--tenant-weight=W]
 //         FILE
 //   sdafc --run --stdin [--backend=...] FILE   # one item per input line
 //   sdafc --help
@@ -22,6 +23,12 @@
 // end-of-run snapshot to *stderr* (JSON by default, Prometheus text with
 // --metrics=prom), keeping stdout parseable and exit codes unchanged. With
 // --stdin the final summary is printed once the stream closes.
+//
+// --tenant / --tenant-weight (qos) label the run for the pooled backend's
+// deficit-round-robin injector: the tenant's lane drains proportionally to
+// its weight when the pool is shared. A pooled --metrics run also appends
+// the per-tenant scheduler ledger (weight, lane enqueues/dequeues, queue
+// depth high-water) to the metrics summary.
 //
 // --snapshot-every=N (with --run --stdin) cuts an asynchronous barrier
 // snapshot after every N accepted lines and writes the serialized bytes to
@@ -80,6 +87,10 @@ int usage() {
       "                    deadlock the intervals prevent)\n"
       "  --metrics[=FMT]   print the end-of-run metrics snapshot to stderr;\n"
       "                    FMT is json (default) or prom (Prometheus text)\n"
+      "  --tenant=NAME     tenant label for the run (default \"default\")\n"
+      "  --tenant-weight=W DRR weight of this tenant's injector lane on the\n"
+      "                    pooled backend, W >= 1 (default 1); a pooled\n"
+      "                    --metrics run appends the per-tenant ledger\n"
       "  --stdin           with --run: stream one item per stdin line\n"
       "                    through the live InputPort (single-source\n"
       "                    topologies), printing sink results as they\n"
@@ -137,6 +148,32 @@ void print_metrics(const obs::MetricsSnapshot& snapshot,
                                             : obs::to_json(snapshot);
   std::fputs(text.c_str(), stderr);
   if (text.empty() || text.back() != '\n') std::fputc('\n', stderr);
+}
+
+// The per-tenant DRR ledger off a pooled run's explicit executor, on stderr
+// like the snapshot it follows. prom reuses the canonical exporter; json
+// emits a separate schema-tagged document so sdaf.metrics.v1 stays intact.
+void print_tenant_ledger(const runtime::PoolExecutor& pool,
+                         const std::string& format) {
+  const std::vector<obs::TenantSchedMetrics> tenants = pool.tenant_metrics();
+  if (format == "prom") {
+    const std::string text = obs::tenant_sched_to_prometheus(tenants);
+    std::fputs(text.c_str(), stderr);
+    if (text.empty() || text.back() != '\n') std::fputc('\n', stderr);
+    return;
+  }
+  std::ostringstream out;
+  out << "{\"schema\":\"sdaf.tenant_sched.v1\",\"tenants\":[";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const auto& t = tenants[i];
+    if (i != 0) out << ",";
+    out << "{\"tenant\":\"" << t.tenant << "\",\"weight\":" << t.weight
+        << ",\"enqueued\":" << t.enqueued << ",\"dequeued\":" << t.dequeued
+        << ",\"queue_depth\":" << t.queue_depth
+        << ",\"queue_depth_max\":" << t.queue_depth_max << "}";
+  }
+  out << "]}\n";
+  std::fputs(out.str().c_str(), stderr);
 }
 
 // Shared trailer for --run and --stdin: verdict line, traffic totals, and
@@ -313,6 +350,8 @@ int main(int argc, char** argv) {
   double pass_rate = 0.7;
   std::uint64_t seed = 1;
   std::string metrics_format;  // empty = off
+  std::string tenant = "default";
+  double tenant_weight = 1.0;
   CkptFlags ckpt_flags;
   std::string file;
   for (int i = 1; i < argc; ++i) {
@@ -350,6 +389,20 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       if (!parse_u64(arg.c_str() + 7, &seed)) {
         std::fprintf(stderr, "sdafc: bad --seed value %s\n", arg.c_str() + 7);
+        return usage();
+      }
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      tenant = arg.substr(9);
+      if (tenant.empty()) {
+        std::fprintf(stderr, "sdafc: --tenant needs a name\n");
+        return usage();
+      }
+    } else if (arg.rfind("--tenant-weight=", 0) == 0) {
+      char* end = nullptr;
+      tenant_weight = std::strtod(arg.c_str() + 16, &end);
+      if (end == arg.c_str() + 16 || *end != '\0' || !(tenant_weight >= 1.0)) {
+        std::fprintf(stderr, "sdafc: bad --tenant-weight value %s (want >= 1)\n",
+                     arg.c_str() + 16);
         return usage();
       }
     } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
@@ -425,6 +478,8 @@ int main(int argc, char** argv) {
   exec::RunSpec spec;
   spec.backend = backend;
   spec.num_inputs = items;
+  spec.tenant = tenant;
+  spec.tenant_weight = tenant_weight;
   if (avoidance) {
     spec.mode = options.algorithm == core::Algorithm::NonPropagation
                     ? runtime::DummyMode::NonPropagation
@@ -481,6 +536,10 @@ int main(int argc, char** argv) {
     obs::MetricsSnapshot snap = obs::snapshot(g, *registry, sopt);
     if (pool.has_value()) snap.workers = pool->worker_metrics();
     print_metrics(snap, metrics_format);
+    // The per-tenant scheduler ledger (qos): what the DRR injector owes and
+    // has paid each tenant lane on this pool. Appended after the snapshot
+    // so the sdaf.metrics.v1 schema is untouched.
+    if (pool.has_value()) print_tenant_ledger(*pool, metrics_format);
   }
   // Three distinct outcomes: completed, certified deadlock, or a sim run
   // truncated by the sweep ceiling (neither flag set).

@@ -46,6 +46,7 @@ int usage() {
       stderr,
       "usage: sdafd [--unix=PATH] [--tcp] [--host=H] [--port=P]\n"
       "             [--workers=N] [--push-wait-ms=MS] [--drain-grace-ms=MS]\n"
+      "             [qos budget flags, see below]\n"
       "  --unix=PATH        listen on a Unix-domain socket at PATH\n"
       "  --tcp              listen on TCP (default host 127.0.0.1)\n"
       "  --host=H           TCP bind address\n"
@@ -53,6 +54,14 @@ int usage() {
       "  --workers=N        shared pool workers (0 = hardware concurrency)\n"
       "  --push-wait-ms=MS  per-push ingress deadline (default 50)\n"
       "  --drain-grace-ms=MS  grace after SIGTERM/SIGINT (default 2000)\n"
+      "qos admission budgets (0 = unlimited, the default; docs/QOS.md):\n"
+      "  --max-channel-bytes=N   certified channel memory across streams\n"
+      "  --max-channel-slots=N   certified channel slots across streams\n"
+      "  --max-nodes=N           total graph nodes on the shared pool\n"
+      "  --max-tenants=N         distinct tenants with live streams\n"
+      "  --max-streams-per-tenant=N\n"
+      "  --max-dummy-ratio=R     per-stream predicted overhead cap (float)\n"
+      "  --tenant-credits=N      per-tenant in-flight item window\n"
       "At least one of --unix / --tcp is required.\n");
   return 2;
 }
@@ -61,6 +70,14 @@ bool parse_u64(const char* s, std::uint64_t* out) {
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_f64(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= 0.0)) return false;  // NaN fails
   *out = v;
   return true;
 }
@@ -92,6 +109,28 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--drain-grace-ms=", 0) == 0) {
       if (!parse_u64(arg.c_str() + 17, &n)) return usage();
       opt.drain_grace = std::chrono::milliseconds(n);
+    } else if (arg.rfind("--max-channel-bytes=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 20, &n)) return usage();
+      opt.budgets.max_channel_bytes = n;
+    } else if (arg.rfind("--max-channel-slots=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 20, &n)) return usage();
+      opt.budgets.max_channel_slots = n;
+    } else if (arg.rfind("--max-nodes=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 12, &n)) return usage();
+      opt.budgets.max_nodes = n;
+    } else if (arg.rfind("--max-tenants=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 14, &n)) return usage();
+      opt.budgets.max_tenants = n;
+    } else if (arg.rfind("--max-streams-per-tenant=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 25, &n)) return usage();
+      opt.budgets.max_streams_per_tenant = n;
+    } else if (arg.rfind("--max-dummy-ratio=", 0) == 0) {
+      double r = 0.0;
+      if (!parse_f64(arg.c_str() + 18, &r)) return usage();
+      opt.budgets.max_dummy_ratio = r;
+    } else if (arg.rfind("--tenant-credits=", 0) == 0) {
+      if (!parse_u64(arg.c_str() + 17, &n)) return usage();
+      opt.tenant_credits = n;
     } else {
       std::fprintf(stderr, "sdafd: unknown flag %s\n", arg.c_str());
       return usage();
